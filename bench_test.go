@@ -1,0 +1,307 @@
+package gridbank_test
+
+// One benchmark per experiment row of DESIGN.md §4, plus micro-benchmarks
+// of the hot paths (ledger transfer, cheque issue/redeem, hash-chain
+// verification, RUR pricing). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks measure a whole scenario per iteration, so
+// their ns/op is "time to reproduce the figure", not a micro-latency.
+
+import (
+	"testing"
+	"time"
+
+	"gridbank"
+	"gridbank/internal/experiments"
+)
+
+// --- Experiment benchmarks (E1..E11) -----------------------------------------
+
+func BenchmarkFig1EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig1(experiments.Fig1Config{Consumers: 2, JobsPerConsumer: 4, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.JobsCompleted == 0 {
+			b.Fatal("no jobs completed")
+		}
+	}
+}
+
+func BenchmarkFig2MeterPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3Protocols(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig3(experiments.Fig3Config{Payments: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4Coop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig4(experiments.Fig4Config{Rounds: 50, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTemplatePool(b *testing.B) {
+	// E5: admission+settlement cycle over a template pool, per consumer.
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunScalability(experiments.ScalabilityConfig{
+			ConsumerCounts: []int{50}, PoolSize: 8,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGuarantee(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunGuarantee(experiments.GuaranteeConfig{Cheques: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPaymentSchemes(b *testing.B) {
+	// E7: the three charging policies end to end.
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunPolicies(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPriceEstimator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunEstimate(experiments.EstimateConfig{HistorySize: 500, Queries: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEquilibrium(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunEquilibrium(experiments.EquilibriumConfig{Participants: 8, Rounds: 60}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBranchSettlement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunBranches(experiments.BranchesConfig{ChequesPerPair: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCommodityPricing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunPricing(experiments.PricingConfig{PhaseLen: 10, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBrokerDBC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunDBC(experiments.DBCConfig{Jobs: 60, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of hot paths -------------------------------------------
+
+// benchWorld pre-builds an in-process deployment for micro-benchmarks.
+type benchWorld struct {
+	dep    *gridbank.Deployment
+	client *gridbank.Client
+	gspCli *gridbank.Client
+	banker *gridbank.Client
+	acctA  gridbank.AccountID
+	acctB  gridbank.AccountID
+	gspSub string
+}
+
+func newBenchWorld(b *testing.B) *benchWorld {
+	b.Helper()
+	dep, err := gridbank.NewDeployment(gridbank.DeploymentConfig{VO: "VO-Bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { dep.Close() })
+	alice, err := dep.NewUser("alice")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gsp, err := dep.NewUser("gsp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := dep.Dial(alice)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { client.Close() })
+	gspCli, err := dep.Dial(gsp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { gspCli.Close() })
+	banker, err := dep.Dial(dep.Banker)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { banker.Close() })
+	a, err := client.CreateAccount("", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := gspCli.CreateAccount("", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := banker.AdminDeposit(a.AccountID, gridbank.G(1_000_000_000)); err != nil {
+		b.Fatal(err)
+	}
+	return &benchWorld{
+		dep: dep, client: client, gspCli: gspCli, banker: banker,
+		acctA: a.AccountID, acctB: g.AccountID, gspSub: gsp.SubjectName(),
+	}
+}
+
+func BenchmarkWireDirectTransfer(b *testing.B) {
+	w := newBenchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.client.DirectTransfer(w.acctA, w.acctB, gridbank.Micro(1000), ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireChequeIssueRedeem(b *testing.B) {
+	w := newBenchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cheque, err := w.client.RequestCheque(w.acctA, gridbank.Micro(1000), w.gspSub, time.Hour)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.gspCli.RedeemCheque(cheque, &gridbank.ChequeClaim{
+			Serial: cheque.Cheque.Serial, Amount: gridbank.Micro(1000),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireBalanceQuery(b *testing.B) {
+	w := newBenchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.client.AccountDetails(w.acctA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLedgerTransferInProcess(b *testing.B) {
+	w := newBenchWorld(b)
+	mgr := w.dep.Bank.Manager()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mgr.Transfer(w.acctA, w.acctB, gridbank.Micro(1), gridbank.TransferOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashChainVerifyWord(b *testing.B) {
+	w := newBenchWorld(b)
+	chain, _, err := w.client.RequestChain(w.acctA, w.gspSub, 1000, gridbank.Micro(1000), time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	word, err := chain.Word(500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := gridbank.VerifyWord(&chain.Commitment, 500, word); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRURPricing(b *testing.B) {
+	// Price a full six-line record against a rate card.
+	rec := &gridbank.UsageRecord{}
+	rec.User.CertificateName = "CN=alice"
+	rec.Resource.CertificateName = "CN=gsp"
+	rec.SetQuantity(gridbank.ItemCPU, 3600)
+	rec.SetQuantity(gridbank.ItemWallClock, 3600)
+	rec.SetQuantity(gridbank.ItemMemory, 512*3600)
+	rec.SetQuantity(gridbank.ItemStorage, 100*3600)
+	rec.SetQuantity(gridbank.ItemNetwork, 250)
+	rec.SetQuantity(gridbank.ItemSoftware, 30)
+	card := &gridbank.RateCard{
+		Provider: "CN=gsp",
+		Currency: gridbank.GridDollar,
+		Rates: map[gridbank.UsageItem]gridbank.Rate{
+			gridbank.ItemCPU:       gridbank.PerHour(2_000_000),
+			gridbank.ItemWallClock: gridbank.PerHour(100_000),
+			gridbank.ItemMemory:    gridbank.PerMBHour(1_000),
+			gridbank.ItemStorage:   gridbank.PerMBHour(100),
+			gridbank.ItemNetwork:   gridbank.PerMB(10_000),
+			gridbank.ItemSoftware:  gridbank.PerHour(10_000_000),
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gridbank.PriceUsage(rec, card); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBrokerSchedule(b *testing.B) {
+	jobs := gridbank.BagWorkload(gridbank.BagOptions{Owner: "CN=a", N: 100, MeanLengthMI: 50_000, Seed: 1})
+	rates := &gridbank.RateCard{
+		Provider: "CN=p",
+		Currency: gridbank.GridDollar,
+		Rates: map[gridbank.UsageItem]gridbank.Rate{
+			gridbank.ItemCPU:       gridbank.PerHour(2_000_000),
+			gridbank.ItemWallClock: gridbank.PerHour(0),
+			gridbank.ItemMemory:    gridbank.PerMBHour(0),
+			gridbank.ItemStorage:   gridbank.PerMBHour(0),
+			gridbank.ItemNetwork:   gridbank.PerMB(0),
+			gridbank.ItemSoftware:  gridbank.PerHour(2_000_000),
+		},
+	}
+	cands := []gridbank.Candidate{
+		{Provider: "CN=p", Nodes: 16, RatingMIPS: 800, Rates: rates},
+		{Provider: "CN=q", Nodes: 16, RatingMIPS: 1600, Rates: rates},
+	}
+	qos := gridbank.QoS{Deadline: time.Hour, Budget: gridbank.G(100000)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gridbank.ScheduleJobs(jobs, cands, qos, gridbank.CostTime); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

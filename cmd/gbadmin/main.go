@@ -1,0 +1,146 @@
+// Command gbadmin performs the §5.2.1 GridBank Admin API operations.
+// The identity presented must be in the bank's administrator table
+// (gridbankd bootstraps "banker").
+//
+//	gbadmin -server host:7776 -ca ca.pem -cert banker.crt -key banker.key <op> [args]
+//
+// Operations:
+//
+//	deposit <account-id> <amount>
+//	withdraw <account-id> <amount>
+//	credit-limit <account-id> <amount>
+//	cancel <transaction-id>
+//	close <account-id> [transfer-to-account-id]
+//	accounts
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/core"
+	"gridbank/internal/currency"
+	"gridbank/internal/pki"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "127.0.0.1:7776", "GridBank server address")
+		caPath = flag.String("ca", "ca.pem", "trusted CA certificate bundle")
+		cert   = flag.String("cert", "banker.crt", "administrator certificate file")
+		key    = flag.String("key", "banker.key", "administrator key file")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*server, *caPath, *cert, *key, flag.Args()); err != nil {
+		log.Fatalf("gbadmin: %v", err)
+	}
+}
+
+func run(server, caPath, certPath, keyPath string, args []string) error {
+	dir, base := filepath.Split(certPath)
+	if dir == "" {
+		dir = "."
+	}
+	id, err := pki.LoadIdentity(dir, strings.TrimSuffix(base, ".crt"))
+	if err != nil {
+		return err
+	}
+	cas, err := pki.LoadCACerts(caPath)
+	if err != nil {
+		return err
+	}
+	client, err := core.Dial(server, id, pki.NewTrustStore(cas...))
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	op, rest := args[0], args[1:]
+	amountArg := func(i int) (currency.Amount, error) {
+		if i >= len(rest) {
+			return 0, fmt.Errorf("missing amount")
+		}
+		return currency.Parse(rest[i])
+	}
+	acctArg := func(i int) accounts.ID {
+		if i >= len(rest) {
+			log.Fatal("gbadmin: missing account ID")
+		}
+		return accounts.ID(rest[i])
+	}
+
+	switch op {
+	case "deposit":
+		amount, err := amountArg(1)
+		if err != nil {
+			return err
+		}
+		if err := client.AdminDeposit(acctArg(0), amount); err != nil {
+			return err
+		}
+		fmt.Println("deposited")
+	case "withdraw":
+		amount, err := amountArg(1)
+		if err != nil {
+			return err
+		}
+		if err := client.AdminWithdraw(acctArg(0), amount); err != nil {
+			return err
+		}
+		fmt.Println("withdrawn")
+	case "credit-limit":
+		amount, err := amountArg(1)
+		if err != nil {
+			return err
+		}
+		if err := client.AdminChangeCreditLimit(acctArg(0), amount); err != nil {
+			return err
+		}
+		fmt.Println("limit set")
+	case "cancel":
+		if len(rest) < 1 {
+			return fmt.Errorf("missing transaction ID")
+		}
+		txID, err := strconv.ParseUint(rest[0], 10, 64)
+		if err != nil {
+			return err
+		}
+		if err := client.AdminCancelTransfer(txID); err != nil {
+			return err
+		}
+		fmt.Println("cancelled")
+	case "close":
+		var to accounts.ID
+		if len(rest) > 1 {
+			to = accounts.ID(rest[1])
+		}
+		if err := client.AdminCloseAccount(acctArg(0), to); err != nil {
+			return err
+		}
+		fmt.Println("closed")
+	case "accounts":
+		accts, err := client.AdminListAccounts()
+		if err != nil {
+			return err
+		}
+		b, err := json.MarshalIndent(accts, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+	default:
+		return fmt.Errorf("unknown operation %q", op)
+	}
+	return nil
+}

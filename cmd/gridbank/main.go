@@ -1,0 +1,281 @@
+// Command gridbank is the client CLI: the GridBank Payment Module's
+// operations (§5.2/§5.3) from a shell.
+//
+//	gridbank -server host:7776 -ca ca.pem -cert alice.crt -key alice.key <op> [args]
+//
+// Operations:
+//
+//	ping
+//	create-account [org] [currency]
+//	details <account-id>
+//	statement <account-id> <days>
+//	summary <account-id> <days>
+//	check-funds <account-id> <amount>
+//	transfer <from> <to> <amount> [recipient-address]
+//	request-cheque <account-id> <amount> <payee-cert> [ttl]
+//	redeem-cheque <cheque.json> <amount> [rur-file]
+//	request-chain <account-id> <payee-cert> <length> <per-word> [ttl]
+//	release-cheque <serial>
+//	release-chain <serial>
+//	proxy <hours>   (create a proxy certificate next to the identity)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/core"
+	"gridbank/internal/currency"
+	"gridbank/internal/payment"
+	"gridbank/internal/pki"
+)
+
+func main() {
+	var (
+		server = flag.String("server", "127.0.0.1:7776", "GridBank server address")
+		caPath = flag.String("ca", "ca.pem", "trusted CA certificate bundle")
+		cert   = flag.String("cert", "", "client certificate file (without .crt: identity name in -data)")
+		key    = flag.String("key", "", "client key file")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*server, *caPath, *cert, *key, flag.Args()); err != nil {
+		log.Fatalf("gridbank: %v", err)
+	}
+}
+
+func loadClientIdentity(certPath, keyPath string) (*pki.Identity, error) {
+	if certPath == "" || keyPath == "" {
+		return nil, fmt.Errorf("both -cert and -key are required")
+	}
+	dir, base := filepath.Split(certPath)
+	name := strings.TrimSuffix(base, ".crt")
+	if dir == "" {
+		dir = "."
+	}
+	id, err := pki.LoadIdentity(dir, name)
+	if err != nil {
+		return nil, err
+	}
+	return id, nil
+}
+
+func run(server, caPath, certPath, keyPath string, args []string) error {
+	id, err := loadClientIdentity(certPath, keyPath)
+	if err != nil {
+		return err
+	}
+	op, rest := args[0], args[1:]
+
+	if op == "proxy" {
+		hours := 12.0
+		if len(rest) > 0 {
+			if hours, err = strconv.ParseFloat(rest[0], 64); err != nil {
+				return err
+			}
+		}
+		proxy, err := pki.NewProxy(id, time.Duration(hours*float64(time.Hour)))
+		if err != nil {
+			return err
+		}
+		dir := filepath.Dir(certPath)
+		if err := pki.SaveIdentity(dir, "proxy", proxy); err != nil {
+			return err
+		}
+		fmt.Printf("proxy %s valid %.1fh -> %s/proxy.crt\n", proxy.SubjectName(), hours, dir)
+		return nil
+	}
+
+	cas, err := pki.LoadCACerts(caPath)
+	if err != nil {
+		return err
+	}
+	trust := pki.NewTrustStore(cas...)
+	client, err := core.Dial(server, id, trust)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	out := func(v any) error {
+		b, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	}
+
+	switch op {
+	case "ping":
+		bank, err := client.Ping()
+		if err != nil {
+			return err
+		}
+		fmt.Println(bank)
+		return nil
+	case "create-account":
+		org, cur := argAt(rest, 0), currency.Code(argAt(rest, 1))
+		acct, err := client.CreateAccount(org, cur)
+		if err != nil {
+			return err
+		}
+		return out(acct)
+	case "details":
+		acct, err := client.AccountDetails(accounts.ID(need(rest, 0, "account-id")))
+		if err != nil {
+			return err
+		}
+		return out(acct)
+	case "statement":
+		days, err := strconv.Atoi(need(rest, 1, "days"))
+		if err != nil {
+			return err
+		}
+		end := time.Now()
+		st, err := client.AccountStatement(accounts.ID(need(rest, 0, "account-id")), end.AddDate(0, 0, -days), end)
+		if err != nil {
+			return err
+		}
+		return out(st)
+	case "summary":
+		days, err := strconv.Atoi(need(rest, 1, "days"))
+		if err != nil {
+			return err
+		}
+		end := time.Now()
+		st, err := client.AccountStatement(accounts.ID(need(rest, 0, "account-id")), end.AddDate(0, 0, -days), end)
+		if err != nil {
+			return err
+		}
+		return out(accounts.Summarize(st))
+	case "check-funds":
+		amount, err := currency.Parse(need(rest, 1, "amount"))
+		if err != nil {
+			return err
+		}
+		if err := client.CheckFunds(accounts.ID(need(rest, 0, "account-id")), amount); err != nil {
+			return err
+		}
+		fmt.Println("locked")
+		return nil
+	case "transfer":
+		amount, err := currency.Parse(need(rest, 2, "amount"))
+		if err != nil {
+			return err
+		}
+		resp, err := client.DirectTransfer(
+			accounts.ID(need(rest, 0, "from")), accounts.ID(need(rest, 1, "to")), amount, argAt(rest, 3))
+		if err != nil {
+			return err
+		}
+		return out(resp)
+	case "request-cheque":
+		amount, err := currency.Parse(need(rest, 1, "amount"))
+		if err != nil {
+			return err
+		}
+		ttl := 24 * time.Hour
+		if v := argAt(rest, 3); v != "" {
+			if ttl, err = time.ParseDuration(v); err != nil {
+				return err
+			}
+		}
+		cheque, err := client.RequestCheque(accounts.ID(need(rest, 0, "account-id")), amount, need(rest, 2, "payee-cert"), ttl)
+		if err != nil {
+			return err
+		}
+		return out(cheque)
+	case "redeem-cheque":
+		var cheque payment.SignedCheque
+		if err := readJSONFile(need(rest, 0, "cheque.json"), &cheque); err != nil {
+			return err
+		}
+		amount, err := currency.Parse(need(rest, 1, "amount"))
+		if err != nil {
+			return err
+		}
+		claim := &payment.ChequeClaim{Serial: cheque.Cheque.Serial, Amount: amount}
+		if p := argAt(rest, 2); p != "" {
+			rurBytes, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			claim.RUR = rurBytes
+		}
+		resp, err := client.RedeemCheque(&cheque, claim)
+		if err != nil {
+			return err
+		}
+		return out(resp)
+	case "request-chain":
+		length, err := strconv.Atoi(need(rest, 2, "length"))
+		if err != nil {
+			return err
+		}
+		perWord, err := currency.Parse(need(rest, 3, "per-word"))
+		if err != nil {
+			return err
+		}
+		ttl := 24 * time.Hour
+		if v := argAt(rest, 4); v != "" {
+			if ttl, err = time.ParseDuration(v); err != nil {
+				return err
+			}
+		}
+		chain, signed, err := client.RequestChain(accounts.ID(need(rest, 0, "account-id")), need(rest, 1, "payee-cert"), length, perWord, ttl)
+		if err != nil {
+			return err
+		}
+		return out(map[string]any{"chain": signed, "seed": chain.Seed})
+	case "release-cheque":
+		released, err := client.ReleaseCheque(need(rest, 0, "serial"))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("released %s\n", released)
+		return nil
+	case "release-chain":
+		released, err := client.ReleaseChain(need(rest, 0, "serial"))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("released %s\n", released)
+		return nil
+	default:
+		return fmt.Errorf("unknown operation %q", op)
+	}
+}
+
+func argAt(args []string, i int) string {
+	if i < len(args) {
+		return args[i]
+	}
+	return ""
+}
+
+func need(args []string, i int, name string) string {
+	if i >= len(args) {
+		log.Fatalf("gridbank: missing argument <%s>", name)
+	}
+	return args[i]
+}
+
+func readJSONFile(path string, out any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, out)
+}

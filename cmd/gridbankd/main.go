@@ -1,0 +1,139 @@
+// Command gridbankd runs a GridBank server for one Virtual Organization.
+//
+// On first start with a fresh data directory it bootstraps the VO: a
+// certificate authority, the bank's server identity, a "banker"
+// administrator identity, and a durable ledger journal. Client and admin
+// credentials are written under <data>/ for distribution:
+//
+//	gridbankd -data /var/lib/gridbank -vo VO-A -listen :7776
+//
+// Subsequent starts reuse the CA, identities and ledger.
+//
+// To enrol a user, issue a certificate with:
+//
+//	gridbankd -data /var/lib/gridbank -issue alice
+//
+// which writes alice.crt/alice.key for use with the gridbank CLI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gridbank/internal/core"
+	"gridbank/internal/db"
+	"gridbank/internal/pki"
+)
+
+func main() {
+	var (
+		dataDir = flag.String("data", "gridbank-data", "data directory (keys, CA, ledger journal)")
+		vo      = flag.String("vo", "VO-A", "virtual organization name (used at bootstrap)")
+		branch  = flag.String("branch", "0001", "four-digit branch number")
+		listen  = flag.String("listen", "127.0.0.1:7776", "listen address")
+		issue   = flag.String("issue", "", "issue a user certificate with this common name and exit")
+		syncWAL = flag.Bool("sync", true, "fsync the ledger journal on every commit")
+	)
+	flag.Parse()
+	if err := run(*dataDir, *vo, *branch, *listen, *issue, *syncWAL); err != nil {
+		log.Fatalf("gridbankd: %v", err)
+	}
+}
+
+func run(dataDir, vo, branch, listen, issue string, syncWAL bool) error {
+	ca, err := loadOrCreateCA(dataDir, vo)
+	if err != nil {
+		return err
+	}
+	if issue != "" {
+		id, err := ca.Issue(pki.IssueOptions{CommonName: issue, Organization: vo})
+		if err != nil {
+			return err
+		}
+		if err := pki.SaveIdentity(dataDir, issue, id); err != nil {
+			return err
+		}
+		fmt.Printf("issued %s -> %s/%s.crt, %s/%s.key\n", id.SubjectName(), dataDir, issue, dataDir, issue)
+		return nil
+	}
+
+	bankID, err := loadOrIssue(dataDir, ca, "bank", vo, true)
+	if err != nil {
+		return err
+	}
+	banker, err := loadOrIssue(dataDir, ca, "banker", vo, false)
+	if err != nil {
+		return err
+	}
+	journal, err := db.OpenFileJournal(filepath.Join(dataDir, "ledger.wal"), syncWAL)
+	if err != nil {
+		return err
+	}
+	store, err := db.Open(journal)
+	if err != nil {
+		return err
+	}
+	trust := pki.NewTrustStore(ca.Certificate())
+	bank, err := core.NewBank(store, core.BankConfig{
+		Identity: bankID,
+		Trust:    trust,
+		Admins:   []string{banker.SubjectName()},
+		Branch:   branch,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := core.NewServer(bank, bankID)
+	if err != nil {
+		return err
+	}
+	log.Printf("gridbankd: %s branch %s serving on %s (CA %s)",
+		bankID.SubjectName(), branch, listen, pki.SubjectNameOf(ca.Certificate()))
+	return srv.ListenAndServe(listen)
+}
+
+// loadOrCreateCA reuses the data directory's CA or bootstraps one.
+func loadOrCreateCA(dataDir, vo string) (*pki.CA, error) {
+	caID, err := pki.LoadIdentity(dataDir, "ca")
+	if err == nil {
+		return pki.ResumeCA(caID)
+	}
+	if !os.IsNotExist(err) {
+		return nil, err
+	}
+	ca, err := pki.NewCA(vo+" CA", vo, 10*365*24*time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	if err := pki.SaveIdentity(dataDir, "ca", ca.Identity()); err != nil {
+		return nil, err
+	}
+	if err := pki.SaveCACert(filepath.Join(dataDir, "ca.pem"), ca.Certificate()); err != nil {
+		return nil, err
+	}
+	log.Printf("gridbankd: bootstrapped CA %s (distribute %s/ca.pem to clients)",
+		pki.SubjectNameOf(ca.Certificate()), dataDir)
+	return ca, nil
+}
+
+func loadOrIssue(dataDir string, ca *pki.CA, name, vo string, server bool) (*pki.Identity, error) {
+	id, err := pki.LoadIdentity(dataDir, name)
+	if err == nil {
+		return id, nil
+	}
+	if !os.IsNotExist(err) {
+		return nil, err
+	}
+	id, err = ca.Issue(pki.IssueOptions{CommonName: name, Organization: vo, IsServer: server})
+	if err != nil {
+		return nil, err
+	}
+	if err := pki.SaveIdentity(dataDir, name, id); err != nil {
+		return nil, err
+	}
+	return id, nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"crypto/x509"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gridbank/internal/pki"
+)
+
+func TestBootstrapAndResumeCA(t *testing.T) {
+	dir := t.TempDir()
+	ca1, err := loadOrCreateCA(dir, "VO-T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Artifacts exist.
+	for _, f := range []string{"ca.crt", "ca.key", "ca.pem"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+	// Second call resumes the same CA.
+	ca2, err := loadOrCreateCA(dir, "VO-T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ca1.Certificate().Equal(ca2.Certificate()) {
+		t.Fatal("CA not resumed")
+	}
+	// Identities issued by the resumed CA verify against the original
+	// trust anchor.
+	id, err := ca2.Issue(pki.IssueOptions{CommonName: "post-restart", Organization: "VO-T"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := pki.NewTrustStore(ca1.Certificate())
+	subj, err := ts.VerifyPeer([]*x509.Certificate{id.Cert}, time.Now())
+	if err != nil {
+		t.Fatalf("post-restart issuance not trusted: %v", err)
+	}
+	if subj != "CN=post-restart,O=VO-T" {
+		t.Fatalf("subject = %q", subj)
+	}
+}
+
+func TestLoadOrIssueIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	ca, err := loadOrCreateCA(dir, "VO-T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := loadOrIssue(dir, ca, "bank", "VO-T", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := loadOrIssue(dir, ca, "bank", "VO-T", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !id1.Cert.Equal(id2.Cert) {
+		t.Fatal("identity re-issued instead of loaded")
+	}
+}
+
+func TestIssueFlagWritesIdentity(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "VO-T", "0001", "", "alice", false); err != nil {
+		t.Fatal(err)
+	}
+	id, err := pki.LoadIdentity(dir, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.SubjectName() != "CN=alice,O=VO-T" {
+		t.Fatalf("issued subject = %q", id.SubjectName())
+	}
+}

@@ -1,0 +1,142 @@
+package gridbank
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"gridbank/internal/core"
+	"gridbank/internal/db"
+	"gridbank/internal/pki"
+)
+
+// DeploymentConfig parameterizes NewDeployment.
+type DeploymentConfig struct {
+	// VO names the virtual organization; it becomes the CA name and the
+	// certificate O= component. Required.
+	VO string
+	// Branch is the four-digit branch number (default "0001").
+	Branch string
+	// Admins lists extra administrator certificate names; the deployment
+	// always creates its own "banker" admin identity.
+	Admins []string
+	// Journal persists the ledger; nil keeps it in memory.
+	Journal Journal
+	// ListenAddr is where the server listens (default "127.0.0.1:0",
+	// i.e. an ephemeral loopback port).
+	ListenAddr string
+	// Now injects a clock (simulations); default time.Now.
+	Now func() time.Time
+}
+
+// Deployment is a complete single-VO GridBank: CA, trust store, bank,
+// TLS server, and an administrator identity. It exists so examples,
+// tests and experiments can stand up a working Grid bank in one call;
+// production deployments wire the pieces explicitly (see cmd/gridbankd).
+type Deployment struct {
+	CA     *CA
+	Trust  *TrustStore
+	Bank   *Bank
+	Server *Server
+	// Banker is the built-in administrator identity.
+	Banker *Identity
+
+	addr     string
+	serveErr chan error
+}
+
+// NewDeployment stands up a VO bank and starts its TLS server.
+func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
+	if cfg.VO == "" {
+		return nil, errors.New("gridbank: deployment requires a VO name")
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	ca, err := pki.NewCA(cfg.VO+" CA", cfg.VO, 10*365*24*time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	trust := pki.NewTrustStore(ca.Certificate())
+	bankID, err := ca.Issue(pki.IssueOptions{CommonName: "gridbank", Organization: cfg.VO, IsServer: true})
+	if err != nil {
+		return nil, err
+	}
+	banker, err := ca.Issue(pki.IssueOptions{CommonName: "banker", Organization: cfg.VO})
+	if err != nil {
+		return nil, err
+	}
+	store, err := db.Open(cfg.Journal)
+	if err != nil {
+		return nil, err
+	}
+	bank, err := core.NewBank(store, core.BankConfig{
+		Identity: bankID,
+		Trust:    trust,
+		Admins:   append([]string{banker.SubjectName()}, cfg.Admins...),
+		Branch:   cfg.Branch,
+		Now:      cfg.Now,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := core.NewServer(bank, bankID)
+	if err != nil {
+		return nil, err
+	}
+	srv.Logf = func(string, ...any) {} // deployments are quiet; wire Logf explicitly if needed
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("gridbank: listen %s: %w", cfg.ListenAddr, err)
+	}
+	d := &Deployment{
+		CA:       ca,
+		Trust:    trust,
+		Bank:     bank,
+		Server:   srv,
+		Banker:   banker,
+		addr:     ln.Addr().String(),
+		serveErr: make(chan error, 1),
+	}
+	go func() { d.serveErr <- srv.Serve(ln) }()
+	return d, nil
+}
+
+// Addr returns the server's listen address.
+func (d *Deployment) Addr() string { return d.addr }
+
+// NewUser issues an identity in the deployment's VO.
+func (d *Deployment) NewUser(name string) (*Identity, error) {
+	return d.CA.Issue(pki.IssueOptions{CommonName: name, Organization: voOf(d)})
+}
+
+func voOf(d *Deployment) string {
+	orgs := d.CA.Certificate().Subject.Organization
+	if len(orgs) > 0 {
+		return orgs[0]
+	}
+	return ""
+}
+
+// Dial connects a client authenticated as id.
+func (d *Deployment) Dial(id *Identity) (*Client, error) {
+	return core.Dial(d.addr, id, d.Trust)
+}
+
+// DialProxy creates a short-lived proxy for id and connects with it —
+// the paper's single sign-on flow.
+func (d *Deployment) DialProxy(id *Identity, ttl time.Duration) (*Client, error) {
+	proxy, err := pki.NewProxy(id, ttl)
+	if err != nil {
+		return nil, err
+	}
+	return core.Dial(d.addr, proxy, d.Trust)
+}
+
+// Close stops the server.
+func (d *Deployment) Close() error {
+	err := d.Server.Close()
+	<-d.serveErr
+	return err
+}

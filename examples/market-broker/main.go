@@ -1,0 +1,236 @@
+// Competitive market with broker scheduling: providers advertise in the
+// Grid Market Directory, negotiate rates with the broker (GRACE
+// alternating offers), and a deadline/budget-constrained plan runs on the
+// simulated Grid with every job settled by GridCheque.
+//
+//	go run ./examples/market-broker
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gridbank"
+	"gridbank/internal/broker"
+	"gridbank/internal/charging"
+	"gridbank/internal/core"
+	"gridbank/internal/gmd"
+	"gridbank/internal/gridsim"
+	"gridbank/internal/meter"
+	"gridbank/internal/payment"
+	"gridbank/internal/pki"
+	"gridbank/internal/rur"
+	"gridbank/internal/trade"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type provider struct {
+	id    *pki.Identity
+	gts   *trade.Server
+	grm   *meter.Meter
+	gbcm  *charging.Module
+	res   *gridsim.Resource
+	agree *trade.Agreement
+}
+
+type redeemer struct {
+	bank *core.Bank
+	sub  string
+}
+
+func (r *redeemer) RedeemCheque(c *payment.SignedCheque, cl *payment.ChequeClaim) (*core.RedeemChequeResponse, error) {
+	return r.bank.RedeemCheque(r.sub, &core.RedeemChequeRequest{Cheque: *c, Claim: *cl})
+}
+func (r *redeemer) RedeemChain(c *payment.SignedChain, cl *payment.ChainClaim) (*core.RedeemChainResponse, error) {
+	return r.bank.RedeemChain(r.sub, &core.RedeemChainRequest{Chain: *c, Claim: *cl})
+}
+
+func run() error {
+	dep, err := gridbank.NewDeployment(gridbank.DeploymentConfig{VO: "VO-Market"})
+	if err != nil {
+		return err
+	}
+	defer dep.Close()
+	bank := dep.Bank
+	banker, err := dep.Dial(dep.Banker)
+	if err != nil {
+		return err
+	}
+	defer banker.Close()
+
+	sim := gridsim.New(time.Now())
+	directory := gmd.New(nil)
+
+	// Three providers: different speed, different asking price.
+	defs := []struct {
+		name     string
+		nodes    int
+		rating   int
+		gPerCPUH int64
+	}{
+		{"budget-farm", 16, 400, 1},
+		{"campus-hpc", 16, 800, 3},
+		{"premium-cray", 16, 1600, 8},
+	}
+	providers := map[string]*provider{}
+	for _, d := range defs {
+		id, err := dep.NewUser(d.name)
+		if err != nil {
+			return err
+		}
+		cli, err := dep.Dial(id)
+		if err != nil {
+			return err
+		}
+		if _, err := cli.CreateAccount("VO-Market", ""); err != nil {
+			return err
+		}
+		cli.Close()
+		rates := map[rur.Item]gridbank.Rate{
+			rur.ItemCPU:       gridbank.PerHour(d.gPerCPUH * 1_000_000),
+			rur.ItemWallClock: gridbank.PerHour(50_000),
+			rur.ItemMemory:    gridbank.PerMBHour(1_000),
+			rur.ItemStorage:   gridbank.PerMBHour(100),
+			rur.ItemNetwork:   gridbank.PerMB(10_000),
+			rur.ItemSoftware:  gridbank.PerHour(d.gPerCPUH * 1_000_000),
+		}
+		gts, err := trade.NewServer(trade.ServerConfig{Identity: id, Model: trade.PostedPrice{Card: rates}})
+		if err != nil {
+			return err
+		}
+		grm, err := meter.New(id.SubjectName(), "cluster")
+		if err != nil {
+			return err
+		}
+		pool, err := charging.NewTemplatePool("grid", 8, nil)
+		if err != nil {
+			return err
+		}
+		gbcm, err := charging.NewModule(charging.ModuleConfig{
+			Identity: id, Trust: dep.Trust, Pool: pool,
+			Redeemer: &redeemer{bank: bank, sub: id.SubjectName()},
+		})
+		if err != nil {
+			return err
+		}
+		res, err := sim.AddResource(gridsim.ResourceConfig{
+			Provider: id.SubjectName(), Host: d.name + ".grid", Nodes: d.nodes, RatingMIPS: d.rating,
+		})
+		if err != nil {
+			return err
+		}
+		if err := directory.Register(gmd.Advertisement{
+			Provider: id.SubjectName(), Address: d.name + ".grid:9000",
+			CPURating: d.rating, Nodes: d.nodes, Rates: rates,
+		}); err != nil {
+			return err
+		}
+		providers[id.SubjectName()] = &provider{id: id, gts: gts, grm: grm, gbcm: gbcm, res: res}
+	}
+
+	// The consumer: 60-job parameter sweep, 10-minute deadline, 50 G$
+	// budget.
+	alice, err := dep.NewUser("alice")
+	if err != nil {
+		return err
+	}
+	aliceCli, err := dep.Dial(alice)
+	if err != nil {
+		return err
+	}
+	defer aliceCli.Close()
+	aliceAcct, err := aliceCli.CreateAccount("VO-Market", "")
+	if err != nil {
+		return err
+	}
+	if err := banker.AdminDeposit(aliceAcct.AccountID, gridbank.G(200)); err != nil {
+		return err
+	}
+
+	// Discovery + negotiation: the broker haggles each provider down
+	// from its posted price (GRACE alternating offers).
+	ads := directory.Find(gmd.Query{})
+	var candidates []broker.Candidate
+	fmt.Println("negotiations:")
+	for _, ad := range ads {
+		p := providers[ad.Provider]
+		agree, outcome, err := p.gts.Negotiate(alice.SubjectName(),
+			trade.BuyerStrategy{OpenFraction: 0.5, MaxFraction: 0.9}, trade.NegotiationParams{})
+		if err != nil {
+			return err
+		}
+		p.agree = agree
+		fmt.Printf("  %-40s settled at %.0f%% of posted after %d rounds\n",
+			ad.Provider, outcome.FinalFraction*100, outcome.Rounds)
+		candidates = append(candidates, broker.Candidate{
+			Provider: ad.Provider, Nodes: ad.Nodes, RatingMIPS: ad.CPURating,
+			Rates: &agree.Card, AgreementID: agree.ID,
+		})
+	}
+
+	jobs := gridbank.BagWorkload(gridbank.BagOptions{
+		Owner: alice.SubjectName(), Application: "monte-carlo",
+		N: 60, MeanLengthMI: 96_000, MemoryMB: 256, InputMB: 8, OutputMB: 8,
+		Seed: 99, IDPrefix: "mc",
+	})
+	plan, err := gridbank.ScheduleJobs(jobs, candidates, gridbank.QoS{
+		Deadline: 10 * time.Minute, Budget: gridbank.G(50),
+	}, gridbank.CostTime)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nplan (%s): %d jobs, est. makespan %v, est. cost %s G$\n",
+		plan.Strategy, len(plan.Assignments), plan.Makespan.Round(time.Second), plan.TotalCost)
+	for prov, as := range plan.ByProvider() {
+		fmt.Printf("  %-40s %2d jobs, est. %s G$\n", prov, len(as), plan.CostOf(prov))
+	}
+
+	// Execute: cheque per job, meter on completion, settle.
+	var spent gridbank.Amount
+	done := 0
+	for _, a := range plan.Assignments {
+		a := a
+		p := providers[a.Provider]
+		budget := a.EstCost.MustAdd(a.EstCost)
+		cheque, err := aliceCli.RequestCheque(aliceAcct.AccountID, budget, a.Provider, time.Hour)
+		if err != nil {
+			return err
+		}
+		if _, err := p.gbcm.AdmitCheque(a.Job.ID, cheque); err != nil {
+			return err
+		}
+		if err := p.res.Submit(a.Job, func(res gridsim.JobResult) {
+			rec, err := p.grm.Convert(res)
+			if err != nil {
+				log.Printf("meter: %v", err)
+				return
+			}
+			result, err := p.gbcm.SettleCheque(res.Job.ID, rec, &p.agree.Card)
+			if err != nil {
+				log.Printf("settle: %v", err)
+				return
+			}
+			paid, _ := gridbank.ParseAmount(result.Paid)
+			spent = spent.MustAdd(paid)
+			done++
+		}); err != nil {
+			return err
+		}
+	}
+	sim.Run()
+
+	fmt.Printf("\nexecuted %d/%d jobs; actual spend %s G$ (estimate was %s G$)\n",
+		done, len(plan.Assignments), spent, plan.TotalCost)
+	final, err := aliceCli.AccountDetails(aliceAcct.AccountID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alice's balance: %s G$ (locked %s)\n", final.AvailableBalance, final.LockedBalance)
+	return nil
+}

@@ -1,0 +1,135 @@
+// Pay-as-you-go streaming (§3.1's second policy): a consumer pays a
+// provider per delivered result with GridHash micro-payments — one hash
+// preimage per result, no per-result bank round trip, provider redeems in
+// batches.
+//
+//	go run ./examples/payg-stream
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gridbank"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dep, err := gridbank.NewDeployment(gridbank.DeploymentConfig{VO: "VO-Stream"})
+	if err != nil {
+		return err
+	}
+	defer dep.Close()
+
+	alice, err := dep.NewUser("alice")
+	if err != nil {
+		return err
+	}
+	gsp, err := dep.NewUser("render-farm")
+	if err != nil {
+		return err
+	}
+	aliceCli, err := dep.Dial(alice)
+	if err != nil {
+		return err
+	}
+	defer aliceCli.Close()
+	gspCli, err := dep.Dial(gsp)
+	if err != nil {
+		return err
+	}
+	defer gspCli.Close()
+	banker, err := dep.Dial(dep.Banker)
+	if err != nil {
+		return err
+	}
+	defer banker.Close()
+
+	aAcct, err := aliceCli.CreateAccount("", "")
+	if err != nil {
+		return err
+	}
+	if _, err := gspCli.CreateAccount("", ""); err != nil {
+		return err
+	}
+	if err := banker.AdminDeposit(aAcct.AccountID, gridbank.G(50)); err != nil {
+		return err
+	}
+
+	// Alice buys a 200-word chain at 0.1 G$ per word: up to 20 G$ of
+	// streaming payments, all locked up front so the provider bears no
+	// credit risk ("eliminate unnecessary trust relationships", §3.1).
+	perFrame := gridbank.MustParseAmount("0.1")
+	chain, signedChain, err := aliceCli.RequestChain(aAcct.AccountID, gsp.SubjectName(), 200, perFrame, time.Hour)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chain %s…: 200 frames × %s G$ locked\n", chain.Commitment.Serial[:8], perFrame)
+
+	// The provider verifies the bank's commitment signature once.
+	if _, err := gridbank.VerifyChain(signedChain, dep.Trust, gsp.SubjectName(), time.Now()); err != nil {
+		return fmt.Errorf("chain rejected: %w", err)
+	}
+
+	// Streaming: the farm renders frames; alice releases one word per
+	// frame; the farm verifies each word locally (one SHA-256 chain
+	// walk, no bank involved) and redeems every 50 frames.
+	rendered := 0
+	var lastRedeemed int
+	for frame := 1; frame <= 130; frame++ {
+		word, err := chain.Word(frame)
+		if err != nil {
+			return err
+		}
+		// Provider-side verification of the micro-payment.
+		if err := gridbank.VerifyWord(&chain.Commitment, frame, word); err != nil {
+			return fmt.Errorf("frame %d payment rejected: %w", frame, err)
+		}
+		rendered++
+		if frame%50 == 0 {
+			resp, err := gspCli.RedeemChain(signedChain, &gridbank.ChainClaim{
+				Serial: chain.Commitment.Serial, Index: frame, Word: word,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("batch redemption at frame %d: +%s G$ (chain position %d)\n",
+				frame, resp.Paid, resp.IndexNow)
+			lastRedeemed = frame
+		}
+	}
+
+	// The job ends early at frame 130; final redemption for the tail.
+	word, err := chain.Word(rendered)
+	if err != nil {
+		return err
+	}
+	resp, err := gspCli.RedeemChain(signedChain, &gridbank.ChainClaim{
+		Serial: chain.Commitment.Serial, Index: rendered, Word: word,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final redemption frames %d–%d: +%s G$\n", lastRedeemed+1, rendered, resp.Paid)
+
+	// Alice reclaims the 70 unspent frames after expiry. (The example
+	// bank runs on the wall clock, so we demonstrate the refusal instead
+	// of waiting an hour.)
+	if _, err := aliceCli.ReleaseChain(chain.Commitment.Serial); err != nil {
+		fmt.Printf("early release refused, as §3.4 requires: %v\n", err)
+	}
+
+	a, err := aliceCli.AccountDetails(aAcct.AccountID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alice: %s G$ available, %s G$ still locked for the remaining frames\n",
+		a.AvailableBalance, a.LockedBalance)
+	return nil
+}

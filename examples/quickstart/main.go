@@ -1,0 +1,116 @@
+// Quickstart: stand up a single-VO GridBank, open accounts, and settle a
+// job with a GridCheque — the minimal end-to-end accounting flow.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gridbank"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// One call stands up the VO: CA, bank, TLS server, banker admin.
+	dep, err := gridbank.NewDeployment(gridbank.DeploymentConfig{VO: "VO-Quick"})
+	if err != nil {
+		return err
+	}
+	defer dep.Close()
+	fmt.Printf("GridBank for VO-Quick listening on %s\n", dep.Addr())
+
+	// Enrol a consumer and a provider; both open accounts over mutual
+	// TLS (the server extracts their certificate names — §5.2).
+	alice, err := dep.NewUser("alice")
+	if err != nil {
+		return err
+	}
+	gsp, err := dep.NewUser("gsp1")
+	if err != nil {
+		return err
+	}
+	aliceCli, err := dep.Dial(alice)
+	if err != nil {
+		return err
+	}
+	defer aliceCli.Close()
+	gspCli, err := dep.Dial(gsp)
+	if err != nil {
+		return err
+	}
+	defer gspCli.Close()
+
+	aliceAcct, err := aliceCli.CreateAccount("VO-Quick", gridbank.GridDollar)
+	if err != nil {
+		return err
+	}
+	gspAcct, err := gspCli.CreateAccount("VO-Quick", gridbank.GridDollar)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("accounts: alice=%s gsp=%s\n", aliceAcct.AccountID, gspAcct.AccountID)
+
+	// The banker funds alice (the paper's admin deposit, §5.2.1).
+	banker, err := dep.Dial(dep.Banker)
+	if err != nil {
+		return err
+	}
+	defer banker.Close()
+	if err := banker.AdminDeposit(aliceAcct.AccountID, gridbank.G(100)); err != nil {
+		return err
+	}
+
+	// Pay-after-use: alice buys a GridCheque made out to the GSP; the
+	// bank locks the budget (§3.4 payment guarantee).
+	cheque, err := aliceCli.RequestCheque(aliceAcct.AccountID, gridbank.G(25), gsp.SubjectName(), time.Hour)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cheque %s for %s G$, payable to %s\n",
+		cheque.Cheque.Serial[:8], cheque.Cheque.Limit, cheque.Cheque.PayeeCert)
+
+	// The GSP verifies the bank's signature before accepting the job.
+	if _, err := gridbank.VerifyCheque(cheque, dep.Trust, gsp.SubjectName(), time.Now()); err != nil {
+		return fmt.Errorf("cheque rejected: %w", err)
+	}
+
+	// ... job runs, the meter produces an RUR, the GBCM prices it at
+	// 18.4 G$ ... then the GSP redeems with the usage evidence.
+	redemption, err := gspCli.RedeemCheque(cheque, &gridbank.ChequeClaim{
+		Serial: cheque.Cheque.Serial,
+		Amount: gridbank.MustParseAmount("18.4"),
+		RUR:    []byte(`{"job":"quickstart","cpu_seconds":3600}`),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("redeemed: paid %s G$, unspent reservation %s G$ returned to alice\n",
+		redemption.Paid, redemption.Released)
+
+	// Balances after settlement.
+	a, err := aliceCli.AccountDetails(aliceAcct.AccountID)
+	if err != nil {
+		return err
+	}
+	g, err := gspCli.AccountDetails(gspAcct.AccountID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final: alice %s G$, gsp %s G$\n", a.AvailableBalance, g.AvailableBalance)
+
+	// And the statement shows the §5.1 records.
+	st, err := aliceCli.AccountStatement(aliceAcct.AccountID, time.Now().Add(-time.Hour), time.Now().Add(time.Hour))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alice's statement: %d transactions, %d transfers\n", len(st.Transactions), len(st.Transfers))
+	return nil
+}

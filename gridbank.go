@@ -1,0 +1,382 @@
+// Package gridbank is the public API of this GridBank (GASA)
+// implementation — a Grid-wide accounting and micro-payment service after
+// Barmouta & Buyya, "GridBank: A Grid Accounting Services Architecture
+// (GASA) for Distributed Systems Sharing and Integration" (IPPS 2003).
+//
+// The package re-exports the library's building blocks and provides
+// one-call deployment helpers:
+//
+//   - the bank: Bank (ledger + payment protocols + §5.2 API), Server
+//     (mutually-authenticated TLS front end), Client (the GridBank
+//     Payment Module);
+//   - payment instruments: GridCheques (pay-after-use), GridHash chains
+//     (pay-as-you-go), direct transfers (pay-before-use);
+//   - the GSP side: TradeServer (GTS with GRACE pricing models), Meter
+//     (GRM), ChargingModule (GBCM with template accounts + grid-mapfile);
+//   - the GSC side: DBC broker scheduling (cost/time/cost-time);
+//   - substrates: PKI/GSI-style security, an embedded ledger store, a
+//     discrete-event Grid simulator, the market directory, the §4
+//     economic models, and §6 multi-branch settlement.
+//
+// Quickstart:
+//
+//	dep, _ := gridbank.NewDeployment(gridbank.DeploymentConfig{VO: "VO-A"})
+//	defer dep.Close()
+//	alice, _ := dep.NewUser("alice")
+//	client, _ := dep.Dial(alice)
+//	acct, _ := client.CreateAccount("VO-A", gridbank.GridDollar)
+//
+// See examples/ for complete scenarios.
+package gridbank
+
+import (
+	"gridbank/internal/accounts"
+	"gridbank/internal/branch"
+	"gridbank/internal/broker"
+	"gridbank/internal/charging"
+	"gridbank/internal/core"
+	"gridbank/internal/currency"
+	"gridbank/internal/db"
+	"gridbank/internal/economy"
+	"gridbank/internal/gmd"
+	"gridbank/internal/gridsim"
+	"gridbank/internal/meter"
+	"gridbank/internal/payment"
+	"gridbank/internal/pki"
+	"gridbank/internal/rur"
+	"gridbank/internal/trade"
+)
+
+// --- Currency ---------------------------------------------------------------
+
+// Amount is a fixed-point quantity of Grid currency (µG$ resolution).
+type Amount = currency.Amount
+
+// Rate is a price per metered unit.
+type Rate = currency.Rate
+
+// CurrencyCode identifies a currency unit ("G$", "USD", ...).
+type CurrencyCode = currency.Code
+
+// GridDollar is the default Grid currency.
+const GridDollar = currency.GridDollar
+
+// Currency constructors and helpers.
+var (
+	// G converts whole Grid dollars to an Amount.
+	G = currency.FromG
+	// Micro converts micro-credits to an Amount.
+	Micro = currency.FromMicro
+	// ParseAmount parses a decimal G$ string.
+	ParseAmount = currency.Parse
+	// MustParseAmount parses or panics (literals in examples/tests).
+	MustParseAmount = currency.MustParse
+	// PerHour / PerMB / PerMBHour / PerSecond build rates.
+	PerHour   = currency.PerHour
+	PerMB     = currency.PerMB
+	PerMBHour = currency.PerMBHour
+	PerSecond = currency.PerSecond
+)
+
+// --- Security (GSI substitute) ----------------------------------------------
+
+// CA is a certificate authority for a VO.
+type CA = pki.CA
+
+// Identity is a certificate + private key (user, GSP, bank, admin).
+type Identity = pki.Identity
+
+// TrustStore is the set of trusted CAs plus proxy-aware verification.
+type TrustStore = pki.TrustStore
+
+// IssueOptions parameterize certificate issuance.
+type IssueOptions = pki.IssueOptions
+
+// Signed is a detached-signature envelope (non-repudiation).
+type Signed = pki.Signed
+
+// Security constructors.
+var (
+	// NewCA creates a self-signed VO certificate authority.
+	NewCA = pki.NewCA
+	// NewTrustStore builds a trust store over CA certificates.
+	NewTrustStore = pki.NewTrustStore
+	// NewProxy creates a short-lived user proxy (single sign-on).
+	NewProxy = pki.NewProxy
+)
+
+// --- Accounts & ledger --------------------------------------------------------
+
+// Account is the §5.1 ACCOUNT record.
+type Account = accounts.Account
+
+// AccountID is a bank-branch-account identifier ("01-0001-00000001").
+type AccountID = accounts.ID
+
+// Transaction and Transfer are the §5.1 journal records.
+type (
+	Transaction = accounts.Transaction
+	Transfer    = accounts.Transfer
+	Statement   = accounts.Statement
+)
+
+// TransferOptions modify ledger transfers (locked-funds payout, RUR
+// evidence).
+type TransferOptions = accounts.TransferOptions
+
+// AccountSummary condenses a statement into billing totals.
+type AccountSummary = accounts.Summary
+
+// Summarize folds a statement into an AccountSummary.
+var Summarize = accounts.Summarize
+
+// Store is the embedded database beneath a bank.
+type Store = db.Store
+
+// Journal is the store's write-ahead log interface.
+type Journal = db.Journal
+
+// Storage constructors.
+var (
+	// OpenStore opens a store over a journal (nil = volatile).
+	OpenStore = db.Open
+	// MemoryStore returns a volatile in-memory store.
+	MemoryStore = db.MustOpenMemory
+	// OpenFileJournal opens a durable newline-JSON journal file.
+	OpenFileJournal = db.OpenFileJournal
+)
+
+// --- The bank ----------------------------------------------------------------
+
+// Bank is the GridBank server core: accounts layer + payment protocol
+// layer + authorization, implementing the §5.2 API.
+type Bank = core.Bank
+
+// BankConfig configures NewBank.
+type BankConfig = core.BankConfig
+
+// Server exposes a Bank over mutually-authenticated TLS.
+type Server = core.Server
+
+// OpHandler serves a custom payment-scheme operation registered with
+// Server.RegisterOp (the §3.2 extension point).
+type OpHandler = core.OpHandler
+
+// Client is the GridBank Payment Module (GBPM) transport.
+type Client = core.Client
+
+// Bank constructors.
+var (
+	NewBank   = core.NewBank
+	NewServer = core.NewServer
+	// Dial connects a client to a GridBank server.
+	Dial = core.Dial
+	// IsRemoteCode tests a client error for a stable server error code.
+	IsRemoteCode = core.IsRemoteCode
+)
+
+// Stable server error codes.
+const (
+	CodeDenied       = core.CodeDenied
+	CodeNotFound     = core.CodeNotFound
+	CodeInsufficient = core.CodeInsufficient
+	CodeInvalid      = core.CodeInvalid
+	CodeDuplicate    = core.CodeDuplicate
+	CodeExpired      = core.CodeExpired
+	CodeConflict     = core.CodeConflict
+)
+
+// --- Payment instruments -------------------------------------------------------
+
+// Cheque is the GridCheque payload (pay-after-use).
+type Cheque = payment.Cheque
+
+// SignedCheque couples a cheque with the bank's signature.
+type SignedCheque = payment.SignedCheque
+
+// ChequeClaim is a GSP's redemption request.
+type ChequeClaim = payment.ChequeClaim
+
+// Chain is the consumer-side GridHash chain (pay-as-you-go).
+type Chain = payment.Chain
+
+// SignedChain is the bank-signed chain commitment.
+type SignedChain = payment.SignedChain
+
+// ChainClaim is a chain redemption request.
+type ChainClaim = payment.ChainClaim
+
+// Instrument verification helpers (GSP-side checks).
+var (
+	VerifyCheque = payment.VerifyCheque
+	VerifyChain  = payment.VerifyChain
+	VerifyWord   = payment.VerifyWord
+)
+
+// --- Usage records ---------------------------------------------------------
+
+// UsageRecord is the standard Resource Usage Record.
+type UsageRecord = rur.Record
+
+// UsageItem is a chargeable item category.
+type UsageItem = rur.Item
+
+// Chargeable items (§2.1).
+const (
+	ItemCPU       = rur.ItemCPU
+	ItemWallClock = rur.ItemWallClock
+	ItemMemory    = rur.ItemMemory
+	ItemStorage   = rur.ItemStorage
+	ItemNetwork   = rur.ItemNetwork
+	ItemSoftware  = rur.ItemSoftware
+)
+
+// RateCard is a per-item price list from a Grid Trade Server.
+type RateCard = rur.RateCard
+
+// CostStatement is a priced usage calculation.
+type CostStatement = rur.CostStatement
+
+// PriceUsage computes usage × rates (the §2.1 charge formula).
+var PriceUsage = rur.Price
+
+// --- GSP side ---------------------------------------------------------------
+
+// TradeServer is the Grid Trade Server (GTS).
+type TradeServer = trade.Server
+
+// TradeServerConfig configures a GTS.
+type TradeServerConfig = trade.ServerConfig
+
+// RateAgreement is a signed, concluded rate agreement.
+type RateAgreement = trade.Agreement
+
+// Pricing models.
+type (
+	PostedPrice     = trade.PostedPrice
+	CommodityMarket = trade.CommodityMarket
+)
+
+// Meter is the Grid Resource Meter (GRM).
+type Meter = meter.Meter
+
+// ChargingModule is the GridBank Charging Module (GBCM).
+type ChargingModule = charging.Module
+
+// ChargingConfig configures a GBCM.
+type ChargingConfig = charging.ModuleConfig
+
+// TemplatePool manages §2.3 template local accounts.
+type TemplatePool = charging.TemplatePool
+
+// Mapfile is the grid-mapfile simulation.
+type Mapfile = charging.Mapfile
+
+// GSP-side constructors.
+var (
+	NewTradeServer    = trade.NewServer
+	NewMeter          = meter.New
+	NewChargingModule = charging.NewModule
+	NewTemplatePool   = charging.NewTemplatePool
+	NewMapfile        = charging.NewMapfile
+)
+
+// --- Market directory ---------------------------------------------------------
+
+// MarketDirectory is the Grid Market Directory.
+type MarketDirectory = gmd.Directory
+
+// Advertisement is one GSP's directory entry.
+type Advertisement = gmd.Advertisement
+
+// MarketQuery filters directory lookups.
+type MarketQuery = gmd.Query
+
+// NewMarketDirectory creates a directory.
+var NewMarketDirectory = gmd.New
+
+// --- Broker (GSC side) ---------------------------------------------------------
+
+// SchedStrategy selects a DBC algorithm.
+type SchedStrategy = broker.Strategy
+
+// DBC strategies (Nimrod-G).
+const (
+	CostOptimal = broker.CostOptimal
+	TimeOptimal = broker.TimeOptimal
+	CostTime    = broker.CostTime
+)
+
+// Candidate, QoS, Plan: broker planning types.
+type (
+	Candidate = broker.Candidate
+	QoS       = broker.QoS
+	Plan      = broker.Plan
+)
+
+// ScheduleJobs plans a bag of jobs under deadline/budget constraints.
+var ScheduleJobs = broker.Schedule
+
+// --- Simulator -----------------------------------------------------------------
+
+// Sim is the discrete-event Grid simulator.
+type Sim = gridsim.Sim
+
+// SimJob is a simulated job.
+type SimJob = gridsim.Job
+
+// SimResource is a simulated GSP resource.
+type SimResource = gridsim.Resource
+
+// ResourceConfig describes a simulated resource.
+type ResourceConfig = gridsim.ResourceConfig
+
+// JobResult is a completed simulated job with raw usage.
+type JobResult = gridsim.JobResult
+
+// BagOptions parameterize BagWorkload.
+type BagOptions = gridsim.BagOptions
+
+// Simulator constructors.
+var (
+	NewSim = gridsim.New
+	// BagWorkload generates a deterministic bag-of-tasks workload.
+	BagWorkload = gridsim.Bag
+)
+
+// --- Economy -----------------------------------------------------------------
+
+// CoopSim drives the §4.1 co-operative bartering community.
+type CoopSim = economy.CoopSim
+
+// CoopParticipant is one co-op member.
+type CoopParticipant = economy.Participant
+
+// PricingAuthority regulates community prices toward equilibrium.
+type PricingAuthority = economy.PricingAuthority
+
+// PriceEstimator values resources from transaction history (§4.2).
+type PriceEstimator = economy.Estimator
+
+// ResourceSpec describes hardware for valuation.
+type ResourceSpec = economy.ResourceSpec
+
+// PricePoint is one historical observation.
+type PricePoint = economy.PricePoint
+
+// Economy constructors.
+var (
+	NewCoopSim        = economy.NewCoopSim
+	NewPriceEstimator = economy.NewEstimator
+)
+
+// --- Multi-branch -----------------------------------------------------------
+
+// BranchNetwork is the §6 multi-VO settlement network.
+type BranchNetwork = branch.Network
+
+// BankBranch is one VO's branch in the network.
+type BankBranch = branch.Branch
+
+// NewBranchNetwork creates an empty settlement network.
+var NewBranchNetwork = branch.NewNetwork

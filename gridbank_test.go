@@ -1,0 +1,145 @@
+package gridbank_test
+
+import (
+	"testing"
+	"time"
+
+	"gridbank"
+)
+
+// TestDeploymentQuickstart exercises the README quickstart path against
+// the public API only.
+func TestDeploymentQuickstart(t *testing.T) {
+	dep, err := gridbank.NewDeployment(gridbank.DeploymentConfig{VO: "VO-Test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+
+	alice, err := dep.NewUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := dep.Dial(alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	acct, err := client.CreateAccount("VO-Test", gridbank.GridDollar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !acct.AccountID.Valid() {
+		t.Fatalf("account ID %q invalid", acct.AccountID)
+	}
+
+	// Admin funds the account over the wire.
+	banker, err := dep.Dial(dep.Banker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer banker.Close()
+	if err := banker.AdminDeposit(acct.AccountID, gridbank.G(100)); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := client.AccountDetails(acct.AccountID)
+	if err != nil || got.AvailableBalance != gridbank.G(100) {
+		t.Fatalf("balance = %+v, %v", got, err)
+	}
+}
+
+func TestDeploymentProxySignOn(t *testing.T) {
+	dep, err := gridbank.NewDeployment(gridbank.DeploymentConfig{VO: "VO-Test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	alice, err := dep.NewUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open the account with the identity, then operate through a proxy.
+	c1, err := dep.Dial(alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct, err := c1.CreateAccount("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	proxyClient, err := dep.DialProxy(alice, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxyClient.Close()
+	got, err := proxyClient.AccountDetails(acct.AccountID)
+	if err != nil {
+		t.Fatalf("proxy access failed: %v", err)
+	}
+	if got.CertificateName != alice.SubjectName() {
+		t.Errorf("owner = %q", got.CertificateName)
+	}
+}
+
+func TestDeploymentEndToEndCheque(t *testing.T) {
+	dep, err := gridbank.NewDeployment(gridbank.DeploymentConfig{VO: "VO-Test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	alice, _ := dep.NewUser("alice")
+	gsp, _ := dep.NewUser("gsp1")
+
+	ac, err := dep.Dial(alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	gc, err := dep.Dial(gsp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gc.Close()
+	bc, err := dep.Dial(dep.Banker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+
+	aAcct, err := ac.CreateAccount("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gc.CreateAccount("", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.AdminDeposit(aAcct.AccountID, gridbank.G(50)); err != nil {
+		t.Fatal(err)
+	}
+	cheque, err := ac.RequestCheque(aAcct.AccountID, gridbank.G(20), gsp.SubjectName(), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GSP verifies independently, then redeems.
+	if _, err := gridbank.VerifyCheque(cheque, dep.Trust, gsp.SubjectName(), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	red, err := gc.RedeemCheque(cheque, &gridbank.ChequeClaim{
+		Serial: cheque.Cheque.Serial, Amount: gridbank.G(15), RUR: []byte(`{}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Paid != gridbank.G(15) || red.Released != gridbank.G(5) {
+		t.Fatalf("redeem = %+v", red)
+	}
+}
+
+func TestDeploymentValidation(t *testing.T) {
+	if _, err := gridbank.NewDeployment(gridbank.DeploymentConfig{}); err == nil {
+		t.Error("deployment without VO accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package accounts
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/db"
+)
+
+func benchLedger(b *testing.B, nAccounts int) (*Manager, []ID) {
+	b.Helper()
+	m, err := NewManager(db.MustOpenMemory(), Config{Now: func() time.Time { return testEpoch }})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]ID, nAccounts)
+	for i := range ids {
+		a, err := m.CreateAccount(fmt.Sprintf("CN=bench%d", i), "", "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = a.AccountID
+		if err := m.Admin().Deposit(ids[i], currency.FromG(1_000_000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m, ids
+}
+
+func BenchmarkLedgerTransfer(b *testing.B) {
+	m, ids := benchLedger(b, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Transfer(ids[i%8], ids[(i+1)%8], currency.FromMicro(1), TransferOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLedgerTransferWithRUR(b *testing.B) {
+	m, ids := benchLedger(b, 2)
+	rur := []byte(`{"user":{"certificate_name":"CN=a"},"usage":[{"item":"cpu","quantity":3600}]}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Transfer(ids[0], ids[1], currency.FromMicro(1), TransferOptions{RUR: rur}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLockUnlock(b *testing.B) {
+	m, ids := benchLedger(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.CheckFunds(ids[0], currency.FromG(1)); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Unlock(ids[0], currency.FromG(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStatement(b *testing.B) {
+	m, ids := benchLedger(b, 2)
+	for i := 0; i < 200; i++ {
+		if _, err := m.Transfer(ids[0], ids[1], currency.FromMicro(1), TransferOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Statement(ids[0], testEpoch.Add(-time.Hour), testEpoch.Add(time.Hour)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindByCertificate(b *testing.B) {
+	m, _ := benchLedger(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.FindByCertificate(fmt.Sprintf("CN=bench%d", i%64), ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,534 @@
+package accounts
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/db"
+)
+
+// Table and index names in the underlying store.
+const (
+	tableAccounts     = "accounts"
+	tableTransactions = "transactions"
+	tableTransfers    = "transfers"
+	tableMeta         = "meta"
+
+	indexByCert = "by_certificate_name"
+
+	metaTxSeq   = "txseq"
+	metaAcctSeq = "acctseq"
+)
+
+// Manager is the GB Accounts module: every balance mutation in GridBank
+// flows through it, inside a single db transaction, so the ledger
+// invariants (non-negative locked balance, overdraft bounded by credit
+// limit, conservation of money across transfers) hold at every commit
+// point.
+type Manager struct {
+	store  *db.Store
+	bank   string // two-digit bank number
+	branch string // four-digit branch number
+	now    func() time.Time
+}
+
+// Config configures a Manager.
+type Config struct {
+	// Bank and Branch number this GridBank server issues accounts under
+	// (§6: branches per VO, bank numbers per payment system). Defaults
+	// "01" and "0001".
+	Bank   string
+	Branch string
+	// Now supplies timestamps; defaults to time.Now. Simulations inject a
+	// virtual clock.
+	Now func() time.Time
+}
+
+// NewManager initializes the schema on the store and returns a manager.
+func NewManager(store *db.Store, cfg Config) (*Manager, error) {
+	if cfg.Bank == "" {
+		cfg.Bank = "01"
+	}
+	if cfg.Branch == "" {
+		cfg.Branch = "0001"
+	}
+	if len(cfg.Bank) != 2 || len(cfg.Branch) != 4 {
+		return nil, fmt.Errorf("accounts: bank must be 2 digits and branch 4, got %q/%q", cfg.Bank, cfg.Branch)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	for _, t := range []string{tableAccounts, tableTransactions, tableTransfers, tableMeta} {
+		if err := store.EnsureTable(t); err != nil {
+			return nil, err
+		}
+	}
+	err := store.CreateIndex(tableAccounts, indexByCert, func(key string, value []byte) []string {
+		a, err := decodeAccount(value)
+		if err != nil || a.Closed {
+			return nil
+		}
+		return []string{a.CertificateName}
+	})
+	if err != nil && !errors.Is(err, db.ErrDupIndex) {
+		return nil, err
+	}
+	return &Manager{store: store, bank: cfg.Bank, branch: cfg.Branch, now: cfg.Now}, nil
+}
+
+// Store exposes the underlying store (for snapshots and diagnostics).
+func (m *Manager) Store() *db.Store { return m.store }
+
+// BankNumber returns the manager's bank number.
+func (m *Manager) BankNumber() string { return m.bank }
+
+// BranchNumber returns the manager's branch number.
+func (m *Manager) BranchNumber() string { return m.branch }
+
+func nextSeq(tx *db.Tx, key string) (uint64, error) {
+	var n uint64
+	if raw, err := tx.Get(tableMeta, key); err == nil {
+		v, err := strconv.ParseUint(string(raw), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("accounts: corrupt sequence %q: %w", key, err)
+		}
+		n = v
+	} else if !errors.Is(err, db.ErrNoRecord) {
+		return 0, err
+	}
+	n++
+	if err := tx.Put(tableMeta, key, []byte(strconv.FormatUint(n, 10))); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func getAccount(tx *db.Tx, id ID) (*Account, error) {
+	raw, err := tx.Get(tableAccounts, string(id))
+	if errors.Is(err, db.ErrNoRecord) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return decodeAccount(raw)
+}
+
+func putAccount(tx *db.Tx, a *Account) error {
+	return tx.Put(tableAccounts, string(a.AccountID), encodeAccount(a))
+}
+
+// appendTransaction journals a TRANSACTION row under a fresh ID and
+// returns that ID.
+func appendTransaction(tx *db.Tx, t *Transaction) (uint64, error) {
+	if t.TransactionID == 0 {
+		id, err := nextSeq(tx, metaTxSeq)
+		if err != nil {
+			return 0, err
+		}
+		t.TransactionID = id
+	}
+	key := txKey(t.TransactionID, t.AccountID)
+	return t.TransactionID, tx.Insert(tableTransactions, key, encodeTransaction(t))
+}
+
+// txKey orders transactions by ID; the account suffix separates the two
+// rows a transfer writes (one per side) under one TransactionID.
+func txKey(id uint64, acct ID) string { return fmt.Sprintf("%020d/%s", id, acct) }
+
+func transferKey(id uint64) string { return fmt.Sprintf("%020d", id) }
+
+// CreateAccount implements §5.2 Create New Account: the caller has already
+// authenticated the client certificate; the certificate name recorded here
+// is the authenticated subject. One open account per certificate name and
+// currency — the paper keys clients by Certificate Name.
+func (m *Manager) CreateAccount(certName, orgName string, cur currency.Code) (*Account, error) {
+	if certName == "" {
+		return nil, errors.New("accounts: empty certificate name")
+	}
+	if cur == "" {
+		cur = currency.GridDollar
+	}
+	if !cur.Valid() {
+		return nil, fmt.Errorf("accounts: invalid currency %q", cur)
+	}
+	var created *Account
+	err := m.store.Update(func(tx *db.Tx) error {
+		existing, err := tx.Lookup(tableAccounts, indexByCert, certName)
+		if err != nil {
+			return err
+		}
+		for _, key := range existing {
+			raw, err := tx.Get(tableAccounts, key)
+			if err != nil {
+				return err
+			}
+			a, err := decodeAccount(raw)
+			if err != nil {
+				return err
+			}
+			if !a.Closed && a.Currency == cur {
+				return fmt.Errorf("%w: %s (%s)", ErrDuplicateIdentity, certName, cur)
+			}
+		}
+		seq, err := nextSeq(tx, metaAcctSeq)
+		if err != nil {
+			return err
+		}
+		id := ID(fmt.Sprintf("%s-%s-%08d", m.bank, m.branch, seq))
+		a := &Account{
+			AccountID:        id,
+			CertificateName:  certName,
+			OrganizationName: orgName,
+			Currency:         cur,
+			CreatedAt:        m.now(),
+		}
+		if err := tx.Insert(tableAccounts, string(id), encodeAccount(a)); err != nil {
+			return err
+		}
+		created = a
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return created, nil
+}
+
+// Details implements §5.2 Request Account Details / Check Balance.
+func (m *Manager) Details(id ID) (*Account, error) {
+	raw, err := m.store.Get(tableAccounts, string(id))
+	if errors.Is(err, db.ErrNoRecord) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return decodeAccount(raw)
+}
+
+// FindByCertificate returns the open account for a certificate name in
+// the given currency ("" matches any currency; the first match by account
+// ID order wins). This is the authorization lookup of §3.2: "the subject
+// name ... is checked against the database".
+func (m *Manager) FindByCertificate(certName string, cur currency.Code) (*Account, error) {
+	keys, err := m.store.Lookup(tableAccounts, indexByCert, certName)
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range keys {
+		raw, err := m.store.Get(tableAccounts, key)
+		if err != nil {
+			continue
+		}
+		a, err := decodeAccount(raw)
+		if err != nil {
+			return nil, err
+		}
+		if a.Closed {
+			continue
+		}
+		if cur == "" || a.Currency == cur {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: certificate %s", ErrNotFound, certName)
+}
+
+// UpdateDetails implements §5.2 Update Account Details: "Only
+// CertificateName and OrganizationName can be modified." Changing the
+// certificate name re-keys authorization (e.g. after certificate renewal
+// under a new DN), so callers must have verified the client's right to
+// the account first.
+func (m *Manager) UpdateDetails(id ID, certName, orgName string) (*Account, error) {
+	if certName == "" {
+		return nil, errors.New("accounts: empty certificate name")
+	}
+	var updated *Account
+	err := m.store.Update(func(tx *db.Tx) error {
+		a, err := getAccount(tx, id)
+		if err != nil {
+			return err
+		}
+		if a.Closed {
+			return fmt.Errorf("%w: %s", ErrClosed, id)
+		}
+		// The new name must not collide with a different client's account
+		// in the same currency.
+		keys, err := tx.Lookup(tableAccounts, indexByCert, certName)
+		if err != nil {
+			return err
+		}
+		for _, key := range keys {
+			if key == string(id) {
+				continue
+			}
+			raw, err := tx.Get(tableAccounts, key)
+			if err != nil {
+				return err
+			}
+			other, err := decodeAccount(raw)
+			if err != nil {
+				return err
+			}
+			if !other.Closed && other.Currency == a.Currency {
+				return fmt.Errorf("%w: %s", ErrDuplicateIdentity, certName)
+			}
+		}
+		a.CertificateName = certName
+		a.OrganizationName = orgName
+		updated = a
+		return putAccount(tx, a)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return updated, nil
+}
+
+// CheckFunds implements §5.2 Perform Funds Availability Check: "the amount
+// is transferred into locked balance for guarantee". This is the §3.4
+// payment guarantee — GridCheque issuance locks the reserved amount so
+// concurrent spending cannot overdraw past the credit limit.
+func (m *Manager) CheckFunds(id ID, amount currency.Amount) error {
+	if !amount.IsPositive() {
+		return ErrBadAmount
+	}
+	return m.store.Update(func(tx *db.Tx) error {
+		a, err := getAccount(tx, id)
+		if err != nil {
+			return err
+		}
+		if a.Closed {
+			return fmt.Errorf("%w: %s", ErrClosed, id)
+		}
+		if a.Spendable().Cmp(amount) < 0 {
+			return fmt.Errorf("%w: spendable %s < %s", ErrInsufficient, a.Spendable(), amount)
+		}
+		a.AvailableBalance = a.AvailableBalance.MustSub(amount)
+		a.LockedBalance = a.LockedBalance.MustAdd(amount)
+		if err := putAccount(tx, a); err != nil {
+			return err
+		}
+		_, err = appendTransaction(tx, &Transaction{AccountID: id, Type: TxLock, Date: m.now(), Amount: amount})
+		return err
+	})
+}
+
+// Unlock releases previously locked funds back to the available balance
+// (e.g. a cheque expired unredeemed, or was redeemed below its reserved
+// amount).
+func (m *Manager) Unlock(id ID, amount currency.Amount) error {
+	if !amount.IsPositive() {
+		return ErrBadAmount
+	}
+	return m.store.Update(func(tx *db.Tx) error {
+		a, err := getAccount(tx, id)
+		if err != nil {
+			return err
+		}
+		if a.LockedBalance.Cmp(amount) < 0 {
+			return fmt.Errorf("%w: locked %s < %s", ErrInsufficientLock, a.LockedBalance, amount)
+		}
+		a.LockedBalance = a.LockedBalance.MustSub(amount)
+		a.AvailableBalance = a.AvailableBalance.MustAdd(amount)
+		if err := putAccount(tx, a); err != nil {
+			return err
+		}
+		_, err = appendTransaction(tx, &Transaction{AccountID: id, Type: TxUnlock, Date: m.now(), Amount: amount})
+		return err
+	})
+}
+
+// TransferOptions modify Transfer behaviour.
+type TransferOptions struct {
+	// FromLocked pays out of the drawer's locked balance (cheque
+	// redemption path, §3.4) instead of the available balance.
+	FromLocked bool
+	// RUR is the Resource Usage Record evidence blob stored with the
+	// TRANSFER record (§5.1).
+	RUR []byte
+}
+
+// Transfer atomically moves amount from drawer to recipient, writing the
+// §5.1 TRANSFER record plus a Transfer-typed TRANSACTION row on each side
+// (negative on the drawer, positive on the recipient). It is the §5.2
+// Request Direct Transfer operation and the settlement step of every
+// payment protocol.
+func (m *Manager) Transfer(drawer, recipient ID, amount currency.Amount, opts TransferOptions) (*Transfer, error) {
+	if !amount.IsPositive() {
+		return nil, ErrBadAmount
+	}
+	if drawer == recipient {
+		return nil, errors.New("accounts: cannot transfer to self")
+	}
+	var rec *Transfer
+	err := m.store.Update(func(tx *db.Tx) error {
+		from, err := getAccount(tx, drawer)
+		if err != nil {
+			return err
+		}
+		to, err := getAccount(tx, recipient)
+		if err != nil {
+			return err
+		}
+		if from.Closed {
+			return fmt.Errorf("%w: %s", ErrClosed, drawer)
+		}
+		if to.Closed {
+			return fmt.Errorf("%w: %s", ErrClosed, recipient)
+		}
+		if from.Currency != to.Currency {
+			return fmt.Errorf("%w: %s is %s, %s is %s", ErrCurrencyMismatch, drawer, from.Currency, recipient, to.Currency)
+		}
+		if opts.FromLocked {
+			if from.LockedBalance.Cmp(amount) < 0 {
+				return fmt.Errorf("%w: locked %s < %s", ErrInsufficientLock, from.LockedBalance, amount)
+			}
+			from.LockedBalance = from.LockedBalance.MustSub(amount)
+		} else {
+			if from.Spendable().Cmp(amount) < 0 {
+				return fmt.Errorf("%w: spendable %s < %s", ErrInsufficient, from.Spendable(), amount)
+			}
+			from.AvailableBalance = from.AvailableBalance.MustSub(amount)
+		}
+		to.AvailableBalance = to.AvailableBalance.MustAdd(amount)
+		if err := putAccount(tx, from); err != nil {
+			return err
+		}
+		if err := putAccount(tx, to); err != nil {
+			return err
+		}
+		now := m.now()
+		neg, err := amount.Neg()
+		if err != nil {
+			return err
+		}
+		txID, err := appendTransaction(tx, &Transaction{AccountID: drawer, Type: TxTransfer, Date: now, Amount: neg})
+		if err != nil {
+			return err
+		}
+		if _, err := appendTransaction(tx, &Transaction{TransactionID: txID, AccountID: recipient, Type: TxTransfer, Date: now, Amount: amount}); err != nil {
+			return err
+		}
+		rec = &Transfer{
+			TransactionID:       txID,
+			Date:                now,
+			DrawerAccountID:     drawer,
+			Amount:              amount,
+			RecipientAccountID:  recipient,
+			ResourceUsageRecord: opts.RUR,
+		}
+		return tx.Insert(tableTransfers, transferKey(txID), encodeTransfer(rec))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// Statement implements §5.2 Request Account Statement: the ACCOUNT record
+// plus TRANSACTION and TRANSFER records between start and end inclusive.
+func (m *Manager) Statement(id ID, start, end time.Time) (*Statement, error) {
+	acct, err := m.Details(id)
+	if err != nil {
+		return nil, err
+	}
+	st := &Statement{Account: *acct, Start: start, End: end}
+	err = m.store.Scan(tableTransactions, func(key string, value []byte) bool {
+		t, derr := decodeTransaction(value)
+		if derr != nil {
+			err = derr
+			return false
+		}
+		if t.AccountID != id || t.Date.Before(start) || t.Date.After(end) {
+			return true
+		}
+		st.Transactions = append(st.Transactions, *t)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = m.store.Scan(tableTransfers, func(key string, value []byte) bool {
+		tr, derr := decodeTransfer(value)
+		if derr != nil {
+			err = derr
+			return false
+		}
+		if tr.Date.Before(start) || tr.Date.After(end) {
+			return true
+		}
+		if tr.DrawerAccountID != id && tr.RecipientAccountID != id {
+			return true
+		}
+		st.Transfers = append(st.Transfers, *tr)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// GetTransfer returns a transfer by transaction ID.
+func (m *Manager) GetTransfer(txID uint64) (*Transfer, error) {
+	raw, err := m.store.Get(tableTransfers, transferKey(txID))
+	if errors.Is(err, db.ErrNoRecord) {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchTransfer, txID)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return decodeTransfer(raw)
+}
+
+// TotalBalance sums available+locked over all open accounts — the
+// conservation check used by tests and the co-operative economy
+// experiments (transfers never create or destroy money; only
+// deposits/withdrawals change this value).
+func (m *Manager) TotalBalance() (currency.Amount, error) {
+	var total currency.Amount
+	var scanErr error
+	err := m.store.Scan(tableAccounts, func(key string, value []byte) bool {
+		a, err := decodeAccount(value)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if a.Closed {
+			return true
+		}
+		total = total.MustAdd(a.AvailableBalance).MustAdd(a.LockedBalance)
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if scanErr != nil {
+		return 0, scanErr
+	}
+	return total, nil
+}
+
+// Accounts lists every account (open and closed), in ID order.
+func (m *Manager) Accounts() ([]Account, error) {
+	var out []Account
+	var scanErr error
+	err := m.store.Scan(tableAccounts, func(key string, value []byte) bool {
+		a, err := decodeAccount(value)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		out = append(out, *a)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, scanErr
+}

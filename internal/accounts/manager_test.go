@@ -1,0 +1,594 @@
+package accounts
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/db"
+)
+
+var testEpoch = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// newTestManager returns a manager with a deterministic clock that
+// advances one second per call.
+func newTestManager(t *testing.T) *Manager {
+	t.Helper()
+	var mu sync.Mutex
+	tick := 0
+	m, err := NewManager(db.MustOpenMemory(), Config{Now: func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		tick++
+		return testEpoch.Add(time.Duration(tick) * time.Second)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustCreate(t *testing.T, m *Manager, cert string) *Account {
+	t.Helper()
+	a, err := m.CreateAccount(cert, "VO-Test", currency.GridDollar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func mustDeposit(t *testing.T, m *Manager, id ID, g int64) {
+	t.Helper()
+	if err := m.Admin().Deposit(id, currency.FromG(g)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIDFormat(t *testing.T) {
+	if !ID("01-0001-00000001").Valid() {
+		t.Error("paper's example ID invalid")
+	}
+	for _, bad := range []ID{"", "1-0001-00000001", "01-001-00000001", "01-0001-0000001", "ab-0001-00000001", "01-0001-00000001x"} {
+		if bad.Valid() {
+			t.Errorf("ID %q should be invalid", bad)
+		}
+	}
+	id := MakeID(1, 1, 42)
+	if id != "01-0001-00000042" {
+		t.Errorf("MakeID = %q", id)
+	}
+	if id.Bank() != "01" || id.Branch() != "0001" {
+		t.Errorf("components = %q %q", id.Bank(), id.Branch())
+	}
+	if ID("junk").Bank() != "" || ID("junk").Branch() != "" {
+		t.Error("invalid ID should yield empty components")
+	}
+}
+
+func TestCreateAccount(t *testing.T) {
+	m := newTestManager(t)
+	a := mustCreate(t, m, "CN=alice,O=VO-A")
+	if !a.AccountID.Valid() {
+		t.Errorf("generated ID %q invalid", a.AccountID)
+	}
+	if a.AccountID.Bank() != "01" || a.AccountID.Branch() != "0001" {
+		t.Errorf("ID components wrong: %s", a.AccountID)
+	}
+	if !a.AvailableBalance.IsZero() || !a.LockedBalance.IsZero() || !a.CreditLimit.IsZero() {
+		t.Error("new account should start at zero")
+	}
+	if a.Currency != currency.GridDollar {
+		t.Errorf("currency = %q", a.Currency)
+	}
+	b := mustCreate(t, m, "CN=bob,O=VO-A")
+	if b.AccountID == a.AccountID {
+		t.Error("duplicate account IDs")
+	}
+	// Same certificate, same currency: rejected.
+	if _, err := m.CreateAccount("CN=alice,O=VO-A", "", currency.GridDollar); !errors.Is(err, ErrDuplicateIdentity) {
+		t.Errorf("duplicate identity err = %v", err)
+	}
+	// Same certificate, different currency: allowed.
+	if _, err := m.CreateAccount("CN=alice,O=VO-A", "", "USD"); err != nil {
+		t.Errorf("multi-currency account rejected: %v", err)
+	}
+	if _, err := m.CreateAccount("", "", ""); err == nil {
+		t.Error("empty certificate accepted")
+	}
+	if _, err := m.CreateAccount("CN=x", "", currency.Code("way-too-long-code")); err == nil {
+		t.Error("invalid currency accepted")
+	}
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	if _, err := NewManager(db.MustOpenMemory(), Config{Bank: "123"}); err == nil {
+		t.Error("3-digit bank accepted")
+	}
+	m, err := NewManager(db.MustOpenMemory(), Config{Bank: "02", Branch: "0007"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.CreateAccount("CN=x", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AccountID.Bank() != "02" || a.AccountID.Branch() != "0007" {
+		t.Errorf("custom bank/branch not applied: %s", a.AccountID)
+	}
+	if m.BankNumber() != "02" || m.BranchNumber() != "0007" {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestDetailsAndFind(t *testing.T) {
+	m := newTestManager(t)
+	a := mustCreate(t, m, "CN=alice")
+	got, err := m.Details(a.AccountID)
+	if err != nil || got.CertificateName != "CN=alice" {
+		t.Fatalf("Details = %+v, %v", got, err)
+	}
+	if _, err := m.Details("99-9999-99999999"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing details err = %v", err)
+	}
+	found, err := m.FindByCertificate("CN=alice", currency.GridDollar)
+	if err != nil || found.AccountID != a.AccountID {
+		t.Fatalf("FindByCertificate = %+v, %v", found, err)
+	}
+	if _, err := m.FindByCertificate("CN=nobody", ""); !errors.Is(err, ErrNotFound) {
+		t.Errorf("find missing err = %v", err)
+	}
+	anyCur, err := m.FindByCertificate("CN=alice", "")
+	if err != nil || anyCur.AccountID != a.AccountID {
+		t.Fatalf("any-currency find = %+v, %v", anyCur, err)
+	}
+}
+
+func TestUpdateDetails(t *testing.T) {
+	m := newTestManager(t)
+	a := mustCreate(t, m, "CN=alice")
+	mustCreate(t, m, "CN=bob")
+	upd, err := m.UpdateDetails(a.AccountID, "CN=alice-renewed", "NewOrg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upd.CertificateName != "CN=alice-renewed" || upd.OrganizationName != "NewOrg" {
+		t.Errorf("update = %+v", upd)
+	}
+	// Old name no longer resolves; new one does.
+	if _, err := m.FindByCertificate("CN=alice", ""); !errors.Is(err, ErrNotFound) {
+		t.Error("old name still resolves")
+	}
+	if _, err := m.FindByCertificate("CN=alice-renewed", ""); err != nil {
+		t.Errorf("new name does not resolve: %v", err)
+	}
+	// Collision with bob rejected.
+	if _, err := m.UpdateDetails(a.AccountID, "CN=bob", ""); !errors.Is(err, ErrDuplicateIdentity) {
+		t.Errorf("collision err = %v", err)
+	}
+	if _, err := m.UpdateDetails(a.AccountID, "", ""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := m.UpdateDetails("99-9999-99999999", "CN=x", ""); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing account err = %v", err)
+	}
+}
+
+func TestDepositWithdraw(t *testing.T) {
+	m := newTestManager(t)
+	a := mustCreate(t, m, "CN=alice")
+	ad := m.Admin()
+	mustDeposit(t, m, a.AccountID, 100)
+	if err := ad.Withdraw(a.AccountID, currency.FromG(40)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Details(a.AccountID)
+	if got.AvailableBalance != currency.FromG(60) {
+		t.Fatalf("balance = %s", got.AvailableBalance)
+	}
+	if err := ad.Withdraw(a.AccountID, currency.FromG(61)); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("over-withdraw err = %v", err)
+	}
+	if err := ad.Deposit(a.AccountID, currency.FromG(-1)); !errors.Is(err, ErrBadAmount) {
+		t.Errorf("negative deposit err = %v", err)
+	}
+	if err := ad.Withdraw(a.AccountID, 0); !errors.Is(err, ErrBadAmount) {
+		t.Errorf("zero withdraw err = %v", err)
+	}
+	if err := ad.Deposit("99-9999-99999999", currency.FromG(1)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deposit to missing err = %v", err)
+	}
+	// Withdrawals cannot use credit.
+	if err := ad.ChangeCreditLimit(a.AccountID, currency.FromG(1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ad.Withdraw(a.AccountID, currency.FromG(61)); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("credit-backed withdraw err = %v", err)
+	}
+}
+
+func TestTransferBasics(t *testing.T) {
+	m := newTestManager(t)
+	alice := mustCreate(t, m, "CN=alice")
+	bob := mustCreate(t, m, "CN=bob")
+	mustDeposit(t, m, alice.AccountID, 50)
+	tr, err := m.Transfer(alice.AccountID, bob.AccountID, currency.FromG(20), TransferOptions{RUR: []byte("evidence")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TransactionID == 0 || tr.Amount != currency.FromG(20) {
+		t.Errorf("transfer record = %+v", tr)
+	}
+	a, _ := m.Details(alice.AccountID)
+	b, _ := m.Details(bob.AccountID)
+	if a.AvailableBalance != currency.FromG(30) || b.AvailableBalance != currency.FromG(20) {
+		t.Fatalf("balances = %s / %s", a.AvailableBalance, b.AvailableBalance)
+	}
+	got, err := m.GetTransfer(tr.TransactionID)
+	if err != nil || string(got.ResourceUsageRecord) != "evidence" {
+		t.Fatalf("GetTransfer = %+v, %v", got, err)
+	}
+	if _, err := m.GetTransfer(999999); !errors.Is(err, ErrNoSuchTransfer) {
+		t.Errorf("missing transfer err = %v", err)
+	}
+}
+
+func TestTransferValidation(t *testing.T) {
+	m := newTestManager(t)
+	alice := mustCreate(t, m, "CN=alice")
+	bob := mustCreate(t, m, "CN=bob")
+	mustDeposit(t, m, alice.AccountID, 10)
+	if _, err := m.Transfer(alice.AccountID, bob.AccountID, currency.FromG(11), TransferOptions{}); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("overdraw err = %v", err)
+	}
+	if _, err := m.Transfer(alice.AccountID, alice.AccountID, currency.FromG(1), TransferOptions{}); err == nil {
+		t.Error("self transfer accepted")
+	}
+	if _, err := m.Transfer(alice.AccountID, bob.AccountID, 0, TransferOptions{}); !errors.Is(err, ErrBadAmount) {
+		t.Errorf("zero transfer err = %v", err)
+	}
+	if _, err := m.Transfer(alice.AccountID, "99-9999-99999999", currency.FromG(1), TransferOptions{}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing recipient err = %v", err)
+	}
+	// Currency mismatch.
+	carolUSD, err := m.CreateAccount("CN=carol", "", "USD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Transfer(alice.AccountID, carolUSD.AccountID, currency.FromG(1), TransferOptions{}); !errors.Is(err, ErrCurrencyMismatch) {
+		t.Errorf("currency mismatch err = %v", err)
+	}
+}
+
+func TestCreditLimitSpending(t *testing.T) {
+	m := newTestManager(t)
+	alice := mustCreate(t, m, "CN=alice")
+	bob := mustCreate(t, m, "CN=bob")
+	mustDeposit(t, m, alice.AccountID, 10)
+	if err := m.Admin().ChangeCreditLimit(alice.AccountID, currency.FromG(5)); err != nil {
+		t.Fatal(err)
+	}
+	// Can spend balance + credit = 15.
+	if _, err := m.Transfer(alice.AccountID, bob.AccountID, currency.FromG(15), TransferOptions{}); err != nil {
+		t.Fatalf("credit-backed transfer failed: %v", err)
+	}
+	a, _ := m.Details(alice.AccountID)
+	if a.AvailableBalance != currency.FromG(-5) {
+		t.Fatalf("overdrawn balance = %s", a.AvailableBalance)
+	}
+	// Nothing left.
+	if _, err := m.Transfer(alice.AccountID, bob.AccountID, currency.FromMicro(1), TransferOptions{}); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("beyond-credit transfer err = %v", err)
+	}
+	if err := m.Admin().ChangeCreditLimit(alice.AccountID, currency.FromG(-1)); err == nil {
+		t.Error("negative credit limit accepted")
+	}
+}
+
+func TestLockUnlockAndLockedTransfer(t *testing.T) {
+	m := newTestManager(t)
+	alice := mustCreate(t, m, "CN=alice")
+	gsp := mustCreate(t, m, "CN=gsp")
+	mustDeposit(t, m, alice.AccountID, 100)
+
+	// §3.4: lock 60 for a cheque.
+	if err := m.CheckFunds(alice.AccountID, currency.FromG(60)); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.Details(alice.AccountID)
+	if a.AvailableBalance != currency.FromG(40) || a.LockedBalance != currency.FromG(60) {
+		t.Fatalf("after lock: %s / %s", a.AvailableBalance, a.LockedBalance)
+	}
+	// Locked funds are not spendable.
+	if _, err := m.Transfer(alice.AccountID, gsp.AccountID, currency.FromG(41), TransferOptions{}); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("spend of locked funds err = %v", err)
+	}
+	// Redeem 45 from locked, release the remaining 15.
+	if _, err := m.Transfer(alice.AccountID, gsp.AccountID, currency.FromG(45), TransferOptions{FromLocked: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unlock(alice.AccountID, currency.FromG(15)); err != nil {
+		t.Fatal(err)
+	}
+	a, _ = m.Details(alice.AccountID)
+	if a.AvailableBalance != currency.FromG(55) || !a.LockedBalance.IsZero() {
+		t.Fatalf("after redeem+unlock: %s / %s", a.AvailableBalance, a.LockedBalance)
+	}
+	// Over-unlock and over-redeem are rejected.
+	if err := m.Unlock(alice.AccountID, currency.FromG(1)); !errors.Is(err, ErrInsufficientLock) {
+		t.Errorf("over-unlock err = %v", err)
+	}
+	if _, err := m.Transfer(alice.AccountID, gsp.AccountID, currency.FromG(1), TransferOptions{FromLocked: true}); !errors.Is(err, ErrInsufficientLock) {
+		t.Errorf("over-redeem err = %v", err)
+	}
+	// Lock more than spendable rejected.
+	if err := m.CheckFunds(alice.AccountID, currency.FromG(56)); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("over-lock err = %v", err)
+	}
+	if err := m.CheckFunds(alice.AccountID, 0); !errors.Is(err, ErrBadAmount) {
+		t.Errorf("zero lock err = %v", err)
+	}
+	if err := m.Unlock(alice.AccountID, 0); !errors.Is(err, ErrBadAmount) {
+		t.Errorf("zero unlock err = %v", err)
+	}
+}
+
+func TestStatement(t *testing.T) {
+	m := newTestManager(t)
+	alice := mustCreate(t, m, "CN=alice")
+	bob := mustCreate(t, m, "CN=bob")
+	mustDeposit(t, m, alice.AccountID, 100)
+	if _, err := m.Transfer(alice.AccountID, bob.AccountID, currency.FromG(25), TransferOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Admin().Withdraw(alice.AccountID, currency.FromG(5)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.Statement(alice.AccountID, testEpoch, testEpoch.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Account.AccountID != alice.AccountID {
+		t.Error("statement wrong account")
+	}
+	// Deposit + outgoing transfer + withdrawal = 3 transactions.
+	if len(st.Transactions) != 3 {
+		t.Fatalf("transactions = %+v", st.Transactions)
+	}
+	var sum currency.Amount
+	for _, txr := range st.Transactions {
+		sum = sum.MustAdd(txr.Amount)
+	}
+	if sum != currency.FromG(70) { // 100 - 25 - 5
+		t.Errorf("transaction sum = %s", sum)
+	}
+	if len(st.Transfers) != 1 || st.Transfers[0].Amount != currency.FromG(25) {
+		t.Errorf("transfers = %+v", st.Transfers)
+	}
+	// Bob sees the incoming side.
+	stb, err := m.Statement(bob.AccountID, testEpoch, testEpoch.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stb.Transactions) != 1 || stb.Transactions[0].Amount != currency.FromG(25) {
+		t.Errorf("bob transactions = %+v", stb.Transactions)
+	}
+	if len(stb.Transfers) != 1 {
+		t.Errorf("bob transfers = %+v", stb.Transfers)
+	}
+	// Window filtering: empty range.
+	st2, err := m.Statement(alice.AccountID, testEpoch.Add(-time.Hour), testEpoch.Add(-time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st2.Transactions) != 0 || len(st2.Transfers) != 0 {
+		t.Error("out-of-window records included")
+	}
+	if _, err := m.Statement("99-9999-99999999", testEpoch, testEpoch); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing account statement err = %v", err)
+	}
+}
+
+func TestCancelTransfer(t *testing.T) {
+	m := newTestManager(t)
+	alice := mustCreate(t, m, "CN=alice")
+	bob := mustCreate(t, m, "CN=bob")
+	mustDeposit(t, m, alice.AccountID, 100)
+	tr, err := m.Transfer(alice.AccountID, bob.AccountID, currency.FromG(30), TransferOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Admin().CancelTransfer(tr.TransactionID); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.Details(alice.AccountID)
+	b, _ := m.Details(bob.AccountID)
+	if a.AvailableBalance != currency.FromG(100) || !b.AvailableBalance.IsZero() {
+		t.Fatalf("after cancel: %s / %s", a.AvailableBalance, b.AvailableBalance)
+	}
+	// Double cancel rejected.
+	if err := m.Admin().CancelTransfer(tr.TransactionID); !errors.Is(err, ErrAlreadyCancelled) {
+		t.Errorf("double cancel err = %v", err)
+	}
+	if err := m.Admin().CancelTransfer(424242); !errors.Is(err, ErrNoSuchTransfer) {
+		t.Errorf("missing cancel err = %v", err)
+	}
+	// Cancellation fails if the recipient already spent the money and has
+	// no credit.
+	tr2, err := m.Transfer(alice.AccountID, bob.AccountID, currency.FromG(40), TransferOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	carol := mustCreate(t, m, "CN=carol")
+	if _, err := m.Transfer(bob.AccountID, carol.AccountID, currency.FromG(40), TransferOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Admin().CancelTransfer(tr2.TransactionID); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("cancel-after-spend err = %v", err)
+	}
+}
+
+func TestCloseAccount(t *testing.T) {
+	m := newTestManager(t)
+	alice := mustCreate(t, m, "CN=alice")
+	bob := mustCreate(t, m, "CN=bob")
+	mustDeposit(t, m, alice.AccountID, 30)
+
+	// Locked funds block closure.
+	if err := m.CheckFunds(alice.AccountID, currency.FromG(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Admin().CloseAccount(alice.AccountID, bob.AccountID); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("close with locked funds err = %v", err)
+	}
+	if err := m.Unlock(alice.AccountID, currency.FromG(10)); err != nil {
+		t.Fatal(err)
+	}
+	// Balance without target blocks closure.
+	if err := m.Admin().CloseAccount(alice.AccountID, ""); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("close without target err = %v", err)
+	}
+	// Proper close sweeps the balance.
+	if err := m.Admin().CloseAccount(alice.AccountID, bob.AccountID); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Details(bob.AccountID)
+	if b.AvailableBalance != currency.FromG(30) {
+		t.Fatalf("swept balance = %s", b.AvailableBalance)
+	}
+	a, _ := m.Details(alice.AccountID)
+	if !a.Closed || !a.AvailableBalance.IsZero() {
+		t.Fatalf("closed account state = %+v", a)
+	}
+	// Closed accounts refuse everything.
+	if err := m.Admin().Deposit(alice.AccountID, currency.FromG(1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("deposit to closed err = %v", err)
+	}
+	if _, err := m.Transfer(bob.AccountID, alice.AccountID, currency.FromG(1), TransferOptions{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("transfer to closed err = %v", err)
+	}
+	if err := m.CheckFunds(alice.AccountID, currency.FromG(1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("lock on closed err = %v", err)
+	}
+	if err := m.Admin().CloseAccount(alice.AccountID, ""); !errors.Is(err, ErrClosed) {
+		t.Errorf("double close err = %v", err)
+	}
+	// The certificate name is free for a new account after closure.
+	if _, err := m.CreateAccount("CN=alice", "", currency.GridDollar); err != nil {
+		t.Errorf("re-register after close: %v", err)
+	}
+}
+
+func TestTotalBalanceConservation(t *testing.T) {
+	m := newTestManager(t)
+	ids := make([]ID, 5)
+	for i := range ids {
+		ids[i] = mustCreate(t, m, fmt.Sprintf("CN=u%d", i)).AccountID
+		mustDeposit(t, m, ids[i], 100)
+	}
+	want := currency.FromG(500)
+	// Random-ish mix of transfers, locks, unlocks.
+	for i := 0; i < 50; i++ {
+		from, to := ids[i%5], ids[(i+2)%5]
+		_, _ = m.Transfer(from, to, currency.FromG(int64(i%7+1)), TransferOptions{})
+		_ = m.CheckFunds(ids[(i+1)%5], currency.FromG(1))
+		if i%3 == 0 {
+			_ = m.Unlock(ids[(i+1)%5], currency.FromG(1))
+		}
+	}
+	got, err := m.TotalBalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("total = %s, want %s (money not conserved)", got, want)
+	}
+	accts, err := m.Accounts()
+	if err != nil || len(accts) != 5 {
+		t.Fatalf("Accounts = %d, %v", len(accts), err)
+	}
+}
+
+func TestConcurrentTransfersNeverOverdraw(t *testing.T) {
+	m := newTestManager(t)
+	alice := mustCreate(t, m, "CN=alice")
+	sinks := make([]ID, 4)
+	for i := range sinks {
+		sinks[i] = mustCreate(t, m, fmt.Sprintf("CN=sink%d", i)).AccountID
+	}
+	mustDeposit(t, m, alice.AccountID, 100)
+	var wg sync.WaitGroup
+	var okCount int64
+	var mu sync.Mutex
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := m.Transfer(alice.AccountID, sinks[g%4], currency.FromG(1), TransferOptions{}); err == nil {
+					mu.Lock()
+					okCount++
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if okCount != 100 {
+		t.Fatalf("%d transfers of 1G$ succeeded from a 100G$ account", okCount)
+	}
+	a, _ := m.Details(alice.AccountID)
+	if !a.AvailableBalance.IsZero() {
+		t.Fatalf("final balance = %s", a.AvailableBalance)
+	}
+	total, _ := m.TotalBalance()
+	if total != currency.FromG(100) {
+		t.Fatalf("money not conserved: %s", total)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	j := db.NewMemJournal()
+	store, err := db.Open(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(store, Config{Now: func() time.Time { return testEpoch }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.CreateAccount("CN=alice", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Admin().Deposit(a.AccountID, currency.FromG(77)); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := db.Open(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewManager(store2, Config{Now: func() time.Time { return testEpoch }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.Details(a.AccountID)
+	if err != nil || got.AvailableBalance != currency.FromG(77) {
+		t.Fatalf("recovered = %+v, %v", got, err)
+	}
+	// Sequences continue, not restart: a new account gets a fresh ID.
+	b, err := m2.CreateAccount("CN=bob", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.AccountID == a.AccountID {
+		t.Fatal("account sequence restarted after reopen")
+	}
+	// And the certificate index was rebuilt.
+	if _, err := m2.FindByCertificate("CN=alice", ""); err != nil {
+		t.Fatalf("index not rebuilt: %v", err)
+	}
+}

@@ -1,0 +1,158 @@
+package accounts
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/db"
+)
+
+// opcode drives the property machine.
+type opcode struct {
+	Kind   uint8 // transfer / lock / unlock / lockedTransfer / deposit / withdraw
+	From   uint8
+	To     uint8
+	Amount uint16
+}
+
+// TestLedgerInvariantsProperty drives random operation sequences against a
+// fresh ledger and checks, after every operation:
+//
+//  1. conservation: total balance == total deposited - total withdrawn;
+//  2. locked balances never negative;
+//  3. available balance never below -creditLimit.
+func TestLedgerInvariantsProperty(t *testing.T) {
+	const nAcct = 4
+	run := func(ops []opcode) bool {
+		m, err := NewManager(db.MustOpenMemory(), Config{Now: func() time.Time { return testEpoch }})
+		if err != nil {
+			return false
+		}
+		ids := make([]ID, nAcct)
+		for i := range ids {
+			a, err := m.CreateAccount(fmt.Sprintf("CN=p%d", i), "", "")
+			if err != nil {
+				return false
+			}
+			ids[i] = a.AccountID
+			if err := m.Admin().Deposit(ids[i], currency.FromG(50)); err != nil {
+				return false
+			}
+			if err := m.Admin().ChangeCreditLimit(ids[i], currency.FromG(10)); err != nil {
+				return false
+			}
+		}
+		external := currency.FromG(50 * nAcct) // net deposits
+		for _, op := range ops {
+			from := ids[int(op.From)%nAcct]
+			to := ids[int(op.To)%nAcct]
+			amt := currency.FromMicro(int64(op.Amount) * 1000)
+			if amt.IsZero() {
+				continue
+			}
+			switch op.Kind % 6 {
+			case 0:
+				_, _ = m.Transfer(from, to, amt, TransferOptions{})
+			case 1:
+				_ = m.CheckFunds(from, amt)
+			case 2:
+				_ = m.Unlock(from, amt)
+			case 3:
+				_, _ = m.Transfer(from, to, amt, TransferOptions{FromLocked: true})
+			case 4:
+				if err := m.Admin().Deposit(from, amt); err == nil {
+					external = external.MustAdd(amt)
+				}
+			case 5:
+				if err := m.Admin().Withdraw(from, amt); err == nil {
+					external = external.MustSub(amt)
+				}
+			}
+		}
+		total, err := m.TotalBalance()
+		if err != nil || total != external {
+			return false
+		}
+		for _, id := range ids {
+			a, err := m.Details(id)
+			if err != nil {
+				return false
+			}
+			if a.LockedBalance.IsNegative() {
+				return false
+			}
+			// available >= -creditLimit
+			low := a.CreditLimit.MustAdd(a.AvailableBalance)
+			if low.IsNegative() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStatementSumMatchesBalanceProperty checks that an account's balance
+// always equals the sum of its transaction amounts (the double-entry
+// bookkeeping invariant a statement consumer relies on).
+func TestStatementSumMatchesBalanceProperty(t *testing.T) {
+	run := func(ops []opcode) bool {
+		m, err := NewManager(db.MustOpenMemory(), Config{Now: func() time.Time { return testEpoch }})
+		if err != nil {
+			return false
+		}
+		a, err := m.CreateAccount("CN=a", "", "")
+		if err != nil {
+			return false
+		}
+		b, err := m.CreateAccount("CN=b", "", "")
+		if err != nil {
+			return false
+		}
+		if err := m.Admin().Deposit(a.AccountID, currency.FromG(20)); err != nil {
+			return false
+		}
+		for _, op := range ops {
+			amt := currency.FromMicro(int64(op.Amount)*100 + 1)
+			switch op.Kind % 4 {
+			case 0:
+				_, _ = m.Transfer(a.AccountID, b.AccountID, amt, TransferOptions{})
+			case 1:
+				_, _ = m.Transfer(b.AccountID, a.AccountID, amt, TransferOptions{})
+			case 2:
+				_ = m.Admin().Deposit(b.AccountID, amt)
+			case 3:
+				_ = m.Admin().Withdraw(a.AccountID, amt)
+			}
+		}
+		for _, id := range []ID{a.AccountID, b.AccountID} {
+			st, err := m.Statement(id, testEpoch.Add(-time.Hour), testEpoch.Add(time.Hour))
+			if err != nil {
+				return false
+			}
+			var sum currency.Amount
+			for _, tr := range st.Transactions {
+				if tr.Type == TxLock || tr.Type == TxUnlock {
+					continue // intra-account moves don't change the total
+				}
+				sum = sum.MustAdd(tr.Amount)
+			}
+			acct, err := m.Details(id)
+			if err != nil {
+				return false
+			}
+			if sum != acct.AvailableBalance.MustAdd(acct.LockedBalance) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

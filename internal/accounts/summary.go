@@ -1,0 +1,65 @@
+package accounts
+
+import (
+	"time"
+
+	"gridbank/internal/currency"
+)
+
+// Summary condenses an account's activity over a window: the billing
+// view an administrator or consumer derives from the §5.2 statement.
+type Summary struct {
+	AccountID ID        `json:"account_id"`
+	Start     time.Time `json:"start"`
+	End       time.Time `json:"end"`
+
+	Deposits     currency.Amount `json:"deposits"`
+	Withdrawals  currency.Amount `json:"withdrawals"` // positive magnitude
+	PaidOut      currency.Amount `json:"paid_out"`    // outgoing transfers
+	Received     currency.Amount `json:"received"`    // incoming transfers
+	Locked       currency.Amount `json:"locked"`      // gross locks placed
+	Unlocked     currency.Amount `json:"unlocked"`    // gross locks released
+	Transactions int             `json:"transactions"`
+
+	// Net is the window's total balance change (available + locked).
+	Net currency.Amount `json:"net"`
+}
+
+// Summarize folds a statement into totals. Lock/Unlock rows move money
+// between an account's own balances, so they appear in the gross lock
+// columns but not in Net.
+func Summarize(st *Statement) *Summary {
+	s := &Summary{AccountID: st.Account.AccountID, Start: st.Start, End: st.End}
+	for _, tr := range st.Transactions {
+		s.Transactions++
+		switch tr.Type {
+		case TxDeposit:
+			s.Deposits = s.Deposits.MustAdd(tr.Amount)
+			s.Net = s.Net.MustAdd(tr.Amount)
+		case TxWithdrawal:
+			s.Withdrawals = s.Withdrawals.MustAdd(tr.Amount.Abs())
+			s.Net = s.Net.MustAdd(tr.Amount)
+		case TxTransfer:
+			if tr.Amount.IsNegative() {
+				s.PaidOut = s.PaidOut.MustAdd(tr.Amount.Abs())
+			} else {
+				s.Received = s.Received.MustAdd(tr.Amount)
+			}
+			s.Net = s.Net.MustAdd(tr.Amount)
+		case TxLock:
+			s.Locked = s.Locked.MustAdd(tr.Amount)
+		case TxUnlock:
+			s.Unlocked = s.Unlocked.MustAdd(tr.Amount)
+		}
+	}
+	return s
+}
+
+// Summary fetches the statement for [start, end] and folds it.
+func (m *Manager) Summary(id ID, start, end time.Time) (*Summary, error) {
+	st, err := m.Statement(id, start, end)
+	if err != nil {
+		return nil, err
+	}
+	return Summarize(st), nil
+}

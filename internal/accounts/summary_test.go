@@ -1,0 +1,60 @@
+package accounts
+
+import (
+	"testing"
+	"time"
+
+	"gridbank/internal/currency"
+)
+
+func TestSummaryFoldsStatement(t *testing.T) {
+	m := newTestManager(t)
+	alice := mustCreate(t, m, "CN=alice")
+	bob := mustCreate(t, m, "CN=bob")
+	mustDeposit(t, m, alice.AccountID, 100)
+	if err := m.Admin().Withdraw(alice.AccountID, currency.FromG(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Transfer(alice.AccountID, bob.AccountID, currency.FromG(25), TransferOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Transfer(bob.AccountID, alice.AccountID, currency.FromG(5), TransferOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckFunds(alice.AccountID, currency.FromG(30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unlock(alice.AccountID, currency.FromG(12)); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := m.Summary(alice.AccountID, testEpoch, testEpoch.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Deposits != currency.FromG(100) || s.Withdrawals != currency.FromG(10) {
+		t.Fatalf("deposits/withdrawals = %s/%s", s.Deposits, s.Withdrawals)
+	}
+	if s.PaidOut != currency.FromG(25) || s.Received != currency.FromG(5) {
+		t.Fatalf("paid/received = %s/%s", s.PaidOut, s.Received)
+	}
+	if s.Locked != currency.FromG(30) || s.Unlocked != currency.FromG(12) {
+		t.Fatalf("locked/unlocked = %s/%s", s.Locked, s.Unlocked)
+	}
+	// Net = 100 − 10 − 25 + 5 = 70 (locks are internal moves).
+	if s.Net != currency.FromG(70) {
+		t.Fatalf("net = %s", s.Net)
+	}
+	if s.Transactions != 6 {
+		t.Fatalf("transactions = %d", s.Transactions)
+	}
+	// Net matches the account's actual total balance.
+	acct, _ := m.Details(alice.AccountID)
+	if s.Net != acct.AvailableBalance.MustAdd(acct.LockedBalance) {
+		t.Fatalf("net %s != balance %s+%s", s.Net, acct.AvailableBalance, acct.LockedBalance)
+	}
+	// Missing account errors.
+	if _, err := m.Summary("99-9999-99999999", testEpoch, testEpoch); err == nil {
+		t.Fatal("missing account summarized")
+	}
+}

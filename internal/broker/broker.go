@@ -1,0 +1,310 @@
+// Package broker implements the Grid Resource Broker (GRB) of Figure 1 —
+// in the paper's prototype, the Nimrod-G resource broker. The GRB accepts
+// "application processing requirements along with QoS requirements (e.g.,
+// deadline and budget)", discovers candidate GSPs, uses each GSP's
+// negotiated rates to estimate cost, and schedules jobs with Nimrod-G's
+// deadline-and-budget-constrained (DBC) algorithms: cost-optimal,
+// time-optimal, and cost-time.
+//
+// Scheduling here is planning: the broker builds a Plan (job→resource
+// assignments with estimated start/finish/cost) with list scheduling over
+// each resource's node slots. Execution against the simulator and payment
+// through GridBank are composed by the caller (see examples and the
+// experiment harness), keeping the broker free of bank and simulator
+// dependencies.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/gridsim"
+	"gridbank/internal/rur"
+)
+
+// Strategy selects a DBC scheduling algorithm.
+type Strategy string
+
+// The Nimrod-G DBC strategies.
+const (
+	// CostOptimal minimizes spend subject to the deadline.
+	CostOptimal Strategy = "cost"
+	// TimeOptimal minimizes completion time subject to the budget.
+	TimeOptimal Strategy = "time"
+	// CostTime minimizes spend subject to the deadline, breaking cost
+	// ties toward faster completion.
+	CostTime Strategy = "cost-time"
+)
+
+// Errors.
+var (
+	ErrNoCandidates  = errors.New("broker: no candidate resources")
+	ErrDeadline      = errors.New("broker: cannot meet deadline")
+	ErrBudget        = errors.New("broker: cannot meet budget")
+	ErrBadConstraint = errors.New("broker: malformed QoS constraints")
+)
+
+// Candidate is a schedulable resource: its capacity plus the rate card
+// the broker negotiated with its Grid Trade Server.
+type Candidate struct {
+	Provider   string
+	Nodes      int
+	RatingMIPS int
+	// Rates is the negotiated (or posted) rate card used for cost
+	// estimation and later for GBCM pricing — the same record, so
+	// estimates and charges agree.
+	Rates *rur.RateCard
+	// AgreementID ties the plan back to the GTS agreement.
+	AgreementID string
+}
+
+func (c *Candidate) validate() error {
+	if c.Provider == "" || c.Nodes <= 0 || c.RatingMIPS <= 0 {
+		return fmt.Errorf("broker: bad candidate %+v", c)
+	}
+	if c.Rates == nil {
+		return fmt.Errorf("broker: candidate %s has no rates", c.Provider)
+	}
+	return c.Rates.Validate()
+}
+
+// QoS carries the user's constraints (§2: "deadline and budget").
+type QoS struct {
+	// Deadline is the latest acceptable completion, as a duration from
+	// the schedule start.
+	Deadline time.Duration
+	// Budget bounds total spend across all jobs.
+	Budget currency.Amount
+}
+
+// Assignment is one planned job placement.
+type Assignment struct {
+	Job       gridsim.Job
+	Provider  string
+	EstStart  time.Duration // offset from schedule start
+	EstFinish time.Duration
+	EstCost   currency.Amount
+}
+
+// Plan is a complete schedule.
+type Plan struct {
+	Strategy    Strategy
+	Assignments []Assignment
+	// Makespan is the latest estimated finish.
+	Makespan time.Duration
+	// TotalCost is the summed estimated cost.
+	TotalCost currency.Amount
+}
+
+// EstimateUsage predicts the RUR a job will generate on a resource —
+// the same conversion the meter performs, applied to predicted raw usage.
+// Broker estimates and GBCM charges therefore use one formula, so a plan
+// that fits the budget yields charges that fit the budget (modulo
+// workload jitter).
+func EstimateUsage(job *gridsim.Job, ratingMIPS int) *rur.Record {
+	sec := job.LengthMI / int64(ratingMIPS)
+	if sec < 1 {
+		sec = 1
+	}
+	sysSec := int64(float64(sec) * job.SoftwareFraction)
+	rec := &rur.Record{
+		User: rur.UserDetails{CertificateName: job.Owner},
+		Job:  rur.JobDetails{JobID: job.ID, Application: job.Application},
+	}
+	rec.SetQuantity(rur.ItemCPU, sec-sysSec)
+	rec.SetQuantity(rur.ItemWallClock, sec)
+	rec.SetQuantity(rur.ItemMemory, job.MemoryMB*sec)
+	rec.SetQuantity(rur.ItemStorage, job.StorageMB*sec)
+	rec.SetQuantity(rur.ItemNetwork, job.InputMB+job.OutputMB)
+	rec.SetQuantity(rur.ItemSoftware, sysSec)
+	return rec
+}
+
+// EstimateCost prices a job on a candidate.
+func EstimateCost(job *gridsim.Job, c *Candidate) (currency.Amount, error) {
+	rec := EstimateUsage(job, c.RatingMIPS)
+	// Pricing requires identified parties; fill placeholders when the
+	// job/candidate omit them (estimation only).
+	if rec.User.CertificateName == "" {
+		rec.User.CertificateName = "CN=estimate"
+	}
+	rec.Resource.CertificateName = c.Provider
+	st, err := rur.Price(rec, c.Rates)
+	if err != nil {
+		return 0, err
+	}
+	return st.Total, nil
+}
+
+// execTime is the job's run time on the candidate.
+func execTime(job *gridsim.Job, c *Candidate) time.Duration {
+	sec := float64(job.LengthMI) / float64(c.RatingMIPS)
+	d := time.Duration(sec * float64(time.Second))
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// resourceState tracks per-node availability during list scheduling.
+type resourceState struct {
+	cand  *Candidate
+	nodes []time.Duration // next-free time per node, as offset
+}
+
+func (rs *resourceState) earliestNode() (idx int, free time.Duration) {
+	idx = 0
+	free = rs.nodes[0]
+	for i, f := range rs.nodes[1:] {
+		if f < free {
+			idx, free = i+1, f
+		}
+	}
+	return idx, free
+}
+
+// Schedule plans a bag of jobs over the candidates under the given QoS
+// with the chosen strategy.
+func Schedule(jobs []gridsim.Job, candidates []Candidate, qos QoS, strategy Strategy) (*Plan, error) {
+	if len(candidates) == 0 {
+		return nil, ErrNoCandidates
+	}
+	if qos.Deadline <= 0 || !qos.Budget.IsPositive() {
+		return nil, fmt.Errorf("%w: deadline %v, budget %s", ErrBadConstraint, qos.Deadline, qos.Budget)
+	}
+	for i := range candidates {
+		if err := candidates[i].validate(); err != nil {
+			return nil, err
+		}
+	}
+	states := make([]*resourceState, len(candidates))
+	for i := range candidates {
+		states[i] = &resourceState{cand: &candidates[i], nodes: make([]time.Duration, candidates[i].Nodes)}
+	}
+	// Schedule longest jobs first: classic list-scheduling heuristic,
+	// reduces makespan fragmentation.
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return jobs[order[a]].LengthMI > jobs[order[b]].LengthMI })
+
+	plan := &Plan{Strategy: strategy}
+	spent := currency.Amount(0)
+	for _, ji := range order {
+		job := jobs[ji]
+		if err := job.Validate(); err != nil {
+			return nil, err
+		}
+		type option struct {
+			state  *resourceState
+			node   int
+			start  time.Duration
+			finish time.Duration
+			cost   currency.Amount
+		}
+		var opts []option
+		for _, rs := range states {
+			node, free := rs.earliestNode()
+			dur := execTime(&job, rs.cand)
+			cost, err := EstimateCost(&job, rs.cand)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, option{state: rs, node: node, start: free, finish: free + dur, cost: cost})
+		}
+		// Filter by the binding constraint, then order by the objective.
+		var feasible []option
+		for _, o := range opts {
+			within, err := spent.Add(o.cost)
+			if err != nil {
+				return nil, err
+			}
+			switch strategy {
+			case TimeOptimal:
+				if within.Cmp(qos.Budget) <= 0 {
+					feasible = append(feasible, o)
+				}
+			default: // CostOptimal, CostTime: deadline is the constraint
+				if o.finish <= qos.Deadline {
+					feasible = append(feasible, o)
+				}
+			}
+		}
+		if len(feasible) == 0 {
+			if strategy == TimeOptimal {
+				return nil, fmt.Errorf("%w: job %s (spent %s of %s)", ErrBudget, job.ID, spent, qos.Budget)
+			}
+			return nil, fmt.Errorf("%w: job %s", ErrDeadline, job.ID)
+		}
+		sort.SliceStable(feasible, func(a, b int) bool {
+			fa, fb := feasible[a], feasible[b]
+			switch strategy {
+			case TimeOptimal:
+				if fa.finish != fb.finish {
+					return fa.finish < fb.finish
+				}
+				return fa.cost.Cmp(fb.cost) < 0
+			case CostTime:
+				if c := fa.cost.Cmp(fb.cost); c != 0 {
+					return c < 0
+				}
+				return fa.finish < fb.finish
+			default: // CostOptimal
+				if c := fa.cost.Cmp(fb.cost); c != 0 {
+					return c < 0
+				}
+				return fa.start < fb.start
+			}
+		})
+		best := feasible[0]
+		best.state.nodes[best.node] = best.finish
+		spent = spent.MustAdd(best.cost)
+		plan.Assignments = append(plan.Assignments, Assignment{
+			Job:       job,
+			Provider:  best.state.cand.Provider,
+			EstStart:  best.start,
+			EstFinish: best.finish,
+			EstCost:   best.cost,
+		})
+		if best.finish > plan.Makespan {
+			plan.Makespan = best.finish
+		}
+	}
+	plan.TotalCost = spent
+	// Post-check the non-binding constraint.
+	switch strategy {
+	case TimeOptimal:
+		if plan.Makespan > qos.Deadline {
+			return nil, fmt.Errorf("%w: makespan %v > %v", ErrDeadline, plan.Makespan, qos.Deadline)
+		}
+	default:
+		if plan.TotalCost.Cmp(qos.Budget) > 0 {
+			return nil, fmt.Errorf("%w: cost %s > %s", ErrBudget, plan.TotalCost, qos.Budget)
+		}
+	}
+	return plan, nil
+}
+
+// ByProvider groups a plan's jobs per provider, in assignment order.
+func (p *Plan) ByProvider() map[string][]Assignment {
+	out := make(map[string][]Assignment)
+	for _, a := range p.Assignments {
+		out[a.Provider] = append(out[a.Provider], a)
+	}
+	return out
+}
+
+// CostOf sums the estimated cost of the assignments on one provider.
+func (p *Plan) CostOf(provider string) currency.Amount {
+	var sum currency.Amount
+	for _, a := range p.Assignments {
+		if a.Provider == provider {
+			sum = sum.MustAdd(a.EstCost)
+		}
+	}
+	return sum
+}

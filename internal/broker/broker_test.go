@@ -1,0 +1,299 @@
+package broker
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/gridsim"
+	"gridbank/internal/rur"
+)
+
+// rates builds a CPU+wallclock rate card with the given G$ per CPU-hour.
+func rates(provider string, gPerCPUHour int64) *rur.RateCard {
+	return &rur.RateCard{
+		Provider: provider,
+		Currency: currency.GridDollar,
+		Rates: map[rur.Item]currency.Rate{
+			rur.ItemCPU:       currency.PerHour(gPerCPUHour * currency.Scale),
+			rur.ItemWallClock: currency.ZeroRate,
+			rur.ItemMemory:    currency.ZeroRate,
+			rur.ItemStorage:   currency.ZeroRate,
+			rur.ItemNetwork:   currency.ZeroRate,
+			rur.ItemSoftware:  currency.PerHour(gPerCPUHour * currency.Scale),
+		},
+	}
+}
+
+// testbed: a cheap slow resource and an expensive fast one — the classic
+// DBC trade-off.
+func testbed() []Candidate {
+	return []Candidate{
+		{Provider: "CN=cheap", Nodes: 4, RatingMIPS: 400, Rates: rates("CN=cheap", 1)},
+		{Provider: "CN=fast", Nodes: 4, RatingMIPS: 1600, Rates: rates("CN=fast", 8)},
+	}
+}
+
+func bag(n int, lengthMI int64) []gridsim.Job {
+	return gridsim.Bag(gridsim.BagOptions{
+		Owner: "CN=alice", N: n, MeanLengthMI: lengthMI, Seed: 7,
+	})
+}
+
+func uniformBag(n int, lengthMI int64) []gridsim.Job {
+	jobs := make([]gridsim.Job, n)
+	for i := range jobs {
+		jobs[i] = gridsim.Job{ID: jobID(i), Owner: "CN=alice", LengthMI: lengthMI}
+	}
+	return jobs
+}
+
+func jobID(i int) string { return string(rune('a'+i%26)) + "-job" }
+
+func TestEstimateUsageAndCost(t *testing.T) {
+	job := &gridsim.Job{ID: "j", Owner: "CN=a", LengthMI: 4000, MemoryMB: 100, InputMB: 5, OutputMB: 5, SoftwareFraction: 0.25}
+	rec := EstimateUsage(job, 400) // 10 seconds
+	if rec.Quantity(rur.ItemWallClock) != 10 {
+		t.Errorf("wall = %d", rec.Quantity(rur.ItemWallClock))
+	}
+	if rec.Quantity(rur.ItemCPU) != 8 || rec.Quantity(rur.ItemSoftware) != 2 {
+		t.Errorf("cpu split = %d/%d", rec.Quantity(rur.ItemCPU), rec.Quantity(rur.ItemSoftware))
+	}
+	if rec.Quantity(rur.ItemMemory) != 1000 || rec.Quantity(rur.ItemNetwork) != 10 {
+		t.Errorf("mem/net = %d/%d", rec.Quantity(rur.ItemMemory), rec.Quantity(rur.ItemNetwork))
+	}
+	c := &Candidate{Provider: "CN=p", Nodes: 1, RatingMIPS: 400, Rates: rates("CN=p", 3600)}
+	cost, err := EstimateCost(job, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 CPU-seconds at 3600 G$/h = 10 G$ (cpu+software combined).
+	if cost != currency.FromG(10) {
+		t.Errorf("cost = %s", cost)
+	}
+	// Sub-second jobs round up to one second.
+	tiny := &gridsim.Job{ID: "t", Owner: "CN=a", LengthMI: 1}
+	if rec := EstimateUsage(tiny, 1000); rec.Quantity(rur.ItemWallClock) != 1 {
+		t.Error("sub-second estimate should clamp to 1s")
+	}
+}
+
+func TestCostOptimalPrefersCheap(t *testing.T) {
+	// 8 jobs × 4000 MI. Cheap: 10s each, 4 nodes → 2 waves → 20s
+	// makespan. Deadline 60s is generous, so everything lands cheap.
+	plan, err := Schedule(uniformBag(8, 4000), testbed(), QoS{Deadline: 60 * time.Second, Budget: currency.FromG(1000)}, CostOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range plan.Assignments {
+		if a.Provider != "CN=cheap" {
+			t.Fatalf("cost-opt used %s", a.Provider)
+		}
+	}
+	if plan.Makespan != 20*time.Second {
+		t.Errorf("makespan = %v", plan.Makespan)
+	}
+}
+
+func TestCostOptimalSpillsToFastUnderTightDeadline(t *testing.T) {
+	// Same bag, deadline 10s: cheap can only run one 10s wave (4 jobs);
+	// the rest must go to the fast (2.5s) resource.
+	plan, err := Schedule(uniformBag(8, 4000), testbed(), QoS{Deadline: 10 * time.Second, Budget: currency.FromG(1000)}, CostOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byP := plan.ByProvider()
+	if len(byP["CN=cheap"]) != 4 || len(byP["CN=fast"]) != 4 {
+		t.Fatalf("split = cheap:%d fast:%d", len(byP["CN=cheap"]), len(byP["CN=fast"]))
+	}
+	if plan.Makespan > 10*time.Second {
+		t.Errorf("makespan = %v", plan.Makespan)
+	}
+}
+
+func TestDeadlineInfeasible(t *testing.T) {
+	// 2.5s is the fastest possible single job; 1s deadline is impossible.
+	_, err := Schedule(uniformBag(1, 4000), testbed(), QoS{Deadline: time.Second, Budget: currency.FromG(1000)}, CostOptimal)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTimeOptimalPrefersFastWithinBudget(t *testing.T) {
+	// Large budget: everything goes to the fast resource.
+	plan, err := Schedule(uniformBag(8, 4000), testbed(), QoS{Deadline: time.Hour, Budget: currency.FromG(1000)}, TimeOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byP := plan.ByProvider()
+	if len(byP["CN=fast"]) != 8 {
+		t.Fatalf("time-opt split = %v", planSummary(plan))
+	}
+	if plan.Makespan != 5*time.Second { // two 2.5s waves
+		t.Errorf("makespan = %v", plan.Makespan)
+	}
+}
+
+func TestTimeOptimalFallsBackUnderBudgetPressure(t *testing.T) {
+	// Fast costs 8 G$/CPU-h; a 4000MI job = 2.5s ≈ 0.00556 G$ fast,
+	// 10s at 1 G$/h ≈ 0.00278 cheap. Budget enough for ~4 fast jobs
+	// forces the remainder cheap.
+	jobs := uniformBag(8, 4000)
+	tb := testbed()
+	fastCost, _ := EstimateCost(&jobs[0], &tb[1])
+	cheapCost, _ := EstimateCost(&jobs[0], &tb[0])
+	// Budget covers 7 fast jobs plus 1 cheap job — strictly less than
+	// the all-fast plan, so at least one job must fall back to the
+	// cheap resource.
+	budget, _ := fastCost.MulInt(7)
+	budget = budget.MustAdd(cheapCost)
+	plan, err := Schedule(jobs, tb, QoS{Deadline: time.Hour, Budget: budget}, TimeOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byP := plan.ByProvider()
+	if len(byP["CN=cheap"]) == 0 {
+		t.Fatalf("no fallback to cheap: %v", planSummary(plan))
+	}
+	if len(byP["CN=fast"]) == 0 {
+		t.Fatalf("budget headroom unused: %v", planSummary(plan))
+	}
+	if plan.TotalCost.Cmp(budget) > 0 {
+		t.Errorf("cost %s > budget %s", plan.TotalCost, budget)
+	}
+	// The budget-constrained makespan is necessarily no better than the
+	// unconstrained (all-fast) one.
+	unconstrained, err := Schedule(jobs, tb, QoS{Deadline: time.Hour, Budget: currency.FromG(1000)}, TimeOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Makespan < unconstrained.Makespan {
+		t.Errorf("constrained makespan %v beat unconstrained %v", plan.Makespan, unconstrained.Makespan)
+	}
+}
+
+func TestBudgetInfeasible(t *testing.T) {
+	_, err := Schedule(uniformBag(4, 4000), testbed(), QoS{Deadline: time.Hour, Budget: currency.FromMicro(1)}, TimeOptimal)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v", err)
+	}
+	// Cost strategies also refuse when even the cheapest plan exceeds
+	// budget.
+	_, err = Schedule(uniformBag(4, 4000), testbed(), QoS{Deadline: time.Hour, Budget: currency.FromMicro(1)}, CostOptimal)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("cost-opt err = %v", err)
+	}
+}
+
+func TestCostTimeBreaksTiesTowardSpeed(t *testing.T) {
+	// Two resources with identical prices but different speeds: cost-time
+	// must prefer the faster one; plain cost-opt is indifferent (stable
+	// order keeps the first).
+	cands := []Candidate{
+		{Provider: "CN=slow", Nodes: 2, RatingMIPS: 400, Rates: rates("CN=slow", 2)},
+		{Provider: "CN=quick", Nodes: 2, RatingMIPS: 1600, Rates: rates("CN=quick", 2)},
+	}
+	// NOTE: identical G$/CPU-hour means the *slow* resource costs MORE
+	// per job (more CPU-seconds), so to make a true cost tie, price the
+	// quick one 4× per hour.
+	cands[1].Rates = rates("CN=quick", 8)
+	plan, err := Schedule(uniformBag(2, 4000), cands, QoS{Deadline: time.Hour, Budget: currency.FromG(100)}, CostTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range plan.Assignments {
+		if a.Provider != "CN=quick" {
+			t.Fatalf("cost-time chose %s (plan %v)", a.Provider, planSummary(plan))
+		}
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	if _, err := Schedule(bag(1, 100), nil, QoS{Deadline: time.Hour, Budget: currency.FromG(1)}, CostOptimal); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("no candidates err = %v", err)
+	}
+	if _, err := Schedule(bag(1, 100), testbed(), QoS{}, CostOptimal); !errors.Is(err, ErrBadConstraint) {
+		t.Errorf("no QoS err = %v", err)
+	}
+	badCand := []Candidate{{Provider: "", Nodes: 1, RatingMIPS: 1, Rates: rates("x", 1)}}
+	if _, err := Schedule(bag(1, 100), badCand, QoS{Deadline: time.Hour, Budget: currency.FromG(1)}, CostOptimal); err == nil {
+		t.Error("bad candidate accepted")
+	}
+	noRates := []Candidate{{Provider: "CN=x", Nodes: 1, RatingMIPS: 100}}
+	if _, err := Schedule(bag(1, 100), noRates, QoS{Deadline: time.Hour, Budget: currency.FromG(1)}, CostOptimal); err == nil {
+		t.Error("rateless candidate accepted")
+	}
+	badJob := []gridsim.Job{{ID: "", Owner: "CN=a", LengthMI: 1}}
+	if _, err := Schedule(badJob, testbed(), QoS{Deadline: time.Hour, Budget: currency.FromG(1)}, CostOptimal); err == nil {
+		t.Error("bad job accepted")
+	}
+}
+
+func TestPlanAccessors(t *testing.T) {
+	plan, err := Schedule(uniformBag(4, 4000), testbed(), QoS{Deadline: time.Hour, Budget: currency.FromG(100)}, CostOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total currency.Amount
+	for provider, as := range plan.ByProvider() {
+		c := plan.CostOf(provider)
+		var sum currency.Amount
+		for _, a := range as {
+			sum = sum.MustAdd(a.EstCost)
+		}
+		if c != sum {
+			t.Errorf("CostOf(%s) = %s, want %s", provider, c, sum)
+		}
+		total = total.MustAdd(sum)
+	}
+	if total != plan.TotalCost {
+		t.Errorf("total mismatch: %s vs %s", total, plan.TotalCost)
+	}
+}
+
+// TestPlanExecutesOnSimulatorWithinEstimates closes the loop: a plan's
+// estimated makespan is achieved when the jobs actually run on gridsim.
+func TestPlanExecutesOnSimulatorWithinEstimates(t *testing.T) {
+	jobs := uniformBag(8, 4000)
+	plan, err := Schedule(jobs, testbed(), QoS{Deadline: 10 * time.Second, Budget: currency.FromG(100)}, CostOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	sim := gridsim.New(start)
+	for _, c := range testbed() {
+		if _, err := sim.AddResource(gridsim.ResourceConfig{
+			Provider: c.Provider, Nodes: c.Nodes, RatingMIPS: c.RatingMIPS,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var latest time.Time
+	for _, a := range plan.Assignments {
+		r, ok := sim.Resource(a.Provider)
+		if !ok {
+			t.Fatal("missing resource")
+		}
+		if err := r.Submit(a.Job, func(res gridsim.JobResult) {
+			if res.End.After(latest) {
+				latest = res.End
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	actual := latest.Sub(start)
+	if actual > plan.Makespan {
+		t.Fatalf("actual makespan %v exceeds planned %v", actual, plan.Makespan)
+	}
+}
+
+func planSummary(p *Plan) map[string]int {
+	out := map[string]int{}
+	for _, a := range p.Assignments {
+		out[a.Provider]++
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package charging
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"gridbank/internal/core"
+	"gridbank/internal/currency"
+)
+
+// Property: any set of well-formed mapfile entries survives a
+// serialize/parse round trip exactly.
+func TestMapfileRoundTripProperty(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		m := NewMapfile()
+		want := map[string]string{}
+		for i, p := range pairs {
+			cert := fmt.Sprintf("CN=user-%d,O=VO %d", i, p)
+			local := fmt.Sprintf("grid%03d", i%1000)
+			if err := m.Add(cert, local); err != nil {
+				return false
+			}
+			want[cert] = local
+		}
+		back, err := ParseMapfile(m.Serialize())
+		if err != nil {
+			return false
+		}
+		if back.Len() != len(want) {
+			return false
+		}
+		for cert, local := range want {
+			got, ok := back.Lookup(cert)
+			if !ok || got != local {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPoolAcquireRelease(b *testing.B) {
+	pool, err := NewTemplatePool("grid", 16, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cert := fmt.Sprintf("CN=u%d", i%64)
+		if _, err := pool.Acquire(cert); err != nil {
+			b.Fatal(err)
+		}
+		if err := pool.Release(cert); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGBCMSettle measures the full provider-side settlement path:
+// pricing, signing, redemption against an in-process bank.
+func BenchmarkGBCMSettle(b *testing.B) {
+	w := newGBCMWorld(b)
+	// The fixture funds alice with 1000 G$; long bench runs need more.
+	if _, err := w.bank.AdminDeposit("CN=root", &core.AdminAmountRequest{
+		AccountID: accountsID(w.acct), Amount: currency.FromG(100_000_000),
+	}); err != nil {
+		b.Fatal(err)
+	}
+	rates := testRates(w.gsp.SubjectName())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cheque := w.issueCheque(b, currency.FromG(10))
+		jobID := fmt.Sprintf("bench-%d", i)
+		if _, err := w.module.AdmitCheque(jobID, cheque); err != nil {
+			b.Fatal(err)
+		}
+		rec := testRecord(w.aliceID, w.gsp.SubjectName())
+		rec.Job.JobID = jobID
+		b.StartTimer()
+		if _, err := w.module.SettleCheque(jobID, rec, rates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,499 @@
+package charging
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/core"
+	"gridbank/internal/currency"
+	"gridbank/internal/db"
+	"gridbank/internal/payment"
+	"gridbank/internal/pki"
+	"gridbank/internal/rur"
+)
+
+func accountsID(s string) accounts.ID { return accounts.ID(s) }
+
+// --- Mapfile ----------------------------------------------------------------
+
+func TestMapfileBasics(t *testing.T) {
+	m := NewMapfile()
+	if err := m.Add("CN=alice,O=VO", "grid001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add("CN=alice,O=VO", "grid002"); !errors.Is(err, ErrMapped) {
+		t.Errorf("double add err = %v", err)
+	}
+	if err := m.Add("", "x"); err == nil {
+		t.Error("empty cert accepted")
+	}
+	acct, ok := m.Lookup("CN=alice,O=VO")
+	if !ok || acct != "grid001" {
+		t.Errorf("Lookup = %q, %v", acct, ok)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	if err := m.Remove("CN=alice,O=VO"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("CN=alice,O=VO"); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("double remove err = %v", err)
+	}
+}
+
+func TestMapfileSerializeParse(t *testing.T) {
+	m := NewMapfile()
+	if err := m.Add("CN=bob,O=VO", "grid002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add("CN=alice,O=VO", "grid001"); err != nil {
+		t.Fatal(err)
+	}
+	text := m.Serialize()
+	// Globus format, sorted.
+	want := "\"CN=alice,O=VO\" grid001\n\"CN=bob,O=VO\" grid002\n"
+	if text != want {
+		t.Fatalf("serialize = %q", text)
+	}
+	back, err := ParseMapfile("# comment\n\n" + text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Errorf("parsed len = %d", back.Len())
+	}
+	if acct, _ := back.Lookup("CN=bob,O=VO"); acct != "grid002" {
+		t.Errorf("parsed bob = %q", acct)
+	}
+	for _, bad := range []string{"no quotes here", `"unclosed`, `"cert"`} {
+		if _, err := ParseMapfile(bad); err == nil {
+			t.Errorf("malformed line %q parsed", bad)
+		}
+	}
+}
+
+// --- TemplatePool -------------------------------------------------------------
+
+func TestPoolAcquireRelease(t *testing.T) {
+	pool, err := NewTemplatePool("grid", 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := pool.Acquire("CN=alice")
+	if err != nil || a1 != "grid001" {
+		t.Fatalf("first acquire = %q, %v", a1, err)
+	}
+	// Idempotent per consumer.
+	again, err := pool.Acquire("CN=alice")
+	if err != nil || again != a1 {
+		t.Fatalf("re-acquire = %q, %v", again, err)
+	}
+	a2, err := pool.Acquire("CN=bob")
+	if err != nil || a2 != "grid002" {
+		t.Fatalf("second acquire = %q, %v", a2, err)
+	}
+	// Exhausted.
+	if _, err := pool.Acquire("CN=carol"); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("exhausted err = %v", err)
+	}
+	if pool.InUse() != 2 || pool.Free() != 0 {
+		t.Errorf("in use/free = %d/%d", pool.InUse(), pool.Free())
+	}
+	// Release returns capacity; carol now succeeds.
+	if err := pool.Release("CN=alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Release("CN=alice"); !errors.Is(err, ErrNotHeld) {
+		t.Errorf("double release err = %v", err)
+	}
+	if _, err := pool.Acquire("CN=carol"); err != nil {
+		t.Fatalf("post-release acquire: %v", err)
+	}
+	st := pool.Stats()
+	if st.Acquires != 3 || st.Rejections != 1 || st.PeakInUse != 2 || st.DistinctUsers != 3 || st.Size != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The mapfile reflects live assignments only.
+	if pool.Mapfile().Len() != 2 {
+		t.Errorf("mapfile len = %d", pool.Mapfile().Len())
+	}
+}
+
+func TestPoolValidation(t *testing.T) {
+	if _, err := NewTemplatePool("g", 0, nil); err == nil {
+		t.Error("zero-size pool accepted")
+	}
+	pool, _ := NewTemplatePool("", 1, nil)
+	if a, _ := pool.Acquire("CN=x"); !strings.HasPrefix(a, "grid") {
+		t.Errorf("default prefix = %q", a)
+	}
+	if _, err := pool.Acquire(""); err == nil {
+		t.Error("empty cert accepted")
+	}
+}
+
+func TestPoolScalabilityManyUsersFewAccounts(t *testing.T) {
+	// The §2.3 claim: thousands of consumers over a fixed template pool,
+	// provided they don't all run at once.
+	pool, _ := NewTemplatePool("grid", 16, nil)
+	for i := 0; i < 2000; i++ {
+		cert := fmt.Sprintf("CN=user%04d", i)
+		if _, err := pool.Acquire(cert); err != nil {
+			t.Fatalf("user %d rejected: %v", i, err)
+		}
+		if err := pool.Release(cert); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pool.Stats()
+	if st.DistinctUsers != 2000 || st.Size != 16 || st.PeakInUse != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolConcurrentSafety(t *testing.T) {
+	pool, _ := NewTemplatePool("grid", 8, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cert := fmt.Sprintf("CN=worker%d", g)
+			for i := 0; i < 100; i++ {
+				if _, err := pool.Acquire(cert); err == nil {
+					_ = pool.Release(cert)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if pool.InUse() != 0 || pool.Free() != 8 {
+		t.Fatalf("leaked accounts: in use %d, free %d", pool.InUse(), pool.Free())
+	}
+}
+
+// --- Module (GBCM) -----------------------------------------------------------
+
+// gbcmWorld: an in-process bank plus a GSP-side GBCM wired directly to it.
+type gbcmWorld struct {
+	ca      *pki.CA
+	ts      *pki.TrustStore
+	bank    *core.Bank
+	alice   *pki.Identity
+	gsp     *pki.Identity
+	aliceID string
+	acct    string // alice account ID
+	module  *Module
+}
+
+// bankRedeemer adapts *core.Bank (in-process) to the Redeemer interface,
+// authenticating as the GSP.
+type bankRedeemer struct {
+	bank *core.Bank
+	gsp  string
+}
+
+func (r *bankRedeemer) RedeemCheque(cheque *payment.SignedCheque, claim *payment.ChequeClaim) (*core.RedeemChequeResponse, error) {
+	return r.bank.RedeemCheque(r.gsp, &core.RedeemChequeRequest{Cheque: *cheque, Claim: *claim})
+}
+
+func (r *bankRedeemer) RedeemChain(chain *payment.SignedChain, claim *payment.ChainClaim) (*core.RedeemChainResponse, error) {
+	return r.bank.RedeemChain(r.gsp, &core.RedeemChainRequest{Chain: *chain, Claim: *claim})
+}
+
+func newGBCMWorld(t testing.TB) *gbcmWorld {
+	t.Helper()
+	ca, err := pki.NewCA("CA", "VO", 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bankID, _ := ca.Issue(pki.IssueOptions{CommonName: "gridbank", Organization: "VO"})
+	alice, _ := ca.Issue(pki.IssueOptions{CommonName: "alice", Organization: "VO"})
+	gsp, _ := ca.Issue(pki.IssueOptions{CommonName: "gsp1", Organization: "VO"})
+	ts := pki.NewTrustStore(ca.Certificate())
+	bank, err := core.NewBank(db.MustOpenMemory(), core.BankConfig{
+		Identity: bankID, Trust: ts, Admins: []string{"CN=root"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aResp, err := bank.CreateAccount(alice.SubjectName(), &core.CreateAccountRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bank.CreateAccount(gsp.SubjectName(), &core.CreateAccountRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bank.AdminDeposit("CN=root", &core.AdminAmountRequest{AccountID: aResp.Account.AccountID, Amount: currency.FromG(1000)}); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewTemplatePool("grid", 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	module, err := NewModule(ModuleConfig{
+		Identity: gsp,
+		Trust:    ts,
+		Pool:     pool,
+		Redeemer: &bankRedeemer{bank: bank, gsp: gsp.SubjectName()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &gbcmWorld{
+		ca: ca, ts: ts, bank: bank, alice: alice, gsp: gsp,
+		aliceID: alice.SubjectName(), acct: string(aResp.Account.AccountID), module: module,
+	}
+}
+
+func (w *gbcmWorld) issueCheque(t testing.TB, amount currency.Amount) *payment.SignedCheque {
+	t.Helper()
+	resp, err := w.bank.RequestCheque(w.aliceID, &core.RequestChequeRequest{
+		AccountID: accountsID(w.acct), Amount: amount, PayeeCert: w.gsp.SubjectName(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &resp.Cheque
+}
+
+func testRecord(consumer, provider string) *rur.Record {
+	start := time.Now().Add(-time.Hour)
+	rec := &rur.Record{
+		User:     rur.UserDetails{CertificateName: consumer},
+		Job:      rur.JobDetails{JobID: "j-1", Application: "app", Start: start, End: start.Add(time.Hour)},
+		Resource: rur.ResourceDetails{Host: "h", CertificateName: provider, LocalJobID: "pid-1"},
+	}
+	rec.SetQuantity(rur.ItemCPU, 3600) // 1 CPU hour
+	rec.SetQuantity(rur.ItemNetwork, 100)
+	return rec
+}
+
+func testRates(provider string) *rur.RateCard {
+	return &rur.RateCard{
+		Provider: provider,
+		Currency: currency.GridDollar,
+		Rates: map[rur.Item]currency.Rate{
+			rur.ItemCPU:     currency.PerHour(2 * currency.Scale), // 2 G$/h
+			rur.ItemNetwork: currency.PerMB(currency.Scale / 100), // 0.01 G$/MB
+		},
+	}
+}
+
+func TestModuleValidation(t *testing.T) {
+	if _, err := NewModule(ModuleConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestGBCMChequeFlow(t *testing.T) {
+	w := newGBCMWorld(t)
+	cheque := w.issueCheque(t, currency.FromG(10))
+	adm, err := w.module.AdmitCheque("j-1", cheque)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.LocalAccount != "grid001" || adm.Consumer != w.aliceID {
+		t.Fatalf("admission = %+v", adm)
+	}
+	// The grid-mapfile shows the binding while the job runs.
+	if acct, ok := w.module.Pool().Mapfile().Lookup(w.aliceID); !ok || acct != "grid001" {
+		t.Fatal("mapfile missing binding")
+	}
+	// Settle: 1 CPU-hour × 2 + 100 MB × 0.01 = 3 G$.
+	res, err := w.module.SettleCheque("j-1", testRecord(w.aliceID, w.gsp.SubjectName()), testRates(w.gsp.SubjectName()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Paid != "3" {
+		t.Fatalf("paid = %s", res.Paid)
+	}
+	// Statement verifies and re-derives.
+	stmt, signer, err := VerifyStatement(res.SignedStatement, w.ts, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if signer != w.gsp.SubjectName() || stmt.Total != currency.FromG(3) {
+		t.Fatalf("verified statement = %+v by %s", stmt, signer)
+	}
+	// Template account released, mapfile cleaned (§2.3 cleanup).
+	if w.module.Pool().InUse() != 0 {
+		t.Error("template account not released")
+	}
+	if _, ok := w.module.Pool().Mapfile().Lookup(w.aliceID); ok {
+		t.Error("mapfile entry not removed")
+	}
+	// Settling again fails: job forgotten.
+	if _, err := w.module.SettleCheque("j-1", testRecord(w.aliceID, w.gsp.SubjectName()), testRates(w.gsp.SubjectName())); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("double settle err = %v", err)
+	}
+}
+
+func TestGBCMRejectsBadCheques(t *testing.T) {
+	w := newGBCMWorld(t)
+	// Cheque made out to someone else.
+	otherGSP, _ := w.ca.Issue(pki.IssueOptions{CommonName: "gsp2", Organization: "VO"})
+	resp, err := w.bank.RequestCheque(w.aliceID, &core.RequestChequeRequest{
+		AccountID: accountsID(w.acct), Amount: currency.FromG(5), PayeeCert: otherGSP.SubjectName(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.module.AdmitCheque("j-x", &resp.Cheque); err == nil {
+		t.Fatal("cheque for another payee admitted")
+	}
+	// No template account was consumed by the rejection.
+	if w.module.Pool().InUse() != 0 {
+		t.Error("rejected admission leaked an account")
+	}
+	// Duplicate job IDs refused.
+	good := w.issueCheque(t, currency.FromG(5))
+	if _, err := w.module.AdmitCheque("j-dup", good); err != nil {
+		t.Fatal(err)
+	}
+	good2 := w.issueCheque(t, currency.FromG(5))
+	if _, err := w.module.AdmitCheque("j-dup", good2); !errors.Is(err, ErrDuplicateJob) {
+		t.Errorf("duplicate job err = %v", err)
+	}
+}
+
+func TestGBCMChequeCapAtLimit(t *testing.T) {
+	w := newGBCMWorld(t)
+	// Reserve only 1 G$ but incur 3 G$ of usage: claim capped at 1.
+	cheque := w.issueCheque(t, currency.FromG(1))
+	if _, err := w.module.AdmitCheque("j-cap", cheque); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.module.SettleCheque("j-cap", testRecord(w.aliceID, w.gsp.SubjectName()), testRates(w.gsp.SubjectName()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Paid != "1" {
+		t.Fatalf("paid = %s, want cap 1", res.Paid)
+	}
+	if res.Statement.Total != currency.FromG(3) {
+		t.Fatalf("statement total = %s", res.Statement.Total)
+	}
+}
+
+func TestGBCMChainFlow(t *testing.T) {
+	w := newGBCMWorld(t)
+	chainResp, err := w.bank.RequestChain(w.aliceID, &core.RequestChainRequest{
+		AccountID: accountsID(w.acct), PayeeCert: w.gsp.SubjectName(), Length: 100, PerWord: currency.MustParse("0.05"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumerChain := &payment.Chain{Commitment: chainResp.Chain.Commitment, Seed: chainResp.Seed}
+	adm, err := w.module.AdmitChain("j-chain", &chainResp.Chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = adm
+	// Stream words 10, 20, 30 as the job progresses.
+	for _, i := range []int{10, 20, 30} {
+		word, err := consumerChain.Word(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.module.AcceptWord("j-chain", i, word); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Out-of-order and forged words refused.
+	w5, _ := consumerChain.Word(5)
+	if err := w.module.AcceptWord("j-chain", 5, w5); err == nil {
+		t.Error("stale word accepted")
+	}
+	if err := w.module.AcceptWord("j-chain", 40, make([]byte, 32)); err == nil {
+		t.Error("forged word accepted")
+	}
+	if err := w.module.AcceptWord("j-ghost", 1, w5); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("unknown job word err = %v", err)
+	}
+	// Settle: redeems up to word 30 → 1.5 G$.
+	res, err := w.module.SettleChain("j-chain", testRecord(w.aliceID, w.gsp.SubjectName()), testRates(w.gsp.SubjectName()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Paid != "1.5" {
+		t.Fatalf("paid = %s", res.Paid)
+	}
+	if w.module.Pool().InUse() != 0 {
+		t.Error("account not released after chain settle")
+	}
+}
+
+func TestGBCMChainNoWordsSettlesZero(t *testing.T) {
+	w := newGBCMWorld(t)
+	chainResp, err := w.bank.RequestChain(w.aliceID, &core.RequestChainRequest{
+		AccountID: accountsID(w.acct), PayeeCert: w.gsp.SubjectName(), Length: 10, PerWord: currency.FromG(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.module.AdmitChain("j-idle", &chainResp.Chain); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.module.SettleChain("j-idle", testRecord(w.aliceID, w.gsp.SubjectName()), testRates(w.gsp.SubjectName()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Paid != "0" {
+		t.Fatalf("paid = %s", res.Paid)
+	}
+}
+
+func TestGBCMSharedAccountAcrossConcurrentJobs(t *testing.T) {
+	w := newGBCMWorld(t)
+	c1 := w.issueCheque(t, currency.FromG(5))
+	c2 := w.issueCheque(t, currency.FromG(5))
+	a1, err := w.module.AdmitCheque("j-a", c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := w.module.AdmitCheque("j-b", c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.LocalAccount != a2.LocalAccount {
+		t.Fatal("same consumer got two template accounts")
+	}
+	// Settling the first job must NOT release the account while the
+	// second still runs.
+	if _, err := w.module.SettleCheque("j-a", testRecord(w.aliceID, w.gsp.SubjectName()), testRates(w.gsp.SubjectName())); err != nil {
+		t.Fatal(err)
+	}
+	if w.module.Pool().InUse() != 1 {
+		t.Fatal("account released while a job still runs")
+	}
+	if _, err := w.module.SettleCheque("j-b", testRecord(w.aliceID, w.gsp.SubjectName()), testRates(w.gsp.SubjectName())); err != nil {
+		t.Fatal(err)
+	}
+	if w.module.Pool().InUse() != 0 {
+		t.Fatal("account not released after last job")
+	}
+}
+
+func TestVerifyStatementDetectsTamper(t *testing.T) {
+	w := newGBCMWorld(t)
+	cheque := w.issueCheque(t, currency.FromG(10))
+	if _, err := w.module.AdmitCheque("j-v", cheque); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.module.SettleCheque("j-v", testRecord(w.aliceID, w.gsp.SubjectName()), testRates(w.gsp.SubjectName()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := *res.SignedStatement
+	tampered.Payload = []byte(`{"statement":{"total":"0.01"}}`)
+	if _, _, err := VerifyStatement(&tampered, w.ts, time.Now()); err == nil {
+		t.Fatal("tampered statement verified")
+	}
+}

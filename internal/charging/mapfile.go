@@ -1,0 +1,125 @@
+// Package charging implements the GSP-side GridBank Charging Module
+// (GBCM) of §2.1–§2.3 and §6: validating payment instruments presented by
+// consumers, managing the pool of template local accounts and the
+// grid-mapfile that binds a consumer's Certificate Name to one, pricing
+// finished jobs from RUR × agreed rates, signing the calculation for
+// non-repudiation, and redeeming the payment with the GridBank server.
+package charging
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Mapfile simulates the Globus grid-mapfile (§2.3): the mapping from a
+// Grid identity (Certificate Name) to a local system account. "GSC's
+// Certificate Name is temporarily mapped to the local account to indicate
+// the dynamic relationship between the account and current user."
+type Mapfile struct {
+	mu      sync.RWMutex
+	entries map[string]string // certificate name -> local account
+}
+
+// Mapfile errors.
+var (
+	ErrMapped    = errors.New("charging: certificate already mapped")
+	ErrNotMapped = errors.New("charging: certificate not mapped")
+)
+
+// NewMapfile creates an empty grid-mapfile.
+func NewMapfile() *Mapfile {
+	return &Mapfile{entries: make(map[string]string)}
+}
+
+// Add binds a certificate name to a local account.
+func (m *Mapfile) Add(certName, localAccount string) error {
+	if certName == "" || localAccount == "" {
+		return errors.New("charging: mapfile entry requires both names")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if existing, ok := m.entries[certName]; ok {
+		return fmt.Errorf("%w: %s -> %s", ErrMapped, certName, existing)
+	}
+	m.entries[certName] = localAccount
+	return nil
+}
+
+// Remove deletes the binding for a certificate name, "returning the local
+// account to the pool of free accounts" at the caller's side (§2.3).
+func (m *Mapfile) Remove(certName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.entries[certName]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotMapped, certName)
+	}
+	delete(m.entries, certName)
+	return nil
+}
+
+// Lookup resolves a certificate name to its local account.
+func (m *Mapfile) Lookup(certName string) (string, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	acct, ok := m.entries[certName]
+	return acct, ok
+}
+
+// Len returns the number of live mappings.
+func (m *Mapfile) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.entries)
+}
+
+// Serialize renders the mapfile in the Globus text format:
+//
+//	"certificate name" local_account
+//
+// sorted by certificate name for determinism.
+func (m *Mapfile) Serialize() string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	names := make([]string, 0, len(m.entries))
+	for n := range m.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%q %s\n", n, m.entries[n])
+	}
+	return b.String()
+}
+
+// ParseMapfile reads the Globus text format back into a Mapfile.
+func ParseMapfile(s string) (*Mapfile, error) {
+	m := NewMapfile()
+	sc := bufio.NewScanner(strings.NewReader(s))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, `"`) {
+			return nil, fmt.Errorf("charging: malformed mapfile line %q", line)
+		}
+		end := strings.LastIndex(line, `"`)
+		if end <= 0 {
+			return nil, fmt.Errorf("charging: malformed mapfile line %q", line)
+		}
+		cert := line[1:end]
+		local := strings.TrimSpace(line[end+1:])
+		if local == "" {
+			return nil, fmt.Errorf("charging: mapfile line missing account: %q", line)
+		}
+		if err := m.Add(cert, local); err != nil {
+			return nil, err
+		}
+	}
+	return m, sc.Err()
+}

@@ -1,0 +1,337 @@
+package charging
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gridbank/internal/core"
+	"gridbank/internal/payment"
+	"gridbank/internal/pki"
+	"gridbank/internal/rur"
+)
+
+// StatementContext domain-separates GSP-signed cost statements (§2.1:
+// "these calculations along with the rates and RUR records are signed by
+// GSP to provide non-repudiation").
+const StatementContext = "gridbank/statement/v1"
+
+// Module errors.
+var (
+	ErrUnknownJob   = errors.New("charging: no admitted job with this ID")
+	ErrDuplicateJob = errors.New("charging: job already admitted")
+	ErrNoInstrument = errors.New("charging: admission carries no payment instrument")
+)
+
+// Redeemer is the GBCM's window onto the GridBank server: redemption of
+// payment instruments. *core.Client satisfies it; tests use in-process
+// banks through a thin adapter.
+type Redeemer interface {
+	RedeemCheque(cheque *payment.SignedCheque, claim *payment.ChequeClaim) (*core.RedeemChequeResponse, error)
+	RedeemChain(chain *payment.SignedChain, claim *payment.ChainClaim) (*core.RedeemChainResponse, error)
+}
+
+// Admission is the GBCM's record of an accepted job: the validated
+// payment instrument and the template account executing it.
+type Admission struct {
+	JobID        string
+	Consumer     string // certificate name
+	LocalAccount string
+	Cheque       *payment.SignedCheque // exactly one of Cheque/Chain is set
+	Chain        *payment.SignedChain
+	// chain streaming state: highest verified word
+	wordIndex int
+	word      []byte
+}
+
+// ChargeResult reports a settled job.
+type ChargeResult struct {
+	JobID     string
+	Statement *rur.CostStatement
+	// SignedStatement is the GSP-signed pricing calculation (statement +
+	// RUR + rates), submitted alongside the claim.
+	SignedStatement *pki.Signed
+	// Paid is what the bank actually transferred.
+	Paid          string
+	TransactionID uint64
+}
+
+// Module is the GridBank Charging Module for one GSP.
+type Module struct {
+	identity *pki.Identity
+	trust    *pki.TrustStore
+	pool     *TemplatePool
+	redeemer Redeemer
+	now      func() time.Time
+
+	mu       sync.Mutex
+	admitted map[string]*Admission // by job ID
+}
+
+// ModuleConfig configures a GBCM.
+type ModuleConfig struct {
+	// Identity is the GSP identity; signs cost statements and is the
+	// payee instruments must be made out to.
+	Identity *pki.Identity
+	// Trust verifies bank signatures on instruments.
+	Trust *pki.TrustStore
+	// Pool provides template accounts; required.
+	Pool *TemplatePool
+	// Redeemer submits redemptions to GridBank; required.
+	Redeemer Redeemer
+	// Now for expiry checks; defaults to time.Now.
+	Now func() time.Time
+}
+
+// NewModule builds a GBCM.
+func NewModule(cfg ModuleConfig) (*Module, error) {
+	if cfg.Identity == nil || cfg.Trust == nil {
+		return nil, errors.New("charging: module requires identity and trust store")
+	}
+	if cfg.Pool == nil {
+		return nil, errors.New("charging: module requires a template account pool")
+	}
+	if cfg.Redeemer == nil {
+		return nil, errors.New("charging: module requires a redeemer")
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Module{
+		identity: cfg.Identity,
+		trust:    cfg.Trust,
+		pool:     cfg.Pool,
+		redeemer: cfg.Redeemer,
+		now:      cfg.Now,
+		admitted: make(map[string]*Admission),
+	}, nil
+}
+
+// Pool exposes the template pool (stats for experiments).
+func (m *Module) Pool() *TemplatePool { return m.pool }
+
+// AdmitCheque validates a cheque-backed job request and assigns a
+// template account (§2.3: "provided GSC presents a well-formed payment
+// instrument, GSP dynamically assigns one of the template accounts").
+func (m *Module) AdmitCheque(jobID string, cheque *payment.SignedCheque) (*Admission, error) {
+	if _, err := payment.VerifyCheque(cheque, m.trust, m.identity.SubjectName(), m.now()); err != nil {
+		return nil, fmt.Errorf("charging: cheque rejected: %w", err)
+	}
+	return m.admit(jobID, cheque.Cheque.DrawerCert, &Admission{Cheque: cheque})
+}
+
+// AdmitChain validates a hash-chain-backed job request and assigns a
+// template account.
+func (m *Module) AdmitChain(jobID string, chain *payment.SignedChain) (*Admission, error) {
+	if _, err := payment.VerifyChain(chain, m.trust, m.identity.SubjectName(), m.now()); err != nil {
+		return nil, fmt.Errorf("charging: chain rejected: %w", err)
+	}
+	return m.admit(jobID, chain.Commitment.DrawerCert, &Admission{Chain: chain})
+}
+
+func (m *Module) admit(jobID, consumer string, adm *Admission) (*Admission, error) {
+	if jobID == "" {
+		return nil, errors.New("charging: empty job ID")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.admitted[jobID]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateJob, jobID)
+	}
+	local, err := m.pool.Acquire(consumer)
+	if err != nil {
+		return nil, err
+	}
+	adm.JobID = jobID
+	adm.Consumer = consumer
+	adm.LocalAccount = local
+	m.admitted[jobID] = adm
+	return adm, nil
+}
+
+// Admission returns the admission record for a job.
+func (m *Module) Admission(jobID string) (*Admission, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	adm, ok := m.admitted[jobID]
+	return adm, ok
+}
+
+// AcceptWord records a streamed hash-chain payment word for an admitted
+// pay-as-you-go job, verifying it against the commitment first. Words
+// must arrive with strictly increasing indices.
+func (m *Module) AcceptWord(jobID string, index int, word []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	adm, ok := m.admitted[jobID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, jobID)
+	}
+	if adm.Chain == nil {
+		return fmt.Errorf("%w: job %s is not chain-paid", ErrNoInstrument, jobID)
+	}
+	if index <= adm.wordIndex {
+		return fmt.Errorf("charging: word index %d not beyond %d", index, adm.wordIndex)
+	}
+	if err := payment.VerifyWord(&adm.Chain.Commitment, index, word); err != nil {
+		return err
+	}
+	adm.wordIndex = index
+	adm.word = append([]byte(nil), word...)
+	return nil
+}
+
+// signedCalculation is the §2.1 non-repudiation envelope: the RUR, the
+// rates used, and the resulting statement, all under one GSP signature.
+type signedCalculation struct {
+	RUR       *rur.Record        `json:"rur"`
+	Rates     *rur.RateCard      `json:"rates"`
+	Statement *rur.CostStatement `json:"statement"`
+}
+
+// SettleCheque completes a cheque-paid job: price the RUR against the
+// agreed rates, cap the claim at the cheque limit, sign the calculation,
+// redeem with the bank, and release the template account.
+func (m *Module) SettleCheque(jobID string, record *rur.Record, rates *rur.RateCard) (*ChargeResult, error) {
+	m.mu.Lock()
+	adm, ok := m.admitted[jobID]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, jobID)
+	}
+	if adm.Cheque == nil {
+		return nil, fmt.Errorf("%w: job %s is not cheque-paid", ErrNoInstrument, jobID)
+	}
+	statement, signedStmt, rurBytes, err := m.priceAndSign(record, rates)
+	if err != nil {
+		return nil, err
+	}
+	amount := statement.Total
+	if amount.Cmp(adm.Cheque.Cheque.Limit) > 0 {
+		// The metered cost exceeded the reserved budget: the cheque is
+		// the guarantee ceiling, so claim exactly the limit. The shortfall
+		// is the GSP's exposure — exactly why §3.4 recommends sizing the
+		// lock to the budget.
+		amount = adm.Cheque.Cheque.Limit
+	}
+	if amount.IsZero() {
+		// Nothing chargeable: release resources without redemption.
+		m.finish(jobID, adm)
+		return &ChargeResult{JobID: jobID, Statement: statement, SignedStatement: signedStmt, Paid: "0"}, nil
+	}
+	stmtBytes := signedStmt.Payload
+	resp, err := m.redeemer.RedeemCheque(adm.Cheque, &payment.ChequeClaim{
+		Serial:    adm.Cheque.Cheque.Serial,
+		Amount:    amount,
+		RUR:       rurBytes,
+		Statement: stmtBytes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("charging: redemption failed: %w", err)
+	}
+	m.finish(jobID, adm)
+	return &ChargeResult{
+		JobID:           jobID,
+		Statement:       statement,
+		SignedStatement: signedStmt,
+		Paid:            resp.Paid.String(),
+		TransactionID:   resp.TransactionID,
+	}, nil
+}
+
+// SettleChain completes a chain-paid job: redeem the highest streamed
+// word and release the template account. The RUR travels as redemption
+// evidence.
+func (m *Module) SettleChain(jobID string, record *rur.Record, rates *rur.RateCard) (*ChargeResult, error) {
+	m.mu.Lock()
+	adm, ok := m.admitted[jobID]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, jobID)
+	}
+	if adm.Chain == nil {
+		return nil, fmt.Errorf("%w: job %s is not chain-paid", ErrNoInstrument, jobID)
+	}
+	statement, signedStmt, rurBytes, err := m.priceAndSign(record, rates)
+	if err != nil {
+		return nil, err
+	}
+	if adm.wordIndex == 0 {
+		// No words received: nothing to redeem.
+		m.finish(jobID, adm)
+		return &ChargeResult{JobID: jobID, Statement: statement, SignedStatement: signedStmt, Paid: "0"}, nil
+	}
+	resp, err := m.redeemer.RedeemChain(adm.Chain, &payment.ChainClaim{
+		Serial: adm.Chain.Commitment.Serial,
+		Index:  adm.wordIndex,
+		Word:   adm.word,
+		RUR:    rurBytes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("charging: chain redemption failed: %w", err)
+	}
+	m.finish(jobID, adm)
+	return &ChargeResult{
+		JobID:           jobID,
+		Statement:       statement,
+		SignedStatement: signedStmt,
+		Paid:            resp.Paid.String(),
+		TransactionID:   resp.TransactionID,
+	}, nil
+}
+
+func (m *Module) priceAndSign(record *rur.Record, rates *rur.RateCard) (*rur.CostStatement, *pki.Signed, []byte, error) {
+	statement, err := rur.Price(record, rates)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("charging: pricing: %w", err)
+	}
+	signed, err := pki.Sign(m.identity, StatementContext, signedCalculation{
+		RUR:       record,
+		Rates:     rates,
+		Statement: statement,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rurBytes, err := rur.Encode(record, rur.FormatJSON)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return statement, signed, rurBytes, nil
+}
+
+// finish releases the job's template account and forgets the admission.
+func (m *Module) finish(jobID string, adm *Admission) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.admitted, jobID)
+	// Release only if the consumer has no other admitted jobs (one local
+	// account serves all of a consumer's concurrent jobs).
+	for _, other := range m.admitted {
+		if other.Consumer == adm.Consumer {
+			return
+		}
+	}
+	_ = m.pool.Release(adm.Consumer)
+}
+
+// VerifyStatement checks a GSP-signed calculation and re-derives its
+// total, for dispute resolution: the bank (or the consumer) can confirm
+// the charge followed from the RUR and the agreed rates.
+func VerifyStatement(signed *pki.Signed, ts *pki.TrustStore, now time.Time) (*rur.CostStatement, string, error) {
+	var calc signedCalculation
+	signer, err := signed.Verify(ts, StatementContext, now, &calc)
+	if err != nil {
+		return nil, "", err
+	}
+	rederived, err := rur.Price(calc.RUR, calc.Rates)
+	if err != nil {
+		return nil, "", fmt.Errorf("charging: statement does not re-derive: %w", err)
+	}
+	if rederived.Total != calc.Statement.Total {
+		return nil, "", fmt.Errorf("charging: statement total %s does not match re-derived %s",
+			calc.Statement.Total, rederived.Total)
+	}
+	return calc.Statement, signer, nil
+}

@@ -1,0 +1,146 @@
+package charging
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Pool errors.
+var (
+	ErrPoolExhausted = errors.New("charging: no free template accounts")
+	ErrNotHeld       = errors.New("charging: account not held by this certificate")
+)
+
+// TemplatePool implements §2.3's template accounts (after Hacker & Athey):
+// "GSP maintains a pool of template accounts. These accounts are local
+// system accounts that are not associated with any particular user. When
+// a GSC contacts GSP to execute some application, GSP dynamically assigns
+// one of the template accounts from the pool of free accounts." The pool
+// is what makes GridBank access scale: thousands of consumers share a
+// handful of local accounts instead of each needing their own.
+type TemplatePool struct {
+	mu      sync.Mutex
+	free    []string          // LIFO free list
+	held    map[string]string // local account -> certificate name
+	mapfile *Mapfile
+
+	// statistics for the access-scalability experiment (E5)
+	acquires      uint64
+	rejections    uint64
+	peakInUse     int
+	distinctUsers map[string]struct{}
+}
+
+// NewTemplatePool creates a pool of n template accounts named
+// prefix001..prefixNNN, wired to the given mapfile.
+func NewTemplatePool(prefix string, n int, mapfile *Mapfile) (*TemplatePool, error) {
+	if n <= 0 {
+		return nil, errors.New("charging: pool needs at least one account")
+	}
+	if prefix == "" {
+		prefix = "grid"
+	}
+	if mapfile == nil {
+		mapfile = NewMapfile()
+	}
+	p := &TemplatePool{
+		held:          make(map[string]string),
+		mapfile:       mapfile,
+		distinctUsers: make(map[string]struct{}),
+	}
+	// LIFO: grid001 is handed out first.
+	for i := n; i >= 1; i-- {
+		p.free = append(p.free, fmt.Sprintf("%s%03d", prefix, i))
+	}
+	return p, nil
+}
+
+// Mapfile returns the pool's grid-mapfile.
+func (p *TemplatePool) Mapfile() *Mapfile { return p.mapfile }
+
+// Acquire assigns a free template account to the consumer and maps it in
+// the grid-mapfile. A consumer already holding an account gets the same
+// one back (idempotent: one local account per active consumer).
+func (p *TemplatePool) Acquire(certName string) (string, error) {
+	if certName == "" {
+		return "", errors.New("charging: empty certificate name")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if acct, ok := p.mapfile.Lookup(certName); ok {
+		return acct, nil
+	}
+	if len(p.free) == 0 {
+		p.rejections++
+		return "", fmt.Errorf("%w: %d in use", ErrPoolExhausted, len(p.held))
+	}
+	acct := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	if err := p.mapfile.Add(certName, acct); err != nil {
+		p.free = append(p.free, acct)
+		return "", err
+	}
+	p.held[acct] = certName
+	p.acquires++
+	p.distinctUsers[certName] = struct{}{}
+	if inUse := len(p.held); inUse > p.peakInUse {
+		p.peakInUse = inUse
+	}
+	return acct, nil
+}
+
+// Release removes the consumer's mapping and returns the account to the
+// free pool — the GBCM's post-job cleanup (§2.3: "GBCM then removes the
+// association by deleting the entry corresponding to GSC in the
+// grid-mapfile and returning the local account to the pool").
+func (p *TemplatePool) Release(certName string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	acct, ok := p.mapfile.Lookup(certName)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotHeld, certName)
+	}
+	if err := p.mapfile.Remove(certName); err != nil {
+		return err
+	}
+	delete(p.held, acct)
+	p.free = append(p.free, acct)
+	return nil
+}
+
+// InUse returns the number of currently assigned accounts.
+func (p *TemplatePool) InUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.held)
+}
+
+// Free returns the number of available accounts.
+func (p *TemplatePool) Free() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// PoolStats summarize pool behaviour for the scalability experiment.
+type PoolStats struct {
+	Acquires      uint64 // successful assignments
+	Rejections    uint64 // ErrPoolExhausted returns
+	PeakInUse     int    // high-water mark of simultaneous assignments
+	DistinctUsers int    // distinct certificate names ever served
+	Size          int    // total template accounts
+}
+
+// Stats returns a snapshot of the counters.
+func (p *TemplatePool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Acquires:      p.acquires,
+		Rejections:    p.rejections,
+		PeakInUse:     p.peakInUse,
+		DistinctUsers: len(p.distinctUsers),
+		Size:          len(p.free) + len(p.held),
+	}
+}

@@ -1,0 +1,695 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/currency"
+	"gridbank/internal/db"
+	"gridbank/internal/payment"
+	"gridbank/internal/pki"
+)
+
+// Instrument state tables.
+const (
+	tableCheques = "cheques"
+	tableChains  = "chains"
+	tableAdmins  = "admins"
+)
+
+// Instrument states.
+const (
+	stateOutstanding = "outstanding"
+	stateRedeemed    = "redeemed"
+	stateReleased    = "released"
+)
+
+// Errors specific to the bank layer.
+var (
+	ErrDenied          = errors.New("core: caller not authorized for this operation")
+	ErrUnknownSubject  = errors.New("core: subject has no account and is not an administrator")
+	ErrUnknownSerial   = errors.New("core: unknown instrument serial")
+	ErrAlreadyRedeemed = errors.New("core: instrument already redeemed")
+	ErrNotExpired      = errors.New("core: instrument not yet expired")
+	ErrStaleIndex      = errors.New("core: chain index not beyond redeemed position")
+)
+
+type chequeRow struct {
+	Cheque   payment.Cheque  `json:"cheque"`
+	State    string          `json:"state"`
+	Redeemed currency.Amount `json:"redeemed"`
+}
+
+type chainRow struct {
+	Commitment    payment.ChainCommitment `json:"commitment"`
+	State         string                  `json:"state"`
+	RedeemedIndex int                     `json:"redeemed_index"`
+}
+
+// Notifier delivers a signed transfer confirmation to a GSP address, for
+// the pay-before-use flow's "confirmation sent to the specified URL of
+// the GSP via another secure channel" (§3.1). Implementations must be
+// non-blocking or fast; delivery is best-effort and the receipt is also
+// returned to the caller.
+type Notifier func(address string, receipt *pki.Signed)
+
+// Bank is the GridBank server core: the §5.2 API implemented over the
+// accounts ledger with instrument registries for double-spend prevention.
+// All methods take the authenticated caller subject (the base certificate
+// name from the Security Layer) and enforce ownership/admin authorization.
+type Bank struct {
+	mgr *accounts.Manager
+	id  *pki.Identity
+	ts  *pki.TrustStore
+	now func() time.Time
+
+	notify Notifier
+
+	// instrMu serializes instrument check-then-act sequences (issue,
+	// redeem, release). Ledger atomicity lives in the db transaction
+	// layer; this lock closes the gap between reading an instrument row
+	// and writing its new state plus the ledger effect.
+	instrMu sync.Mutex
+}
+
+// BankConfig configures a Bank.
+type BankConfig struct {
+	// Identity is the bank's signing identity (cheques, chain
+	// commitments, receipts).
+	Identity *pki.Identity
+	// Trust is the CA set for verifying clients and instruments.
+	Trust *pki.TrustStore
+	// Admins lists administrator certificate names bootstrapped into the
+	// admin table (§3.2 "administrator tables").
+	Admins []string
+	// Now supplies time; defaults to time.Now.
+	Now func() time.Time
+	// Notifier delivers direct-transfer confirmations; optional.
+	Notifier Notifier
+	// Bank and Branch numbers for issued account IDs.
+	Bank   string
+	Branch string
+}
+
+// NewBank assembles a bank over the given store.
+func NewBank(store *db.Store, cfg BankConfig) (*Bank, error) {
+	if cfg.Identity == nil || cfg.Trust == nil {
+		return nil, errors.New("core: bank requires an identity and a trust store")
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	mgr, err := accounts.NewManager(store, accounts.Config{Bank: cfg.Bank, Branch: cfg.Branch, Now: cfg.Now})
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range []string{tableCheques, tableChains, tableAdmins} {
+		if err := store.EnsureTable(t); err != nil {
+			return nil, err
+		}
+	}
+	b := &Bank{mgr: mgr, id: cfg.Identity, ts: cfg.Trust, now: cfg.Now, notify: cfg.Notifier}
+	for _, admin := range cfg.Admins {
+		if err := b.addAdmin(admin); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// Manager exposes the underlying ledger (examples, experiments, tests).
+func (b *Bank) Manager() *accounts.Manager { return b.mgr }
+
+// Identity returns the bank's signing identity.
+func (b *Bank) Identity() *pki.Identity { return b.id }
+
+// Trust returns the bank's trust store.
+func (b *Bank) Trust() *pki.TrustStore { return b.ts }
+
+// Now returns the bank's current time (the injected clock in
+// simulations, wall clock otherwise).
+func (b *Bank) Now() time.Time { return b.now() }
+
+func (b *Bank) addAdmin(subject string) error {
+	if subject == "" {
+		return errors.New("core: empty admin subject")
+	}
+	return b.mgr.Store().Update(func(tx *db.Tx) error {
+		return tx.Put(tableAdmins, subject, []byte("1"))
+	})
+}
+
+// IsAdmin reports whether the subject is in the administrator table.
+func (b *Bank) IsAdmin(subject string) bool {
+	_, err := b.mgr.Store().Get(tableAdmins, subject)
+	return err == nil
+}
+
+// Authorize implements the §3.2 connection gate: a subject may hold a
+// session if it has an account or administrator privilege. Unknown
+// subjects are refused — "this provides a mechanism to limit
+// denial-of-service attacks" — except that the server layer admits them
+// for the single CreateAccount operation (you cannot have an account
+// before you open one).
+func (b *Bank) Authorize(subject string) error {
+	if b.IsAdmin(subject) {
+		return nil
+	}
+	if _, err := b.mgr.FindByCertificate(subject, ""); err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrUnknownSubject, subject)
+}
+
+// requireOwner returns the account if the caller owns it or is an admin.
+func (b *Bank) requireOwner(caller string, id accounts.ID) (*accounts.Account, error) {
+	a, err := b.mgr.Details(id)
+	if err != nil {
+		return nil, err
+	}
+	if a.CertificateName != caller && !b.IsAdmin(caller) {
+		return nil, fmt.Errorf("%w: %s does not own %s", ErrDenied, caller, id)
+	}
+	return a, nil
+}
+
+// CreateAccount implements §5.2 Create New Account for the authenticated
+// caller.
+func (b *Bank) CreateAccount(caller string, req *CreateAccountRequest) (*CreateAccountResponse, error) {
+	a, err := b.mgr.CreateAccount(caller, req.OrganizationName, req.Currency)
+	if err != nil {
+		return nil, err
+	}
+	return &CreateAccountResponse{Account: *a}, nil
+}
+
+// AccountDetails implements §5.2 Request Account Details / Check Balance.
+func (b *Bank) AccountDetails(caller string, req *AccountDetailsRequest) (*AccountDetailsResponse, error) {
+	a, err := b.requireOwner(caller, req.AccountID)
+	if err != nil {
+		return nil, err
+	}
+	return &AccountDetailsResponse{Account: *a}, nil
+}
+
+// UpdateAccount implements §5.2 Update Account Details.
+func (b *Bank) UpdateAccount(caller string, req *UpdateAccountRequest) (*AccountDetailsResponse, error) {
+	if _, err := b.requireOwner(caller, req.AccountID); err != nil {
+		return nil, err
+	}
+	a, err := b.mgr.UpdateDetails(req.AccountID, req.CertificateName, req.OrganizationName)
+	if err != nil {
+		return nil, err
+	}
+	return &AccountDetailsResponse{Account: *a}, nil
+}
+
+// AccountStatement implements §5.2 Request Account Statement.
+func (b *Bank) AccountStatement(caller string, req *AccountStatementRequest) (*AccountStatementResponse, error) {
+	if _, err := b.requireOwner(caller, req.AccountID); err != nil {
+		return nil, err
+	}
+	st, err := b.mgr.Statement(req.AccountID, req.Start, req.End)
+	if err != nil {
+		return nil, err
+	}
+	return &AccountStatementResponse{Statement: *st}, nil
+}
+
+// CheckFunds implements §5.2 Perform Funds Availability Check.
+func (b *Bank) CheckFunds(caller string, req *CheckFundsRequest) (*ConfirmationResponse, error) {
+	if _, err := b.requireOwner(caller, req.AccountID); err != nil {
+		return nil, err
+	}
+	if err := b.mgr.CheckFunds(req.AccountID, req.Amount); err != nil {
+		return nil, err
+	}
+	return &ConfirmationResponse{Confirmed: true}, nil
+}
+
+// DirectTransfer implements the pay-before-use policy (§3.1, §5.2).
+func (b *Bank) DirectTransfer(caller string, req *DirectTransferRequest) (*DirectTransferResponse, error) {
+	from, err := b.requireOwner(caller, req.FromAccountID)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := b.mgr.Transfer(req.FromAccountID, req.ToAccountID, req.Amount, accounts.TransferOptions{})
+	if err != nil {
+		return nil, err
+	}
+	receipt, err := pki.Sign(b.id, ReceiptContext, TransferReceipt{
+		TransactionID: tr.TransactionID,
+		Drawer:        tr.DrawerAccountID,
+		Recipient:     tr.RecipientAccountID,
+		Amount:        tr.Amount,
+		Currency:      from.Currency,
+		Date:          tr.Date,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if req.RecipientAddress != "" && b.notify != nil {
+		b.notify(req.RecipientAddress, receipt)
+	}
+	return &DirectTransferResponse{TransactionID: tr.TransactionID, Receipt: receipt}, nil
+}
+
+// RequestCheque implements §5.2 Request GridCheque: lock the amount
+// (§3.4 payment guarantee), persist the serial, sign and return.
+func (b *Bank) RequestCheque(caller string, req *RequestChequeRequest) (*RequestChequeResponse, error) {
+	acct, err := b.requireOwner(caller, req.AccountID)
+	if err != nil {
+		return nil, err
+	}
+	if req.PayeeCert == "" {
+		return nil, errors.New("core: cheque requires a payee certificate name")
+	}
+	ttl := req.TTL
+	if ttl <= 0 {
+		ttl = 24 * time.Hour
+	}
+	serial, err := payment.NewSerial()
+	if err != nil {
+		return nil, err
+	}
+	now := b.now()
+	cheque := payment.Cheque{
+		Serial:          serial,
+		DrawerAccountID: req.AccountID,
+		DrawerCert:      acct.CertificateName,
+		PayeeCert:       req.PayeeCert,
+		Limit:           req.Amount,
+		Currency:        acct.Currency,
+		IssuedAt:        now,
+		Expires:         now.Add(ttl),
+	}
+	if err := cheque.Validate(); err != nil {
+		return nil, err
+	}
+	b.instrMu.Lock()
+	defer b.instrMu.Unlock()
+	if err := b.mgr.CheckFunds(req.AccountID, req.Amount); err != nil {
+		return nil, err
+	}
+	signed, err := payment.IssueCheque(b.id, cheque)
+	if err != nil {
+		b.rollbackLock(req.AccountID, req.Amount)
+		return nil, err
+	}
+	if err := b.putChequeRow(&chequeRow{Cheque: cheque, State: stateOutstanding}); err != nil {
+		b.rollbackLock(req.AccountID, req.Amount)
+		return nil, err
+	}
+	return &RequestChequeResponse{Cheque: *signed}, nil
+}
+
+// rollbackLock undoes a CheckFunds lock after a failed issue step.
+func (b *Bank) rollbackLock(id accounts.ID, amount currency.Amount) {
+	// Best effort: the lock row plus instrument absence keeps the ledger
+	// consistent even if this fails (funds merely stay locked).
+	_ = b.mgr.Unlock(id, amount)
+}
+
+func (b *Bank) putChequeRow(row *chequeRow) error {
+	raw, err := json.Marshal(row)
+	if err != nil {
+		return err
+	}
+	return b.mgr.Store().Update(func(tx *db.Tx) error {
+		return tx.Put(tableCheques, row.Cheque.Serial, raw)
+	})
+}
+
+func (b *Bank) getChequeRow(serial string) (*chequeRow, error) {
+	raw, err := b.mgr.Store().Get(tableCheques, serial)
+	if errors.Is(err, db.ErrNoRecord) {
+		return nil, fmt.Errorf("%w: cheque %s", ErrUnknownSerial, serial)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var row chequeRow
+	if err := json.Unmarshal(raw, &row); err != nil {
+		return nil, fmt.Errorf("core: corrupt cheque row: %w", err)
+	}
+	return &row, nil
+}
+
+// RedeemCheque implements §5.2 Redeem GridCheque. The caller must be the
+// payee named on the cheque; the claim amount is paid from the drawer's
+// locked funds, the unspent remainder of the lock is released, and the
+// serial is marked redeemed (double-spend prevention). The RUR travels
+// into the TRANSFER record as evidence.
+func (b *Bank) RedeemCheque(caller string, req *RedeemChequeRequest) (*RedeemChequeResponse, error) {
+	sc := req.Cheque
+	if _, err := payment.VerifyCheque(&sc, b.ts, caller, b.now()); err != nil {
+		return nil, err
+	}
+	cheque := sc.Cheque
+	if err := cheque.ValidateClaim(&req.Claim); err != nil {
+		return nil, err
+	}
+	payeeAcct, err := b.mgr.FindByCertificate(caller, cheque.Currency)
+	if err != nil {
+		return nil, fmt.Errorf("core: payee has no %s account: %w", cheque.Currency, err)
+	}
+	b.instrMu.Lock()
+	defer b.instrMu.Unlock()
+	row, err := b.getChequeRow(cheque.Serial)
+	if err != nil {
+		return nil, err
+	}
+	if row.State != stateOutstanding {
+		return nil, fmt.Errorf("%w: cheque %s is %s", ErrAlreadyRedeemed, cheque.Serial, row.State)
+	}
+	tr, err := b.mgr.Transfer(cheque.DrawerAccountID, payeeAcct.AccountID, req.Claim.Amount,
+		accounts.TransferOptions{FromLocked: true, RUR: req.Claim.RUR})
+	if err != nil {
+		return nil, err
+	}
+	released := cheque.Limit.MustSub(req.Claim.Amount)
+	if released.IsPositive() {
+		if err := b.mgr.Unlock(cheque.DrawerAccountID, released); err != nil {
+			return nil, fmt.Errorf("core: releasing cheque remainder: %w", err)
+		}
+	}
+	row.State = stateRedeemed
+	row.Redeemed = req.Claim.Amount
+	if err := b.putChequeRow(row); err != nil {
+		return nil, err
+	}
+	return &RedeemChequeResponse{TransactionID: tr.TransactionID, Paid: req.Claim.Amount, Released: released}, nil
+}
+
+// RedeemChequeInterbank settles a cheque claim presented by a
+// correspondent branch on behalf of a payee banked at that branch (§6:
+// "if a GSC is from one VO and GSP is from another, then their respective
+// servers will need to define protocols for settling accounts between the
+// branches"). The claim is paid from the drawer's locked funds into the
+// correspondent's vostro account at this bank; the correspondent credits
+// the payee on its own books. The caller must own the vostro account.
+// The usual payee-identity check is replaced by the correspondent's
+// attestation — it verified the payee on its side before forwarding.
+func (b *Bank) RedeemChequeInterbank(correspondent string, vostro accounts.ID, req *RedeemChequeRequest) (*RedeemChequeResponse, error) {
+	vAcct, err := b.mgr.Details(vostro)
+	if err != nil {
+		return nil, err
+	}
+	if vAcct.CertificateName != correspondent {
+		return nil, fmt.Errorf("%w: vostro %s is not owned by %s", ErrDenied, vostro, correspondent)
+	}
+	sc := req.Cheque
+	// Payee filter "" — the correspondent vouches for the payee.
+	if _, err := payment.VerifyCheque(&sc, b.ts, "", b.now()); err != nil {
+		return nil, err
+	}
+	cheque := sc.Cheque
+	if err := cheque.ValidateClaim(&req.Claim); err != nil {
+		return nil, err
+	}
+	b.instrMu.Lock()
+	defer b.instrMu.Unlock()
+	row, err := b.getChequeRow(cheque.Serial)
+	if err != nil {
+		return nil, err
+	}
+	if row.State != stateOutstanding {
+		return nil, fmt.Errorf("%w: cheque %s is %s", ErrAlreadyRedeemed, cheque.Serial, row.State)
+	}
+	tr, err := b.mgr.Transfer(cheque.DrawerAccountID, vostro, req.Claim.Amount,
+		accounts.TransferOptions{FromLocked: true, RUR: req.Claim.RUR})
+	if err != nil {
+		return nil, err
+	}
+	released := cheque.Limit.MustSub(req.Claim.Amount)
+	if released.IsPositive() {
+		if err := b.mgr.Unlock(cheque.DrawerAccountID, released); err != nil {
+			return nil, fmt.Errorf("core: releasing cheque remainder: %w", err)
+		}
+	}
+	row.State = stateRedeemed
+	row.Redeemed = req.Claim.Amount
+	if err := b.putChequeRow(row); err != nil {
+		return nil, err
+	}
+	return &RedeemChequeResponse{TransactionID: tr.TransactionID, Paid: req.Claim.Amount, Released: released}, nil
+}
+
+// ReleaseCheque returns an expired, unredeemed cheque's locked funds to
+// the drawer. Only the drawer (or an admin) may release, and only after
+// expiry — before that the payee still holds a valid guarantee.
+func (b *Bank) ReleaseCheque(caller string, req *ReleaseRequest) (*ReleaseResponse, error) {
+	b.instrMu.Lock()
+	defer b.instrMu.Unlock()
+	row, err := b.getChequeRow(req.Serial)
+	if err != nil {
+		return nil, err
+	}
+	if row.Cheque.DrawerCert != caller && !b.IsAdmin(caller) {
+		return nil, fmt.Errorf("%w: %s is not the drawer", ErrDenied, caller)
+	}
+	if row.State != stateOutstanding {
+		return nil, fmt.Errorf("%w: cheque %s is %s", ErrAlreadyRedeemed, req.Serial, row.State)
+	}
+	if b.now().Before(row.Cheque.Expires) {
+		return nil, fmt.Errorf("%w: expires %v", ErrNotExpired, row.Cheque.Expires)
+	}
+	if err := b.mgr.Unlock(row.Cheque.DrawerAccountID, row.Cheque.Limit); err != nil {
+		return nil, err
+	}
+	row.State = stateReleased
+	if err := b.putChequeRow(row); err != nil {
+		return nil, err
+	}
+	return &ReleaseResponse{Released: row.Cheque.Limit}, nil
+}
+
+// RequestChain implements §5.2 Request GridHash chain: the bank generates
+// the chain, locks its full value, signs the commitment and returns the
+// seed to the consumer (pay-as-you-go, §3.1).
+func (b *Bank) RequestChain(caller string, req *RequestChainRequest) (*RequestChainResponse, error) {
+	acct, err := b.requireOwner(caller, req.AccountID)
+	if err != nil {
+		return nil, err
+	}
+	if req.PayeeCert == "" {
+		return nil, errors.New("core: chain requires a payee certificate name")
+	}
+	ttl := req.TTL
+	if ttl <= 0 {
+		ttl = 24 * time.Hour
+	}
+	chain, err := payment.NewChain(req.AccountID, acct.CertificateName, req.PayeeCert,
+		req.Length, req.PerWord, acct.Currency, b.now(), ttl)
+	if err != nil {
+		return nil, err
+	}
+	total, err := chain.Commitment.Total()
+	if err != nil {
+		return nil, err
+	}
+	b.instrMu.Lock()
+	defer b.instrMu.Unlock()
+	if err := b.mgr.CheckFunds(req.AccountID, total); err != nil {
+		return nil, err
+	}
+	signed, err := payment.IssueChain(b.id, chain.Commitment)
+	if err != nil {
+		b.rollbackLock(req.AccountID, total)
+		return nil, err
+	}
+	if err := b.putChainRow(&chainRow{Commitment: chain.Commitment, State: stateOutstanding}); err != nil {
+		b.rollbackLock(req.AccountID, total)
+		return nil, err
+	}
+	return &RequestChainResponse{Chain: *signed, Seed: chain.Seed}, nil
+}
+
+func (b *Bank) putChainRow(row *chainRow) error {
+	raw, err := json.Marshal(row)
+	if err != nil {
+		return err
+	}
+	return b.mgr.Store().Update(func(tx *db.Tx) error {
+		return tx.Put(tableChains, row.Commitment.Serial, raw)
+	})
+}
+
+func (b *Bank) getChainRow(serial string) (*chainRow, error) {
+	raw, err := b.mgr.Store().Get(tableChains, serial)
+	if errors.Is(err, db.ErrNoRecord) {
+		return nil, fmt.Errorf("%w: chain %s", ErrUnknownSerial, serial)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var row chainRow
+	if err := json.Unmarshal(raw, &row); err != nil {
+		return nil, fmt.Errorf("core: corrupt chain row: %w", err)
+	}
+	return &row, nil
+}
+
+// RedeemChain implements §5.2 Redeem GridHash chain, incrementally: a
+// claim at index i pays (i − redeemedSoFar) × PerWord from the drawer's
+// locked funds. GSPs may batch (redeem every N words) or redeem once at
+// the end; both fall out of the same delta rule.
+func (b *Bank) RedeemChain(caller string, req *RedeemChainRequest) (*RedeemChainResponse, error) {
+	sc := req.Chain
+	if _, err := payment.VerifyChain(&sc, b.ts, caller, b.now()); err != nil {
+		return nil, err
+	}
+	cc := sc.Commitment
+	if err := cc.ValidateClaim(&req.Claim); err != nil {
+		return nil, err
+	}
+	payeeAcct, err := b.mgr.FindByCertificate(caller, cc.Currency)
+	if err != nil {
+		return nil, fmt.Errorf("core: payee has no %s account: %w", cc.Currency, err)
+	}
+	b.instrMu.Lock()
+	defer b.instrMu.Unlock()
+	row, err := b.getChainRow(cc.Serial)
+	if err != nil {
+		return nil, err
+	}
+	if row.State != stateOutstanding {
+		return nil, fmt.Errorf("%w: chain %s is %s", ErrAlreadyRedeemed, cc.Serial, row.State)
+	}
+	if req.Claim.Index <= row.RedeemedIndex {
+		return nil, fmt.Errorf("%w: claim %d, already redeemed to %d", ErrStaleIndex, req.Claim.Index, row.RedeemedIndex)
+	}
+	deltaWords := int64(req.Claim.Index - row.RedeemedIndex)
+	delta, err := cc.PerWord.MulInt(deltaWords)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := b.mgr.Transfer(cc.DrawerAccountID, payeeAcct.AccountID, delta,
+		accounts.TransferOptions{FromLocked: true, RUR: req.Claim.RUR})
+	if err != nil {
+		return nil, err
+	}
+	row.RedeemedIndex = req.Claim.Index
+	if row.RedeemedIndex == cc.Length {
+		row.State = stateRedeemed
+	}
+	if err := b.putChainRow(row); err != nil {
+		return nil, err
+	}
+	return &RedeemChainResponse{TransactionID: tr.TransactionID, Paid: delta, IndexNow: row.RedeemedIndex}, nil
+}
+
+// ReleaseChain returns the unredeemed remainder of an expired chain's
+// lock to the drawer.
+func (b *Bank) ReleaseChain(caller string, req *ReleaseRequest) (*ReleaseResponse, error) {
+	b.instrMu.Lock()
+	defer b.instrMu.Unlock()
+	row, err := b.getChainRow(req.Serial)
+	if err != nil {
+		return nil, err
+	}
+	if row.Commitment.DrawerCert != caller && !b.IsAdmin(caller) {
+		return nil, fmt.Errorf("%w: %s is not the drawer", ErrDenied, caller)
+	}
+	if row.State != stateOutstanding {
+		return nil, fmt.Errorf("%w: chain %s is %s", ErrAlreadyRedeemed, req.Serial, row.State)
+	}
+	if b.now().Before(row.Commitment.Expires) {
+		return nil, fmt.Errorf("%w: expires %v", ErrNotExpired, row.Commitment.Expires)
+	}
+	remWords := int64(row.Commitment.Length - row.RedeemedIndex)
+	remainder, err := row.Commitment.PerWord.MulInt(remWords)
+	if err != nil {
+		return nil, err
+	}
+	if remainder.IsPositive() {
+		if err := b.mgr.Unlock(row.Commitment.DrawerAccountID, remainder); err != nil {
+			return nil, err
+		}
+	}
+	row.State = stateReleased
+	if err := b.putChainRow(row); err != nil {
+		return nil, err
+	}
+	return &ReleaseResponse{Released: remainder}, nil
+}
+
+// --- Admin API (§5.2.1) ----------------------------------------------------
+
+func (b *Bank) requireAdmin(caller string) error {
+	if !b.IsAdmin(caller) {
+		return fmt.Errorf("%w: %s is not an administrator", ErrDenied, caller)
+	}
+	return nil
+}
+
+// AdminDeposit credits an account with externally received funds.
+func (b *Bank) AdminDeposit(caller string, req *AdminAmountRequest) (*ConfirmationResponse, error) {
+	if err := b.requireAdmin(caller); err != nil {
+		return nil, err
+	}
+	if err := b.mgr.Admin().Deposit(req.AccountID, req.Amount); err != nil {
+		return nil, err
+	}
+	return &ConfirmationResponse{Confirmed: true}, nil
+}
+
+// AdminWithdraw debits an account for external payout.
+func (b *Bank) AdminWithdraw(caller string, req *AdminAmountRequest) (*ConfirmationResponse, error) {
+	if err := b.requireAdmin(caller); err != nil {
+		return nil, err
+	}
+	if err := b.mgr.Admin().Withdraw(req.AccountID, req.Amount); err != nil {
+		return nil, err
+	}
+	return &ConfirmationResponse{Confirmed: true}, nil
+}
+
+// AdminChangeCreditLimit sets an account's credit limit.
+func (b *Bank) AdminChangeCreditLimit(caller string, req *AdminAmountRequest) (*ConfirmationResponse, error) {
+	if err := b.requireAdmin(caller); err != nil {
+		return nil, err
+	}
+	if err := b.mgr.Admin().ChangeCreditLimit(req.AccountID, req.Amount); err != nil {
+		return nil, err
+	}
+	return &ConfirmationResponse{Confirmed: true}, nil
+}
+
+// AdminCancelTransfer reverses a transfer.
+func (b *Bank) AdminCancelTransfer(caller string, req *AdminCancelRequest) (*ConfirmationResponse, error) {
+	if err := b.requireAdmin(caller); err != nil {
+		return nil, err
+	}
+	if err := b.mgr.Admin().CancelTransfer(req.TransactionID); err != nil {
+		return nil, err
+	}
+	return &ConfirmationResponse{Confirmed: true}, nil
+}
+
+// AdminCloseAccount closes an account.
+func (b *Bank) AdminCloseAccount(caller string, req *AdminCloseRequest) (*ConfirmationResponse, error) {
+	if err := b.requireAdmin(caller); err != nil {
+		return nil, err
+	}
+	if err := b.mgr.Admin().CloseAccount(req.AccountID, req.TransferTo); err != nil {
+		return nil, err
+	}
+	return &ConfirmationResponse{Confirmed: true}, nil
+}
+
+// AdminListAccounts lists all accounts.
+func (b *Bank) AdminListAccounts(caller string) (*AdminAccountsResponse, error) {
+	if err := b.requireAdmin(caller); err != nil {
+		return nil, err
+	}
+	accts, err := b.mgr.Accounts()
+	if err != nil {
+		return nil, err
+	}
+	return &AdminAccountsResponse{Accounts: accts}, nil
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/currency"
+	"gridbank/internal/payment"
+	"gridbank/internal/pki"
+	"gridbank/internal/wire"
+)
+
+// RemoteError is a failure reported by the GridBank server.
+type RemoteError struct {
+	Code    string
+	Message string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("gridbank server: %s (%s)", e.Message, e.Code)
+}
+
+// IsRemoteCode reports whether err is a RemoteError with the given code.
+func IsRemoteCode(err error, code string) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == code
+}
+
+// Client is the GridBank client: the transport beneath both the GridBank
+// Payment Module (consumer side, §3.3/§5.3) and the GridBank Charging
+// Module's redemption calls (provider side). It authenticates with a
+// proxy or identity certificate and serializes requests over one TLS
+// connection, reconnecting on demand.
+type Client struct {
+	addr string
+	cfg  *tls.Config
+
+	mu   sync.Mutex
+	conn *wire.Conn
+	raw  net.Conn
+	next uint64
+
+	// DialTimeout bounds connection establishment (default 10s).
+	DialTimeout time.Duration
+}
+
+// Dial creates a client for the GridBank server at addr, authenticating
+// as the given identity (typically a user proxy, preserving single
+// sign-on) and trusting servers signed by the trust store's CAs.
+func Dial(addr string, id *pki.Identity, ts *pki.TrustStore) (*Client, error) {
+	cfg, err := pki.ClientTLSConfig(id, ts)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{addr: addr, cfg: cfg, DialTimeout: 10 * time.Second}, nil
+}
+
+func (c *Client) ensureConn() error {
+	if c.conn != nil {
+		return nil
+	}
+	d := net.Dialer{Timeout: c.DialTimeout}
+	raw, err := d.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("core: dial %s: %w", c.addr, err)
+	}
+	tconn := tls.Client(raw, c.cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), c.DialTimeout)
+	defer cancel()
+	if err := tconn.HandshakeContext(ctx); err != nil {
+		raw.Close()
+		return fmt.Errorf("core: tls handshake with %s: %w", c.addr, err)
+	}
+	c.raw = tconn
+	c.conn = wire.NewConn(tconn)
+	return nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.raw != nil {
+		err := c.raw.Close()
+		c.raw, c.conn = nil, nil
+		return err
+	}
+	return nil
+}
+
+// call performs one request/response round trip. A transport error
+// invalidates the connection (next call redials).
+func (c *Client) call(op string, in, out any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureConn(); err != nil {
+		return err
+	}
+	var body []byte
+	if in != nil {
+		raw, err := wire.Encode(in)
+		if err != nil {
+			return err
+		}
+		body = raw
+	}
+	c.next++
+	req := &wire.Request{ID: c.next, Op: op, Body: body}
+	if err := c.conn.WriteRequest(req); err != nil {
+		c.dropConnLocked()
+		return fmt.Errorf("core: send %s: %w", op, err)
+	}
+	resp, err := c.conn.ReadResponse()
+	if err != nil {
+		c.dropConnLocked()
+		return fmt.Errorf("core: receive %s: %w", op, err)
+	}
+	if resp.ID != req.ID {
+		c.dropConnLocked()
+		return fmt.Errorf("core: response ID %d for request %d", resp.ID, req.ID)
+	}
+	if !resp.OK {
+		return &RemoteError{Code: resp.Code, Message: resp.Error}
+	}
+	if out != nil {
+		return wire.Decode(resp.Body, out)
+	}
+	return nil
+}
+
+func (c *Client) dropConnLocked() {
+	if c.raw != nil {
+		c.raw.Close()
+	}
+	c.raw, c.conn = nil, nil
+}
+
+// Call invokes an arbitrary (e.g. custom-registered) operation: the
+// client side of the §3.2 payment-scheme extension point.
+func (c *Client) Call(op string, in, out any) error { return c.call(op, in, out) }
+
+// Ping checks connectivity and returns the bank's subject name.
+func (c *Client) Ping() (string, error) {
+	var out map[string]string
+	if err := c.call(OpPing, nil, &out); err != nil {
+		return "", err
+	}
+	return out["bank"], nil
+}
+
+// CreateAccount opens an account for the authenticated subject.
+func (c *Client) CreateAccount(org string, cur currency.Code) (*accounts.Account, error) {
+	var out CreateAccountResponse
+	if err := c.call(OpCreateAccount, &CreateAccountRequest{OrganizationName: org, Currency: cur}, &out); err != nil {
+		return nil, err
+	}
+	return &out.Account, nil
+}
+
+// AccountDetails fetches an account record.
+func (c *Client) AccountDetails(id accounts.ID) (*accounts.Account, error) {
+	var out AccountDetailsResponse
+	if err := c.call(OpAccountDetails, &AccountDetailsRequest{AccountID: id}, &out); err != nil {
+		return nil, err
+	}
+	return &out.Account, nil
+}
+
+// UpdateAccount amends certificate/organization names.
+func (c *Client) UpdateAccount(id accounts.ID, certName, orgName string) (*accounts.Account, error) {
+	var out AccountDetailsResponse
+	req := &UpdateAccountRequest{AccountID: id, CertificateName: certName, OrganizationName: orgName}
+	if err := c.call(OpUpdateAccount, req, &out); err != nil {
+		return nil, err
+	}
+	return &out.Account, nil
+}
+
+// AccountStatement fetches transactions in [start, end].
+func (c *Client) AccountStatement(id accounts.ID, start, end time.Time) (*accounts.Statement, error) {
+	var out AccountStatementResponse
+	if err := c.call(OpAccountStatement, &AccountStatementRequest{AccountID: id, Start: start, End: end}, &out); err != nil {
+		return nil, err
+	}
+	return &out.Statement, nil
+}
+
+// CheckFunds locks amount as a payment guarantee.
+func (c *Client) CheckFunds(id accounts.ID, amount currency.Amount) error {
+	var out ConfirmationResponse
+	return c.call(OpCheckFunds, &CheckFundsRequest{AccountID: id, Amount: amount}, &out)
+}
+
+// DirectTransfer performs a pay-before-use transfer, returning the signed
+// receipt.
+func (c *Client) DirectTransfer(from, to accounts.ID, amount currency.Amount, recipientAddr string) (*DirectTransferResponse, error) {
+	var out DirectTransferResponse
+	req := &DirectTransferRequest{FromAccountID: from, ToAccountID: to, Amount: amount, RecipientAddress: recipientAddr}
+	if err := c.call(OpDirectTransfer, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RequestCheque obtains a GridCheque made out to payeeCert, locking
+// amount.
+func (c *Client) RequestCheque(id accounts.ID, amount currency.Amount, payeeCert string, ttl time.Duration) (*payment.SignedCheque, error) {
+	var out RequestChequeResponse
+	req := &RequestChequeRequest{AccountID: id, Amount: amount, PayeeCert: payeeCert, TTL: ttl}
+	if err := c.call(OpRequestCheque, req, &out); err != nil {
+		return nil, err
+	}
+	return &out.Cheque, nil
+}
+
+// RedeemCheque settles a cheque claim (provider side).
+func (c *Client) RedeemCheque(cheque *payment.SignedCheque, claim *payment.ChequeClaim) (*RedeemChequeResponse, error) {
+	var out RedeemChequeResponse
+	req := &RedeemChequeRequest{Cheque: *cheque, Claim: *claim}
+	if err := c.call(OpRedeemCheque, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RequestChain obtains a GridHash chain: the signed commitment plus the
+// secret seed.
+func (c *Client) RequestChain(id accounts.ID, payeeCert string, length int, perWord currency.Amount, ttl time.Duration) (*payment.Chain, *payment.SignedChain, error) {
+	var out RequestChainResponse
+	req := &RequestChainRequest{AccountID: id, PayeeCert: payeeCert, Length: length, PerWord: perWord, TTL: ttl}
+	if err := c.call(OpRequestChain, req, &out); err != nil {
+		return nil, nil, err
+	}
+	chain := &payment.Chain{Commitment: out.Chain.Commitment, Seed: out.Seed}
+	if err := chain.Rederive(); err != nil {
+		return nil, nil, fmt.Errorf("core: server returned inconsistent chain: %w", err)
+	}
+	return chain, &out.Chain, nil
+}
+
+// RedeemChain settles a chain claim incrementally (provider side).
+func (c *Client) RedeemChain(chain *payment.SignedChain, claim *payment.ChainClaim) (*RedeemChainResponse, error) {
+	var out RedeemChainResponse
+	req := &RedeemChainRequest{Chain: *chain, Claim: *claim}
+	if err := c.call(OpRedeemChain, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ReleaseCheque releases an expired cheque's lock (drawer side).
+func (c *Client) ReleaseCheque(serial string) (currency.Amount, error) {
+	var out ReleaseResponse
+	if err := c.call(OpReleaseCheque, &ReleaseRequest{Serial: serial}, &out); err != nil {
+		return 0, err
+	}
+	return out.Released, nil
+}
+
+// ReleaseChain releases an expired chain's remaining lock (drawer side).
+func (c *Client) ReleaseChain(serial string) (currency.Amount, error) {
+	var out ReleaseResponse
+	if err := c.call(OpReleaseChain, &ReleaseRequest{Serial: serial}, &out); err != nil {
+		return 0, err
+	}
+	return out.Released, nil
+}
+
+// --- Admin client (§5.2.1) --------------------------------------------------
+
+// AdminDeposit credits an account (administrator caller).
+func (c *Client) AdminDeposit(id accounts.ID, amount currency.Amount) error {
+	var out ConfirmationResponse
+	return c.call(OpAdminDeposit, &AdminAmountRequest{AccountID: id, Amount: amount}, &out)
+}
+
+// AdminWithdraw debits an account (administrator caller).
+func (c *Client) AdminWithdraw(id accounts.ID, amount currency.Amount) error {
+	var out ConfirmationResponse
+	return c.call(OpAdminWithdraw, &AdminAmountRequest{AccountID: id, Amount: amount}, &out)
+}
+
+// AdminChangeCreditLimit sets a credit limit (administrator caller).
+func (c *Client) AdminChangeCreditLimit(id accounts.ID, limit currency.Amount) error {
+	var out ConfirmationResponse
+	return c.call(OpAdminCreditLimit, &AdminAmountRequest{AccountID: id, Amount: limit}, &out)
+}
+
+// AdminCancelTransfer reverses a transfer (administrator caller).
+func (c *Client) AdminCancelTransfer(txID uint64) error {
+	var out ConfirmationResponse
+	return c.call(OpAdminCancel, &AdminCancelRequest{TransactionID: txID}, &out)
+}
+
+// AdminCloseAccount closes an account (administrator caller).
+func (c *Client) AdminCloseAccount(id, transferTo accounts.ID) error {
+	var out ConfirmationResponse
+	return c.call(OpAdminClose, &AdminCloseRequest{AccountID: id, TransferTo: transferTo}, &out)
+}
+
+// AdminListAccounts lists all accounts (administrator caller).
+func (c *Client) AdminListAccounts() ([]accounts.Account, error) {
+	var out AdminAccountsResponse
+	if err := c.call(OpAdminAccounts, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Accounts, nil
+}

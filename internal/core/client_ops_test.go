@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/payment"
+)
+
+// TestAllClientOpsOverWire drives every remaining §5.2/§5.2.1 operation
+// through the TLS client, completing wire coverage of the API surface.
+func TestAllClientOpsOverWire(t *testing.T) {
+	lw := newLiveWorld(t)
+	alice := lw.client(t, lw.alice)
+	gsp := lw.client(t, lw.gsp)
+	admin := lw.client(t, lw.admin)
+
+	// UpdateAccount (§5.2: only CertificateName and OrganizationName).
+	upd, err := alice.UpdateAccount(lw.aliceAcct.AccountID, lw.alice.SubjectName(), "Renamed Org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upd.OrganizationName != "Renamed Org" {
+		t.Fatalf("update = %+v", upd)
+	}
+
+	// CheckFunds locks over the wire.
+	if err := alice.CheckFunds(lw.aliceAcct.AccountID, currency.FromG(100)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := alice.AccountDetails(lw.aliceAcct.AccountID)
+	if err != nil || a.LockedBalance != currency.FromG(100) {
+		t.Fatalf("lock over wire: %+v, %v", a, err)
+	}
+
+	// Release flows over the wire: issue a short cheque, expire it,
+	// release.
+	cheque, err := alice.RequestCheque(lw.aliceAcct.AccountID, currency.FromG(10), lw.gsp.SubjectName(), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw.clock.Advance(time.Hour)
+	released, err := alice.ReleaseCheque(cheque.Cheque.Serial)
+	if err != nil || released != currency.FromG(10) {
+		t.Fatalf("release cheque = %s, %v", released, err)
+	}
+	chain, signed, err := alice.RequestChain(lw.aliceAcct.AccountID, lw.gsp.SubjectName(), 10, currency.FromG(1), time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = signed
+	lw.clock.Advance(time.Hour)
+	releasedChain, err := alice.ReleaseChain(chain.Commitment.Serial)
+	if err != nil || releasedChain != currency.FromG(10) {
+		t.Fatalf("release chain = %s, %v", releasedChain, err)
+	}
+
+	// Admin: credit limit, cancel, withdraw, close — all over the wire.
+	if err := admin.AdminChangeCreditLimit(lw.gspAcct.AccountID, currency.FromG(5)); err != nil {
+		t.Fatal(err)
+	}
+	dt, err := alice.DirectTransfer(lw.aliceAcct.AccountID, lw.gspAcct.AccountID, currency.FromG(7), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.AdminCancelTransfer(dt.TransactionID); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := gsp.AccountDetails(lw.gspAcct.AccountID)
+	if !g.AvailableBalance.IsZero() {
+		t.Fatalf("cancel did not restore: %s", g.AvailableBalance)
+	}
+	if err := admin.AdminWithdraw(lw.aliceAcct.AccountID, currency.FromG(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Close gsp's empty account, sweeping to alice (nothing to sweep).
+	if err := admin.AdminChangeCreditLimit(lw.gspAcct.AccountID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.AdminCloseAccount(lw.gspAcct.AccountID, lw.aliceAcct.AccountID); err != nil {
+		t.Fatal(err)
+	}
+	accts, err := admin.AdminListAccounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var closed bool
+	for _, acct := range accts {
+		if acct.AccountID == lw.gspAcct.AccountID && acct.Closed {
+			closed = true
+		}
+	}
+	if !closed {
+		t.Fatal("account not closed over wire")
+	}
+}
+
+// TestWireErrorsCarryCodes checks the stable error codes across a
+// sampling of failure classes, end to end.
+func TestWireErrorsCarryCodes(t *testing.T) {
+	lw := newLiveWorld(t)
+	alice := lw.client(t, lw.alice)
+	gsp := lw.client(t, lw.gsp)
+
+	if _, err := alice.AccountDetails("99-9999-99999999"); !IsRemoteCode(err, CodeNotFound) {
+		t.Errorf("not-found code: %v", err)
+	}
+	if _, err := alice.DirectTransfer(lw.aliceAcct.AccountID, lw.gspAcct.AccountID, currency.FromG(999999), ""); !IsRemoteCode(err, CodeInsufficient) {
+		t.Errorf("insufficient code: %v", err)
+	}
+	if _, err := alice.CreateAccount("", currency.GridDollar); !IsRemoteCode(err, CodeDuplicate) {
+		t.Errorf("duplicate code: %v", err)
+	}
+	// Conflict: double redemption.
+	cheque, err := alice.RequestCheque(lw.aliceAcct.AccountID, currency.FromG(5), lw.gsp.SubjectName(), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claim := &payment.ChequeClaim{Serial: cheque.Cheque.Serial, Amount: currency.FromG(5)}
+	if _, err := gsp.RedeemCheque(cheque, claim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gsp.RedeemCheque(cheque, claim); !IsRemoteCode(err, CodeConflict) {
+		t.Errorf("conflict code: %v", err)
+	}
+	// Invalid: zero-amount transfer.
+	if _, err := alice.DirectTransfer(lw.aliceAcct.AccountID, lw.gspAcct.AccountID, 0, ""); !IsRemoteCode(err, CodeInvalid) {
+		t.Errorf("invalid code: %v", err)
+	}
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/payment"
+	"gridbank/internal/pki"
+	"gridbank/internal/wire"
+)
+
+// Server exposes a Bank over mutually-authenticated TLS using the wire
+// protocol. Per §3.2, a connection is only retained if the authenticated
+// subject has an account or administrator privilege; unknown subjects may
+// execute exactly one operation — CreateAccount — and anything else
+// closes the connection ("clients simply cannot send any requests before
+// a connection is established").
+type Server struct {
+	bank *Bank
+	cfg  *tls.Config
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+	handlers map[string]OpHandler
+
+	// Logf logs connection-level events; defaults to log.Printf. Tests
+	// silence it.
+	Logf func(format string, args ...any)
+}
+
+// OpHandler serves one custom operation: the §3.2 extension point
+// ("any other payment scheme that defines its own data structures and
+// communication protocol can be added without need to modify GB Accounts
+// or GB Security modules"). The handler receives the authenticated
+// caller subject and the raw request body, and returns a JSON-encodable
+// result or an error (mapped to a wire code by ErrorCode).
+type OpHandler func(subject string, body []byte) (any, error)
+
+// NewServer builds a TLS server for the bank using its identity and
+// trust store.
+func NewServer(bank *Bank, serverIdentity *pki.Identity) (*Server, error) {
+	cfg, err := pki.ServerTLSConfig(serverIdentity, bank.Trust())
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		bank:     bank,
+		cfg:      cfg,
+		conns:    make(map[net.Conn]struct{}),
+		handlers: make(map[string]OpHandler),
+		Logf:     log.Printf,
+	}, nil
+}
+
+// RegisterOp installs a custom operation handler. Built-in operation
+// names cannot be overridden; registration after serving has begun is
+// safe. Custom ops run behind the same security layer and connection
+// gate as built-ins.
+func (s *Server) RegisterOp(name string, h OpHandler) error {
+	if name == "" || h == nil {
+		return errors.New("core: RegisterOp requires a name and handler")
+	}
+	if isBuiltinOp(name) {
+		return fmt.Errorf("core: operation %q is built in", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.handlers[name]; ok {
+		return fmt.Errorf("core: operation %q already registered", name)
+	}
+	s.handlers[name] = h
+	return nil
+}
+
+func isBuiltinOp(name string) bool {
+	switch name {
+	case OpPing, OpCreateAccount, OpAccountDetails, OpUpdateAccount, OpAccountStatement,
+		OpCheckFunds, OpDirectTransfer, OpRequestCheque, OpRedeemCheque, OpRequestChain,
+		OpRedeemChain, OpReleaseCheque, OpReleaseChain, OpAdminDeposit, OpAdminWithdraw,
+		OpAdminCreditLimit, OpAdminCancel, OpAdminClose, OpAdminAccounts:
+		return true
+	}
+	return false
+}
+
+// Serve accepts connections on ln until Close. It blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("core: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the bound address, once serving.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting and tears down live connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handleConn(raw net.Conn) {
+	defer raw.Close()
+	tconn := tls.Server(raw, s.cfg)
+	if err := tconn.HandshakeContext(context.Background()); err != nil {
+		s.Logf("gridbank: handshake from %s failed: %v", raw.RemoteAddr(), err)
+		return
+	}
+	subject, err := pki.PeerSubject(s.bank.Trust(), tconn.ConnectionState())
+	if err != nil {
+		s.Logf("gridbank: peer verification from %s failed: %v", raw.RemoteAddr(), err)
+		return
+	}
+	known := s.bank.Authorize(subject) == nil
+	conn := wire.NewConn(tconn)
+	for {
+		req, err := conn.ReadRequest()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.Logf("gridbank: read from %s (%s): %v", raw.RemoteAddr(), subject, err)
+			}
+			return
+		}
+		// §3.2 gate: unknown subjects may only open an account.
+		if !known && req.Op != OpCreateAccount && req.Op != OpPing {
+			_ = conn.WriteResponse(&wire.Response{
+				ID: req.ID, OK: false, Code: CodeDenied,
+				Error: fmt.Sprintf("subject %s has no account; connection refused", subject),
+			})
+			return // drop the connection, as the paper prescribes
+		}
+		resp := s.dispatch(subject, req)
+		if req.Op == OpCreateAccount && resp.OK {
+			known = true
+		}
+		if err := conn.WriteResponse(resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch routes one request to the bank API.
+func (s *Server) dispatch(subject string, req *wire.Request) *wire.Response {
+	resp := &wire.Response{ID: req.ID}
+	var body any
+	var err error
+	switch req.Op {
+	case OpPing:
+		body = map[string]string{"bank": s.bank.Identity().SubjectName()}
+	case OpCreateAccount:
+		var r CreateAccountRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.CreateAccount(subject, &r)
+		}
+	case OpAccountDetails:
+		var r AccountDetailsRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.AccountDetails(subject, &r)
+		}
+	case OpUpdateAccount:
+		var r UpdateAccountRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.UpdateAccount(subject, &r)
+		}
+	case OpAccountStatement:
+		var r AccountStatementRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.AccountStatement(subject, &r)
+		}
+	case OpCheckFunds:
+		var r CheckFundsRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.CheckFunds(subject, &r)
+		}
+	case OpDirectTransfer:
+		var r DirectTransferRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.DirectTransfer(subject, &r)
+		}
+	case OpRequestCheque:
+		var r RequestChequeRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.RequestCheque(subject, &r)
+		}
+	case OpRedeemCheque:
+		var r RedeemChequeRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.RedeemCheque(subject, &r)
+		}
+	case OpRequestChain:
+		var r RequestChainRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.RequestChain(subject, &r)
+		}
+	case OpRedeemChain:
+		var r RedeemChainRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.RedeemChain(subject, &r)
+		}
+	case OpReleaseCheque:
+		var r ReleaseRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.ReleaseCheque(subject, &r)
+		}
+	case OpReleaseChain:
+		var r ReleaseRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.ReleaseChain(subject, &r)
+		}
+	case OpAdminDeposit:
+		var r AdminAmountRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.AdminDeposit(subject, &r)
+		}
+	case OpAdminWithdraw:
+		var r AdminAmountRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.AdminWithdraw(subject, &r)
+		}
+	case OpAdminCreditLimit:
+		var r AdminAmountRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.AdminChangeCreditLimit(subject, &r)
+		}
+	case OpAdminCancel:
+		var r AdminCancelRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.AdminCancelTransfer(subject, &r)
+		}
+	case OpAdminClose:
+		var r AdminCloseRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.AdminCloseAccount(subject, &r)
+		}
+	case OpAdminAccounts:
+		body, err = s.bank.AdminListAccounts(subject)
+	default:
+		s.mu.Lock()
+		h, ok := s.handlers[req.Op]
+		s.mu.Unlock()
+		if ok {
+			body, err = h(subject, req.Body)
+		} else {
+			err = fmt.Errorf("core: unknown operation %q", req.Op)
+		}
+	}
+	if err != nil {
+		resp.OK = false
+		resp.Error = err.Error()
+		resp.Code = ErrorCode(err)
+		return resp
+	}
+	raw, err := wire.Encode(body)
+	if err != nil {
+		resp.OK = false
+		resp.Error = "internal encoding error"
+		resp.Code = CodeInternal
+		return resp
+	}
+	resp.OK = true
+	resp.Body = raw
+	return resp
+}
+
+// ErrorCode maps an error to a stable wire code.
+func ErrorCode(err error) string {
+	switch {
+	case err == nil:
+		return CodeOK
+	case errors.Is(err, ErrDenied), errors.Is(err, ErrUnknownSubject):
+		return CodeDenied
+	case errors.Is(err, accounts.ErrNotFound), errors.Is(err, ErrUnknownSerial),
+		errors.Is(err, accounts.ErrNoSuchTransfer):
+		return CodeNotFound
+	case errors.Is(err, accounts.ErrInsufficient), errors.Is(err, accounts.ErrInsufficientLock):
+		return CodeInsufficient
+	case errors.Is(err, accounts.ErrDuplicateIdentity):
+		return CodeDuplicate
+	case errors.Is(err, payment.ErrExpired):
+		return CodeExpired
+	case errors.Is(err, ErrAlreadyRedeemed), errors.Is(err, ErrStaleIndex),
+		errors.Is(err, ErrNotExpired), errors.Is(err, accounts.ErrAlreadyCancelled):
+		return CodeConflict
+	case errors.Is(err, accounts.ErrBadAmount), errors.Is(err, accounts.ErrCurrencyMismatch),
+		errors.Is(err, accounts.ErrClosed), errors.Is(err, accounts.ErrNotEmpty),
+		errors.Is(err, payment.ErrWrongPayee), errors.Is(err, payment.ErrOverLimit),
+		errors.Is(err, payment.ErrBadWord), errors.Is(err, payment.ErrBadIndex),
+		errors.Is(err, pki.ErrBadSignature), errors.Is(err, pki.ErrUntrusted),
+		errors.Is(err, pki.ErrExpired):
+		return CodeInvalid
+	default:
+		return CodeInternal
+	}
+}

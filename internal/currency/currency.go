@@ -1,0 +1,294 @@
+// Package currency implements fixed-point Grid currency ("Grid dollars",
+// G$) arithmetic for GridBank.
+//
+// The paper stores balances as MySQL FLOAT columns. Floating-point money is
+// a well-known accounting hazard (non-associative addition, representation
+// error accumulating over millions of micro-payments), so this
+// implementation uses a fixed-point representation: an Amount is an int64
+// count of micro-credits (1 G$ == 1_000_000 µG$). Six decimal digits of
+// fraction comfortably exceeds the precision of the paper's FLOAT columns,
+// so every value the paper can represent is representable here.
+package currency
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Scale is the number of micro-credits in one whole Grid dollar.
+const Scale = 1_000_000
+
+// Amount is a quantity of Grid currency in micro-credits (µG$).
+// The zero value is zero G$. Amount is a value type and is safe to copy.
+type Amount int64
+
+// Common errors returned by currency operations.
+var (
+	ErrOverflow  = errors.New("currency: amount overflow")
+	ErrBadFormat = errors.New("currency: malformed amount")
+)
+
+// Limits of the representable range.
+const (
+	MaxAmount Amount = 1<<63 - 1
+	MinAmount Amount = -1 << 63
+)
+
+// FromG returns the Amount representing whole Grid dollars.
+// It panics if g overflows the representable range; use Mul for
+// checked arithmetic on untrusted inputs.
+func FromG(g int64) Amount {
+	a, err := mulCheck(g, Scale)
+	if err != nil {
+		panic(fmt.Sprintf("currency.FromG(%d): %v", g, err))
+	}
+	return Amount(a)
+}
+
+// FromMicro returns the Amount for a raw micro-credit count.
+func FromMicro(micro int64) Amount { return Amount(micro) }
+
+// Micro returns the raw micro-credit count.
+func (a Amount) Micro() int64 { return int64(a) }
+
+// G returns the amount as a float64 number of Grid dollars. This is for
+// display and statistics only; accounting code must stay in Amount.
+func (a Amount) G() float64 { return float64(a) / Scale }
+
+// IsZero reports whether the amount is exactly zero.
+func (a Amount) IsZero() bool { return a == 0 }
+
+// IsNegative reports whether the amount is below zero.
+func (a Amount) IsNegative() bool { return a < 0 }
+
+// IsPositive reports whether the amount is above zero.
+func (a Amount) IsPositive() bool { return a > 0 }
+
+// Neg returns -a. It returns ErrOverflow for MinAmount, whose negation is
+// not representable.
+func (a Amount) Neg() (Amount, error) {
+	if a == MinAmount {
+		return 0, ErrOverflow
+	}
+	return -a, nil
+}
+
+// Abs returns the absolute value of a, saturating at MaxAmount for
+// MinAmount.
+func (a Amount) Abs() Amount {
+	if a == MinAmount {
+		return MaxAmount
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// Add returns a+b with overflow checking.
+func (a Amount) Add(b Amount) (Amount, error) {
+	s := a + b
+	// Overflow iff operands share a sign and the sum's sign differs.
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, ErrOverflow
+	}
+	return s, nil
+}
+
+// Sub returns a-b with overflow checking.
+func (a Amount) Sub(b Amount) (Amount, error) {
+	if b == MinAmount {
+		if a < 0 {
+			return a - b, nil
+		}
+		return 0, ErrOverflow
+	}
+	return a.Add(-b)
+}
+
+// MustAdd is Add for amounts the caller knows cannot overflow (e.g. values
+// already validated against account limits). It panics on overflow.
+func (a Amount) MustAdd(b Amount) Amount {
+	s, err := a.Add(b)
+	if err != nil {
+		panic(fmt.Sprintf("currency: %d + %d overflows", a, b))
+	}
+	return s
+}
+
+// MustSub is Sub with a panic on overflow.
+func (a Amount) MustSub(b Amount) Amount {
+	s, err := a.Sub(b)
+	if err != nil {
+		panic(fmt.Sprintf("currency: %d - %d overflows", a, b))
+	}
+	return s
+}
+
+// MulInt returns a*n with overflow checking.
+func (a Amount) MulInt(n int64) (Amount, error) {
+	v, err := mulCheck(int64(a), n)
+	return Amount(v), err
+}
+
+// Cmp compares a and b, returning -1, 0 or +1.
+func (a Amount) Cmp(b Amount) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func mulCheck(a, b int64) (int64, error) {
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	p := a * b
+	if p/b != a {
+		return 0, ErrOverflow
+	}
+	return p, nil
+}
+
+// String renders the amount as a decimal G$ value, e.g. "12.5",
+// "-0.000001", "3". Trailing fractional zeros are trimmed.
+func (a Amount) String() string {
+	neg := a < 0
+	abs := uint64(a)
+	if neg {
+		abs = uint64(-(a + 1)) + 1 // handles MinAmount
+	}
+	whole := abs / Scale
+	frac := abs % Scale
+	var b strings.Builder
+	if neg {
+		b.WriteByte('-')
+	}
+	b.WriteString(strconv.FormatUint(whole, 10))
+	if frac != 0 {
+		f := fmt.Sprintf("%06d", frac)
+		f = strings.TrimRight(f, "0")
+		b.WriteByte('.')
+		b.WriteString(f)
+	}
+	return b.String()
+}
+
+// Parse converts a decimal G$ string (as produced by String, optionally
+// with a leading '+') into an Amount. At most six fractional digits are
+// accepted; more precision than a micro-credit is rejected rather than
+// silently rounded, because silent rounding in a payment system is a bug.
+func Parse(s string) (Amount, error) {
+	orig := s
+	if s == "" {
+		return 0, fmt.Errorf("%w: empty string", ErrBadFormat)
+	}
+	neg := false
+	switch s[0] {
+	case '-':
+		neg = true
+		s = s[1:]
+	case '+':
+		s = s[1:]
+	}
+	if s == "" || s == "." {
+		return 0, fmt.Errorf("%w: %q", ErrBadFormat, orig)
+	}
+	wholeStr, fracStr, hasFrac := strings.Cut(s, ".")
+	if hasFrac && fracStr == "" {
+		return 0, fmt.Errorf("%w: %q has trailing dot", ErrBadFormat, orig)
+	}
+	if len(fracStr) > 6 {
+		return 0, fmt.Errorf("%w: %q has more than 6 fractional digits", ErrBadFormat, orig)
+	}
+	var whole uint64
+	if wholeStr != "" {
+		var err error
+		whole, err = strconv.ParseUint(wholeStr, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %q", ErrBadFormat, orig)
+		}
+	}
+	var frac uint64
+	if fracStr != "" {
+		var err error
+		frac, err = strconv.ParseUint(fracStr, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %q", ErrBadFormat, orig)
+		}
+		for i := len(fracStr); i < 6; i++ {
+			frac *= 10
+		}
+	}
+	const maxAbs = uint64(1<<63 - 1)
+	if whole > maxAbs/Scale {
+		return 0, ErrOverflow
+	}
+	abs := whole*Scale + frac
+	if !neg && abs > maxAbs {
+		return 0, ErrOverflow
+	}
+	if neg && abs > maxAbs+1 {
+		return 0, ErrOverflow
+	}
+	if neg {
+		if abs == maxAbs+1 {
+			return MinAmount, nil
+		}
+		return -Amount(abs), nil
+	}
+	return Amount(abs), nil
+}
+
+// MustParse is Parse for literals in tests and examples; it panics on error.
+func MustParse(s string) Amount {
+	a, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// MarshalText implements encoding.TextMarshaler using the String format, so
+// amounts embed naturally in JSON/XML wire messages as decimal strings
+// rather than lossy floats.
+func (a Amount) MarshalText() ([]byte, error) { return []byte(a.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (a *Amount) UnmarshalText(b []byte) error {
+	v, err := Parse(string(b))
+	if err != nil {
+		return err
+	}
+	*a = v
+	return nil
+}
+
+// Code identifies a currency unit, e.g. "G$" (the default Grid dollar),
+// "USD", "AUD". The paper's ACCOUNT record carries a Currency column; a
+// GridBank branch settles only like-currency transfers, and cross-currency
+// conversion is the job of the branch settlement layer.
+type Code string
+
+// GridDollar is the default Grid currency.
+const GridDollar Code = "G$"
+
+// Valid reports whether the code is well formed: 1..10 printable
+// non-space characters (the paper's VARCHAR(10)).
+func (c Code) Valid() bool {
+	if len(c) == 0 || len(c) > 10 {
+		return false
+	}
+	for _, r := range c {
+		if r <= ' ' || r > '~' {
+			return false
+		}
+	}
+	return true
+}

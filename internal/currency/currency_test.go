@@ -1,0 +1,366 @@
+package currency
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFromG(t *testing.T) {
+	if got := FromG(3); got != 3*Scale {
+		t.Fatalf("FromG(3) = %d, want %d", got, 3*Scale)
+	}
+	if got := FromG(-7); got != -7*Scale {
+		t.Fatalf("FromG(-7) = %d, want %d", got, -7*Scale)
+	}
+	if got := FromG(0); got != 0 {
+		t.Fatalf("FromG(0) = %d, want 0", got)
+	}
+}
+
+func TestFromGPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromG(max) did not panic")
+		}
+	}()
+	FromG(math.MaxInt64)
+}
+
+func TestStringFormatting(t *testing.T) {
+	cases := []struct {
+		in   Amount
+		want string
+	}{
+		{0, "0"},
+		{FromG(1), "1"},
+		{FromG(-1), "-1"},
+		{FromMicro(1), "0.000001"},
+		{FromMicro(-1), "-0.000001"},
+		{FromMicro(1_500_000), "1.5"},
+		{FromMicro(1_050_000), "1.05"},
+		{FromMicro(123_456_789), "123.456789"},
+		{FromMicro(1_000_001), "1.000001"},
+		{MaxAmount, "9223372036854.775807"},
+		{MinAmount, "-9223372036854.775808"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Amount(%d).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Amount
+	}{
+		{"0", 0},
+		{"1", FromG(1)},
+		{"-1", FromG(-1)},
+		{"+2.5", FromMicro(2_500_000)},
+		{"0.000001", FromMicro(1)},
+		{"-0.000001", FromMicro(-1)},
+		{".5", FromMicro(500_000)},
+		{"-.5", FromMicro(-500_000)},
+		{"123.456789", FromMicro(123_456_789)},
+		{"9223372036854.775807", MaxAmount},
+		{"-9223372036854.775808", MinAmount},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		"", ".", "-", "+", "1.", "1.0000001", "abc", "1e6", "1,5",
+		"--1", "1.2.3", "0x10", " 1", "1 ",
+		"9223372036854.775808",  // MaxAmount+1
+		"-9223372036854.775809", // MinAmount-1
+		"99999999999999",        // whole overflow
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	f := func(micro int64) bool {
+		a := FromMicro(micro)
+		back, err := Parse(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSubProperties(t *testing.T) {
+	// a+b-b == a whenever both operations succeed.
+	f := func(a, b int64) bool {
+		x, y := FromMicro(a), FromMicro(b)
+		s, err := x.Add(y)
+		if err != nil {
+			return true // overflow is allowed to fail
+		}
+		back, err := s.Sub(y)
+		return err == nil && back == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddOverflow(t *testing.T) {
+	if _, err := MaxAmount.Add(1); err != ErrOverflow {
+		t.Errorf("MaxAmount+1: err=%v, want ErrOverflow", err)
+	}
+	if _, err := MinAmount.Add(-1); err != ErrOverflow {
+		t.Errorf("MinAmount-1: err=%v, want ErrOverflow", err)
+	}
+	if _, err := MaxAmount.Sub(MinAmount); err != ErrOverflow {
+		t.Errorf("Max-Min: err=%v, want ErrOverflow", err)
+	}
+	if s, err := MaxAmount.Add(MinAmount); err != nil || s != -1 {
+		t.Errorf("Max+Min = %d,%v want -1,nil", s, err)
+	}
+	if s, err := FromG(-1).Sub(MinAmount); err != nil {
+		t.Errorf("-1G - Min: unexpected err %v (s=%d)", err, s)
+	}
+}
+
+func TestNegAbs(t *testing.T) {
+	if n, err := FromG(5).Neg(); err != nil || n != FromG(-5) {
+		t.Errorf("Neg(5) = %d,%v", n, err)
+	}
+	if _, err := MinAmount.Neg(); err != ErrOverflow {
+		t.Errorf("Neg(Min): err=%v, want ErrOverflow", err)
+	}
+	if MinAmount.Abs() != MaxAmount {
+		t.Error("Abs(Min) should saturate to Max")
+	}
+	if FromG(-3).Abs() != FromG(3) {
+		t.Error("Abs(-3) != 3")
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAdd overflow did not panic")
+		}
+	}()
+	MaxAmount.MustAdd(1)
+}
+
+func TestMustSubPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSub overflow did not panic")
+		}
+	}()
+	MinAmount.MustSub(1)
+}
+
+func TestMulInt(t *testing.T) {
+	if v, err := FromG(2).MulInt(3); err != nil || v != FromG(6) {
+		t.Errorf("2*3 = %v,%v", v, err)
+	}
+	if _, err := MaxAmount.MulInt(2); err != ErrOverflow {
+		t.Errorf("Max*2: err=%v, want ErrOverflow", err)
+	}
+	if v, err := FromG(5).MulInt(0); err != nil || v != 0 {
+		t.Errorf("5*0 = %v,%v", v, err)
+	}
+}
+
+func TestCmpAndPredicates(t *testing.T) {
+	if FromG(1).Cmp(FromG(2)) != -1 || FromG(2).Cmp(FromG(1)) != 1 || FromG(1).Cmp(FromG(1)) != 0 {
+		t.Error("Cmp ordering wrong")
+	}
+	if !Amount(0).IsZero() || Amount(1).IsZero() {
+		t.Error("IsZero wrong")
+	}
+	if !Amount(-1).IsNegative() || Amount(1).IsNegative() {
+		t.Error("IsNegative wrong")
+	}
+	if !Amount(1).IsPositive() || Amount(-1).IsPositive() || Amount(0).IsPositive() {
+		t.Error("IsPositive wrong")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	type wrap struct {
+		A Amount `json:"a"`
+	}
+	in := wrap{A: FromMicro(12_345_678)}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"a":"12.345678"}` {
+		t.Fatalf("marshal = %s", b)
+	}
+	var out wrap
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.A != in.A {
+		t.Fatalf("round trip %d != %d", out.A, in.A)
+	}
+	var bad wrap
+	if err := json.Unmarshal([]byte(`{"a":"1e9"}`), &bad); err == nil {
+		t.Fatal("unmarshal of float-notation amount should fail")
+	}
+}
+
+func TestCodeValid(t *testing.T) {
+	good := []Code{GridDollar, "USD", "AUD", "GridDollar"}
+	for _, c := range good {
+		if !c.Valid() {
+			t.Errorf("Code(%q) should be valid", c)
+		}
+	}
+	bad := []Code{"", "ELEVENCHARSX", "A B", "A\tB", Code("é")}
+	for _, c := range bad {
+		if c.Valid() {
+			t.Errorf("Code(%q) should be invalid", c)
+		}
+	}
+}
+
+func TestRateCharge(t *testing.T) {
+	// 1 G$/CPU-hour, 30 minutes of CPU => 0.5 G$.
+	r := PerHour(Scale)
+	got, err := r.Charge(1800)
+	if err != nil || got != FromMicro(500_000) {
+		t.Fatalf("30min at 1G$/h = %v,%v want 0.5", got, err)
+	}
+	// 2 G$/MB, 10 MB => 20 G$.
+	r = PerMB(2 * Scale)
+	got, err = r.Charge(10)
+	if err != nil || got != FromG(20) {
+		t.Fatalf("10MB at 2G$/MB = %v,%v want 20", got, err)
+	}
+	// Rounding: 1 µG$/hour for 1 second rounds to 0 (0.000277... µ).
+	r = PerHour(1)
+	got, err = r.Charge(1)
+	if err != nil || got != 0 {
+		t.Fatalf("tiny charge = %v,%v want 0", got, err)
+	}
+	// Half rounds away from zero: 1 µG$ per 2 units, 1 unit => 0.5 => 1.
+	r = Rate{MicroPerUnit: 1, Unit: 2}
+	got, err = r.Charge(1)
+	if err != nil || got != 1 {
+		t.Fatalf("half-round = %v,%v want 1", got, err)
+	}
+}
+
+func TestRateChargeErrors(t *testing.T) {
+	if _, err := PerMB(1).Charge(-1); err == nil {
+		t.Error("negative usage accepted")
+	}
+	if _, err := (Rate{MicroPerUnit: -1, Unit: 1}).Charge(1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := (Rate{MicroPerUnit: 1, Unit: 0}).Charge(1); err == nil {
+		t.Error("zero unit accepted")
+	}
+	if _, err := (Rate{MicroPerUnit: math.MaxInt64, Unit: 1}).Charge(math.MaxInt64); err == nil {
+		t.Error("overflowing charge accepted")
+	}
+}
+
+func TestRateChargeBigUsageSlowPath(t *testing.T) {
+	// usage * price overflows int64, but the true charge fits: exercise
+	// the split path. price 1000 µ per unit 3600, usage 2^53.
+	r := Rate{MicroPerUnit: 1_000_000, Unit: 3600}
+	usage := int64(1) << 53
+	got, err := r.Charge(usage)
+	if err != nil {
+		t.Fatalf("slow path errored: %v", err)
+	}
+	want := float64(usage) / 3600 * 1_000_000
+	if diff := math.Abs(float64(got) - want); diff > 1 {
+		t.Fatalf("slow path charge %d, want ~%f", got, want)
+	}
+}
+
+func TestRateChargeMatchesFloat(t *testing.T) {
+	f := func(usage uint32, price uint16, unitSel uint8) bool {
+		units := []int64{1, 60, 3600, 1024}
+		r := Rate{MicroPerUnit: int64(price), Unit: units[int(unitSel)%len(units)]}
+		got, err := r.Charge(int64(usage))
+		if err != nil {
+			return false
+		}
+		want := float64(usage) * float64(price) / float64(r.Unit)
+		return math.Abs(float64(got)-want) <= 0.5+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChargeDuration(t *testing.T) {
+	// 3600 G$/hour for 1ms = 0.001 G$.
+	r := PerHour(3600 * Scale)
+	got, err := r.ChargeDuration(time.Millisecond)
+	if err != nil || got != FromMicro(1000) {
+		t.Fatalf("1ms at 3600G$/h = %v,%v want 0.001", got, err)
+	}
+	if _, err := r.ChargeDuration(-time.Second); err == nil {
+		t.Error("negative duration accepted")
+	}
+}
+
+func TestRateScale(t *testing.T) {
+	r := PerMB(1000)
+	up := r.Scale(3, 2)
+	if up.MicroPerUnit != 1500 {
+		t.Errorf("scale 3/2 = %d, want 1500", up.MicroPerUnit)
+	}
+	down := r.Scale(1, 2)
+	if down.MicroPerUnit != 500 {
+		t.Errorf("scale 1/2 = %d, want 500", down.MicroPerUnit)
+	}
+	same := r.Scale(1, 0)
+	if same != r {
+		t.Error("zero denominator should be identity")
+	}
+	neg := r.Scale(-1, 1)
+	if neg.MicroPerUnit != 0 {
+		t.Error("negative scaling should clamp to zero")
+	}
+}
+
+func TestRateConstructorsAndString(t *testing.T) {
+	if PerSecond(5).Unit != 1 || PerMBHour(5).Unit != 3600 {
+		t.Error("constructor units wrong")
+	}
+	if !ZeroRate.IsZero() {
+		t.Error("ZeroRate should be zero")
+	}
+	if s := PerMB(2 * Scale).String(); s != "2 G$/u1" {
+		t.Errorf("String() = %q", s)
+	}
+	if g := PerMB(2 * Scale).PerUnitG(); g != 2 {
+		t.Errorf("PerUnitG = %f", g)
+	}
+	if g := (Rate{1, 0}).PerUnitG(); !math.IsNaN(g) {
+		t.Errorf("PerUnitG with zero unit = %f, want NaN", g)
+	}
+}

@@ -1,0 +1,51 @@
+package currency
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that Parse never panics, and that anything it accepts
+// round-trips exactly through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"0", "1", "-1", "+2.5", ".5", "-.5", "123.456789",
+		"9223372036854.775807", "-9223372036854.775808",
+		"", ".", "-", "1.", "1.0000001", "1e6", "0x10", "99999999999999",
+		strings.Repeat("9", 40), "1..2", "٣", "1.2.3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(a.String())
+		if err != nil {
+			t.Fatalf("Parse(%q)=%d but String %q does not reparse: %v", s, a, a.String(), err)
+		}
+		if back != a {
+			t.Fatalf("round trip %q: %d -> %q -> %d", s, a, a.String(), back)
+		}
+	})
+}
+
+// FuzzRateCharge checks Charge never panics and never returns a negative
+// charge for non-negative inputs.
+func FuzzRateCharge(f *testing.F) {
+	f.Add(int64(1_000_000), int64(3600), int64(7200))
+	f.Add(int64(1), int64(1), int64(1))
+	f.Add(int64(0), int64(2), int64(100))
+	f.Add(int64(1<<62), int64(3), int64(1<<62))
+	f.Fuzz(func(t *testing.T, price, unit, usage int64) {
+		r := Rate{MicroPerUnit: price, Unit: unit}
+		got, err := r.Charge(usage)
+		if err != nil {
+			return
+		}
+		if got.IsNegative() {
+			t.Fatalf("Charge(%d) with %+v = %d (negative)", usage, r, got)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package currency
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Rate is a price per unit of some metered quantity, expressed in
+// micro-credits per scaled unit. Rates multiply resource usage into
+// charges; they are the "G$ per CPU hour", "G$ per MB*hour" and
+// "G$ per MB" quantities of §2.1 of the paper.
+//
+// A Rate keeps a numerator (micro-credits) and unit divisor so that
+// charge computation is integer arithmetic with a single final division,
+// avoiding cumulative rounding across chargeable items.
+type Rate struct {
+	// MicroPerUnit is the price of one Unit, in micro-credits.
+	MicroPerUnit int64 `json:"micro_per_unit"`
+	// Unit is the divisor of the raw measured quantity. E.g. a rate in
+	// G$/CPU-hour over usage measured in seconds has Unit = 3600.
+	Unit int64 `json:"unit"`
+}
+
+// ZeroRate charges nothing regardless of usage.
+var ZeroRate = Rate{MicroPerUnit: 0, Unit: 1}
+
+// PerHour builds a Rate of a µG$ per hour, for usage measured in seconds.
+func PerHour(microPerHour int64) Rate { return Rate{MicroPerUnit: microPerHour, Unit: 3600} }
+
+// PerMB builds a Rate of a µG$ per megabyte, for usage measured in MB.
+func PerMB(microPerMB int64) Rate { return Rate{MicroPerUnit: microPerMB, Unit: 1} }
+
+// PerMBHour builds a Rate of a µG$ per MB*hour, for usage measured in
+// MB*seconds.
+func PerMBHour(microPerMBHour int64) Rate {
+	return Rate{MicroPerUnit: microPerMBHour, Unit: 3600}
+}
+
+// PerSecond builds a Rate of a µG$ per second, for usage measured in
+// seconds.
+func PerSecond(microPerSecond int64) Rate { return Rate{MicroPerUnit: microPerSecond, Unit: 1} }
+
+// Valid reports whether the rate is well formed (non-negative price,
+// positive unit).
+func (r Rate) Valid() bool { return r.MicroPerUnit >= 0 && r.Unit > 0 }
+
+// IsZero reports whether the rate charges nothing.
+func (r Rate) IsZero() bool { return r.MicroPerUnit == 0 }
+
+// Charge computes usage*rate, rounding half away from zero to the nearest
+// micro-credit. usage is the raw measured quantity in the rate's base
+// measurement unit (seconds, MB, MB-seconds...). Negative usage is
+// rejected: meters never report negative consumption, so a negative value
+// indicates a corrupted or adversarial record.
+func (r Rate) Charge(usage int64) (Amount, error) {
+	if usage < 0 {
+		return 0, fmt.Errorf("currency: negative usage %d", usage)
+	}
+	if !r.Valid() {
+		return 0, fmt.Errorf("currency: invalid rate %+v", r)
+	}
+	if usage == 0 || r.MicroPerUnit == 0 {
+		return 0, nil
+	}
+	// Try fast integer path first.
+	if p := usage * r.MicroPerUnit; p/r.MicroPerUnit == usage {
+		return Amount((p + r.Unit/2) / r.Unit), nil
+	}
+	// Slow path: split usage into unit-multiples to keep products small.
+	q, rem := usage/r.Unit, usage%r.Unit
+	whole, err := mulCheck(q, r.MicroPerUnit)
+	if err != nil {
+		return 0, ErrOverflow
+	}
+	fracNum, err := mulCheck(rem, r.MicroPerUnit)
+	if err != nil {
+		return 0, ErrOverflow
+	}
+	frac := (fracNum + r.Unit/2) / r.Unit
+	total, err := Amount(whole).Add(Amount(frac))
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// ChargeDuration computes the price of a duration at this per-second-based
+// rate; it is a convenience for wall-clock and CPU-time items.
+func (r Rate) ChargeDuration(d time.Duration) (Amount, error) {
+	if d < 0 {
+		return 0, fmt.Errorf("currency: negative duration %v", d)
+	}
+	// Charge at millisecond granularity for sub-second accuracy: scale
+	// numerator and unit by 1000.
+	ms := int64(d / time.Millisecond)
+	scaled := Rate{MicroPerUnit: r.MicroPerUnit, Unit: r.Unit * 1000}
+	return scaled.Charge(ms)
+}
+
+// PerUnitG returns the rate as float G$ per unit, for display.
+func (r Rate) PerUnitG() float64 {
+	if r.Unit == 0 {
+		return math.NaN()
+	}
+	return float64(r.MicroPerUnit) / Scale
+}
+
+// Scale returns a rate multiplied by num/den, rounding to the nearest
+// micro-credit. It is used by pricing engines adjusting posted prices in
+// response to demand. Negative results are clamped to zero (prices never
+// go negative).
+func (r Rate) Scale(num, den int64) Rate {
+	if den == 0 {
+		return r
+	}
+	p := float64(r.MicroPerUnit) * float64(num) / float64(den)
+	if p < 0 {
+		p = 0
+	}
+	if p > float64(math.MaxInt64) {
+		p = float64(math.MaxInt64)
+	}
+	return Rate{MicroPerUnit: int64(p + 0.5), Unit: r.Unit}
+}
+
+// String renders e.g. "0.25 G$/u3600" — price in G$ per Unit of usage.
+func (r Rate) String() string {
+	return fmt.Sprintf("%s G$/u%d", Amount(r.MicroPerUnit).String(), r.Unit)
+}

@@ -1,0 +1,126 @@
+package db
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func benchStore(b *testing.B, j Journal) *Store {
+	b.Helper()
+	s, err := Open(j)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.CreateTable("t"); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkPutVolatile(b *testing.B) {
+	s := benchStore(b, nil)
+	val := []byte(`{"balance":"123.456789"}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Update(func(tx *Tx) error {
+			return tx.Put("t", fmt.Sprintf("k%d", i%1024), val)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: journal modes. The paper's bank wants durability; the
+// simulator wants speed. These quantify the trade.
+func BenchmarkPutJournalMem(b *testing.B) {
+	s := benchStore(b, NewMemJournal())
+	val := []byte(`{"balance":"123.456789"}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Update(func(tx *Tx) error {
+			return tx.Put("t", fmt.Sprintf("k%d", i%1024), val)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutJournalFileNoSync(b *testing.B) {
+	j, err := OpenFileJournal(filepath.Join(b.TempDir(), "wal"), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := benchStore(b, j)
+	val := []byte(`{"balance":"123.456789"}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Update(func(tx *Tx) error {
+			return tx.Put("t", fmt.Sprintf("k%d", i%1024), val)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutJournalFileSync(b *testing.B) {
+	j, err := OpenFileJournal(filepath.Join(b.TempDir(), "wal"), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := benchStore(b, j)
+	val := []byte(`{"balance":"123.456789"}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Update(func(tx *Tx) error {
+			return tx.Put("t", fmt.Sprintf("k%d", i%1024), val)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := benchStore(b, nil)
+	if err := s.Update(func(tx *Tx) error {
+		for i := 0; i < 1024; i++ {
+			if err := tx.Put("t", fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get("t", fmt.Sprintf("k%d", i%1024)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexLookup(b *testing.B) {
+	s := benchStore(b, nil)
+	if err := s.CreateIndex("t", "byPrefix", func(k string, v []byte) []string {
+		return []string{string(v[:1])}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Update(func(tx *Tx) error {
+		for i := 0; i < 1024; i++ {
+			if err := tx.Put("t", fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("%d", i%16))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Lookup("t", "byPrefix", "7"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package db is the embedded storage substrate standing in for the MySQL
+// database of §3.2/§5.1 of the GridBank paper.
+//
+// It implements exactly what GridBank needs from a relational store and no
+// more: named tables of versioned records addressed by primary key,
+// secondary indexes, snapshot isolation for readers, single-writer ACID
+// transactions with rollback, a write-ahead journal for durability, and
+// point-in-time snapshots for backup/restore. Records are stored as
+// encoded bytes ([]byte), keeping the engine schema-agnostic; the
+// accounts layer supplies codecs.
+//
+// Concurrency model: one RWMutex per Store. GridBank's workload is small
+// records and short transactions (the paper's transfer path touches two
+// account rows and appends two journal rows), so a single-writer design is
+// both simple and fast enough to saturate the wire protocol above it.
+package db
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Common errors.
+var (
+	ErrNoTable  = errors.New("db: no such table")
+	ErrNoRecord = errors.New("db: no such record")
+	ErrExists   = errors.New("db: record already exists")
+	ErrNoIndex  = errors.New("db: no such index")
+	ErrTxDone   = errors.New("db: transaction already finished")
+	ErrConflict = errors.New("db: write conflict")
+	ErrClosed   = errors.New("db: store closed")
+	ErrDupTable = errors.New("db: table already exists")
+	ErrDupIndex = errors.New("db: index already exists")
+)
+
+// IndexFunc extracts the secondary-index key(s) for a record's encoded
+// value. Returning nil means the record is not indexed under this index.
+type IndexFunc func(key string, value []byte) []string
+
+type index struct {
+	name    string
+	fn      IndexFunc
+	entries map[string]map[string]struct{} // index key -> set of primary keys
+}
+
+type table struct {
+	name    string
+	rows    map[string][]byte
+	indexes map[string]*index
+}
+
+func (t *table) reindexAdd(key string, value []byte) {
+	for _, ix := range t.indexes {
+		for _, ik := range ix.fn(key, value) {
+			set, ok := ix.entries[ik]
+			if !ok {
+				set = make(map[string]struct{})
+				ix.entries[ik] = set
+			}
+			set[key] = struct{}{}
+		}
+	}
+}
+
+func (t *table) reindexRemove(key string, value []byte) {
+	for _, ix := range t.indexes {
+		for _, ik := range ix.fn(key, value) {
+			if set, ok := ix.entries[ik]; ok {
+				delete(set, key)
+				if len(set) == 0 {
+					delete(ix.entries, ik)
+				}
+			}
+		}
+	}
+}
+
+// Store is an embedded multi-table database.
+type Store struct {
+	mu      sync.RWMutex
+	tables  map[string]*table
+	journal Journal // may be nil (volatile store)
+	seq     uint64  // monotonically increasing record sequence for WAL entries
+	closed  bool
+}
+
+// Open creates a Store backed by the given journal. If journal is non-nil
+// and non-empty, the store's state is rebuilt by replaying it. A nil
+// journal yields a volatile in-memory store.
+func Open(journal Journal) (*Store, error) {
+	s := &Store{tables: make(map[string]*table), journal: journal}
+	if journal != nil {
+		if err := journal.Replay(func(e Entry) error { return s.applyEntry(e) }); err != nil {
+			return nil, fmt.Errorf("db: journal replay: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// MustOpenMemory returns a volatile store, for tests and simulations.
+func MustOpenMemory() *Store {
+	s, err := Open(nil)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// applyEntry applies one journal entry during replay (no re-journaling).
+func (s *Store) applyEntry(e Entry) error {
+	switch e.Op {
+	case OpCreateTable:
+		if _, ok := s.tables[e.Table]; ok {
+			return nil // idempotent replay
+		}
+		s.tables[e.Table] = &table{name: e.Table, rows: make(map[string][]byte), indexes: make(map[string]*index)}
+	case OpPut:
+		t, ok := s.tables[e.Table]
+		if !ok {
+			return fmt.Errorf("%w: %q (replay put)", ErrNoTable, e.Table)
+		}
+		if old, ok := t.rows[e.Key]; ok {
+			t.reindexRemove(e.Key, old)
+		}
+		t.rows[e.Key] = e.Value
+		t.reindexAdd(e.Key, e.Value)
+	case OpDelete:
+		t, ok := s.tables[e.Table]
+		if !ok {
+			return fmt.Errorf("%w: %q (replay delete)", ErrNoTable, e.Table)
+		}
+		if old, ok := t.rows[e.Key]; ok {
+			t.reindexRemove(e.Key, old)
+			delete(t.rows, e.Key)
+		}
+	default:
+		return fmt.Errorf("db: unknown journal op %q", e.Op)
+	}
+	if e.Seq > s.seq {
+		s.seq = e.Seq
+	}
+	return nil
+}
+
+// Close flushes and closes the journal. Further operations fail with
+// ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.journal != nil {
+		return s.journal.Close()
+	}
+	return nil
+}
+
+// CreateTable registers a new table. Creating a table that exists is an
+// error, so schema setup bugs surface immediately; use EnsureTable for
+// idempotent setup.
+func (s *Store) CreateTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.tables[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDupTable, name)
+	}
+	if err := s.journalAppend(Entry{Op: OpCreateTable, Table: name}); err != nil {
+		return err
+	}
+	s.tables[name] = &table{name: name, rows: make(map[string][]byte), indexes: make(map[string]*index)}
+	return nil
+}
+
+// EnsureTable creates the table if absent.
+func (s *Store) EnsureTable(name string) error {
+	s.mu.RLock()
+	_, ok := s.tables[name]
+	s.mu.RUnlock()
+	if ok {
+		return nil
+	}
+	err := s.CreateTable(name)
+	if errors.Is(err, ErrDupTable) {
+		return nil
+	}
+	return err
+}
+
+// CreateIndex registers a secondary index over a table and backfills it
+// from existing rows. Indexes are in-memory only: they are deterministic
+// functions of the data and are rebuilt on journal replay.
+func (s *Store) CreateIndex(tableName, indexName string, fn IndexFunc) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	t, ok := s.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoTable, tableName)
+	}
+	if _, ok := t.indexes[indexName]; ok {
+		return fmt.Errorf("%w: %s.%s", ErrDupIndex, tableName, indexName)
+	}
+	ix := &index{name: indexName, fn: fn, entries: make(map[string]map[string]struct{})}
+	t.indexes[indexName] = ix
+	for k, v := range t.rows {
+		for _, ik := range fn(k, v) {
+			set, ok := ix.entries[ik]
+			if !ok {
+				set = make(map[string]struct{})
+				ix.entries[ik] = set
+			}
+			set[k] = struct{}{}
+		}
+	}
+	return nil
+}
+
+func (s *Store) journalAppend(e Entry) error {
+	if s.journal == nil {
+		return nil
+	}
+	s.seq++
+	e.Seq = s.seq
+	return s.journal.Append(e)
+}
+
+// Get returns the encoded record stored under key. The returned slice must
+// not be modified; it is shared with the store.
+func (s *Store) Get(tableName, key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	t, ok := s.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, tableName)
+	}
+	v, ok := t.rows[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNoRecord, tableName, key)
+	}
+	return v, nil
+}
+
+// Lookup returns the primary keys of records whose index key equals
+// indexKey, in sorted order.
+func (s *Store) Lookup(tableName, indexName, indexKey string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	t, ok := s.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, tableName)
+	}
+	ix, ok := t.indexes[indexName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoIndex, tableName, indexName)
+	}
+	set := ix.entries[indexKey]
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Scan visits every record in a table in sorted key order. The callback
+// must not retain or modify value. Returning false stops the scan.
+func (s *Store) Scan(tableName string, visit func(key string, value []byte) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	t, ok := s.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoTable, tableName)
+	}
+	keys := make([]string, 0, len(t.rows))
+	for k := range t.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !visit(k, t.rows[k]) {
+			break
+		}
+	}
+	return nil
+}
+
+// Count returns the number of records in a table.
+func (s *Store) Count(tableName string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	t, ok := s.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoTable, tableName)
+	}
+	return len(t.rows), nil
+}
+
+// Tables returns the names of all tables, sorted.
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,282 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Tx is a read-write transaction. Writes are buffered and become visible
+// (and durable, if the store has a journal) only at Commit. A Tx holds the
+// store's write lock for its whole lifetime: GridBank transactions are
+// short (a transfer touches two rows), so exclusivity is cheaper than
+// conflict detection and gives full serializability, which an accounting
+// system needs — the paper's fund locking (§3.4) is only sound if balance
+// check and debit are atomic.
+type Tx struct {
+	s    *Store
+	done bool
+	// staged mutations, applied in order at commit
+	ops []txOp
+	// overlay of staged state per table: key -> value (nil = deleted)
+	overlay map[string]map[string]*[]byte
+}
+
+type txOp struct {
+	op    Op
+	table string
+	key   string
+	value []byte
+}
+
+// Begin starts a transaction. Callers must finish it with Commit or
+// Rollback; until then all other store access blocks.
+func (s *Store) Begin() (*Tx, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	return &Tx{s: s, overlay: make(map[string]map[string]*[]byte)}, nil
+}
+
+// Update runs fn inside a transaction, committing if it returns nil and
+// rolling back otherwise.
+func (s *Store) Update(fn func(tx *Tx) error) error {
+	tx, err := s.Begin()
+	if err != nil {
+		return err
+	}
+	if err := fn(tx); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+func (tx *Tx) table(name string) (*table, error) {
+	t, ok := tx.s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// Get reads a record, observing the transaction's own uncommitted writes.
+func (tx *Tx) Get(tableName, key string) ([]byte, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	if ov, ok := tx.overlay[tableName]; ok {
+		if vp, ok := ov[key]; ok {
+			if vp == nil {
+				return nil, fmt.Errorf("%w: %s/%s", ErrNoRecord, tableName, key)
+			}
+			return *vp, nil
+		}
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := t.rows[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNoRecord, tableName, key)
+	}
+	return v, nil
+}
+
+// Exists reports whether a record exists, observing uncommitted writes.
+func (tx *Tx) Exists(tableName, key string) (bool, error) {
+	_, err := tx.Get(tableName, key)
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, ErrNoRecord) {
+		return false, nil
+	}
+	return false, err
+}
+
+func (tx *Tx) stage(op Op, tableName, key string, value []byte) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if _, err := tx.table(tableName); err != nil {
+		return err
+	}
+	tx.ops = append(tx.ops, txOp{op: op, table: tableName, key: key, value: value})
+	ov, ok := tx.overlay[tableName]
+	if !ok {
+		ov = make(map[string]*[]byte)
+		tx.overlay[tableName] = ov
+	}
+	if op == OpDelete {
+		ov[key] = nil
+	} else {
+		v := value
+		ov[key] = &v
+	}
+	return nil
+}
+
+// Put writes a record (insert or replace).
+func (tx *Tx) Put(tableName, key string, value []byte) error {
+	return tx.stage(OpPut, tableName, key, value)
+}
+
+// Insert writes a record that must not already exist.
+func (tx *Tx) Insert(tableName, key string, value []byte) error {
+	ok, err := tx.Exists(tableName, key)
+	if err != nil {
+		return err
+	}
+	if ok {
+		return fmt.Errorf("%w: %s/%s", ErrExists, tableName, key)
+	}
+	return tx.Put(tableName, key, value)
+}
+
+// Delete removes a record if present. Deleting an absent record is an
+// error, surfacing accounting bugs (GridBank never blind-deletes).
+func (tx *Tx) Delete(tableName, key string) error {
+	ok, err := tx.Exists(tableName, key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNoRecord, tableName, key)
+	}
+	return tx.stage(OpDelete, tableName, key, nil)
+}
+
+// Commit journals and applies all staged writes atomically, then releases
+// the store.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	defer tx.s.mu.Unlock()
+	s := tx.s
+	// Journal first (write-ahead): if the journal fails part-way the
+	// in-memory state is untouched and replay-on-restart is a prefix of
+	// the transaction, which the journal layer prevents from being
+	// applied by framing commit batches.
+	if s.journal != nil {
+		entries := make([]Entry, len(tx.ops))
+		for i, op := range tx.ops {
+			s.seq++
+			entries[i] = Entry{Seq: s.seq, Op: op.op, Table: op.table, Key: op.key, Value: op.value}
+		}
+		if err := s.journal.AppendBatch(entries); err != nil {
+			return fmt.Errorf("db: commit journal: %w", err)
+		}
+	}
+	for _, op := range tx.ops {
+		t := s.tables[op.table]
+		switch op.op {
+		case OpPut:
+			if old, ok := t.rows[op.key]; ok {
+				t.reindexRemove(op.key, old)
+			}
+			t.rows[op.key] = op.value
+			t.reindexAdd(op.key, op.value)
+		case OpDelete:
+			if old, ok := t.rows[op.key]; ok {
+				t.reindexRemove(op.key, old)
+				delete(t.rows, op.key)
+			}
+		}
+	}
+	return nil
+}
+
+// Rollback discards all staged writes and releases the store. Rollback
+// after Commit (or a second Rollback) is a no-op.
+func (tx *Tx) Rollback() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	tx.s.mu.Unlock()
+}
+
+// Lookup queries a secondary index inside the transaction. Staged writes
+// are visible: keys written in this transaction are matched by running the
+// index function over the overlay.
+func (tx *Tx) Lookup(tableName, indexName, indexKey string) ([]string, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	ix, ok := t.indexes[indexName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoIndex, tableName, indexName)
+	}
+	match := make(map[string]bool)
+	for k := range ix.entries[indexKey] {
+		match[k] = true
+	}
+	if ov, ok := tx.overlay[tableName]; ok {
+		for k, vp := range ov {
+			delete(match, k) // superseded by overlay
+			if vp != nil {
+				for _, ik := range ix.fn(k, *vp) {
+					if ik == indexKey {
+						match[k] = true
+					}
+				}
+			}
+		}
+	}
+	keys := make([]string, 0, len(match))
+	for k := range match {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Scan iterates the table inside the transaction, observing staged writes,
+// in sorted key order.
+func (tx *Tx) Scan(tableName string, visit func(key string, value []byte) bool) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	t, err := tx.table(tableName)
+	if err != nil {
+		return err
+	}
+	ov := tx.overlay[tableName]
+	keys := make([]string, 0, len(t.rows)+len(ov))
+	seen := make(map[string]bool, len(t.rows)+len(ov))
+	for k := range t.rows {
+		if vp, staged := ov[k]; staged && vp == nil {
+			continue // deleted in tx
+		}
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	for k, vp := range ov {
+		if vp != nil && !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		var v []byte
+		if vp, staged := ov[k]; staged {
+			v = *vp
+		} else {
+			v = t.rows[k]
+		}
+		if !visit(k, v) {
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+// Package economy implements the GridBank operating models of §4: the
+// co-operative model, where "all participants both consume and provide
+// services" and barter through GridBank credits; the price-equilibrium
+// regulation the paper calls for ("a community based resource valuation
+// and pricing authority is needed to control prices"); and the
+// competitive model's price estimator, which turns GridBank's
+// confidential transaction history into a market-value estimate for a
+// described resource (§4.2).
+package economy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/currency"
+)
+
+// Errors.
+var (
+	ErrTooFewParticipants = errors.New("economy: co-operative model needs at least two participants")
+	ErrNoHistory          = errors.New("economy: no transaction history to estimate from")
+)
+
+// Participant is one member of a co-operative community: simultaneously
+// a GSP (with a resource) and a GSC (with work to run).
+type Participant struct {
+	// Name is the participant's certificate name.
+	Name string
+	// Account is the participant's GridBank account.
+	Account accounts.ID
+	// RatingMIPS is the speed of the participant's resource. Faster
+	// hardware finishes the same work sooner ("although computations on
+	// some resources are faster because of better hardware, the slower
+	// resources have to compensate by running longer", Figure 4).
+	RatingMIPS int
+	// RatePerCPUHour is the participant's current asking price.
+	RatePerCPUHour currency.Amount
+
+	// Running tallies, maintained by the simulation:
+	Consumed currency.Amount // total paid to others
+	Provided currency.Amount // total earned from others
+}
+
+// CoopSim drives a co-operative bartering community over an in-process
+// GridBank ledger. Each round, every participant consumes one unit of
+// work from a provider chosen by demand preference and pays CPU-time ×
+// the provider's rate; the ledger records every exchange, so Figure 4's
+// "accounts show how much of Grid currency each client have consumed and
+// provided" falls directly out of the books.
+type CoopSim struct {
+	mgr          *accounts.Manager
+	participants []*Participant
+	authority    *PricingAuthority // nil = unregulated
+	rng          *rand.Rand
+	initial      currency.Amount
+}
+
+// NewCoopSim creates a community. Each participant receives the initial
+// credit allocation ("each participant may be initially allocated a
+// certain amount of credits", §4.1). authority may be nil for an
+// unregulated market.
+func NewCoopSim(mgr *accounts.Manager, participants []*Participant, initial currency.Amount, authority *PricingAuthority, seed int64) (*CoopSim, error) {
+	if len(participants) < 2 {
+		return nil, ErrTooFewParticipants
+	}
+	for _, p := range participants {
+		if p.RatingMIPS <= 0 || !p.RatePerCPUHour.IsPositive() {
+			return nil, fmt.Errorf("economy: participant %s needs positive rating and rate", p.Name)
+		}
+		if err := mgr.Admin().Deposit(p.Account, initial); err != nil {
+			return nil, fmt.Errorf("economy: initial allocation for %s: %w", p.Name, err)
+		}
+	}
+	return &CoopSim{
+		mgr:          mgr,
+		participants: participants,
+		authority:    authority,
+		rng:          rand.New(rand.NewSource(seed)),
+		initial:      initial,
+	}, nil
+}
+
+// Participants returns the community members.
+func (c *CoopSim) Participants() []*Participant { return c.participants }
+
+// pickProvider selects where a consumer's next job goes. Demand is
+// proportional to hardware speed: "in a global computing environment all
+// users would prefer to use powerful resources" (§1). The consumer never
+// selects itself.
+func (c *CoopSim) pickProvider(consumer *Participant) *Participant {
+	total := 0
+	for _, p := range c.participants {
+		if p != consumer {
+			total += p.RatingMIPS
+		}
+	}
+	n := c.rng.Intn(total)
+	for _, p := range c.participants {
+		if p == consumer {
+			continue
+		}
+		n -= p.RatingMIPS
+		if n < 0 {
+			return p
+		}
+	}
+	return nil // unreachable: weights are positive
+}
+
+// RunRound executes one bartering round: every participant consumes
+// workMI million instructions of service from some provider. The charge
+// is CPU-seconds × the provider's per-hour rate, settled through the
+// ledger. A participant that cannot pay skips its consumption this round
+// (it must earn first — the bartering discipline).
+func (c *CoopSim) RunRound(workMI int64) error {
+	for _, consumer := range c.participants {
+		provider := c.pickProvider(consumer)
+		cpuSec := workMI / int64(provider.RatingMIPS)
+		if cpuSec < 1 {
+			cpuSec = 1
+		}
+		rate := currency.Rate{MicroPerUnit: provider.RatePerCPUHour.Micro(), Unit: 3600}
+		cost, err := rate.Charge(cpuSec)
+		if err != nil {
+			return err
+		}
+		if cost.IsZero() {
+			continue
+		}
+		if _, err := c.mgr.Transfer(consumer.Account, provider.Account, cost, accounts.TransferOptions{}); err != nil {
+			if errors.Is(err, accounts.ErrInsufficient) {
+				continue // broke this round; earn first
+			}
+			return err
+		}
+		consumer.Consumed = consumer.Consumed.MustAdd(cost)
+		provider.Provided = provider.Provided.MustAdd(cost)
+	}
+	if c.authority != nil {
+		if err := c.authority.Rebalance(c.mgr, c.participants, c.initial); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunRounds executes n rounds.
+func (c *CoopSim) RunRounds(n int, workMI int64) error {
+	for i := 0; i < n; i++ {
+		if err := c.RunRound(workMI); err != nil {
+			return fmt.Errorf("economy: round %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// BalanceSpread reports the community's wealth dispersion: the maximum
+// absolute deviation of any participant's balance from the initial
+// allocation, in G$. Unregulated communities drift ("some participants
+// ... have all the money while others ... have none", §4.1); the pricing
+// authority keeps this bounded.
+func (c *CoopSim) BalanceSpread() (float64, error) {
+	var worst float64
+	for _, p := range c.participants {
+		a, err := c.mgr.Details(p.Account)
+		if err != nil {
+			return 0, err
+		}
+		dev := math.Abs(a.AvailableBalance.MustSub(c.initial).G())
+		if dev > worst {
+			worst = dev
+		}
+	}
+	return worst, nil
+}
+
+// PricingAuthority is the §4.1 community pricing authority: it nudges
+// each participant's asking price so that earnings track spending —
+// participants hoarding credits get cheaper (attracting work is no longer
+// needed; spending is), and broke participants get more expensive labour.
+type PricingAuthority struct {
+	// Gain is the proportional controller gain: the per-round fractional
+	// price adjustment per G$ of balance deviation (default 0.01).
+	Gain float64
+	// MinRate / MaxRate clamp prices (defaults: 1/10 and 10× nothing —
+	// callers should set sensible bounds; zero means 0.1 and 10 G$/h).
+	MinRate currency.Amount
+	MaxRate currency.Amount
+}
+
+// Rebalance adjusts every participant's rate toward equilibrium.
+func (a *PricingAuthority) Rebalance(mgr *accounts.Manager, parts []*Participant, initial currency.Amount) error {
+	gain := a.Gain
+	if gain == 0 {
+		gain = 0.01
+	}
+	minRate := a.MinRate
+	if minRate == 0 {
+		minRate = currency.MustParse("0.1")
+	}
+	maxRate := a.MaxRate
+	if maxRate == 0 {
+		maxRate = currency.FromG(10)
+	}
+	for _, p := range parts {
+		acct, err := mgr.Details(p.Account)
+		if err != nil {
+			return err
+		}
+		devG := acct.AvailableBalance.MustSub(initial).G()
+		// Positive deviation (hoarding) lowers the price; negative raises
+		// it.
+		factor := 1 - gain*devG
+		if factor < 0.5 {
+			factor = 0.5
+		}
+		if factor > 2.0 {
+			factor = 2.0
+		}
+		newRate := currency.FromMicro(int64(float64(p.RatePerCPUHour.Micro()) * factor))
+		if newRate.Cmp(minRate) < 0 {
+			newRate = minRate
+		}
+		if newRate.Cmp(maxRate) > 0 {
+			newRate = maxRate
+		}
+		p.RatePerCPUHour = newRate
+	}
+	return nil
+}

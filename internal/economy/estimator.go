@@ -1,0 +1,129 @@
+package economy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gridbank/internal/currency"
+)
+
+// The §4.2 competitive-model price estimator. "GridBank's transaction
+// history can assist in deciding how much a computational service is
+// worth. Such transaction history is confidential and cannot be disclosed
+// as is. Therefore GridBank would receive a description of the resource,
+// process the information in its database regarding prices paid for
+// resources of similar type, and then produce an estimate. The simplest
+// approach to compare resources is to consider hardware parameters such
+// as processor speed, number of processors, amount of main memory and
+// secondary storage, network bandwidth."
+
+// ResourceSpec is the hardware description a GSP submits for valuation.
+type ResourceSpec struct {
+	CPUMHz        float64 `json:"cpu_mhz"`
+	Processors    float64 `json:"processors"`
+	MemoryMB      float64 `json:"memory_mb"`
+	StorageGB     float64 `json:"storage_gb"`
+	BandwidthMbps float64 `json:"bandwidth_mbps"`
+}
+
+func (s ResourceSpec) features() [5]float64 {
+	return [5]float64{s.CPUMHz, s.Processors, s.MemoryMB, s.StorageGB, s.BandwidthMbps}
+}
+
+// PricePoint is one observation distilled from the transaction history:
+// a resource of the given spec traded at the given CPU-hour price. The
+// estimator keeps only these points — the underlying transfers (who paid
+// whom, for which job) never leave the bank, preserving the paper's
+// confidentiality requirement.
+type PricePoint struct {
+	Spec  ResourceSpec
+	Price currency.Amount // per CPU-hour
+}
+
+// Estimator produces market-value estimates by distance-weighted
+// k-nearest-neighbour regression over hardware feature space. Features
+// are normalized by the history's per-dimension spread so that MB-scale
+// memory does not drown MHz-scale CPU speed.
+type Estimator struct {
+	points []PricePoint
+	k      int
+}
+
+// NewEstimator builds an estimator over the history with the given
+// neighbourhood size (k ≤ 0 defaults to 5).
+func NewEstimator(history []PricePoint, k int) *Estimator {
+	if k <= 0 {
+		k = 5
+	}
+	pts := make([]PricePoint, len(history))
+	copy(pts, history)
+	return &Estimator{points: pts, k: k}
+}
+
+// Add appends an observation (e.g. after each settled transfer).
+func (e *Estimator) Add(p PricePoint) { e.points = append(e.points, p) }
+
+// Len returns the history size.
+func (e *Estimator) Len() int { return len(e.points) }
+
+// Estimate returns the estimated per-CPU-hour market price for the spec.
+func (e *Estimator) Estimate(spec ResourceSpec) (currency.Amount, error) {
+	if len(e.points) == 0 {
+		return 0, ErrNoHistory
+	}
+	// Per-dimension normalization spans.
+	var lo, hi [5]float64
+	for d := 0; d < 5; d++ {
+		lo[d], hi[d] = math.Inf(1), math.Inf(-1)
+	}
+	for _, p := range e.points {
+		f := p.Spec.features()
+		for d := 0; d < 5; d++ {
+			lo[d] = math.Min(lo[d], f[d])
+			hi[d] = math.Max(hi[d], f[d])
+		}
+	}
+	span := func(d int) float64 {
+		s := hi[d] - lo[d]
+		if s <= 0 {
+			return 1
+		}
+		return s
+	}
+	target := spec.features()
+	type neighbour struct {
+		dist  float64
+		price currency.Amount
+	}
+	ns := make([]neighbour, 0, len(e.points))
+	for _, p := range e.points {
+		f := p.Spec.features()
+		var d2 float64
+		for d := 0; d < 5; d++ {
+			diff := (f[d] - target[d]) / span(d)
+			d2 += diff * diff
+		}
+		ns = append(ns, neighbour{dist: math.Sqrt(d2), price: p.Price})
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i].dist < ns[j].dist })
+	k := e.k
+	if k > len(ns) {
+		k = len(ns)
+	}
+	// Inverse-distance weighting; an exact match short-circuits.
+	var wSum, pSum float64
+	for _, n := range ns[:k] {
+		if n.dist == 0 {
+			return n.price, nil
+		}
+		w := 1 / n.dist
+		wSum += w
+		pSum += w * n.price.G()
+	}
+	if wSum == 0 {
+		return 0, fmt.Errorf("economy: degenerate neighbourhood")
+	}
+	est := pSum / wSum
+	return currency.FromMicro(int64(est * currency.Scale)), nil
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gridbank/internal/broker"
+	"gridbank/internal/currency"
+	"gridbank/internal/gridsim"
+	"gridbank/internal/rur"
+)
+
+// DBCConfig parameterizes the broker-scheduling experiment.
+type DBCConfig struct {
+	Jobs int   // default 100
+	Seed int64 // default 7
+}
+
+func (c *DBCConfig) defaults() {
+	if c.Jobs <= 0 {
+		c.Jobs = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+}
+
+// DBCRow is one (strategy, deadline) cell.
+type DBCRow struct {
+	Strategy broker.Strategy
+	Deadline time.Duration
+	Feasible bool
+	Makespan time.Duration
+	Cost     currency.Amount
+	// FastShare is the fraction of jobs on the fast/expensive resource.
+	FastShare float64
+}
+
+// DBCReport sweeps the deadline for each DBC strategy over a two-tier
+// testbed, exposing the cost/time trade-off and the crossover where
+// tight deadlines force spending.
+type DBCReport struct {
+	Jobs int
+	Rows []DBCRow
+}
+
+func dbcRates(provider string, gPerHour int64) *rur.RateCard {
+	return &rur.RateCard{
+		Provider: provider,
+		Currency: currency.GridDollar,
+		Rates: map[rur.Item]currency.Rate{
+			rur.ItemCPU:       currency.PerHour(gPerHour * currency.Scale),
+			rur.ItemWallClock: currency.ZeroRate,
+			rur.ItemMemory:    currency.PerMBHour(currency.Scale / 1000),
+			rur.ItemStorage:   currency.ZeroRate,
+			rur.ItemNetwork:   currency.PerMB(currency.Scale / 100),
+			rur.ItemSoftware:  currency.PerHour(gPerHour * currency.Scale),
+		},
+	}
+}
+
+// RunDBC evaluates cost-optimal, time-optimal and cost-time scheduling
+// of a bag of tasks across deadlines (the Nimrod-G evaluation shape).
+func RunDBC(cfg DBCConfig) (*DBCReport, error) {
+	cfg.defaults()
+	jobs := gridsim.Bag(gridsim.BagOptions{
+		Owner: "CN=alice", Application: "sweep",
+		N: cfg.Jobs, MeanLengthMI: 48_000, MemoryMB: 128, InputMB: 5, OutputMB: 5,
+		Seed: cfg.Seed,
+	})
+	candidates := []broker.Candidate{
+		{Provider: "CN=cheap-slow", Nodes: 16, RatingMIPS: 400, Rates: dbcRates("CN=cheap-slow", 1)},
+		{Provider: "CN=pricey-fast", Nodes: 16, RatingMIPS: 1600, Rates: dbcRates("CN=pricey-fast", 6)},
+	}
+	deadlines := []time.Duration{
+		3 * time.Minute, 6 * time.Minute, 12 * time.Minute, 30 * time.Minute,
+	}
+	budget := currency.FromG(1000)
+
+	report := &DBCReport{Jobs: cfg.Jobs}
+	for _, strategy := range []broker.Strategy{broker.CostOptimal, broker.CostTime, broker.TimeOptimal} {
+		for _, dl := range deadlines {
+			row := DBCRow{Strategy: strategy, Deadline: dl}
+			plan, err := broker.Schedule(jobs, candidates, broker.QoS{Deadline: dl, Budget: budget}, strategy)
+			if err == nil {
+				row.Feasible = true
+				row.Makespan = plan.Makespan
+				row.Cost = plan.TotalCost
+				fast := len(plan.ByProvider()["CN=pricey-fast"])
+				row.FastShare = float64(fast) / float64(len(plan.Assignments))
+			}
+			report.Rows = append(report.Rows, row)
+		}
+	}
+	return report, nil
+}
+
+// WriteDBC renders the sweep.
+func WriteDBC(w io.Writer, r *DBCReport) {
+	fmt.Fprintf(w, "Nimrod-G DBC scheduling — %d-job bag over cheap-slow (1 G$/h) and pricey-fast (6 G$/h)\n", r.Jobs)
+	t := &Table{Header: []string{"strategy", "deadline", "feasible", "makespan", "cost (G$)", "fast-resource share"}}
+	for _, row := range r.Rows {
+		if row.Feasible {
+			t.Add(row.Strategy, row.Deadline, true, row.Makespan.Round(time.Second), row.Cost, fmt.Sprintf("%.0f%%", row.FastShare*100))
+		} else {
+			t.Add(row.Strategy, row.Deadline, false, "-", "-", "-")
+		}
+	}
+	t.Write(w)
+	fmt.Fprintln(w, "\nshape: tighter deadlines push cost strategies onto the fast resource (cost rises); time-optimal pays for speed regardless.")
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/economy"
+)
+
+// EstimateConfig parameterizes the §4.2 price-estimation experiment.
+type EstimateConfig struct {
+	// HistorySize is how many synthetic transactions seed the estimator
+	// (default 2000).
+	HistorySize int
+	// Queries is how many held-out resources to value (default 50).
+	Queries int
+	Seed    int64
+}
+
+func (c *EstimateConfig) defaults() {
+	if c.HistorySize <= 0 {
+		c.HistorySize = 2000
+	}
+	if c.Queries <= 0 {
+		c.Queries = 50
+	}
+	if c.Seed == 0 {
+		c.Seed = 17
+	}
+}
+
+// EstimateRow is one sample query.
+type EstimateRow struct {
+	Spec      economy.ResourceSpec
+	TrueValue currency.Amount
+	Estimate  currency.Amount
+	ErrorPct  float64
+}
+
+// EstimateReport summarizes estimator accuracy.
+type EstimateReport struct {
+	HistorySize   int
+	Queries       int
+	MeanAbsErrPct float64
+	Samples       []EstimateRow // first few queries, for display
+}
+
+// trueMarketPrice is the hidden pricing function generating the synthetic
+// history: value grows with CPU speed, processor count, memory and
+// bandwidth, with multiplicative market noise.
+func trueMarketPrice(s economy.ResourceSpec, noise float64) currency.Amount {
+	base := 0.4*(s.CPUMHz/1000) + 0.25*s.Processors/4 + 0.2*(s.MemoryMB/1024) + 0.1*(s.StorageGB/100) + 0.05*(s.BandwidthMbps/100)
+	v := base * noise
+	if v < 0.01 {
+		v = 0.01
+	}
+	return currency.FromMicro(int64(v * currency.Scale))
+}
+
+func randomSpec(rng *rand.Rand) economy.ResourceSpec {
+	return economy.ResourceSpec{
+		CPUMHz:        200 + rng.Float64()*3800,
+		Processors:    float64(1 + rng.Intn(32)),
+		MemoryMB:      128 + rng.Float64()*8064,
+		StorageGB:     5 + rng.Float64()*495,
+		BandwidthMbps: 10 + rng.Float64()*990,
+	}
+}
+
+// RunEstimate reproduces the §4.2 competitive-model flow: GridBank
+// distills its confidential history into (hardware spec, price) points
+// and answers valuation queries with a nearest-neighbour estimate; a
+// held-out test set measures how close the estimates come to the market's
+// hidden pricing function.
+func RunEstimate(cfg EstimateConfig) (*EstimateReport, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	history := make([]economy.PricePoint, cfg.HistorySize)
+	for i := range history {
+		spec := randomSpec(rng)
+		noise := 0.9 + rng.Float64()*0.2 // ±10% market noise
+		history[i] = economy.PricePoint{Spec: spec, Price: trueMarketPrice(spec, noise)}
+	}
+	est := economy.NewEstimator(history, 7)
+
+	report := &EstimateReport{HistorySize: cfg.HistorySize, Queries: cfg.Queries}
+	var sumErr float64
+	for i := 0; i < cfg.Queries; i++ {
+		spec := randomSpec(rng)
+		truth := trueMarketPrice(spec, 1.0)
+		got, err := est.Estimate(spec)
+		if err != nil {
+			return nil, err
+		}
+		errPct := math.Abs(got.G()-truth.G()) / truth.G() * 100
+		sumErr += errPct
+		if len(report.Samples) < 5 {
+			report.Samples = append(report.Samples, EstimateRow{Spec: spec, TrueValue: truth, Estimate: got, ErrorPct: errPct})
+		}
+	}
+	report.MeanAbsErrPct = sumErr / float64(cfg.Queries)
+	return report, nil
+}
+
+// WriteEstimate renders the accuracy report.
+func WriteEstimate(w io.Writer, r *EstimateReport) {
+	fmt.Fprintf(w, "§4.2 — competitive price estimation from %d-transaction history (%d held-out queries)\n",
+		r.HistorySize, r.Queries)
+	t := &Table{Header: []string{"CPU MHz", "procs", "mem MB", "disk GB", "net Mbps", "true (G$/h)", "estimate (G$/h)", "err %"}}
+	for _, s := range r.Samples {
+		t.Add(fmt.Sprintf("%.0f", s.Spec.CPUMHz), fmt.Sprintf("%.0f", s.Spec.Processors),
+			fmt.Sprintf("%.0f", s.Spec.MemoryMB), fmt.Sprintf("%.0f", s.Spec.StorageGB),
+			fmt.Sprintf("%.0f", s.Spec.BandwidthMbps), s.TrueValue, s.Estimate, fmt.Sprintf("%.1f", s.ErrorPct))
+	}
+	t.Write(w)
+	fmt.Fprintf(w, "\nmean absolute error: %.1f%% (history noise is ±10%%)\n", r.MeanAbsErrPct)
+}

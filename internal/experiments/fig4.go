@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/currency"
+	"gridbank/internal/db"
+	"gridbank/internal/economy"
+)
+
+// Fig4Config parameterizes the Figure 4 co-operative sharing scenario.
+type Fig4Config struct {
+	Rounds int   // default 200
+	WorkMI int64 // per-consumption work, default 7_200_000 (2h at 1000 MIPS)
+	Seed   int64
+}
+
+func (c *Fig4Config) defaults() {
+	if c.Rounds <= 0 {
+		c.Rounds = 200
+	}
+	if c.WorkMI <= 0 {
+		c.WorkMI = 7_200_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+}
+
+// Fig4Row is one participant's line in the Figure 4 account table.
+type Fig4Row struct {
+	Participant string
+	RatingMIPS  int
+	Consumed    currency.Amount
+	Provided    currency.Amount
+	Balance     currency.Amount
+}
+
+// Fig4Report reproduces Figure 4: four GSP/GSC participants bartering,
+// with the GridBank accounts showing how much each consumed and provided.
+type Fig4Report struct {
+	Rows           []Fig4Row
+	MoneyConserved bool
+	// SlowCompensates: the slowest resource's price per unit of work is
+	// the highest (it "has to compensate by running longer" at the same
+	// hourly rate).
+	SlowCompensates bool
+}
+
+// RunFig4 runs the co-operative resource sharing use case.
+func RunFig4(cfg Fig4Config) (*Fig4Report, error) {
+	cfg.defaults()
+	mgr, err := accounts.NewManager(db.MustOpenMemory(), accounts.Config{})
+	if err != nil {
+		return nil, err
+	}
+	// The four participants of Figure 4 with heterogeneous hardware, all
+	// charging the same hourly rate (the compensation effect then falls
+	// out of run time).
+	defs := []struct {
+		name   string
+		rating int
+	}{
+		{"GSP1 (fast)", 1600},
+		{"GSP2", 800},
+		{"GSP3", 600},
+		{"GSP4 (slow)", 400},
+	}
+	parts := make([]*economy.Participant, len(defs))
+	for i, d := range defs {
+		a, err := mgr.CreateAccount(fmt.Sprintf("CN=%s", d.name), "coop", currency.GridDollar)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = &economy.Participant{
+			Name:           d.name,
+			Account:        a.AccountID,
+			RatingMIPS:     d.rating,
+			RatePerCPUHour: currency.FromG(2),
+		}
+	}
+	const initial = 100
+	sim, err := economy.NewCoopSim(mgr, parts, currency.FromG(initial), nil, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.RunRounds(cfg.Rounds, cfg.WorkMI); err != nil {
+		return nil, err
+	}
+
+	report := &Fig4Report{}
+	for _, p := range parts {
+		acct, err := mgr.Details(p.Account)
+		if err != nil {
+			return nil, err
+		}
+		report.Rows = append(report.Rows, Fig4Row{
+			Participant: p.Name,
+			RatingMIPS:  p.RatingMIPS,
+			Consumed:    p.Consumed,
+			Provided:    p.Provided,
+			Balance:     acct.AvailableBalance,
+		})
+	}
+	total, err := mgr.TotalBalance()
+	if err != nil {
+		return nil, err
+	}
+	report.MoneyConserved = total == currency.FromG(initial*int64(len(parts)))
+	// Per-job price on slowest vs fastest.
+	slowPrice := cfg.WorkMI / int64(defs[len(defs)-1].rating) // cpu-seconds, price ∝ seconds at equal rate
+	fastPrice := cfg.WorkMI / int64(defs[0].rating)
+	report.SlowCompensates = slowPrice > fastPrice
+	return report, nil
+}
+
+// WriteFig4 renders the account table of Figure 4.
+func WriteFig4(w io.Writer, r *Fig4Report) {
+	fmt.Fprintln(w, "Figure 4 — co-operative resource sharing (GridBank account view)")
+	t := &Table{Header: []string{"participant", "MIPS", "consumed (G$)", "provided (G$)", "balance (G$)"}}
+	for _, row := range r.Rows {
+		t.Add(row.Participant, row.RatingMIPS, row.Consumed, row.Provided, row.Balance)
+	}
+	t.Write(w)
+	fmt.Fprintf(w, "\nmoney conserved: %v; slow hardware compensates by running longer (higher per-job price): %v\n",
+		r.MoneyConserved, r.SlowCompensates)
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"gridbank/internal/gridsim"
+	"gridbank/internal/rur"
+	"gridbank/internal/trade"
+)
+
+// PricingConfig parameterizes the supply/demand pricing experiment.
+type PricingConfig struct {
+	// Phases of the demand profile, each lasting PhaseLen virtual
+	// minutes: jobs submitted per minute in each phase (default
+	// quiet → rush → quiet: 2, 24, 2).
+	Demand   []int
+	PhaseLen int // minutes per phase (default 30)
+	Seed     int64
+}
+
+func (c *PricingConfig) defaults() {
+	if len(c.Demand) == 0 {
+		c.Demand = []int{2, 12, 2}
+	}
+	if c.PhaseLen <= 0 {
+		c.PhaseLen = 30
+	}
+	if c.Seed == 0 {
+		c.Seed = 11
+	}
+}
+
+// PricingPoint is one sample of the price/utilization series.
+type PricingPoint struct {
+	Minute      int
+	Demand      int // jobs/minute in this phase
+	Utilization float64
+	// CPUPrice is the commodity model's current asking price in µG$ per
+	// CPU-hour.
+	CPUPrice int64
+}
+
+// PricingReport traces the §1 supply-and-demand regulation: "when there
+// is less demand for resources, the price is lowered; when there is high
+// demand, the price is raised."
+type PricingReport struct {
+	Series []PricingPoint
+	// PeakPrice / QuietPrice summarize the regulation effect.
+	PeakPrice, QuietPrice int64
+}
+
+// RunPricing drives a commodity-market GTS from a demand wave on the
+// simulator: the resource's utilization feeds the pricing model; the
+// posted CPU price is sampled every virtual minute.
+func RunPricing(cfg PricingConfig) (*PricingReport, error) {
+	cfg.defaults()
+	w, err := NewWorld()
+	if err != nil {
+		return nil, err
+	}
+	gts := trade.CommodityMarket{Base: StandardRates(), Target: 0.5, Sensitivity: 1.5, Floor: 0.2}
+	provider, err := w.CA.Issue(pkiIssue("gsp-commodity"))
+	if err != nil {
+		return nil, err
+	}
+	server, err := trade.NewServer(trade.ServerConfig{Identity: provider, Model: gts, Now: w.Clock.Now})
+	if err != nil {
+		return nil, err
+	}
+
+	sim := gridsim.New(w.Clock.Now())
+	res, err := sim.AddResource(gridsim.ResourceConfig{
+		Provider: provider.SubjectName(), Nodes: 8, RatingMIPS: 1000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	report := &PricingReport{}
+	minute := 0
+	for phase, perMin := range cfg.Demand {
+		for m := 0; m < cfg.PhaseLen; m++ {
+			minute++
+			// Submit this minute's arrivals: ~50-second jobs, so the
+			// rush phase (12/min on 8 nodes) saturates the resource but
+			// the backlog drains once demand falls.
+			for j := 0; j < perMin; j++ {
+				job := gridsim.Job{
+					ID:       fmt.Sprintf("p%d-m%d-j%d", phase, m, j),
+					Owner:    "CN=demand",
+					LengthMI: 40_000 + rng.Int63n(20_000),
+				}
+				if err := res.Submit(job, nil); err != nil {
+					return nil, err
+				}
+			}
+			sim.RunUntil(sim.Now().Add(time.Minute))
+			// The GTS reprices from the observed load.
+			server.SetUtilization(res.InstantLoad())
+			price := server.CurrentRates().Rates[rur.ItemCPU].MicroPerUnit
+			report.Series = append(report.Series, PricingPoint{
+				Minute:      minute,
+				Demand:      perMin,
+				Utilization: res.InstantLoad(),
+				CPUPrice:    price,
+			})
+		}
+	}
+	// Summaries: mean price in the busiest vs the final quiet phase.
+	phaseMean := func(phase int) int64 {
+		var sum int64
+		n := 0
+		for i, p := range report.Series {
+			if i/cfg.PhaseLen == phase {
+				sum += p.CPUPrice
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / int64(n)
+	}
+	busiest, quietest := 0, 0
+	for i, d := range cfg.Demand {
+		if d > cfg.Demand[busiest] {
+			busiest = i
+		}
+		if d < cfg.Demand[quietest] {
+			quietest = i
+		}
+	}
+	report.PeakPrice = phaseMean(busiest)
+	report.QuietPrice = phaseMean(quietest)
+	return report, nil
+}
+
+// WritePricing renders the price/demand series (downsampled).
+func WritePricing(w io.Writer, r *PricingReport) {
+	fmt.Fprintln(w, "§1 — supply-and-demand price regulation (commodity-market GTS over the simulator)")
+	t := &Table{Header: []string{"minute", "demand (jobs/min)", "utilization", "CPU price (µG$/h)"}}
+	for i, p := range r.Series {
+		if i%10 == 9 {
+			t.Add(p.Minute, p.Demand, fmt.Sprintf("%.2f", p.Utilization), p.CPUPrice)
+		}
+	}
+	t.Write(w)
+	fmt.Fprintf(w, "\nmean CPU price: rush %d µG$/h vs quiet %d µG$/h — demand raises the price, idleness lowers it.\n",
+		r.PeakPrice, r.QuietPrice)
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"gridbank/internal/core"
+	"gridbank/internal/currency"
+)
+
+// ScalabilityConfig parameterizes the §2.3 access-scalability experiment.
+type ScalabilityConfig struct {
+	// ConsumerCounts are the population sizes to sweep (default
+	// 10, 100, 1000, 5000).
+	ConsumerCounts []int
+	// PoolSize is the number of template accounts (default 16).
+	PoolSize int
+	// Concurrency is how many consumers are active simultaneously
+	// (default = PoolSize: the pool is sized to the concurrency).
+	Concurrency int
+}
+
+func (c *ScalabilityConfig) defaults() {
+	if len(c.ConsumerCounts) == 0 {
+		c.ConsumerCounts = []int{10, 100, 1000, 5000}
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 16
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = c.PoolSize
+	}
+}
+
+// ScalabilityRow is one sweep point.
+type ScalabilityRow struct {
+	Consumers int
+	// LocalAccountsStatic is the §2.3 baseline: one local account per
+	// registered user ("the requirement to have a local account at each
+	// resource is simply not realistic").
+	LocalAccountsStatic int
+	// LocalAccountsPool is what the template pool actually needed.
+	LocalAccountsPool int
+	// PeakInUse and Rejections characterize pool pressure.
+	PeakInUse  int
+	Rejections uint64
+	// JobsServed confirms every consumer got service.
+	JobsServed int
+}
+
+// ScalabilityReport is the sweep result.
+type ScalabilityReport struct {
+	PoolSize int
+	Rows     []ScalabilityRow
+}
+
+// RunScalability reproduces the §2.3 claim: with template accounts,
+// thousands of consumers are served with a constant-size set of local
+// accounts, as long as simultaneous activity stays at or below the pool
+// size. The static baseline grows linearly with the user population.
+func RunScalability(cfg ScalabilityConfig) (*ScalabilityReport, error) {
+	cfg.defaults()
+	report := &ScalabilityReport{PoolSize: cfg.PoolSize}
+	for _, n := range cfg.ConsumerCounts {
+		w, err := NewWorld()
+		if err != nil {
+			return nil, err
+		}
+		p, err := w.NewProvider("gsp", StandardRates(), cfg.PoolSize)
+		if err != nil {
+			return nil, err
+		}
+		agreementCard := p.GTS.CurrentRates()
+		agreementCard.Consumer = "" // posted price for everyone
+
+		row := ScalabilityRow{Consumers: n, LocalAccountsStatic: n}
+		// Consumers arrive in waves of Concurrency: each admits a job
+		// (acquiring a template account), "runs" it, and settles
+		// (releasing the account).
+		type active struct {
+			jobID string
+			cert  string
+		}
+		var wave []active
+		flush := func() error {
+			for _, a := range wave {
+				rec := newUsageRecord(a.cert, p.Identity.SubjectName(), a.jobID, w.Clock.Now())
+				if _, err := p.GBCM.SettleCheque(a.jobID, rec, agreementCard); err != nil {
+					return fmt.Errorf("scalability: settle %s: %w", a.jobID, err)
+				}
+				row.JobsServed++
+			}
+			wave = wave[:0]
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			id, acct, err := w.NewActor(fmt.Sprintf("user-%05d", i), currency.FromG(10))
+			if err != nil {
+				return nil, err
+			}
+			cheque, err := w.Bank.RequestCheque(id.SubjectName(), &core.RequestChequeRequest{
+				AccountID: acct, Amount: currency.FromG(5), PayeeCert: p.Identity.SubjectName(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			jobID := fmt.Sprintf("job-%05d", i)
+			if _, err := p.GBCM.AdmitCheque(jobID, &cheque.Cheque); err != nil {
+				return nil, fmt.Errorf("scalability: admit %s: %w", jobID, err)
+			}
+			wave = append(wave, active{jobID: jobID, cert: id.SubjectName()})
+			if len(wave) == cfg.Concurrency {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			return nil, err
+		}
+		stats := p.GBCM.Pool().Stats()
+		row.LocalAccountsPool = stats.Size
+		row.PeakInUse = stats.PeakInUse
+		row.Rejections = stats.Rejections
+		report.Rows = append(report.Rows, row)
+	}
+	return report, nil
+}
+
+// WriteScalability renders the sweep.
+func WriteScalability(w io.Writer, r *ScalabilityReport) {
+	fmt.Fprintf(w, "§2.3 — access scalability: template account pool (size %d) vs per-user local accounts\n", r.PoolSize)
+	t := &Table{Header: []string{"consumers", "static local accounts", "pool local accounts", "peak in use", "rejections", "jobs served"}}
+	for _, row := range r.Rows {
+		t.Add(row.Consumers, row.LocalAccountsStatic, row.LocalAccountsPool, row.PeakInUse, row.Rejections, row.JobsServed)
+	}
+	t.Write(w)
+	fmt.Fprintln(w, "\nshape: pool accounts stay constant while the static baseline grows linearly with users.")
+}

@@ -1,0 +1,196 @@
+// Package gmd implements the Grid Market Directory of Figure 1: the
+// discovery service where resource providers "advertise their services"
+// (§1) and the Grid Resource Broker looks up candidate GSPs before
+// negotiating cost with each one's Grid Trade Service (§2).
+package gmd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/rur"
+)
+
+// Errors.
+var (
+	ErrNotRegistered = errors.New("gmd: provider not registered")
+	ErrBadAdvert     = errors.New("gmd: malformed advertisement")
+)
+
+// Advertisement describes one GSP's offering.
+type Advertisement struct {
+	// Provider is the GSP's certificate name (the identity the broker
+	// will see at the far end of a negotiation).
+	Provider string `json:"provider"`
+	// Address is the GSP's contact string (host:port of its services).
+	Address string `json:"address"`
+	// HostType is a free-form architecture label (e.g. "Cray", "Linux
+	// cluster") as in the RUR's resource details.
+	HostType string `json:"host_type,omitempty"`
+	// CPURating is the resource's per-node speed in MIPS-like units
+	// (matches gridsim's resource rating).
+	CPURating int `json:"cpu_rating"`
+	// Nodes is the number of compute nodes.
+	Nodes int `json:"nodes"`
+	// Rates is the GSP's *posted* price summary. Negotiated prices may
+	// differ; the directory is for shortlisting only.
+	Rates map[rur.Item]currency.Rate `json:"rates,omitempty"`
+	// Keywords support free-text matching ("mpi", "gpu", "storage").
+	Keywords []string `json:"keywords,omitempty"`
+	// Updated is maintained by the directory.
+	Updated time.Time `json:"updated"`
+}
+
+// Validate checks the advertisement.
+func (a *Advertisement) Validate() error {
+	switch {
+	case a.Provider == "":
+		return fmt.Errorf("%w: missing provider", ErrBadAdvert)
+	case a.Address == "":
+		return fmt.Errorf("%w: missing address", ErrBadAdvert)
+	case a.CPURating <= 0:
+		return fmt.Errorf("%w: CPU rating must be positive", ErrBadAdvert)
+	case a.Nodes <= 0:
+		return fmt.Errorf("%w: node count must be positive", ErrBadAdvert)
+	}
+	return nil
+}
+
+// Query filters advertisements.
+type Query struct {
+	// MinCPURating filters out slow resources (0 = no minimum).
+	MinCPURating int
+	// MinNodes filters by node count (0 = no minimum).
+	MinNodes int
+	// MaxCPUPrice caps the posted CPU rate in micro-G$ per hour
+	// (0 = no cap). Providers with no posted CPU rate pass the filter:
+	// their price is discovered in negotiation.
+	MaxCPUPrice int64
+	// Keyword requires a keyword match (case-insensitive substring).
+	Keyword string
+	// MaxAge drops stale advertisements (0 = no age limit).
+	MaxAge time.Duration
+}
+
+// Directory is an in-memory market directory. One per Grid (or per VO);
+// providers re-register periodically to stay fresh.
+type Directory struct {
+	mu      sync.RWMutex
+	adverts map[string]*Advertisement // by provider cert
+	now     func() time.Time
+}
+
+// New creates a directory. now may be nil (defaults to time.Now).
+func New(now func() time.Time) *Directory {
+	if now == nil {
+		now = time.Now
+	}
+	return &Directory{adverts: make(map[string]*Advertisement), now: now}
+}
+
+// Register inserts or refreshes a provider's advertisement.
+func (d *Directory) Register(ad Advertisement) error {
+	if err := ad.Validate(); err != nil {
+		return err
+	}
+	ad.Updated = d.now()
+	// Copy mutable fields so callers cannot alias directory state.
+	ad.Keywords = append([]string(nil), ad.Keywords...)
+	rates := make(map[rur.Item]currency.Rate, len(ad.Rates))
+	for k, v := range ad.Rates {
+		rates[k] = v
+	}
+	ad.Rates = rates
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.adverts[ad.Provider] = &ad
+	return nil
+}
+
+// Deregister removes a provider.
+func (d *Directory) Deregister(provider string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.adverts[provider]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotRegistered, provider)
+	}
+	delete(d.adverts, provider)
+	return nil
+}
+
+// Get returns one provider's advertisement.
+func (d *Directory) Get(provider string) (*Advertisement, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ad, ok := d.adverts[provider]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotRegistered, provider)
+	}
+	cp := *ad
+	return &cp, nil
+}
+
+// Find returns all advertisements matching the query, cheapest posted
+// CPU rate first (unpriced providers last, then by provider name for
+// determinism).
+func (d *Directory) Find(q Query) []Advertisement {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	now := d.now()
+	var out []Advertisement
+	for _, ad := range d.adverts {
+		if q.MinCPURating > 0 && ad.CPURating < q.MinCPURating {
+			continue
+		}
+		if q.MinNodes > 0 && ad.Nodes < q.MinNodes {
+			continue
+		}
+		if q.MaxAge > 0 && now.Sub(ad.Updated) > q.MaxAge {
+			continue
+		}
+		if q.MaxCPUPrice > 0 {
+			if rate, ok := ad.Rates[rur.ItemCPU]; ok && rate.MicroPerUnit > q.MaxCPUPrice {
+				continue
+			}
+		}
+		if q.Keyword != "" && !matchKeyword(ad.Keywords, q.Keyword) {
+			continue
+		}
+		out = append(out, *ad)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, iok := out[i].Rates[rur.ItemCPU]
+		pj, jok := out[j].Rates[rur.ItemCPU]
+		switch {
+		case iok && jok && pi.MicroPerUnit != pj.MicroPerUnit:
+			return pi.MicroPerUnit < pj.MicroPerUnit
+		case iok != jok:
+			return iok // priced before unpriced
+		default:
+			return out[i].Provider < out[j].Provider
+		}
+	})
+	return out
+}
+
+// Len returns the number of registered providers.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.adverts)
+}
+
+func matchKeyword(keywords []string, q string) bool {
+	q = strings.ToLower(q)
+	for _, k := range keywords {
+		if strings.Contains(strings.ToLower(k), q) {
+			return true
+		}
+	}
+	return false
+}

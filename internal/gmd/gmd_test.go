@@ -1,0 +1,190 @@
+package gmd
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/rur"
+)
+
+func ad(provider string, cpuMicroPerHour int64, rating, nodes int, kw ...string) Advertisement {
+	rates := map[rur.Item]currency.Rate{}
+	if cpuMicroPerHour > 0 {
+		rates[rur.ItemCPU] = currency.PerHour(cpuMicroPerHour)
+	}
+	return Advertisement{
+		Provider:  provider,
+		Address:   provider + ".example:9000",
+		CPURating: rating,
+		Nodes:     nodes,
+		Rates:     rates,
+		Keywords:  kw,
+	}
+}
+
+func TestRegisterAndGet(t *testing.T) {
+	d := New(nil)
+	if err := d.Register(ad("CN=gsp1", 1000, 500, 8, "linux")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Get("CN=gsp1")
+	if err != nil || got.Address != "CN=gsp1.example:9000" {
+		t.Fatalf("Get = %+v, %v", got, err)
+	}
+	if got.Updated.IsZero() {
+		t.Error("Updated not stamped")
+	}
+	if _, err := d.Get("CN=ghost"); !errors.Is(err, ErrNotRegistered) {
+		t.Errorf("missing Get err = %v", err)
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	// Re-register refreshes rather than duplicating.
+	if err := d.Register(ad("CN=gsp1", 2000, 500, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len after refresh = %d", d.Len())
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	d := New(nil)
+	bad := []Advertisement{
+		{Address: "x", CPURating: 1, Nodes: 1},                // no provider
+		{Provider: "p", CPURating: 1, Nodes: 1},               // no address
+		{Provider: "p", Address: "x", CPURating: 0, Nodes: 1}, // no rating
+		{Provider: "p", Address: "x", CPURating: 1, Nodes: 0}, // no nodes
+	}
+	for i, a := range bad {
+		if err := d.Register(a); !errors.Is(err, ErrBadAdvert) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	d := New(nil)
+	if err := d.Register(ad("CN=gsp1", 1000, 500, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Deregister("CN=gsp1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Deregister("CN=gsp1"); !errors.Is(err, ErrNotRegistered) {
+		t.Errorf("double deregister err = %v", err)
+	}
+	if d.Len() != 0 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestFindFiltersAndSorts(t *testing.T) {
+	d := New(nil)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.Register(ad("CN=cheap", 500, 300, 4, "linux")))
+	must(d.Register(ad("CN=fast", 2000, 1200, 64, "linux", "mpi")))
+	must(d.Register(ad("CN=mid", 1000, 600, 16, "linux")))
+	must(d.Register(ad("CN=unpriced", 0, 800, 32, "gpu")))
+
+	// No filter: sorted by posted CPU price, unpriced last.
+	all := d.Find(Query{})
+	want := []string{"CN=cheap", "CN=mid", "CN=fast", "CN=unpriced"}
+	if len(all) != 4 {
+		t.Fatalf("Find all = %d", len(all))
+	}
+	for i, w := range want {
+		if all[i].Provider != w {
+			t.Fatalf("order[%d] = %s, want %s (full: %v)", i, all[i].Provider, w, names(all))
+		}
+	}
+	// Rating filter.
+	fastEnough := d.Find(Query{MinCPURating: 700})
+	if len(fastEnough) != 2 {
+		t.Fatalf("MinCPURating = %v", names(fastEnough))
+	}
+	// Node filter.
+	big := d.Find(Query{MinNodes: 20})
+	if len(big) != 2 {
+		t.Fatalf("MinNodes = %v", names(big))
+	}
+	// Price cap keeps unpriced (price discovered in negotiation).
+	affordable := d.Find(Query{MaxCPUPrice: 600})
+	if len(affordable) != 2 || affordable[0].Provider != "CN=cheap" || affordable[1].Provider != "CN=unpriced" {
+		t.Fatalf("MaxCPUPrice = %v", names(affordable))
+	}
+	// Keyword.
+	mpi := d.Find(Query{Keyword: "MPI"})
+	if len(mpi) != 1 || mpi[0].Provider != "CN=fast" {
+		t.Fatalf("Keyword = %v", names(mpi))
+	}
+}
+
+func TestFindMaxAge(t *testing.T) {
+	clock := time.Now()
+	d := New(func() time.Time { return clock })
+	if err := d.Register(ad("CN=old", 100, 100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(time.Hour)
+	if err := d.Register(ad("CN=fresh", 100, 100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got := d.Find(Query{MaxAge: 30 * time.Minute})
+	if len(got) != 1 || got[0].Provider != "CN=fresh" {
+		t.Fatalf("MaxAge = %v", names(got))
+	}
+}
+
+func TestDirectoryIsolation(t *testing.T) {
+	d := New(nil)
+	a := ad("CN=gsp", 100, 100, 1, "kw")
+	if err := d.Register(a); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's advert after registration must not affect
+	// the directory.
+	a.Keywords[0] = "mutated"
+	a.Rates[rur.ItemCPU] = currency.PerHour(999999)
+	got, _ := d.Get("CN=gsp")
+	if got.Keywords[0] != "kw" {
+		t.Error("keywords aliased")
+	}
+	if got.Rates[rur.ItemCPU].MicroPerUnit != 100 {
+		t.Error("rates aliased")
+	}
+}
+
+func TestConcurrentRegisterFind(t *testing.T) {
+	d := New(nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = d.Register(ad(fmt.Sprintf("CN=gsp%d", i%10), int64(i+1), 100+i, 1))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		d.Find(Query{MinCPURating: 50})
+	}
+	<-done
+	if d.Len() != 10 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func names(ads []Advertisement) []string {
+	out := make([]string, len(ads))
+	for i, a := range ads {
+		out[i] = a.Provider
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package gridsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkSimulateJobs measures simulator throughput: jobs completed
+// per wall-clock second, at several scales.
+func BenchmarkSimulateJobs(b *testing.B) {
+	for _, n := range []int{100, 1000, 10_000} {
+		b.Run(fmt.Sprintf("jobs=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				sim := New(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+				r, err := sim.AddResource(ResourceConfig{Provider: "CN=p", Nodes: 16, RatingMIPS: 1000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				jobs := Bag(BagOptions{Owner: "CN=a", N: n, MeanLengthMI: 10_000, Seed: int64(i)})
+				done := 0
+				b.StartTimer()
+				for _, j := range jobs {
+					if err := r.Submit(j, func(JobResult) { done++ }); err != nil {
+						b.Fatal(err)
+					}
+				}
+				sim.Run()
+				if done != n {
+					b.Fatalf("completed %d of %d", done, n)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBagGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Bag(BagOptions{Owner: "CN=a", N: 1000, MeanLengthMI: 10_000, MemoryMB: 128, Seed: int64(i)})
+	}
+}

@@ -1,0 +1,367 @@
+// Package gridsim is the Grid substrate: a deterministic discrete-event
+// simulator of Grid Service Providers, their compute resources and job
+// executions. It stands in for the real clusters (and the "GridSim"
+// toolkit the Gridbus project used for testing, §1): the paper's
+// components — meter, charging module, trade server, broker, bank — run
+// unmodified on top of it, consuming the same raw usage records a native
+// OS accounting call would produce.
+//
+// The model follows GridSim's: a resource has some number of identical
+// nodes with a MIPS-like rating; a job has a length in MI (million
+// instructions) plus memory/storage/network demands; execution time on a
+// node is length/rating seconds of virtual time; scheduling is
+// space-shared FCFS per resource.
+package gridsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Errors.
+var (
+	ErrStopped     = errors.New("gridsim: simulation already stopped")
+	ErrBadJob      = errors.New("gridsim: malformed job")
+	ErrBadResource = errors.New("gridsim: malformed resource")
+)
+
+// Job is one unit of work submitted to a resource.
+type Job struct {
+	ID          string // global Grid job ID
+	Owner       string // GSC certificate name
+	Application string
+	LengthMI    int64 // computational length, million instructions
+	MemoryMB    int64 // resident memory while running
+	StorageMB   int64 // scratch storage while running
+	InputMB     int64 // network transfer in
+	OutputMB    int64 // network transfer out
+	// SoftwareFraction is the share of CPU time spent inside licensed
+	// software libraries ("Software Libraries: System CPU time", §2.1),
+	// in [0,1].
+	SoftwareFraction float64
+}
+
+// Validate checks job sanity.
+func (j *Job) Validate() error {
+	switch {
+	case j.ID == "":
+		return fmt.Errorf("%w: missing ID", ErrBadJob)
+	case j.Owner == "":
+		return fmt.Errorf("%w: missing owner", ErrBadJob)
+	case j.LengthMI <= 0:
+		return fmt.Errorf("%w: non-positive length", ErrBadJob)
+	case j.MemoryMB < 0 || j.StorageMB < 0 || j.InputMB < 0 || j.OutputMB < 0:
+		return fmt.Errorf("%w: negative demand", ErrBadJob)
+	case j.SoftwareFraction < 0 || j.SoftwareFraction > 1:
+		return fmt.Errorf("%w: software fraction outside [0,1]", ErrBadJob)
+	}
+	return nil
+}
+
+// RawUsage is what the resource's native accounting produces at job
+// completion — the "raw usage statistics" of Figure 2 that the Grid
+// Resource Meter filters and converts. It deliberately includes fields
+// no chargeable item cares about (page faults, context switches), because
+// filtering them out is the GRM's job.
+type RawUsage struct {
+	LocalPID        string
+	Host            string
+	UserCPUSec      int64
+	SystemCPUSec    int64
+	WallClockSec    int64
+	MaxRSSMB        int64
+	ScratchMB       int64
+	NetworkInMB     int64
+	NetworkOutMB    int64
+	PageFaults      int64 // noise: not chargeable
+	ContextSwitches int64 // noise: not chargeable
+}
+
+// JobResult is delivered to the completion callback.
+type JobResult struct {
+	Job      Job
+	Resource string // provider certificate name
+	Start    time.Time
+	End      time.Time
+	Usage    RawUsage
+}
+
+// CompletionFunc receives finished jobs.
+type CompletionFunc func(JobResult)
+
+// ResourceConfig describes a GSP's compute resource.
+type ResourceConfig struct {
+	// Provider is the owning GSP's certificate name.
+	Provider string
+	// Host is the resource's contact hostname.
+	Host string
+	// HostType is a free-form architecture label.
+	HostType string
+	// Nodes is the number of identical compute nodes.
+	Nodes int
+	// RatingMIPS is each node's speed in MI per simulated second.
+	RatingMIPS int
+}
+
+func (c *ResourceConfig) validate() error {
+	switch {
+	case c.Provider == "":
+		return fmt.Errorf("%w: missing provider", ErrBadResource)
+	case c.Nodes <= 0:
+		return fmt.Errorf("%w: need at least one node", ErrBadResource)
+	case c.RatingMIPS <= 0:
+		return fmt.Errorf("%w: non-positive rating", ErrBadResource)
+	}
+	return nil
+}
+
+type pendingJob struct {
+	job      Job
+	complete CompletionFunc
+	queued   time.Time
+}
+
+// Resource is a running simulated resource.
+type Resource struct {
+	cfg       ResourceConfig
+	sim       *Sim
+	freeNodes int
+	queue     []pendingJob
+	pidSeq    int
+
+	// accounting for utilization: node-seconds busy and observed span
+	busyNodeSec int64
+	firstEvent  time.Time
+	lastEvent   time.Time
+	started     bool
+	running     int
+	completed   int
+}
+
+// Config returns the resource's static description.
+func (r *Resource) Config() ResourceConfig { return r.cfg }
+
+// QueueLength returns the number of jobs waiting for a node.
+func (r *Resource) QueueLength() int { return len(r.queue) }
+
+// Running returns the number of jobs currently executing.
+func (r *Resource) Running() int { return r.running }
+
+// Completed returns the number of jobs finished.
+func (r *Resource) Completed() int { return r.completed }
+
+// Utilization returns the fraction of node-time spent busy over the
+// resource's observed lifetime, in [0,1]. Before any job arrives it is 0.
+func (r *Resource) Utilization() float64 {
+	if !r.started {
+		return 0
+	}
+	span := r.lastEvent.Sub(r.firstEvent).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(r.busyNodeSec) / (span * float64(r.cfg.Nodes))
+}
+
+// InstantLoad returns the current fraction of busy nodes (for pricing
+// feeds that want the instantaneous demand signal).
+func (r *Resource) InstantLoad() float64 {
+	return float64(r.cfg.Nodes-r.freeNodes) / float64(r.cfg.Nodes)
+}
+
+// ExecTime returns how long a job runs on this resource.
+func (r *Resource) ExecTime(j *Job) time.Duration {
+	sec := float64(j.LengthMI) / float64(r.cfg.RatingMIPS)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// event is a scheduled simulation event.
+type event struct {
+	at  time.Time
+	seq uint64 // tie-break: FIFO among simultaneous events
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation.
+type Sim struct {
+	now       time.Time
+	seq       uint64
+	events    eventQueue
+	resources map[string]*Resource
+	stopped   bool
+}
+
+// New creates a simulation starting at the given virtual time.
+func New(start time.Time) *Sim {
+	return &Sim{now: start, resources: make(map[string]*Resource)}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time { return s.now }
+
+// At schedules fn at an absolute virtual time (clamped to now).
+func (s *Sim) At(t time.Time, fn func()) {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn after a virtual delay.
+func (s *Sim) After(d time.Duration, fn func()) { s.At(s.now.Add(d), fn) }
+
+// AddResource registers a resource.
+func (s *Sim) AddResource(cfg ResourceConfig) (*Resource, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := s.resources[cfg.Provider]; ok {
+		return nil, fmt.Errorf("%w: provider %q already registered", ErrBadResource, cfg.Provider)
+	}
+	if cfg.Host == "" {
+		cfg.Host = cfg.Provider
+	}
+	r := &Resource{cfg: cfg, sim: s, freeNodes: cfg.Nodes}
+	s.resources[cfg.Provider] = r
+	return r, nil
+}
+
+// Resource returns a registered resource.
+func (s *Sim) Resource(provider string) (*Resource, bool) {
+	r, ok := s.resources[provider]
+	return r, ok
+}
+
+// Resources lists all registered resources.
+func (s *Sim) Resources() []*Resource {
+	out := make([]*Resource, 0, len(s.resources))
+	for _, r := range s.resources {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Submit hands a job to a resource at the current virtual time. complete
+// runs (in virtual time) when the job finishes. Space-shared FCFS: the
+// job starts immediately if a node is free, otherwise queues.
+func (r *Resource) Submit(job Job, complete CompletionFunc) error {
+	if err := job.Validate(); err != nil {
+		return err
+	}
+	r.observe(r.sim.now)
+	p := pendingJob{job: job, complete: complete, queued: r.sim.now}
+	if r.freeNodes > 0 {
+		r.start(p)
+	} else {
+		r.queue = append(r.queue, p)
+	}
+	return nil
+}
+
+// observe extends the utilization window.
+func (r *Resource) observe(t time.Time) {
+	if !r.started {
+		r.started = true
+		r.firstEvent = t
+	}
+	if t.After(r.lastEvent) {
+		r.lastEvent = t
+	}
+}
+
+func (r *Resource) start(p pendingJob) {
+	r.freeNodes--
+	r.running++
+	r.pidSeq++
+	pid := fmt.Sprintf("pid-%d", r.pidSeq)
+	startAt := r.sim.now
+	dur := r.ExecTime(&p.job)
+	if dur <= 0 {
+		dur = time.Second
+	}
+	r.sim.After(dur, func() {
+		endAt := r.sim.now
+		r.freeNodes++
+		r.running--
+		r.completed++
+		r.busyNodeSec += int64(dur.Seconds() + 0.5)
+		r.observe(endAt)
+		wall := int64(endAt.Sub(startAt).Seconds() + 0.5)
+		sysCPU := int64(float64(wall) * p.job.SoftwareFraction)
+		usage := RawUsage{
+			LocalPID:        pid,
+			Host:            r.cfg.Host,
+			UserCPUSec:      wall - sysCPU,
+			SystemCPUSec:    sysCPU,
+			WallClockSec:    wall,
+			MaxRSSMB:        p.job.MemoryMB,
+			ScratchMB:       p.job.StorageMB,
+			NetworkInMB:     p.job.InputMB,
+			NetworkOutMB:    p.job.OutputMB,
+			PageFaults:      p.job.LengthMI / 10,
+			ContextSwitches: wall * 100,
+		}
+		if p.complete != nil {
+			p.complete(JobResult{Job: p.job, Resource: r.cfg.Provider, Start: startAt, End: endAt, Usage: usage})
+		}
+		// Pull the next queued job onto the freed node.
+		if len(r.queue) > 0 {
+			next := r.queue[0]
+			r.queue = r.queue[1:]
+			r.start(next)
+		}
+	})
+}
+
+// Step executes the next event, returning false when the queue is empty.
+func (s *Sim) Step() bool {
+	if s.stopped || s.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run drains the event queue.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil processes events up to and including virtual time t.
+func (s *Sim) RunUntil(t time.Time) {
+	for s.events.Len() > 0 && !s.events[0].at.After(t) {
+		s.Step()
+	}
+	if s.now.Before(t) {
+		s.now = t
+	}
+}
+
+// Stop halts the simulation; further Step calls return false.
+func (s *Sim) Stop() { s.stopped = true }

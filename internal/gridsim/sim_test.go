@@ -1,0 +1,306 @@
+package gridsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var simEpoch = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func testResource(t *testing.T, s *Sim, nodes, rating int) *Resource {
+	t.Helper()
+	r, err := s.AddResource(ResourceConfig{
+		Provider: "CN=gsp1,O=VO", Host: "gsp1.grid", Nodes: nodes, RatingMIPS: rating,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func job(id string, lengthMI int64) Job {
+	return Job{ID: id, Owner: "CN=alice,O=VO", Application: "app", LengthMI: lengthMI}
+}
+
+func TestSingleJobTiming(t *testing.T) {
+	s := New(simEpoch)
+	r := testResource(t, s, 1, 100) // 100 MI/s
+	var results []JobResult
+	if err := r.Submit(job("j1", 1000), func(res JobResult) { results = append(results, res) }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if len(results) != 1 {
+		t.Fatalf("results = %d", len(results))
+	}
+	res := results[0]
+	// 1000 MI at 100 MI/s = 10 virtual seconds.
+	if got := res.End.Sub(res.Start); got != 10*time.Second {
+		t.Errorf("exec time = %v", got)
+	}
+	if !res.Start.Equal(simEpoch) {
+		t.Errorf("start = %v", res.Start)
+	}
+	if res.Usage.WallClockSec != 10 || res.Usage.UserCPUSec != 10 {
+		t.Errorf("usage = %+v", res.Usage)
+	}
+	if res.Usage.LocalPID == "" || res.Usage.Host != "gsp1.grid" {
+		t.Errorf("identification = %+v", res.Usage)
+	}
+	if r.Completed() != 1 || r.Running() != 0 {
+		t.Errorf("counters: completed=%d running=%d", r.Completed(), r.Running())
+	}
+}
+
+func TestFCFSQueueing(t *testing.T) {
+	s := New(simEpoch)
+	r := testResource(t, s, 1, 100)
+	var order []string
+	var ends []time.Time
+	cb := func(res JobResult) { order = append(order, res.Job.ID); ends = append(ends, res.End) }
+	// Three 10-second jobs on one node: serialized FCFS.
+	for _, id := range []string{"a", "b", "c"} {
+		if err := r.Submit(job(id, 1000), cb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.QueueLength() != 2 || r.Running() != 1 {
+		t.Fatalf("queue=%d running=%d", r.QueueLength(), r.Running())
+	}
+	s.Run()
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v", order)
+	}
+	for i, want := range []time.Duration{10, 20, 30} {
+		if got := ends[i].Sub(simEpoch); got != want*time.Second {
+			t.Errorf("job %d ended at +%v, want +%vs", i, got, want)
+		}
+	}
+}
+
+func TestParallelNodes(t *testing.T) {
+	s := New(simEpoch)
+	r := testResource(t, s, 4, 100)
+	var ends []time.Time
+	for i := 0; i < 4; i++ {
+		if err := r.Submit(job(string(rune('a'+i)), 1000), func(res JobResult) { ends = append(ends, res.End) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	// All four run in parallel: all end at +10s.
+	for _, e := range ends {
+		if e.Sub(simEpoch) != 10*time.Second {
+			t.Fatalf("ends = %v", ends)
+		}
+	}
+}
+
+func TestFasterResourceFinishesSooner(t *testing.T) {
+	// The Figure 4 effect: same work, different hardware speed.
+	s := New(simEpoch)
+	fast, err := s.AddResource(ResourceConfig{Provider: "CN=fast", Nodes: 1, RatingMIPS: 1600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := s.AddResource(ResourceConfig{Provider: "CN=slow", Nodes: 1, RatingMIPS: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fastEnd, slowEnd time.Time
+	if err := fast.Submit(job("jf", 1600), func(r JobResult) { fastEnd = r.End }); err != nil {
+		t.Fatal(err)
+	}
+	if err := slow.Submit(job("js", 1600), func(r JobResult) { slowEnd = r.End }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if fastEnd.Sub(simEpoch) != time.Second || slowEnd.Sub(simEpoch) != 4*time.Second {
+		t.Fatalf("fast=%v slow=%v", fastEnd.Sub(simEpoch), slowEnd.Sub(simEpoch))
+	}
+}
+
+func TestSoftwareFractionSplitsCPU(t *testing.T) {
+	s := New(simEpoch)
+	r := testResource(t, s, 1, 100)
+	j := job("j", 1000)
+	j.SoftwareFraction = 0.3
+	var usage RawUsage
+	if err := r.Submit(j, func(res JobResult) { usage = res.Usage }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if usage.SystemCPUSec != 3 || usage.UserCPUSec != 7 {
+		t.Fatalf("cpu split = %d/%d", usage.UserCPUSec, usage.SystemCPUSec)
+	}
+}
+
+func TestResourceDemandsPropagate(t *testing.T) {
+	s := New(simEpoch)
+	r := testResource(t, s, 1, 100)
+	j := Job{ID: "j", Owner: "CN=a", LengthMI: 500, MemoryMB: 512, StorageMB: 100, InputMB: 20, OutputMB: 30}
+	var usage RawUsage
+	if err := r.Submit(j, func(res JobResult) { usage = res.Usage }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if usage.MaxRSSMB != 512 || usage.ScratchMB != 100 || usage.NetworkInMB != 20 || usage.NetworkOutMB != 30 {
+		t.Fatalf("usage = %+v", usage)
+	}
+	// The noise fields exist (the meter must filter them).
+	if usage.PageFaults == 0 || usage.ContextSwitches == 0 {
+		t.Error("expected OS noise fields")
+	}
+}
+
+func TestUtilizationTracking(t *testing.T) {
+	s := New(simEpoch)
+	r := testResource(t, s, 2, 100)
+	if r.Utilization() != 0 {
+		t.Error("pre-start utilization nonzero")
+	}
+	// One node busy 10s, the other idle: utilization 0.5 over the span.
+	if err := r.Submit(job("j", 1000), nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.InstantLoad() != 0.5 {
+		t.Errorf("instant load = %f", r.InstantLoad())
+	}
+	s.Run()
+	if u := r.Utilization(); u < 0.49 || u > 0.51 {
+		t.Errorf("utilization = %f", u)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	s := New(simEpoch)
+	if _, err := s.AddResource(ResourceConfig{Provider: "", Nodes: 1, RatingMIPS: 1}); !errors.Is(err, ErrBadResource) {
+		t.Errorf("no provider err = %v", err)
+	}
+	if _, err := s.AddResource(ResourceConfig{Provider: "p", Nodes: 0, RatingMIPS: 1}); !errors.Is(err, ErrBadResource) {
+		t.Errorf("no nodes err = %v", err)
+	}
+	if _, err := s.AddResource(ResourceConfig{Provider: "p", Nodes: 1, RatingMIPS: 0}); !errors.Is(err, ErrBadResource) {
+		t.Errorf("no rating err = %v", err)
+	}
+	r := testResource(t, s, 1, 1)
+	if _, err := s.AddResource(r.Config()); !errors.Is(err, ErrBadResource) {
+		t.Errorf("duplicate provider err = %v", err)
+	}
+	bad := []Job{
+		{Owner: "o", LengthMI: 1},
+		{ID: "i", LengthMI: 1},
+		{ID: "i", Owner: "o", LengthMI: 0},
+		{ID: "i", Owner: "o", LengthMI: 1, MemoryMB: -1},
+		{ID: "i", Owner: "o", LengthMI: 1, SoftwareFraction: 1.5},
+	}
+	for i, j := range bad {
+		if err := r.Submit(j, nil); !errors.Is(err, ErrBadJob) {
+			t.Errorf("bad job %d err = %v", i, err)
+		}
+	}
+}
+
+func TestRunUntilAndStop(t *testing.T) {
+	s := New(simEpoch)
+	r := testResource(t, s, 1, 100)
+	var done int
+	for i := 0; i < 3; i++ {
+		if err := r.Submit(job(string(rune('a'+i)), 1000), func(JobResult) { done++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunUntil(simEpoch.Add(15 * time.Second))
+	if done != 1 {
+		t.Fatalf("done at +15s = %d", done)
+	}
+	if !s.Now().Equal(simEpoch.Add(15 * time.Second)) {
+		t.Errorf("Now = %v", s.Now())
+	}
+	s.Stop()
+	if s.Step() {
+		t.Error("Step after Stop")
+	}
+	// Lookup API.
+	if _, ok := s.Resource("CN=gsp1,O=VO"); !ok {
+		t.Error("Resource lookup failed")
+	}
+	if len(s.Resources()) != 1 {
+		t.Error("Resources listing wrong")
+	}
+}
+
+func TestEventOrderingDeterministic(t *testing.T) {
+	s := New(simEpoch)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(simEpoch.Add(time.Second), func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events out of FIFO order: %v", order)
+		}
+	}
+	// Scheduling in the past clamps to now.
+	s2 := New(simEpoch)
+	fired := false
+	s2.At(simEpoch.Add(-time.Hour), func() { fired = true })
+	s2.Run()
+	if !fired || s2.Now().Before(simEpoch) {
+		t.Error("past event handling broken")
+	}
+}
+
+func TestBagWorkloadDeterministic(t *testing.T) {
+	opts := BagOptions{Owner: "CN=a", N: 20, MeanLengthMI: 1000, MemoryMB: 100, Seed: 42}
+	b1 := Bag(opts)
+	b2 := Bag(opts)
+	if len(b1) != 20 {
+		t.Fatalf("len = %d", len(b1))
+	}
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+		if err := b1[i].Validate(); err != nil {
+			t.Fatalf("generated job invalid: %v", err)
+		}
+		if b1[i].LengthMI < 500 || b1[i].LengthMI > 1500 {
+			t.Fatalf("length %d outside jitter range", b1[i].LengthMI)
+		}
+	}
+	diff := Bag(BagOptions{Owner: "CN=a", N: 20, MeanLengthMI: 1000, Seed: 43})
+	same := true
+	for i := range b1 {
+		if b1[i].LengthMI != diff[i].LengthMI {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+	if Bag(BagOptions{N: 0}) != nil {
+		t.Error("empty bag should be nil")
+	}
+}
+
+func TestHeterogeneousGrid(t *testing.T) {
+	s := New(simEpoch)
+	resources, err := HeterogeneousGrid(s, "O=VO-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resources) != 4 {
+		t.Fatalf("resources = %d", len(resources))
+	}
+	ratings := map[string]int{}
+	for _, r := range resources {
+		ratings[r.Config().Provider] = r.Config().RatingMIPS
+	}
+	if ratings["CN=gsp-fast,O=VO-A"] <= ratings["CN=gsp-slow,O=VO-A"] {
+		t.Error("speed ordering wrong")
+	}
+}

@@ -1,0 +1,99 @@
+package gridsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Workload generation: the synthetic equivalents of the paper's
+// motivating applications — Nimrod-G parameter sweeps (bags of
+// independent tasks) and mixed data/compute jobs. Generators are
+// deterministic under a seed so experiments are reproducible.
+
+// BagOptions parameterize a bag-of-tasks workload.
+type BagOptions struct {
+	// Owner is the submitting GSC's certificate name.
+	Owner string
+	// Application labels the jobs.
+	Application string
+	// N is the number of jobs.
+	N int
+	// MeanLengthMI is the mean job length; individual lengths are
+	// uniform in [0.5, 1.5]×mean (Nimrod-G sweeps are near-homogeneous).
+	MeanLengthMI int64
+	// MemoryMB / StorageMB / InputMB / OutputMB are per-job demands,
+	// each uniform in [0.5, 1.5]× the given mean (0 stays 0).
+	MemoryMB  int64
+	StorageMB int64
+	InputMB   int64
+	OutputMB  int64
+	// SoftwareFraction is the licensed-software CPU share.
+	SoftwareFraction float64
+	// Seed makes the workload reproducible.
+	Seed int64
+	// IDPrefix prefixes job IDs (default "job").
+	IDPrefix string
+}
+
+// Bag generates a deterministic bag-of-tasks workload.
+func Bag(opts BagOptions) []Job {
+	if opts.N <= 0 {
+		return nil
+	}
+	if opts.IDPrefix == "" {
+		opts.IDPrefix = "job"
+	}
+	if opts.Application == "" {
+		opts.Application = "param-sweep"
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	jitter := func(mean int64) int64 {
+		if mean <= 0 {
+			return 0
+		}
+		f := 0.5 + rng.Float64()
+		v := int64(float64(mean) * f)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	jobs := make([]Job, opts.N)
+	for i := range jobs {
+		jobs[i] = Job{
+			ID:               fmt.Sprintf("%s-%04d", opts.IDPrefix, i),
+			Owner:            opts.Owner,
+			Application:      opts.Application,
+			LengthMI:         jitter(opts.MeanLengthMI),
+			MemoryMB:         jitter(opts.MemoryMB),
+			StorageMB:        jitter(opts.StorageMB),
+			InputMB:          jitter(opts.InputMB),
+			OutputMB:         jitter(opts.OutputMB),
+			SoftwareFraction: opts.SoftwareFraction,
+		}
+	}
+	return jobs
+}
+
+// HeterogeneousGrid builds a standard four-GSP testbed mirroring the
+// co-operative scenario of Figure 4: providers with different hardware
+// speeds ("although computations on some resources are faster because of
+// better hardware, the slower resources have to compensate by running
+// longer").
+func HeterogeneousGrid(sim *Sim, org string) ([]*Resource, error) {
+	configs := []ResourceConfig{
+		{Provider: "CN=gsp-fast," + org, Host: "fast.grid", HostType: "Cray", Nodes: 8, RatingMIPS: 1600},
+		{Provider: "CN=gsp-mid1," + org, Host: "mid1.grid", HostType: "Linux cluster", Nodes: 8, RatingMIPS: 800},
+		{Provider: "CN=gsp-mid2," + org, Host: "mid2.grid", HostType: "Linux cluster", Nodes: 8, RatingMIPS: 600},
+		{Provider: "CN=gsp-slow," + org, Host: "slow.grid", HostType: "SMP", Nodes: 8, RatingMIPS: 400},
+	}
+	out := make([]*Resource, 0, len(configs))
+	for _, cfg := range configs {
+		r, err := sim.AddResource(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

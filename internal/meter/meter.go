@@ -1,0 +1,120 @@
+// Package meter implements the Grid Resource Meter (GRM) of §2.1 and
+// Figure 2: the GSP-side module that interfaces with the local resource
+// allocation system, extracts raw usage statistics after a user
+// application finishes, filters the relevant fields, and converts them
+// into the standard OS-independent Resource Usage Record.
+//
+// It also implements the GRM's aggregation duty: "each individual
+// resource (R1–R4) used to provide computational service presents its
+// usage record to the GRM. GRM might choose to aggregate individual
+// records into the standard RUR to reflect the charge for the combined
+// GSP's service."
+package meter
+
+import (
+	"errors"
+	"fmt"
+
+	"gridbank/internal/gridsim"
+	"gridbank/internal/rur"
+)
+
+// Errors.
+var (
+	ErrNoResults = errors.New("meter: no job results to convert")
+	ErrMixedJobs = errors.New("meter: results belong to different jobs")
+)
+
+// Meter converts raw usage into RURs for one GSP.
+type Meter struct {
+	providerCert string
+	hostType     string
+}
+
+// New creates a meter for the provider with the given certificate name.
+// hostType labels the hardware in resource details (optional).
+func New(providerCert, hostType string) (*Meter, error) {
+	if providerCert == "" {
+		return nil, errors.New("meter: provider certificate name required")
+	}
+	return &Meter{providerCert: providerCert, hostType: hostType}, nil
+}
+
+// ProviderCert returns the certificate name records are issued under.
+func (m *Meter) ProviderCert() string { return m.providerCert }
+
+// Convert filters one raw result into a standard RUR. This is the
+// Figure 2 pipeline: of the raw OS statistics, only the chargeable items
+// survive (page faults, context switches and other noise are dropped);
+// memory and storage integrate over wall-clock time into MB·s; network
+// in/out sum into total traffic ("MB of total 'traffic'", §2.1).
+func (m *Meter) Convert(res gridsim.JobResult) (*rur.Record, error) {
+	u := res.Usage
+	wall := u.WallClockSec
+	if wall < 0 {
+		return nil, fmt.Errorf("meter: negative wall clock %d", wall)
+	}
+	rec := &rur.Record{
+		User: rur.UserDetails{
+			CertificateName: res.Job.Owner,
+		},
+		Job: rur.JobDetails{
+			JobID:       res.Job.ID,
+			Application: res.Job.Application,
+			Start:       res.Start,
+			End:         res.End,
+		},
+		Resource: rur.ResourceDetails{
+			Host:            u.Host,
+			CertificateName: m.providerCert,
+			HostType:        m.hostType,
+			LocalJobID:      u.LocalPID,
+		},
+	}
+	rec.SetQuantity(rur.ItemCPU, u.UserCPUSec)
+	rec.SetQuantity(rur.ItemWallClock, wall)
+	rec.SetQuantity(rur.ItemMemory, u.MaxRSSMB*wall)
+	rec.SetQuantity(rur.ItemStorage, u.ScratchMB*wall)
+	rec.SetQuantity(rur.ItemNetwork, u.NetworkInMB+u.NetworkOutMB)
+	rec.SetQuantity(rur.ItemSoftware, u.SystemCPUSec)
+	if err := rec.Validate(); err != nil {
+		return nil, fmt.Errorf("meter: converted record invalid: %w", err)
+	}
+	return rec, nil
+}
+
+// Aggregate merges several raw results for the *same job* (a service
+// spanning multiple internal resources) into one combined RUR.
+func (m *Meter) Aggregate(results []gridsim.JobResult) (*rur.Record, error) {
+	if len(results) == 0 {
+		return nil, ErrNoResults
+	}
+	base, err := m.Convert(results[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results[1:] {
+		if res.Job.ID != results[0].Job.ID {
+			return nil, fmt.Errorf("%w: %q vs %q", ErrMixedJobs, res.Job.ID, results[0].Job.ID)
+		}
+		next, err := m.Convert(res)
+		if err != nil {
+			return nil, err
+		}
+		if err := base.Merge(next); err != nil {
+			return nil, err
+		}
+	}
+	return base, nil
+}
+
+// Translate re-encodes a record between site formats (§5.1 NOTE: "Grid
+// Resource Meter Module can then perform translations from one record
+// format into another").
+func Translate(data []byte, to rur.Format) ([]byte, error) {
+	rec, err := rur.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return rur.Encode(rec, to)
+}

@@ -1,0 +1,193 @@
+package meter
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/gridsim"
+	"gridbank/internal/rur"
+)
+
+var epoch = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func sampleResult() gridsim.JobResult {
+	return gridsim.JobResult{
+		Job: gridsim.Job{
+			ID: "job-1", Owner: "CN=alice,O=VO", Application: "sweep",
+			MemoryMB: 512, StorageMB: 100, InputMB: 20, OutputMB: 30,
+			LengthMI: 1000,
+		},
+		Resource: "CN=gsp1,O=VO",
+		Start:    epoch,
+		End:      epoch.Add(100 * time.Second),
+		Usage: gridsim.RawUsage{
+			LocalPID: "pid-7", Host: "gsp1.grid",
+			UserCPUSec: 90, SystemCPUSec: 10, WallClockSec: 100,
+			MaxRSSMB: 512, ScratchMB: 100, NetworkInMB: 20, NetworkOutMB: 30,
+			PageFaults: 12345, ContextSwitches: 678,
+		},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("", ""); err == nil {
+		t.Error("empty provider accepted")
+	}
+	m, err := New("CN=gsp1,O=VO", "Cray")
+	if err != nil || m.ProviderCert() != "CN=gsp1,O=VO" {
+		t.Fatalf("New = %v, %v", m, err)
+	}
+}
+
+func TestConvertFiltersAndConverts(t *testing.T) {
+	m, _ := New("CN=gsp1,O=VO", "Cray")
+	rec, err := m.Convert(sampleResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Identity plumbing.
+	if rec.User.CertificateName != "CN=alice,O=VO" {
+		t.Errorf("user = %+v", rec.User)
+	}
+	if rec.Resource.CertificateName != "CN=gsp1,O=VO" || rec.Resource.LocalJobID != "pid-7" ||
+		rec.Resource.HostType != "Cray" || rec.Resource.Host != "gsp1.grid" {
+		t.Errorf("resource = %+v", rec.Resource)
+	}
+	// Conversions: memory/storage integrate over wall clock; network sums.
+	if got := rec.Quantity(rur.ItemCPU); got != 90 {
+		t.Errorf("cpu = %d", got)
+	}
+	if got := rec.Quantity(rur.ItemWallClock); got != 100 {
+		t.Errorf("wall = %d", got)
+	}
+	if got := rec.Quantity(rur.ItemMemory); got != 512*100 {
+		t.Errorf("memory = %d", got)
+	}
+	if got := rec.Quantity(rur.ItemStorage); got != 100*100 {
+		t.Errorf("storage = %d", got)
+	}
+	if got := rec.Quantity(rur.ItemNetwork); got != 50 {
+		t.Errorf("network = %d", got)
+	}
+	if got := rec.Quantity(rur.ItemSoftware); got != 10 {
+		t.Errorf("software = %d", got)
+	}
+	// The noise fields are filtered: only the six chargeable items
+	// appear.
+	if len(rec.Usage) != 6 {
+		t.Errorf("usage lines = %d (%+v)", len(rec.Usage), rec.Usage)
+	}
+}
+
+func TestConvertRejectsNegativeWall(t *testing.T) {
+	m, _ := New("CN=gsp1", "")
+	res := sampleResult()
+	res.Usage.WallClockSec = -1
+	if _, err := m.Convert(res); err == nil {
+		t.Error("negative wall clock accepted")
+	}
+}
+
+func TestAggregateMultiResourceService(t *testing.T) {
+	// Figure 1's R1–R4: four internal resources serve one job; the GRM
+	// presents one combined record.
+	m, _ := New("CN=gsp1,O=VO", "")
+	r1 := sampleResult()
+	r2 := sampleResult()
+	r2.Usage.UserCPUSec = 50
+	r2.Usage.NetworkInMB = 5
+	r2.Usage.NetworkOutMB = 0
+	r2.Start = epoch.Add(-50 * time.Second) // started earlier
+	rec, err := m.Aggregate([]gridsim.JobResult{r1, r2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Quantity(rur.ItemCPU); got != 140 {
+		t.Errorf("aggregated cpu = %d", got)
+	}
+	if got := rec.Quantity(rur.ItemNetwork); got != 55 {
+		t.Errorf("aggregated network = %d", got)
+	}
+	if !rec.Job.Start.Equal(r2.Start) {
+		t.Error("interval did not widen")
+	}
+	// Mixed jobs refused.
+	r3 := sampleResult()
+	r3.Job.ID = "job-2"
+	if _, err := m.Aggregate([]gridsim.JobResult{r1, r3}); !errors.Is(err, ErrMixedJobs) {
+		t.Errorf("mixed agg err = %v", err)
+	}
+	if _, err := m.Aggregate(nil); !errors.Is(err, ErrNoResults) {
+		t.Errorf("empty agg err = %v", err)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	m, _ := New("CN=gsp1,O=VO", "")
+	rec, err := m.Convert(sampleResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonBytes, err := rur.Encode(rec, rur.FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmlBytes, err := Translate(jsonBytes, rur.FormatXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(xmlBytes), "<CertificateName>CN=alice,O=VO</CertificateName>") {
+		t.Errorf("translated XML missing fields:\n%s", xmlBytes)
+	}
+	// And back.
+	back, err := Translate(xmlBytes, rur.FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := rur.Decode(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Quantity(rur.ItemCPU) != rec.Quantity(rur.ItemCPU) {
+		t.Error("translation lost data")
+	}
+	if _, err := Translate([]byte("garbage"), rur.FormatXML); err == nil {
+		t.Error("garbage translated")
+	}
+}
+
+// TestMeterPricingPipeline exercises the full Figure 2 flow: raw usage →
+// RUR → cost statement against a rate card.
+func TestMeterPricingPipeline(t *testing.T) {
+	m, _ := New("CN=gsp1,O=VO", "")
+	rec, err := m.Convert(sampleResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	card := &rur.RateCard{
+		Provider: "CN=gsp1,O=VO",
+		Currency: currency.GridDollar,
+		Rates: map[rur.Item]currency.Rate{
+			rur.ItemCPU:       currency.PerHour(36 * currency.Scale), // 36 G$/h => 0.01/s
+			rur.ItemWallClock: currency.ZeroRate,
+			rur.ItemMemory:    currency.ZeroRate,
+			rur.ItemStorage:   currency.ZeroRate,
+			rur.ItemNetwork:   currency.PerMB(currency.Scale / 10), // 0.1 G$/MB
+			rur.ItemSoftware:  currency.ZeroRate,
+		},
+	}
+	st, err := rur.Price(rec, card)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 90 s CPU × 0.01 + 50 MB × 0.1 = 0.9 + 5 = 5.9 G$.
+	if st.Total != currency.MustParse("5.9") {
+		t.Fatalf("total = %s", st.Total)
+	}
+}

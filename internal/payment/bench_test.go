@@ -1,0 +1,95 @@
+package payment
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/pki"
+)
+
+func benchBank(b *testing.B) (*pki.Identity, *pki.TrustStore) {
+	b.Helper()
+	ca, err := pki.NewCA("BenchCA", "VO", 24*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bank, err := ca.Issue(pki.IssueOptions{CommonName: "bank"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bank, pki.NewTrustStore(ca.Certificate())
+}
+
+func BenchmarkIssueCheque(b *testing.B) {
+	bank, _ := benchBank(b)
+	c := Cheque{
+		Serial: "s", DrawerAccountID: "01-0001-00000001", DrawerCert: "CN=a",
+		PayeeCert: "CN=g", Limit: currency.FromG(10), Currency: currency.GridDollar,
+		IssuedAt: time.Now(), Expires: time.Now().Add(time.Hour),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := IssueCheque(bank, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyCheque(b *testing.B) {
+	bank, ts := benchBank(b)
+	c := Cheque{
+		Serial: "s", DrawerAccountID: "01-0001-00000001", DrawerCert: "CN=a",
+		PayeeCert: "CN=g", Limit: currency.FromG(10), Currency: currency.GridDollar,
+		IssuedAt: time.Now(), Expires: time.Now().Add(time.Hour),
+	}
+	sc, err := IssueCheque(bank, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := VerifyCheque(sc, ts, "CN=g", time.Now()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: chain-word verification costs i hashes at index i. This is
+// the design pressure behind batched redemption and MaxChainLength.
+func BenchmarkVerifyWordByIndex(b *testing.B) {
+	ch, err := NewChain("01-0001-00000001", "CN=a", "CN=g", 100_000,
+		currency.FromMicro(1000), currency.GridDollar, time.Now(), time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, idx := range []int{1, 100, 10_000, 100_000} {
+		word, err := ch.Word(idx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("index=%d", idx), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := VerifyWord(&ch.Commitment, idx, word); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: chain generation cost by length (issue-time work the bank
+// performs per RequestChain).
+func BenchmarkNewChainByLength(b *testing.B) {
+	for _, n := range []int{100, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := NewChain("01-0001-00000001", "CN=a", "CN=g", n,
+					currency.FromMicro(1000), currency.GridDollar, time.Now(), time.Hour); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

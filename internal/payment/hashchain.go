@@ -1,0 +1,249 @@
+package payment
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"time"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/currency"
+	"gridbank/internal/pki"
+)
+
+// MaxChainLength bounds GridHash chains. Verification of word i costs i
+// hashes in the worst case; 1<<20 keeps adversarial redemption cheap for
+// the bank while allowing ~10⁶ micro-payments per chain.
+const MaxChainLength = 1 << 20
+
+// ChainCommitment is the signed root of a GridHash chain (the PayWord
+// "commitment"). The bank generates the chain on behalf of the consumer
+// (§5.2 Request GridHash chain: Input AccountID, Amount → Output GridHash
+// chain), locks Length×PerWord on the account, signs the commitment and
+// hands the seed back to the consumer, who releases successive preimages
+// to the GSP as pay-as-you-go payment.
+type ChainCommitment struct {
+	Serial          string          `json:"serial"`
+	DrawerAccountID accounts.ID     `json:"drawer_account_id"`
+	DrawerCert      string          `json:"drawer_cert"`
+	PayeeCert       string          `json:"payee_cert"`
+	Root            []byte          `json:"root"`     // w0 = H^Length(seed)
+	Length          int             `json:"length"`   // number of spendable words
+	PerWord         currency.Amount `json:"per_word"` // value of each word
+	Currency        currency.Code   `json:"currency"`
+	IssuedAt        time.Time       `json:"issued_at"`
+	Expires         time.Time       `json:"expires"`
+}
+
+// Total returns the full value of the chain (Length × PerWord), i.e. the
+// amount locked at issue.
+func (cc *ChainCommitment) Total() (currency.Amount, error) {
+	return cc.PerWord.MulInt(int64(cc.Length))
+}
+
+// Validate checks structural well-formedness.
+func (cc *ChainCommitment) Validate() error {
+	switch {
+	case cc.Serial == "":
+		return errors.New("payment: chain missing serial")
+	case !cc.DrawerAccountID.Valid():
+		return fmt.Errorf("payment: bad drawer account %q", cc.DrawerAccountID)
+	case cc.DrawerCert == "":
+		return errors.New("payment: chain missing drawer certificate name")
+	case cc.PayeeCert == "":
+		return errors.New("payment: chain missing payee certificate name")
+	case len(cc.Root) != sha256.Size:
+		return errors.New("payment: chain root must be a SHA-256 digest")
+	case cc.Length <= 0 || cc.Length > MaxChainLength:
+		return fmt.Errorf("%w: %d", ErrChainTooLong, cc.Length)
+	case !cc.PerWord.IsPositive():
+		return errors.New("payment: per-word value must be positive")
+	case !cc.Currency.Valid():
+		return fmt.Errorf("payment: bad currency %q", cc.Currency)
+	case !cc.Expires.After(cc.IssuedAt):
+		return errors.New("payment: chain expires before issue")
+	}
+	if _, err := cc.Total(); err != nil {
+		return fmt.Errorf("payment: chain total overflows: %w", err)
+	}
+	return nil
+}
+
+// Chain is the consumer-side secret: the seed and derived words. Word i
+// (1-based) is H^(Length-i)(seed); releasing words in increasing i pays
+// the GSP one PerWord per word. The GSP needs only the commitment to
+// verify.
+type Chain struct {
+	Commitment ChainCommitment `json:"commitment"`
+	Seed       []byte          `json:"seed"`
+	words      [][]byte        // words[i] = H^(Length-i)(seed); words[0] == root
+}
+
+// SignedChain couples a commitment with the bank's signature.
+type SignedChain struct {
+	Commitment ChainCommitment `json:"commitment"`
+	Envelope   *pki.Signed     `json:"envelope"`
+}
+
+func hashOnce(b []byte) []byte {
+	h := sha256.Sum256(b)
+	return h[:]
+}
+
+// NewChain generates a fresh chain with the given parameters, computing
+// root = H^length(seed).
+func NewChain(drawer accounts.ID, drawerCert, payeeCert string, length int, perWord currency.Amount, cur currency.Code, issued time.Time, ttl time.Duration) (*Chain, error) {
+	if length <= 0 || length > MaxChainLength {
+		return nil, fmt.Errorf("%w: %d", ErrChainTooLong, length)
+	}
+	seed := make([]byte, 32)
+	if _, err := rand.Read(seed); err != nil {
+		return nil, err
+	}
+	serial, err := NewSerial()
+	if err != nil {
+		return nil, err
+	}
+	// words[length] = H(seed); words[i] = H(words[i+1]); root = words[0].
+	words := make([][]byte, length+1)
+	cur_ := hashOnce(seed)
+	words[length] = cur_
+	for i := length - 1; i >= 0; i-- {
+		cur_ = hashOnce(cur_)
+		words[i] = cur_
+	}
+	cc := ChainCommitment{
+		Serial:          serial,
+		DrawerAccountID: drawer,
+		DrawerCert:      drawerCert,
+		PayeeCert:       payeeCert,
+		Root:            words[0],
+		Length:          length,
+		PerWord:         perWord,
+		Currency:        cur,
+		IssuedAt:        issued,
+		Expires:         issued.Add(ttl),
+	}
+	ch := &Chain{Commitment: cc, Seed: seed, words: words}
+	if err := cc.Validate(); err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Rederive recomputes the word table from the seed (after the chain was
+// serialized/deserialized, the unexported cache is empty).
+func (ch *Chain) Rederive() error {
+	n := ch.Commitment.Length
+	if n <= 0 || n > MaxChainLength {
+		return ErrChainTooLong
+	}
+	words := make([][]byte, n+1)
+	cur := hashOnce(ch.Seed)
+	words[n] = cur
+	for i := n - 1; i >= 0; i-- {
+		cur = hashOnce(cur)
+		words[i] = cur
+	}
+	if !bytes.Equal(words[0], ch.Commitment.Root) {
+		return errors.New("payment: seed does not derive commitment root")
+	}
+	ch.words = words
+	return nil
+}
+
+// Word returns the i-th payment word (1-based; i ≤ Length). Releasing
+// Word(i) to the payee transfers cumulative value i × PerWord.
+func (ch *Chain) Word(i int) ([]byte, error) {
+	if ch.words == nil {
+		if err := ch.Rederive(); err != nil {
+			return nil, err
+		}
+	}
+	if i < 1 || i > ch.Commitment.Length {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadIndex, i, ch.Commitment.Length)
+	}
+	return ch.words[i], nil
+}
+
+// VerifyWord checks that word is the i-th preimage of the commitment
+// root: H^i(word) == root. This is what the GSP does on every received
+// micro-payment, and what the bank does at redemption.
+func VerifyWord(cc *ChainCommitment, i int, word []byte) error {
+	if i < 1 || i > cc.Length {
+		return fmt.Errorf("%w: %d of %d", ErrBadIndex, i, cc.Length)
+	}
+	if len(word) != sha256.Size {
+		return ErrBadWord
+	}
+	h := word
+	for k := 0; k < i; k++ {
+		h = hashOnce(h)
+	}
+	if !bytes.Equal(h, cc.Root) {
+		return ErrBadWord
+	}
+	return nil
+}
+
+// IssueChain signs a chain commitment with the bank identity. The bank
+// core locks the chain total first.
+func IssueChain(bank *pki.Identity, cc ChainCommitment) (*SignedChain, error) {
+	if err := cc.Validate(); err != nil {
+		return nil, err
+	}
+	env, err := pki.Sign(bank, ContextHashChain, cc)
+	if err != nil {
+		return nil, err
+	}
+	return &SignedChain{Commitment: cc, Envelope: env}, nil
+}
+
+// VerifyChain checks the bank signature on a commitment, expiry, and
+// payee binding, returning the bank subject name.
+func VerifyChain(sc *SignedChain, ts *pki.TrustStore, payeeCert string, now time.Time) (string, error) {
+	if sc == nil || sc.Envelope == nil {
+		return "", errors.New("payment: missing chain envelope")
+	}
+	var cc ChainCommitment
+	signer, err := sc.Envelope.Verify(ts, ContextHashChain, now, &cc)
+	if err != nil {
+		return "", err
+	}
+	if err := cc.Validate(); err != nil {
+		return "", err
+	}
+	if cc.Serial != sc.Commitment.Serial || !bytes.Equal(cc.Root, sc.Commitment.Root) ||
+		cc.Length != sc.Commitment.Length || cc.PerWord != sc.Commitment.PerWord {
+		return "", errors.New("payment: chain wrapper does not match signed payload")
+	}
+	if now.After(cc.Expires) {
+		return "", fmt.Errorf("%w: at %v", ErrExpired, cc.Expires)
+	}
+	if payeeCert != "" && cc.PayeeCert != payeeCert {
+		return "", fmt.Errorf("%w: chain for %q presented by %q", ErrWrongPayee, cc.PayeeCert, payeeCert)
+	}
+	return signer, nil
+}
+
+// ChainClaim is the GSP's redemption request: the highest word received
+// plus its index, with usage evidence. Cumulative value = Index × PerWord;
+// the bank pays the delta above any previously redeemed index for the same
+// serial (incremental batch redemption).
+type ChainClaim struct {
+	Serial string `json:"serial"`
+	Index  int    `json:"index"`
+	Word   []byte `json:"word"`
+	RUR    []byte `json:"rur,omitempty"`
+}
+
+// ValidateClaim verifies the claim cryptographically against the
+// commitment.
+func (cc *ChainCommitment) ValidateClaim(claim *ChainClaim) error {
+	if claim.Serial != cc.Serial {
+		return fmt.Errorf("payment: claim serial %q does not match chain %q", claim.Serial, cc.Serial)
+	}
+	return VerifyWord(cc, claim.Index, claim.Word)
+}

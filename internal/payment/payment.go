@@ -1,0 +1,184 @@
+// Package payment implements the Payment Protocol Layer of §3.1/§3.2: the
+// payment instruments GridBank issues and redeems.
+//
+// Three charging policies, three instruments:
+//
+//   - Pay before use — no instrument at all: an on-line direct transfer
+//     with confirmation delivered to the GSP (DirectOrder here is just the
+//     validated request).
+//   - Pay as you go — GridHash: a PayWord-style hash chain (Rivest &
+//     Shamir). The bank signs a commitment to the chain root; each
+//     successive preimage released to the GSP is worth a fixed amount.
+//   - Pay after use — GridCheque: a NetCheque-style digital cheque made
+//     out to a specific GSP, backed by funds locked at issue time (§3.4),
+//     redeemed together with the Resource Usage Record, possibly in
+//     batches.
+//
+// The package is pure instrument logic: creation, signing and
+// verification. Ledger effects (locking, transfer, double-spend
+// registries) live in the bank core, keeping this layer replaceable
+// exactly as the paper's modularity claim requires.
+package payment
+
+import (
+	"crypto/rand"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"time"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/currency"
+	"gridbank/internal/pki"
+)
+
+// Signature context strings, domain-separating each instrument type.
+const (
+	ContextCheque     = "gridbank/cheque/v1"
+	ContextHashChain  = "gridbank/hashchain/v1"
+	ContextRedemption = "gridbank/redemption/v1"
+)
+
+// Instrument kinds.
+const (
+	KindDirect    = "direct"
+	KindCheque    = "cheque"
+	KindHashChain = "hashchain"
+)
+
+// Errors.
+var (
+	ErrWrongPayee   = errors.New("payment: instrument made out to a different payee")
+	ErrOverLimit    = errors.New("payment: claim exceeds instrument limit")
+	ErrExpired      = errors.New("payment: instrument expired")
+	ErrBadWord      = errors.New("payment: hash word does not verify against commitment")
+	ErrBadIndex     = errors.New("payment: hash word index out of range")
+	ErrChainTooLong = errors.New("payment: chain length out of range")
+)
+
+// NewSerial returns a 128-bit random serial for an instrument.
+func NewSerial() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return base64.RawURLEncoding.EncodeToString(b[:]), nil
+}
+
+// Cheque is the GridCheque payload. The bank signs it (pki.Signed with
+// ContextCheque) after locking Limit on the drawer's account, so the
+// cheque doubles as the bank's payment guarantee (§3.4: "GridBank will
+// have to lock a certain amount of funds for the cheque to be valid").
+type Cheque struct {
+	Serial          string          `json:"serial"`
+	DrawerAccountID accounts.ID     `json:"drawer_account_id"`
+	DrawerCert      string          `json:"drawer_cert"` // GSC certificate name
+	PayeeCert       string          `json:"payee_cert"`  // §3.1: "made out to GSP so no one else can redeem it"
+	Limit           currency.Amount `json:"limit"`       // reserved (locked) amount
+	Currency        currency.Code   `json:"currency"`
+	IssuedAt        time.Time       `json:"issued_at"`
+	Expires         time.Time       `json:"expires"`
+}
+
+// Validate checks structural well-formedness.
+func (c *Cheque) Validate() error {
+	switch {
+	case c.Serial == "":
+		return errors.New("payment: cheque missing serial")
+	case !c.DrawerAccountID.Valid():
+		return fmt.Errorf("payment: bad drawer account %q", c.DrawerAccountID)
+	case c.DrawerCert == "":
+		return errors.New("payment: cheque missing drawer certificate name")
+	case c.PayeeCert == "":
+		return errors.New("payment: cheque missing payee certificate name")
+	case !c.Limit.IsPositive():
+		return errors.New("payment: cheque limit must be positive")
+	case !c.Currency.Valid():
+		return fmt.Errorf("payment: bad currency %q", c.Currency)
+	case !c.Expires.After(c.IssuedAt):
+		return errors.New("payment: cheque expires before issue")
+	}
+	return nil
+}
+
+// SignedCheque couples the cheque with the bank's signature envelope.
+type SignedCheque struct {
+	Cheque   Cheque      `json:"cheque"`
+	Envelope *pki.Signed `json:"envelope"`
+}
+
+// IssueCheque validates, signs and wraps a cheque with the bank identity.
+// The caller (bank core) must have locked c.Limit on the drawer account
+// first.
+func IssueCheque(bank *pki.Identity, c Cheque) (*SignedCheque, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	env, err := pki.Sign(bank, ContextCheque, c)
+	if err != nil {
+		return nil, err
+	}
+	return &SignedCheque{Cheque: c, Envelope: env}, nil
+}
+
+// VerifyCheque checks the bank signature, structural validity, expiry at
+// time now, and that the presenting payee matches the cheque. It returns
+// the signer (bank) subject name.
+func VerifyCheque(sc *SignedCheque, ts *pki.TrustStore, payeeCert string, now time.Time) (string, error) {
+	if sc == nil || sc.Envelope == nil {
+		return "", errors.New("payment: missing cheque envelope")
+	}
+	var c Cheque
+	signer, err := sc.Envelope.Verify(ts, ContextCheque, now, &c)
+	if err != nil {
+		return "", err
+	}
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	// Use the signed payload, not the unauthenticated wrapper copy.
+	// (time.Time fields compare with Equal, not ==: JSON decoding drops
+	// the monotonic clock and may change the location representation.)
+	w := sc.Cheque
+	if c.Serial != w.Serial || c.DrawerAccountID != w.DrawerAccountID ||
+		c.DrawerCert != w.DrawerCert || c.PayeeCert != w.PayeeCert ||
+		c.Limit != w.Limit || c.Currency != w.Currency ||
+		!c.IssuedAt.Equal(w.IssuedAt) || !c.Expires.Equal(w.Expires) {
+		return "", errors.New("payment: cheque wrapper does not match signed payload")
+	}
+	if now.After(c.Expires) {
+		return "", fmt.Errorf("%w: at %v", ErrExpired, c.Expires)
+	}
+	if payeeCert != "" && c.PayeeCert != payeeCert {
+		return "", fmt.Errorf("%w: cheque for %q presented by %q", ErrWrongPayee, c.PayeeCert, payeeCert)
+	}
+	return signer, nil
+}
+
+// ChequeClaim is what a GSP submits to redeem (part of) a cheque: the
+// signed cheque, the amount actually owed (≤ limit), and the RUR
+// evidence. The GSP signs the claim (ContextRedemption) for
+// non-repudiation of the charge calculation (§2.1).
+type ChequeClaim struct {
+	Serial string          `json:"serial"`
+	Amount currency.Amount `json:"amount"`
+	// RUR is the encoded Resource Usage Record justifying Amount.
+	RUR []byte `json:"rur"`
+	// Statement is the priced cost statement (JSON rur.CostStatement),
+	// included so disputes can re-derive Amount from RUR × rates.
+	Statement []byte `json:"statement,omitempty"`
+}
+
+// ValidateClaim checks a claim against its cheque.
+func (c *Cheque) ValidateClaim(claim *ChequeClaim) error {
+	if claim.Serial != c.Serial {
+		return fmt.Errorf("payment: claim serial %q does not match cheque %q", claim.Serial, c.Serial)
+	}
+	if !claim.Amount.IsPositive() {
+		return errors.New("payment: claim amount must be positive")
+	}
+	if claim.Amount.Cmp(c.Limit) > 0 {
+		return fmt.Errorf("%w: claim %s > limit %s", ErrOverLimit, claim.Amount, c.Limit)
+	}
+	return nil
+}

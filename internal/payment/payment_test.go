@@ -1,0 +1,331 @@
+package payment
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/pki"
+)
+
+// payEpoch must fall inside the freshly issued certificates' validity
+// window, so it is anchored to the wall clock.
+var payEpoch = time.Now().Truncate(time.Second)
+
+type fixture struct {
+	ca   *pki.CA
+	bank *pki.Identity
+	ts   *pki.TrustStore
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	ca, err := pki.NewCA("TestCA", "VO", 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank, err := ca.Issue(pki.IssueOptions{CommonName: "gridbank", Organization: "VO"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{ca: ca, bank: bank, ts: pki.NewTrustStore(ca.Certificate())}
+}
+
+func testCheque() Cheque {
+	return Cheque{
+		Serial:          "serial-1",
+		DrawerAccountID: "01-0001-00000001",
+		DrawerCert:      "CN=alice,O=VO",
+		PayeeCert:       "CN=gsp1,O=VO",
+		Limit:           currency.FromG(50),
+		Currency:        currency.GridDollar,
+		IssuedAt:        payEpoch,
+		Expires:         payEpoch.Add(time.Hour),
+	}
+}
+
+func TestNewSerialUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		s, err := NewSerial()
+		if err != nil || s == "" {
+			t.Fatalf("NewSerial: %q, %v", s, err)
+		}
+		if seen[s] {
+			t.Fatal("duplicate serial")
+		}
+		seen[s] = true
+	}
+}
+
+func TestChequeValidate(t *testing.T) {
+	good := testCheque()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid cheque rejected: %v", err)
+	}
+	cases := []func(*Cheque){
+		func(c *Cheque) { c.Serial = "" },
+		func(c *Cheque) { c.DrawerAccountID = "bogus" },
+		func(c *Cheque) { c.DrawerCert = "" },
+		func(c *Cheque) { c.PayeeCert = "" },
+		func(c *Cheque) { c.Limit = 0 },
+		func(c *Cheque) { c.Limit = currency.FromG(-1) },
+		func(c *Cheque) { c.Currency = "" },
+		func(c *Cheque) { c.Expires = c.IssuedAt },
+	}
+	for i, mutate := range cases {
+		c := testCheque()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid cheque accepted", i)
+		}
+	}
+}
+
+func TestIssueVerifyCheque(t *testing.T) {
+	f := newFixture(t)
+	sc, err := IssueCheque(f.bank, testCheque())
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := VerifyCheque(sc, f.ts, "CN=gsp1,O=VO", payEpoch.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if signer != "CN=gridbank,O=VO" {
+		t.Errorf("signer = %q", signer)
+	}
+	// Empty payee filter skips the payee check (bank-side verification
+	// authenticates the payee separately).
+	if _, err := VerifyCheque(sc, f.ts, "", payEpoch.Add(time.Minute)); err != nil {
+		t.Errorf("payee-agnostic verify failed: %v", err)
+	}
+}
+
+func TestVerifyChequeRejections(t *testing.T) {
+	f := newFixture(t)
+	sc, err := IssueCheque(f.bank, testCheque())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong payee.
+	if _, err := VerifyCheque(sc, f.ts, "CN=thief,O=VO", payEpoch); !errors.Is(err, ErrWrongPayee) {
+		t.Errorf("wrong payee err = %v", err)
+	}
+	// Expired.
+	if _, err := VerifyCheque(sc, f.ts, "CN=gsp1,O=VO", payEpoch.Add(2*time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Errorf("expired err = %v", err)
+	}
+	// Wrapper/payload mismatch (tampered limit in the wrapper copy).
+	tampered := *sc
+	tampered.Cheque.Limit = currency.FromG(5000)
+	if _, err := VerifyCheque(&tampered, f.ts, "CN=gsp1,O=VO", payEpoch); err == nil {
+		t.Error("tampered wrapper accepted")
+	}
+	// Not signed by a trusted bank.
+	otherCA, _ := pki.NewCA("EvilCA", "X", time.Hour)
+	evilBank, _ := otherCA.Issue(pki.IssueOptions{CommonName: "evilbank"})
+	forged, err := IssueCheque(evilBank, testCheque())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyCheque(forged, f.ts, "CN=gsp1,O=VO", payEpoch); err == nil {
+		t.Error("forged cheque accepted")
+	}
+	// Nil envelope.
+	if _, err := VerifyCheque(&SignedCheque{}, f.ts, "", payEpoch); err == nil {
+		t.Error("nil envelope accepted")
+	}
+	// Issue refuses invalid cheques outright.
+	bad := testCheque()
+	bad.Limit = 0
+	if _, err := IssueCheque(f.bank, bad); err == nil {
+		t.Error("invalid cheque issued")
+	}
+}
+
+func TestChequeClaims(t *testing.T) {
+	c := testCheque()
+	ok := &ChequeClaim{Serial: c.Serial, Amount: currency.FromG(30), RUR: []byte("rur")}
+	if err := c.ValidateClaim(ok); err != nil {
+		t.Fatalf("valid claim rejected: %v", err)
+	}
+	atLimit := &ChequeClaim{Serial: c.Serial, Amount: c.Limit}
+	if err := c.ValidateClaim(atLimit); err != nil {
+		t.Fatalf("at-limit claim rejected: %v", err)
+	}
+	over := &ChequeClaim{Serial: c.Serial, Amount: currency.FromG(51)}
+	if err := c.ValidateClaim(over); !errors.Is(err, ErrOverLimit) {
+		t.Errorf("over-limit err = %v", err)
+	}
+	zero := &ChequeClaim{Serial: c.Serial, Amount: 0}
+	if err := c.ValidateClaim(zero); err == nil {
+		t.Error("zero claim accepted")
+	}
+	wrongSerial := &ChequeClaim{Serial: "other", Amount: currency.FromG(1)}
+	if err := c.ValidateClaim(wrongSerial); err == nil {
+		t.Error("wrong-serial claim accepted")
+	}
+}
+
+func newChain(t *testing.T, length int) *Chain {
+	t.Helper()
+	ch, err := NewChain("01-0001-00000001", "CN=alice,O=VO", "CN=gsp1,O=VO",
+		length, currency.FromMicro(10_000), currency.GridDollar, payEpoch, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestChainGenerationAndWords(t *testing.T) {
+	ch := newChain(t, 100)
+	cc := &ch.Commitment
+	if err := cc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	total, err := cc.Total()
+	if err != nil || total != currency.FromG(1) { // 100 × 0.01
+		t.Fatalf("Total = %v, %v", total, err)
+	}
+	// Every word verifies at its own index and fails at others.
+	for _, i := range []int{1, 2, 50, 99, 100} {
+		w, err := ch.Word(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyWord(cc, i, w); err != nil {
+			t.Fatalf("word %d does not verify: %v", i, err)
+		}
+		if err := VerifyWord(cc, i-1, w); i > 1 && err == nil {
+			t.Fatalf("word %d verified at wrong index", i)
+		}
+	}
+	if _, err := ch.Word(0); !errors.Is(err, ErrBadIndex) {
+		t.Errorf("word 0 err = %v", err)
+	}
+	if _, err := ch.Word(101); !errors.Is(err, ErrBadIndex) {
+		t.Errorf("word 101 err = %v", err)
+	}
+	if err := VerifyWord(cc, 5, []byte("short")); !errors.Is(err, ErrBadWord) {
+		t.Errorf("short word err = %v", err)
+	}
+	if err := VerifyWord(cc, 0, ch.Commitment.Root); !errors.Is(err, ErrBadIndex) {
+		t.Errorf("index 0 err = %v", err)
+	}
+}
+
+func TestChainRederive(t *testing.T) {
+	ch := newChain(t, 20)
+	w5, err := ch.Word(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate serialization: drop the cache.
+	restored := &Chain{Commitment: ch.Commitment, Seed: ch.Seed}
+	w5b, err := restored.Word(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(w5) != string(w5b) {
+		t.Fatal("rederived word differs")
+	}
+	// Corrupted seed detected.
+	bad := &Chain{Commitment: ch.Commitment, Seed: make([]byte, 32)}
+	if err := bad.Rederive(); err == nil {
+		t.Fatal("corrupt seed accepted")
+	}
+}
+
+func TestChainLengthBounds(t *testing.T) {
+	if _, err := NewChain("01-0001-00000001", "a", "b", 0, 1, "G$", payEpoch, time.Hour); !errors.Is(err, ErrChainTooLong) {
+		t.Errorf("zero length err = %v", err)
+	}
+	if _, err := NewChain("01-0001-00000001", "a", "b", MaxChainLength+1, 1, "G$", payEpoch, time.Hour); !errors.Is(err, ErrChainTooLong) {
+		t.Errorf("oversized err = %v", err)
+	}
+}
+
+func TestIssueVerifyChain(t *testing.T) {
+	f := newFixture(t)
+	ch := newChain(t, 10)
+	sc, err := IssueChain(f.bank, ch.Commitment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := VerifyChain(sc, f.ts, "CN=gsp1,O=VO", payEpoch.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if signer != "CN=gridbank,O=VO" {
+		t.Errorf("signer = %q", signer)
+	}
+	// Wrong payee, expiry, wrapper tamper.
+	if _, err := VerifyChain(sc, f.ts, "CN=other,O=VO", payEpoch); !errors.Is(err, ErrWrongPayee) {
+		t.Errorf("wrong payee err = %v", err)
+	}
+	if _, err := VerifyChain(sc, f.ts, "", payEpoch.Add(2*time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Errorf("expired err = %v", err)
+	}
+	tampered := *sc
+	tampered.Commitment.PerWord = currency.FromG(99)
+	if _, err := VerifyChain(&tampered, f.ts, "", payEpoch); err == nil {
+		t.Error("tampered wrapper accepted")
+	}
+	if _, err := VerifyChain(&SignedChain{}, f.ts, "", payEpoch); err == nil {
+		t.Error("nil envelope accepted")
+	}
+	bad := ch.Commitment
+	bad.Length = 0
+	if _, err := IssueChain(f.bank, bad); err == nil {
+		t.Error("invalid commitment issued")
+	}
+}
+
+func TestChainClaims(t *testing.T) {
+	ch := newChain(t, 10)
+	cc := &ch.Commitment
+	w7, _ := ch.Word(7)
+	good := &ChainClaim{Serial: cc.Serial, Index: 7, Word: w7}
+	if err := cc.ValidateClaim(good); err != nil {
+		t.Fatalf("valid claim rejected: %v", err)
+	}
+	// Inflated index with a lower word must fail: the GSP cannot claim
+	// more words than the consumer released.
+	inflated := &ChainClaim{Serial: cc.Serial, Index: 8, Word: w7}
+	if err := cc.ValidateClaim(inflated); !errors.Is(err, ErrBadWord) {
+		t.Errorf("inflated claim err = %v", err)
+	}
+	wrongSerial := &ChainClaim{Serial: "x", Index: 7, Word: w7}
+	if err := cc.ValidateClaim(wrongSerial); err == nil {
+		t.Error("wrong serial accepted")
+	}
+	outOfRange := &ChainClaim{Serial: cc.Serial, Index: 11, Word: w7}
+	if err := cc.ValidateClaim(outOfRange); !errors.Is(err, ErrBadIndex) {
+		t.Errorf("out-of-range err = %v", err)
+	}
+}
+
+func TestChainCommitmentValidateRejections(t *testing.T) {
+	base := newChain(t, 5).Commitment
+	cases := []func(*ChainCommitment){
+		func(c *ChainCommitment) { c.Serial = "" },
+		func(c *ChainCommitment) { c.DrawerAccountID = "x" },
+		func(c *ChainCommitment) { c.DrawerCert = "" },
+		func(c *ChainCommitment) { c.PayeeCert = "" },
+		func(c *ChainCommitment) { c.Root = []byte("short") },
+		func(c *ChainCommitment) { c.Length = -1 },
+		func(c *ChainCommitment) { c.PerWord = 0 },
+		func(c *ChainCommitment) { c.Currency = "not a currency!" },
+		func(c *ChainCommitment) { c.Expires = c.IssuedAt },
+		func(c *ChainCommitment) { c.PerWord = currency.MaxAmount; c.Length = 3 },
+	}
+	for i, mutate := range cases {
+		cc := base
+		mutate(&cc)
+		if err := cc.Validate(); err == nil {
+			t.Errorf("case %d: invalid commitment accepted", i)
+		}
+	}
+}

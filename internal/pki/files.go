@@ -1,0 +1,100 @@
+package pki
+
+import (
+	"bytes"
+	"crypto/x509"
+	"encoding/pem"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// File persistence for identities and CA certificates, used by the CLIs
+// (cmd/gridbankd, cmd/gridbank, cmd/gbadmin). An identity <name> is
+// stored as <name>.crt (certificate chain, leaf first) and <name>.key
+// (PKCS#8, mode 0600).
+
+// SaveIdentity writes an identity's certificate chain and key under dir.
+func SaveIdentity(dir, name string, id *Identity) error {
+	if id == nil || id.Cert == nil || id.Key == nil {
+		return fmt.Errorf("pki: incomplete identity %q", name)
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return err
+	}
+	var certs bytes.Buffer
+	certs.Write(EncodeCertPEM(id.Cert))
+	for _, c := range id.Chain {
+		certs.Write(EncodeCertPEM(c))
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".crt"), certs.Bytes(), 0o644); err != nil {
+		return err
+	}
+	keyPEM, err := EncodeKeyPEM(id.Key)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name+".key"), keyPEM, 0o600)
+}
+
+// LoadIdentity reads an identity previously written by SaveIdentity.
+func LoadIdentity(dir, name string) (*Identity, error) {
+	certPEM, err := os.ReadFile(filepath.Join(dir, name+".crt"))
+	if err != nil {
+		return nil, err
+	}
+	chain, err := decodeCertBundle(certPEM)
+	if err != nil {
+		return nil, fmt.Errorf("pki: %s.crt: %w", name, err)
+	}
+	keyPEM, err := os.ReadFile(filepath.Join(dir, name+".key"))
+	if err != nil {
+		return nil, err
+	}
+	key, err := DecodeKeyPEM(keyPEM)
+	if err != nil {
+		return nil, fmt.Errorf("pki: %s.key: %w", name, err)
+	}
+	id := &Identity{Cert: chain[0], Key: key}
+	if len(chain) > 1 {
+		id.Chain = chain[1:]
+	}
+	return id, nil
+}
+
+// SaveCACert writes a bare CA certificate (for distribution to clients).
+func SaveCACert(path string, cert *x509.Certificate) error {
+	return os.WriteFile(path, EncodeCertPEM(cert), 0o644)
+}
+
+// LoadCACerts reads one or more CA certificates from a PEM bundle file.
+func LoadCACerts(path string) ([]*x509.Certificate, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decodeCertBundle(b)
+}
+
+func decodeCertBundle(b []byte) ([]*x509.Certificate, error) {
+	var out []*x509.Certificate
+	for {
+		var block *pem.Block
+		block, b = pem.Decode(b)
+		if block == nil {
+			break
+		}
+		if block.Type != "CERTIFICATE" {
+			continue
+		}
+		c, err := x509.ParseCertificate(block.Bytes)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("pki: no certificates in bundle")
+	}
+	return out, nil
+}

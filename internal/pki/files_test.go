@@ -1,0 +1,82 @@
+package pki
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSaveLoadIdentity(t *testing.T) {
+	dir := t.TempDir()
+	ca := newTestCA(t)
+	id := issue(t, ca, "alice")
+	if err := SaveIdentity(dir, "alice", id); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadIdentity(dir, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SubjectName() != id.SubjectName() {
+		t.Errorf("subject = %q", back.SubjectName())
+	}
+	if !back.Key.Equal(id.Key) {
+		t.Error("key mismatch")
+	}
+}
+
+func TestSaveLoadProxyWithChain(t *testing.T) {
+	dir := t.TempDir()
+	ca := newTestCA(t)
+	alice := issue(t, ca, "alice")
+	proxy, err := NewProxy(alice, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveIdentity(dir, "proxy", proxy); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadIdentity(dir, "proxy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Chain) != 1 || SubjectNameOf(back.Chain[0]) != alice.SubjectName() {
+		t.Fatalf("chain lost: %+v", back.Chain)
+	}
+	// The reloaded proxy still verifies.
+	ts := NewTrustStore(ca.Certificate())
+	chainCerts := append(chain(back.Cert), back.Chain...)
+	subj, err := ts.VerifyPeer(chainCerts, time.Now())
+	if err != nil || subj != alice.SubjectName() {
+		t.Fatalf("reloaded proxy verify = %q, %v", subj, err)
+	}
+}
+
+func TestSaveLoadCACert(t *testing.T) {
+	dir := t.TempDir()
+	ca := newTestCA(t)
+	path := filepath.Join(dir, "ca.crt")
+	if err := SaveCACert(path, ca.Certificate()); err != nil {
+		t.Fatal(err)
+	}
+	certs, err := LoadCACerts(path)
+	if err != nil || len(certs) != 1 {
+		t.Fatalf("LoadCACerts = %d, %v", len(certs), err)
+	}
+	if SubjectNameOf(certs[0]) != SubjectNameOf(ca.Certificate()) {
+		t.Error("subject mismatch")
+	}
+	if _, err := LoadCACerts(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestLoadIdentityErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadIdentity(dir, "ghost"); err == nil {
+		t.Error("missing identity loaded")
+	}
+	if err := SaveIdentity(dir, "bad", &Identity{}); err == nil {
+		t.Error("incomplete identity saved")
+	}
+}

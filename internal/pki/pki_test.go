@@ -1,0 +1,319 @@
+package pki
+
+import (
+	"crypto/x509"
+	"errors"
+	"testing"
+	"time"
+)
+
+func chain(certs ...*x509.Certificate) []*x509.Certificate { return certs }
+
+func newTestCA(t *testing.T) *CA {
+	t.Helper()
+	ca, err := NewCA("GridBank Test CA", "VO-Test", 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca
+}
+
+func issue(t *testing.T, ca *CA, cn string) *Identity {
+	t.Helper()
+	id, err := ca.Issue(IssueOptions{CommonName: cn, Organization: "VO-Test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestCASelfSigned(t *testing.T) {
+	ca := newTestCA(t)
+	cert := ca.Certificate()
+	if !cert.IsCA {
+		t.Error("CA cert not marked CA")
+	}
+	if err := cert.CheckSignatureFrom(cert); err != nil {
+		t.Errorf("CA not self-signed: %v", err)
+	}
+	if got := SubjectNameOf(cert); got != "CN=GridBank Test CA,O=VO-Test" {
+		t.Errorf("subject = %q", got)
+	}
+}
+
+func TestIssueAndVerify(t *testing.T) {
+	ca := newTestCA(t)
+	alice := issue(t, ca, "alice")
+	if alice.SubjectName() != "CN=alice,O=VO-Test" {
+		t.Errorf("subject = %q", alice.SubjectName())
+	}
+	ts := NewTrustStore(ca.Certificate())
+	name, err := ts.VerifyPeer(chain(alice.Cert), time.Now())
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if name != "CN=alice,O=VO-Test" {
+		t.Errorf("verified name = %q", name)
+	}
+}
+
+func TestIssueValidationErrors(t *testing.T) {
+	ca := newTestCA(t)
+	if _, err := ca.Issue(IssueOptions{}); err == nil {
+		t.Error("empty CN accepted")
+	}
+}
+
+func TestVerifyRejectsUntrusted(t *testing.T) {
+	ca1, ca2 := newTestCA(t), newTestCA(t)
+	mallory := issue(t, ca2, "mallory")
+	ts := NewTrustStore(ca1.Certificate())
+	if _, err := ts.VerifyPeer(chain(mallory.Cert), time.Now()); !errors.Is(err, ErrUntrusted) {
+		t.Fatalf("foreign-CA cert verified: %v", err)
+	}
+	// After trusting ca2 it verifies.
+	ts.AddCA(ca2.Certificate())
+	if _, err := ts.VerifyPeer(chain(mallory.Cert), time.Now()); err != nil {
+		t.Fatalf("after AddCA: %v", err)
+	}
+	if len(ts.CAs()) != 2 {
+		t.Errorf("CAs() = %d", len(ts.CAs()))
+	}
+}
+
+func TestVerifyRejectsExpired(t *testing.T) {
+	ca := newTestCA(t)
+	id, err := ca.Issue(IssueOptions{CommonName: "shortlived", Validity: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrustStore(ca.Certificate())
+	if _, err := ts.VerifyPeer(chain(id.Cert), time.Now().Add(time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired cert verified: %v", err)
+	}
+	if _, err := ts.VerifyPeer(chain(id.Cert), time.Now().Add(-time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("not-yet-valid cert verified: %v", err)
+	}
+}
+
+func TestVerifyEmptyChain(t *testing.T) {
+	ts := NewTrustStore(newTestCA(t).Certificate())
+	if _, err := ts.VerifyPeer(nil, time.Now()); err == nil {
+		t.Fatal("empty chain verified")
+	}
+}
+
+func TestProxySingleSignOn(t *testing.T) {
+	ca := newTestCA(t)
+	alice := issue(t, ca, "alice")
+	proxy, err := NewProxy(alice, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsProxy(proxy.Cert) {
+		t.Error("proxy not detected as proxy")
+	}
+	if IsProxy(alice.Cert) {
+		t.Error("identity detected as proxy")
+	}
+	ts := NewTrustStore(ca.Certificate())
+	name, err := ts.VerifyPeer(append(chain(proxy.Cert), alice.Cert), time.Now())
+	if err != nil {
+		t.Fatalf("proxy chain rejected: %v", err)
+	}
+	// The authenticated name is the *user's*, not the proxy's.
+	if name != "CN=alice,O=VO-Test" {
+		t.Errorf("authenticated name = %q", name)
+	}
+	if got := BaseSubjectName(proxy.Cert); got != "CN=alice,O=VO-Test" {
+		t.Errorf("BaseSubjectName = %q", got)
+	}
+}
+
+func TestProxyOfProxy(t *testing.T) {
+	ca := newTestCA(t)
+	alice := issue(t, ca, "alice")
+	p1, err := NewProxy(alice, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewProxy(p1, time.Hour)
+	if err != nil {
+		t.Fatalf("second-level proxy: %v", err)
+	}
+	ts := NewTrustStore(ca.Certificate())
+	name, err := ts.VerifyPeer(chain(p2.Cert, p1.Cert, alice.Cert), time.Now())
+	if err != nil {
+		t.Fatalf("depth-2 proxy chain rejected: %v", err)
+	}
+	if name != "CN=alice,O=VO-Test" {
+		t.Errorf("name = %q", name)
+	}
+	// Depth 3 refused at creation.
+	if _, err := NewProxy(p2, time.Hour); !errors.Is(err, ErrProxyTooDeep) {
+		t.Fatalf("depth-3 proxy allowed: %v", err)
+	}
+}
+
+func TestProxyChainNameDiscipline(t *testing.T) {
+	ca := newTestCA(t)
+	alice := issue(t, ca, "alice")
+	bob := issue(t, ca, "bob")
+	proxy, err := NewProxy(alice, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrustStore(ca.Certificate())
+	// Present alice's proxy with *bob* as the claimed signer: must fail.
+	if _, err := ts.VerifyPeer(append(chain(proxy.Cert), bob.Cert), time.Now()); err == nil {
+		t.Fatal("proxy accepted with wrong signer")
+	}
+}
+
+func TestProxyExpiryIndependentOfIdentity(t *testing.T) {
+	ca := newTestCA(t)
+	alice := issue(t, ca, "alice")
+	proxy, err := NewProxy(alice, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrustStore(ca.Certificate())
+	if _, err := ts.VerifyPeer(append(chain(proxy.Cert), alice.Cert), time.Now().Add(time.Minute)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired proxy accepted: %v", err)
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	ca := newTestCA(t)
+	gsp := issue(t, ca, "gsp1")
+	ts := NewTrustStore(ca.Certificate())
+	payload := map[string]any{"total": "12.5", "job": "j-1"}
+	env, err := Sign(gsp, "gridbank/test/v1", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	signer, err := env.Verify(ts, "gridbank/test/v1", time.Now(), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if signer != "CN=gsp1,O=VO-Test" {
+		t.Errorf("signer = %q", signer)
+	}
+	if out["total"] != "12.5" {
+		t.Errorf("payload = %v", out)
+	}
+	if env.Fingerprint() == "" {
+		t.Error("empty fingerprint")
+	}
+}
+
+func TestSignVerifyWithProxy(t *testing.T) {
+	ca := newTestCA(t)
+	alice := issue(t, ca, "alice")
+	proxy, err := NewProxy(alice, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrustStore(ca.Certificate())
+	env, err := Sign(proxy, "ctx", "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := env.Verify(ts, "ctx", time.Now(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if signer != "CN=alice,O=VO-Test" {
+		t.Errorf("proxy signature attributed to %q", signer)
+	}
+}
+
+func TestVerifyRejectsTamperAndContextSwap(t *testing.T) {
+	ca := newTestCA(t)
+	gsp := issue(t, ca, "gsp1")
+	ts := NewTrustStore(ca.Certificate())
+	env, err := Sign(gsp, "ctx/a", map[string]int{"v": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Payload tamper.
+	tampered := *env
+	tampered.Payload = []byte(`{"v":2}`)
+	if _, err := tampered.Verify(ts, "ctx/a", time.Now(), nil); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered payload verified: %v", err)
+	}
+	// Context swap (replay into another instrument type).
+	if _, err := env.Verify(ts, "ctx/b", time.Now(), nil); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("context swap verified: %v", err)
+	}
+	// Signature corruption.
+	corrupted := *env
+	corrupted.Signature = append([]byte(nil), env.Signature...)
+	corrupted.Signature[4] ^= 0xff
+	if _, err := corrupted.Verify(ts, "ctx/a", time.Now(), nil); err == nil {
+		t.Fatal("corrupted signature verified")
+	}
+	// Untrusted signer.
+	other := newTestCA(t)
+	foreign := issue(t, other, "intruder")
+	env2, err := Sign(foreign, "ctx/a", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env2.Verify(ts, "ctx/a", time.Now(), nil); !errors.Is(err, ErrUntrusted) {
+		t.Fatalf("untrusted signer verified: %v", err)
+	}
+	// Empty chain.
+	env3 := *env
+	env3.CertChain = nil
+	if _, err := env3.Verify(ts, "ctx/a", time.Now(), nil); err == nil {
+		t.Fatal("chainless envelope verified")
+	}
+}
+
+func TestSignEmptyContextRejected(t *testing.T) {
+	ca := newTestCA(t)
+	id := issue(t, ca, "x")
+	if _, err := Sign(id, "", "payload"); err == nil {
+		t.Fatal("empty context accepted")
+	}
+}
+
+func TestPEMRoundTrips(t *testing.T) {
+	ca := newTestCA(t)
+	id := issue(t, ca, "pemtest")
+	certPEM := EncodeCertPEM(id.Cert)
+	cert, err := DecodeCertPEM(certPEM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SubjectNameOf(cert) != id.SubjectName() {
+		t.Error("cert PEM round trip lost subject")
+	}
+	keyPEM, err := EncodeKeyPEM(id.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := DecodeKeyPEM(keyPEM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !key.Equal(id.Key) {
+		t.Error("key PEM round trip mismatch")
+	}
+	if _, err := DecodeCertPEM([]byte("junk")); err == nil {
+		t.Error("junk cert PEM accepted")
+	}
+	if _, err := DecodeKeyPEM([]byte("junk")); err == nil {
+		t.Error("junk key PEM accepted")
+	}
+}
+
+func TestSerialNumbersDistinct(t *testing.T) {
+	ca := newTestCA(t)
+	a, b := issue(t, ca, "a"), issue(t, ca, "b")
+	if a.Cert.SerialNumber.Cmp(b.Cert.SerialNumber) == 0 {
+		t.Error("duplicate serial numbers")
+	}
+}

@@ -1,0 +1,119 @@
+package pki
+
+import (
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Signed wraps an arbitrary payload with a detached signature and the
+// signer's certificate chain. It is the envelope GridBank uses wherever
+// the paper requires non-repudiation: GSP-signed cost statements and RURs
+// (§2.1 "these calculations along with the rates and RUR records are
+// signed by GSP to provide non-repudiation"), GridCheques, and hash-chain
+// commitments.
+type Signed struct {
+	// Payload is the canonical JSON encoding of the signed object.
+	Payload []byte `json:"payload"`
+	// Signature is an ASN.1 ECDSA signature over SHA-256(context || payload).
+	Signature []byte `json:"signature"`
+	// Context domain-separates signature uses (e.g. "gridbank/cheque/v1"):
+	// a signature over a cheque can never be replayed as a signature over
+	// an RUR.
+	Context string `json:"context"`
+	// CertChain is the signer's certificate chain, leaf first, DER encoded.
+	CertChain [][]byte `json:"cert_chain"`
+}
+
+// Sign marshals payload to JSON and signs it under the given context.
+func Sign(id *Identity, context string, payload any) (*Signed, error) {
+	if context == "" {
+		return nil, fmt.Errorf("pki: empty signature context")
+	}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("pki: marshal payload: %w", err)
+	}
+	digest := signingDigest(context, b)
+	sig, err := ecdsa.SignASN1(rand.Reader, id.Key, digest)
+	if err != nil {
+		return nil, fmt.Errorf("pki: sign: %w", err)
+	}
+	chain := [][]byte{id.Cert.Raw}
+	for _, c := range id.Chain {
+		chain = append(chain, c.Raw)
+	}
+	return &Signed{Payload: b, Signature: sig, Context: context, CertChain: chain}, nil
+}
+
+func signingDigest(context string, payload []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte(context))
+	h.Write([]byte{0})
+	h.Write(payload)
+	return h.Sum(nil)
+}
+
+// Chain parses the embedded certificate chain, leaf first.
+func (s *Signed) Chain() ([]*x509.Certificate, error) {
+	if len(s.CertChain) == 0 {
+		return nil, fmt.Errorf("pki: signed envelope has no certificates")
+	}
+	out := make([]*x509.Certificate, 0, len(s.CertChain))
+	for _, der := range s.CertChain {
+		c, err := x509.ParseCertificate(der)
+		if err != nil {
+			return nil, fmt.Errorf("pki: parse chain certificate: %w", err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Verify checks the signature and the signer's chain against the trust
+// store, returning the authenticated base subject name of the signer and
+// decoding the payload into out (if non-nil).
+func (s *Signed) Verify(ts *TrustStore, context string, now time.Time, out any) (string, error) {
+	if s.Context != context {
+		return "", fmt.Errorf("%w: signature context %q, want %q", ErrBadSignature, s.Context, context)
+	}
+	chain, err := s.Chain()
+	if err != nil {
+		return "", err
+	}
+	subject, err := ts.VerifyPeer(chain, now)
+	if err != nil {
+		return "", err
+	}
+	pub, ok := chain[0].PublicKey.(*ecdsa.PublicKey)
+	if !ok {
+		return "", ErrBadKey
+	}
+	digest := signingDigest(context, s.Payload)
+	if !ecdsa.VerifyASN1(pub, digest, s.Signature) {
+		return "", ErrBadSignature
+	}
+	if out != nil {
+		if err := json.Unmarshal(s.Payload, out); err != nil {
+			return "", fmt.Errorf("pki: decode signed payload: %w", err)
+		}
+	}
+	return subject, nil
+}
+
+// Fingerprint returns a short base64 SHA-256 digest of the envelope,
+// usable as a stable reference to a specific signed instrument.
+func (s *Signed) Fingerprint() string {
+	h := sha256.New()
+	h.Write([]byte(s.Context))
+	h.Write([]byte{0})
+	h.Write(s.Payload)
+	h.Write([]byte{0})
+	h.Write(s.Signature)
+	return base64.RawURLEncoding.EncodeToString(h.Sum(nil)[:18])
+}

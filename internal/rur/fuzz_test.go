@@ -1,0 +1,25 @@
+package rur
+
+import "testing"
+
+// FuzzDecode checks that arbitrary bytes never panic the record decoder,
+// and that anything accepted re-encodes.
+func FuzzDecode(f *testing.F) {
+	good, _ := Encode(sampleRecord(), FormatJSON)
+	f.Add(good)
+	xml, _ := Encode(sampleRecord(), FormatXML)
+	f.Add(xml)
+	f.Add([]byte("{"))
+	f.Add([]byte("<UsageRecord>"))
+	f.Add([]byte("   "))
+	f.Add([]byte(`{"usage":[{"item":"cpu","quantity":-1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if _, err := Encode(rec, FormatJSON); err != nil {
+			t.Fatalf("accepted record does not re-encode: %v", err)
+		}
+	})
+}

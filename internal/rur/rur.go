@@ -1,0 +1,361 @@
+// Package rur implements the Resource Usage Record of §5.1 of the GridBank
+// paper, following the Global Grid Forum usage-record structure the paper
+// references: user details, job details, resource details, and one metered
+// line per chargeable item (CPU, wall clock, memory, storage, network,
+// software service).
+//
+// The paper deliberately leaves the on-disk format open ("whatever format
+// is chosen (e.g. XML), GridBank stores RUR in binary format") so that Grid
+// sites can define their own records and the Grid Resource Meter translates
+// between formats. This package provides the canonical record, an XML
+// encoding (the GGF direction), a compact JSON encoding, and the
+// translation entry points the meter uses.
+package rur
+
+import (
+	"bytes"
+	"encoding/json"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"time"
+
+	"gridbank/internal/currency"
+)
+
+// Item identifies one chargeable item category from §2.1 of the paper.
+type Item string
+
+// The chargeable items enumerated by the paper: processors (user CPU
+// time), main memory, secondary storage, I/O channels (networking), and
+// software libraries (system CPU time); wall-clock time appears in the RUR
+// item list of §5.1.
+const (
+	ItemCPU       Item = "cpu"       // user CPU time, seconds
+	ItemWallClock Item = "wallclock" // elapsed wall-clock time, seconds
+	ItemMemory    Item = "memory"    // main memory, MB*seconds
+	ItemStorage   Item = "storage"   // secondary storage, MB*seconds
+	ItemNetwork   Item = "network"   // total network traffic, MB
+	ItemSoftware  Item = "software"  // software/system CPU time, seconds
+)
+
+// AllItems lists every chargeable item in canonical order. Rates records
+// and RURs must agree item-by-item (§2.1: "for every chargeable item in
+// the rates record there must be a corresponding item in the RUR").
+var AllItems = []Item{ItemCPU, ItemWallClock, ItemMemory, ItemStorage, ItemNetwork, ItemSoftware}
+
+// Known reports whether the item is one of the paper's chargeable items.
+func (i Item) Known() bool {
+	switch i {
+	case ItemCPU, ItemWallClock, ItemMemory, ItemStorage, ItemNetwork, ItemSoftware:
+		return true
+	}
+	return false
+}
+
+// UnitName returns the measurement unit of the raw usage figure for the
+// item, for display in statements and experiment tables.
+func (i Item) UnitName() string {
+	switch i {
+	case ItemCPU, ItemWallClock, ItemSoftware:
+		return "s"
+	case ItemMemory, ItemStorage:
+		return "MB·s"
+	case ItemNetwork:
+		return "MB"
+	default:
+		return "?"
+	}
+}
+
+// Usage is one metered line of a record: the quantity consumed for one
+// chargeable item, in the item's base unit.
+type Usage struct {
+	Item     Item  `json:"item" xml:"item,attr"`
+	Quantity int64 `json:"quantity" xml:"quantity,attr"`
+}
+
+// UserDetails identifies the Grid Service Consumer on whose behalf the job
+// ran.
+type UserDetails struct {
+	Host            string `json:"host" xml:"Host"`                        // host name / IP the job was submitted from
+	CertificateName string `json:"certificate_name" xml:"CertificateName"` // Grid-wide unique ID of the GSC
+}
+
+// JobDetails describes the job the usage was accrued by.
+type JobDetails struct {
+	JobID       string    `json:"job_id" xml:"JobID"`            // global Grid job ID
+	Application string    `json:"application" xml:"Application"` // application name
+	Start       time.Time `json:"start" xml:"Start"`
+	End         time.Time `json:"end" xml:"End"`
+}
+
+// ResourceDetails describes the resource that provided the service.
+type ResourceDetails struct {
+	Host            string `json:"host" xml:"Host"`
+	CertificateName string `json:"certificate_name" xml:"CertificateName"` // Grid-wide unique ID of the GSP
+	HostType        string `json:"host_type,omitempty" xml:"HostType,omitempty"`
+	LocalJobID      string `json:"local_job_id" xml:"LocalJobID"` // local OS process id, to settle disputes
+}
+
+// Record is the standard OS-independent Resource Usage Record produced by
+// the Grid Resource Meter's conversion unit (§2.1) and stored by GridBank
+// as transaction evidence (§5.1).
+type Record struct {
+	User     UserDetails     `json:"user" xml:"User"`
+	Job      JobDetails      `json:"job" xml:"Job"`
+	Resource ResourceDetails `json:"resource" xml:"Resource"`
+	Usage    []Usage         `json:"usage" xml:"Usage>Line"`
+}
+
+// Validation errors.
+var (
+	ErrNoConsumer    = errors.New("rur: missing consumer certificate name")
+	ErrNoProvider    = errors.New("rur: missing provider certificate name")
+	ErrBadInterval   = errors.New("rur: job end precedes start")
+	ErrNegativeUsage = errors.New("rur: negative usage quantity")
+	ErrDuplicateItem = errors.New("rur: duplicate usage item")
+	ErrUnknownItem   = errors.New("rur: unknown usage item")
+)
+
+// Validate checks structural invariants that every record must satisfy
+// before it can be priced or stored: both parties identified, a
+// non-inverted job interval, and non-negative, non-duplicated usage lines
+// limited to known chargeable items.
+func (r *Record) Validate() error {
+	if r.User.CertificateName == "" {
+		return ErrNoConsumer
+	}
+	if r.Resource.CertificateName == "" {
+		return ErrNoProvider
+	}
+	if r.Job.End.Before(r.Job.Start) {
+		return fmt.Errorf("%w: start %v end %v", ErrBadInterval, r.Job.Start, r.Job.End)
+	}
+	seen := make(map[Item]bool, len(r.Usage))
+	for _, u := range r.Usage {
+		if !u.Item.Known() {
+			return fmt.Errorf("%w: %q", ErrUnknownItem, u.Item)
+		}
+		if u.Quantity < 0 {
+			return fmt.Errorf("%w: %s=%d", ErrNegativeUsage, u.Item, u.Quantity)
+		}
+		if seen[u.Item] {
+			return fmt.Errorf("%w: %q", ErrDuplicateItem, u.Item)
+		}
+		seen[u.Item] = true
+	}
+	return nil
+}
+
+// Quantity returns the usage quantity recorded for the item, or 0 if the
+// record has no line for it.
+func (r *Record) Quantity(item Item) int64 {
+	for _, u := range r.Usage {
+		if u.Item == item {
+			return u.Quantity
+		}
+	}
+	return 0
+}
+
+// SetQuantity adds or replaces the usage line for an item.
+func (r *Record) SetQuantity(item Item, q int64) {
+	for i := range r.Usage {
+		if r.Usage[i].Item == item {
+			r.Usage[i].Quantity = q
+			return
+		}
+	}
+	r.Usage = append(r.Usage, Usage{Item: item, Quantity: q})
+}
+
+// Duration returns the job's wall-clock interval length.
+func (r *Record) Duration() time.Duration { return r.Job.End.Sub(r.Job.Start) }
+
+// Clone returns a deep copy of the record.
+func (r *Record) Clone() *Record {
+	cp := *r
+	cp.Usage = append([]Usage(nil), r.Usage...)
+	return &cp
+}
+
+// Merge aggregates another record's usage into r. The paper's GRM "might
+// choose to aggregate individual records into the standard RUR to reflect
+// the charge for the combined GSP's service" (§2.1): a multi-resource
+// provider meters each internal resource separately and presents one
+// combined record to GridBank. The job interval widens to cover both
+// records; usage quantities add item-wise.
+func (r *Record) Merge(other *Record) error {
+	if other.User.CertificateName != r.User.CertificateName {
+		return fmt.Errorf("rur: cannot merge records for different consumers %q and %q",
+			r.User.CertificateName, other.User.CertificateName)
+	}
+	if other.Job.JobID != r.Job.JobID {
+		return fmt.Errorf("rur: cannot merge records for different jobs %q and %q",
+			r.Job.JobID, other.Job.JobID)
+	}
+	for _, u := range other.Usage {
+		r.SetQuantity(u.Item, r.Quantity(u.Item)+u.Quantity)
+	}
+	if other.Job.Start.Before(r.Job.Start) {
+		r.Job.Start = other.Job.Start
+	}
+	if other.Job.End.After(r.Job.End) {
+		r.Job.End = other.Job.End
+	}
+	return nil
+}
+
+// Format identifies a serialization of a Record. GridBank itself treats the
+// record as an opaque blob (§5.1 NOTE); the meter translates between
+// formats.
+type Format string
+
+// Supported encodings.
+const (
+	FormatJSON Format = "json"
+	FormatXML  Format = "xml"
+)
+
+// Encode serializes the record in the requested format.
+func Encode(r *Record, f Format) ([]byte, error) {
+	switch f {
+	case FormatJSON:
+		return json.Marshal(r)
+	case FormatXML:
+		var buf bytes.Buffer
+		buf.WriteString(xml.Header)
+		enc := xml.NewEncoder(&buf)
+		enc.Indent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			return nil, err
+		}
+		if err := enc.Flush(); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	default:
+		return nil, fmt.Errorf("rur: unknown format %q", f)
+	}
+}
+
+// Decode parses a record previously produced by Encode. It sniffs the
+// format: XML documents start with '<', everything else is treated as
+// JSON. This is the translation hook the paper assigns to the Grid
+// Resource Meter ("can then perform translations from one record format
+// into another").
+func Decode(b []byte) (*Record, error) {
+	trimmed := bytes.TrimLeft(b, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, errors.New("rur: empty record")
+	}
+	var r Record
+	if trimmed[0] == '<' {
+		if err := xml.Unmarshal(trimmed, &r); err != nil {
+			return nil, fmt.Errorf("rur: xml decode: %w", err)
+		}
+		return &r, nil
+	}
+	if err := json.Unmarshal(trimmed, &r); err != nil {
+		return nil, fmt.Errorf("rur: json decode: %w", err)
+	}
+	return &r, nil
+}
+
+// XMLName gives the XML document element the GGF-ish name UsageRecord.
+func (Record) XMLName() xml.Name { return xml.Name{Local: "UsageRecord"} }
+
+// RateCard is the service-rates record generated by the Grid Trade Server
+// (§2.1): one price per chargeable item plus the currency the prices are
+// quoted in. A RateCard and a Record "must conform to each other": pricing
+// fails if the record contains a non-zero usage line with no corresponding
+// rate.
+type RateCard struct {
+	Provider string                 `json:"provider"`           // GSP certificate name the rates are quoted by
+	Consumer string                 `json:"consumer,omitempty"` // GSC the quote is for ("" = posted price)
+	Currency currency.Code          `json:"currency"`
+	Rates    map[Item]currency.Rate `json:"rates"`
+	Expires  time.Time              `json:"expires,omitempty"`
+}
+
+// Validate checks the rate card is well formed.
+func (rc *RateCard) Validate() error {
+	if rc.Provider == "" {
+		return errors.New("rur: rate card missing provider")
+	}
+	if !rc.Currency.Valid() {
+		return fmt.Errorf("rur: rate card has invalid currency %q", rc.Currency)
+	}
+	for item, rate := range rc.Rates {
+		if !item.Known() {
+			return fmt.Errorf("%w in rate card: %q", ErrUnknownItem, item)
+		}
+		if !rate.Valid() {
+			return fmt.Errorf("rur: invalid rate for %s: %+v", item, rate)
+		}
+	}
+	return nil
+}
+
+// Rate returns the rate for an item, defaulting to free for absent items
+// only when the record's usage for that item is zero — callers should use
+// Price, which enforces conformance.
+func (rc *RateCard) Rate(item Item) (currency.Rate, bool) {
+	r, ok := rc.Rates[item]
+	return r, ok
+}
+
+// LineCharge is one priced line of a cost calculation: the usage, the rate
+// applied, and the resulting charge.
+type LineCharge struct {
+	Item     Item            `json:"item"`
+	Quantity int64           `json:"quantity"`
+	Rate     currency.Rate   `json:"rate"`
+	Charge   currency.Amount `json:"charge"`
+}
+
+// CostStatement is the full cost calculation the GridBank Charging Module
+// produces from a record and a rate card (§2.1): per-item charges plus the
+// total, ready to be signed by the GSP for non-repudiation.
+type CostStatement struct {
+	Lines    []LineCharge    `json:"lines"`
+	Total    currency.Amount `json:"total"`
+	Currency currency.Code   `json:"currency"`
+}
+
+// Price computes the total service cost: "the total charge is calculated
+// by multiplying rate by usage for each item and then adding up individual
+// charges" (§2.1). Conformance rule: a non-zero usage line whose item has
+// no rate is an error (the GSP metered something it never quoted a price
+// for), while a rated item with no usage line simply contributes zero.
+func Price(rec *Record, rc *RateCard) (*CostStatement, error) {
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := rc.Validate(); err != nil {
+		return nil, err
+	}
+	st := &CostStatement{Currency: rc.Currency}
+	var total currency.Amount
+	for _, u := range rec.Usage {
+		rate, ok := rc.Rates[u.Item]
+		if !ok {
+			if u.Quantity == 0 {
+				continue
+			}
+			return nil, fmt.Errorf("rur: usage item %q has no corresponding rate (records must conform)", u.Item)
+		}
+		ch, err := rate.Charge(u.Quantity)
+		if err != nil {
+			return nil, fmt.Errorf("rur: pricing %s: %w", u.Item, err)
+		}
+		st.Lines = append(st.Lines, LineCharge{Item: u.Item, Quantity: u.Quantity, Rate: rate, Charge: ch})
+		total, err = total.Add(ch)
+		if err != nil {
+			return nil, fmt.Errorf("rur: total overflow: %w", err)
+		}
+	}
+	st.Total = total
+	return st, nil
+}

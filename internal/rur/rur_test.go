@@ -1,0 +1,322 @@
+package rur
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gridbank/internal/currency"
+)
+
+func sampleRecord() *Record {
+	start := time.Date(2026, 6, 1, 10, 0, 0, 0, time.UTC)
+	return &Record{
+		User:     UserDetails{Host: "client.vo-a.example", CertificateName: "CN=alice,O=VO-A"},
+		Job:      JobDetails{JobID: "job-42", Application: "nimrod-sweep", Start: start, End: start.Add(2 * time.Hour)},
+		Resource: ResourceDetails{Host: "gsp1.vo-a.example", CertificateName: "CN=gsp1,O=VO-A", HostType: "Cray", LocalJobID: "pid-9917"},
+		Usage: []Usage{
+			{ItemCPU, 5400},
+			{ItemWallClock, 7200},
+			{ItemMemory, 512 * 7200},
+			{ItemStorage, 100 * 7200},
+			{ItemNetwork, 250},
+			{ItemSoftware, 30},
+		},
+	}
+}
+
+func sampleRateCard() *RateCard {
+	return &RateCard{
+		Provider: "CN=gsp1,O=VO-A",
+		Currency: currency.GridDollar,
+		Rates: map[Item]currency.Rate{
+			ItemCPU:       currency.PerHour(2 * currency.Scale),       // 2 G$/CPU-hour
+			ItemWallClock: currency.PerHour(currency.Scale / 10),      // 0.1 G$/hour
+			ItemMemory:    currency.PerMBHour(currency.Scale / 1000),  // 0.001 G$/MB-hour
+			ItemStorage:   currency.PerMBHour(currency.Scale / 10000), // 0.0001 G$/MB-hour
+			ItemNetwork:   currency.PerMB(currency.Scale / 100),       // 0.01 G$/MB
+			ItemSoftware:  currency.PerHour(10 * currency.Scale),      // 10 G$/hour of system CPU
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sampleRecord().Validate(); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Record)
+		want   error
+	}{
+		{"no consumer", func(r *Record) { r.User.CertificateName = "" }, ErrNoConsumer},
+		{"no provider", func(r *Record) { r.Resource.CertificateName = "" }, ErrNoProvider},
+		{"inverted interval", func(r *Record) { r.Job.End = r.Job.Start.Add(-time.Second) }, ErrBadInterval},
+		{"negative usage", func(r *Record) { r.Usage[0].Quantity = -1 }, ErrNegativeUsage},
+		{"duplicate item", func(r *Record) { r.Usage = append(r.Usage, Usage{ItemCPU, 1}) }, ErrDuplicateItem},
+		{"unknown item", func(r *Record) { r.Usage = append(r.Usage, Usage{"quantum", 1}) }, ErrUnknownItem},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := sampleRecord()
+			c.mutate(r)
+			err := r.Validate()
+			if err == nil {
+				t.Fatal("mutated record accepted")
+			}
+			if !strings.Contains(err.Error(), c.want.Error()) {
+				t.Fatalf("err = %v, want wrapping %v", err, c.want)
+			}
+		})
+	}
+}
+
+func TestQuantityAccessors(t *testing.T) {
+	r := sampleRecord()
+	if q := r.Quantity(ItemCPU); q != 5400 {
+		t.Errorf("Quantity(cpu) = %d", q)
+	}
+	if q := r.Quantity("absent"); q != 0 {
+		t.Errorf("Quantity(absent) = %d, want 0", q)
+	}
+	r.SetQuantity(ItemCPU, 10)
+	if q := r.Quantity(ItemCPU); q != 10 {
+		t.Errorf("after SetQuantity: %d", q)
+	}
+	n := len(r.Usage)
+	r.SetQuantity(ItemCPU, 20) // replace, not append
+	if len(r.Usage) != n {
+		t.Error("SetQuantity appended a duplicate line")
+	}
+	if r.Duration() != 2*time.Hour {
+		t.Errorf("Duration = %v", r.Duration())
+	}
+}
+
+func TestClone(t *testing.T) {
+	r := sampleRecord()
+	cp := r.Clone()
+	cp.SetQuantity(ItemCPU, 1)
+	cp.User.CertificateName = "CN=mallory"
+	if r.Quantity(ItemCPU) == 1 || r.User.CertificateName == "CN=mallory" {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	r1 := sampleRecord()
+	r2 := sampleRecord()
+	r2.Job.Start = r1.Job.Start.Add(-time.Hour)
+	r2.Job.End = r1.Job.End.Add(time.Hour)
+	r2.Usage = []Usage{{ItemCPU, 600}, {ItemNetwork, 50}}
+	if err := r1.Merge(r2); err != nil {
+		t.Fatal(err)
+	}
+	if got := r1.Quantity(ItemCPU); got != 6000 {
+		t.Errorf("merged cpu = %d, want 6000", got)
+	}
+	if got := r1.Quantity(ItemNetwork); got != 300 {
+		t.Errorf("merged net = %d, want 300", got)
+	}
+	if !r1.Job.Start.Equal(r2.Job.Start) || !r1.Job.End.Equal(r2.Job.End) {
+		t.Error("merge did not widen job interval")
+	}
+}
+
+func TestMergeRejectsMismatch(t *testing.T) {
+	r1, r2 := sampleRecord(), sampleRecord()
+	r2.User.CertificateName = "CN=bob"
+	if err := r1.Merge(r2); err == nil {
+		t.Error("merge across consumers accepted")
+	}
+	r3 := sampleRecord()
+	r3.Job.JobID = "other-job"
+	if err := r1.Merge(r3); err == nil {
+		t.Error("merge across jobs accepted")
+	}
+}
+
+func TestEncodeDecodeJSON(t *testing.T) {
+	r := sampleRecord()
+	b, err := Encode(r, FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRecordsEqual(t, r, back)
+}
+
+func TestEncodeDecodeXML(t *testing.T) {
+	r := sampleRecord()
+	b, err := Encode(r, FormatXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "<?xml") {
+		t.Error("XML encoding missing header")
+	}
+	back, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRecordsEqual(t, r, back)
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty decode accepted")
+	}
+	if _, err := Decode([]byte("   \n")); err == nil {
+		t.Error("whitespace decode accepted")
+	}
+	if _, err := Decode([]byte("<broken")); err == nil {
+		t.Error("broken xml accepted")
+	}
+	if _, err := Decode([]byte("{broken")); err == nil {
+		t.Error("broken json accepted")
+	}
+	if _, err := Encode(sampleRecord(), Format("yaml")); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func assertRecordsEqual(t *testing.T, a, b *Record) {
+	t.Helper()
+	if a.User != b.User || a.Resource != b.Resource {
+		t.Fatalf("party details differ: %+v vs %+v", a, b)
+	}
+	if a.Job.JobID != b.Job.JobID || !a.Job.Start.Equal(b.Job.Start) || !a.Job.End.Equal(b.Job.End) {
+		t.Fatalf("job details differ: %+v vs %+v", a.Job, b.Job)
+	}
+	if len(a.Usage) != len(b.Usage) {
+		t.Fatalf("usage lines differ: %v vs %v", a.Usage, b.Usage)
+	}
+	for i := range a.Usage {
+		if a.Usage[i] != b.Usage[i] {
+			t.Fatalf("usage line %d differs: %v vs %v", i, a.Usage[i], b.Usage[i])
+		}
+	}
+}
+
+func TestPriceTotalsMatchPaperFormula(t *testing.T) {
+	// 2 G$/CPU-h * 1.5h = 3; 0.1 G$/h * 2h = 0.2; 0.001 G$/MB-h * 512MB*2h
+	// = 1.024; 0.0001 * 100*2 = 0.02; 0.01 G$/MB * 250MB = 2.5;
+	// 10 G$/h * 30s = 0.083333 (rounded). Total = 6.827333.
+	st, err := Price(sampleRecord(), sampleRateCard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := currency.MustParse("6.827333")
+	if st.Total != want {
+		t.Fatalf("total = %s, want %s (lines: %+v)", st.Total, want, st.Lines)
+	}
+	if st.Currency != currency.GridDollar {
+		t.Errorf("currency = %q", st.Currency)
+	}
+	if len(st.Lines) != 6 {
+		t.Errorf("expected 6 priced lines, got %d", len(st.Lines))
+	}
+}
+
+func TestPriceConformance(t *testing.T) {
+	rec := sampleRecord()
+	rc := sampleRateCard()
+	delete(rc.Rates, ItemNetwork)
+	if _, err := Price(rec, rc); err == nil {
+		t.Fatal("non-conforming record (usage without rate) accepted")
+	}
+	// Zero-quantity unrated usage is fine.
+	rec.SetQuantity(ItemNetwork, 0)
+	if _, err := Price(rec, rc); err != nil {
+		t.Fatalf("zero-usage unrated item rejected: %v", err)
+	}
+	// A rate with no usage contributes nothing.
+	rec2 := sampleRecord()
+	rec2.Usage = []Usage{{ItemCPU, 3600}}
+	st, err := Price(rec2, sampleRateCard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != currency.FromG(2) {
+		t.Fatalf("cpu-only total = %s, want 2", st.Total)
+	}
+}
+
+func TestPriceRejectsInvalidInputs(t *testing.T) {
+	bad := sampleRecord()
+	bad.User.CertificateName = ""
+	if _, err := Price(bad, sampleRateCard()); err == nil {
+		t.Error("invalid record accepted")
+	}
+	rc := sampleRateCard()
+	rc.Provider = ""
+	if _, err := Price(sampleRecord(), rc); err == nil {
+		t.Error("invalid rate card accepted")
+	}
+	rc2 := sampleRateCard()
+	rc2.Currency = ""
+	if _, err := Price(sampleRecord(), rc2); err == nil {
+		t.Error("invalid currency accepted")
+	}
+	rc3 := sampleRateCard()
+	rc3.Rates["bogus"] = currency.PerMB(1)
+	if _, err := Price(sampleRecord(), rc3); err == nil {
+		t.Error("unknown rate item accepted")
+	}
+	rc4 := sampleRateCard()
+	rc4.Rates[ItemCPU] = currency.Rate{MicroPerUnit: -5, Unit: 1}
+	if _, err := Price(sampleRecord(), rc4); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestPricePropertyMonotone(t *testing.T) {
+	// More usage never costs less.
+	rc := sampleRateCard()
+	f := func(a, b uint16) bool {
+		lo, hi := int64(a), int64(a)+int64(b)
+		r1, r2 := sampleRecord(), sampleRecord()
+		r1.SetQuantity(ItemCPU, lo)
+		r2.SetQuantity(ItemCPU, hi)
+		s1, err1 := Price(r1, rc)
+		s2, err2 := Price(r2, rc)
+		return err1 == nil && err2 == nil && s2.Total >= s1.Total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestItemHelpers(t *testing.T) {
+	for _, it := range AllItems {
+		if !it.Known() {
+			t.Errorf("AllItems contains unknown item %q", it)
+		}
+		if it.UnitName() == "?" {
+			t.Errorf("item %q lacks a unit name", it)
+		}
+	}
+	if Item("nope").Known() {
+		t.Error("bogus item Known")
+	}
+	if Item("nope").UnitName() != "?" {
+		t.Error("bogus item unit")
+	}
+}
+
+func TestRateCardRateAccessor(t *testing.T) {
+	rc := sampleRateCard()
+	if _, ok := rc.Rate(ItemCPU); !ok {
+		t.Error("Rate(cpu) missing")
+	}
+	if _, ok := rc.Rate("absent"); ok {
+		t.Error("Rate(absent) present")
+	}
+}

@@ -1,0 +1,53 @@
+package trade
+
+import (
+	"testing"
+	"time"
+
+	"gridbank/internal/pki"
+)
+
+func benchGTS(b *testing.B, model PricingModel) *Server {
+	b.Helper()
+	ca, err := pki.NewCA("CA", "VO", 24*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gsp, err := ca.Issue(pki.IssueOptions{CommonName: "gsp"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewServer(ServerConfig{Identity: gsp, Model: model})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkAgreePosted(b *testing.B) {
+	s := benchGTS(b, PostedPrice{Card: baseRates()})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Agree("CN=alice"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNegotiate(b *testing.B) {
+	s := benchGTS(b, PostedPrice{Card: baseRates()})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Negotiate("CN=alice", BuyerStrategy{}, NegotiationParams{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCommodityReprice(b *testing.B) {
+	m := CommodityMarket{Base: baseRates(), Sensitivity: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Rates(float64(i%100) / 100)
+	}
+}

@@ -1,0 +1,133 @@
+package trade
+
+import (
+	"crypto/rand"
+	"encoding/base64"
+	"fmt"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/rur"
+)
+
+// The alternating-offers negotiation protocol of the GRACE framework
+// ("Grid Open Trading protocols", §1): the broker (buyer) and the GTS
+// (seller) exchange counter-offers on an aggregate price level until
+// they cross or a round limit is hit. Offers scale the whole rate card
+// uniformly; item-relative prices are the seller's business.
+
+// NegotiationParams tune the protocol.
+type NegotiationParams struct {
+	// MaxRounds bounds the exchange; default 16.
+	MaxRounds int
+	// SellerConcession is the per-round multiplicative step the seller
+	// takes toward its reserve (e.g. 0.94 lowers the ask 6% per round).
+	SellerConcession float64
+	// BuyerConcession is the per-round step the buyer takes upward
+	// (e.g. 1.08 raises the bid 8% per round).
+	BuyerConcession float64
+}
+
+func (p *NegotiationParams) defaults() {
+	if p.MaxRounds <= 0 {
+		p.MaxRounds = 16
+	}
+	if p.SellerConcession <= 0 || p.SellerConcession >= 1 {
+		p.SellerConcession = 0.94
+	}
+	if p.BuyerConcession <= 1 {
+		p.BuyerConcession = 1.08
+	}
+}
+
+// BuyerStrategy is the broker side of the negotiation: its opening bid
+// and ceiling as fractions of the seller's posted price level.
+type BuyerStrategy struct {
+	// OpenFraction is the opening bid as a fraction of the posted level
+	// (default 0.5).
+	OpenFraction float64
+	// MaxFraction is the highest acceptable level (default 0.9): derived
+	// from the user's budget by the broker.
+	MaxFraction float64
+}
+
+func (b *BuyerStrategy) defaults() {
+	if b.OpenFraction <= 0 {
+		b.OpenFraction = 0.5
+	}
+	if b.MaxFraction <= 0 {
+		b.MaxFraction = 0.9
+	}
+}
+
+// NegotiationOutcome records how a negotiation went, for the experiment
+// harness.
+type NegotiationOutcome struct {
+	Agreed        bool
+	Rounds        int
+	FinalFraction float64 // agreed price level as fraction of posted
+}
+
+// Negotiate runs the alternating-offers protocol between this GTS and a
+// buyer strategy, concluding a signed agreement at the crossing level.
+// The seller's reserve is SellerConcession^MaxRounds of posted — below
+// that it walks away.
+func (s *Server) Negotiate(consumerCert string, buyer BuyerStrategy, params NegotiationParams) (*Agreement, *NegotiationOutcome, error) {
+	params.defaults()
+	buyer.defaults()
+	posted := s.CurrentRates()
+
+	ask := 1.0                // seller's current level (fraction of posted)
+	bid := buyer.OpenFraction // buyer's current level
+	outcome := &NegotiationOutcome{}
+	for round := 1; round <= params.MaxRounds; round++ {
+		outcome.Rounds = round
+		if bid >= ask {
+			// Offers crossed: settle at the midpoint.
+			level := (bid + ask) / 2
+			return s.settle(consumerCert, posted, level, round, outcome)
+		}
+		// Seller concedes, then buyer (bounded by its ceiling).
+		ask *= params.SellerConcession
+		next := bid * params.BuyerConcession
+		if next > buyer.MaxFraction {
+			next = buyer.MaxFraction
+		}
+		bid = next
+		if bid >= ask {
+			level := (bid + ask) / 2
+			outcome.Rounds = round
+			return s.settle(consumerCert, posted, level, round, outcome)
+		}
+	}
+	outcome.Agreed = false
+	return nil, outcome, fmt.Errorf("%w: after %d rounds (ask %.3f, bid %.3f)", ErrNoAgreement, params.MaxRounds, ask, bid)
+}
+
+func (s *Server) settle(consumerCert string, posted *rur.RateCard, level float64, rounds int, outcome *NegotiationOutcome) (*Agreement, *NegotiationOutcome, error) {
+	const scale = 1_000_000
+	card := &rur.RateCard{
+		Provider: posted.Provider,
+		Consumer: consumerCert,
+		Currency: posted.Currency,
+		Expires:  posted.Expires,
+		Rates:    make(map[rur.Item]currency.Rate, len(posted.Rates)),
+	}
+	for item, rate := range posted.Rates {
+		card.Rates[item] = rate.Scale(int64(level*scale), scale)
+	}
+	ag, err := s.concludeAgreement(consumerCert, card, rounds)
+	if err != nil {
+		return nil, outcome, err
+	}
+	outcome.Agreed = true
+	outcome.FinalFraction = level
+	return ag, outcome, nil
+}
+
+func newAgreementID() (string, error) {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return base64.RawURLEncoding.EncodeToString(b[:]), nil
+}

@@ -1,0 +1,266 @@
+// Package trade implements the Grid Trade Server (GTS) of §2.1/§2.2 and
+// the GRACE economic pricing models it draws prices from (Buyya et al.).
+//
+// The GTS is the resource owner's selling agent: it publishes posted
+// rates, negotiates service cost with the Grid Resource Broker ("GRB
+// interacts with GSP's Grid Trading Service to establish the cost of
+// services"), and hands the agreed rates record to the GridBank Charging
+// Module, which prices RURs against it ("GBCM obtains service rates for
+// the user from the Grid Trade Server").
+//
+// Three pricing models are provided:
+//
+//   - PostedPrice: a fixed rate card (take it or leave it);
+//   - CommodityMarket: prices drift with utilization — the paper's
+//     supply-and-demand regulation ("when there is less demand for
+//     resources, the price is lowered; when there is high demand, the
+//     price is raised");
+//   - bargaining: an alternating-offers negotiation protocol between GTS
+//     and broker (see Negotiate).
+package trade
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/pki"
+	"gridbank/internal/rur"
+)
+
+// RatesContext domain-separates GSP-signed rate agreements.
+const RatesContext = "gridbank/rates/v1"
+
+// Errors.
+var (
+	ErrNoAgreement = errors.New("trade: negotiation failed to converge")
+	ErrBadRates    = errors.New("trade: malformed rate card")
+)
+
+// PricingModel produces the GTS's current asking rates given the
+// resource's load.
+type PricingModel interface {
+	// Rates returns the asking rate card for the given utilization in
+	// [0,1].
+	Rates(utilization float64) map[rur.Item]currency.Rate
+	// Name identifies the model in experiment output.
+	Name() string
+}
+
+// PostedPrice is a fixed-rate pricing model.
+type PostedPrice struct {
+	Card map[rur.Item]currency.Rate
+}
+
+// Rates returns the fixed card regardless of load.
+func (p PostedPrice) Rates(float64) map[rur.Item]currency.Rate { return cloneRates(p.Card) }
+
+// Name implements PricingModel.
+func (PostedPrice) Name() string { return "posted" }
+
+// CommodityMarket adjusts prices linearly around a target utilization:
+// rate = base × (1 + Sensitivity × (utilization − Target)), floored at
+// Floor × base. With Sensitivity 2 and Target 0.5, an idle resource
+// halves its price and a saturated one doubles it — the supply-and-demand
+// regulation of §1.
+type CommodityMarket struct {
+	Base        map[rur.Item]currency.Rate
+	Target      float64 // utilization where price == base (default 0.5)
+	Sensitivity float64 // price slope (default 1.0)
+	Floor       float64 // minimum fraction of base (default 0.1)
+}
+
+// Rates implements PricingModel.
+func (m CommodityMarket) Rates(utilization float64) map[rur.Item]currency.Rate {
+	target := m.Target
+	if target == 0 {
+		target = 0.5
+	}
+	sens := m.Sensitivity
+	if sens == 0 {
+		sens = 1.0
+	}
+	floor := m.Floor
+	if floor == 0 {
+		floor = 0.1
+	}
+	u := math.Max(0, math.Min(1, utilization))
+	factor := 1 + sens*(u-target)
+	if factor < floor {
+		factor = floor
+	}
+	out := make(map[rur.Item]currency.Rate, len(m.Base))
+	const scale = 1_000_000
+	for item, rate := range m.Base {
+		out[item] = rate.Scale(int64(factor*scale), scale)
+	}
+	return out
+}
+
+// Name implements PricingModel.
+func (CommodityMarket) Name() string { return "commodity" }
+
+func cloneRates(in map[rur.Item]currency.Rate) map[rur.Item]currency.Rate {
+	out := make(map[rur.Item]currency.Rate, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// Server is a Grid Trade Server for one GSP.
+type Server struct {
+	mu          sync.Mutex
+	identity    *pki.Identity
+	model       PricingModel
+	currency    currency.Code
+	utilization float64
+	now         func() time.Time
+	quoteTTL    time.Duration
+	agreements  map[string]*Agreement // by agreement ID (consumer+serial)
+}
+
+// ServerConfig configures a GTS.
+type ServerConfig struct {
+	// Identity signs rate agreements (the GSP's identity).
+	Identity *pki.Identity
+	// Model prices the resource; required.
+	Model PricingModel
+	// Currency rates are quoted in; default G$.
+	Currency currency.Code
+	// QuoteTTL bounds agreement validity; default 1h.
+	QuoteTTL time.Duration
+	// Now for timestamps; default time.Now.
+	Now func() time.Time
+}
+
+// NewServer builds a GTS.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Identity == nil {
+		return nil, errors.New("trade: GTS requires an identity")
+	}
+	if cfg.Model == nil {
+		return nil, errors.New("trade: GTS requires a pricing model")
+	}
+	if cfg.Currency == "" {
+		cfg.Currency = currency.GridDollar
+	}
+	if cfg.QuoteTTL <= 0 {
+		cfg.QuoteTTL = time.Hour
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Server{
+		identity:   cfg.Identity,
+		model:      cfg.Model,
+		currency:   cfg.Currency,
+		quoteTTL:   cfg.QuoteTTL,
+		now:        cfg.Now,
+		agreements: make(map[string]*Agreement),
+	}, nil
+}
+
+// SetUtilization feeds the current resource load into the pricing model.
+func (s *Server) SetUtilization(u float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.utilization = math.Max(0, math.Min(1, u))
+}
+
+// Utilization returns the last reported load.
+func (s *Server) Utilization() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.utilization
+}
+
+// ProviderCert returns the GSP certificate name rates are quoted by.
+func (s *Server) ProviderCert() string { return s.identity.SubjectName() }
+
+// CurrentRates returns the posted asking rates as an unsigned rate card.
+func (s *Server) CurrentRates() *rur.RateCard {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &rur.RateCard{
+		Provider: s.identity.SubjectName(),
+		Currency: s.currency,
+		Rates:    s.model.Rates(s.utilization),
+		Expires:  s.now().Add(s.quoteTTL),
+	}
+}
+
+// Agreement is a concluded rate agreement: the rates record the GBCM
+// prices RURs against. It is signed by the GSP for non-repudiation.
+type Agreement struct {
+	ID        string       `json:"id"`
+	Consumer  string       `json:"consumer"` // GSC certificate name
+	Card      rur.RateCard `json:"card"`
+	Signed    *pki.Signed  `json:"signed"`
+	Concluded time.Time    `json:"concluded"`
+	Rounds    int          `json:"rounds"` // negotiation rounds taken (1 = posted price)
+}
+
+// Agree produces a signed agreement at the current posted rates (no
+// negotiation — the consumer accepted the posted price).
+func (s *Server) Agree(consumerCert string) (*Agreement, error) {
+	card := s.CurrentRates()
+	card.Consumer = consumerCert
+	return s.concludeAgreement(consumerCert, card, 1)
+}
+
+func (s *Server) concludeAgreement(consumerCert string, card *rur.RateCard, rounds int) (*Agreement, error) {
+	if err := card.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRates, err)
+	}
+	id, err := newAgreementID()
+	if err != nil {
+		return nil, err
+	}
+	signed, err := pki.Sign(s.identity, RatesContext, card)
+	if err != nil {
+		return nil, err
+	}
+	ag := &Agreement{
+		ID:        id,
+		Consumer:  consumerCert,
+		Card:      *card,
+		Signed:    signed,
+		Concluded: s.now(),
+		Rounds:    rounds,
+	}
+	s.mu.Lock()
+	s.agreements[id] = ag
+	s.mu.Unlock()
+	return ag, nil
+}
+
+// Lookup returns a previously concluded agreement: the GBCM's "obtains
+// service rates for the user from the Grid Trade Server" interface
+// (§2.1).
+func (s *Server) Lookup(id string) (*Agreement, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ag, ok := s.agreements[id]
+	return ag, ok
+}
+
+// VerifyAgreement checks a signed rate card against the trust store and
+// returns the signing GSP's subject.
+func VerifyAgreement(ag *Agreement, ts *pki.TrustStore, now time.Time) (string, error) {
+	if ag == nil || ag.Signed == nil {
+		return "", errors.New("trade: missing agreement signature")
+	}
+	var card rur.RateCard
+	signer, err := ag.Signed.Verify(ts, RatesContext, now, &card)
+	if err != nil {
+		return "", err
+	}
+	if signer != card.Provider {
+		return "", fmt.Errorf("trade: agreement signed by %q but quotes provider %q", signer, card.Provider)
+	}
+	return signer, nil
+}

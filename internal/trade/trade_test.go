@@ -1,0 +1,243 @@
+package trade
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/pki"
+	"gridbank/internal/rur"
+)
+
+func baseRates() map[rur.Item]currency.Rate {
+	return map[rur.Item]currency.Rate{
+		rur.ItemCPU:     currency.PerHour(2 * currency.Scale),
+		rur.ItemMemory:  currency.PerMBHour(1000),
+		rur.ItemNetwork: currency.PerMB(10_000),
+	}
+}
+
+func newGTS(t *testing.T, model PricingModel) (*Server, *pki.TrustStore) {
+	t.Helper()
+	ca, err := pki.NewCA("CA", "VO", 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsp, err := ca.Issue(pki.IssueOptions{CommonName: "gsp1", Organization: "VO"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(ServerConfig{Identity: gsp, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, pki.NewTrustStore(ca.Certificate())
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Error("GTS without identity accepted")
+	}
+	ca, _ := pki.NewCA("CA", "VO", time.Hour)
+	id, _ := ca.Issue(pki.IssueOptions{CommonName: "x"})
+	if _, err := NewServer(ServerConfig{Identity: id}); err == nil {
+		t.Error("GTS without model accepted")
+	}
+}
+
+func TestPostedPriceModel(t *testing.T) {
+	m := PostedPrice{Card: baseRates()}
+	low, high := m.Rates(0.0), m.Rates(1.0)
+	if low[rur.ItemCPU] != high[rur.ItemCPU] {
+		t.Error("posted price varies with load")
+	}
+	if m.Name() != "posted" {
+		t.Error("name")
+	}
+	// Returned map is a copy.
+	low[rur.ItemCPU] = currency.PerHour(1)
+	if m.Card[rur.ItemCPU] == low[rur.ItemCPU] {
+		t.Error("Rates aliases the model's card")
+	}
+}
+
+func TestCommodityMarketModel(t *testing.T) {
+	m := CommodityMarket{Base: baseRates(), Target: 0.5, Sensitivity: 2, Floor: 0.1}
+	idle := m.Rates(0.0)[rur.ItemCPU].MicroPerUnit
+	mid := m.Rates(0.5)[rur.ItemCPU].MicroPerUnit
+	busy := m.Rates(1.0)[rur.ItemCPU].MicroPerUnit
+	base := baseRates()[rur.ItemCPU].MicroPerUnit
+	if mid != base {
+		t.Errorf("at target: %d != base %d", mid, base)
+	}
+	if idle >= mid || mid >= busy {
+		t.Errorf("prices not monotone in demand: %d %d %d", idle, mid, busy)
+	}
+	if busy != 2*base {
+		t.Errorf("saturated price = %d, want %d", busy, 2*base)
+	}
+	// Floor prevents free resources.
+	steep := CommodityMarket{Base: baseRates(), Target: 0.9, Sensitivity: 10, Floor: 0.2}
+	floorRate := steep.Rates(0)[rur.ItemCPU].MicroPerUnit
+	if floorRate != base/5 {
+		t.Errorf("floored = %d, want %d", floorRate, base/5)
+	}
+	// Defaults applied for zero-valued fields.
+	d := CommodityMarket{Base: baseRates()}
+	if d.Rates(0.5)[rur.ItemCPU].MicroPerUnit != base {
+		t.Error("defaults broken")
+	}
+	// Out-of-range utilization clamped.
+	if m.Rates(5.0)[rur.ItemCPU].MicroPerUnit != busy {
+		t.Error("clamping broken")
+	}
+	if m.Name() != "commodity" {
+		t.Error("name")
+	}
+}
+
+func TestCurrentRatesAndUtilization(t *testing.T) {
+	s, _ := newGTS(t, CommodityMarket{Base: baseRates(), Sensitivity: 2})
+	s.SetUtilization(0.5)
+	midCard := s.CurrentRates()
+	if err := midCard.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if midCard.Provider != s.ProviderCert() {
+		t.Error("provider mismatch")
+	}
+	s.SetUtilization(1.0)
+	if s.Utilization() != 1.0 {
+		t.Error("utilization not stored")
+	}
+	busyCard := s.CurrentRates()
+	if busyCard.Rates[rur.ItemCPU].MicroPerUnit <= midCard.Rates[rur.ItemCPU].MicroPerUnit {
+		t.Error("price did not rise with demand")
+	}
+	s.SetUtilization(-3)
+	if s.Utilization() != 0 {
+		t.Error("clamping broken")
+	}
+}
+
+func TestAgreeSignsPostedRates(t *testing.T) {
+	s, ts := newGTS(t, PostedPrice{Card: baseRates()})
+	ag, err := s.Agree("CN=alice,O=VO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := VerifyAgreement(ag, ts, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if signer != "CN=gsp1,O=VO" {
+		t.Errorf("signer = %q", signer)
+	}
+	if ag.Card.Consumer != "CN=alice,O=VO" || ag.Rounds != 1 {
+		t.Errorf("agreement = %+v", ag)
+	}
+	// Lookup round trip (the GBCM path).
+	got, ok := s.Lookup(ag.ID)
+	if !ok || got.ID != ag.ID {
+		t.Error("lookup failed")
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Error("phantom agreement")
+	}
+}
+
+func TestVerifyAgreementRejections(t *testing.T) {
+	s, ts := newGTS(t, PostedPrice{Card: baseRates()})
+	if _, err := VerifyAgreement(nil, ts, time.Now()); err == nil {
+		t.Error("nil agreement accepted")
+	}
+	ag, err := s.Agree("CN=alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Signature from an untrusted CA refused.
+	otherTS := pki.NewTrustStore()
+	if _, err := VerifyAgreement(ag, otherTS, time.Now()); err == nil {
+		t.Error("untrusted agreement accepted")
+	}
+}
+
+func TestNegotiationConverges(t *testing.T) {
+	s, ts := newGTS(t, PostedPrice{Card: baseRates()})
+	ag, outcome, err := s.Negotiate("CN=alice,O=VO", BuyerStrategy{OpenFraction: 0.5, MaxFraction: 0.95}, NegotiationParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcome.Agreed || outcome.Rounds < 2 {
+		t.Fatalf("outcome = %+v", outcome)
+	}
+	// The agreed level is between the opening bid and the posted ask.
+	if outcome.FinalFraction <= 0.5 || outcome.FinalFraction >= 1.0 {
+		t.Fatalf("final fraction = %f", outcome.FinalFraction)
+	}
+	// Agreed rates are the posted rates scaled by the final fraction.
+	posted := baseRates()[rur.ItemCPU].MicroPerUnit
+	agreed := ag.Card.Rates[rur.ItemCPU].MicroPerUnit
+	wantLow := int64(float64(posted) * (outcome.FinalFraction - 0.01))
+	wantHigh := int64(float64(posted) * (outcome.FinalFraction + 0.01))
+	if agreed < wantLow || agreed > wantHigh {
+		t.Fatalf("agreed rate %d outside [%d,%d]", agreed, wantLow, wantHigh)
+	}
+	// And the agreement verifies.
+	if _, err := VerifyAgreement(ag, ts, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegotiationWalksAway(t *testing.T) {
+	s, _ := newGTS(t, PostedPrice{Card: baseRates()})
+	// A stingy buyer that barely concedes against a stubborn seller.
+	_, outcome, err := s.Negotiate("CN=cheapskate", BuyerStrategy{OpenFraction: 0.01, MaxFraction: 0.02},
+		NegotiationParams{MaxRounds: 5, SellerConcession: 0.99, BuyerConcession: 1.001})
+	if !errors.Is(err, ErrNoAgreement) {
+		t.Fatalf("err = %v", err)
+	}
+	if outcome.Agreed {
+		t.Error("outcome claims agreement")
+	}
+	if outcome.Rounds != 5 {
+		t.Errorf("rounds = %d", outcome.Rounds)
+	}
+}
+
+func TestNegotiationBuyerCeilingRespected(t *testing.T) {
+	s, _ := newGTS(t, PostedPrice{Card: baseRates()})
+	ag, outcome, err := s.Negotiate("CN=alice", BuyerStrategy{OpenFraction: 0.3, MaxFraction: 0.6},
+		NegotiationParams{MaxRounds: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crossing can happen at most marginally above the ceiling (seller
+	// meets the ceiling from above; midpoint ≤ (ask+bid)/2 where
+	// bid ≤ 0.6 and ask just crossed below it).
+	if outcome.FinalFraction > 0.65 {
+		t.Fatalf("settled at %f despite 0.6 ceiling", outcome.FinalFraction)
+	}
+	_ = ag
+}
+
+func TestQuoteExpiry(t *testing.T) {
+	base := time.Now()
+	clock := base
+	ca, _ := pki.NewCA("CA", "VO", 24*time.Hour)
+	gsp, _ := ca.Issue(pki.IssueOptions{CommonName: "gsp"})
+	s, err := NewServer(ServerConfig{
+		Identity: gsp,
+		Model:    PostedPrice{Card: baseRates()},
+		QuoteTTL: 10 * time.Minute,
+		Now:      func() time.Time { return clock },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	card := s.CurrentRates()
+	if !card.Expires.Equal(base.Add(10 * time.Minute)) {
+		t.Errorf("expires = %v", card.Expires)
+	}
+}

@@ -1,0 +1,152 @@
+// Package wire implements GridBank's framed message protocol: the
+// "message formats and communication protocols" half of the Payment
+// Protocol Layer (§3.2), carried over the Security Layer's
+// mutually-authenticated TLS channels.
+//
+// Framing is 4-byte big-endian length + JSON body. Requests carry an
+// operation name and opaque body; responses echo the request ID. The
+// format is deliberately boring: auditability of an accounting protocol
+// beats cleverness.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a single message. RURs are small; 4 MiB leaves room
+// for batched redemptions while keeping memory use per connection
+// bounded (DoS hygiene, §3.2).
+const MaxFrame = 4 << 20
+
+// Errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	ErrBadFrame      = errors.New("wire: malformed frame")
+)
+
+// Request is a client → server message.
+type Request struct {
+	// ID matches the response to the request on a multiplexed connection.
+	ID uint64 `json:"id"`
+	// Op names the GridBank API operation (§5.2), e.g. "RequestCheque".
+	Op string `json:"op"`
+	// Body is the operation-specific payload.
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Response is a server → client message.
+type Response struct {
+	ID uint64 `json:"id"`
+	OK bool   `json:"ok"`
+	// Error carries the failure reason when !OK. Errors are strings by
+	// design: the wire boundary is a trust boundary, and clients must
+	// not build control flow on server internals beyond the Code.
+	Error string `json:"error,omitempty"`
+	// Code is a stable machine-readable error class (see core package).
+	Code string `json:"code,omitempty"`
+	// Body is the operation-specific result.
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// WriteMsg frames and writes one message (any JSON-encodable value).
+func WriteMsg(w io.Writer, msg any) error {
+	b, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	if len(b) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(b))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadMsg reads one framed message into out.
+func ReadMsg(r io.Reader, out any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err // io.EOF passes through for clean shutdown detection
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if n == 0 {
+		return fmt.Errorf("%w: zero-length frame", ErrBadFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("%w: truncated body: %v", ErrBadFrame, err)
+	}
+	if err := json.Unmarshal(buf, out); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return nil
+}
+
+// Conn is a convenience wrapper pairing buffered reads with direct
+// writes over a net.Conn-ish stream.
+type Conn struct {
+	r io.Reader
+	w io.Writer
+}
+
+// NewConn wraps a stream. The returned Conn is not safe for concurrent
+// use by multiple goroutines on the same side (callers serialize).
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{r: bufio.NewReaderSize(rw, 32<<10), w: rw}
+}
+
+// WriteRequest sends a request.
+func (c *Conn) WriteRequest(req *Request) error { return WriteMsg(c.w, req) }
+
+// ReadRequest receives a request.
+func (c *Conn) ReadRequest() (*Request, error) {
+	var req Request
+	if err := ReadMsg(c.r, &req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// WriteResponse sends a response.
+func (c *Conn) WriteResponse(resp *Response) error { return WriteMsg(c.w, resp) }
+
+// ReadResponse receives a response.
+func (c *Conn) ReadResponse() (*Response, error) {
+	var resp Response
+	if err := ReadMsg(c.r, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Encode marshals a body payload for embedding in a Request/Response.
+func Encode(v any) (json.RawMessage, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("wire: encode body: %w", err)
+	}
+	return b, nil
+}
+
+// Decode unmarshals a body payload.
+func Decode(raw json.RawMessage, out any) error {
+	if len(raw) == 0 {
+		return errors.New("wire: empty body")
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("wire: decode body: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestResponseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	req := &Request{ID: 7, Op: "Ping", Body: []byte(`{"x":1}`)}
+	if err := WriteMsg(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	var got Request
+	if err := ReadMsg(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 7 || got.Op != "Ping" || string(got.Body) != `{"x":1}` {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	big := Request{ID: 1, Op: "x", Body: []byte(`"` + strings.Repeat("a", MaxFrame) + `"`)}
+	if err := WriteMsg(io.Discard, &big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized write err = %v", err)
+	}
+	// Oversized header on read.
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	buf.Write(hdr[:])
+	var out Request
+	if err := ReadMsg(&buf, &out); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized read err = %v", err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	var out Request
+	// Zero-length frame.
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0})
+	if err := ReadMsg(&buf, &out); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("zero frame err = %v", err)
+	}
+	// Truncated body.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 10, 'x'})
+	if err := ReadMsg(&buf, &out); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("truncated err = %v", err)
+	}
+	// Garbage JSON.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 3})
+	buf.WriteString("{{{")
+	if err := ReadMsg(&buf, &out); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("garbage err = %v", err)
+	}
+	// Clean EOF propagates.
+	buf.Reset()
+	if err := ReadMsg(&buf, &out); !errors.Is(err, io.EOF) {
+		t.Fatalf("eof err = %v", err)
+	}
+}
+
+func TestConnOverPipe(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	client, server := NewConn(c1), NewConn(c2)
+	done := make(chan error, 1)
+	go func() {
+		req, err := server.ReadRequest()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- server.WriteResponse(&Response{ID: req.ID, OK: true, Body: req.Body})
+	}()
+	if err := client.WriteRequest(&Request{ID: 42, Op: "Echo", Body: []byte(`"hello"`)}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.ReadResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 42 || !resp.OK || string(resp.Body) != `"hello"` {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	type payload struct {
+		Name string `json:"name"`
+		N    int    `json:"n"`
+	}
+	raw, err := Encode(payload{Name: "x", N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Decode(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "x" || out.N != 3 {
+		t.Fatalf("decode = %+v", out)
+	}
+	if err := Decode(nil, &out); err == nil {
+		t.Error("empty decode accepted")
+	}
+	if err := Decode([]byte("{"), &out); err == nil {
+		t.Error("bad decode accepted")
+	}
+	if _, err := Encode(make(chan int)); err == nil {
+		t.Error("unencodable value accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(id uint64, body []byte) bool {
+		// Arbitrary bytes travel base64-encoded (JSON strings cannot
+		// carry invalid UTF-8 losslessly).
+		enc := base64.StdEncoding.EncodeToString(body)
+		raw, err := Encode(enc)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteMsg(&buf, &Request{ID: id, Op: "op", Body: raw}); err != nil {
+			return false
+		}
+		var got Request
+		if err := ReadMsg(&buf, &got); err != nil {
+			return false
+		}
+		var s string
+		if err := Decode(got.Body, &s); err != nil {
+			return false
+		}
+		back, err := base64.StdEncoding.DecodeString(s)
+		return err == nil && got.ID == id && bytes.Equal(back, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackToBackMessages(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		if err := WriteMsg(&buf, &Request{ID: uint64(i), Op: "op"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		var got Request
+		if err := ReadMsg(&buf, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != uint64(i) {
+			t.Fatalf("message %d out of order: %+v", i, got)
+		}
+	}
+}
+
+// TestReadMsgGarbageRobustness: random byte streams never panic the
+// reader and always yield a clean error or a valid message.
+func TestReadMsgGarbageRobustness(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatal("ReadMsg panicked")
+			}
+		}()
+		var req Request
+		// Errors are fine; crashes and hangs are not.
+		_ = ReadMsg(bytes.NewReader(data), &req)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadMsgHeaderBombs: headers advertising huge frames are rejected
+// before allocation.
+func TestReadMsgHeaderBombs(t *testing.T) {
+	for _, n := range []uint32{MaxFrame + 1, 1 << 30, 0xffffffff} {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], n)
+		var req Request
+		if err := ReadMsg(bytes.NewReader(hdr[:]), &req); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("header %d: err = %v", n, err)
+		}
+	}
+}
