@@ -10,11 +10,18 @@ package gridbank_test
 // their ns/op is "time to reproduce the figure", not a micro-latency.
 
 import (
+	"fmt"
+	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"gridbank"
+	"gridbank/internal/core"
+	"gridbank/internal/db"
 	"gridbank/internal/experiments"
+	"gridbank/internal/payment"
+	"gridbank/internal/pki"
 )
 
 // --- Experiment benchmarks (E1..E11) -----------------------------------------
@@ -121,6 +128,142 @@ func BenchmarkBrokerDBC(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+func BenchmarkConcurrentLoad(b *testing.B) {
+	// One full concurrency-vs-durability sweep per iteration.
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunConcurrentLoad(experiments.ConcurrentLoadConfig{
+			ConsumerCounts:       []int{8},
+			TransfersPerConsumer: 25,
+			Dir:                  b.TempDir(),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Concurrent hot-path benchmarks -------------------------------------------
+
+// benchParallelism oversubscribes RunParallel workers so journal group
+// commit has real fan-in: GridBank's load is many concurrent consumers,
+// not one per core.
+const benchParallelism = 8
+
+// parallelBankWorld builds an in-process bank over a fsync-per-commit
+// file journal — the durable GridBank server configuration — with n
+// disjoint (drawer, payee) actor pairs for RunParallel benchmarks.
+func parallelBankWorld(b *testing.B, n int) (*core.Bank, []parallelPair) {
+	b.Helper()
+	ca, err := pki.NewCA("Bench CA", "VO-Bench", 24*time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bankID, err := ca.Issue(pki.IssueOptions{CommonName: "gridbank", Organization: "VO-Bench", IsServer: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	j, err := db.OpenFileJournal(filepath.Join(b.TempDir(), "wal"), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := db.Open(j)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { store.Close() })
+	const admin = "CN=bench-admin"
+	bank, err := core.NewBank(store, core.BankConfig{
+		Identity: bankID, Trust: pki.NewTrustStore(ca.Certificate()), Admins: []string{admin},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := make([]parallelPair, n)
+	for i := range pairs {
+		drawerID, err := ca.Issue(pki.IssueOptions{CommonName: fmt.Sprintf("drawer%d", i), Organization: "VO-Bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		payeeID, err := ca.Issue(pki.IssueOptions{CommonName: fmt.Sprintf("payee%d", i), Organization: "VO-Bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dResp, err := bank.CreateAccount(drawerID.SubjectName(), &core.CreateAccountRequest{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pResp, err := bank.CreateAccount(payeeID.SubjectName(), &core.CreateAccountRequest{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bank.AdminDeposit(admin, &core.AdminAmountRequest{
+			AccountID: dResp.Account.AccountID, Amount: gridbank.G(1_000_000),
+		}); err != nil {
+			b.Fatal(err)
+		}
+		pairs[i] = parallelPair{
+			drawer:     drawerID.SubjectName(),
+			payee:      payeeID.SubjectName(),
+			drawerAcct: dResp.Account.AccountID,
+			payeeAcct:  pResp.Account.AccountID,
+		}
+	}
+	return bank, pairs
+}
+
+type parallelPair struct {
+	drawer, payee         string
+	drawerAcct, payeeAcct gridbank.AccountID
+}
+
+// BenchmarkParallelDirectTransfer drives concurrent DirectTransfer calls
+// between disjoint account pairs through the bank core, each commit
+// durable (fsync) before it is acknowledged.
+func BenchmarkParallelDirectTransfer(b *testing.B) {
+	bank, pairs := parallelBankWorld(b, 32)
+	var next atomic.Uint64
+	b.SetParallelism(benchParallelism)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		p := pairs[int(next.Add(1)-1)%len(pairs)]
+		for pb.Next() {
+			_, err := bank.DirectTransfer(p.drawer, &core.DirectTransferRequest{
+				FromAccountID: p.drawerAcct, ToAccountID: p.payeeAcct, Amount: gridbank.Micro(1),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParallelChequeIssueRedeem measures the full cheque
+// issue+redeem cycle with concurrent disjoint drawer/payee pairs — the
+// §3.4 guarantee path under load, durable per commit.
+func BenchmarkParallelChequeIssueRedeem(b *testing.B) {
+	bank, pairs := parallelBankWorld(b, 32)
+	var next atomic.Uint64
+	b.SetParallelism(benchParallelism)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		p := pairs[int(next.Add(1)-1)%len(pairs)]
+		for pb.Next() {
+			cheque, err := bank.RequestCheque(p.drawer, &core.RequestChequeRequest{
+				AccountID: p.drawerAcct, Amount: gridbank.Micro(1000), PayeeCert: p.payee, TTL: time.Hour,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, err = bank.RedeemCheque(p.payee, &core.RedeemChequeRequest{
+				Cheque: cheque.Cheque,
+				Claim:  payment.ChequeClaim{Serial: cheque.Cheque.Cheque.Serial, Amount: gridbank.Micro(1000)},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Micro-benchmarks of hot paths -------------------------------------------

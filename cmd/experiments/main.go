@@ -122,6 +122,22 @@ func registry() []experiment {
 			experiments.WriteDBC(out, r)
 			return nil
 		}},
+		{"conload", "concurrent transfer load vs. journal durability", func() error {
+			r, err := experiments.RunConcurrentLoad(experiments.ConcurrentLoadConfig{})
+			if err != nil {
+				return err
+			}
+			experiments.WriteConcurrentLoad(out, r)
+			return nil
+		}},
+		{"conload-hot", "concurrent load against one shared provider (hotspot)", func() error {
+			r, err := experiments.RunConcurrentLoad(experiments.ConcurrentLoadConfig{SharedRecipient: true})
+			if err != nil {
+				return err
+			}
+			experiments.WriteConcurrentLoad(out, r)
+			return nil
+		}},
 	}
 }
 

@@ -1,0 +1,3 @@
+module gridbank
+
+go 1.24

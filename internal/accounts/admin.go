@@ -43,7 +43,7 @@ func (ad *Admin) Deposit(id ID, amount currency.Amount) error {
 		if err := putAccount(tx, a); err != nil {
 			return err
 		}
-		_, err = appendTransaction(tx, &Transaction{AccountID: id, Type: TxDeposit, Date: ad.m.now(), Amount: amount})
+		_, err = ad.m.appendTransaction(tx, &Transaction{AccountID: id, Type: TxDeposit, Date: ad.m.now(), Amount: amount})
 		return err
 	})
 }
@@ -74,7 +74,7 @@ func (ad *Admin) Withdraw(id ID, amount currency.Amount) error {
 		if err != nil {
 			return err
 		}
-		_, err = appendTransaction(tx, &Transaction{AccountID: id, Type: TxWithdrawal, Date: ad.m.now(), Amount: neg})
+		_, err = ad.m.appendTransaction(tx, &Transaction{AccountID: id, Type: TxWithdrawal, Date: ad.m.now(), Amount: neg})
 		return err
 	})
 }
@@ -150,11 +150,11 @@ func (ad *Admin) CancelTransfer(txID uint64) error {
 		if err != nil {
 			return err
 		}
-		reverseID, err := appendTransaction(tx, &Transaction{AccountID: tr.RecipientAccountID, Type: TxTransfer, Date: now, Amount: neg})
+		reverseID, err := ad.m.appendTransaction(tx, &Transaction{AccountID: tr.RecipientAccountID, Type: TxTransfer, Date: now, Amount: neg})
 		if err != nil {
 			return err
 		}
-		if _, err := appendTransaction(tx, &Transaction{TransactionID: reverseID, AccountID: tr.DrawerAccountID, Type: TxTransfer, Date: now, Amount: tr.Amount}); err != nil {
+		if _, err := ad.m.appendTransaction(tx, &Transaction{TransactionID: reverseID, AccountID: tr.DrawerAccountID, Type: TxTransfer, Date: now, Amount: tr.Amount}); err != nil {
 			return err
 		}
 		reversal := &Transfer{
@@ -215,11 +215,11 @@ func (ad *Admin) CloseAccount(id, transferTo ID) error {
 			if err != nil {
 				return err
 			}
-			txID, err := appendTransaction(tx, &Transaction{AccountID: id, Type: TxTransfer, Date: now, Amount: neg})
+			txID, err := ad.m.appendTransaction(tx, &Transaction{AccountID: id, Type: TxTransfer, Date: now, Amount: neg})
 			if err != nil {
 				return err
 			}
-			if _, err := appendTransaction(tx, &Transaction{TransactionID: txID, AccountID: transferTo, Type: TxTransfer, Date: now, Amount: amount}); err != nil {
+			if _, err := ad.m.appendTransaction(tx, &Transaction{TransactionID: txID, AccountID: transferTo, Type: TxTransfer, Date: now, Amount: amount}); err != nil {
 				return err
 			}
 			rec := &Transfer{TransactionID: txID, Date: now, DrawerAccountID: id, Amount: amount, RecipientAccountID: transferTo}

@@ -2,6 +2,8 @@ package accounts
 
 import (
 	"fmt"
+	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -61,6 +63,74 @@ func BenchmarkLockUnlock(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchLedgerJournal builds a ledger over a file-journaled store.
+func benchLedgerJournal(b *testing.B, nAccounts int, syncEach bool) (*Manager, []ID) {
+	b.Helper()
+	j, err := db.OpenFileJournal(filepath.Join(b.TempDir(), "wal"), syncEach)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := db.Open(j)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	m, err := NewManager(s, Config{Now: func() time.Time { return testEpoch }})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]ID, nAccounts)
+	for i := range ids {
+		a, err := m.CreateAccount(fmt.Sprintf("CN=bench%d", i), "", "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = a.AccountID
+		if err := m.Admin().Deposit(ids[i], currency.FromG(1_000_000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m, ids
+}
+
+// parallelTransfers drives RunParallel transfers over disjoint
+// (drawer, recipient) pairs so independent accounts never contend.
+func parallelTransfers(b *testing.B, m *Manager, ids []ID) {
+	b.Helper()
+	pairs := len(ids) / 2
+	var next atomic.Uint64
+	// Oversubscribe workers: GridBank's load is many concurrent
+	// consumers, not one per core, and journal group commit needs
+	// fan-in to show its batching.
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1)-1) % pairs
+		from, to := ids[2*i], ids[2*i+1]
+		for pb.Next() {
+			if _, err := m.Transfer(from, to, currency.FromMicro(1), TransferOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParallelLedgerTransfer measures concurrent transfers between
+// disjoint account pairs on a volatile store — the pure concurrency of
+// the ledger hot path with no durability cost.
+func BenchmarkParallelLedgerTransfer(b *testing.B) {
+	m, ids := benchLedger(b, 64)
+	parallelTransfers(b, m, ids)
+}
+
+// BenchmarkParallelLedgerTransferDurable adds a fsync-per-commit journal:
+// this is the configuration where group commit pays, since N concurrent
+// committers should share one fsync instead of queueing N.
+func BenchmarkParallelLedgerTransferDurable(b *testing.B) {
+	m, ids := benchLedgerJournal(b, 64, true)
+	parallelTransfers(b, m, ids)
 }
 
 func BenchmarkStatement(b *testing.B) {

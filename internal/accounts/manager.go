@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"gridbank/internal/currency"
@@ -28,11 +30,24 @@ const (
 // invariants (non-negative locked balance, overdraft bounded by credit
 // limit, conservation of money across transfers) hold at every commit
 // point.
+//
+// Transaction and account numbers come from in-memory atomic counters
+// seeded from the store at startup (max existing ID, plus the legacy
+// meta rows older journals carry). Allocating them transactionally
+// would make the counter row a write hotspot every concurrent transfer
+// conflicts on; atomic allocation keeps concurrent transfers on
+// disjoint accounts conflict-free, at the cost of ID gaps when a
+// transaction retries or rolls back — gaps are harmless, duplicates
+// would not be. One Manager owns a store's ID space: construct a single
+// Manager per store.
 type Manager struct {
 	store  *db.Store
 	bank   string // two-digit bank number
 	branch string // four-digit branch number
 	now    func() time.Time
+
+	txSeq   atomic.Uint64 // last allocated TransactionID
+	acctSeq atomic.Uint64 // last allocated account number
 }
 
 // Config configures a Manager.
@@ -76,7 +91,66 @@ func NewManager(store *db.Store, cfg Config) (*Manager, error) {
 	if err != nil && !errors.Is(err, db.ErrDupIndex) {
 		return nil, err
 	}
-	return &Manager{store: store, bank: cfg.Bank, branch: cfg.Branch, now: cfg.Now}, nil
+	m := &Manager{store: store, bank: cfg.Bank, branch: cfg.Branch, now: cfg.Now}
+	if err := m.recoverSequences(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// recoverSequences seeds the ID counters from existing state: the
+// highest key in each numbered table, floored by the legacy meta rows
+// that seed-era journals persisted the counters in.
+func (m *Manager) recoverSequences() error {
+	txMax := metaFloor(m.store, metaTxSeq)
+	acctMax := metaFloor(m.store, metaAcctSeq)
+	err := m.store.Scan(tableTransactions, func(key string, _ []byte) bool {
+		if id, _, ok := strings.Cut(key, "/"); ok {
+			if n, err := strconv.ParseUint(id, 10, 64); err == nil && n > txMax {
+				txMax = n
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	err = m.store.Scan(tableTransfers, func(key string, _ []byte) bool {
+		if n, err := strconv.ParseUint(key, 10, 64); err == nil && n > txMax {
+			txMax = n
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	err = m.store.Scan(tableAccounts, func(key string, _ []byte) bool {
+		if i := strings.LastIndexByte(key, '-'); i >= 0 {
+			if n, err := strconv.ParseUint(key[i+1:], 10, 64); err == nil && n > acctMax {
+				acctMax = n
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	m.txSeq.Store(txMax)
+	m.acctSeq.Store(acctMax)
+	return nil
+}
+
+// metaFloor reads a legacy transactional counter row; 0 if absent.
+func metaFloor(store *db.Store, key string) uint64 {
+	raw, err := store.Get(tableMeta, key)
+	if err != nil {
+		return 0
+	}
+	n, err := strconv.ParseUint(string(raw), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
 }
 
 // Store exposes the underlying store (for snapshots and diagnostics).
@@ -87,24 +161,6 @@ func (m *Manager) BankNumber() string { return m.bank }
 
 // BranchNumber returns the manager's branch number.
 func (m *Manager) BranchNumber() string { return m.branch }
-
-func nextSeq(tx *db.Tx, key string) (uint64, error) {
-	var n uint64
-	if raw, err := tx.Get(tableMeta, key); err == nil {
-		v, err := strconv.ParseUint(string(raw), 10, 64)
-		if err != nil {
-			return 0, fmt.Errorf("accounts: corrupt sequence %q: %w", key, err)
-		}
-		n = v
-	} else if !errors.Is(err, db.ErrNoRecord) {
-		return 0, err
-	}
-	n++
-	if err := tx.Put(tableMeta, key, []byte(strconv.FormatUint(n, 10))); err != nil {
-		return 0, err
-	}
-	return n, nil
-}
 
 func getAccount(tx *db.Tx, id ID) (*Account, error) {
 	raw, err := tx.Get(tableAccounts, string(id))
@@ -123,13 +179,9 @@ func putAccount(tx *db.Tx, a *Account) error {
 
 // appendTransaction journals a TRANSACTION row under a fresh ID and
 // returns that ID.
-func appendTransaction(tx *db.Tx, t *Transaction) (uint64, error) {
+func (m *Manager) appendTransaction(tx *db.Tx, t *Transaction) (uint64, error) {
 	if t.TransactionID == 0 {
-		id, err := nextSeq(tx, metaTxSeq)
-		if err != nil {
-			return 0, err
-		}
-		t.TransactionID = id
+		t.TransactionID = m.txSeq.Add(1)
 	}
 	key := txKey(t.TransactionID, t.AccountID)
 	return t.TransactionID, tx.Insert(tableTransactions, key, encodeTransaction(t))
@@ -174,11 +226,7 @@ func (m *Manager) CreateAccount(certName, orgName string, cur currency.Code) (*A
 				return fmt.Errorf("%w: %s (%s)", ErrDuplicateIdentity, certName, cur)
 			}
 		}
-		seq, err := nextSeq(tx, metaAcctSeq)
-		if err != nil {
-			return err
-		}
-		id := ID(fmt.Sprintf("%s-%s-%08d", m.bank, m.branch, seq))
+		id := ID(fmt.Sprintf("%s-%s-%08d", m.bank, m.branch, m.acctSeq.Add(1)))
 		a := &Account{
 			AccountID:        id,
 			CertificateName:  certName,
@@ -313,7 +361,7 @@ func (m *Manager) CheckFunds(id ID, amount currency.Amount) error {
 		if err := putAccount(tx, a); err != nil {
 			return err
 		}
-		_, err = appendTransaction(tx, &Transaction{AccountID: id, Type: TxLock, Date: m.now(), Amount: amount})
+		_, err = m.appendTransaction(tx, &Transaction{AccountID: id, Type: TxLock, Date: m.now(), Amount: amount})
 		return err
 	})
 }
@@ -338,7 +386,7 @@ func (m *Manager) Unlock(id ID, amount currency.Amount) error {
 		if err := putAccount(tx, a); err != nil {
 			return err
 		}
-		_, err = appendTransaction(tx, &Transaction{AccountID: id, Type: TxUnlock, Date: m.now(), Amount: amount})
+		_, err = m.appendTransaction(tx, &Transaction{AccountID: id, Type: TxUnlock, Date: m.now(), Amount: amount})
 		return err
 	})
 }
@@ -407,11 +455,11 @@ func (m *Manager) Transfer(drawer, recipient ID, amount currency.Amount, opts Tr
 		if err != nil {
 			return err
 		}
-		txID, err := appendTransaction(tx, &Transaction{AccountID: drawer, Type: TxTransfer, Date: now, Amount: neg})
+		txID, err := m.appendTransaction(tx, &Transaction{AccountID: drawer, Type: TxTransfer, Date: now, Amount: neg})
 		if err != nil {
 			return err
 		}
-		if _, err := appendTransaction(tx, &Transaction{TransactionID: txID, AccountID: recipient, Type: TxTransfer, Date: now, Amount: amount}); err != nil {
+		if _, err := m.appendTransaction(tx, &Transaction{TransactionID: txID, AccountID: recipient, Type: TxTransfer, Date: now, Amount: amount}); err != nil {
 			return err
 		}
 		rec = &Transfer{

@@ -12,10 +12,12 @@
 package accounts
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"regexp"
+	"sync"
 	"time"
 
 	"gridbank/internal/currency"
@@ -141,12 +143,40 @@ type Statement struct {
 	Transfers    []Transfer    `json:"transfers"`
 }
 
-func encodeAccount(a *Account) []byte {
-	b, err := json.Marshal(a)
-	if err != nil {
-		panic(fmt.Sprintf("accounts: encode account: %v", err)) // all fields marshalable
+// encPool recycles encoder+buffer pairs across the hot encode paths: a
+// transfer encodes five rows (two accounts, two transactions, one
+// transfer record), and reusing a pre-grown buffer leaves exactly one
+// right-sized allocation per row — the returned copy that the store
+// retains.
+type pooledEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	p := &pooledEncoder{}
+	p.enc = json.NewEncoder(&p.buf)
+	return p
+}}
+
+// marshalPooled JSON-encodes v through a pooled buffer, returning a
+// fresh exact-size byte slice (same bytes as json.Marshal).
+func marshalPooled(v any, what string) []byte {
+	p := encPool.Get().(*pooledEncoder)
+	p.buf.Reset()
+	if err := p.enc.Encode(v); err != nil {
+		encPool.Put(p)
+		panic(fmt.Sprintf("accounts: encode %s: %v", what, err)) // all fields marshalable
 	}
-	return b
+	b := p.buf.Bytes()
+	out := make([]byte, len(b)-1) // drop the encoder's trailing newline
+	copy(out, b)
+	encPool.Put(p)
+	return out
+}
+
+func encodeAccount(a *Account) []byte {
+	return marshalPooled(a, "account")
 }
 
 func decodeAccount(b []byte) (*Account, error) {
@@ -158,11 +188,7 @@ func decodeAccount(b []byte) (*Account, error) {
 }
 
 func encodeTransaction(t *Transaction) []byte {
-	b, err := json.Marshal(t)
-	if err != nil {
-		panic(fmt.Sprintf("accounts: encode transaction: %v", err))
-	}
-	return b
+	return marshalPooled(t, "transaction")
 }
 
 func decodeTransaction(b []byte) (*Transaction, error) {
@@ -174,11 +200,7 @@ func decodeTransaction(b []byte) (*Transaction, error) {
 }
 
 func encodeTransfer(t *Transfer) []byte {
-	b, err := json.Marshal(t)
-	if err != nil {
-		panic(fmt.Sprintf("accounts: encode transfer: %v", err))
-	}
-	return b
+	return marshalPooled(t, "transfer")
 }
 
 func decodeTransfer(b []byte) (*Transfer, error) {

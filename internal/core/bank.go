@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"gridbank/internal/accounts"
@@ -69,11 +68,14 @@ type Bank struct {
 
 	notify Notifier
 
-	// instrMu serializes instrument check-then-act sequences (issue,
-	// redeem, release). Ledger atomicity lives in the db transaction
-	// layer; this lock closes the gap between reading an instrument row
-	// and writing its new state plus the ledger effect.
-	instrMu sync.Mutex
+	// instr serializes instrument check-then-act sequences (issue,
+	// redeem, release), keyed by instrument serial. Ledger atomicity
+	// lives in the db transaction layer; this lock closes the gap
+	// between reading an instrument row and writing its new state plus
+	// the ledger effect. Striping by serial lets redemptions against
+	// different instruments (hence different drawer accounts) proceed
+	// in parallel instead of queueing bank-wide.
+	instr stripedLock
 }
 
 // BankConfig configures a Bank.
@@ -290,8 +292,9 @@ func (b *Bank) RequestCheque(caller string, req *RequestChequeRequest) (*Request
 	if err := cheque.Validate(); err != nil {
 		return nil, err
 	}
-	b.instrMu.Lock()
-	defer b.instrMu.Unlock()
+	mu := b.instr.of(cheque.Serial)
+	mu.Lock()
+	defer mu.Unlock()
 	if err := b.mgr.CheckFunds(req.AccountID, req.Amount); err != nil {
 		return nil, err
 	}
@@ -357,8 +360,9 @@ func (b *Bank) RedeemCheque(caller string, req *RedeemChequeRequest) (*RedeemChe
 	if err != nil {
 		return nil, fmt.Errorf("core: payee has no %s account: %w", cheque.Currency, err)
 	}
-	b.instrMu.Lock()
-	defer b.instrMu.Unlock()
+	mu := b.instr.of(cheque.Serial)
+	mu.Lock()
+	defer mu.Unlock()
 	row, err := b.getChequeRow(cheque.Serial)
 	if err != nil {
 		return nil, err
@@ -411,8 +415,9 @@ func (b *Bank) RedeemChequeInterbank(correspondent string, vostro accounts.ID, r
 	if err := cheque.ValidateClaim(&req.Claim); err != nil {
 		return nil, err
 	}
-	b.instrMu.Lock()
-	defer b.instrMu.Unlock()
+	mu := b.instr.of(cheque.Serial)
+	mu.Lock()
+	defer mu.Unlock()
 	row, err := b.getChequeRow(cheque.Serial)
 	if err != nil {
 		return nil, err
@@ -443,8 +448,9 @@ func (b *Bank) RedeemChequeInterbank(correspondent string, vostro accounts.ID, r
 // the drawer. Only the drawer (or an admin) may release, and only after
 // expiry — before that the payee still holds a valid guarantee.
 func (b *Bank) ReleaseCheque(caller string, req *ReleaseRequest) (*ReleaseResponse, error) {
-	b.instrMu.Lock()
-	defer b.instrMu.Unlock()
+	mu := b.instr.of(req.Serial)
+	mu.Lock()
+	defer mu.Unlock()
 	row, err := b.getChequeRow(req.Serial)
 	if err != nil {
 		return nil, err
@@ -492,8 +498,9 @@ func (b *Bank) RequestChain(caller string, req *RequestChainRequest) (*RequestCh
 	if err != nil {
 		return nil, err
 	}
-	b.instrMu.Lock()
-	defer b.instrMu.Unlock()
+	mu := b.instr.of(chain.Commitment.Serial)
+	mu.Lock()
+	defer mu.Unlock()
 	if err := b.mgr.CheckFunds(req.AccountID, total); err != nil {
 		return nil, err
 	}
@@ -551,8 +558,9 @@ func (b *Bank) RedeemChain(caller string, req *RedeemChainRequest) (*RedeemChain
 	if err != nil {
 		return nil, fmt.Errorf("core: payee has no %s account: %w", cc.Currency, err)
 	}
-	b.instrMu.Lock()
-	defer b.instrMu.Unlock()
+	mu := b.instr.of(cc.Serial)
+	mu.Lock()
+	defer mu.Unlock()
 	row, err := b.getChainRow(cc.Serial)
 	if err != nil {
 		return nil, err
@@ -586,8 +594,9 @@ func (b *Bank) RedeemChain(caller string, req *RedeemChainRequest) (*RedeemChain
 // ReleaseChain returns the unredeemed remainder of an expired chain's
 // lock to the drawer.
 func (b *Bank) ReleaseChain(caller string, req *ReleaseRequest) (*ReleaseResponse, error) {
-	b.instrMu.Lock()
-	defer b.instrMu.Unlock()
+	mu := b.instr.of(req.Serial)
+	mu.Lock()
+	defer mu.Unlock()
 	row, err := b.getChainRow(req.Serial)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"sync"
+
+	"gridbank/internal/strhash"
+)
+
+// instrStripes is the shard count of the bank's keyed instrument lock.
+// Power of two, comfortably above typical concurrent redemption fan-in;
+// collisions only cost unnecessary serialization, never correctness.
+const instrStripes = 64
+
+// stripedLock is a keyed mutex: operations on the same key serialize,
+// operations on different keys almost always proceed in parallel (two
+// keys share a stripe with probability 1/instrStripes). GridBank keys
+// it by instrument serial, so cheque and chain check-then-act sequences
+// against different instruments — and therefore different drawer
+// accounts — no longer queue behind one bank-wide mutex.
+type stripedLock struct {
+	shards [instrStripes]sync.Mutex
+}
+
+// of returns the mutex shard for key. Usage:
+//
+//	mu := b.instr.of(serial)
+//	mu.Lock()
+//	defer mu.Unlock()
+func (s *stripedLock) of(key string) *sync.Mutex {
+	return &s.shards[strhash.FNV32a(key)%instrStripes]
+}

@@ -3,6 +3,7 @@ package db
 import (
 	"fmt"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 )
 
@@ -78,6 +79,108 @@ func BenchmarkPutJournalFileSync(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkParallelUpdateDisjointKeys measures concurrent single-put
+// transactions on disjoint keys of one table — the upper bound on store
+// write concurrency.
+func BenchmarkParallelUpdateDisjointKeys(b *testing.B) {
+	s := benchStore(b, nil)
+	val := []byte(`{"balance":"123.456789"}`)
+	var worker atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := worker.Add(1)
+		i := 0
+		for pb.Next() {
+			i++
+			key := fmt.Sprintf("w%d-k%d", w, i%1024)
+			if err := s.Update(func(tx *Tx) error {
+				return tx.Put("t", key, val)
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParallelUpdateFileSync is the durable version: concurrent
+// committers against one fsync-per-commit journal. Group commit should
+// let N committers amortize a single fsync.
+func BenchmarkParallelUpdateFileSync(b *testing.B) {
+	j, err := OpenFileJournal(filepath.Join(b.TempDir(), "wal"), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := benchStore(b, j)
+	val := []byte(`{"balance":"123.456789"}`)
+	var worker atomic.Uint64
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := worker.Add(1)
+		i := 0
+		for pb.Next() {
+			i++
+			key := fmt.Sprintf("w%d-k%d", w, i%1024)
+			if err := s.Update(func(tx *Tx) error {
+				return tx.Put("t", key, val)
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParallelJournalAppendSync hits the journal directly with
+// transfer-shaped batches (two rows) under fsync-per-batch durability.
+func BenchmarkParallelJournalAppendSync(b *testing.B) {
+	j, err := OpenFileJournal(filepath.Join(b.TempDir(), "wal"), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	val := []byte(`{"balance":"123.456789"}`)
+	var seq atomic.Uint64
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			base := seq.Add(2)
+			batch := []Entry{
+				{Seq: base - 1, Op: OpPut, Table: "t", Key: "a", Value: val},
+				{Seq: base, Op: OpPut, Table: "t", Key: "b", Value: val},
+			}
+			if err := j.AppendBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParallelGet measures read scalability.
+func BenchmarkParallelGet(b *testing.B) {
+	s := benchStore(b, nil)
+	if err := s.Update(func(tx *Tx) error {
+		for i := 0; i < 1024; i++ {
+			if err := tx.Put("t", fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			if _, err := s.Get("t", fmt.Sprintf("k%d", i%1024)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkGet(b *testing.B) {

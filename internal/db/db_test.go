@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -385,5 +386,83 @@ func must(t *testing.T, err error) {
 	t.Helper()
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestGetReturnsDefensiveCopy(t *testing.T) {
+	s := newTestStore(t)
+	must(t, s.Update(func(tx *Tx) error { return tx.Insert("accounts", "a1", []byte("original")) }))
+	v, err := s.Get("accounts", "a1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(v, "MUTATED!")
+	got, err := s.Get("accounts", "a1")
+	if err != nil || string(got) != "original" {
+		t.Fatalf("store aliased reader mutation: %q, %v", got, err)
+	}
+}
+
+func TestTxGetReturnsDefensiveCopy(t *testing.T) {
+	s := newTestStore(t)
+	must(t, s.Update(func(tx *Tx) error { return tx.Insert("accounts", "a1", []byte("original")) }))
+	must(t, s.Update(func(tx *Tx) error {
+		v, err := tx.Get("accounts", "a1")
+		if err != nil {
+			return err
+		}
+		copy(v, "MUTATED!")
+		// Re-read within the same tx and from a fresh read path.
+		v2, err := tx.Get("accounts", "a1")
+		if err != nil || string(v2) != "original" {
+			t.Fatalf("tx read aliased mutation: %q, %v", v2, err)
+		}
+		return nil
+	}))
+	got, _ := s.Get("accounts", "a1")
+	if string(got) != "original" {
+		t.Fatalf("store corrupted through tx read alias: %q", got)
+	}
+}
+
+func TestConcurrentCreateAccountPhantom(t *testing.T) {
+	// Two racing transactions both check an index for a key and insert
+	// when absent — exactly the accounts-by-certificate uniqueness
+	// check. The predicate validation must let exactly one win per
+	// round.
+	s := newTestStore(t)
+	must(t, s.CreateIndex("accounts", "byName", func(k string, v []byte) []string {
+		return []string{string(v)}
+	}))
+	const rounds = 50
+	var created, refused atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				name := fmt.Sprintf("dup%d", i)
+				err := s.Update(func(tx *Tx) error {
+					keys, err := tx.Lookup("accounts", "byName", name)
+					if err != nil {
+						return err
+					}
+					if len(keys) > 0 {
+						return fmt.Errorf("taken: %w", ErrExists)
+					}
+					return tx.Insert("accounts", fmt.Sprintf("g%d-%s", g, name), []byte(name))
+				})
+				if err == nil {
+					created.Add(1)
+				} else if errors.Is(err, ErrExists) {
+					refused.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if created.Load() != rounds {
+		t.Fatalf("created %d accounts for %d names (phantom duplicates!)", created.Load(), rounds)
 	}
 }

@@ -2,6 +2,7 @@ package db
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -40,63 +41,173 @@ type Journal interface {
 	Close() error
 }
 
+// GroupJournal is an optional Journal extension for group commit. Stage
+// enqueues a batch without doing I/O and returns a wait function; wait
+// blocks until the batch is durable (or the journal fails) and returns
+// the outcome. Staging fixes the batch's position in the journal, so a
+// caller may apply the batch's effects to memory between Stage and wait
+// — later committers that observe those effects necessarily stage after
+// it and therefore land after it on disk.
+type GroupJournal interface {
+	Journal
+	Stage(entries []Entry) (wait func() error, err error)
+}
+
+// encBuf pairs a reusable buffer with a JSON encoder bound to it, so
+// batch encoding allocates nothing beyond the final line copy.
+type encBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encBufPool = sync.Pool{New: func() any {
+	e := &encBuf{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// ticket tracks one staged batch through a group flush.
+type ticket struct {
+	e    *encBuf
+	done bool
+	err  error
+}
+
 // fileJournal is a newline-delimited JSON journal. Each line is a batch:
 // a JSON array of entries. A batch line that fails to parse (torn write
 // at crash) terminates replay cleanly.
+//
+// Concurrent appends group-commit: each committer encodes its batch
+// outside the lock and stages it; the first waiter becomes the leader
+// and writes+fsyncs every staged batch in one pass, while followers
+// block on their ticket. A follower's wait is bounded by one in-flight
+// flush cycle — the next leader picks its batch up as soon as the
+// current flush finishes. N concurrent committers therefore share one
+// fsync instead of queueing N.
 type fileJournal struct {
-	mu   sync.Mutex
-	path string
-	f    *os.File
-	w    *bufio.Writer
-	sync bool
+	mu      sync.Mutex
+	flushed sync.Cond // signaled after each flush completes and on close
+	path    string
+	f       *os.File
+	w       *bufio.Writer
+	sync    bool
+	staged  []*ticket
+	leading bool  // a leader is currently writing outside mu
+	err     error // sticky flush failure: once durability order is broken, fail stop
 }
 
 // OpenFileJournal opens (creating if needed) a journal file. If syncEach
-// is true every batch is fsynced — durable against power loss, slower;
+// is true every flush is fsynced — durable against power loss, slower;
 // GridBank servers want true, simulations want false.
 func OpenFileJournal(path string, syncEach bool) (Journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("db: open journal: %w", err)
 	}
-	return &fileJournal{path: path, f: f, w: bufio.NewWriter(f), sync: syncEach}, nil
+	j := &fileJournal{path: path, f: f, w: bufio.NewWriter(f), sync: syncEach}
+	j.flushed.L = &j.mu
+	return j, nil
 }
 
 func (j *fileJournal) Append(e Entry) error { return j.AppendBatch([]Entry{e}) }
 
 func (j *fileJournal) AppendBatch(entries []Entry) error {
+	wait, err := j.Stage(entries)
+	if err != nil {
+		return err
+	}
+	return wait()
+}
+
+var waitNoop = func() error { return nil }
+
+// Stage implements GroupJournal: encode outside the lock, enqueue, and
+// hand back a wait that drives (or joins) the group flush.
+func (j *fileJournal) Stage(entries []Entry) (func() error, error) {
 	if len(entries) == 0 {
-		return nil
+		return waitNoop, nil
+	}
+	e := encBufPool.Get().(*encBuf)
+	e.buf.Reset()
+	if err := e.enc.Encode(entries); err != nil {
+		encBufPool.Put(e)
+		return nil, err
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
-		return ErrClosed
+		encBufPool.Put(e)
+		return nil, ErrClosed
 	}
-	b, err := json.Marshal(entries)
-	if err != nil {
-		return err
+	if j.err != nil {
+		encBufPool.Put(e)
+		return nil, j.err
 	}
-	if _, err := j.w.Write(b); err != nil {
-		return err
+	t := &ticket{e: e}
+	j.staged = append(j.staged, t)
+	return func() error { return j.wait(t) }, nil
+}
+
+// wait blocks until t's batch is durable. The first waiter whose batch
+// is still pending becomes the leader and flushes the whole group.
+func (j *fileJournal) wait(t *ticket) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for !t.done {
+		if j.leading {
+			j.flushed.Wait()
+			continue
+		}
+		j.flushGroupLocked()
 	}
-	if err := j.w.WriteByte('\n'); err != nil {
-		return err
+	return t.err
+}
+
+// flushGroupLocked takes the staged batches and writes+fsyncs them as
+// one group. Called with j.mu held; releases it during I/O.
+func (j *fileJournal) flushGroupLocked() {
+	group := j.staged
+	j.staged = nil
+	j.leading = true
+	f, w, syncEach := j.f, j.w, j.sync
+	j.mu.Unlock()
+
+	var err error
+	if f == nil {
+		err = ErrClosed
 	}
-	if err := j.w.Flush(); err != nil {
-		return err
-	}
-	if j.sync {
-		if err := j.f.Sync(); err != nil {
-			return err
+	for _, t := range group {
+		if err == nil {
+			_, err = w.Write(t.e.buf.Bytes())
 		}
 	}
-	return nil
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil && syncEach {
+		err = f.Sync()
+	}
+
+	j.mu.Lock()
+	for _, t := range group {
+		t.done = true
+		t.err = err
+		encBufPool.Put(t.e)
+		t.e = nil
+	}
+	if err != nil && j.err == nil {
+		j.err = err
+	}
+	j.leading = false
+	j.flushed.Broadcast()
 }
 
 func (j *fileJournal) Replay(apply func(Entry) error) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	for j.leading {
+		j.flushed.Wait()
+	}
 	if j.f == nil {
 		return ErrClosed
 	}
@@ -134,12 +245,20 @@ func (j *fileJournal) Replay(apply func(Entry) error) error {
 func (j *fileJournal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	for j.leading {
+		j.flushed.Wait()
+	}
 	if j.f == nil {
 		return nil
+	}
+	// Flush anything staged but not yet waited on.
+	for len(j.staged) > 0 {
+		j.flushGroupLocked()
 	}
 	err1 := j.w.Flush()
 	err2 := j.f.Close()
 	j.f = nil
+	j.flushed.Broadcast()
 	if err1 != nil {
 		return err1
 	}

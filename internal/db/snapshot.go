@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // Snapshot is a point-in-time copy of the whole store, suitable for
@@ -17,20 +18,36 @@ type Snapshot struct {
 
 // Snapshot captures the current state of every table.
 func (s *Store) Snapshot() (*Snapshot, error) {
+	if err := s.failedErr(); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
-	snap := &Snapshot{Seq: s.seq, Tables: make(map[string]map[string][]byte, len(s.tables))}
-	for name, t := range s.tables {
-		rows := make(map[string][]byte, len(t.rows))
-		for k, v := range t.rows {
-			cp := make([]byte, len(v))
-			copy(cp, v)
-			rows[k] = cp
+	// Lock every table's stripes (tables in sorted order, stripes in
+	// index order — the same global order commits use) so the copy is
+	// one consistent cross-table cut, then release as we go.
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.tables[n].lockAllStripes()
+	}
+	snap := &Snapshot{Seq: s.seq.Load(), Tables: make(map[string]map[string][]byte, len(s.tables))}
+	for _, n := range names {
+		t := s.tables[n]
+		rows := make(map[string][]byte)
+		for i := range t.stripes {
+			for k, r := range t.stripes[i].rows {
+				rows[k] = cloneBytes(r.value)
+			}
 		}
-		snap.Tables[name] = rows
+		snap.Tables[n] = rows
+		t.unlockAllStripes()
 	}
 	return snap, nil
 }
@@ -91,13 +108,12 @@ func (s *Store) SaveSnapshotFile(path string) error {
 // holding writes made after the snapshot was taken. Journal entries with
 // Seq <= snapshot Seq are skipped (already reflected in the snapshot).
 func OpenFromSnapshot(sn *Snapshot, journal Journal) (*Store, error) {
-	s := &Store{tables: make(map[string]*table), journal: journal, seq: sn.Seq}
+	s := &Store{tables: make(map[string]*table), journal: journal}
+	s.seq.Store(sn.Seq)
 	for name, rows := range sn.Tables {
-		t := &table{name: name, rows: make(map[string][]byte, len(rows)), indexes: make(map[string]*index)}
+		t := newTable(name)
 		for k, v := range rows {
-			cp := make([]byte, len(v))
-			copy(cp, v)
-			t.rows[k] = cp
+			t.stripes[stripeFor(k)].rows[k] = &row{value: cloneBytes(v)}
 		}
 		s.tables[name] = t
 	}

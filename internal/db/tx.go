@@ -3,16 +3,25 @@ package db
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"time"
 )
 
-// Tx is a read-write transaction. Writes are buffered and become visible
-// (and durable, if the store has a journal) only at Commit. A Tx holds the
-// store's write lock for its whole lifetime: GridBank transactions are
-// short (a transfer touches two rows), so exclusivity is cheaper than
-// conflict detection and gives full serializability, which an accounting
-// system needs — the paper's fund locking (§3.4) is only sound if balance
-// check and debit are atomic.
+// Tx is a read-write transaction with optimistic concurrency control.
+// Writes are buffered and become visible (and durable, if the store has
+// a journal) only at Commit. A Tx holds no locks while it runs: reads
+// take the touched stripe's read lock only for the moment of the lookup
+// and are recorded in a read set. Commit locks the touched stripes (in
+// a global sorted order), revalidates every read against current state,
+// journals, applies, and releases. If a concurrent commit invalidated
+// any read, Commit fails with ErrConflict and the transaction's effects
+// are discarded — Update retries automatically, which restores the full
+// serializability an accounting system needs (the paper's §3.4 fund
+// locking is only sound if balance check and debit are atomic).
+//
+// Reads are repeatable: a key read twice returns the same value both
+// times, even if a concurrent transaction committed in between.
 type Tx struct {
 	s    *Store
 	done bool
@@ -20,6 +29,13 @@ type Tx struct {
 	ops []txOp
 	// overlay of staged state per table: key -> value (nil = deleted)
 	overlay map[string]map[string]*[]byte
+	// read set: key -> observed row pointer (nil = observed missing)
+	reads map[string]map[string]*row
+	// secondary-index reads to revalidate (phantom protection for
+	// uniqueness checks like accounts-by-certificate)
+	ixReads []ixRead
+	// whole-table scans: table -> version at scan time
+	scans map[string]uint64
 }
 
 type txOp struct {
@@ -29,40 +45,76 @@ type txOp struct {
 	value []byte
 }
 
+type ixRead struct {
+	table, index, key string
+	result            []string // raw store result, pre-overlay, sorted
+}
+
 // Begin starts a transaction. Callers must finish it with Commit or
-// Rollback; until then all other store access blocks.
+// Rollback. Transactions run lock-free; conflicting commits are detected
+// at Commit and reported as ErrConflict.
 func (s *Store) Begin() (*Tx, error) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if err := s.failedErr(); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
 		return nil, ErrClosed
 	}
 	return &Tx{s: s, overlay: make(map[string]map[string]*[]byte)}, nil
 }
 
 // Update runs fn inside a transaction, committing if it returns nil and
-// rolling back otherwise.
+// rolling back otherwise. Conflicts with concurrent transactions are
+// retried until the transaction commits or fails for a real reason, so
+// fn must be a pure function of the transaction (it may run more than
+// once).
 func (s *Store) Update(fn func(tx *Tx) error) error {
-	tx, err := s.Begin()
-	if err != nil {
-		return err
+	for attempt := 0; ; attempt++ {
+		tx, err := s.Begin()
+		if err != nil {
+			return err
+		}
+		err = fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Rollback()
+		}
+		if !errors.Is(err, ErrConflict) {
+			return err
+		}
+		// Contended: yield so the winning committer finishes, with a
+		// touch of backoff once the key is clearly hot.
+		if attempt < 8 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(time.Duration(attempt) * time.Microsecond)
+		}
 	}
-	if err := fn(tx); err != nil {
-		tx.Rollback()
-		return err
-	}
-	return tx.Commit()
 }
 
-func (tx *Tx) table(name string) (*table, error) {
-	t, ok := tx.s.tables[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+// recordRead notes that this transaction observed r (or a miss, r==nil)
+// under table/key. First observation wins: that is the value the
+// transaction's logic acted on.
+func (tx *Tx) recordRead(tableName, key string, r *row) {
+	if tx.reads == nil {
+		tx.reads = make(map[string]map[string]*row)
 	}
-	return t, nil
+	byKey, ok := tx.reads[tableName]
+	if !ok {
+		byKey = make(map[string]*row)
+		tx.reads[tableName] = byKey
+	}
+	if _, seen := byKey[key]; !seen {
+		byKey[key] = r
+	}
 }
 
 // Get reads a record, observing the transaction's own uncommitted writes.
+// The returned slice is a defensive copy.
 func (tx *Tx) Get(tableName, key string) ([]byte, error) {
 	if tx.done {
 		return nil, ErrTxDone
@@ -75,15 +127,31 @@ func (tx *Tx) Get(tableName, key string) ([]byte, error) {
 			return *vp, nil
 		}
 	}
-	t, err := tx.table(tableName)
+	// Repeatable read: once observed, a key keeps its first-seen value.
+	if byKey, ok := tx.reads[tableName]; ok {
+		if r, seen := byKey[key]; seen {
+			if r == nil {
+				return nil, fmt.Errorf("%w: %s/%s", ErrNoRecord, tableName, key)
+			}
+			return cloneBytes(r.value), nil
+		}
+	}
+	t, err := tx.s.table(tableName)
 	if err != nil {
 		return nil, err
 	}
-	v, ok := t.rows[key]
-	if !ok {
+	r := t.getRow(key)
+	tx.recordRead(tableName, key, r)
+	if r == nil {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNoRecord, tableName, key)
 	}
-	return v, nil
+	return cloneBytes(r.value), nil
+}
+
+func cloneBytes(b []byte) []byte {
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return cp
 }
 
 // Exists reports whether a record exists, observing uncommitted writes.
@@ -102,7 +170,7 @@ func (tx *Tx) stage(op Op, tableName, key string, value []byte) error {
 	if tx.done {
 		return ErrTxDone
 	}
-	if _, err := tx.table(tableName); err != nil {
+	if _, err := tx.s.table(tableName); err != nil {
 		return err
 	}
 	tx.ops = append(tx.ops, txOp{op: op, table: tableName, key: key, value: value})
@@ -150,75 +218,289 @@ func (tx *Tx) Delete(tableName, key string) error {
 	return tx.stage(OpDelete, tableName, key, nil)
 }
 
-// Commit journals and applies all staged writes atomically, then releases
-// the store.
+// footTable is one table in a commit's footprint: which stripes it
+// locks in which mode, and whether predicate protection is needed.
+type footTable struct {
+	t *table
+	// stripe modes: 0 untouched, 1 shared (validated read), 2 exclusive
+	// (written). A scanned table marks every untouched stripe shared.
+	modes [tableStripes]uint8
+	pred  bool
+}
+
+const (
+	stripeIdle = iota
+	stripeShared
+	stripeExcl
+)
+
+func (f *footTable) mark(key string, mode uint8) {
+	i := stripeFor(key)
+	if f.modes[i] < mode {
+		f.modes[i] = mode
+	}
+}
+
+// Commit validates the read set, journals and applies all staged writes
+// atomically, then releases the touched stripes. It returns ErrConflict
+// if a concurrent commit invalidated this transaction's reads.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
 	}
 	tx.done = true
-	defer tx.s.mu.Unlock()
 	s := tx.s
-	// Journal first (write-ahead): if the journal fails part-way the
-	// in-memory state is untouched and replay-on-restart is a prefix of
-	// the transaction, which the journal layer prevents from being
-	// applied by framing commit batches.
-	if s.journal != nil {
+
+	// Build the footprint: every stripe read or written, plus predicate
+	// and scan coverage.
+	foot := make(map[string]*footTable)
+	ft := func(name string) (*footTable, error) {
+		if f, ok := foot[name]; ok {
+			return f, nil
+		}
+		t, err := s.table(name)
+		if err != nil {
+			return nil, err
+		}
+		f := &footTable{t: t}
+		foot[name] = f
+		return f, nil
+	}
+	for _, op := range tx.ops {
+		f, err := ft(op.table)
+		if err != nil {
+			return err
+		}
+		f.mark(op.key, stripeExcl)
+	}
+	for name, byKey := range tx.reads {
+		f, err := ft(name)
+		if err != nil {
+			return err
+		}
+		for key := range byKey {
+			f.mark(key, stripeShared)
+		}
+	}
+	for _, ir := range tx.ixReads {
+		f, err := ft(ir.table)
+		if err != nil {
+			return err
+		}
+		f.pred = true
+	}
+	for name := range tx.scans {
+		f, err := ft(name)
+		if err != nil {
+			return err
+		}
+		for i := range f.modes {
+			if f.modes[i] == stripeIdle {
+				f.modes[i] = stripeShared
+			}
+		}
+	}
+	if len(foot) == 0 {
+		return nil // empty transaction
+	}
+	order := make([]string, 0, len(foot))
+	for n := range foot {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+
+	// Prepare the apply plan outside any lock: pre-compute each written
+	// row's index keys so the exclusive section never runs index
+	// functions (for the accounts table that would mean decoding JSON
+	// while holding the stripe).
+	plan := make([]preparedOp, len(tx.ops))
+	for i, op := range tx.ops {
+		t := foot[op.table].t
+		p := preparedOp{op: op.op, t: t, key: op.key}
+		if op.op == OpPut {
+			p.r = &row{value: op.value}
+			t.mu.RLock()
+			if len(t.indexes) > 0 {
+				p.r.ixKeys = make(map[string][]string, len(t.indexes))
+				for _, ix := range t.indexes {
+					p.r.ixKeys[ix.name] = ix.fn(op.key, op.value)
+				}
+			}
+			t.mu.RUnlock()
+		}
+		plan[i] = p
+	}
+
+	// The store may have closed since Begin; a commit must not outlive
+	// its journal. (Checked before locking — a Close racing past this
+	// point is caught by the journal's own closed check.)
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+
+	// Lock the footprint in global order: tables sorted by name; within
+	// a table the predicate mutex first, then stripes by index.
+	for _, n := range order {
+		f := foot[n]
+		if f.pred {
+			f.t.predMu.Lock()
+		}
+		for i, m := range f.modes {
+			switch m {
+			case stripeShared:
+				f.t.stripes[i].mu.RLock()
+			case stripeExcl:
+				f.t.stripes[i].mu.Lock()
+			}
+		}
+	}
+	unlock := func() {
+		for _, n := range order {
+			f := foot[n]
+			for i, m := range f.modes {
+				switch m {
+				case stripeShared:
+					f.t.stripes[i].mu.RUnlock()
+				case stripeExcl:
+					f.t.stripes[i].mu.Unlock()
+				}
+			}
+			if f.pred {
+				f.t.predMu.Unlock()
+			}
+		}
+	}
+
+	if !tx.validateLocked(foot) {
+		unlock()
+		return ErrConflict
+	}
+
+	// Journal first (write-ahead). With a group journal the batch is
+	// staged — its on-disk position fixed — before the in-memory apply,
+	// and the fsync wait happens after the locks are released so
+	// concurrent committers coalesce into one flush.
+	var wait func() error
+	if s.journal != nil && len(tx.ops) > 0 {
 		entries := make([]Entry, len(tx.ops))
 		for i, op := range tx.ops {
-			s.seq++
-			entries[i] = Entry{Seq: s.seq, Op: op.op, Table: op.table, Key: op.key, Value: op.value}
+			entries[i] = Entry{Seq: s.seq.Add(1), Op: op.op, Table: op.table, Key: op.key, Value: op.value}
 		}
-		if err := s.journal.AppendBatch(entries); err != nil {
+		if gj, ok := s.journal.(GroupJournal); ok {
+			w, err := gj.Stage(entries)
+			if err != nil {
+				unlock()
+				return fmt.Errorf("db: commit journal: %w", err)
+			}
+			wait = w
+		} else if err := s.journal.AppendBatch(entries); err != nil {
+			unlock()
 			return fmt.Errorf("db: commit journal: %w", err)
 		}
 	}
-	for _, op := range tx.ops {
-		t := s.tables[op.table]
-		switch op.op {
+
+	for _, p := range plan {
+		switch p.op {
 		case OpPut:
-			if old, ok := t.rows[op.key]; ok {
-				t.reindexRemove(op.key, old)
-			}
-			t.rows[op.key] = op.value
-			t.reindexAdd(op.key, op.value)
+			p.t.applyPut(p.key, p.r)
 		case OpDelete:
-			if old, ok := t.rows[op.key]; ok {
-				t.reindexRemove(op.key, old)
-				delete(t.rows, op.key)
-			}
+			p.t.applyDelete(p.key)
+		}
+	}
+	unlock()
+
+	if wait != nil {
+		if err := wait(); err != nil {
+			// The apply already happened: memory now runs ahead of a
+			// journal that could not persist the batch. Fail-stop the
+			// whole store so nothing serves or snapshots the divergence.
+			s.fail(err)
+			return fmt.Errorf("db: commit journal: %w", err)
 		}
 	}
 	return nil
 }
 
-// Rollback discards all staged writes and releases the store. Rollback
-// after Commit (or a second Rollback) is a no-op.
-func (tx *Tx) Rollback() {
-	if tx.done {
-		return
+type preparedOp struct {
+	op  Op
+	t   *table
+	key string
+	r   *row // nil for deletes
+}
+
+// validateLocked re-checks the read set against current state. Caller
+// holds every footprint stripe (and predMu where relevant).
+func (tx *Tx) validateLocked(foot map[string]*footTable) bool {
+	for name, byKey := range tx.reads {
+		t := foot[name].t
+		for key, seen := range byKey {
+			if t.stripes[stripeFor(key)].rows[key] != seen {
+				return false
+			}
+		}
 	}
+	for _, ir := range tx.ixReads {
+		now, err := foot[ir.table].t.lookupIndex(ir.index, ir.key)
+		if err != nil || len(now) != len(ir.result) {
+			return false
+		}
+		for i := range now {
+			if now[i] != ir.result[i] {
+				return false
+			}
+		}
+	}
+	for name, version := range tx.scans {
+		if foot[name].t.version.Load() != version {
+			return false
+		}
+	}
+	return true
+}
+
+// Rollback discards all staged writes. Rollback after Commit (or a
+// second Rollback) is a no-op.
+func (tx *Tx) Rollback() {
 	tx.done = true
-	tx.s.mu.Unlock()
 }
 
 // Lookup queries a secondary index inside the transaction. Staged writes
 // are visible: keys written in this transaction are matched by running the
-// index function over the overlay.
+// index function over the overlay. The raw index result joins the read
+// set — at commit the transaction holds the table's predicate mutex and
+// revalidates the lookup.
+//
+// Phantom-protection boundary: predMu serializes only commits that
+// themselves performed a Lookup on the table. Two racing uniqueness
+// checks (both Lookup-then-Insert, like CreateAccount) therefore
+// conflict correctly, but a plain writer that changes a key's index
+// membership WITHOUT looking it up is not excluded and could commit
+// between another transaction's validate and apply. Callers enforcing
+// index-based invariants must perform the Lookup inside every
+// transaction that adds membership for the guarded key — the natural
+// check-then-insert shape — as the accounts layer does.
 func (tx *Tx) Lookup(tableName, indexName, indexKey string) ([]string, error) {
 	if tx.done {
 		return nil, ErrTxDone
 	}
-	t, err := tx.table(tableName)
+	t, err := tx.s.table(tableName)
 	if err != nil {
 		return nil, err
 	}
-	ix, ok := t.indexes[indexName]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s.%s", ErrNoIndex, tableName, indexName)
+	raw, err := t.lookupIndex(indexName, indexKey)
+	if err != nil {
+		return nil, err
 	}
-	match := make(map[string]bool)
-	for k := range ix.entries[indexKey] {
+	t.mu.RLock()
+	ix := t.indexes[indexName]
+	t.mu.RUnlock()
+	tx.ixReads = append(tx.ixReads, ixRead{table: tableName, index: indexName, key: indexKey, result: raw})
+
+	match := make(map[string]bool, len(raw))
+	for _, k := range raw {
 		match[k] = true
 	}
 	if ov, ok := tx.overlay[tableName]; ok {
@@ -242,19 +524,36 @@ func (tx *Tx) Lookup(tableName, indexName, indexKey string) ([]string, error) {
 }
 
 // Scan iterates the table inside the transaction, observing staged writes,
-// in sorted key order.
+// in sorted key order. The whole-table read is validated at commit by the
+// table's version counter (with every stripe locked), so any concurrent
+// mutation of the table conflicts.
 func (tx *Tx) Scan(tableName string, visit func(key string, value []byte) bool) error {
 	if tx.done {
 		return ErrTxDone
 	}
-	t, err := tx.table(tableName)
+	t, err := tx.s.table(tableName)
 	if err != nil {
 		return err
 	}
+	t.lockAllStripes()
+	if tx.scans == nil {
+		tx.scans = make(map[string]uint64)
+	}
+	if _, seen := tx.scans[tableName]; !seen {
+		tx.scans[tableName] = t.version.Load()
+	}
+	snapshot := make(map[string][]byte)
+	for i := range t.stripes {
+		for k, r := range t.stripes[i].rows {
+			snapshot[k] = r.value
+		}
+	}
+	t.unlockAllStripes()
+
 	ov := tx.overlay[tableName]
-	keys := make([]string, 0, len(t.rows)+len(ov))
-	seen := make(map[string]bool, len(t.rows)+len(ov))
-	for k := range t.rows {
+	keys := make([]string, 0, len(snapshot)+len(ov))
+	seen := make(map[string]bool, len(snapshot)+len(ov))
+	for k := range snapshot {
 		if vp, staged := ov[k]; staged && vp == nil {
 			continue // deleted in tx
 		}
@@ -272,7 +571,7 @@ func (tx *Tx) Scan(tableName string, visit func(key string, value []byte) bool) 
 		if vp, staged := ov[k]; staged {
 			v = *vp
 		} else {
-			v = t.rows[k]
+			v = snapshot[k]
 		}
 		if !visit(k, v) {
 			break

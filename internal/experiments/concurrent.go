@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/currency"
+	"gridbank/internal/db"
+)
+
+// The concurrent-load experiment drives M goroutine consumers against
+// one bank ledger and reports sustained transfers/sec, across journal
+// durability modes. It quantifies the §5.1 storage hot path under the
+// ROADMAP's target workload — many concurrent clients — and is the
+// regression harness for the store's group-commit journal and striped
+// optimistic concurrency: fsync-per-commit throughput should grow with
+// concurrency (committers share flushes) instead of degrading.
+
+// Durability modes for the concurrent-load experiment.
+const (
+	DurVolatile = "volatile"  // no journal
+	DurFile     = "file"      // file journal, no fsync
+	DurFileSync = "file-sync" // file journal, fsync per commit group
+)
+
+// ConcurrentLoadConfig parameterizes RunConcurrentLoad.
+type ConcurrentLoadConfig struct {
+	// ConsumerCounts lists the concurrency levels to sweep (default
+	// 1, 4, 16).
+	ConsumerCounts []int
+	// TransfersPerConsumer is the work each consumer performs at each
+	// level (default 50).
+	TransfersPerConsumer int
+	// Durability lists journal modes to sweep (default volatile and
+	// file-sync).
+	Durability []string
+	// SharedRecipient directs every consumer's payments at a single
+	// provider account — the worst-case write hotspot — instead of
+	// disjoint per-consumer providers.
+	SharedRecipient bool
+	// Dir holds journal files; defaults to a fresh temp directory.
+	Dir string
+}
+
+// ConcurrentLoadPoint is one measured cell of the sweep.
+type ConcurrentLoadPoint struct {
+	Durability string        `json:"durability"`
+	Consumers  int           `json:"consumers"`
+	Transfers  int           `json:"transfers"`
+	Elapsed    time.Duration `json:"elapsed"`
+	PerSec     float64       `json:"per_sec"`
+}
+
+// ConcurrentLoadResult is the full sweep.
+type ConcurrentLoadResult struct {
+	SharedRecipient bool
+	Points          []ConcurrentLoadPoint
+}
+
+// RunConcurrentLoad measures ledger transfer throughput under
+// concurrent consumers for each durability mode. Money conservation is
+// checked after every cell; a violation fails the experiment.
+func RunConcurrentLoad(cfg ConcurrentLoadConfig) (*ConcurrentLoadResult, error) {
+	if len(cfg.ConsumerCounts) == 0 {
+		cfg.ConsumerCounts = []int{1, 4, 16}
+	}
+	if cfg.TransfersPerConsumer <= 0 {
+		cfg.TransfersPerConsumer = 50
+	}
+	if len(cfg.Durability) == 0 {
+		cfg.Durability = []string{DurVolatile, DurFileSync}
+	}
+	if cfg.Dir == "" {
+		dir, err := os.MkdirTemp("", "gridbank-conload")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.Dir = dir
+	}
+	res := &ConcurrentLoadResult{SharedRecipient: cfg.SharedRecipient}
+	for _, mode := range cfg.Durability {
+		for i, consumers := range cfg.ConsumerCounts {
+			pt, err := runConcurrentCell(cfg, mode, consumers,
+				filepath.Join(cfg.Dir, fmt.Sprintf("%s-%d.wal", mode, i)))
+			if err != nil {
+				return nil, fmt.Errorf("conload %s/%d: %w", mode, consumers, err)
+			}
+			res.Points = append(res.Points, *pt)
+		}
+	}
+	return res, nil
+}
+
+func openLoadStore(mode, path string) (*db.Store, error) {
+	switch mode {
+	case DurVolatile:
+		return db.Open(nil)
+	case DurFile, DurFileSync:
+		j, err := db.OpenFileJournal(path, mode == DurFileSync)
+		if err != nil {
+			return nil, err
+		}
+		return db.Open(j)
+	default:
+		return nil, fmt.Errorf("unknown durability mode %q", mode)
+	}
+}
+
+func runConcurrentCell(cfg ConcurrentLoadConfig, mode string, consumers int, walPath string) (*ConcurrentLoadPoint, error) {
+	store, err := openLoadStore(mode, walPath)
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+	mgr, err := accounts.NewManager(store, accounts.Config{})
+	if err != nil {
+		return nil, err
+	}
+	admin := mgr.Admin()
+
+	// One funded account per consumer, plus one provider each (or one
+	// shared provider in hotspot mode).
+	payers := make([]accounts.ID, consumers)
+	payees := make([]accounts.ID, consumers)
+	var shared accounts.ID
+	if cfg.SharedRecipient {
+		a, err := mgr.CreateAccount("CN=provider", "", "")
+		if err != nil {
+			return nil, err
+		}
+		shared = a.AccountID
+	}
+	for i := 0; i < consumers; i++ {
+		payer, err := mgr.CreateAccount(fmt.Sprintf("CN=consumer%d", i), "", "")
+		if err != nil {
+			return nil, err
+		}
+		if err := admin.Deposit(payer.AccountID, currency.FromG(1_000_000)); err != nil {
+			return nil, err
+		}
+		payers[i] = payer.AccountID
+		if cfg.SharedRecipient {
+			payees[i] = shared
+			continue
+		}
+		payee, err := mgr.CreateAccount(fmt.Sprintf("CN=provider%d", i), "", "")
+		if err != nil {
+			return nil, err
+		}
+		payees[i] = payee.AccountID
+	}
+	before, err := mgr.TotalBalance()
+	if err != nil {
+		return nil, err
+	}
+
+	errs := make([]error, consumers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < consumers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; n < cfg.TransfersPerConsumer; n++ {
+				if _, err := mgr.Transfer(payers[i], payees[i], currency.FromMicro(1), accounts.TransferOptions{}); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	after, err := mgr.TotalBalance()
+	if err != nil {
+		return nil, err
+	}
+	if before != after {
+		return nil, fmt.Errorf("conservation violated: %s before, %s after", before, after)
+	}
+	total := consumers * cfg.TransfersPerConsumer
+	return &ConcurrentLoadPoint{
+		Durability: mode,
+		Consumers:  consumers,
+		Transfers:  total,
+		Elapsed:    elapsed,
+		PerSec:     float64(total) / elapsed.Seconds(),
+	}, nil
+}
+
+// WriteConcurrentLoad renders the sweep.
+func WriteConcurrentLoad(w io.Writer, r *ConcurrentLoadResult) {
+	target := "disjoint providers"
+	if r.SharedRecipient {
+		target = "one shared provider"
+	}
+	fmt.Fprintf(w, "Concurrent transfer load (%s):\n\n", target)
+	t := &Table{Header: []string{"durability", "consumers", "transfers", "elapsed", "transfers/sec"}}
+	for _, p := range r.Points {
+		t.Add(p.Durability, p.Consumers, p.Transfers, p.Elapsed.Round(time.Millisecond), fmt.Sprintf("%.0f", p.PerSec))
+	}
+	t.Write(w)
+}

@@ -349,3 +349,50 @@ func TestPricingSupplyDemand(t *testing.T) {
 		t.Error("report rendering broken")
 	}
 }
+
+func TestConcurrentLoad(t *testing.T) {
+	r, err := RunConcurrentLoad(ConcurrentLoadConfig{
+		ConsumerCounts:       []int{1, 8},
+		TransfersPerConsumer: 20,
+		Durability:           []string{DurVolatile, DurFile, DurFileSync},
+		Dir:                  t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 6 {
+		t.Fatalf("got %d points, want 6", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.Transfers != p.Consumers*20 {
+			t.Fatalf("%s/%d: %d transfers", p.Durability, p.Consumers, p.Transfers)
+		}
+		if p.PerSec <= 0 {
+			t.Fatalf("%s/%d: nonpositive throughput", p.Durability, p.Consumers)
+		}
+	}
+	var buf bytes.Buffer
+	WriteConcurrentLoad(&buf, r)
+	if !strings.Contains(buf.String(), "file-sync") {
+		t.Error("report rendering broken")
+	}
+}
+
+func TestConcurrentLoadSharedRecipient(t *testing.T) {
+	// The hotspot mode: every consumer pays the same provider account.
+	// Conservation is checked inside the run; this exercises the
+	// store's conflict-retry path under real contention.
+	r, err := RunConcurrentLoad(ConcurrentLoadConfig{
+		ConsumerCounts:       []int{8},
+		TransfersPerConsumer: 25,
+		Durability:           []string{DurVolatile},
+		SharedRecipient:      true,
+		Dir:                  t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Points[0].Transfers; got != 200 {
+		t.Fatalf("transfers = %d, want 200", got)
+	}
+}

@@ -1,0 +1,17 @@
+// Package strhash provides the allocation-free string hash shared by
+// the storage engine's row striping and the bank core's keyed locks.
+package strhash
+
+// FNV32a is the 32-bit FNV-1a hash of s.
+func FNV32a(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
