@@ -138,6 +138,14 @@ func registry() []experiment {
 			experiments.WriteConcurrentLoad(out, r)
 			return nil
 		}},
+		{"replicas", "WAL-shipping read replicas: readers x replica count", func() error {
+			r, err := experiments.RunReplicas(experiments.ReplicasConfig{})
+			if err != nil {
+				return err
+			}
+			experiments.WriteReplicas(out, r)
+			return nil
+		}},
 	}
 }
 

@@ -7,13 +7,27 @@
 //
 //	gridbankd -data /var/lib/gridbank -vo VO-A -listen :7776
 //
-// Subsequent starts reuse the CA, identities and ledger.
+// Subsequent starts reuse the CA, identities and ledger. Each start
+// also writes a ledger checkpoint, so the next restart replays only the
+// journal tail written after it (disable with -checkpoint=false).
 //
 // To enrol a user, issue a certificate with:
 //
 //	gridbankd -data /var/lib/gridbank -issue alice
 //
 // which writes alice.crt/alice.key for use with the gridbank CLI.
+//
+// Replication: a primary exposes its commit stream with -publish, and a
+// read replica mirrors it with -replica-of, serving the query subset of
+// the API (mutations redirect to the primary named by -primary):
+//
+//	gridbankd -data /var/lib/gridbank -listen :7776 -publish :7777
+//	gridbankd -data /var/lib/gridbank-r1 -replica-of primary:7777 \
+//	    -primary primary:7776 -listen :7778
+//
+// The replica's data directory must be seeded with the VO's CA files
+// (ca.crt/ca.key from the primary's directory) so its identity chains
+// to the same trust root.
 package main
 
 import (
@@ -27,24 +41,35 @@ import (
 	"gridbank/internal/core"
 	"gridbank/internal/db"
 	"gridbank/internal/pki"
+	"gridbank/internal/replica"
 )
 
 func main() {
 	var (
-		dataDir = flag.String("data", "gridbank-data", "data directory (keys, CA, ledger journal)")
-		vo      = flag.String("vo", "VO-A", "virtual organization name (used at bootstrap)")
-		branch  = flag.String("branch", "0001", "four-digit branch number")
-		listen  = flag.String("listen", "127.0.0.1:7776", "listen address")
-		issue   = flag.String("issue", "", "issue a user certificate with this common name and exit")
-		syncWAL = flag.Bool("sync", true, "fsync the ledger journal on every commit")
+		dataDir    = flag.String("data", "gridbank-data", "data directory (keys, CA, ledger journal)")
+		vo         = flag.String("vo", "VO-A", "virtual organization name (used at bootstrap)")
+		branch     = flag.String("branch", "0001", "four-digit branch number")
+		listen     = flag.String("listen", "127.0.0.1:7776", "listen address")
+		issue      = flag.String("issue", "", "issue a user certificate with this common name and exit")
+		syncWAL    = flag.Bool("sync", true, "fsync the ledger journal on every commit")
+		checkpoint = flag.Bool("checkpoint", true, "checkpoint the ledger at startup (restart replays only the tail)")
+		publish    = flag.String("publish", "", "serve the replication commit stream on this address (primary)")
+		replicaOf  = flag.String("replica-of", "", "run as a read replica of the publisher at this address")
+		primary    = flag.String("primary", "", "primary API address advertised in replica redirects")
 	)
 	flag.Parse()
-	if err := run(*dataDir, *vo, *branch, *listen, *issue, *syncWAL); err != nil {
+	if *replicaOf != "" {
+		if err := runReplica(*dataDir, *vo, *listen, *replicaOf, *primary); err != nil {
+			log.Fatalf("gridbankd: %v", err)
+		}
+		return
+	}
+	if err := run(*dataDir, *vo, *branch, *listen, *issue, *publish, *syncWAL, *checkpoint); err != nil {
 		log.Fatalf("gridbankd: %v", err)
 	}
 }
 
-func run(dataDir, vo, branch, listen, issue string, syncWAL bool) error {
+func run(dataDir, vo, branch, listen, issue, publish string, syncWAL, checkpoint bool) error {
 	ca, err := loadOrCreateCA(dataDir, vo)
 	if err != nil {
 		return err
@@ -73,9 +98,25 @@ func run(dataDir, vo, branch, listen, issue string, syncWAL bool) error {
 	if err != nil {
 		return err
 	}
-	store, err := db.Open(journal)
+	ckptPath := filepath.Join(dataDir, "ledger.ckpt")
+	store, err := db.OpenWithCheckpoint(ckptPath, journal)
 	if err != nil {
 		return err
+	}
+	if checkpoint {
+		// Quiescent window before serving: snapshot the whole state,
+		// then drop the journal it covers — startup cost and disk usage
+		// stay proportional to one run's writes, not the full history.
+		seq, err := store.Checkpoint(ckptPath)
+		if err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		if cj, ok := journal.(db.CompactableJournal); ok {
+			if err := cj.Compact(); err != nil {
+				return fmt.Errorf("compacting journal after checkpoint: %w", err)
+			}
+		}
+		log.Printf("gridbankd: checkpointed ledger at seq %d (%s), journal compacted", seq, ckptPath)
 	}
 	trust := pki.NewTrustStore(ca.Certificate())
 	bank, err := core.NewBank(store, core.BankConfig{
@@ -91,8 +132,66 @@ func run(dataDir, vo, branch, listen, issue string, syncWAL bool) error {
 	if err != nil {
 		return err
 	}
+	if publish != "" {
+		pub, err := replica.NewPublisher(replica.PublisherConfig{
+			Store:       store,
+			Identity:    bankID,
+			Trust:       trust,
+			PrimaryAddr: listen,
+		})
+		if err != nil {
+			return err
+		}
+		go func() {
+			if err := pub.ListenAndServe(publish); err != nil {
+				log.Printf("gridbankd: replication publisher: %v", err)
+			}
+		}()
+		log.Printf("gridbankd: publishing commit stream on %s", publish)
+	}
 	log.Printf("gridbankd: %s branch %s serving on %s (CA %s)",
 		bankID.SubjectName(), branch, listen, pki.SubjectNameOf(ca.Certificate()))
+	return srv.ListenAndServe(listen)
+}
+
+// runReplica runs the -replica-of mode: follow the publisher's commit
+// stream and serve the query API read-only.
+func runReplica(dataDir, vo, listen, publisherAddr, primaryAddr string) error {
+	ca, err := loadOrCreateCA(dataDir, vo)
+	if err != nil {
+		return err
+	}
+	id, err := loadOrIssue(dataDir, ca, "replica", vo, true)
+	if err != nil {
+		return err
+	}
+	trust := pki.NewTrustStore(ca.Certificate())
+	fol, err := replica.StartFollower(replica.FollowerConfig{
+		PublisherAddr: publisherAddr,
+		Identity:      id,
+		Trust:         trust,
+	})
+	if err != nil {
+		return err
+	}
+	defer fol.Close()
+	if err := fol.WaitReady(30 * time.Second); err != nil {
+		return err
+	}
+	rb, err := core.NewReadOnlyBank(fol, core.ReadOnlyBankConfig{
+		Identity:    id,
+		Trust:       trust,
+		PrimaryAddr: primaryAddr,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := core.NewReadOnlyServer(rb, id)
+	if err != nil {
+		return err
+	}
+	log.Printf("gridbankd: %s read replica of %s serving on %s (applied seq %d)",
+		id.SubjectName(), publisherAddr, listen, fol.AppliedSeq())
 	return srv.ListenAndServe(listen)
 }
 

@@ -67,7 +67,7 @@ func TestLoadOrIssueIdempotent(t *testing.T) {
 
 func TestIssueFlagWritesIdentity(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, "VO-T", "0001", "", "alice", false); err != nil {
+	if err := run(dir, "VO-T", "0001", "", "alice", "", false, false); err != nil {
 		t.Fatal(err)
 	}
 	id, err := pki.LoadIdentity(dir, "alice")

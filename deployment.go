@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"gridbank/internal/core"
 	"gridbank/internal/db"
 	"gridbank/internal/pki"
+	"gridbank/internal/replica"
 )
 
 // DeploymentConfig parameterizes NewDeployment.
@@ -44,6 +46,40 @@ type Deployment struct {
 
 	addr     string
 	serveErr chan error
+
+	publisher *replica.Publisher
+	pubAddr   string
+	pubErr    chan error
+	replicas  []*ReadReplica
+}
+
+// ReadReplica is one in-process WAL-shipped read replica of a
+// Deployment: a follower mirroring the primary's store plus a read-only
+// TLS server answering the query API from it.
+type ReadReplica struct {
+	Follower *replica.Follower
+	Server   *core.Server
+
+	addr      string
+	serveErr  chan error
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Addr returns the replica's query-API listen address.
+func (r *ReadReplica) Addr() string { return r.addr }
+
+// Close stops the replica's server and follower. Idempotent —
+// Deployment.Close also closes every replica it created.
+func (r *ReadReplica) Close() error {
+	r.closeOnce.Do(func() {
+		r.closeErr = r.Server.Close()
+		<-r.serveErr
+		if ferr := r.Follower.Close(); r.closeErr == nil {
+			r.closeErr = ferr
+		}
+	})
+	return r.closeErr
 }
 
 // NewDeployment stands up a VO bank and starts its TLS server.
@@ -134,9 +170,147 @@ func (d *Deployment) DialProxy(id *Identity, ttl time.Duration) (*Client, error)
 	return core.Dial(d.addr, proxy, d.Trust)
 }
 
-// Close stops the server.
+// EnableReplication starts the deployment's WAL-shipping publisher (on
+// an ephemeral loopback port) and returns its address. Idempotent.
+func (d *Deployment) EnableReplication() (string, error) {
+	if d.publisher != nil {
+		return d.pubAddr, nil
+	}
+	bankID := d.Bank.Identity()
+	pub, err := replica.NewPublisher(replica.PublisherConfig{
+		Store:       d.Bank.Manager().Store(),
+		Identity:    bankID,
+		Trust:       d.Trust,
+		PrimaryAddr: d.addr,
+		Heartbeat:   100 * time.Millisecond,
+	})
+	if err != nil {
+		return "", err
+	}
+	pub.Logf = func(string, ...any) {}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	d.publisher = pub
+	d.pubAddr = ln.Addr().String()
+	d.pubErr = make(chan error, 1)
+	go func() { d.pubErr <- pub.Serve(ln) }()
+	return d.pubAddr, nil
+}
+
+// AddReadReplica boots a read replica named name: it bootstraps from
+// the primary over the replication stream (starting the publisher if
+// needed), then serves the query subset of the API on its own loopback
+// address. Mutations sent to it redirect to the primary.
+func (d *Deployment) AddReadReplica(name string) (*ReadReplica, error) {
+	pubAddr, err := d.EnableReplication()
+	if err != nil {
+		return nil, err
+	}
+	id, err := d.CA.Issue(pki.IssueOptions{CommonName: name, Organization: voOf(d), IsServer: true})
+	if err != nil {
+		return nil, err
+	}
+	fol, err := replica.StartFollower(replica.FollowerConfig{
+		PublisherAddr: pubAddr,
+		Identity:      id,
+		Trust:         d.Trust,
+		RetryInterval: 100 * time.Millisecond,
+		Logf:          func(string, ...any) {},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := fol.WaitReady(10 * time.Second); err != nil {
+		fol.Close()
+		return nil, err
+	}
+	rb, err := core.NewReadOnlyBank(fol, core.ReadOnlyBankConfig{Identity: id, Trust: d.Trust})
+	if err != nil {
+		fol.Close()
+		return nil, err
+	}
+	srv, err := core.NewReadOnlyServer(rb, id)
+	if err != nil {
+		fol.Close()
+		return nil, err
+	}
+	srv.Logf = func(string, ...any) {}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fol.Close()
+		return nil, err
+	}
+	r := &ReadReplica{
+		Follower: fol,
+		Server:   srv,
+		addr:     ln.Addr().String(),
+		serveErr: make(chan error, 1),
+	}
+	go func() { r.serveErr <- srv.Serve(ln) }()
+	d.replicas = append(d.replicas, r)
+	return r, nil
+}
+
+// Replicas returns the deployment's read replicas, in creation order.
+func (d *Deployment) Replicas() []*ReadReplica { return d.replicas }
+
+// SyncReplicas blocks until every replica has applied the primary's
+// current sequence — the barrier examples and tests use between a write
+// and a replica read.
+func (d *Deployment) SyncReplicas(timeout time.Duration) error {
+	seq := d.Bank.Manager().Store().CurrentSeq()
+	for _, r := range d.replicas {
+		if err := r.Follower.WaitForSeq(seq, timeout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DialRouted connects a read-routing client authenticated as id: reads
+// spread over every replica within opts' staleness bound, mutations and
+// stale-replica fallbacks go to the primary.
+func (d *Deployment) DialRouted(id *Identity, opts core.RouteOptions) (*core.RoutedClient, error) {
+	primary, err := core.Dial(d.addr, id, d.Trust)
+	if err != nil {
+		return nil, err
+	}
+	var reps []*Client
+	for _, r := range d.replicas {
+		c, err := core.Dial(r.Addr(), id, d.Trust)
+		if err != nil {
+			primary.Close()
+			for _, rc := range reps {
+				rc.Close()
+			}
+			return nil, err
+		}
+		reps = append(reps, c)
+	}
+	return core.NewRoutedClient(primary, reps, opts)
+}
+
+// Close stops the replicas, the publisher, then the server.
 func (d *Deployment) Close() error {
-	err := d.Server.Close()
+	var firstErr error
+	for _, r := range d.replicas {
+		if err := r.Close(); firstErr == nil {
+			firstErr = err
+		}
+	}
+	d.replicas = nil
+	if d.publisher != nil {
+		if err := d.publisher.Close(); firstErr == nil {
+			firstErr = err
+		}
+		<-d.pubErr
+		d.publisher = nil
+	}
+	if err := d.Server.Close(); firstErr == nil {
+		firstErr = err
+	}
 	<-d.serveErr
-	return err
+	return firstErr
 }

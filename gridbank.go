@@ -43,6 +43,7 @@ import (
 	"gridbank/internal/meter"
 	"gridbank/internal/payment"
 	"gridbank/internal/pki"
+	"gridbank/internal/replica"
 	"gridbank/internal/rur"
 	"gridbank/internal/trade"
 )
@@ -144,6 +145,9 @@ var (
 	MemoryStore = db.MustOpenMemory
 	// OpenFileJournal opens a durable newline-JSON journal file.
 	OpenFileJournal = db.OpenFileJournal
+	// OpenStoreWithCheckpoint restores from a checkpoint file and
+	// replays only the journal tail written after it.
+	OpenStoreWithCheckpoint = db.OpenWithCheckpoint
 )
 
 // --- The bank ----------------------------------------------------------------
@@ -184,6 +188,62 @@ const (
 	CodeDuplicate    = core.CodeDuplicate
 	CodeExpired      = core.CodeExpired
 	CodeConflict     = core.CodeConflict
+	CodeReadOnly     = core.CodeReadOnly
+	CodeUnavailable  = core.CodeUnavailable
+)
+
+// --- Read replication --------------------------------------------------------
+
+// ReplicaPublisher serves a primary's commit stream (snapshot bootstrap
+// + WAL shipping) to followers over mutual TLS.
+type ReplicaPublisher = replica.Publisher
+
+// ReplicaPublisherConfig configures NewReplicaPublisher.
+type ReplicaPublisherConfig = replica.PublisherConfig
+
+// ReplicaFollower mirrors a primary's store from its commit stream,
+// tracking applied sequence, lag and staleness, re-bootstrapping on
+// stream gaps.
+type ReplicaFollower = replica.Follower
+
+// ReplicaFollowerConfig configures StartReplicaFollower.
+type ReplicaFollowerConfig = replica.FollowerConfig
+
+// ReadOnlyBank answers the query subset of the §5.2 API from a
+// follower's store and redirects mutations to the primary.
+type ReadOnlyBank = core.ReadOnlyBank
+
+// ReadOnlyBankConfig configures NewReadOnlyBank.
+type ReadOnlyBankConfig = core.ReadOnlyBankConfig
+
+// RoutedClient spreads query traffic across read replicas within a
+// max-staleness bound, sending mutations (and stale fallbacks) to the
+// primary.
+type RoutedClient = core.RoutedClient
+
+// RouteOptions tune a RoutedClient (staleness bound, probe interval).
+type RouteOptions = core.RouteOptions
+
+// ReplicaStatus is a server's replication role, position and staleness.
+type ReplicaStatus = core.ReplicaStatusResponse
+
+// Replication roles reported by ReplicaStatus.
+const (
+	RolePrimary = core.RolePrimary
+	RoleReplica = core.RoleReplica
+)
+
+// Replication constructors.
+var (
+	NewReplicaPublisher  = replica.NewPublisher
+	StartReplicaFollower = replica.StartFollower
+	NewReadOnlyBank      = core.NewReadOnlyBank
+	// NewReadOnlyServer serves a ReadOnlyBank over the same TLS gate as
+	// a primary Server.
+	NewReadOnlyServer = core.NewReadOnlyServer
+	// NewRoutedClient builds a read-routing client over a primary and
+	// replica connections.
+	NewRoutedClient = core.NewRoutedClient
 )
 
 // --- Payment instruments -------------------------------------------------------

@@ -143,3 +143,75 @@ func TestDeploymentValidation(t *testing.T) {
 		t.Error("deployment without VO accepted")
 	}
 }
+
+func TestDeploymentReadReplicas(t *testing.T) {
+	dep, err := gridbank.NewDeployment(gridbank.DeploymentConfig{VO: "VO-Rep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	if _, err := dep.AddReadReplica("replica-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.AddReadReplica("replica-2"); err != nil {
+		t.Fatal(err)
+	}
+
+	alice, err := dep.NewUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := dep.Dial(alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	acct, err := ac.CreateAccount("VO-Rep", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := dep.Dial(dep.Banker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	if err := bc.AdminDeposit(acct.AccountID, gridbank.G(75)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.SyncReplicas(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Routed reads see the replicated balance; mutations still work
+	// (routed to the primary) through the same handle.
+	routed, err := dep.DialRouted(alice, gridbank.RouteOptions{MaxStaleness: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer routed.Close()
+	a, err := routed.AccountDetails(acct.AccountID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvailableBalance != gridbank.G(75) {
+		t.Fatalf("routed balance = %v", a.AvailableBalance)
+	}
+
+	// Direct mutation on a replica redirects to the primary.
+	rc, err := gridbank.Dial(dep.Replicas()[0].Addr(), alice, dep.Trust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	_, err = rc.DirectTransfer(acct.AccountID, acct.AccountID, gridbank.G(1), "")
+	if !gridbank.IsRemoteCode(err, gridbank.CodeReadOnly) {
+		t.Fatalf("replica mutation = %v, want %s", err, gridbank.CodeReadOnly)
+	}
+	status, err := rc.ReplicaStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Role != gridbank.RoleReplica || status.PrimaryAddr != dep.Addr() {
+		t.Fatalf("replica status = %+v", status)
+	}
+}

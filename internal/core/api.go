@@ -43,6 +43,8 @@ const (
 	OpAdminCancel      = "Admin.CancelTransfer"    // §5.2.1 Cancel Transfer
 	OpAdminClose       = "Admin.CloseAccount"      // §5.2.1 Close account
 	OpAdminAccounts    = "Admin.ListAccounts"      // operational visibility
+
+	OpReplicaStatus = "Replica.Status" // replication role, position and staleness
 )
 
 // Stable error codes returned in wire.Response.Code.
@@ -56,6 +58,12 @@ const (
 	CodeExpired      = "expired"
 	CodeConflict     = "conflict"
 	CodeInternal     = "internal"
+	// CodeReadOnly marks a mutation sent to a read replica; the error
+	// message names the primary's address to retry against.
+	CodeReadOnly = "read_only"
+	// CodeUnavailable marks a replica that cannot serve yet (still
+	// bootstrapping from the primary).
+	CodeUnavailable = "unavailable"
 )
 
 // CreateAccountRequest opens an account for the authenticated caller. The
@@ -237,4 +245,27 @@ type AdminCloseRequest struct {
 // AdminAccountsResponse lists all accounts.
 type AdminAccountsResponse struct {
 	Accounts []accounts.Account `json:"accounts"`
+}
+
+// Replica roles reported by Replica.Status.
+const (
+	RolePrimary = "primary"
+	RoleReplica = "replica"
+)
+
+// ReplicaStatusResponse reports a server's replication position. A
+// primary is its own head (zero staleness); a replica reports how far
+// its applied sequence trails the primary's and how long ago it was
+// last observed caught up — the number read-routing clients compare
+// against their max-staleness bound.
+type ReplicaStatusResponse struct {
+	Role       string `json:"role"` // RolePrimary or RoleReplica
+	AppliedSeq uint64 `json:"applied_seq"`
+	HeadSeq    uint64 `json:"head_seq"`
+	// StaleFor is how long the server's state may trail the primary
+	// (zero on the primary; bounded by the replication heartbeat on a
+	// healthy replica).
+	StaleFor time.Duration `json:"stale_for"`
+	// PrimaryAddr is where mutations must go (replicas only).
+	PrimaryAddr string `json:"primary_addr,omitempty"`
 }

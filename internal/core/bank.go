@@ -136,6 +136,14 @@ func (b *Bank) Trust() *pki.TrustStore { return b.ts }
 // simulations, wall clock otherwise).
 func (b *Bank) Now() time.Time { return b.now() }
 
+// ReplicaStatus reports this server's replication role: a primary is
+// its own head, with zero staleness. Answering the same op as replicas
+// lets read-routing clients treat every endpoint uniformly.
+func (b *Bank) ReplicaStatus() (*ReplicaStatusResponse, error) {
+	seq := b.mgr.Store().CurrentSeq()
+	return &ReplicaStatusResponse{Role: RolePrimary, AppliedSeq: seq, HeadSeq: seq}, nil
+}
+
 func (b *Bank) addAdmin(subject string) error {
 	if subject == "" {
 		return errors.New("core: empty admin subject")

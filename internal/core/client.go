@@ -146,6 +146,16 @@ func (c *Client) dropConnLocked() {
 // client side of the §3.2 payment-scheme extension point.
 func (c *Client) Call(op string, in, out any) error { return c.call(op, in, out) }
 
+// ReplicaStatus reports the server's replication role, position and
+// staleness (zero staleness on a primary).
+func (c *Client) ReplicaStatus() (*ReplicaStatusResponse, error) {
+	var out ReplicaStatusResponse
+	if err := c.call(OpReplicaStatus, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Ping checks connectivity and returns the bank's subject name.
 func (c *Client) Ping() (string, error) {
 	var out map[string]string

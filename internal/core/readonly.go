@@ -1,0 +1,318 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/db"
+	"gridbank/internal/pki"
+)
+
+// Read-only mode errors.
+var (
+	// ErrReadOnly rejects mutations on a replica; the message carries
+	// the primary's address for the client to retry against.
+	ErrReadOnly = errors.New("core: read-only replica")
+	// ErrReplicaNotReady rejects queries before the replica's first
+	// bootstrap completes.
+	ErrReplicaNotReady = errors.New("core: replica not yet bootstrapped")
+)
+
+// ReplicaSource supplies a ReadOnlyBank with replicated state. It is
+// the follower half of internal/replica, seen through a narrow
+// interface so core stays independent of the replication transport
+// (tests substitute in-process sources).
+//
+// Store may return a different pointer over time — the follower swaps
+// its store wholesale on re-bootstrap — so it is fetched per use.
+type ReplicaSource interface {
+	// Store returns the current replicated store, or nil before the
+	// first bootstrap.
+	Store() *db.Store
+	// Progress reports applied/head sequences and how long the state
+	// may have trailed the primary.
+	Progress() (appliedSeq, headSeq uint64, staleFor time.Duration, err error)
+	// PrimaryAddr is the primary's client-facing address, for redirects.
+	PrimaryAddr() string
+}
+
+// ReadOnlyBankConfig configures a ReadOnlyBank.
+type ReadOnlyBankConfig struct {
+	// Identity is the replica server's signing/TLS identity. Required.
+	Identity *pki.Identity
+	// Trust is the CA set for verifying clients. Required.
+	Trust *pki.TrustStore
+	// PrimaryAddr overrides the source's advertised primary address in
+	// redirect errors (optional).
+	PrimaryAddr string
+}
+
+// roState pairs a replicated store with the accounts manager built over
+// it. Rebuilt whenever the source swaps stores (re-bootstrap): the
+// manager's secondary index and schema live per store.
+type roState struct {
+	store *db.Store
+	mgr   *accounts.Manager
+}
+
+// ReadOnlyBank answers the query subset of the §5.2 API — balance
+// checks, account details, statements, account listing, authorization
+// lookups — from a replica's store, and rejects every mutation with a
+// redirect-to-primary error. It implements the same API surface the
+// Server dispatches to, so a replica is wire-compatible with a primary
+// for reads.
+type ReadOnlyBank struct {
+	src ReplicaSource
+	id  *pki.Identity
+	ts  *pki.TrustStore
+	cfg ReadOnlyBankConfig
+
+	state atomic.Pointer[roState]
+	mgrMu sync.Mutex // serializes manager construction on store swap
+}
+
+// NewReadOnlyBank assembles a read-only bank over a replica source.
+func NewReadOnlyBank(src ReplicaSource, cfg ReadOnlyBankConfig) (*ReadOnlyBank, error) {
+	if src == nil {
+		return nil, errors.New("core: read-only bank requires a replica source")
+	}
+	if cfg.Identity == nil || cfg.Trust == nil {
+		return nil, errors.New("core: read-only bank requires an identity and a trust store")
+	}
+	return &ReadOnlyBank{src: src, id: cfg.Identity, ts: cfg.Trust, cfg: cfg}, nil
+}
+
+// Identity returns the replica's identity.
+func (b *ReadOnlyBank) Identity() *pki.Identity { return b.id }
+
+// Trust returns the replica's trust store.
+func (b *ReadOnlyBank) Trust() *pki.TrustStore { return b.ts }
+
+// manager returns an accounts manager over the source's current store,
+// rebuilding it (schema handles + by-certificate index) when the store
+// was swapped by a re-bootstrap.
+func (b *ReadOnlyBank) manager() (*accounts.Manager, error) {
+	st := b.src.Store()
+	if st == nil {
+		return nil, ErrReplicaNotReady
+	}
+	if cur := b.state.Load(); cur != nil && cur.store == st {
+		return cur.mgr, nil
+	}
+	b.mgrMu.Lock()
+	defer b.mgrMu.Unlock()
+	if cur := b.state.Load(); cur != nil && cur.store == st {
+		return cur.mgr, nil
+	}
+	mgr, err := accounts.NewManager(st, accounts.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("core: replica manager: %w", err)
+	}
+	b.state.Store(&roState{store: st, mgr: mgr})
+	return mgr, nil
+}
+
+// primaryAddr resolves the redirect target.
+func (b *ReadOnlyBank) primaryAddr() string {
+	if b.cfg.PrimaryAddr != "" {
+		return b.cfg.PrimaryAddr
+	}
+	return b.src.PrimaryAddr()
+}
+
+// redirect is the uniform mutation rejection.
+func (b *ReadOnlyBank) redirect(op string) error {
+	if addr := b.primaryAddr(); addr != "" {
+		return fmt.Errorf("%w: send %s to the primary at %s", ErrReadOnly, op, addr)
+	}
+	return fmt.Errorf("%w: %s requires the primary", ErrReadOnly, op)
+}
+
+// IsAdmin reports whether the subject is in the replicated admin table.
+func (b *ReadOnlyBank) IsAdmin(subject string) bool {
+	st := b.src.Store()
+	if st == nil {
+		return false
+	}
+	_, err := st.Get(tableAdmins, subject)
+	return err == nil
+}
+
+// Authorize implements the §3.2 connection gate against replicated
+// state: the same accounts and administrator tables the primary checks,
+// shipped over the WAL.
+func (b *ReadOnlyBank) Authorize(subject string) error {
+	if b.IsAdmin(subject) {
+		return nil
+	}
+	mgr, err := b.manager()
+	if err != nil {
+		return err
+	}
+	if _, err := mgr.FindByCertificate(subject, ""); err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrUnknownSubject, subject)
+}
+
+// requireOwner mirrors the primary's ownership check.
+func (b *ReadOnlyBank) requireOwner(caller string, id accounts.ID) (*accounts.Account, error) {
+	mgr, err := b.manager()
+	if err != nil {
+		return nil, err
+	}
+	a, err := mgr.Details(id)
+	if err != nil {
+		return nil, err
+	}
+	if a.CertificateName != caller && !b.IsAdmin(caller) {
+		return nil, fmt.Errorf("%w: %s does not own %s", ErrDenied, caller, id)
+	}
+	return a, nil
+}
+
+// --- Query subset (served locally) -----------------------------------------
+
+// AccountDetails implements §5.2 Request Account Details / Check
+// Balance from the replica.
+func (b *ReadOnlyBank) AccountDetails(caller string, req *AccountDetailsRequest) (*AccountDetailsResponse, error) {
+	a, err := b.requireOwner(caller, req.AccountID)
+	if err != nil {
+		return nil, err
+	}
+	return &AccountDetailsResponse{Account: *a}, nil
+}
+
+// AccountStatement implements §5.2 Request Account Statement from the
+// replica.
+func (b *ReadOnlyBank) AccountStatement(caller string, req *AccountStatementRequest) (*AccountStatementResponse, error) {
+	if _, err := b.requireOwner(caller, req.AccountID); err != nil {
+		return nil, err
+	}
+	mgr, err := b.manager()
+	if err != nil {
+		return nil, err
+	}
+	st, err := mgr.Statement(req.AccountID, req.Start, req.End)
+	if err != nil {
+		return nil, err
+	}
+	return &AccountStatementResponse{Statement: *st}, nil
+}
+
+// AdminListAccounts lists all accounts from the replica (§5.2.1 is a
+// read here; the paper's admin mutations stay on the primary).
+func (b *ReadOnlyBank) AdminListAccounts(caller string) (*AdminAccountsResponse, error) {
+	if !b.IsAdmin(caller) {
+		return nil, fmt.Errorf("%w: %s is not an administrator", ErrDenied, caller)
+	}
+	mgr, err := b.manager()
+	if err != nil {
+		return nil, err
+	}
+	accts, err := mgr.Accounts()
+	if err != nil {
+		return nil, err
+	}
+	return &AdminAccountsResponse{Accounts: accts}, nil
+}
+
+// ReplicaStatus reports the replica's position and staleness.
+func (b *ReadOnlyBank) ReplicaStatus() (*ReplicaStatusResponse, error) {
+	applied, head, staleFor, err := b.src.Progress()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrReplicaNotReady, err)
+	}
+	return &ReplicaStatusResponse{
+		Role:        RoleReplica,
+		AppliedSeq:  applied,
+		HeadSeq:     head,
+		StaleFor:    staleFor,
+		PrimaryAddr: b.primaryAddr(),
+	}, nil
+}
+
+// --- Mutations (redirected) -------------------------------------------------
+
+// CreateAccount redirects to the primary.
+func (b *ReadOnlyBank) CreateAccount(string, *CreateAccountRequest) (*CreateAccountResponse, error) {
+	return nil, b.redirect(OpCreateAccount)
+}
+
+// UpdateAccount redirects to the primary.
+func (b *ReadOnlyBank) UpdateAccount(string, *UpdateAccountRequest) (*AccountDetailsResponse, error) {
+	return nil, b.redirect(OpUpdateAccount)
+}
+
+// CheckFunds redirects to the primary: it locks funds (§3.4), which is
+// a mutation even though the paper files it under availability checks.
+func (b *ReadOnlyBank) CheckFunds(string, *CheckFundsRequest) (*ConfirmationResponse, error) {
+	return nil, b.redirect(OpCheckFunds)
+}
+
+// DirectTransfer redirects to the primary.
+func (b *ReadOnlyBank) DirectTransfer(string, *DirectTransferRequest) (*DirectTransferResponse, error) {
+	return nil, b.redirect(OpDirectTransfer)
+}
+
+// RequestCheque redirects to the primary.
+func (b *ReadOnlyBank) RequestCheque(string, *RequestChequeRequest) (*RequestChequeResponse, error) {
+	return nil, b.redirect(OpRequestCheque)
+}
+
+// RedeemCheque redirects to the primary.
+func (b *ReadOnlyBank) RedeemCheque(string, *RedeemChequeRequest) (*RedeemChequeResponse, error) {
+	return nil, b.redirect(OpRedeemCheque)
+}
+
+// RequestChain redirects to the primary.
+func (b *ReadOnlyBank) RequestChain(string, *RequestChainRequest) (*RequestChainResponse, error) {
+	return nil, b.redirect(OpRequestChain)
+}
+
+// RedeemChain redirects to the primary.
+func (b *ReadOnlyBank) RedeemChain(string, *RedeemChainRequest) (*RedeemChainResponse, error) {
+	return nil, b.redirect(OpRedeemChain)
+}
+
+// ReleaseCheque redirects to the primary.
+func (b *ReadOnlyBank) ReleaseCheque(string, *ReleaseRequest) (*ReleaseResponse, error) {
+	return nil, b.redirect(OpReleaseCheque)
+}
+
+// ReleaseChain redirects to the primary.
+func (b *ReadOnlyBank) ReleaseChain(string, *ReleaseRequest) (*ReleaseResponse, error) {
+	return nil, b.redirect(OpReleaseChain)
+}
+
+// AdminDeposit redirects to the primary.
+func (b *ReadOnlyBank) AdminDeposit(string, *AdminAmountRequest) (*ConfirmationResponse, error) {
+	return nil, b.redirect(OpAdminDeposit)
+}
+
+// AdminWithdraw redirects to the primary.
+func (b *ReadOnlyBank) AdminWithdraw(string, *AdminAmountRequest) (*ConfirmationResponse, error) {
+	return nil, b.redirect(OpAdminWithdraw)
+}
+
+// AdminChangeCreditLimit redirects to the primary.
+func (b *ReadOnlyBank) AdminChangeCreditLimit(string, *AdminAmountRequest) (*ConfirmationResponse, error) {
+	return nil, b.redirect(OpAdminCreditLimit)
+}
+
+// AdminCancelTransfer redirects to the primary.
+func (b *ReadOnlyBank) AdminCancelTransfer(string, *AdminCancelRequest) (*ConfirmationResponse, error) {
+	return nil, b.redirect(OpAdminCancel)
+}
+
+// AdminCloseAccount redirects to the primary.
+func (b *ReadOnlyBank) AdminCloseAccount(string, *AdminCloseRequest) (*ConfirmationResponse, error) {
+	return nil, b.redirect(OpAdminClose)
+}
+
+var _ API = (*ReadOnlyBank)(nil)
+var _ API = (*Bank)(nil)

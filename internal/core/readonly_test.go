@@ -1,0 +1,508 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/currency"
+	"gridbank/internal/db"
+	"gridbank/internal/pki"
+	"gridbank/internal/replica"
+)
+
+// staticSource serves a fixed store with configurable staleness — the
+// in-process stand-in for a replica follower.
+type staticSource struct {
+	store *db.Store
+	seq   uint64
+	stale time.Duration
+	addr  string
+}
+
+func (s *staticSource) Store() *db.Store { return s.store }
+func (s *staticSource) Progress() (uint64, uint64, time.Duration, error) {
+	if s.store == nil {
+		return 0, 0, 0, errors.New("not bootstrapped")
+	}
+	return s.seq, s.seq, s.stale, nil
+}
+func (s *staticSource) PrimaryAddr() string { return s.addr }
+
+// roFixture builds a primary bank with a funded account, then a
+// ReadOnlyBank over the very same store (zero replication lag).
+type roFixture struct {
+	bank  *Bank
+	ro    *ReadOnlyBank
+	owner *pki.Identity
+	acct  accounts.ID
+	admin string
+}
+
+func newROFixture(t *testing.T) *roFixture {
+	t.Helper()
+	ca, err := pki.NewCA("RO CA", "VO-RO", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bankID, err := ca.Issue(pki.IssueOptions{CommonName: "gridbank", Organization: "VO-RO", IsServer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := ca.Issue(pki.IssueOptions{CommonName: "alice", Organization: "VO-RO"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := pki.NewTrustStore(ca.Certificate())
+	const admin = "CN=ro-admin"
+	store := db.MustOpenMemory()
+	bank, err := NewBank(store, BankConfig{Identity: bankID, Trust: trust, Admins: []string{admin}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := bank.CreateAccount(owner.SubjectName(), &CreateAccountRequest{OrganizationName: "VO-RO"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bank.AdminDeposit(admin, &AdminAmountRequest{AccountID: resp.Account.AccountID, Amount: currency.FromG(100)}); err != nil {
+		t.Fatal(err)
+	}
+	src := &staticSource{store: store, seq: store.CurrentSeq(), addr: "primary.example:7776"}
+	ro, err := NewReadOnlyBank(src, ReadOnlyBankConfig{Identity: bankID, Trust: trust})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &roFixture{bank: bank, ro: ro, owner: owner, acct: resp.Account.AccountID, admin: admin}
+}
+
+func TestReadOnlyBankServesQuerySubset(t *testing.T) {
+	f := newROFixture(t)
+	subject := f.owner.SubjectName()
+
+	// The connection gate works against replicated state.
+	if err := f.ro.Authorize(subject); err != nil {
+		t.Fatalf("Authorize(owner) = %v", err)
+	}
+	if err := f.ro.Authorize("CN=stranger"); err == nil {
+		t.Fatal("Authorize(stranger) passed")
+	}
+
+	d, err := f.ro.AccountDetails(subject, &AccountDetailsRequest{AccountID: f.acct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Account.AvailableBalance != currency.FromG(100) {
+		t.Fatalf("replica balance = %v", d.Account.AvailableBalance)
+	}
+	// Ownership still enforced.
+	if _, err := f.ro.AccountDetails("CN=stranger", &AccountDetailsRequest{AccountID: f.acct}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("stranger read = %v, want ErrDenied", err)
+	}
+
+	st, err := f.ro.AccountStatement(subject, &AccountStatementRequest{
+		AccountID: f.acct,
+		Start:     time.Now().Add(-time.Hour),
+		End:       time.Now().Add(time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Statement.Transactions) == 0 {
+		t.Fatal("statement empty despite deposit")
+	}
+
+	// Admin read works; the admin table replicated.
+	if !f.ro.IsAdmin(f.admin) {
+		t.Fatal("replicated admin not recognized")
+	}
+	as, err := f.ro.AdminListAccounts(f.admin)
+	if err != nil || len(as.Accounts) != 1 {
+		t.Fatalf("AdminListAccounts = %v, %v", as, err)
+	}
+
+	status, err := f.ro.ReplicaStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Role != RoleReplica || status.PrimaryAddr != "primary.example:7776" {
+		t.Fatalf("status = %+v", status)
+	}
+}
+
+func TestReadOnlyBankRedirectsMutations(t *testing.T) {
+	f := newROFixture(t)
+	subject := f.owner.SubjectName()
+
+	mutations := map[string]func() error{
+		OpCreateAccount: func() error {
+			_, err := f.ro.CreateAccount(subject, &CreateAccountRequest{})
+			return err
+		},
+		OpUpdateAccount: func() error {
+			_, err := f.ro.UpdateAccount(subject, &UpdateAccountRequest{AccountID: f.acct, CertificateName: subject})
+			return err
+		},
+		OpCheckFunds: func() error {
+			_, err := f.ro.CheckFunds(subject, &CheckFundsRequest{AccountID: f.acct, Amount: currency.FromG(1)})
+			return err
+		},
+		OpDirectTransfer: func() error {
+			_, err := f.ro.DirectTransfer(subject, &DirectTransferRequest{FromAccountID: f.acct, ToAccountID: f.acct, Amount: currency.FromG(1)})
+			return err
+		},
+		OpRequestCheque: func() error {
+			_, err := f.ro.RequestCheque(subject, &RequestChequeRequest{AccountID: f.acct, Amount: currency.FromG(1), PayeeCert: "CN=x"})
+			return err
+		},
+		OpRedeemCheque: func() error {
+			_, err := f.ro.RedeemCheque(subject, &RedeemChequeRequest{})
+			return err
+		},
+		OpRequestChain: func() error {
+			_, err := f.ro.RequestChain(subject, &RequestChainRequest{AccountID: f.acct, PayeeCert: "CN=x", Length: 1, PerWord: currency.FromG(1)})
+			return err
+		},
+		OpRedeemChain: func() error {
+			_, err := f.ro.RedeemChain(subject, &RedeemChainRequest{})
+			return err
+		},
+		OpReleaseCheque: func() error {
+			_, err := f.ro.ReleaseCheque(subject, &ReleaseRequest{Serial: "s"})
+			return err
+		},
+		OpReleaseChain: func() error {
+			_, err := f.ro.ReleaseChain(subject, &ReleaseRequest{Serial: "s"})
+			return err
+		},
+		OpAdminDeposit: func() error {
+			_, err := f.ro.AdminDeposit(f.admin, &AdminAmountRequest{AccountID: f.acct, Amount: currency.FromG(1)})
+			return err
+		},
+		OpAdminWithdraw: func() error {
+			_, err := f.ro.AdminWithdraw(f.admin, &AdminAmountRequest{AccountID: f.acct, Amount: currency.FromG(1)})
+			return err
+		},
+		OpAdminCreditLimit: func() error {
+			_, err := f.ro.AdminChangeCreditLimit(f.admin, &AdminAmountRequest{AccountID: f.acct, Amount: currency.FromG(1)})
+			return err
+		},
+		OpAdminCancel: func() error {
+			_, err := f.ro.AdminCancelTransfer(f.admin, &AdminCancelRequest{TransactionID: 1})
+			return err
+		},
+		OpAdminClose: func() error {
+			_, err := f.ro.AdminCloseAccount(f.admin, &AdminCloseRequest{AccountID: f.acct})
+			return err
+		},
+	}
+	for op, fn := range mutations {
+		err := fn()
+		if !errors.Is(err, ErrReadOnly) {
+			t.Fatalf("%s on replica = %v, want ErrReadOnly", op, err)
+		}
+		if !strings.Contains(err.Error(), "primary.example:7776") {
+			t.Fatalf("%s redirect does not name the primary: %v", op, err)
+		}
+		if ErrorCode(err) != CodeReadOnly {
+			t.Fatalf("%s maps to code %q, want %q", op, ErrorCode(err), CodeReadOnly)
+		}
+	}
+}
+
+func TestReadOnlyBankNotReady(t *testing.T) {
+	ca, err := pki.NewCA("RO CA", "VO-RO", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := ca.Issue(pki.IssueOptions{CommonName: "replica", Organization: "VO-RO", IsServer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := NewReadOnlyBank(&staticSource{}, ReadOnlyBankConfig{Identity: id, Trust: pki.NewTrustStore(ca.Certificate())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ro.AccountDetails("CN=x", &AccountDetailsRequest{AccountID: "01-0001-00000001"})
+	if !errors.Is(err, ErrReplicaNotReady) {
+		t.Fatalf("query before bootstrap = %v, want ErrReplicaNotReady", err)
+	}
+	if ErrorCode(err) != CodeUnavailable {
+		t.Fatalf("code = %q, want %q", ErrorCode(err), CodeUnavailable)
+	}
+}
+
+// replicatedWorld is the full stack: primary bank + TLS server +
+// publisher, one follower + read-only server, real wire protocol
+// everywhere.
+type replicatedWorld struct {
+	ca      *pki.CA
+	trust   *pki.TrustStore
+	bank    *Bank
+	store   *db.Store
+	primary string // primary API addr
+	pub     *replica.Publisher
+	fol     *replica.Follower
+	repAddr string // replica API addr
+	admin   *pki.Identity
+}
+
+func newReplicatedWorld(t *testing.T) *replicatedWorld {
+	t.Helper()
+	ca, err := pki.NewCA("Rep CA", "VO-REP", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := pki.NewTrustStore(ca.Certificate())
+	bankID, err := ca.Issue(pki.IssueOptions{CommonName: "gridbank", Organization: "VO-REP", IsServer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repID, err := ca.Issue(pki.IssueOptions{CommonName: "replica-1", Organization: "VO-REP", IsServer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adminID, err := ca.Issue(pki.IssueOptions{CommonName: "banker", Organization: "VO-REP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := db.Open(db.NewMemJournal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank, err := NewBank(store, BankConfig{Identity: bankID, Trust: trust, Admins: []string{adminID.SubjectName()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(bank, bankID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Logf = func(string, ...any) {}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	primaryAddr := ln.Addr().String()
+
+	pub, err := replica.NewPublisher(replica.PublisherConfig{
+		Store:       store,
+		Identity:    bankID,
+		Trust:       trust,
+		PrimaryAddr: primaryAddr,
+		Heartbeat:   20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.Logf = func(string, ...any) {}
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go pub.Serve(pln)
+	t.Cleanup(func() { pub.Close() })
+
+	fol, err := replica.StartFollower(replica.FollowerConfig{
+		PublisherAddr: pln.Addr().String(),
+		Identity:      repID,
+		Trust:         trust,
+		RetryInterval: 20 * time.Millisecond,
+		Logf:          func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fol.Close() })
+	if err := fol.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := NewReadOnlyBank(fol, ReadOnlyBankConfig{Identity: repID, Trust: trust})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsrv, err := NewReadOnlyServer(ro, repID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsrv.Logf = func(string, ...any) {}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rsrv.Serve(rln)
+	t.Cleanup(func() { rsrv.Close() })
+
+	return &replicatedWorld{
+		ca: ca, trust: trust, bank: bank, store: store,
+		primary: primaryAddr, pub: pub, fol: fol,
+		repAddr: rln.Addr().String(), admin: adminID,
+	}
+}
+
+func (w *replicatedWorld) user(t *testing.T, name string) *pki.Identity {
+	t.Helper()
+	id, err := w.ca.Issue(pki.IssueOptions{CommonName: name, Organization: "VO-REP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func (w *replicatedWorld) dial(t *testing.T, id *pki.Identity, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr, id, w.trust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// sync blocks until the follower has applied the primary's current seq.
+func (w *replicatedWorld) sync(t *testing.T) {
+	t.Helper()
+	if err := w.fol.WaitForSeq(w.store.CurrentSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicaServesReadsOverWireAndRedirectsWrites(t *testing.T) {
+	w := newReplicatedWorld(t)
+	alice := w.user(t, "alice")
+
+	// Account opened and funded on the primary.
+	pc := w.dial(t, alice, w.primary)
+	acct, err := pc.CreateAccount("VO-REP", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac := w.dial(t, w.admin, w.primary)
+	if err := ac.AdminDeposit(acct.AccountID, currency.FromG(250)); err != nil {
+		t.Fatal(err)
+	}
+	w.sync(t)
+
+	// The same credentials read the balance from the replica.
+	rc := w.dial(t, alice, w.repAddr)
+	got, err := rc.AccountDetails(acct.AccountID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AvailableBalance != currency.FromG(250) {
+		t.Fatalf("replica balance = %v, want 250 G$", got.AvailableBalance)
+	}
+	st, err := rc.AccountStatement(acct.AccountID, time.Now().Add(-time.Hour), time.Now().Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Transactions) == 0 {
+		t.Fatal("replica statement empty")
+	}
+	status, err := rc.ReplicaStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Role != RoleReplica || status.PrimaryAddr != w.primary {
+		t.Fatalf("replica status = %+v", status)
+	}
+
+	// Mutations on the replica redirect to the primary.
+	_, err = rc.DirectTransfer(acct.AccountID, acct.AccountID, currency.FromG(1), "")
+	if !IsRemoteCode(err, CodeReadOnly) {
+		t.Fatalf("transfer on replica = %v, want code %q", err, CodeReadOnly)
+	}
+	if !strings.Contains(err.Error(), w.primary) {
+		t.Fatalf("redirect error does not name primary %s: %v", w.primary, err)
+	}
+
+	// Sustained writes on the primary converge on the replica.
+	bob := w.user(t, "bob")
+	bc := w.dial(t, bob, w.primary)
+	bacct, err := bc.CreateAccount("VO-REP", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := pc.DirectTransfer(acct.AccountID, bacct.AccountID, currency.FromG(1), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.sync(t)
+	brc := w.dial(t, bob, w.repAddr)
+	got, err = brc.AccountDetails(bacct.AccountID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AvailableBalance != currency.FromG(50) {
+		t.Fatalf("replica sees %v after 50 transfers, want 50 G$", got.AvailableBalance)
+	}
+}
+
+func TestRoutedClientHonorsStalenessBound(t *testing.T) {
+	w := newReplicatedWorld(t)
+	alice := w.user(t, "alice")
+	pc := w.dial(t, alice, w.primary)
+	acct, err := pc.CreateAccount("VO-REP", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac := w.dial(t, w.admin, w.primary)
+	if err := ac.AdminDeposit(acct.AccountID, currency.FromG(10)); err != nil {
+		t.Fatal(err)
+	}
+	w.sync(t)
+
+	primary := w.dial(t, alice, w.primary)
+	replicaCli := w.dial(t, alice, w.repAddr)
+	routed, err := NewRoutedClient(primary, []*Client{replicaCli}, RouteOptions{
+		MaxStaleness:   300 * time.Millisecond,
+		StatusInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy replica within bound: reads succeed (served by the
+	// replica — verified by its correct, replicated balance).
+	a, err := routed.AccountDetails(acct.AccountID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvailableBalance != currency.FromG(10) {
+		t.Fatalf("routed read = %v", a.AvailableBalance)
+	}
+
+	// Mutations go to the primary even with replicas configured.
+	if err := ac.AdminDeposit(acct.AccountID, currency.FromG(5)); err != nil {
+		t.Fatal(err)
+	}
+	w.sync(t)
+
+	// Kill replication: staleness grows past the bound, and a write the
+	// replica will never see lands on the primary. The routed read must
+	// fall back to the primary and return the fresh balance.
+	w.fol.Close()
+	if err := ac.AdminDeposit(acct.AccountID, currency.FromG(85)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		a, err = routed.AccountDetails(acct.AccountID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.AvailableBalance == currency.FromG(100) {
+			break // primary served: replica never applied the 85
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("routed reads still served stale balance %v after staleness exceeded bound", a.AvailableBalance)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

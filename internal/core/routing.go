@@ -1,0 +1,171 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"gridbank/internal/accounts"
+)
+
+// RouteOptions tune a RoutedClient's read policy.
+type RouteOptions struct {
+	// MaxStaleness is the staleness bound: a replica whose state may
+	// trail the primary by more than this is skipped and the read goes
+	// to the primary. Default 2s.
+	MaxStaleness time.Duration
+	// StatusInterval is how long a replica's staleness probe is cached
+	// before re-checking. Default 250ms.
+	StatusInterval time.Duration
+}
+
+// routeState caches one replica's last staleness probe.
+type routeState struct {
+	lastCheck time.Time
+	usable    bool
+}
+
+// RoutedClient is the read-routing GridBank Payment Module: queries
+// (balance checks, statements) spread round-robin across read replicas
+// whose staleness is within bound, while every mutation — and any read
+// no usable replica can serve — goes to the primary. It embeds the
+// primary *Client, so the full §5.2/§5.2.1 client API is available;
+// only the query methods are overridden with routing.
+//
+// Fallback is transparent: a replica that fails, is still
+// bootstrapping, or answers with a read-only redirect costs one extra
+// round trip to the primary, never an error the caller sees.
+type RoutedClient struct {
+	*Client // the primary: mutations and read fallback
+
+	replicas []*Client
+	opts     RouteOptions
+
+	mu     sync.Mutex
+	next   int
+	states []routeState
+}
+
+// NewRoutedClient builds a routing client over a primary connection and
+// any number of replica connections. With no replicas it degrades to
+// the plain primary client.
+func NewRoutedClient(primary *Client, replicas []*Client, opts RouteOptions) (*RoutedClient, error) {
+	if primary == nil {
+		return nil, errors.New("core: routed client requires a primary client")
+	}
+	if opts.MaxStaleness <= 0 {
+		opts.MaxStaleness = 2 * time.Second
+	}
+	if opts.StatusInterval <= 0 {
+		opts.StatusInterval = 250 * time.Millisecond
+	}
+	return &RoutedClient{
+		Client:   primary,
+		replicas: replicas,
+		opts:     opts,
+		states:   make([]routeState, len(replicas)),
+	}, nil
+}
+
+// Primary returns the underlying primary client.
+func (r *RoutedClient) Primary() *Client { return r.Client }
+
+// Close tears down the primary and every replica connection.
+func (r *RoutedClient) Close() error {
+	err := r.Client.Close()
+	for _, c := range r.replicas {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// probe asks a replica for its staleness and compares it to the bound.
+func (r *RoutedClient) probe(c *Client) bool {
+	st, err := c.ReplicaStatus()
+	if err != nil {
+		return false
+	}
+	return st.Role == RolePrimary || st.StaleFor <= r.opts.MaxStaleness
+}
+
+// readTarget picks the next usable replica (round-robin), refreshing
+// cached staleness probes as they expire; with none usable it returns
+// the primary.
+func (r *RoutedClient) readTarget() *Client {
+	n := len(r.replicas)
+	for i := 0; i < n; i++ {
+		r.mu.Lock()
+		idx := r.next % n
+		r.next++
+		st := r.states[idx]
+		r.mu.Unlock()
+		c := r.replicas[idx]
+		usable := st.usable
+		if time.Since(st.lastCheck) > r.opts.StatusInterval {
+			usable = r.probe(c)
+			r.mu.Lock()
+			r.states[idx] = routeState{lastCheck: time.Now(), usable: usable}
+			r.mu.Unlock()
+		}
+		if usable {
+			return c
+		}
+	}
+	return r.Client
+}
+
+// fallbackWorthy classifies replica-read failures that the primary can
+// absorb: transport errors, a replica mid-bootstrap, or a redirect.
+// Business errors (denied, not found) propagate — they would answer the
+// same on the primary, modulo the staleness the caller signed up for.
+func fallbackWorthy(err error) bool {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Code == CodeReadOnly || re.Code == CodeUnavailable || re.Code == CodeInternal
+	}
+	return true // transport-level failure
+}
+
+// AccountDetails routes §5.2 Check Balance through a replica within the
+// staleness bound, falling back to the primary.
+func (r *RoutedClient) AccountDetails(id accounts.ID) (*accounts.Account, error) {
+	c := r.readTarget()
+	if c == r.Client {
+		return r.Client.AccountDetails(id)
+	}
+	a, err := c.AccountDetails(id)
+	if err != nil && fallbackWorthy(err) {
+		return r.Client.AccountDetails(id)
+	}
+	return a, err
+}
+
+// AccountStatement routes §5.2 Request Account Statement through a
+// replica within the staleness bound, falling back to the primary.
+func (r *RoutedClient) AccountStatement(id accounts.ID, start, end time.Time) (*accounts.Statement, error) {
+	c := r.readTarget()
+	if c == r.Client {
+		return r.Client.AccountStatement(id, start, end)
+	}
+	st, err := c.AccountStatement(id, start, end)
+	if err != nil && fallbackWorthy(err) {
+		return r.Client.AccountStatement(id, start, end)
+	}
+	return st, err
+}
+
+// AdminListAccounts routes the account listing through a replica within
+// the staleness bound, falling back to the primary.
+func (r *RoutedClient) AdminListAccounts() ([]accounts.Account, error) {
+	c := r.readTarget()
+	if c == r.Client {
+		return r.Client.AdminListAccounts()
+	}
+	as, err := c.AdminListAccounts()
+	if err != nil && fallbackWorthy(err) {
+		return r.Client.AdminListAccounts()
+	}
+	return as, err
+}

@@ -16,14 +16,48 @@ import (
 	"gridbank/internal/wire"
 )
 
-// Server exposes a Bank over mutually-authenticated TLS using the wire
-// protocol. Per §3.2, a connection is only retained if the authenticated
-// subject has an account or administrator privilege; unknown subjects may
-// execute exactly one operation — CreateAccount — and anything else
-// closes the connection ("clients simply cannot send any requests before
-// a connection is established").
+// API is the operation surface Server dispatches to. Two
+// implementations exist: *Bank, the primary, which serves everything;
+// and *ReadOnlyBank, a WAL-shipped replica, which serves the query
+// subset of §5.2 and answers every mutation with a redirect-to-primary
+// error. The server layer — connection gate, TLS, framing, custom op
+// registry — is identical over both.
+type API interface {
+	Identity() *pki.Identity
+	Trust() *pki.TrustStore
+	Authorize(subject string) error
+
+	CreateAccount(caller string, req *CreateAccountRequest) (*CreateAccountResponse, error)
+	AccountDetails(caller string, req *AccountDetailsRequest) (*AccountDetailsResponse, error)
+	UpdateAccount(caller string, req *UpdateAccountRequest) (*AccountDetailsResponse, error)
+	AccountStatement(caller string, req *AccountStatementRequest) (*AccountStatementResponse, error)
+	CheckFunds(caller string, req *CheckFundsRequest) (*ConfirmationResponse, error)
+	DirectTransfer(caller string, req *DirectTransferRequest) (*DirectTransferResponse, error)
+	RequestCheque(caller string, req *RequestChequeRequest) (*RequestChequeResponse, error)
+	RedeemCheque(caller string, req *RedeemChequeRequest) (*RedeemChequeResponse, error)
+	RequestChain(caller string, req *RequestChainRequest) (*RequestChainResponse, error)
+	RedeemChain(caller string, req *RedeemChainRequest) (*RedeemChainResponse, error)
+	ReleaseCheque(caller string, req *ReleaseRequest) (*ReleaseResponse, error)
+	ReleaseChain(caller string, req *ReleaseRequest) (*ReleaseResponse, error)
+
+	AdminDeposit(caller string, req *AdminAmountRequest) (*ConfirmationResponse, error)
+	AdminWithdraw(caller string, req *AdminAmountRequest) (*ConfirmationResponse, error)
+	AdminChangeCreditLimit(caller string, req *AdminAmountRequest) (*ConfirmationResponse, error)
+	AdminCancelTransfer(caller string, req *AdminCancelRequest) (*ConfirmationResponse, error)
+	AdminCloseAccount(caller string, req *AdminCloseRequest) (*ConfirmationResponse, error)
+	AdminListAccounts(caller string) (*AdminAccountsResponse, error)
+
+	ReplicaStatus() (*ReplicaStatusResponse, error)
+}
+
+// Server exposes a bank API over mutually-authenticated TLS using the
+// wire protocol. Per §3.2, a connection is only retained if the
+// authenticated subject has an account or administrator privilege;
+// unknown subjects may execute exactly one operation — CreateAccount —
+// and anything else closes the connection ("clients simply cannot send
+// any requests before a connection is established").
 type Server struct {
-	bank *Bank
+	bank API
 	cfg  *tls.Config
 
 	mu       sync.Mutex
@@ -49,6 +83,18 @@ type OpHandler func(subject string, body []byte) (any, error)
 // NewServer builds a TLS server for the bank using its identity and
 // trust store.
 func NewServer(bank *Bank, serverIdentity *pki.Identity) (*Server, error) {
+	return newServer(bank, serverIdentity)
+}
+
+// NewReadOnlyServer builds a TLS server for a replica's read-only bank:
+// the same gate, transport and wire protocol as a primary, but queries
+// are answered from the replica's store and mutations redirect to the
+// primary.
+func NewReadOnlyServer(bank *ReadOnlyBank, serverIdentity *pki.Identity) (*Server, error) {
+	return newServer(bank, serverIdentity)
+}
+
+func newServer(bank API, serverIdentity *pki.Identity) (*Server, error) {
 	cfg, err := pki.ServerTLSConfig(serverIdentity, bank.Trust())
 	if err != nil {
 		return nil, err
@@ -87,7 +133,7 @@ func isBuiltinOp(name string) bool {
 	case OpPing, OpCreateAccount, OpAccountDetails, OpUpdateAccount, OpAccountStatement,
 		OpCheckFunds, OpDirectTransfer, OpRequestCheque, OpRedeemCheque, OpRequestChain,
 		OpRedeemChain, OpReleaseCheque, OpReleaseChain, OpAdminDeposit, OpAdminWithdraw,
-		OpAdminCreditLimit, OpAdminCancel, OpAdminClose, OpAdminAccounts:
+		OpAdminCreditLimit, OpAdminCancel, OpAdminClose, OpAdminAccounts, OpReplicaStatus:
 		return true
 	}
 	return false
@@ -113,10 +159,18 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		// Register (and wg.Add) under the same lock Close holds while
+		// tearing down, so a conn accepted during Close is dropped here
+		// instead of leaking an untracked handler.
 		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
 		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			s.handleConn(conn)
@@ -298,6 +352,8 @@ func (s *Server) dispatch(subject string, req *wire.Request) *wire.Response {
 		}
 	case OpAdminAccounts:
 		body, err = s.bank.AdminListAccounts(subject)
+	case OpReplicaStatus:
+		body, err = s.bank.ReplicaStatus()
 	default:
 		s.mu.Lock()
 		h, ok := s.handlers[req.Op]
@@ -331,6 +387,10 @@ func ErrorCode(err error) string {
 	switch {
 	case err == nil:
 		return CodeOK
+	case errors.Is(err, ErrReadOnly):
+		return CodeReadOnly
+	case errors.Is(err, ErrReplicaNotReady):
+		return CodeUnavailable
 	case errors.Is(err, ErrDenied), errors.Is(err, ErrUnknownSubject):
 		return CodeDenied
 	case errors.Is(err, accounts.ErrNotFound), errors.Is(err, ErrUnknownSerial),

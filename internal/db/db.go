@@ -265,8 +265,31 @@ type Store struct {
 	tables map[string]*table
 	closed bool
 
+	// instance uniquely identifies this open of the store. Sequence
+	// numbers are only comparable within one instance: a restart may
+	// replay less history than a follower already saw (lost unsynced
+	// tail) and then re-use sequence numbers for different writes, so
+	// replication resume checks the epoch before trusting seq equality.
+	instance string
+
 	journal Journal       // may be nil (volatile store)
 	seq     atomic.Uint64 // monotonically increasing record sequence for WAL entries
+
+	// Commit stream (replication fan-out). pubMu orders sequence
+	// assignment with publication: every committer assigns its batch's
+	// Seq values and enqueues the batch to subscribers inside one pubMu
+	// section, so subscribers observe batches in exact sequence order.
+	// pubMu is a leaf lock — held only for the atomic adds and
+	// non-blocking channel sends, never while acquiring another lock.
+	pubMu   sync.Mutex
+	subs    map[*CommitSub]struct{}
+	hasSubs atomic.Bool // fast-path skip when nothing ever subscribed
+	// forceSnap is set when the stream may have shipped entries the
+	// journal never accepted (publish happened, stage failed): sequence
+	// numbers were burned without state changing, so "follower seq ==
+	// store seq" no longer implies identical history. From then on
+	// every bootstrap gets a full snapshot.
+	forceSnap atomic.Bool
 
 	// failed is set when a committed transaction's journal flush
 	// failed after its in-memory apply: memory and disk have diverged,
@@ -277,9 +300,13 @@ type Store struct {
 }
 
 // fail poisons the store after a divergence-inducing journal error.
+// Subscribers are cut off with the same error: the stream may have
+// shipped batches that were never made durable, so followers must
+// re-bootstrap from whatever the primary recovers to.
 func (s *Store) fail(err error) {
 	wrapped := fmt.Errorf("db: store failed, in-memory state not durable: %w", err)
 	s.failed.CompareAndSwap(nil, &wrapped)
+	s.closeSubs(*s.failed.Load())
 }
 
 // failedErr returns the poisoning error, or nil.
@@ -294,7 +321,7 @@ func (s *Store) failedErr() error {
 // and non-empty, the store's state is rebuilt by replaying it. A nil
 // journal yields a volatile in-memory store.
 func Open(journal Journal) (*Store, error) {
-	s := &Store{tables: make(map[string]*table), journal: journal}
+	s := &Store{tables: make(map[string]*table), journal: journal, instance: newInstanceID()}
 	if journal != nil {
 		if err := journal.Replay(func(e Entry) error { return s.applyEntry(e) }); err != nil {
 			return nil, fmt.Errorf("db: journal replay: %w", err)
@@ -347,11 +374,13 @@ func (s *Store) applyEntry(e Entry) error {
 // ErrClosed.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	s.mu.Unlock()
+	s.closeSubs(ErrClosed)
 	if s.journal != nil {
 		return s.journal.Close()
 	}
@@ -452,11 +481,26 @@ func (s *Store) CreateIndex(tableName, indexName string, fn IndexFunc) error {
 }
 
 func (s *Store) journalAppend(e Entry) error {
+	if s.journal == nil && !s.hasSubs.Load() {
+		// Volatile, nobody listening: advance the replication clock so
+		// reconnecting followers know they missed something.
+		s.seq.Add(1)
+		return nil
+	}
+	s.pubMu.Lock()
+	e.Seq = s.seq.Add(1)
+	s.publishLocked([]Entry{e})
+	s.pubMu.Unlock()
 	if s.journal == nil {
 		return nil
 	}
-	e.Seq = s.seq.Add(1)
-	return s.journal.Append(e)
+	if err := s.journal.Append(e); err != nil {
+		// Subscribers already saw the entry; they must re-bootstrap
+		// against whatever the journal actually holds.
+		s.streamDiverged(fmt.Errorf("db: journal append failed after publish: %w", err))
+		return err
+	}
+	return nil
 }
 
 // Get returns the encoded record stored under key. The returned slice is

@@ -41,6 +41,17 @@ type Journal interface {
 	Close() error
 }
 
+// CompactableJournal is an optional Journal extension: Compact discards
+// the journal's contents. Only safe when every entry is durably covered
+// elsewhere — i.e. immediately after a successful Store.Checkpoint,
+// before new writes land (gridbankd does this at startup, while
+// quiescent). A crash between checkpoint and Compact is harmless:
+// recovery skips the journal's pre-checkpoint entries by sequence.
+type CompactableJournal interface {
+	Journal
+	Compact() error
+}
+
 // GroupJournal is an optional Journal extension for group commit. Stage
 // enqueues a batch without doing I/O and returns a wait function; wait
 // blocks until the batch is durable (or the journal fails) and returns
@@ -216,15 +227,19 @@ func (j *fileJournal) Replay(apply func(Entry) error) error {
 	}
 	sc := bufio.NewScanner(j.f)
 	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	var good int64 // bytes consumed through the last intact batch line
+	torn := false
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
+			good++
 			continue
 		}
 		var batch []Entry
 		if err := json.Unmarshal(line, &batch); err != nil {
 			// Torn tail from a crash mid-append: everything before this
 			// line is a consistent prefix; stop here.
+			torn = true
 			break
 		}
 		for _, e := range batch {
@@ -232,14 +247,57 @@ func (j *fileJournal) Replay(apply func(Entry) error) error {
 				return err
 			}
 		}
+		// +1 for the newline Scan consumed. A final line missing its
+		// newline can only be the torn tail, never a counted one.
+		good += int64(len(line)) + 1
 	}
 	if err := sc.Err(); err != nil {
 		return err
+	}
+	if torn {
+		if sc.Scan() {
+			// Valid-looking lines follow the bad one: this is mid-file
+			// corruption, not a crash tear (a tear is by construction
+			// the last line). Truncating would destroy intact, possibly
+			// fsynced-and-acked batches — refuse to open instead of
+			// silently dropping them.
+			return fmt.Errorf("db: journal corrupted mid-file at byte %d (intact data follows); manual repair required", good)
+		}
+		// Truncate the torn tail away: appends land after whatever the
+		// file ends in, so leaving the junk line in place would bury
+		// every future (fsynced, acked) batch behind it — the next
+		// replay would stop at the tear and silently drop them.
+		if err := j.f.Truncate(good); err != nil {
+			return fmt.Errorf("db: truncating torn journal tail: %w", err)
+		}
 	}
 	if _, err := j.f.Seek(0, io.SeekEnd); err != nil {
 		return err
 	}
 	return nil
+}
+
+// Compact implements CompactableJournal by truncating the file.
+func (j *fileJournal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for j.leading {
+		j.flushed.Wait()
+	}
+	if j.f == nil {
+		return ErrClosed
+	}
+	if len(j.staged) > 0 {
+		return errors.New("db: compact with staged batches pending")
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if err := j.f.Truncate(0); err != nil {
+		return err
+	}
+	_, err := j.f.Seek(0, io.SeekStart)
+	return err
 }
 
 func (j *fileJournal) Close() error {
@@ -297,6 +355,19 @@ func (j *memJournal) AppendBatch(entries []Entry) error {
 	copy(cp, entries)
 	j.batches = append(j.batches, cp)
 	return nil
+}
+
+// Stage implements GroupJournal: the batch's position is fixed (and,
+// memory being the medium, already "durable") at stage time, so wait
+// returns immediately. Giving the in-memory journal Stage parity with
+// fileJournal keeps volatile benchmarks and replica tests on the exact
+// commit code path durable stores use — including the clean-abort
+// semantics of a stage-time failure.
+func (j *memJournal) Stage(entries []Entry) (func() error, error) {
+	if err := j.AppendBatch(entries); err != nil {
+		return nil, err
+	}
+	return waitNoop, nil
 }
 
 func (j *memJournal) Replay(apply func(Entry) error) error {

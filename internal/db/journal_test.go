@@ -511,3 +511,140 @@ func TestFlushFailureAfterApplyFailStopsStore(t *testing.T) {
 		t.Fatal("poisoned store still snapshotting non-durable state")
 	}
 }
+
+func TestReplayTruncatesTornTailSoAppendsSurviveNextReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.ndjson")
+	j, err := OpenFileJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, j.AppendBatch([]Entry{{Seq: 1, Op: OpCreateTable, Table: "t"}}))
+	must(t, j.AppendBatch([]Entry{{Seq: 2, Op: OpPut, Table: "t", Key: "a", Value: []byte("1")}}))
+	must(t, j.Close())
+	// Crash left a torn line at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`[{"seq":3,"op":"put","table":"t","key":"torn","va`); err != nil {
+		t.Fatal(err)
+	}
+	must(t, f.Close())
+
+	// Restart 1: replay discards (and truncates) the tear, then acks a
+	// new batch appended after it.
+	j2, err := OpenFileJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, s.Update(func(tx *Tx) error { return tx.Put("t", "b", []byte("2")) }))
+	must(t, s.Close())
+
+	// Restart 2: the post-crash batch must replay — it would be buried
+	// behind the torn line if the tear were left in place.
+	j3, err := OpenFileJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(j3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v, err := s2.Get("t", "b")
+	if err != nil || string(v) != "2" {
+		t.Fatalf("post-crash acked write lost across replays: %q, %v", v, err)
+	}
+	if _, err := s2.Get("t", "torn"); err == nil {
+		t.Fatal("torn entry resurrected")
+	}
+}
+
+func TestReplayRefusesMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.ndjson")
+	j, err := OpenFileJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, j.AppendBatch([]Entry{{Seq: 1, Op: OpCreateTable, Table: "t"}}))
+	must(t, j.AppendBatch([]Entry{{Seq: 2, Op: OpPut, Table: "t", Key: "a", Value: []byte("1")}}))
+	must(t, j.AppendBatch([]Entry{{Seq: 3, Op: OpPut, Table: "t", Key: "b", Value: []byte("2")}}))
+	must(t, j.Close())
+	// Flip the middle line into garbage, leaving the intact line after
+	// it in place — disk corruption, not a crash tear.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	lines[1] = []byte("{CORRUPT\n")
+	must(t, os.WriteFile(path, bytes.Join(lines, nil), 0o600))
+
+	j2, err := OpenFileJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(j2); err == nil {
+		t.Fatal("open over mid-file corruption succeeded (would have truncated acked batches)")
+	}
+	// The intact tail must still be on disk for manual repair.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(after, []byte(`"key":"b"`)) {
+		t.Fatal("intact batch after the corruption was destroyed")
+	}
+}
+
+func TestCheckpointCompactCycle(t *testing.T) {
+	dir := t.TempDir()
+	wal := filepath.Join(dir, "ledger.wal")
+	ckpt := filepath.Join(dir, "ledger.ckpt")
+
+	j, err := OpenFileJournal(wal, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenWithCheckpoint(ckpt, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, s.CreateTable("t"))
+	must(t, s.Update(func(tx *Tx) error { return tx.Put("t", "old", []byte("o")) }))
+	if _, err := s.Checkpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	// The gridbankd startup sequence: checkpoint, then drop the journal
+	// it covers.
+	if err := j.(CompactableJournal).Compact(); err != nil {
+		t.Fatal(err)
+	}
+	must(t, s.Update(func(tx *Tx) error { return tx.Put("t", "new", []byte("n")) }))
+	must(t, s.Close())
+	if fi, err := os.Stat(wal); err != nil || fi.Size() == 0 {
+		t.Fatalf("journal after compact+write: %v, size %d (want only the post-checkpoint tail)", err, fi.Size())
+	}
+
+	j2, err := OpenFileJournal(wal, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenWithCheckpoint(ckpt, j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for k, want := range map[string]string{"old": "o", "new": "n"} {
+		v, err := s2.Get("t", k)
+		if err != nil || string(v) != want {
+			t.Fatalf("after checkpoint+compact restart, %s = %q, %v", k, v, err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 )
 
@@ -75,6 +76,31 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	return &sn, nil
 }
 
+// SnapshotSince returns the bootstrap artifact for a replica whose
+// state already reflects every entry up to fromSeq. A follower that is
+// current (fromSeq equals the store's sequence) gets nil — the commit
+// stream alone carries its tail. Any other follower — fresh (fromSeq
+// zero), behind, or ahead (it outran a primary that lost its tail) —
+// gets a full snapshot: the store keeps no per-sequence history, so
+// state it cannot bridge over the stream is cheapest to ship whole.
+//
+// Callers must subscribe to the commit stream *before* calling this,
+// so entries sequenced after the returned snapshot's cut are guaranteed
+// to be in the subscription buffer.
+func (s *Store) SnapshotSince(fromSeq uint64) (*Snapshot, error) {
+	if err := s.failedErr(); err != nil {
+		return nil, err
+	}
+	// forceSnap: a publish-then-journal-failure burned sequence numbers
+	// without changing state, so seq equality no longer implies equal
+	// history — a follower at fromSeq may hold entries this store never
+	// applied. Full snapshot resets it.
+	if fromSeq != 0 && !s.forceSnap.Load() && s.seq.Load() == fromSeq {
+		return nil, nil
+	}
+	return s.Snapshot()
+}
+
 // SaveSnapshotFile writes the store's snapshot to path atomically
 // (write-temp-then-rename).
 func (s *Store) SaveSnapshotFile(path string) error {
@@ -82,6 +108,46 @@ func (s *Store) SaveSnapshotFile(path string) error {
 	if err != nil {
 		return err
 	}
+	return writeSnapshotFile(sn, path)
+}
+
+// Checkpoint writes a point-in-time snapshot to path and returns its
+// sequence number. A store later opened with OpenWithCheckpoint(path,
+// journal) restores from the checkpoint and applies only the journal
+// entries sequenced after it — a restart (or a replica bootstrap from
+// the same file) no longer replays the full history.
+func (s *Store) Checkpoint(path string) (uint64, error) {
+	sn, err := s.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	if err := writeSnapshotFile(sn, path); err != nil {
+		return 0, err
+	}
+	return sn.Seq, nil
+}
+
+// OpenWithCheckpoint opens a store from a checkpoint file plus the
+// journal holding writes made after the checkpoint was taken. A missing
+// checkpoint file degrades to a plain Open (full journal replay), so
+// first boots and checkpoint-less deployments need no special casing.
+func OpenWithCheckpoint(checkpointPath string, journal Journal) (*Store, error) {
+	f, err := os.Open(checkpointPath)
+	if os.IsNotExist(err) {
+		return Open(journal)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("db: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	sn, err := ReadSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("db: checkpoint %s: %w", checkpointPath, err)
+	}
+	return OpenFromSnapshot(sn, journal)
+}
+
+func writeSnapshotFile(sn *Snapshot, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
 	if err != nil {
@@ -101,14 +167,29 @@ func (s *Store) SaveSnapshotFile(path string) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// The rename is directory metadata: without fsyncing the directory
+	// it may not survive power loss. Callers (gridbankd) compact the
+	// journal right after a checkpoint, so a vanished rename plus a
+	// truncated journal would lose the whole ledger.
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	if err := dir.Sync(); err != nil {
+		dir.Close()
+		return err
+	}
+	return dir.Close()
 }
 
 // OpenFromSnapshot builds a store from a snapshot plus an optional journal
 // holding writes made after the snapshot was taken. Journal entries with
 // Seq <= snapshot Seq are skipped (already reflected in the snapshot).
 func OpenFromSnapshot(sn *Snapshot, journal Journal) (*Store, error) {
-	s := &Store{tables: make(map[string]*table), journal: journal}
+	s := &Store{tables: make(map[string]*table), journal: journal, instance: newInstanceID()}
 	s.seq.Store(sn.Seq)
 	for name, rows := range sn.Tables {
 		t := newTable(name)

@@ -1,0 +1,254 @@
+package db
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotRoundTripFidelity(t *testing.T) {
+	j := NewMemJournal()
+	s, err := Open(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, s.CreateTable("accounts"))
+	must(t, s.CreateTable("transfers"))
+	must(t, s.Update(func(tx *Tx) error {
+		if err := tx.Put("accounts", "a", []byte{0x00, 0xff, 0x7f}); err != nil {
+			return err
+		}
+		if err := tx.Put("accounts", "b", []byte(`{"balance":42}`)); err != nil {
+			return err
+		}
+		return tx.Put("transfers", "t1", []byte("a->b"))
+	}))
+	must(t, s.Update(func(tx *Tx) error { return tx.Delete("accounts", "a") }))
+
+	sn, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sn.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seq != sn.Seq || back.Seq != s.CurrentSeq() {
+		t.Fatalf("seq: serialized %d, original %d, store %d", back.Seq, sn.Seq, s.CurrentSeq())
+	}
+	if !reflect.DeepEqual(back.Tables, sn.Tables) {
+		t.Fatalf("tables diverge after round trip:\n got %v\nwant %v", back.Tables, sn.Tables)
+	}
+	// A store rebuilt from the snapshot serves identical state,
+	// including the deletion.
+	s2, err := OpenFromSnapshot(back, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Get("accounts", "a"); err == nil {
+		t.Fatal("deleted record resurrected by snapshot restore")
+	}
+	v, err := s2.Get("accounts", "b")
+	if err != nil || string(v) != `{"balance":42}` {
+		t.Fatalf("restored value = %q, %v", v, err)
+	}
+	if got := s2.Tables(); len(got) != 2 {
+		t.Fatalf("restored tables = %v", got)
+	}
+}
+
+// TestSnapshotConsistentCutUnderConcurrentWriters drives balance-
+// preserving transfers while snapshotting: every snapshot must show the
+// conserved total, never a cut between a debit and its credit.
+func TestSnapshotConsistentCutUnderConcurrentWriters(t *testing.T) {
+	s := MustOpenMemory()
+	must(t, s.CreateTable("acct"))
+	const nAcct, unit = 8, 100
+	for i := 0; i < nAcct; i++ {
+		key := fmt.Sprintf("a%d", i)
+		must(t, s.Update(func(tx *Tx) error { return tx.Put("acct", key, []byte{unit}) }))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				from := fmt.Sprintf("a%d", (seed+i)%nAcct)
+				to := fmt.Sprintf("a%d", (seed+i+3)%nAcct)
+				if from == to {
+					continue
+				}
+				_ = s.Update(func(tx *Tx) error {
+					fv, err := tx.Get("acct", from)
+					if err != nil {
+						return err
+					}
+					tv, err := tx.Get("acct", to)
+					if err != nil {
+						return err
+					}
+					if fv[0] == 0 || tv[0] == 255 {
+						return nil
+					}
+					if err := tx.Put("acct", from, []byte{fv[0] - 1}); err != nil {
+						return err
+					}
+					return tx.Put("acct", to, []byte{tv[0] + 1})
+				})
+			}
+		}(g)
+	}
+	for round := 0; round < 25; round++ {
+		sn, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, v := range sn.Tables["acct"] {
+			total += int(v[0])
+		}
+		if total != nAcct*unit {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("snapshot %d shows total %d, want %d — cut is not consistent", round, total, nAcct*unit)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSnapshotOfFailedStoreReturnsStopError(t *testing.T) {
+	j := &failingGroupJournal{memJournal: memJournal{failAt: -1}}
+	s, err := Open(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, s.CreateTable("t"))
+	j.failWait = true
+	if err := s.Update(func(tx *Tx) error { return tx.Put("t", "k", []byte("v")) }); err == nil {
+		t.Fatal("commit with failing flush succeeded")
+	}
+	if _, err := s.Snapshot(); err == nil {
+		t.Fatal("Snapshot on fail-stopped store succeeded")
+	}
+	if _, err := s.SnapshotSince(0); err == nil {
+		t.Fatal("SnapshotSince on fail-stopped store succeeded")
+	}
+}
+
+func TestSnapshotSinceCurrentFollowerGetsNil(t *testing.T) {
+	j := NewMemJournal()
+	s, err := Open(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, s.CreateTable("t"))
+	must(t, s.Update(func(tx *Tx) error { return tx.Put("t", "k", []byte("v")) }))
+	seq := s.CurrentSeq()
+
+	// Fresh follower (seq 0): always a full snapshot.
+	sn, err := s.SnapshotSince(0)
+	if err != nil || sn == nil {
+		t.Fatalf("SnapshotSince(0) = %v, %v; want full snapshot", sn, err)
+	}
+	// Current follower: nil, the stream alone carries the tail.
+	sn, err = s.SnapshotSince(seq)
+	if err != nil || sn != nil {
+		t.Fatalf("SnapshotSince(current) = %v, %v; want nil", sn, err)
+	}
+	// Behind: full snapshot.
+	must(t, s.Update(func(tx *Tx) error { return tx.Put("t", "k2", []byte("v2")) }))
+	sn, err = s.SnapshotSince(seq)
+	if err != nil || sn == nil || sn.Seq != s.CurrentSeq() {
+		t.Fatalf("SnapshotSince(behind) = %+v, %v; want snapshot at head", sn, err)
+	}
+	// Ahead (diverged follower): full snapshot, not an error.
+	sn, err = s.SnapshotSince(s.CurrentSeq() + 10)
+	if err != nil || sn == nil {
+		t.Fatalf("SnapshotSince(ahead) = %v, %v; want full snapshot", sn, err)
+	}
+}
+
+func TestCheckpointRestartReplaysOnlyTail(t *testing.T) {
+	dir := t.TempDir()
+	wal := filepath.Join(dir, "ledger.wal")
+	ckpt := filepath.Join(dir, "ledger.ckpt")
+
+	j, err := OpenFileJournal(wal, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenWithCheckpoint(ckpt, j) // no checkpoint yet: plain open
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, s.CreateTable("t"))
+	must(t, s.Update(func(tx *Tx) error { return tx.Put("t", "early", []byte("e")) }))
+	ckptSeq, err := s.Checkpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckptSeq != s.CurrentSeq() {
+		t.Fatalf("checkpoint seq %d, store seq %d", ckptSeq, s.CurrentSeq())
+	}
+	must(t, s.Update(func(tx *Tx) error { return tx.Put("t", "late", []byte("l")) }))
+	must(t, s.Close())
+
+	j2, err := OpenFileJournal(wal, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenWithCheckpoint(ckpt, j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for k, want := range map[string]string{"early": "e", "late": "l"} {
+		v, err := s2.Get("t", k)
+		if err != nil || string(v) != want {
+			t.Fatalf("after checkpointed restart, %s = %q, %v", k, v, err)
+		}
+	}
+	if s2.CurrentSeq() <= ckptSeq {
+		t.Fatalf("restarted seq %d not past checkpoint %d", s2.CurrentSeq(), ckptSeq)
+	}
+}
+
+// TestOpenFromSnapshotSkipsCoveredJournalPrefix proves the tail-only
+// replay contract: journal entries at or below the snapshot's sequence
+// are not re-applied (the snapshot's state wins over any stale prefix).
+func TestOpenFromSnapshotSkipsCoveredJournalPrefix(t *testing.T) {
+	j := NewMemJournal()
+	must(t, j.AppendBatch([]Entry{{Seq: 1, Op: OpCreateTable, Table: "t"}}))
+	must(t, j.AppendBatch([]Entry{{Seq: 2, Op: OpPut, Table: "t", Key: "k", Value: []byte("stale")}}))
+	must(t, j.AppendBatch([]Entry{{Seq: 3, Op: OpPut, Table: "t", Key: "tail", Value: []byte("applied")}}))
+	sn := &Snapshot{Seq: 2, Tables: map[string]map[string][]byte{
+		"t": {"k": []byte("checkpointed")},
+	}}
+	s, err := OpenFromSnapshot(sn, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get("t", "k")
+	if err != nil || string(v) != "checkpointed" {
+		t.Fatalf("covered prefix re-applied: k = %q, %v (want checkpointed)", v, err)
+	}
+	v, err = s.Get("t", "tail")
+	if err != nil || string(v) != "applied" {
+		t.Fatalf("tail not applied: %q, %v", v, err)
+	}
+}

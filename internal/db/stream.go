@@ -1,0 +1,261 @@
+package db
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrSlowSubscriber poisons a commit subscription whose buffer
+// overflowed: the subscriber missed at least one batch and can no longer
+// reconstruct a gapless entry sequence. Replication followers react by
+// re-bootstrapping from a fresh snapshot.
+var ErrSlowSubscriber = errors.New("db: commit subscriber fell behind")
+
+// CommitSub is one subscription to the store's committed-entry stream.
+// Batches arrive on C() in sequence order: within a subscription's
+// lifetime, entry Seq values are consecutive — every committed entry is
+// delivered exactly once, in order. When C() is closed, Err() explains
+// why (ErrSlowSubscriber, ErrClosed, or a journal failure that
+// fail-stopped the store).
+//
+// Entries on the channel alias the store's committed row values, which
+// are immutable by the engine's contract: subscribers must treat them as
+// read-only.
+type CommitSub struct {
+	s  *Store
+	ch chan []Entry
+
+	mu     sync.Mutex
+	err    error
+	closed bool
+}
+
+// C returns the delivery channel.
+func (sub *CommitSub) C() <-chan []Entry { return sub.ch }
+
+// Err reports why the channel closed (nil while the subscription is
+// live or after a caller-initiated Close).
+func (sub *CommitSub) Err() error {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.err
+}
+
+// Close detaches the subscription. Idempotent; safe to call while the
+// publisher side is delivering.
+func (sub *CommitSub) Close() { sub.s.unsubscribe(sub, nil) }
+
+// closeLocked marks the subscription dead and closes its channel.
+// Caller holds s.pubMu (so no publish races the close).
+func (sub *CommitSub) closeLocked(err error) {
+	sub.mu.Lock()
+	if !sub.closed {
+		sub.closed = true
+		sub.err = err
+		close(sub.ch)
+	}
+	sub.mu.Unlock()
+}
+
+// SubscribeCommits attaches a subscriber to the store's commit stream.
+// Every batch committed after this call is delivered to the returned
+// subscription, in sequence order. Delivery is non-blocking: a
+// subscriber that lets `buffer` batches accumulate is disconnected with
+// ErrSlowSubscriber rather than back-pressuring committers.
+//
+// The intended bootstrap pattern is subscribe-then-snapshot: attach the
+// subscription first, then take a Snapshot (or SnapshotSince); entries
+// with Seq at or below the snapshot's Seq are already reflected in it
+// and must be skipped by the consumer.
+func (s *Store) SubscribeCommits(buffer int) (*CommitSub, error) {
+	if err := s.failedErr(); err != nil {
+		return nil, err
+	}
+	if buffer < 1 {
+		buffer = 1
+	}
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	sub := &CommitSub{s: s, ch: make(chan []Entry, buffer)}
+	s.pubMu.Lock()
+	if s.subs == nil {
+		s.subs = make(map[*CommitSub]struct{})
+	}
+	s.subs[sub] = struct{}{}
+	s.hasSubs.Store(true)
+	s.pubMu.Unlock()
+	return sub, nil
+}
+
+// unsubscribe detaches sub, recording err as the close reason.
+func (s *Store) unsubscribe(sub *CommitSub, err error) {
+	s.pubMu.Lock()
+	if _, ok := s.subs[sub]; ok {
+		delete(s.subs, sub)
+		s.hasSubs.Store(len(s.subs) > 0)
+		sub.closeLocked(err)
+	}
+	s.pubMu.Unlock()
+}
+
+// publishLocked fans a committed batch out to every subscriber. Caller
+// holds s.pubMu — the same critical section that assigned the batch's
+// sequence numbers, which is what makes delivery order equal sequence
+// order. A subscriber whose buffer is full is detached with
+// ErrSlowSubscriber (commits never block on replication).
+func (s *Store) publishLocked(entries []Entry) {
+	for sub := range s.subs {
+		select {
+		case sub.ch <- entries:
+		default:
+			delete(s.subs, sub)
+			sub.closeLocked(ErrSlowSubscriber)
+		}
+	}
+	if len(s.subs) == 0 {
+		s.hasSubs.Store(false)
+	}
+}
+
+// streamDiverged records that published entries may never have reached
+// the journal (or memory), then cuts every subscriber off: followers
+// holding phantom state must re-bootstrap from a full snapshot, which
+// forceSnap guarantees they will get.
+func (s *Store) streamDiverged(err error) {
+	s.forceSnap.Store(true)
+	s.closeSubs(err)
+}
+
+// closeSubs detaches every subscriber with the given reason. Called on
+// store close, fail-stop, and after a journal error that let the stream
+// run ahead of durable state.
+func (s *Store) closeSubs(err error) {
+	s.pubMu.Lock()
+	for sub := range s.subs {
+		delete(s.subs, sub)
+		sub.closeLocked(err)
+	}
+	s.hasSubs.Store(false)
+	s.pubMu.Unlock()
+}
+
+// CurrentSeq returns the highest assigned entry sequence number.
+func (s *Store) CurrentSeq() uint64 { return s.seq.Load() }
+
+// InstanceID identifies this open of the store — the replication epoch.
+// Sequence numbers are only comparable between a follower and primary
+// sharing an epoch; across a primary restart the counter may have
+// rewound and re-issued, so followers from another epoch must
+// re-bootstrap rather than resume by sequence.
+func (s *Store) InstanceID() string { return s.instance }
+
+// newInstanceID draws a random epoch identifier.
+func newInstanceID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("db: instance id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ApplyReplicated applies a batch of entries shipped from another
+// store's commit stream (or journal) into this store, which acts as a
+// read replica: entries are applied verbatim, without re-journaling or
+// re-sequencing. The batch is applied atomically with respect to
+// concurrent readers — every touched stripe is locked, in the same
+// global order commits use — so a reader never observes half a
+// transfer. The store's sequence counter advances to the batch's
+// highest Seq.
+//
+// Callers must apply batches in stream order; the follower layer
+// enforces gap detection above this.
+func (s *Store) ApplyReplicated(entries []Entry) error {
+	if err := s.failedErr(); err != nil {
+		return err
+	}
+	// Table creations first: a batch may (on a fresh follower) carry a
+	// mktable followed by rows for that table.
+	for _, e := range entries {
+		if e.Op != OpCreateTable {
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return ErrClosed
+		}
+		if _, ok := s.tables[e.Table]; !ok {
+			s.tables[e.Table] = newTable(e.Table)
+		}
+		s.mu.Unlock()
+	}
+	// Footprint: every stripe the batch writes, locked exclusively in
+	// the commit layer's global order (tables by name, stripes by index).
+	type footprint struct {
+		t     *table
+		touch [tableStripes]bool
+	}
+	foot := make(map[string]*footprint)
+	for _, e := range entries {
+		switch e.Op {
+		case OpCreateTable:
+			continue
+		case OpPut, OpDelete:
+			f, ok := foot[e.Table]
+			if !ok {
+				t, err := s.table(e.Table)
+				if err != nil {
+					return err
+				}
+				f = &footprint{t: t}
+				foot[e.Table] = f
+			}
+			f.touch[stripeFor(e.Key)] = true
+		default:
+			return fmt.Errorf("db: unknown replicated op %q", e.Op)
+		}
+	}
+	names := make([]string, 0, len(foot))
+	for n := range foot {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := foot[n]
+		for i, touched := range f.touch {
+			if touched {
+				f.t.stripes[i].mu.Lock()
+			}
+		}
+	}
+	for _, e := range entries {
+		switch e.Op {
+		case OpPut:
+			foot[e.Table].t.applyPut(e.Key, &row{value: cloneBytes(e.Value)})
+		case OpDelete:
+			foot[e.Table].t.applyDelete(e.Key)
+		}
+	}
+	for _, n := range names {
+		f := foot[n]
+		for i, touched := range f.touch {
+			if touched {
+				f.t.stripes[i].mu.Unlock()
+			}
+		}
+	}
+	for _, e := range entries {
+		if e.Seq > s.seq.Load() {
+			s.seq.Store(e.Seq)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,330 @@
+package db
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drain reads batches until ch closes or idle for a beat.
+func collectBatches(t *testing.T, sub *CommitSub, want int) [][]Entry {
+	t.Helper()
+	var got [][]Entry
+	deadline := time.After(5 * time.Second)
+	for len(got) < want {
+		select {
+		case b, ok := <-sub.C():
+			if !ok {
+				t.Fatalf("subscription closed early (%v) after %d/%d batches", sub.Err(), len(got), want)
+			}
+			got = append(got, b)
+		case <-deadline:
+			t.Fatalf("timed out after %d/%d batches", len(got), want)
+		}
+	}
+	return got
+}
+
+func TestCommitStreamDeliversInSequenceOrder(t *testing.T) {
+	s := MustOpenMemory()
+	must(t, s.CreateTable("t"))
+	sub, err := s.SubscribeCommits(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	const commits = 20
+	errc := make(chan error, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < commits/4; k++ {
+				key := fmt.Sprintf("w%d-k%d", w, k)
+				err := s.Update(func(tx *Tx) error {
+					if err := tx.Put("t", key, []byte("a")); err != nil {
+						return err
+					}
+					return tx.Put("t", key+"-b", []byte("b"))
+				})
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	batches := collectBatches(t, sub, commits)
+	next := uint64(2) // seq 1 was the pre-subscription CreateTable
+	for _, b := range batches {
+		if len(b) != 2 {
+			t.Fatalf("batch size %d, want 2", len(b))
+		}
+		for _, e := range b {
+			if e.Seq != next {
+				t.Fatalf("entry seq %d, want %d (stream must be gapless and ordered)", e.Seq, next)
+			}
+			next++
+		}
+	}
+	if s.CurrentSeq() != commits*2+1 {
+		t.Fatalf("CurrentSeq = %d, want %d", s.CurrentSeq(), commits*2+1)
+	}
+}
+
+func TestCommitStreamSlowSubscriberDetached(t *testing.T) {
+	s := MustOpenMemory()
+	must(t, s.CreateTable("t"))
+	slow, err := s.SubscribeCommits(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := s.SubscribeCommits(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		must(t, s.Update(func(tx *Tx) error { return tx.Put("t", "k", []byte{byte(i)}) }))
+	}
+	// The slow subscriber buffered one batch and was then cut off.
+	var delivered int
+	for range slow.C() {
+		delivered++
+	}
+	if !errors.Is(slow.Err(), ErrSlowSubscriber) {
+		t.Fatalf("slow.Err() = %v, want ErrSlowSubscriber", slow.Err())
+	}
+	if delivered != 1 {
+		t.Fatalf("slow subscriber got %d batches before overflow, want 1", delivered)
+	}
+	// The fast subscriber saw everything, unaffected. (Seq 1 was the
+	// pre-subscription CreateTable.)
+	got := collectBatches(t, fast, 3)
+	if got[2][0].Seq != 4 {
+		t.Fatalf("fast subscriber last seq = %d, want 4", got[2][0].Seq)
+	}
+	fast.Close()
+}
+
+func TestCommitStreamClosedOnStoreClose(t *testing.T) {
+	s := MustOpenMemory()
+	must(t, s.CreateTable("t"))
+	sub, err := s.SubscribeCommits(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, s.Close())
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("channel still open after store close")
+	}
+	if !errors.Is(sub.Err(), ErrClosed) {
+		t.Fatalf("Err() = %v, want ErrClosed", sub.Err())
+	}
+}
+
+// TestCommitStreamBootstrapConvergence is the replication contract at
+// the db layer: subscribe, snapshot, apply the tail (skipping entries
+// at or below the snapshot cut) — the replica store converges to the
+// primary byte-for-byte, under writers racing the bootstrap.
+func TestCommitStreamBootstrapConvergence(t *testing.T) {
+	primary := MustOpenMemory()
+	must(t, primary.CreateTable("acct"))
+	// Pre-subscription history: unpublished (nobody listening), but
+	// still sequence-counted and covered by the snapshot.
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("pre%d", i)
+		must(t, primary.Update(func(tx *Tx) error { return tx.Put("acct", key, []byte("old")) }))
+	}
+
+	// The writer races the bootstrap below; its total commit count
+	// stays under the subscription buffer so the bootstrap-time backlog
+	// never overflows a subscriber nobody is draining yet.
+	const liveWrites = 1500
+	writeErr := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < liveWrites; i++ {
+			key := fmt.Sprintf("live%d", i%7)
+			val := []byte(fmt.Sprintf("v%d", i))
+			if err := primary.Update(func(tx *Tx) error { return tx.Put("acct", key, val) }); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+	}()
+
+	// Bootstrap mid-stream: subscribe first, then cut.
+	sub, err := primary.SubscribeCommits(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	snap, err := primary.SnapshotSince(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, err := OpenFromSnapshot(snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := snap.Seq
+	wg.Wait()
+	select {
+	case err := <-writeErr:
+		t.Fatal(err)
+	default:
+	}
+	target := primary.CurrentSeq()
+	timeout := time.After(5 * time.Second)
+	for applied < target {
+		var batch []Entry
+		select {
+		case b, ok := <-sub.C():
+			if !ok {
+				t.Fatalf("stream closed (%v) at applied %d, target %d", sub.Err(), applied, target)
+			}
+			batch = b
+		case <-timeout:
+			t.Fatalf("timed out at applied %d, target %d", applied, target)
+		}
+		live := batch[:0:0]
+		for _, e := range batch {
+			if e.Seq <= applied {
+				continue // already in the snapshot
+			}
+			if e.Seq != applied+1 {
+				t.Fatalf("gap: entry seq %d after applied %d", e.Seq, applied)
+			}
+			live = append(live, e)
+			applied = e.Seq
+		}
+		must(t, replica.ApplyReplicated(live))
+	}
+	wantSnap, err := primary.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSnap, err := replica.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantSnap.Tables["acct"]) != len(gotSnap.Tables["acct"]) {
+		t.Fatalf("row counts diverge: primary %d, replica %d",
+			len(wantSnap.Tables["acct"]), len(gotSnap.Tables["acct"]))
+	}
+	for k, v := range wantSnap.Tables["acct"] {
+		if !bytes.Equal(gotSnap.Tables["acct"][k], v) {
+			t.Fatalf("key %s diverges: primary %q, replica %q", k, v, gotSnap.Tables["acct"][k])
+		}
+	}
+}
+
+func TestApplyReplicatedMaintainsIndexes(t *testing.T) {
+	s := MustOpenMemory()
+	must(t, s.CreateTable("t"))
+	must(t, s.CreateIndex("t", "by_val", func(_ string, v []byte) []string { return []string{string(v)} }))
+	must(t, s.ApplyReplicated([]Entry{
+		{Seq: 1, Op: OpPut, Table: "t", Key: "a", Value: []byte("x")},
+		{Seq: 2, Op: OpPut, Table: "t", Key: "b", Value: []byte("x")},
+	}))
+	keys, err := s.Lookup("t", "by_val", "x")
+	if err != nil || len(keys) != 2 {
+		t.Fatalf("Lookup after replicated put = %v, %v", keys, err)
+	}
+	must(t, s.ApplyReplicated([]Entry{{Seq: 3, Op: OpDelete, Table: "t", Key: "a"}}))
+	keys, err = s.Lookup("t", "by_val", "x")
+	if err != nil || len(keys) != 1 || keys[0] != "b" {
+		t.Fatalf("Lookup after replicated delete = %v, %v", keys, err)
+	}
+	if s.CurrentSeq() != 3 {
+		t.Fatalf("CurrentSeq = %d, want 3", s.CurrentSeq())
+	}
+	// mktable entries create tables idempotently, including mid-batch.
+	must(t, s.ApplyReplicated([]Entry{
+		{Seq: 4, Op: OpCreateTable, Table: "t2"},
+		{Seq: 5, Op: OpPut, Table: "t2", Key: "k", Value: []byte("v")},
+		{Seq: 6, Op: OpCreateTable, Table: "t"},
+	}))
+	v, err := s.Get("t2", "k")
+	if err != nil || string(v) != "v" {
+		t.Fatalf("Get from replicated table = %q, %v", v, err)
+	}
+}
+
+func TestCommitStreamSeesSchemaEntries(t *testing.T) {
+	s := MustOpenMemory()
+	sub, err := s.SubscribeCommits(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, s.CreateTable("fresh"))
+	must(t, s.Update(func(tx *Tx) error { return tx.Put("fresh", "k", []byte("v")) }))
+	got := collectBatches(t, sub, 2)
+	if got[0][0].Op != OpCreateTable || got[0][0].Table != "fresh" {
+		t.Fatalf("first streamed entry = %+v, want mktable fresh", got[0][0])
+	}
+	if got[1][0].Op != OpPut {
+		t.Fatalf("second streamed entry = %+v, want put", got[1][0])
+	}
+	sub.Close()
+}
+
+// TestStageFailureForcesFullSnapshotBootstrap covers the publish-then-
+// journal-refusal divergence: the stream shipped a batch whose sequence
+// numbers were burned but whose state the primary never applied, so a
+// follower at the "current" sequence must still get a full snapshot.
+func TestStageFailureForcesFullSnapshotBootstrap(t *testing.T) {
+	j := NewFailingMemJournal(2) // mktable + first batch succeed, second batch refused
+	s, err := Open(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, s.CreateTable("t"))
+	sub, err := s.SubscribeCommits(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, s.Update(func(tx *Tx) error { return tx.Put("t", "ok", []byte("1")) }))
+	if err := s.Update(func(tx *Tx) error { return tx.Put("t", "phantom", []byte("2")) }); err == nil {
+		t.Fatal("commit with refused journal batch succeeded")
+	}
+	// The subscriber was cut off after seeing the phantom batch.
+	var last Entry
+	for b := range sub.C() {
+		last = b[len(b)-1]
+	}
+	if sub.Err() == nil {
+		t.Fatal("subscriber not detached after journal refusal")
+	}
+	if last.Key != "phantom" {
+		t.Fatalf("subscriber last saw %q (the divergence requires it saw the phantom)", last.Key)
+	}
+	// A follower that applied everything it saw now sits at the
+	// store's own sequence — and must still be handed a full snapshot.
+	sn, err := s.SnapshotSince(last.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn == nil {
+		t.Fatal("SnapshotSince returned nil to a follower holding phantom state")
+	}
+	if _, ok := sn.Tables["t"]["phantom"]; ok {
+		t.Fatal("snapshot contains the never-applied phantom entry")
+	}
+	if _, ok := sn.Tables["t"]["ok"]; !ok {
+		t.Fatal("snapshot missing the applied entry")
+	}
+}

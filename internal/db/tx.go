@@ -379,27 +379,56 @@ func (tx *Tx) Commit() error {
 		return ErrConflict
 	}
 
-	// Journal first (write-ahead). With a group journal the batch is
+	// Sequence and publish, then journal (write-ahead). Seq assignment
+	// and commit-stream publication share one pubMu section so
+	// subscribers observe batches in exact sequence order even when
+	// disjoint-stripe commits race. With a group journal the batch is
 	// staged — its on-disk position fixed — before the in-memory apply,
 	// and the fsync wait happens after the locks are released so
 	// concurrent committers coalesce into one flush.
+	//
+	// Every commit advances the sequence counter, even on a volatile
+	// store with no subscribers (the cheap bulk-add branch): sequence
+	// numbers are the replication clock, and a follower that reconnects
+	// after unwitnessed writes must see the counter moved — otherwise
+	// SnapshotSince would judge it current and it would silently miss
+	// them forever.
 	var wait func() error
-	if s.journal != nil && len(tx.ops) > 0 {
+	if len(tx.ops) > 0 && (s.journal != nil || s.hasSubs.Load()) {
 		entries := make([]Entry, len(tx.ops))
 		for i, op := range tx.ops {
-			entries[i] = Entry{Seq: s.seq.Add(1), Op: op.op, Table: op.table, Key: op.key, Value: op.value}
+			entries[i] = Entry{Op: op.op, Table: op.table, Key: op.key, Value: op.value}
 		}
+		s.pubMu.Lock()
+		for i := range entries {
+			entries[i].Seq = s.seq.Add(1)
+		}
+		s.publishLocked(entries)
+		s.pubMu.Unlock()
 		if gj, ok := s.journal.(GroupJournal); ok {
 			w, err := gj.Stage(entries)
 			if err != nil {
+				// Subscribers already saw the batch the journal just
+				// refused; cut them off and force full snapshots on
+				// re-bootstrap so no follower keeps the phantom state.
+				s.streamDiverged(fmt.Errorf("db: commit journal: %w", err))
 				unlock()
 				return fmt.Errorf("db: commit journal: %w", err)
 			}
 			wait = w
-		} else if err := s.journal.AppendBatch(entries); err != nil {
-			unlock()
-			return fmt.Errorf("db: commit journal: %w", err)
+		} else if s.journal != nil {
+			if err := s.journal.AppendBatch(entries); err != nil {
+				s.streamDiverged(fmt.Errorf("db: commit journal: %w", err))
+				unlock()
+				return fmt.Errorf("db: commit journal: %w", err)
+			}
 		}
+	} else if len(tx.ops) > 0 {
+		// Volatile store, nobody listening: just move the clock. Still
+		// under this commit's stripe locks, so a concurrent
+		// subscribe+snapshot cuts either before or after the whole
+		// commit, never through it.
+		s.seq.Add(uint64(len(tx.ops)))
 	}
 
 	for _, p := range plan {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"gridbank/internal/broker"
 	"gridbank/internal/currency"
@@ -394,5 +395,37 @@ func TestConcurrentLoadSharedRecipient(t *testing.T) {
 	}
 	if got := r.Points[0].Transfers; got != 200 {
 		t.Fatalf("transfers = %d, want 200", got)
+	}
+}
+
+func TestReplicasSweep(t *testing.T) {
+	// Small sweep of the full wire-level primary/replica topology. The
+	// run itself asserts the replication contract per cell: replicas
+	// converge to the primary's exact sequence after writes quiesce,
+	// staleness stays within the routing bound, and a routed read of
+	// the quiesced account returns the exact primary balance.
+	r, err := RunReplicas(ReplicasConfig{
+		ReplicaCounts: []int{0, 1},
+		ReaderCounts:  []int{2},
+		Window:        100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.Reads <= 0 || p.Writes <= 0 {
+			t.Fatalf("cell %d/%d: reads=%d writes=%d", p.Replicas, p.Readers, p.Reads, p.Writes)
+		}
+		if p.Replicas == 0 && p.LagMax != 0 {
+			t.Fatalf("primary-only cell reports lag %d", p.LagMax)
+		}
+	}
+	var buf bytes.Buffer
+	WriteReplicas(&buf, r)
+	if !strings.Contains(buf.String(), "reads/sec") {
+		t.Error("report rendering broken")
 	}
 }

@@ -1,0 +1,361 @@
+package replica
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridbank/internal/db"
+	"gridbank/internal/pki"
+	"gridbank/internal/wire"
+)
+
+// Follower errors.
+var (
+	// ErrNotReady is returned by state accessors before the first
+	// successful bootstrap.
+	ErrNotReady = errors.New("replica: follower not yet bootstrapped")
+	// errGap aborts a session whose stream skipped a sequence; the
+	// follower re-bootstraps.
+	errGap = errors.New("replica: sequence gap in commit stream")
+)
+
+// FollowerConfig configures a Follower.
+type FollowerConfig struct {
+	// PublisherAddr is the primary's replication endpoint. Required.
+	PublisherAddr string
+	// Identity authenticates the follower to the publisher. Required.
+	Identity *pki.Identity
+	// Trust verifies the publisher's certificate. Required.
+	Trust *pki.TrustStore
+	// DialTimeout bounds connection establishment (default 10s).
+	DialTimeout time.Duration
+	// RetryInterval is the pause between reconnect attempts (default
+	// 500ms).
+	RetryInterval time.Duration
+	// Logf logs session-level events; defaults to log.Printf. Set it to
+	// a no-op to silence the follower.
+	Logf func(format string, args ...any)
+}
+
+// Follower maintains a read-only mirror of the primary's store: it
+// bootstraps from a snapshot, applies the shipped commit stream, tracks
+// its applied/head sequences and staleness, and re-bootstraps whenever
+// the stream breaks or gaps. The store it exposes is swapped wholesale
+// on re-bootstrap, so readers must fetch it per use (Store()) rather
+// than caching it.
+type Follower struct {
+	cfg FollowerConfig
+	tls *tls.Config
+
+	store      atomic.Pointer[db.Store]
+	applied    atomic.Uint64
+	head       atomic.Uint64
+	bootstraps atomic.Uint64
+
+	mu          sync.Mutex
+	syncedAt    time.Time // last instant applied == head was observed
+	primaryAddr string    // advertised by the publisher
+	epoch       string    // primary store epoch the applied seq belongs to
+	conn        net.Conn  // live session, closed to interrupt
+	closed      bool
+
+	ready     chan struct{} // closed after the first bootstrap
+	readyOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// StartFollower connects to the publisher and begins replicating in the
+// background, reconnecting (and re-bootstrapping when needed) until
+// Close.
+func StartFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.PublisherAddr == "" {
+		return nil, errors.New("replica: follower requires a publisher address")
+	}
+	if cfg.Identity == nil || cfg.Trust == nil {
+		return nil, errors.New("replica: follower requires an identity and a trust store")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 500 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	tcfg, err := pki.ClientTLSConfig(cfg.Identity, cfg.Trust)
+	if err != nil {
+		return nil, err
+	}
+	f := &Follower{
+		cfg:   cfg,
+		tls:   tcfg,
+		ready: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	f.wg.Add(1)
+	go f.run()
+	return f, nil
+}
+
+func (f *Follower) run() {
+	defer f.wg.Done()
+	for {
+		err := f.session()
+		f.mu.Lock()
+		closed := f.closed
+		f.mu.Unlock()
+		if closed {
+			return
+		}
+		f.cfg.Logf("replica: session with %s ended: %v (retrying in %v)", f.cfg.PublisherAddr, err, f.cfg.RetryInterval)
+		select {
+		case <-f.done:
+			return
+		case <-time.After(f.cfg.RetryInterval):
+		}
+	}
+}
+
+// session runs one replication connection: hello, bootstrap, stream.
+func (f *Follower) session() error {
+	// Dial under a context that Close cancels, so shutdown never waits
+	// out a full DialTimeout against an unreachable publisher.
+	ctx, cancel := context.WithTimeout(context.Background(), f.cfg.DialTimeout)
+	defer cancel()
+	go func() {
+		select {
+		case <-f.done:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	var d net.Dialer
+	raw, err := d.DialContext(ctx, "tcp", f.cfg.PublisherAddr)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", f.cfg.PublisherAddr, err)
+	}
+	tconn := tls.Client(raw, f.tls)
+	if err := tconn.HandshakeContext(ctx); err != nil {
+		raw.Close()
+		return fmt.Errorf("tls handshake: %w", err)
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		tconn.Close()
+		return errors.New("replica: follower closed")
+	}
+	f.conn = tconn
+	f.mu.Unlock()
+	defer func() {
+		tconn.Close()
+		f.mu.Lock()
+		f.conn = nil
+		f.mu.Unlock()
+	}()
+
+	conn := wire.NewConn(tconn)
+	after := f.applied.Load()
+	f.mu.Lock()
+	epoch := f.epoch
+	f.mu.Unlock()
+	if f.store.Load() == nil {
+		after = 0
+	}
+	body, err := wire.Encode(&helloRequest{AfterSeq: after, Epoch: epoch})
+	if err != nil {
+		return err
+	}
+	if err := conn.WriteRequest(&wire.Request{ID: 1, Op: opHello, Body: body}); err != nil {
+		return err
+	}
+	resp, err := conn.ReadResponse()
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return fmt.Errorf("publisher refused: %s (%s)", resp.Error, resp.Code)
+	}
+	var hello helloResponse
+	if err := wire.Decode(resp.Body, &hello); err != nil {
+		return err
+	}
+	if hello.Snapshot != nil {
+		store, err := db.OpenFromSnapshot(hello.Snapshot, nil)
+		if err != nil {
+			return fmt.Errorf("bootstrap snapshot: %w", err)
+		}
+		f.store.Store(store)
+		f.applied.Store(hello.Snapshot.Seq)
+		f.bootstraps.Add(1)
+	} else if f.store.Load() == nil {
+		return errors.New("replica: publisher sent no snapshot to a cold follower")
+	}
+	f.head.Store(hello.HeadSeq)
+	f.mu.Lock()
+	f.primaryAddr = hello.PrimaryAddr
+	f.epoch = hello.Epoch
+	// The bootstrap itself is a sync point: a fresh snapshot (or a
+	// nil-snapshot resume, which means applied == primary seq) is the
+	// primary's state as of this moment, even if the head has already
+	// moved on — without this, a replica bootstrapped under sustained
+	// writes would report astronomical staleness until it first fully
+	// caught up, and the read router would never use it.
+	f.syncedAt = time.Now()
+	f.mu.Unlock()
+	f.readyOnce.Do(func() { close(f.ready) })
+
+	for {
+		frame, err := conn.ReadResponse()
+		if err != nil {
+			return err
+		}
+		if !frame.OK {
+			return fmt.Errorf("stream terminated by publisher: %s (%s)", frame.Error, frame.Code)
+		}
+		var sf streamFrame
+		if err := wire.Decode(frame.Body, &sf); err != nil {
+			return err
+		}
+		if sf.HeadSeq > f.head.Load() {
+			f.head.Store(sf.HeadSeq)
+		}
+		if len(sf.Entries) > 0 {
+			if err := f.apply(sf.Entries); err != nil {
+				return err
+			}
+		}
+		f.noteSynced()
+	}
+}
+
+// apply folds one frame's entries into the local store, enforcing the
+// gapless-sequence contract. Entries at or below the applied sequence
+// (overlap between subscription and snapshot) are skipped.
+func (f *Follower) apply(entries []db.Entry) error {
+	applied := f.applied.Load()
+	live := entries[:0:0]
+	for _, e := range entries {
+		if e.Seq <= applied {
+			continue
+		}
+		if e.Seq != applied+1 {
+			return fmt.Errorf("%w: entry %d after applied %d", errGap, e.Seq, applied)
+		}
+		live = append(live, e)
+		applied = e.Seq
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	if err := f.store.Load().ApplyReplicated(live); err != nil {
+		return err
+	}
+	f.applied.Store(applied)
+	return nil
+}
+
+// noteSynced records the instant the follower was last observed caught
+// up with the publisher's head.
+func (f *Follower) noteSynced() {
+	if f.applied.Load() < f.head.Load() {
+		return
+	}
+	f.mu.Lock()
+	f.syncedAt = time.Now()
+	f.mu.Unlock()
+}
+
+// Store returns the current read-only mirror, or nil before the first
+// bootstrap. The pointer changes on re-bootstrap: fetch it per use.
+func (f *Follower) Store() *db.Store { return f.store.Load() }
+
+// AppliedSeq returns the highest applied entry sequence.
+func (f *Follower) AppliedSeq() uint64 { return f.applied.Load() }
+
+// Bootstraps counts snapshot loads — 1 after a clean start; more after
+// gap or slow-subscriber recoveries. Exposed for tests and metrics.
+func (f *Follower) Bootstraps() uint64 { return f.bootstraps.Load() }
+
+// PrimaryAddr returns the primary's advertised client API address.
+func (f *Follower) PrimaryAddr() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.primaryAddr
+}
+
+// Progress reports the replication position: applied and head
+// sequences, plus how long ago the follower was last caught up with
+// the head (its staleness bound — under a live connection this stays
+// below the publisher's heartbeat interval). Before the first
+// bootstrap it returns ErrNotReady.
+func (f *Follower) Progress() (appliedSeq, headSeq uint64, staleFor time.Duration, err error) {
+	if f.store.Load() == nil {
+		return 0, 0, 0, ErrNotReady
+	}
+	f.mu.Lock()
+	syncedAt := f.syncedAt
+	f.mu.Unlock()
+	return f.applied.Load(), f.head.Load(), time.Since(syncedAt), nil
+}
+
+// WaitReady blocks until the first bootstrap completes.
+func (f *Follower) WaitReady(timeout time.Duration) error {
+	select {
+	case <-f.ready:
+		return nil
+	case <-f.done:
+		return errors.New("replica: follower closed")
+	case <-time.After(timeout):
+		return fmt.Errorf("replica: not bootstrapped within %v", timeout)
+	}
+}
+
+// WaitForSeq blocks until the follower has applied at least minSeq —
+// the way to wait out replication lag against a known primary sequence
+// (e.g. store.CurrentSeq() observed after a write).
+func (f *Follower) WaitForSeq(minSeq uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if f.store.Load() != nil && f.applied.Load() >= minSeq {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica: seq %d not applied within %v (at %d)",
+				minSeq, timeout, f.applied.Load())
+		}
+		select {
+		case <-f.done:
+			return errors.New("replica: follower closed")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// Close stops replication. The last bootstrapped store remains readable
+// (frozen at its applied sequence).
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	conn := f.conn
+	f.mu.Unlock()
+	close(f.done)
+	if conn != nil {
+		conn.Close()
+	}
+	f.wg.Wait()
+	return nil
+}

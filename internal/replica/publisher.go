@@ -1,0 +1,316 @@
+package replica
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"gridbank/internal/db"
+	"gridbank/internal/pki"
+	"gridbank/internal/wire"
+)
+
+// PublisherConfig configures a Publisher.
+type PublisherConfig struct {
+	// Store is the primary's ledger store (required).
+	Store *db.Store
+	// Identity is the TLS server identity replication is served under
+	// (typically the bank's own identity). Required.
+	Identity *pki.Identity
+	// Trust verifies follower certificates. Required.
+	Trust *pki.TrustStore
+	// Allow restricts replication to these follower subjects. Empty
+	// means any subject the trust store verifies may replicate — the
+	// stream is the whole ledger, so production deployments should list
+	// their replica identities here.
+	Allow []string
+	// PrimaryAddr is the client-facing API address of the primary,
+	// advertised to followers so read-only servers can redirect
+	// mutations.
+	PrimaryAddr string
+	// SubscriberBuffer is the per-follower commit buffer (batches); a
+	// follower that falls further behind is disconnected and
+	// re-bootstraps. Default 1024.
+	SubscriberBuffer int
+	// Heartbeat is the idle frame interval. Default 500ms.
+	Heartbeat time.Duration
+}
+
+// Publisher serves the primary side of WAL shipping: each follower
+// connection gets a bootstrap snapshot plus the live commit stream.
+type Publisher struct {
+	cfg PublisherConfig
+	tls *tls.Config
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Logf logs session-level events; defaults to log.Printf. Tests and
+	// deployments silence or redirect it.
+	Logf func(format string, args ...any)
+}
+
+// NewPublisher builds a replication publisher over the store.
+func NewPublisher(cfg PublisherConfig) (*Publisher, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("replica: publisher requires a store")
+	}
+	if cfg.Identity == nil || cfg.Trust == nil {
+		return nil, errors.New("replica: publisher requires an identity and a trust store")
+	}
+	if cfg.SubscriberBuffer <= 0 {
+		cfg.SubscriberBuffer = 1024
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 500 * time.Millisecond
+	}
+	tcfg, err := pki.ServerTLSConfig(cfg.Identity, cfg.Trust)
+	if err != nil {
+		return nil, err
+	}
+	return &Publisher{
+		cfg:   cfg,
+		tls:   tcfg,
+		conns: make(map[net.Conn]struct{}),
+		Logf:  log.Printf,
+	}, nil
+}
+
+// Serve accepts follower connections on ln until Close. It blocks.
+func (p *Publisher) Serve(ln net.Listener) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return errors.New("replica: publisher closed")
+	}
+	p.ln = ln
+	p.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			p.mu.Lock()
+			closed := p.closed
+			p.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		// Register (and wg.Add) under the same lock Close holds while
+		// tearing down, so a conn accepted during Close is dropped here
+		// instead of leaking an untracked session.
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		p.conns[conn] = struct{}{}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go func() {
+			defer p.wg.Done()
+			p.handleConn(conn)
+			p.mu.Lock()
+			delete(p.conns, conn)
+			p.mu.Unlock()
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (p *Publisher) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return p.Serve(ln)
+}
+
+// Addr returns the bound address, once serving.
+func (p *Publisher) Addr() net.Addr {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ln == nil {
+		return nil
+	}
+	return p.ln.Addr()
+}
+
+// Close stops accepting and tears down live replication sessions.
+func (p *Publisher) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	ln := p.ln
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// allowed reports whether subject may replicate.
+func (p *Publisher) allowed(subject string) bool {
+	if len(p.cfg.Allow) == 0 {
+		return true
+	}
+	for _, s := range p.cfg.Allow {
+		if s == subject {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Publisher) handleConn(raw net.Conn) {
+	defer raw.Close()
+	tconn := tls.Server(raw, p.tls)
+	if err := tconn.HandshakeContext(context.Background()); err != nil {
+		p.Logf("replica: handshake from %s failed: %v", raw.RemoteAddr(), err)
+		return
+	}
+	subject, err := pki.PeerSubject(p.cfg.Trust, tconn.ConnectionState())
+	if err != nil {
+		p.Logf("replica: peer verification from %s failed: %v", raw.RemoteAddr(), err)
+		return
+	}
+	conn := wire.NewConn(tconn)
+	req, err := conn.ReadRequest()
+	if err != nil {
+		return
+	}
+	fail := func(code, msg string) {
+		_ = conn.WriteResponse(&wire.Response{ID: req.ID, OK: false, Code: code, Error: msg})
+	}
+	if !p.allowed(subject) {
+		p.Logf("replica: subject %s not in replication allow list", subject)
+		fail("denied", fmt.Sprintf("subject %s may not replicate", subject))
+		return
+	}
+	if req.Op != opHello {
+		fail("invalid_request", fmt.Sprintf("replication expects %s, got %q", opHello, req.Op))
+		return
+	}
+	var hello helloRequest
+	if err := wire.Decode(req.Body, &hello); err != nil {
+		fail("invalid_request", err.Error())
+		return
+	}
+
+	// Subscribe BEFORE snapshotting: entries sequenced after the cut are
+	// then guaranteed to be in the buffer, making snapshot+stream a
+	// gapless history.
+	sub, err := p.cfg.Store.SubscribeCommits(p.cfg.SubscriberBuffer)
+	if err != nil {
+		fail("internal", err.Error())
+		return
+	}
+	defer sub.Close()
+	after := hello.AfterSeq
+	if hello.Epoch != p.cfg.Store.InstanceID() {
+		// The follower's sequence belongs to another primary epoch
+		// (pre-restart history it may have outrun): not resumable.
+		after = 0
+	}
+	snap, err := p.cfg.Store.SnapshotSince(after)
+	if err != nil {
+		fail("internal", err.Error())
+		return
+	}
+	body, err := wire.Encode(&helloResponse{
+		Snapshot:    snap,
+		HeadSeq:     p.cfg.Store.CurrentSeq(),
+		Epoch:       p.cfg.Store.InstanceID(),
+		PrimaryAddr: p.cfg.PrimaryAddr,
+	})
+	if err != nil {
+		fail("internal", err.Error())
+		return
+	}
+	if err := conn.WriteResponse(&wire.Response{ID: req.ID, OK: true, Body: body}); err != nil {
+		return
+	}
+	from := after
+	if snap != nil {
+		from = snap.Seq
+	}
+	p.Logf("replica: %s streaming from seq %d (snapshot %v)", subject, from, snap != nil)
+	p.stream(tconn, conn, sub)
+	p.Logf("replica: session with %s ended: %v", subject, sub.Err())
+}
+
+// stream pumps the subscription (plus heartbeats) to the follower until
+// either side fails. A follower catching up through a backlog gets
+// batches coalesced into fewer, larger frames. Every frame write
+// carries a deadline: a wedged follower (open socket, zero window) must
+// error the session out, not pin its goroutine and buffers forever.
+func (p *Publisher) stream(raw net.Conn, conn *wire.Conn, sub *db.CommitSub) {
+	hb := time.NewTicker(p.cfg.Heartbeat)
+	defer hb.Stop()
+	writeTimeout := 10 * p.cfg.Heartbeat
+	if writeTimeout < 5*time.Second {
+		writeTimeout = 5 * time.Second
+	}
+	var id uint64
+	send := func(entries []db.Entry) error {
+		id++
+		body, err := wire.Encode(&streamFrame{Entries: entries, HeadSeq: p.cfg.Store.CurrentSeq()})
+		if err != nil {
+			return err
+		}
+		_ = raw.SetWriteDeadline(time.Now().Add(writeTimeout))
+		return conn.WriteResponse(&wire.Response{ID: id, OK: true, Body: body})
+	}
+	for {
+		select {
+		case batch, ok := <-sub.C():
+			if !ok {
+				// Slow subscriber, store closed, or journal failure:
+				// tell the follower why, then drop the session — it
+				// will re-bootstrap.
+				err := sub.Err()
+				if err == nil {
+					err = io.EOF
+				}
+				id++
+				_ = conn.WriteResponse(&wire.Response{ID: id, OK: false, Code: "stream_lost", Error: err.Error()})
+				return
+			}
+			entries := batch
+			// Coalesce a backlog into one frame (bounded).
+		drain:
+			for len(entries) < coalesceEntries {
+				select {
+				case more, ok := <-sub.C():
+					if !ok {
+						break drain
+					}
+					entries = append(entries[:len(entries):len(entries)], more...)
+				default:
+					break drain
+				}
+			}
+			if err := send(entries); err != nil {
+				return
+			}
+		case <-hb.C:
+			if err := send(nil); err != nil {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package replica implements WAL-shipping read replication for GridBank
+// servers. One primary bank fans its committed journal stream out to N
+// followers; each follower maintains a read-only copy of the ledger
+// store that the core layer serves balance, statement and account
+// queries from, turning the read-dominated half of the §5.2 API into a
+// horizontally scalable resource while every mutation still flows
+// through the single authoritative primary (the paper's one-bank-per-VO
+// model, §3.2/§6, extended the way NetCheque-style clearing networks
+// scale).
+//
+// The protocol rides the same mutually-authenticated TLS transport and
+// framed wire protocol as the client API:
+//
+//	follower → publisher   Request{Op: "Repl.Hello", Body: {after_seq}}
+//	publisher → follower   Response{Body: {snapshot?, head_seq, primary_addr}}
+//	publisher → follower   Response{Body: {entries, head_seq}}   (repeated)
+//
+// The publisher subscribes to the store's commit stream *before* taking
+// the bootstrap snapshot, so the snapshot's cut plus the stream is a
+// gapless history: the follower applies exactly the entries sequenced
+// after the cut. Empty frames are heartbeats — they carry the
+// publisher's head sequence so a follower (and anything routing reads
+// through it) can measure staleness even when the primary is idle.
+//
+// Failure handling is re-bootstrap, not repair: a follower that detects
+// a sequence gap, loses its connection, or is cut off as a slow
+// subscriber reconnects and asks for state since its applied sequence;
+// the publisher answers with a fresh snapshot whenever the follower is
+// not exactly current. Snapshots and frames are bounded by the wire
+// layer's MaxFrame; stores whose full snapshot exceeds it need chunked
+// bootstrap, which this package does not yet implement.
+package replica
+
+import (
+	"gridbank/internal/db"
+)
+
+// opHello opens a replication session.
+const opHello = "Repl.Hello"
+
+// helloRequest is the follower's opening message: the highest entry
+// sequence its store has applied (zero for a cold start) and the
+// primary epoch that sequence belongs to. Sequence numbers are only
+// comparable within one epoch — a restarted primary may have replayed
+// less history than the follower saw and re-issued the same numbers
+// for different writes — so the publisher forces a snapshot whenever
+// the epochs differ.
+type helloRequest struct {
+	AfterSeq uint64 `json:"after_seq"`
+	Epoch    string `json:"epoch,omitempty"`
+}
+
+// helloResponse is the publisher's bootstrap answer. Snapshot is nil
+// when the follower is exactly current (same epoch) and can resume from
+// its own store; otherwise the follower replaces its store with the
+// snapshot.
+type helloResponse struct {
+	Snapshot    *db.Snapshot `json:"snapshot,omitempty"`
+	HeadSeq     uint64       `json:"head_seq"`
+	Epoch       string       `json:"epoch"`
+	PrimaryAddr string       `json:"primary_addr,omitempty"`
+}
+
+// streamFrame carries committed entries (or, when empty, a heartbeat).
+// HeadSeq is the publisher's current sequence at send time, letting the
+// follower compute its lag without a round trip.
+type streamFrame struct {
+	Entries []db.Entry `json:"entries,omitempty"`
+	HeadSeq uint64     `json:"head_seq"`
+}
+
+// coalesceEntries caps how many entries the publisher merges into one
+// stream frame when a follower is catching up through a backlog.
+const coalesceEntries = 256

@@ -1,0 +1,400 @@
+package replica
+
+import (
+	"bytes"
+	"crypto/tls"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gridbank/internal/db"
+	"gridbank/internal/pki"
+	"gridbank/internal/wire"
+)
+
+type testPKI struct {
+	trust *pki.TrustStore
+	pub   *pki.Identity // publisher (server) identity
+	fol   *pki.Identity // follower identity
+}
+
+func newTestPKI(t *testing.T) *testPKI {
+	t.Helper()
+	ca, err := pki.NewCA("Replica CA", "VO-R", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := ca.Issue(pki.IssueOptions{CommonName: "gridbank", Organization: "VO-R", IsServer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fol, err := ca.Issue(pki.IssueOptions{CommonName: "replica-1", Organization: "VO-R", IsServer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testPKI{trust: pki.NewTrustStore(ca.Certificate()), pub: pub, fol: fol}
+}
+
+func startPublisher(t *testing.T, kp *testPKI, store *db.Store, mut func(*PublisherConfig)) (*Publisher, string) {
+	t.Helper()
+	cfg := PublisherConfig{
+		Store:       store,
+		Identity:    kp.pub,
+		Trust:       kp.trust,
+		PrimaryAddr: "primary.example:7776",
+		Heartbeat:   20 * time.Millisecond,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	p, err := NewPublisher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Logf = func(string, ...any) {}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go p.Serve(ln)
+	t.Cleanup(func() { p.Close() })
+	return p, ln.Addr().String()
+}
+
+func startFollower(t *testing.T, kp *testPKI, addr string) *Follower {
+	t.Helper()
+	f, err := StartFollower(FollowerConfig{
+		PublisherAddr: addr,
+		Identity:      kp.fol,
+		Trust:         kp.trust,
+		RetryInterval: 20 * time.Millisecond,
+		Logf:          func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestFollowerConvergesUnderSustainedWrites(t *testing.T) {
+	kp := newTestPKI(t)
+	primary, err := db.Open(db.NewMemJournal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.CreateTable("kv"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("pre%d", i)
+		if err := primary.Update(func(tx *db.Tx) error { return tx.Put("kv", key, []byte("seed")) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, addr := startPublisher(t, kp, primary, nil)
+	f := startFollower(t, kp, addr)
+	if err := f.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if f.PrimaryAddr() != "primary.example:7776" {
+		t.Fatalf("PrimaryAddr = %q", f.PrimaryAddr())
+	}
+
+	// Sustained writes while the follower is attached.
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("live%d", i%31)
+		val := []byte(fmt.Sprintf("v%d", i))
+		if err := primary.Update(func(tx *db.Tx) error { return tx.Put("kv", key, val) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.WaitForSeq(primary.CurrentSeq(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	applied, head, _, err := f.Progress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != head || applied != primary.CurrentSeq() {
+		t.Fatalf("applied %d, head %d, primary %d", applied, head, primary.CurrentSeq())
+	}
+	// Heartbeats keep staleness bounded on an idle primary.
+	time.Sleep(60 * time.Millisecond)
+	_, _, staleFor, err := f.Progress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staleFor > time.Second {
+		t.Fatalf("staleness %v despite live heartbeats", staleFor)
+	}
+
+	want, err := primary.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Store().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Tables["kv"]) != len(got.Tables["kv"]) {
+		t.Fatalf("row counts diverge: %d vs %d", len(want.Tables["kv"]), len(got.Tables["kv"]))
+	}
+	for k, v := range want.Tables["kv"] {
+		if !bytes.Equal(got.Tables["kv"][k], v) {
+			t.Fatalf("key %s: primary %q, replica %q", k, v, got.Tables["kv"][k])
+		}
+	}
+	if f.Bootstraps() != 1 {
+		t.Fatalf("clean run bootstrapped %d times, want 1", f.Bootstraps())
+	}
+}
+
+// fakePublisher accepts replication sessions and hands each to the
+// scripted handler, for deterministic fault injection.
+func fakePublisher(t *testing.T, kp *testPKI, handler func(session int, conn *wire.Conn, hello helloRequest)) string {
+	t.Helper()
+	tcfg, err := pki.ServerTLSConfig(kp.pub, kp.trust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var sessions atomic.Int64
+	go func() {
+		for {
+			raw, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n := int(sessions.Add(1))
+			go func() {
+				defer raw.Close()
+				tconn := tls.Server(raw, tcfg)
+				if err := tconn.Handshake(); err != nil {
+					return
+				}
+				conn := wire.NewConn(tconn)
+				req, err := conn.ReadRequest()
+				if err != nil || req.Op != opHello {
+					return
+				}
+				var hello helloRequest
+				if err := wire.Decode(req.Body, &hello); err != nil {
+					return
+				}
+				handler(n, conn, hello)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func respond(t *testing.T, conn *wire.Conn, hr *helloResponse) {
+	t.Helper()
+	body, err := wire.Encode(hr)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	_ = conn.WriteResponse(&wire.Response{ID: 1, OK: true, Body: body})
+}
+
+func push(conn *wire.Conn, id uint64, entries []db.Entry, head uint64) error {
+	body, err := wire.Encode(&streamFrame{Entries: entries, HeadSeq: head})
+	if err != nil {
+		return err
+	}
+	return conn.WriteResponse(&wire.Response{ID: id, OK: true, Body: body})
+}
+
+func TestFollowerReBootstrapsOnSequenceGap(t *testing.T) {
+	kp := newTestPKI(t)
+	recovered := make(chan struct{})
+	addr := fakePublisher(t, kp, func(session int, conn *wire.Conn, hello helloRequest) {
+		switch session {
+		case 1:
+			// Bootstrap at seq 1, then ship a frame that skips seq 2 —
+			// a gap the follower must refuse to paper over.
+			respond(t, conn, &helloResponse{
+				Snapshot: &db.Snapshot{Seq: 1, Tables: map[string]map[string][]byte{
+					"kv": {"a": []byte("1")},
+				}},
+				HeadSeq: 3,
+			})
+			_ = push(conn, 2, []db.Entry{{Seq: 3, Op: db.OpPut, Table: "kv", Key: "c", Value: []byte("3")}}, 3)
+			// Keep the connection up; the follower drops it on the gap.
+			time.Sleep(2 * time.Second)
+		default:
+			// The follower reports what it had applied; it must not
+			// have applied past the gap.
+			if hello.AfterSeq != 1 {
+				t.Errorf("session 2 hello.AfterSeq = %d, want 1", hello.AfterSeq)
+			}
+			respond(t, conn, &helloResponse{
+				Snapshot: &db.Snapshot{Seq: 3, Tables: map[string]map[string][]byte{
+					"kv": {"a": []byte("1"), "b": []byte("2"), "c": []byte("3")},
+				}},
+				HeadSeq: 3,
+			})
+			close(recovered)
+			time.Sleep(2 * time.Second)
+		}
+	})
+
+	f := startFollower(t, kp, addr)
+	select {
+	case <-recovered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower never re-bootstrapped after the gap")
+	}
+	if err := f.WaitForSeq(3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if f.Bootstraps() != 2 {
+		t.Fatalf("Bootstraps = %d, want 2 (initial + gap recovery)", f.Bootstraps())
+	}
+	for k, want := range map[string]string{"a": "1", "b": "2", "c": "3"} {
+		v, err := f.Store().Get("kv", k)
+		if err != nil || string(v) != want {
+			t.Fatalf("after recovery, %s = %q, %v", k, v, err)
+		}
+	}
+}
+
+func TestFollowerResumesWithoutSnapshotWhenCurrent(t *testing.T) {
+	kp := newTestPKI(t)
+	resumed := make(chan struct{})
+	addr := fakePublisher(t, kp, func(session int, conn *wire.Conn, hello helloRequest) {
+		switch session {
+		case 1:
+			respond(t, conn, &helloResponse{
+				Snapshot: &db.Snapshot{Seq: 2, Tables: map[string]map[string][]byte{
+					"kv": {"a": []byte("1")},
+				}},
+				HeadSeq: 2,
+			})
+			// Drop the connection: simulated primary blip.
+		default:
+			if hello.AfterSeq != 2 {
+				t.Errorf("resume hello.AfterSeq = %d, want 2", hello.AfterSeq)
+			}
+			// Current follower: no snapshot, stream the tail directly.
+			respond(t, conn, &helloResponse{HeadSeq: 2})
+			_ = push(conn, 2, []db.Entry{
+				{Seq: 3, Op: db.OpPut, Table: "kv", Key: "b", Value: []byte("2")},
+				{Seq: 4, Op: db.OpPut, Table: "kv", Key: "c", Value: []byte("3")},
+			}, 4)
+			close(resumed)
+			time.Sleep(2 * time.Second)
+		}
+	})
+
+	f := startFollower(t, kp, addr)
+	select {
+	case <-resumed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower never resumed")
+	}
+	if err := f.WaitForSeq(4, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if f.Bootstraps() != 1 {
+		t.Fatalf("Bootstraps = %d, want 1 (resume must not re-snapshot)", f.Bootstraps())
+	}
+	if f.AppliedSeq() != 4 {
+		t.Fatalf("AppliedSeq = %d, want 4", f.AppliedSeq())
+	}
+	v, err := f.Store().Get("kv", "c")
+	if err != nil || string(v) != "3" {
+		t.Fatalf("c = %q, %v", v, err)
+	}
+}
+
+func TestPublisherAllowListRefusesStrangers(t *testing.T) {
+	kp := newTestPKI(t)
+	store := db.MustOpenMemory()
+	if err := store.CreateTable("kv"); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startPublisher(t, kp, store, func(cfg *PublisherConfig) {
+		cfg.Allow = []string{"CN=somebody-else,O=VO-R"}
+	})
+	f := startFollower(t, kp, addr)
+	if err := f.WaitReady(300 * time.Millisecond); err == nil {
+		t.Fatal("disallowed follower bootstrapped")
+	}
+}
+
+// TestPublisherEpochMismatchForcesSnapshot: sequence numbers are only
+// comparable within one primary epoch. A follower claiming to be
+// current at the primary's head seq, but from a different epoch (a
+// pre-restart history), must be handed a full snapshot.
+func TestPublisherEpochMismatchForcesSnapshot(t *testing.T) {
+	kp := newTestPKI(t)
+	store, err := db.Open(db.NewMemJournal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.CreateTable("kv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Update(func(tx *db.Tx) error { return tx.Put("kv", "k", []byte("v")) }); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startPublisher(t, kp, store, nil)
+
+	hello := func(afterSeq uint64, epoch string) *helloResponse {
+		t.Helper()
+		tcfg, err := pki.ClientTLSConfig(kp.fol, kp.trust)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tconn, err := tls.Dial("tcp", addr, tcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tconn.Close()
+		conn := wire.NewConn(tconn)
+		body, err := wire.Encode(&helloRequest{AfterSeq: afterSeq, Epoch: epoch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.WriteRequest(&wire.Request{ID: 1, Op: opHello, Body: body}); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := conn.ReadResponse()
+		if err != nil || !resp.OK {
+			t.Fatalf("hello failed: %+v, %v", resp, err)
+		}
+		var hr helloResponse
+		if err := wire.Decode(resp.Body, &hr); err != nil {
+			t.Fatal(err)
+		}
+		return &hr
+	}
+
+	head := store.CurrentSeq()
+	// Same epoch, current seq: resumable, no snapshot.
+	hr := hello(head, store.InstanceID())
+	if hr.Snapshot != nil {
+		t.Fatal("same-epoch current follower was re-snapshotted")
+	}
+	if hr.Epoch != store.InstanceID() {
+		t.Fatalf("hello epoch = %q, want store instance", hr.Epoch)
+	}
+	// Different epoch, same seq: the numbers are not comparable — full
+	// snapshot required.
+	hr = hello(head, "some-previous-epoch")
+	if hr.Snapshot == nil {
+		t.Fatal("stale-epoch follower allowed to resume by sequence")
+	}
+	if hr.Snapshot.Seq != head {
+		t.Fatalf("snapshot seq = %d, want %d", hr.Snapshot.Seq, head)
+	}
+}
