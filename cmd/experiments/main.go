@@ -146,6 +146,14 @@ func registry() []experiment {
 			experiments.WriteReplicas(out, r)
 			return nil
 		}},
+		{"shards", "sharded ledger: transfers/sec vs shard count x cross-shard ratio", func() error {
+			r, err := experiments.RunShards(experiments.ShardsConfig{})
+			if err != nil {
+				return err
+			}
+			experiments.WriteShards(out, r)
+			return nil
+		}},
 	}
 }
 

@@ -25,23 +25,38 @@
 //	gridbankd -data /var/lib/gridbank-r1 -replica-of primary:7777 \
 //	    -primary primary:7776 -listen :7778
 //
+// Sharding: -shards N partitions the ledger over N consistent-hash
+// shards, one journal per shard (ledger.wal, ledger-1.wal, ...); the
+// shard count is fixed once data exists. A sharded -publish serves one
+// commit stream per shard on consecutive ports, and a replica follows
+// one shard with -shard:
+//
+//	gridbankd -data /var/lib/gridbank -shards 4 -publish :7777
+//	gridbankd -data /var/lib/gridbank-s2 -replica-of primary:7779 \
+//	    -shards 4 -shard 2 -primary primary:7776 -listen :7780
+//
 // The replica's data directory must be seeded with the VO's CA files
 // (ca.crt/ca.key from the primary's directory) so its identity chains
 // to the same trust root.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"gridbank/internal/core"
 	"gridbank/internal/db"
 	"gridbank/internal/pki"
 	"gridbank/internal/replica"
+	"gridbank/internal/shard"
 )
 
 func main() {
@@ -53,23 +68,28 @@ func main() {
 		issue      = flag.String("issue", "", "issue a user certificate with this common name and exit")
 		syncWAL    = flag.Bool("sync", true, "fsync the ledger journal on every commit")
 		checkpoint = flag.Bool("checkpoint", true, "checkpoint the ledger at startup (restart replays only the tail)")
+		shards     = flag.Int("shards", 1, "partition the ledger over this many shards (one journal per shard; fixed once data exists)")
 		publish    = flag.String("publish", "", "serve the replication commit stream on this address (primary)")
 		replicaOf  = flag.String("replica-of", "", "run as a read replica of the publisher at this address")
+		shardIdx   = flag.Int("shard", 0, "with -replica-of on a sharded primary: the shard index this replica follows")
 		primary    = flag.String("primary", "", "primary API address advertised in replica redirects")
 	)
 	flag.Parse()
 	if *replicaOf != "" {
-		if err := runReplica(*dataDir, *vo, *listen, *replicaOf, *primary); err != nil {
+		if err := runReplica(*dataDir, *vo, *listen, *replicaOf, *primary, *shardIdx, *shards); err != nil {
 			log.Fatalf("gridbankd: %v", err)
 		}
 		return
 	}
-	if err := run(*dataDir, *vo, *branch, *listen, *issue, *publish, *syncWAL, *checkpoint); err != nil {
+	if err := run(*dataDir, *vo, *branch, *listen, *issue, *publish, *shards, *syncWAL, *checkpoint); err != nil {
 		log.Fatalf("gridbankd: %v", err)
 	}
 }
 
-func run(dataDir, vo, branch, listen, issue, publish string, syncWAL, checkpoint bool) error {
+func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL, checkpoint bool) error {
+	if shards < 1 {
+		return fmt.Errorf("-shards %d: need at least 1", shards)
+	}
 	ca, err := loadOrCreateCA(dataDir, vo)
 	if err != nil {
 		return err
@@ -94,32 +114,59 @@ func run(dataDir, vo, branch, listen, issue, publish string, syncWAL, checkpoint
 	if err != nil {
 		return err
 	}
-	journal, err := db.OpenFileJournal(filepath.Join(dataDir, "ledger.wal"), syncWAL)
-	if err != nil {
+	// Shard i lives in ledger-<i>.wal / ledger-<i>.ckpt; shard 0 keeps
+	// the historical unsuffixed names, so a -shards 1 server (the
+	// default) opens pre-sharding data directories unchanged, byte for
+	// byte. The shard count is fixed once data exists: reopening under
+	// a different count would strand accounts on shards their IDs no
+	// longer hash to, so it is pinned in a marker file on first boot
+	// and every later boot must match (forgetting -shards after a
+	// sharded bootstrap is the dangerous default this catches).
+	if err := pinShardCount(dataDir, shards); err != nil {
 		return err
 	}
-	ckptPath := filepath.Join(dataDir, "ledger.ckpt")
-	store, err := db.OpenWithCheckpoint(ckptPath, journal)
-	if err != nil {
-		return err
+	shardFiles := func(i int) (wal, ckpt string) {
+		if i == 0 {
+			return filepath.Join(dataDir, "ledger.wal"), filepath.Join(dataDir, "ledger.ckpt")
+		}
+		return filepath.Join(dataDir, fmt.Sprintf("ledger-%d.wal", i)),
+			filepath.Join(dataDir, fmt.Sprintf("ledger-%d.ckpt", i))
 	}
-	if checkpoint {
-		// Quiescent window before serving: snapshot the whole state,
-		// then drop the journal it covers — startup cost and disk usage
-		// stay proportional to one run's writes, not the full history.
-		seq, err := store.Checkpoint(ckptPath)
+	stores := make([]*db.Store, shards)
+	for i := range stores {
+		walPath, ckptPath := shardFiles(i)
+		journal, err := db.OpenFileJournal(walPath, syncWAL)
 		if err != nil {
-			return fmt.Errorf("checkpoint: %w", err)
+			return err
 		}
-		if cj, ok := journal.(db.CompactableJournal); ok {
-			if err := cj.Compact(); err != nil {
-				return fmt.Errorf("compacting journal after checkpoint: %w", err)
+		store, err := db.OpenWithCheckpoint(ckptPath, journal)
+		if err != nil {
+			return err
+		}
+		if checkpoint {
+			// Quiescent window before serving: snapshot the whole state,
+			// then drop the journal it covers — startup cost and disk
+			// usage stay proportional to one run's writes, not the full
+			// history.
+			seq, err := store.Checkpoint(ckptPath)
+			if err != nil {
+				return fmt.Errorf("checkpoint shard %d: %w", i, err)
 			}
+			if cj, ok := journal.(db.CompactableJournal); ok {
+				if err := cj.Compact(); err != nil {
+					return fmt.Errorf("compacting shard %d journal after checkpoint: %w", i, err)
+				}
+			}
+			log.Printf("gridbankd: checkpointed shard %d at seq %d (%s), journal compacted", i, seq, ckptPath)
 		}
-		log.Printf("gridbankd: checkpointed ledger at seq %d (%s), journal compacted", seq, ckptPath)
+		stores[i] = store
 	}
 	trust := pki.NewTrustStore(ca.Certificate())
-	bank, err := core.NewBank(store, core.BankConfig{
+	ledger, err := shard.New(stores, shard.Config{Branch: branch})
+	if err != nil {
+		return err
+	}
+	bank, err := core.NewBankWithLedger(ledger, core.BankConfig{
 		Identity: bankID,
 		Trust:    trust,
 		Admins:   []string{banker.SubjectName()},
@@ -128,26 +175,43 @@ func run(dataDir, vo, branch, listen, issue, publish string, syncWAL, checkpoint
 	if err != nil {
 		return err
 	}
+	if shards > 1 {
+		log.Printf("gridbankd: ledger partitioned over %d shards (consistent hash, %d vnodes/shard)", shards, ledger.Ring().Vnodes())
+	}
 	srv, err := core.NewServer(bank, bankID)
 	if err != nil {
 		return err
 	}
 	if publish != "" {
-		pub, err := replica.NewPublisher(replica.PublisherConfig{
-			Store:       store,
-			Identity:    bankID,
-			Trust:       trust,
-			PrimaryAddr: listen,
-		})
+		// One commit stream per shard: shard 0 on the given address,
+		// shard i on port+i. Replicas subscribe per shard (a replica of
+		// shard 2 points -replica-of at port+2).
+		host, portStr, err := net.SplitHostPort(publish)
 		if err != nil {
-			return err
+			return fmt.Errorf("-publish %s: %w", publish, err)
 		}
-		go func() {
-			if err := pub.ListenAndServe(publish); err != nil {
-				log.Printf("gridbankd: replication publisher: %v", err)
+		basePort, err := strconv.Atoi(portStr)
+		if err != nil {
+			return fmt.Errorf("-publish %s: %w", publish, err)
+		}
+		for i, store := range ledger.Stores() {
+			pub, err := replica.NewPublisher(replica.PublisherConfig{
+				Store:       store,
+				Identity:    bankID,
+				Trust:       trust,
+				PrimaryAddr: listen,
+			})
+			if err != nil {
+				return err
 			}
-		}()
-		log.Printf("gridbankd: publishing commit stream on %s", publish)
+			addr := net.JoinHostPort(host, strconv.Itoa(basePort+i))
+			go func(i int) {
+				if err := pub.ListenAndServe(addr); err != nil {
+					log.Printf("gridbankd: shard %d replication publisher: %v", i, err)
+				}
+			}(i)
+			log.Printf("gridbankd: publishing shard %d commit stream on %s", i, addr)
+		}
 	}
 	log.Printf("gridbankd: %s branch %s serving on %s (CA %s)",
 		bankID.SubjectName(), branch, listen, pki.SubjectNameOf(ca.Certificate()))
@@ -156,7 +220,7 @@ func run(dataDir, vo, branch, listen, issue, publish string, syncWAL, checkpoint
 
 // runReplica runs the -replica-of mode: follow the publisher's commit
 // stream and serve the query API read-only.
-func runReplica(dataDir, vo, listen, publisherAddr, primaryAddr string) error {
+func runReplica(dataDir, vo, listen, publisherAddr, primaryAddr string, shardIdx, shardCount int) error {
 	ca, err := loadOrCreateCA(dataDir, vo)
 	if err != nil {
 		return err
@@ -178,11 +242,23 @@ func runReplica(dataDir, vo, listen, publisherAddr, primaryAddr string) error {
 	if err := fol.WaitReady(30 * time.Second); err != nil {
 		return err
 	}
-	rb, err := core.NewReadOnlyBank(fol, core.ReadOnlyBankConfig{
+	roCfg := core.ReadOnlyBankConfig{
 		Identity:    id,
 		Trust:       trust,
 		PrimaryAddr: primaryAddr,
-	})
+	}
+	if shardCount > 1 {
+		roCfg.Shard = &core.ShardInfo{Index: shardIdx, Count: shardCount}
+		// Sanity-check the claimed shard against the mirrored data: the
+		// publisher ports are consecutive per shard, so a -shard that
+		// disagrees with -replica-of would serve false not_found for
+		// every real account. Any account bootstrapped into this store
+		// must hash to the claimed shard.
+		if err := checkShardIndex(fol.Store(), shardIdx, shardCount); err != nil {
+			return err
+		}
+	}
+	rb, err := core.NewReadOnlyBank(fol, roCfg)
 	if err != nil {
 		return err
 	}
@@ -193,6 +269,61 @@ func runReplica(dataDir, vo, listen, publisherAddr, primaryAddr string) error {
 	log.Printf("gridbankd: %s read replica of %s serving on %s (applied seq %d)",
 		id.SubjectName(), publisherAddr, listen, fol.AppliedSeq())
 	return srv.ListenAndServe(listen)
+}
+
+// checkShardIndex verifies that the accounts a shard replica mirrored
+// actually hash to the shard it claims to serve (-shard vs -replica-of
+// mismatch detection). An empty store proves nothing and passes.
+func checkShardIndex(store *db.Store, shardIdx, shardCount int) error {
+	if store == nil {
+		return nil
+	}
+	ring, err := shard.NewRing(shardCount, 0)
+	if err != nil {
+		return err
+	}
+	var mismatch error
+	err = store.Scan("accounts", func(key string, _ []byte) bool {
+		if owner := ring.ShardFor(key); owner != shardIdx {
+			mismatch = fmt.Errorf("mirrored account %s hashes to shard %d, but this replica claims -shard %d of %d — check that -replica-of points at shard %d's stream", key, owner, shardIdx, shardCount, shardIdx)
+			return false
+		}
+		return true
+	})
+	if err != nil && !errors.Is(err, db.ErrNoTable) {
+		return err
+	}
+	return mismatch
+}
+
+// pinShardCount records the shard count in <data>/shards on first boot
+// and refuses later boots whose -shards disagrees: opening a subset of
+// the shard journals would silently hide accounts and break the
+// cross-shard duplicate-identity check. Pre-sharding data directories
+// (journal exists, no marker) are grandfathered as 1 shard.
+func pinShardCount(dataDir string, shards int) error {
+	path := filepath.Join(dataDir, "shards")
+	raw, err := os.ReadFile(path)
+	if err == nil {
+		pinned, perr := strconv.Atoi(strings.TrimSpace(string(raw)))
+		if perr != nil {
+			return fmt.Errorf("corrupt shard-count marker %s: %q", path, raw)
+		}
+		if pinned != shards {
+			return fmt.Errorf("data directory %s was created with -shards %d; refusing to open with -shards %d (resharding requires migration)", dataDir, pinned, shards)
+		}
+		return nil
+	}
+	if !os.IsNotExist(err) {
+		return err
+	}
+	if _, werr := os.Stat(filepath.Join(dataDir, "ledger.wal")); werr == nil && shards != 1 {
+		return fmt.Errorf("data directory %s predates sharding (no shard-count marker); it holds 1 shard, got -shards %d", dataDir, shards)
+	}
+	if err := os.MkdirAll(dataDir, 0o700); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(strconv.Itoa(shards)+"\n"), 0o600)
 }
 
 // loadOrCreateCA reuses the data directory's CA or bootstraps one.

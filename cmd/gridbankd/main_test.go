@@ -2,12 +2,15 @@ package main
 
 import (
 	"crypto/x509"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
+	"gridbank/internal/db"
 	"gridbank/internal/pki"
+	"gridbank/internal/shard"
 )
 
 func TestBootstrapAndResumeCA(t *testing.T) {
@@ -67,7 +70,7 @@ func TestLoadOrIssueIdempotent(t *testing.T) {
 
 func TestIssueFlagWritesIdentity(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, "VO-T", "0001", "", "alice", "", false, false); err != nil {
+	if err := run(dir, "VO-T", "0001", "", "alice", "", 1, false, false); err != nil {
 		t.Fatal(err)
 	}
 	id, err := pki.LoadIdentity(dir, "alice")
@@ -76,5 +79,64 @@ func TestIssueFlagWritesIdentity(t *testing.T) {
 	}
 	if id.SubjectName() != "CN=alice,O=VO-T" {
 		t.Fatalf("issued subject = %q", id.SubjectName())
+	}
+}
+
+func TestPinShardCountRefusesMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if err := pinShardCount(dir, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := pinShardCount(dir, 4); err != nil {
+		t.Fatalf("matching re-pin = %v", err)
+	}
+	if err := pinShardCount(dir, 1); err == nil {
+		t.Fatal("mismatched shard count accepted")
+	}
+	// A pre-sharding data dir (journal, no marker) is 1 shard only.
+	legacy := t.TempDir()
+	if err := os.WriteFile(filepath.Join(legacy, "ledger.wal"), []byte("[]\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := pinShardCount(legacy, 4); err == nil {
+		t.Fatal("pre-sharding dir accepted -shards 4")
+	}
+	if err := pinShardCount(legacy, 1); err != nil {
+		t.Fatalf("pre-sharding dir refused -shards 1: %v", err)
+	}
+}
+
+func TestCheckShardIndexDetectsMismatchedReplica(t *testing.T) {
+	store := db.MustOpenMemory()
+	if err := store.EnsureTable("accounts"); err != nil {
+		t.Fatal(err)
+	}
+	// Find an account ID on shard 2 of 4 and pretend this replica
+	// mirrored it while claiming another shard.
+	ring, err := shard.NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var id string
+	for i := 1; i < 10000; i++ {
+		candidate := fmt.Sprintf("01-0001-%08d", i)
+		if ring.ShardFor(candidate) == 2 {
+			id = candidate
+			break
+		}
+	}
+	err = store.Update(func(tx *db.Tx) error { return tx.Put("accounts", id, []byte("{}")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkShardIndex(store, 2, 4); err != nil {
+		t.Fatalf("correct shard claim rejected: %v", err)
+	}
+	if err := checkShardIndex(store, 1, 4); err == nil {
+		t.Fatal("mismatched shard claim accepted")
+	}
+	// An empty store proves nothing and passes.
+	if err := checkShardIndex(db.MustOpenMemory(), 1, 4); err != nil {
+		t.Fatalf("empty store rejected: %v", err)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"gridbank/internal/db"
 	"gridbank/internal/pki"
 	"gridbank/internal/replica"
+	"gridbank/internal/shard"
 )
 
 // DeploymentConfig parameterizes NewDeployment.
@@ -44,21 +45,38 @@ type Deployment struct {
 	// Banker is the built-in administrator identity.
 	Banker *Identity
 
+	cfg       DeploymentConfig
+	bankID    *Identity
+	addr      string
+	serveErr  chan error
+	closeOnce sync.Once
+	closeErr  error
+
+	// sharded is the shard ledger when EnableSharding was called (even
+	// with n=1); nil for a classic single-store deployment.
+	sharded *shard.Ledger
+
+	pubs     map[int]*shardPublisher // shard index -> commit-stream publisher
+	replicas []*ReadReplica
+}
+
+// shardPublisher is one shard's WAL-shipping publisher.
+type shardPublisher struct {
+	pub      *replica.Publisher
 	addr     string
 	serveErr chan error
-
-	publisher *replica.Publisher
-	pubAddr   string
-	pubErr    chan error
-	replicas  []*ReadReplica
 }
 
 // ReadReplica is one in-process WAL-shipped read replica of a
-// Deployment: a follower mirroring the primary's store plus a read-only
-// TLS server answering the query API from it.
+// Deployment: a follower mirroring one primary store (the whole ledger,
+// or a single shard of it) plus a read-only TLS server answering the
+// query API from it.
 type ReadReplica struct {
 	Follower *replica.Follower
 	Server   *core.Server
+	// Shard is the shard this replica follows (0 on an unsharded
+	// deployment).
+	Shard int
 
 	addr      string
 	serveErr  chan error
@@ -132,8 +150,11 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Bank:     bank,
 		Server:   srv,
 		Banker:   banker,
+		cfg:      cfg,
+		bankID:   bankID,
 		addr:     ln.Addr().String(),
 		serveErr: make(chan error, 1),
+		pubs:     make(map[int]*shardPublisher),
 	}
 	go func() { d.serveErr <- srv.Serve(ln) }()
 	return d, nil
@@ -170,41 +191,153 @@ func (d *Deployment) DialProxy(id *Identity, ttl time.Duration) (*Client, error)
 	return core.Dial(d.addr, proxy, d.Trust)
 }
 
-// EnableReplication starts the deployment's WAL-shipping publisher (on
-// an ephemeral loopback port) and returns its address. Idempotent.
-func (d *Deployment) EnableReplication() (string, error) {
-	if d.publisher != nil {
-		return d.pubAddr, nil
+// shardStores returns the per-shard stores (a single-element slice on
+// an unsharded deployment).
+func (d *Deployment) shardStores() []*db.Store {
+	if d.sharded != nil {
+		return d.sharded.Stores()
 	}
-	bankID := d.Bank.Identity()
+	return []*db.Store{d.Bank.Ledger().Store()}
+}
+
+// EnableSharding repartitions a fresh deployment's ledger over n
+// consistent-hash shards: shard 0 is the deployment's original store
+// (keeping the configured journal and full byte compatibility for
+// n = 1), shards 1..n-1 are volatile in-memory stores — the in-process
+// deployment harness trades their durability for convenience;
+// production sharding with one journal per shard is gridbankd's job
+// (see -shards).
+//
+// It must be called before any accounts exist and before replication
+// is enabled: resharding populated stores would strand accounts on
+// shards their IDs no longer hash to, and that migration is not
+// implemented. The bank and TLS server are rebuilt, so the
+// deployment's address changes — call this immediately after
+// NewDeployment, before handing out the address or dialing clients.
+func (d *Deployment) EnableSharding(n int) error {
+	if n < 1 {
+		return fmt.Errorf("gridbank: shard count %d", n)
+	}
+	if d.sharded != nil {
+		return errors.New("gridbank: sharding already enabled")
+	}
+	if len(d.pubs) > 0 || len(d.replicas) > 0 {
+		return errors.New("gridbank: enable sharding before replication")
+	}
+	meta := d.Bank.Ledger().Store()
+	if cnt, err := meta.Count("accounts"); err != nil {
+		return err
+	} else if cnt > 0 && n > 1 {
+		return errors.New("gridbank: cannot shard a deployment that already has accounts (resharding requires migration)")
+	}
+	stores := make([]*db.Store, n)
+	stores[0] = meta
+	for i := 1; i < n; i++ {
+		stores[i] = db.MustOpenMemory()
+	}
+	led, err := shard.New(stores, shard.Config{Branch: branchOf(d.cfg), Now: d.cfg.Now})
+	if err != nil {
+		return err
+	}
+	bank, err := core.NewBankWithLedger(led, core.BankConfig{
+		Identity: d.bankID,
+		Trust:    d.Trust,
+		Admins:   append([]string{d.Banker.SubjectName()}, d.cfg.Admins...),
+		Branch:   branchOf(d.cfg),
+		Now:      d.cfg.Now,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := core.NewServer(bank, d.bankID)
+	if err != nil {
+		return err
+	}
+	srv.Logf = func(string, ...any) {}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	if err := d.Server.Close(); err != nil {
+		ln.Close()
+		return err
+	}
+	<-d.serveErr
+	d.sharded = led
+	d.Bank = bank
+	d.Server = srv
+	d.addr = ln.Addr().String()
+	d.serveErr = make(chan error, 1)
+	go func() { d.serveErr <- srv.Serve(ln) }()
+	return nil
+}
+
+func branchOf(cfg DeploymentConfig) string {
+	if cfg.Branch == "" {
+		return "0001"
+	}
+	return cfg.Branch
+}
+
+// Sharded returns the shard ledger, or nil on an unsharded deployment.
+func (d *Deployment) Sharded() *shard.Ledger { return d.sharded }
+
+// enablePublisher starts (or returns) the WAL-shipping publisher for
+// one shard's store.
+func (d *Deployment) enablePublisher(shardIdx int) (*shardPublisher, error) {
+	if sp, ok := d.pubs[shardIdx]; ok {
+		return sp, nil
+	}
+	stores := d.shardStores()
+	if shardIdx < 0 || shardIdx >= len(stores) {
+		return nil, fmt.Errorf("gridbank: shard %d out of range [0,%d)", shardIdx, len(stores))
+	}
 	pub, err := replica.NewPublisher(replica.PublisherConfig{
-		Store:       d.Bank.Manager().Store(),
-		Identity:    bankID,
+		Store:       stores[shardIdx],
+		Identity:    d.Bank.Identity(),
 		Trust:       d.Trust,
 		PrimaryAddr: d.addr,
 		Heartbeat:   100 * time.Millisecond,
 	})
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	pub.Logf = func(string, ...any) {}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	d.publisher = pub
-	d.pubAddr = ln.Addr().String()
-	d.pubErr = make(chan error, 1)
-	go func() { d.pubErr <- pub.Serve(ln) }()
-	return d.pubAddr, nil
+	sp := &shardPublisher{pub: pub, addr: ln.Addr().String(), serveErr: make(chan error, 1)}
+	d.pubs[shardIdx] = sp
+	go func() { sp.serveErr <- pub.Serve(ln) }()
+	return sp, nil
 }
 
-// AddReadReplica boots a read replica named name: it bootstraps from
-// the primary over the replication stream (starting the publisher if
-// needed), then serves the query subset of the API on its own loopback
-// address. Mutations sent to it redirect to the primary.
+// EnableReplication starts the deployment's WAL-shipping publisher for
+// shard 0 (the whole ledger when unsharded) on an ephemeral loopback
+// port and returns its address. Idempotent.
+func (d *Deployment) EnableReplication() (string, error) {
+	sp, err := d.enablePublisher(0)
+	if err != nil {
+		return "", err
+	}
+	return sp.addr, nil
+}
+
+// AddReadReplica boots a read replica of shard 0 — the whole ledger on
+// an unsharded deployment. See AddShardReplica for sharded topologies.
 func (d *Deployment) AddReadReplica(name string) (*ReadReplica, error) {
-	pubAddr, err := d.EnableReplication()
+	return d.AddShardReplica(name, 0)
+}
+
+// AddShardReplica boots a read replica named name following shard
+// shardIdx: it bootstraps from that shard's commit stream (starting the
+// shard's publisher if needed), then serves the query subset of the API
+// for accounts on that shard from its own loopback address. Mutations
+// redirect to the primary; reads for accounts on other shards answer
+// wrong_shard with the placement parameters.
+func (d *Deployment) AddShardReplica(name string, shardIdx int) (*ReadReplica, error) {
+	sp, err := d.enablePublisher(shardIdx)
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +346,7 @@ func (d *Deployment) AddReadReplica(name string) (*ReadReplica, error) {
 		return nil, err
 	}
 	fol, err := replica.StartFollower(replica.FollowerConfig{
-		PublisherAddr: pubAddr,
+		PublisherAddr: sp.addr,
 		Identity:      id,
 		Trust:         d.Trust,
 		RetryInterval: 100 * time.Millisecond,
@@ -226,7 +359,14 @@ func (d *Deployment) AddReadReplica(name string) (*ReadReplica, error) {
 		fol.Close()
 		return nil, err
 	}
-	rb, err := core.NewReadOnlyBank(fol, core.ReadOnlyBankConfig{Identity: id, Trust: d.Trust})
+	roCfg := core.ReadOnlyBankConfig{Identity: id, Trust: d.Trust}
+	if d.sharded != nil {
+		shards, vnodes := d.sharded.ShardTopology()
+		if shards > 1 {
+			roCfg.Shard = &core.ShardInfo{Index: shardIdx, Count: shards, Vnodes: vnodes}
+		}
+	}
+	rb, err := core.NewReadOnlyBank(fol, roCfg)
 	if err != nil {
 		fol.Close()
 		return nil, err
@@ -245,6 +385,7 @@ func (d *Deployment) AddReadReplica(name string) (*ReadReplica, error) {
 	r := &ReadReplica{
 		Follower: fol,
 		Server:   srv,
+		Shard:    shardIdx,
 		addr:     ln.Addr().String(),
 		serveErr: make(chan error, 1),
 	}
@@ -256,12 +397,13 @@ func (d *Deployment) AddReadReplica(name string) (*ReadReplica, error) {
 // Replicas returns the deployment's read replicas, in creation order.
 func (d *Deployment) Replicas() []*ReadReplica { return d.replicas }
 
-// SyncReplicas blocks until every replica has applied the primary's
+// SyncReplicas blocks until every replica has applied its shard's
 // current sequence — the barrier examples and tests use between a write
 // and a replica read.
 func (d *Deployment) SyncReplicas(timeout time.Duration) error {
-	seq := d.Bank.Manager().Store().CurrentSeq()
+	stores := d.shardStores()
 	for _, r := range d.replicas {
+		seq := stores[r.Shard].CurrentSeq()
 		if err := r.Follower.WaitForSeq(seq, timeout); err != nil {
 			return err
 		}
@@ -270,8 +412,9 @@ func (d *Deployment) SyncReplicas(timeout time.Duration) error {
 }
 
 // DialRouted connects a read-routing client authenticated as id: reads
-// spread over every replica within opts' staleness bound, mutations and
-// stale-replica fallbacks go to the primary.
+// spread over every replica (within opts' staleness bound, and on
+// sharded deployments within the account's shard pool), mutations and
+// unroutable reads go to the primary.
 func (d *Deployment) DialRouted(id *Identity, opts core.RouteOptions) (*core.RoutedClient, error) {
 	primary, err := core.Dial(d.addr, id, d.Trust)
 	if err != nil {
@@ -292,25 +435,29 @@ func (d *Deployment) DialRouted(id *Identity, opts core.RouteOptions) (*core.Rou
 	return core.NewRoutedClient(primary, reps, opts)
 }
 
-// Close stops the replicas, the publisher, then the server.
+// Close stops the replicas, the publishers, then the server.
+// Idempotent.
 func (d *Deployment) Close() error {
-	var firstErr error
-	for _, r := range d.replicas {
-		if err := r.Close(); firstErr == nil {
+	d.closeOnce.Do(func() {
+		var firstErr error
+		for _, r := range d.replicas {
+			if err := r.Close(); firstErr == nil {
+				firstErr = err
+			}
+		}
+		d.replicas = nil
+		for _, sp := range d.pubs {
+			if err := sp.pub.Close(); firstErr == nil {
+				firstErr = err
+			}
+			<-sp.serveErr
+		}
+		d.pubs = make(map[int]*shardPublisher)
+		if err := d.Server.Close(); firstErr == nil {
 			firstErr = err
 		}
-	}
-	d.replicas = nil
-	if d.publisher != nil {
-		if err := d.publisher.Close(); firstErr == nil {
-			firstErr = err
-		}
-		<-d.pubErr
-		d.publisher = nil
-	}
-	if err := d.Server.Close(); firstErr == nil {
-		firstErr = err
-	}
-	<-d.serveErr
-	return firstErr
+		<-d.serveErr
+		d.closeErr = firstErr
+	})
+	return d.closeErr
 }

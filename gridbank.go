@@ -45,6 +45,7 @@ import (
 	"gridbank/internal/pki"
 	"gridbank/internal/replica"
 	"gridbank/internal/rur"
+	"gridbank/internal/shard"
 	"gridbank/internal/trade"
 )
 
@@ -244,6 +245,34 @@ var (
 	// NewRoutedClient builds a read-routing client over a primary and
 	// replica connections.
 	NewRoutedClient = core.NewRoutedClient
+)
+
+// --- Sharding ----------------------------------------------------------------
+
+// ShardedLedger partitions accounts across N stores by consistent hash
+// of the account ID, with two-phase-commit cross-shard transfers
+// journaled in the shards' write-ahead logs.
+type ShardedLedger = shard.Ledger
+
+// ShardedLedgerConfig configures NewShardedLedger.
+type ShardedLedgerConfig = shard.Config
+
+// ShardRing is the consistent-hash placement ring (virtual nodes).
+type ShardRing = shard.Ring
+
+// ShardMap is the Shard.Map response: the placement parameters a
+// client needs to compute account→shard mapping locally.
+type ShardMap = core.ShardMapResponse
+
+// Sharding constructors.
+var (
+	// NewShardedLedger builds a sharded ledger over one store per shard
+	// and resolves any in-doubt cross-shard transfers left by a crash.
+	NewShardedLedger = shard.New
+	// NewShardRing builds a placement ring for (shards, vnodes).
+	NewShardRing = shard.NewRing
+	// NewBankWithLedger assembles a bank over a sharded ledger.
+	NewBankWithLedger = core.NewBankWithLedger
 )
 
 // --- Payment instruments -------------------------------------------------------

@@ -48,6 +48,8 @@ type Manager struct {
 
 	txSeq   atomic.Uint64 // last allocated TransactionID
 	acctSeq atomic.Uint64 // last allocated account number
+
+	txAlloc func() uint64 // overrides txSeq when set (sharded deployments)
 }
 
 // Config configures a Manager.
@@ -60,6 +62,11 @@ type Config struct {
 	// Now supplies timestamps; defaults to time.Now. Simulations inject a
 	// virtual clock.
 	Now func() time.Time
+	// TxIDAlloc, when set, replaces the manager's own transaction-ID
+	// counter. Sharded deployments pass one shared allocator to every
+	// shard's manager so transaction IDs stay globally unique across
+	// stores; the caller seeds it above every shard's LastTransactionID.
+	TxIDAlloc func() uint64
 }
 
 // NewManager initializes the schema on the store and returns a manager.
@@ -91,12 +98,30 @@ func NewManager(store *db.Store, cfg Config) (*Manager, error) {
 	if err != nil && !errors.Is(err, db.ErrDupIndex) {
 		return nil, err
 	}
-	m := &Manager{store: store, bank: cfg.Bank, branch: cfg.Branch, now: cfg.Now}
+	m := &Manager{store: store, bank: cfg.Bank, branch: cfg.Branch, now: cfg.Now, txAlloc: cfg.TxIDAlloc}
 	if err := m.recoverSequences(); err != nil {
 		return nil, err
 	}
 	return m, nil
 }
+
+// nextTxID allocates a transaction ID from the shared allocator if one
+// was configured, else from the manager's own counter.
+func (m *Manager) nextTxID() uint64 {
+	if m.txAlloc != nil {
+		return m.txAlloc()
+	}
+	return m.txSeq.Add(1)
+}
+
+// LastTransactionID returns the highest transaction ID recovered from
+// (or allocated against) this manager's store. Sharded deployments use
+// it to seed the shared allocator above every shard's history.
+func (m *Manager) LastTransactionID() uint64 { return m.txSeq.Load() }
+
+// LastAccountNumber returns the highest account number recovered from
+// this manager's store.
+func (m *Manager) LastAccountNumber() uint64 { return m.acctSeq.Load() }
 
 // recoverSequences seeds the ID counters from existing state: the
 // highest key in each numbered table, floored by the legacy meta rows
@@ -181,7 +206,7 @@ func putAccount(tx *db.Tx, a *Account) error {
 // returns that ID.
 func (m *Manager) appendTransaction(tx *db.Tx, t *Transaction) (uint64, error) {
 	if t.TransactionID == 0 {
-		t.TransactionID = m.txSeq.Add(1)
+		t.TransactionID = m.nextTxID()
 	}
 	key := txKey(t.TransactionID, t.AccountID)
 	return t.TransactionID, tx.Insert(tableTransactions, key, encodeTransaction(t))
@@ -198,6 +223,30 @@ func transferKey(id uint64) string { return fmt.Sprintf("%020d", id) }
 // is the authenticated subject. One open account per certificate name and
 // currency — the paper keys clients by Certificate Name.
 func (m *Manager) CreateAccount(certName, orgName string, cur currency.Code) (*Account, error) {
+	return m.createAccount(func() ID {
+		return ID(fmt.Sprintf("%s-%s-%08d", m.bank, m.branch, m.acctSeq.Add(1)))
+	}, certName, orgName, cur)
+}
+
+// CreateAccountWithID creates an account under a caller-chosen ID. It
+// exists for sharded deployments, where the shard router allocates IDs
+// from a deployment-wide counter and the ID's consistent-hash placement
+// decides which store the record lives on — so the ID must be fixed
+// before the owning manager is known. The per-store duplicate-identity
+// check still runs; cross-shard duplicate checks are the router's job.
+func (m *Manager) CreateAccountWithID(id ID, certName, orgName string, cur currency.Code) (*Account, error) {
+	if !id.Valid() {
+		return nil, fmt.Errorf("%w: %s", ErrBadID, id)
+	}
+	return m.createAccount(func() ID { return id }, certName, orgName, cur)
+}
+
+// createAccount is the shared create path: validate, enforce the
+// one-open-account-per-certificate-and-currency invariant under the
+// index's phantom protection, and insert. idFor runs inside the Update
+// retry loop, so allocator-backed suppliers may burn an ID per retry
+// (gaps are harmless, duplicates would not be).
+func (m *Manager) createAccount(idFor func() ID, certName, orgName string, cur currency.Code) (*Account, error) {
 	if certName == "" {
 		return nil, errors.New("accounts: empty certificate name")
 	}
@@ -226,15 +275,14 @@ func (m *Manager) CreateAccount(certName, orgName string, cur currency.Code) (*A
 				return fmt.Errorf("%w: %s (%s)", ErrDuplicateIdentity, certName, cur)
 			}
 		}
-		id := ID(fmt.Sprintf("%s-%s-%08d", m.bank, m.branch, m.acctSeq.Add(1)))
 		a := &Account{
-			AccountID:        id,
+			AccountID:        idFor(),
 			CertificateName:  certName,
 			OrganizationName: orgName,
 			Currency:         cur,
 			CreatedAt:        m.now(),
 		}
-		if err := tx.Insert(tableAccounts, string(id), encodeAccount(a)); err != nil {
+		if err := tx.Insert(tableAccounts, string(a.AccountID), encodeAccount(a)); err != nil {
 			return err
 		}
 		created = a

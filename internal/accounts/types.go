@@ -131,6 +131,12 @@ type Transfer struct {
 	RecipientAccountID  ID              `json:"recipient_account_id"` // GSP
 	ResourceUsageRecord []byte          `json:"resource_usage_record,omitempty"`
 	Cancelled           bool            `json:"cancelled,omitempty"`
+	// ReversalID pins the transaction ID a cancellation's compensating
+	// transfer uses, recorded durably before the reversal runs so a
+	// crashed-and-retried cross-shard cancel re-drives the same
+	// reversal instead of paying it twice (see shard.Ledger.
+	// CancelTransfer). Zero on ordinary transfers.
+	ReversalID uint64 `json:"reversal_id,omitempty"`
 }
 
 // Statement is the §5.2 Request Account Statement response: the account

@@ -45,6 +45,7 @@ const (
 	OpAdminAccounts    = "Admin.ListAccounts"      // operational visibility
 
 	OpReplicaStatus = "Replica.Status" // replication role, position and staleness
+	OpShardMap      = "Shard.Map"      // shard count + vnodes for client-side placement
 )
 
 // Stable error codes returned in wire.Response.Code.
@@ -64,6 +65,10 @@ const (
 	// CodeUnavailable marks a replica that cannot serve yet (still
 	// bootstrapping from the primary).
 	CodeUnavailable = "unavailable"
+	// CodeWrongShard marks a read sent to a replica that does not hold
+	// the account's shard — the client's shard map is stale (or it
+	// picked the wrong pool member); refresh via Shard.Map and retry.
+	CodeWrongShard = "wrong_shard"
 )
 
 // CreateAccountRequest opens an account for the authenticated caller. The
@@ -267,5 +272,22 @@ type ReplicaStatusResponse struct {
 	// healthy replica).
 	StaleFor time.Duration `json:"stale_for"`
 	// PrimaryAddr is where mutations must go (replicas only).
+	PrimaryAddr string `json:"primary_addr,omitempty"`
+}
+
+// ShardMapResponse is the Shard.Map answer: everything a client needs
+// to compute account→shard placement locally. The ring is a pure
+// function of (Shards, Vnodes), so shipping the two numbers ships the
+// whole map.
+type ShardMapResponse struct {
+	// Shards is the shard count (1 = unsharded).
+	Shards int `json:"shards"`
+	// Vnodes is the virtual-node count per shard on the placement ring.
+	Vnodes int `json:"vnodes"`
+	// ShardIndex is the answering server's own shard: −1 on a primary
+	// (it serves every shard), the followed shard on a replica.
+	ShardIndex int `json:"shard_index"`
+	// PrimaryAddr is where mutations and unroutable reads go (replicas
+	// only).
 	PrimaryAddr string `json:"primary_addr,omitempty"`
 }

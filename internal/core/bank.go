@@ -61,6 +61,11 @@ type Notifier func(address string, receipt *pki.Signed)
 // All methods take the authenticated caller subject (the base certificate
 // name from the Security Layer) and enforce ownership/admin authorization.
 type Bank struct {
+	led Ledger
+	// mgr is the metadata store's accounts manager: the whole ledger
+	// for a single-store bank, shard 0's manager for a sharded one.
+	// Kept for tooling that wants direct manager access; dispatch goes
+	// through led.
 	mgr *accounts.Manager
 	id  *pki.Identity
 	ts  *pki.TrustStore
@@ -97,11 +102,8 @@ type BankConfig struct {
 	Branch string
 }
 
-// NewBank assembles a bank over the given store.
+// NewBank assembles a bank over a single store.
 func NewBank(store *db.Store, cfg BankConfig) (*Bank, error) {
-	if cfg.Identity == nil || cfg.Trust == nil {
-		return nil, errors.New("core: bank requires an identity and a trust store")
-	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
@@ -109,12 +111,30 @@ func NewBank(store *db.Store, cfg BankConfig) (*Bank, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewBankWithLedger(managerLedger{mgr}, cfg)
+}
+
+// NewBankWithLedger assembles a bank over an arbitrary Ledger — the
+// sharded dispatch path. The ledger's clock must match cfg.Now (the
+// deployment layer passes the same function to both).
+func NewBankWithLedger(led Ledger, cfg BankConfig) (*Bank, error) {
+	if cfg.Identity == nil || cfg.Trust == nil {
+		return nil, errors.New("core: bank requires an identity and a trust store")
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
 	for _, t := range []string{tableCheques, tableChains, tableAdmins} {
-		if err := store.EnsureTable(t); err != nil {
+		if err := led.Store().EnsureTable(t); err != nil {
 			return nil, err
 		}
 	}
-	b := &Bank{mgr: mgr, id: cfg.Identity, ts: cfg.Trust, now: cfg.Now, notify: cfg.Notifier}
+	b := &Bank{led: led, id: cfg.Identity, ts: cfg.Trust, now: cfg.Now, notify: cfg.Notifier}
+	if mm, ok := led.(interface{ MetaManager() *accounts.Manager }); ok {
+		b.mgr = mm.MetaManager()
+	} else if ml, ok := led.(managerLedger); ok {
+		b.mgr = ml.Manager
+	}
 	for _, admin := range cfg.Admins {
 		if err := b.addAdmin(admin); err != nil {
 			return nil, err
@@ -125,6 +145,18 @@ func NewBank(store *db.Store, cfg BankConfig) (*Bank, error) {
 
 // Manager exposes the underlying ledger (examples, experiments, tests).
 func (b *Bank) Manager() *accounts.Manager { return b.mgr }
+
+// Ledger exposes the dispatch surface the bank routes through (the
+// sharded ledger in a sharded deployment).
+func (b *Bank) Ledger() Ledger { return b.led }
+
+// ShardMap reports the deployment's placement parameters. The primary
+// serves every shard itself (ShardIndex −1): clients use the map to
+// route replica reads, not primary traffic.
+func (b *Bank) ShardMap() (*ShardMapResponse, error) {
+	shards, vnodes := b.led.ShardTopology()
+	return &ShardMapResponse{Shards: shards, Vnodes: vnodes, ShardIndex: -1}, nil
+}
 
 // Identity returns the bank's signing identity.
 func (b *Bank) Identity() *pki.Identity { return b.id }
@@ -140,7 +172,7 @@ func (b *Bank) Now() time.Time { return b.now() }
 // its own head, with zero staleness. Answering the same op as replicas
 // lets read-routing clients treat every endpoint uniformly.
 func (b *Bank) ReplicaStatus() (*ReplicaStatusResponse, error) {
-	seq := b.mgr.Store().CurrentSeq()
+	seq := b.led.Store().CurrentSeq()
 	return &ReplicaStatusResponse{Role: RolePrimary, AppliedSeq: seq, HeadSeq: seq}, nil
 }
 
@@ -148,14 +180,14 @@ func (b *Bank) addAdmin(subject string) error {
 	if subject == "" {
 		return errors.New("core: empty admin subject")
 	}
-	return b.mgr.Store().Update(func(tx *db.Tx) error {
+	return b.led.Store().Update(func(tx *db.Tx) error {
 		return tx.Put(tableAdmins, subject, []byte("1"))
 	})
 }
 
 // IsAdmin reports whether the subject is in the administrator table.
 func (b *Bank) IsAdmin(subject string) bool {
-	_, err := b.mgr.Store().Get(tableAdmins, subject)
+	_, err := b.led.Store().Get(tableAdmins, subject)
 	return err == nil
 }
 
@@ -169,7 +201,7 @@ func (b *Bank) Authorize(subject string) error {
 	if b.IsAdmin(subject) {
 		return nil
 	}
-	if _, err := b.mgr.FindByCertificate(subject, ""); err == nil {
+	if _, err := b.led.FindByCertificate(subject, ""); err == nil {
 		return nil
 	}
 	return fmt.Errorf("%w: %s", ErrUnknownSubject, subject)
@@ -177,7 +209,7 @@ func (b *Bank) Authorize(subject string) error {
 
 // requireOwner returns the account if the caller owns it or is an admin.
 func (b *Bank) requireOwner(caller string, id accounts.ID) (*accounts.Account, error) {
-	a, err := b.mgr.Details(id)
+	a, err := b.led.Details(id)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +222,7 @@ func (b *Bank) requireOwner(caller string, id accounts.ID) (*accounts.Account, e
 // CreateAccount implements §5.2 Create New Account for the authenticated
 // caller.
 func (b *Bank) CreateAccount(caller string, req *CreateAccountRequest) (*CreateAccountResponse, error) {
-	a, err := b.mgr.CreateAccount(caller, req.OrganizationName, req.Currency)
+	a, err := b.led.CreateAccount(caller, req.OrganizationName, req.Currency)
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +243,7 @@ func (b *Bank) UpdateAccount(caller string, req *UpdateAccountRequest) (*Account
 	if _, err := b.requireOwner(caller, req.AccountID); err != nil {
 		return nil, err
 	}
-	a, err := b.mgr.UpdateDetails(req.AccountID, req.CertificateName, req.OrganizationName)
+	a, err := b.led.UpdateDetails(req.AccountID, req.CertificateName, req.OrganizationName)
 	if err != nil {
 		return nil, err
 	}
@@ -223,7 +255,7 @@ func (b *Bank) AccountStatement(caller string, req *AccountStatementRequest) (*A
 	if _, err := b.requireOwner(caller, req.AccountID); err != nil {
 		return nil, err
 	}
-	st, err := b.mgr.Statement(req.AccountID, req.Start, req.End)
+	st, err := b.led.Statement(req.AccountID, req.Start, req.End)
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +267,7 @@ func (b *Bank) CheckFunds(caller string, req *CheckFundsRequest) (*ConfirmationR
 	if _, err := b.requireOwner(caller, req.AccountID); err != nil {
 		return nil, err
 	}
-	if err := b.mgr.CheckFunds(req.AccountID, req.Amount); err != nil {
+	if err := b.led.CheckFunds(req.AccountID, req.Amount); err != nil {
 		return nil, err
 	}
 	return &ConfirmationResponse{Confirmed: true}, nil
@@ -247,7 +279,7 @@ func (b *Bank) DirectTransfer(caller string, req *DirectTransferRequest) (*Direc
 	if err != nil {
 		return nil, err
 	}
-	tr, err := b.mgr.Transfer(req.FromAccountID, req.ToAccountID, req.Amount, accounts.TransferOptions{})
+	tr, err := b.led.Transfer(req.FromAccountID, req.ToAccountID, req.Amount, accounts.TransferOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -303,7 +335,7 @@ func (b *Bank) RequestCheque(caller string, req *RequestChequeRequest) (*Request
 	mu := b.instr.of(cheque.Serial)
 	mu.Lock()
 	defer mu.Unlock()
-	if err := b.mgr.CheckFunds(req.AccountID, req.Amount); err != nil {
+	if err := b.led.CheckFunds(req.AccountID, req.Amount); err != nil {
 		return nil, err
 	}
 	signed, err := payment.IssueCheque(b.id, cheque)
@@ -322,7 +354,7 @@ func (b *Bank) RequestCheque(caller string, req *RequestChequeRequest) (*Request
 func (b *Bank) rollbackLock(id accounts.ID, amount currency.Amount) {
 	// Best effort: the lock row plus instrument absence keeps the ledger
 	// consistent even if this fails (funds merely stay locked).
-	_ = b.mgr.Unlock(id, amount)
+	_ = b.led.Unlock(id, amount)
 }
 
 func (b *Bank) putChequeRow(row *chequeRow) error {
@@ -330,13 +362,13 @@ func (b *Bank) putChequeRow(row *chequeRow) error {
 	if err != nil {
 		return err
 	}
-	return b.mgr.Store().Update(func(tx *db.Tx) error {
+	return b.led.Store().Update(func(tx *db.Tx) error {
 		return tx.Put(tableCheques, row.Cheque.Serial, raw)
 	})
 }
 
 func (b *Bank) getChequeRow(serial string) (*chequeRow, error) {
-	raw, err := b.mgr.Store().Get(tableCheques, serial)
+	raw, err := b.led.Store().Get(tableCheques, serial)
 	if errors.Is(err, db.ErrNoRecord) {
 		return nil, fmt.Errorf("%w: cheque %s", ErrUnknownSerial, serial)
 	}
@@ -364,7 +396,7 @@ func (b *Bank) RedeemCheque(caller string, req *RedeemChequeRequest) (*RedeemChe
 	if err := cheque.ValidateClaim(&req.Claim); err != nil {
 		return nil, err
 	}
-	payeeAcct, err := b.mgr.FindByCertificate(caller, cheque.Currency)
+	payeeAcct, err := b.led.FindByCertificate(caller, cheque.Currency)
 	if err != nil {
 		return nil, fmt.Errorf("core: payee has no %s account: %w", cheque.Currency, err)
 	}
@@ -378,14 +410,14 @@ func (b *Bank) RedeemCheque(caller string, req *RedeemChequeRequest) (*RedeemChe
 	if row.State != stateOutstanding {
 		return nil, fmt.Errorf("%w: cheque %s is %s", ErrAlreadyRedeemed, cheque.Serial, row.State)
 	}
-	tr, err := b.mgr.Transfer(cheque.DrawerAccountID, payeeAcct.AccountID, req.Claim.Amount,
+	tr, err := b.led.Transfer(cheque.DrawerAccountID, payeeAcct.AccountID, req.Claim.Amount,
 		accounts.TransferOptions{FromLocked: true, RUR: req.Claim.RUR})
 	if err != nil {
 		return nil, err
 	}
 	released := cheque.Limit.MustSub(req.Claim.Amount)
 	if released.IsPositive() {
-		if err := b.mgr.Unlock(cheque.DrawerAccountID, released); err != nil {
+		if err := b.led.Unlock(cheque.DrawerAccountID, released); err != nil {
 			return nil, fmt.Errorf("core: releasing cheque remainder: %w", err)
 		}
 	}
@@ -407,7 +439,7 @@ func (b *Bank) RedeemCheque(caller string, req *RedeemChequeRequest) (*RedeemChe
 // The usual payee-identity check is replaced by the correspondent's
 // attestation — it verified the payee on its side before forwarding.
 func (b *Bank) RedeemChequeInterbank(correspondent string, vostro accounts.ID, req *RedeemChequeRequest) (*RedeemChequeResponse, error) {
-	vAcct, err := b.mgr.Details(vostro)
+	vAcct, err := b.led.Details(vostro)
 	if err != nil {
 		return nil, err
 	}
@@ -433,14 +465,14 @@ func (b *Bank) RedeemChequeInterbank(correspondent string, vostro accounts.ID, r
 	if row.State != stateOutstanding {
 		return nil, fmt.Errorf("%w: cheque %s is %s", ErrAlreadyRedeemed, cheque.Serial, row.State)
 	}
-	tr, err := b.mgr.Transfer(cheque.DrawerAccountID, vostro, req.Claim.Amount,
+	tr, err := b.led.Transfer(cheque.DrawerAccountID, vostro, req.Claim.Amount,
 		accounts.TransferOptions{FromLocked: true, RUR: req.Claim.RUR})
 	if err != nil {
 		return nil, err
 	}
 	released := cheque.Limit.MustSub(req.Claim.Amount)
 	if released.IsPositive() {
-		if err := b.mgr.Unlock(cheque.DrawerAccountID, released); err != nil {
+		if err := b.led.Unlock(cheque.DrawerAccountID, released); err != nil {
 			return nil, fmt.Errorf("core: releasing cheque remainder: %w", err)
 		}
 	}
@@ -472,7 +504,7 @@ func (b *Bank) ReleaseCheque(caller string, req *ReleaseRequest) (*ReleaseRespon
 	if b.now().Before(row.Cheque.Expires) {
 		return nil, fmt.Errorf("%w: expires %v", ErrNotExpired, row.Cheque.Expires)
 	}
-	if err := b.mgr.Unlock(row.Cheque.DrawerAccountID, row.Cheque.Limit); err != nil {
+	if err := b.led.Unlock(row.Cheque.DrawerAccountID, row.Cheque.Limit); err != nil {
 		return nil, err
 	}
 	row.State = stateReleased
@@ -509,7 +541,7 @@ func (b *Bank) RequestChain(caller string, req *RequestChainRequest) (*RequestCh
 	mu := b.instr.of(chain.Commitment.Serial)
 	mu.Lock()
 	defer mu.Unlock()
-	if err := b.mgr.CheckFunds(req.AccountID, total); err != nil {
+	if err := b.led.CheckFunds(req.AccountID, total); err != nil {
 		return nil, err
 	}
 	signed, err := payment.IssueChain(b.id, chain.Commitment)
@@ -529,13 +561,13 @@ func (b *Bank) putChainRow(row *chainRow) error {
 	if err != nil {
 		return err
 	}
-	return b.mgr.Store().Update(func(tx *db.Tx) error {
+	return b.led.Store().Update(func(tx *db.Tx) error {
 		return tx.Put(tableChains, row.Commitment.Serial, raw)
 	})
 }
 
 func (b *Bank) getChainRow(serial string) (*chainRow, error) {
-	raw, err := b.mgr.Store().Get(tableChains, serial)
+	raw, err := b.led.Store().Get(tableChains, serial)
 	if errors.Is(err, db.ErrNoRecord) {
 		return nil, fmt.Errorf("%w: chain %s", ErrUnknownSerial, serial)
 	}
@@ -562,7 +594,7 @@ func (b *Bank) RedeemChain(caller string, req *RedeemChainRequest) (*RedeemChain
 	if err := cc.ValidateClaim(&req.Claim); err != nil {
 		return nil, err
 	}
-	payeeAcct, err := b.mgr.FindByCertificate(caller, cc.Currency)
+	payeeAcct, err := b.led.FindByCertificate(caller, cc.Currency)
 	if err != nil {
 		return nil, fmt.Errorf("core: payee has no %s account: %w", cc.Currency, err)
 	}
@@ -584,7 +616,7 @@ func (b *Bank) RedeemChain(caller string, req *RedeemChainRequest) (*RedeemChain
 	if err != nil {
 		return nil, err
 	}
-	tr, err := b.mgr.Transfer(cc.DrawerAccountID, payeeAcct.AccountID, delta,
+	tr, err := b.led.Transfer(cc.DrawerAccountID, payeeAcct.AccountID, delta,
 		accounts.TransferOptions{FromLocked: true, RUR: req.Claim.RUR})
 	if err != nil {
 		return nil, err
@@ -624,7 +656,7 @@ func (b *Bank) ReleaseChain(caller string, req *ReleaseRequest) (*ReleaseRespons
 		return nil, err
 	}
 	if remainder.IsPositive() {
-		if err := b.mgr.Unlock(row.Commitment.DrawerAccountID, remainder); err != nil {
+		if err := b.led.Unlock(row.Commitment.DrawerAccountID, remainder); err != nil {
 			return nil, err
 		}
 	}
@@ -649,7 +681,7 @@ func (b *Bank) AdminDeposit(caller string, req *AdminAmountRequest) (*Confirmati
 	if err := b.requireAdmin(caller); err != nil {
 		return nil, err
 	}
-	if err := b.mgr.Admin().Deposit(req.AccountID, req.Amount); err != nil {
+	if err := b.led.Deposit(req.AccountID, req.Amount); err != nil {
 		return nil, err
 	}
 	return &ConfirmationResponse{Confirmed: true}, nil
@@ -660,7 +692,7 @@ func (b *Bank) AdminWithdraw(caller string, req *AdminAmountRequest) (*Confirmat
 	if err := b.requireAdmin(caller); err != nil {
 		return nil, err
 	}
-	if err := b.mgr.Admin().Withdraw(req.AccountID, req.Amount); err != nil {
+	if err := b.led.Withdraw(req.AccountID, req.Amount); err != nil {
 		return nil, err
 	}
 	return &ConfirmationResponse{Confirmed: true}, nil
@@ -671,7 +703,7 @@ func (b *Bank) AdminChangeCreditLimit(caller string, req *AdminAmountRequest) (*
 	if err := b.requireAdmin(caller); err != nil {
 		return nil, err
 	}
-	if err := b.mgr.Admin().ChangeCreditLimit(req.AccountID, req.Amount); err != nil {
+	if err := b.led.ChangeCreditLimit(req.AccountID, req.Amount); err != nil {
 		return nil, err
 	}
 	return &ConfirmationResponse{Confirmed: true}, nil
@@ -682,7 +714,7 @@ func (b *Bank) AdminCancelTransfer(caller string, req *AdminCancelRequest) (*Con
 	if err := b.requireAdmin(caller); err != nil {
 		return nil, err
 	}
-	if err := b.mgr.Admin().CancelTransfer(req.TransactionID); err != nil {
+	if err := b.led.CancelTransfer(req.TransactionID); err != nil {
 		return nil, err
 	}
 	return &ConfirmationResponse{Confirmed: true}, nil
@@ -693,7 +725,7 @@ func (b *Bank) AdminCloseAccount(caller string, req *AdminCloseRequest) (*Confir
 	if err := b.requireAdmin(caller); err != nil {
 		return nil, err
 	}
-	if err := b.mgr.Admin().CloseAccount(req.AccountID, req.TransferTo); err != nil {
+	if err := b.led.CloseAccount(req.AccountID, req.TransferTo); err != nil {
 		return nil, err
 	}
 	return &ConfirmationResponse{Confirmed: true}, nil
@@ -704,7 +736,7 @@ func (b *Bank) AdminListAccounts(caller string) (*AdminAccountsResponse, error) 
 	if err := b.requireAdmin(caller); err != nil {
 		return nil, err
 	}
-	accts, err := b.mgr.Accounts()
+	accts, err := b.led.Accounts()
 	if err != nil {
 		return nil, err
 	}

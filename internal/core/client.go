@@ -156,6 +156,16 @@ func (c *Client) ReplicaStatus() (*ReplicaStatusResponse, error) {
 	return &out, nil
 }
 
+// ShardMap fetches the server's shard placement parameters: ring shape
+// on a primary, ring shape plus own shard index on a shard replica.
+func (c *Client) ShardMap() (*ShardMapResponse, error) {
+	var out ShardMapResponse
+	if err := c.call(OpShardMap, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Ping checks connectivity and returns the bank's subject name.
 func (c *Client) Ping() (string, error) {
 	var out map[string]string

@@ -10,6 +10,7 @@ import (
 	"gridbank/internal/accounts"
 	"gridbank/internal/db"
 	"gridbank/internal/pki"
+	"gridbank/internal/shard"
 )
 
 // Read-only mode errors.
@@ -20,6 +21,11 @@ var (
 	// ErrReplicaNotReady rejects queries before the replica's first
 	// bootstrap completes.
 	ErrReplicaNotReady = errors.New("core: replica not yet bootstrapped")
+	// ErrWrongShard rejects reads for accounts outside the replica's
+	// shard: the client's shard map is stale or it routed wrongly. The
+	// message carries the replica's placement parameters so clients can
+	// refresh and retry.
+	ErrWrongShard = errors.New("core: account not on this replica's shard")
 )
 
 // ReplicaSource supplies a ReadOnlyBank with replicated state. It is
@@ -40,6 +46,15 @@ type ReplicaSource interface {
 	PrimaryAddr() string
 }
 
+// ShardInfo pins a replica to one shard of a sharded deployment: the
+// replica mirrors shard Index's store and can only answer for accounts
+// that hash there under the (Count, Vnodes) ring.
+type ShardInfo struct {
+	Index  int
+	Count  int
+	Vnodes int // 0 = shard.DefaultVnodes
+}
+
 // ReadOnlyBankConfig configures a ReadOnlyBank.
 type ReadOnlyBankConfig struct {
 	// Identity is the replica server's signing/TLS identity. Required.
@@ -49,6 +64,13 @@ type ReadOnlyBankConfig struct {
 	// PrimaryAddr overrides the source's advertised primary address in
 	// redirect errors (optional).
 	PrimaryAddr string
+	// Shard, when set with Count > 1, marks this replica as mirroring
+	// one shard of a sharded deployment: reads for accounts on other
+	// shards answer wrong_shard instead of not_found, and the §3.2
+	// connection gate admits subjects it cannot see locally (their
+	// accounts may live on other shards; per-operation ownership checks
+	// still apply).
+	Shard *ShardInfo
 }
 
 // roState pairs a replicated store with the accounts manager built over
@@ -66,10 +88,11 @@ type roState struct {
 // Server dispatches to, so a replica is wire-compatible with a primary
 // for reads.
 type ReadOnlyBank struct {
-	src ReplicaSource
-	id  *pki.Identity
-	ts  *pki.TrustStore
-	cfg ReadOnlyBankConfig
+	src  ReplicaSource
+	id   *pki.Identity
+	ts   *pki.TrustStore
+	cfg  ReadOnlyBankConfig
+	ring *shard.Ring // non-nil only for a shard replica (Count > 1)
 
 	state atomic.Pointer[roState]
 	mgrMu sync.Mutex // serializes manager construction on store swap
@@ -83,7 +106,30 @@ func NewReadOnlyBank(src ReplicaSource, cfg ReadOnlyBankConfig) (*ReadOnlyBank, 
 	if cfg.Identity == nil || cfg.Trust == nil {
 		return nil, errors.New("core: read-only bank requires an identity and a trust store")
 	}
-	return &ReadOnlyBank{src: src, id: cfg.Identity, ts: cfg.Trust, cfg: cfg}, nil
+	b := &ReadOnlyBank{src: src, id: cfg.Identity, ts: cfg.Trust, cfg: cfg}
+	if s := cfg.Shard; s != nil && s.Count > 1 {
+		if s.Index < 0 || s.Index >= s.Count {
+			return nil, fmt.Errorf("core: shard index %d out of range [0,%d)", s.Index, s.Count)
+		}
+		ring, err := shard.NewRing(s.Count, s.Vnodes)
+		if err != nil {
+			return nil, err
+		}
+		b.ring = ring
+	}
+	return b, nil
+}
+
+// checkShard rejects reads for accounts outside this replica's shard.
+func (b *ReadOnlyBank) checkShard(id accounts.ID) error {
+	if b.ring == nil {
+		return nil
+	}
+	if owner := b.ring.ShardFor(string(id)); owner != b.cfg.Shard.Index {
+		return fmt.Errorf("%w: %s lives on shard %d, this replica serves shard %d of %d",
+			ErrWrongShard, id, owner, b.cfg.Shard.Index, b.cfg.Shard.Count)
+	}
+	return nil
 }
 
 // Identity returns the replica's identity.
@@ -144,7 +190,11 @@ func (b *ReadOnlyBank) IsAdmin(subject string) bool {
 
 // Authorize implements the §3.2 connection gate against replicated
 // state: the same accounts and administrator tables the primary checks,
-// shipped over the WAL.
+// shipped over the WAL. A shard replica only mirrors its own shard's
+// slice of the account table, so it cannot refute an unknown subject —
+// their account may live on any other shard — and admits the session;
+// every operation still enforces ownership, so leniency here only
+// weakens the DoS gate, never data access.
 func (b *ReadOnlyBank) Authorize(subject string) error {
 	if b.IsAdmin(subject) {
 		return nil
@@ -156,11 +206,17 @@ func (b *ReadOnlyBank) Authorize(subject string) error {
 	if _, err := mgr.FindByCertificate(subject, ""); err == nil {
 		return nil
 	}
+	if b.ring != nil {
+		return nil // sharded: the full account table is not visible here
+	}
 	return fmt.Errorf("%w: %s", ErrUnknownSubject, subject)
 }
 
 // requireOwner mirrors the primary's ownership check.
 func (b *ReadOnlyBank) requireOwner(caller string, id accounts.ID) (*accounts.Account, error) {
+	if err := b.checkShard(id); err != nil {
+		return nil, err
+	}
 	mgr, err := b.manager()
 	if err != nil {
 		return nil, err
@@ -205,10 +261,15 @@ func (b *ReadOnlyBank) AccountStatement(caller string, req *AccountStatementRequ
 }
 
 // AdminListAccounts lists all accounts from the replica (§5.2.1 is a
-// read here; the paper's admin mutations stay on the primary).
+// read here; the paper's admin mutations stay on the primary). A shard
+// replica holds only its shard's slice and must not pass it off as the
+// whole bank, so it redirects instead of answering partially.
 func (b *ReadOnlyBank) AdminListAccounts(caller string) (*AdminAccountsResponse, error) {
 	if !b.IsAdmin(caller) {
 		return nil, fmt.Errorf("%w: %s is not an administrator", ErrDenied, caller)
+	}
+	if b.ring != nil {
+		return nil, fmt.Errorf("%w: account listing needs every shard; ask the primary", ErrWrongShard)
 	}
 	mgr, err := b.manager()
 	if err != nil {
@@ -219,6 +280,22 @@ func (b *ReadOnlyBank) AdminListAccounts(caller string) (*AdminAccountsResponse,
 		return nil, err
 	}
 	return &AdminAccountsResponse{Accounts: accts}, nil
+}
+
+// ShardMap reports this replica's placement: its own shard index plus
+// the ring parameters, so a routing client can both place accounts and
+// learn which pool this replica belongs to.
+func (b *ReadOnlyBank) ShardMap() (*ShardMapResponse, error) {
+	resp := &ShardMapResponse{Shards: 1, Vnodes: shard.DefaultVnodes, ShardIndex: 0, PrimaryAddr: b.primaryAddr()}
+	if s := b.cfg.Shard; s != nil && s.Count > 1 {
+		resp.Shards = s.Count
+		resp.ShardIndex = s.Index
+		resp.Vnodes = s.Vnodes
+		if resp.Vnodes == 0 {
+			resp.Vnodes = shard.DefaultVnodes
+		}
+	}
+	return resp, nil
 }
 
 // ReplicaStatus reports the replica's position and staleness.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gridbank/internal/accounts"
+	"gridbank/internal/shard"
 )
 
 // RouteOptions tune a RoutedClient's read policy.
@@ -26,24 +27,33 @@ type routeState struct {
 }
 
 // RoutedClient is the read-routing GridBank Payment Module: queries
-// (balance checks, statements) spread round-robin across read replicas
-// whose staleness is within bound, while every mutation — and any read
-// no usable replica can serve — goes to the primary. It embeds the
+// (balance checks, statements) spread across read replicas whose
+// staleness is within bound, while every mutation — and any read no
+// usable replica can serve — goes to the primary. It embeds the
 // primary *Client, so the full §5.2/§5.2.1 client API is available;
 // only the query methods are overridden with routing.
 //
-// Fallback is transparent: a replica that fails, is still
-// bootstrapping, or answers with a read-only redirect costs one extra
-// round trip to the primary, never an error the caller sees.
+// Sharded deployments add a placement dimension: the client fetches
+// the shard map (Shard.Map) from the primary, computes each account's
+// shard locally, and routes its reads only to replicas following that
+// shard. The map is cached; a replica answering wrong_shard (the map
+// went stale — e.g. the client connected before a reshard) triggers a
+// transparent refresh-and-retry, with the primary as the final
+// fallback. Fallback is always transparent: a replica that fails, is
+// still bootstrapping, answers read-only, or holds the wrong shard
+// costs extra round trips, never an error the caller sees.
 type RoutedClient struct {
 	*Client // the primary: mutations and read fallback
 
 	replicas []*Client
 	opts     RouteOptions
 
-	mu     sync.Mutex
-	next   int
-	states []routeState
+	mu       sync.Mutex
+	next     int
+	states   []routeState
+	ring     *shard.Ring // nil until the map is loaded, and for 1-shard maps
+	repShard []int       // per-replica shard index; -1 = not yet probed
+	mapOnce  bool        // first map load done
 }
 
 // NewRoutedClient builds a routing client over a primary connection and
@@ -59,12 +69,17 @@ func NewRoutedClient(primary *Client, replicas []*Client, opts RouteOptions) (*R
 	if opts.StatusInterval <= 0 {
 		opts.StatusInterval = 250 * time.Millisecond
 	}
-	return &RoutedClient{
+	rc := &RoutedClient{
 		Client:   primary,
 		replicas: replicas,
 		opts:     opts,
 		states:   make([]routeState, len(replicas)),
-	}, nil
+		repShard: make([]int, len(replicas)),
+	}
+	for i := range rc.repShard {
+		rc.repShard[i] = -1
+	}
+	return rc, nil
 }
 
 // Primary returns the underlying primary client.
@@ -81,6 +96,39 @@ func (r *RoutedClient) Close() error {
 	return err
 }
 
+// loadMap fetches the shard map from the primary (once, or again when
+// force) and probes each replica for its shard index. Failures degrade
+// to unsharded routing — the primary can always serve everything.
+func (r *RoutedClient) loadMap(force bool) {
+	r.mu.Lock()
+	done := r.mapOnce
+	r.mu.Unlock()
+	if done && !force {
+		return
+	}
+	var ring *shard.Ring
+	if m, err := r.Client.ShardMap(); err == nil && m.Shards > 1 {
+		if rg, err := shard.NewRing(m.Shards, m.Vnodes); err == nil {
+			ring = rg
+		}
+	}
+	idx := make([]int, len(r.replicas))
+	for i, c := range r.replicas {
+		idx[i] = -1
+		if ring == nil {
+			continue // unsharded: every replica serves every account
+		}
+		if m, err := c.ShardMap(); err == nil {
+			idx[i] = m.ShardIndex
+		}
+	}
+	r.mu.Lock()
+	r.ring = ring
+	r.repShard = idx
+	r.mapOnce = true
+	r.mu.Unlock()
+}
+
 // probe asks a replica for its staleness and compares it to the bound.
 func (r *RoutedClient) probe(c *Client) bool {
 	st, err := c.ReplicaStatus()
@@ -90,76 +138,151 @@ func (r *RoutedClient) probe(c *Client) bool {
 	return st.Role == RolePrimary || st.StaleFor <= r.opts.MaxStaleness
 }
 
-// readTarget picks the next usable replica (round-robin), refreshing
-// cached staleness probes as they expire; with none usable it returns
-// the primary.
-func (r *RoutedClient) readTarget() *Client {
+// usable returns whether replica idx is within the staleness bound,
+// refreshing its cached probe as needed.
+func (r *RoutedClient) usable(idx int) bool {
+	r.mu.Lock()
+	st := r.states[idx]
+	r.mu.Unlock()
+	ok := st.usable
+	if time.Since(st.lastCheck) > r.opts.StatusInterval {
+		ok = r.probe(r.replicas[idx])
+		r.mu.Lock()
+		r.states[idx] = routeState{lastCheck: time.Now(), usable: ok}
+		r.mu.Unlock()
+	}
+	return ok
+}
+
+// readTargetFor picks the next usable replica for an account-scoped
+// read (round-robin within the account's shard pool when sharded);
+// with none usable it returns the primary.
+func (r *RoutedClient) readTargetFor(id accounts.ID) *Client {
 	n := len(r.replicas)
+	if n == 0 {
+		return r.Client
+	}
+	r.loadMap(false)
+	r.mu.Lock()
+	ring := r.ring
+	owner := -1
+	if ring != nil {
+		owner = ring.ShardFor(string(id))
+	}
+	r.mu.Unlock()
 	for i := 0; i < n; i++ {
 		r.mu.Lock()
 		idx := r.next % n
 		r.next++
-		st := r.states[idx]
+		repShard := r.repShard[idx]
 		r.mu.Unlock()
-		c := r.replicas[idx]
-		usable := st.usable
-		if time.Since(st.lastCheck) > r.opts.StatusInterval {
-			usable = r.probe(c)
-			r.mu.Lock()
-			r.states[idx] = routeState{lastCheck: time.Now(), usable: usable}
-			r.mu.Unlock()
+		if owner >= 0 && repShard != owner {
+			continue
 		}
-		if usable {
-			return c
+		if r.usable(idx) {
+			return r.replicas[idx]
+		}
+	}
+	return r.Client
+}
+
+// readTargetAny picks any usable replica — for reads that are not
+// account-scoped. On a sharded deployment every replica holds a partial
+// view, so such reads go straight to the primary.
+func (r *RoutedClient) readTargetAny() *Client {
+	n := len(r.replicas)
+	if n == 0 {
+		return r.Client
+	}
+	r.loadMap(false)
+	r.mu.Lock()
+	sharded := r.ring != nil
+	r.mu.Unlock()
+	if sharded {
+		return r.Client
+	}
+	for i := 0; i < n; i++ {
+		r.mu.Lock()
+		idx := r.next % n
+		r.next++
+		r.mu.Unlock()
+		if r.usable(idx) {
+			return r.replicas[idx]
 		}
 	}
 	return r.Client
 }
 
 // fallbackWorthy classifies replica-read failures that the primary can
-// absorb: transport errors, a replica mid-bootstrap, or a redirect.
-// Business errors (denied, not found) propagate — they would answer the
-// same on the primary, modulo the staleness the caller signed up for.
+// absorb: transport errors, a replica mid-bootstrap, a redirect, or a
+// shard miss. Business errors (denied, not found) propagate — they
+// would answer the same on the primary, modulo the staleness the caller
+// signed up for.
 func fallbackWorthy(err error) bool {
 	var re *RemoteError
 	if errors.As(err, &re) {
-		return re.Code == CodeReadOnly || re.Code == CodeUnavailable || re.Code == CodeInternal
+		return re.Code == CodeReadOnly || re.Code == CodeUnavailable || re.Code == CodeInternal ||
+			re.Code == CodeWrongShard
 	}
 	return true // transport-level failure
 }
 
-// AccountDetails routes §5.2 Check Balance through a replica within the
-// staleness bound, falling back to the primary.
-func (r *RoutedClient) AccountDetails(id accounts.ID) (*accounts.Account, error) {
-	c := r.readTarget()
+// isWrongShard reports a stale-shard-map signal.
+func isWrongShard(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == CodeWrongShard
+}
+
+// routedRead runs an account-scoped read with the full routing policy:
+// shard-pool replica first; on a wrong_shard answer refresh the map and
+// retry the re-computed target once; on any fallback-worthy failure
+// finish on the primary.
+func routedRead[T any](r *RoutedClient, id accounts.ID, op func(c *Client) (T, error)) (T, error) {
+	c := r.readTargetFor(id)
 	if c == r.Client {
-		return r.Client.AccountDetails(id)
+		return op(r.Client)
 	}
-	a, err := c.AccountDetails(id)
-	if err != nil && fallbackWorthy(err) {
-		return r.Client.AccountDetails(id)
+	v, err := op(c)
+	if err == nil || !fallbackWorthy(err) {
+		return v, err
 	}
-	return a, err
+	if isWrongShard(err) {
+		// The map moved under us (or this replica changed shards):
+		// refresh and retry the freshly computed owner before giving up
+		// and paying the primary round trip.
+		r.loadMap(true)
+		if c2 := r.readTargetFor(id); c2 != c && c2 != r.Client {
+			if v2, err2 := op(c2); err2 == nil || !fallbackWorthy(err2) {
+				return v2, err2
+			}
+		}
+	}
+	return op(r.Client)
+}
+
+// AccountDetails routes §5.2 Check Balance through a replica of the
+// account's shard within the staleness bound, falling back to the
+// primary.
+func (r *RoutedClient) AccountDetails(id accounts.ID) (*accounts.Account, error) {
+	return routedRead(r, id, func(c *Client) (*accounts.Account, error) {
+		return c.AccountDetails(id)
+	})
 }
 
 // AccountStatement routes §5.2 Request Account Statement through a
-// replica within the staleness bound, falling back to the primary.
+// replica of the account's shard within the staleness bound, falling
+// back to the primary.
 func (r *RoutedClient) AccountStatement(id accounts.ID, start, end time.Time) (*accounts.Statement, error) {
-	c := r.readTarget()
-	if c == r.Client {
-		return r.Client.AccountStatement(id, start, end)
-	}
-	st, err := c.AccountStatement(id, start, end)
-	if err != nil && fallbackWorthy(err) {
-		return r.Client.AccountStatement(id, start, end)
-	}
-	return st, err
+	return routedRead(r, id, func(c *Client) (*accounts.Statement, error) {
+		return c.AccountStatement(id, start, end)
+	})
 }
 
 // AdminListAccounts routes the account listing through a replica within
-// the staleness bound, falling back to the primary.
+// the staleness bound (primary-only on sharded deployments, where no
+// single replica holds the whole bank), falling back to the primary.
 func (r *RoutedClient) AdminListAccounts() ([]accounts.Account, error) {
-	c := r.readTarget()
+	c := r.readTargetAny()
 	if c == r.Client {
 		return r.Client.AdminListAccounts()
 	}

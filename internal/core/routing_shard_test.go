@@ -1,0 +1,194 @@
+package core
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/db"
+	"gridbank/internal/pki"
+	"gridbank/internal/shard"
+)
+
+// TestShardReplicaWrongShardRedirectAndMapRefresh drives the stale-
+// shard-map flow end to end over the real wire: a sharded primary
+// behind a TLS server, two shard replicas serving frozen snapshots of
+// their shards (frozen so the balance an answer carries proves whether
+// a replica or the primary served it), and a routed client whose map
+// claims the wrong replica owns the account. The wrong replica's
+// wrong_shard redirect must refresh the map and retry transparently.
+func TestShardReplicaWrongShardRedirectAndMapRefresh(t *testing.T) {
+	ca, err := pki.NewCA("Shard CA", "VO-SH", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := pki.NewTrustStore(ca.Certificate())
+	bankID, err := ca.Issue(pki.IssueOptions{CommonName: "gridbank", Organization: "VO-SH", IsServer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nShards = 3
+	stores := make([]*db.Store, nShards)
+	for i := range stores {
+		stores[i] = db.MustOpenMemory()
+	}
+	led, err := shard.New(stores, shard.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const admin = "CN=shard-admin"
+	bank, err := NewBankWithLedger(led, BankConfig{Identity: bankID, Trust: trust, Admins: []string{admin}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := ca.Issue(pki.IssueOptions{CommonName: "alice", Organization: "VO-SH"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := bank.CreateAccount(alice.SubjectName(), &CreateAccountRequest{OrganizationName: "VO-SH"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct := resp.Account.AccountID
+	if _, err := bank.AdminDeposit(admin, &AdminAmountRequest{AccountID: acct, Amount: currency.FromG(75)}); err != nil {
+		t.Fatal(err)
+	}
+	acctShard := led.ShardFor(acct)
+	otherShard := (acctShard + 1) % nShards
+	_, vnodes := led.ShardTopology()
+
+	// Primary TLS server.
+	srv, err := NewServer(bank, bankID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Logf = func(string, ...any) {}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	primaryAddr := ln.Addr().String()
+
+	// Two shard replicas over FROZEN snapshots of their shards, taken
+	// before the next deposit: a read answered with the frozen balance
+	// provably came from a replica, not the primary.
+	startReplica := func(shardIdx int) string {
+		t.Helper()
+		sn, err := stores[shardIdx].Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frozen, err := db.OpenFromSnapshot(sn, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := &staticSource{store: frozen, seq: frozen.CurrentSeq(), addr: primaryAddr}
+		repID, err := ca.Issue(pki.IssueOptions{CommonName: "rep", Organization: "VO-SH", IsServer: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ro, err := NewReadOnlyBank(src, ReadOnlyBankConfig{
+			Identity: repID, Trust: trust,
+			Shard: &ShardInfo{Index: shardIdx, Count: nShards, Vnodes: vnodes},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsrv, err := NewReadOnlyServer(ro, repID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsrv.Logf = func(string, ...any) {}
+		rln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go rsrv.Serve(rln)
+		t.Cleanup(func() { rsrv.Close() })
+		return rln.Addr().String()
+	}
+	wrongAddr := startReplica(otherShard) // does NOT hold alice's account
+	rightAddr := startReplica(acctShard)  // holds it, frozen at 75 G$
+
+	// The primary moves on: live balance 100, frozen replicas say 75.
+	if _, err := bank.AdminDeposit(admin, &AdminAmountRequest{AccountID: acct, Amount: currency.FromG(25)}); err != nil {
+		t.Fatal(err)
+	}
+
+	dial := func(addr string) *Client {
+		t.Helper()
+		c, err := Dial(addr, alice, trust)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+
+	// Direct read against the wrong shard's replica: a typed redirect,
+	// not a not_found masquerading as truth. (The replica admits the
+	// session even though alice's account is not in its slice — the
+	// sharded §3.2 gate cannot see other shards.)
+	wrongCli := dial(wrongAddr)
+	if _, err := wrongCli.AccountDetails(acct); !IsRemoteCode(err, CodeWrongShard) {
+		t.Fatalf("read on wrong shard = %v, want code %q", err, CodeWrongShard)
+	}
+	// And its ShardMap names its own shard, for clients to re-pool.
+	m, err := wrongCli.ShardMap()
+	if err != nil || m.ShardIndex != otherShard || m.Shards != nShards {
+		t.Fatalf("wrong replica ShardMap = %+v, %v", m, err)
+	}
+
+	// A routed client with a STALE shard map: it believes the wrong
+	// replica holds alice's shard (as after a reshard the client has
+	// not heard about). The wrong replica's redirect must trigger a
+	// transparent map refresh and a retry that lands on the right
+	// replica — proven by the frozen 75 G$ answer (the primary would
+	// say 100).
+	routed, err := NewRoutedClient(dial(primaryAddr), []*Client{dial(wrongAddr), dial(rightAddr)}, RouteOptions{
+		MaxStaleness:   time.Hour, // frozen replicas never go stale in this test
+		StatusInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleRing, err := shard.NewRing(nShards, vnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed.mu.Lock()
+	routed.mapOnce = true
+	routed.ring = staleRing
+	// Poisoned pool assignment: replica 0 (actually otherShard) is
+	// claimed to serve alice's shard.
+	routed.repShard = []int{acctShard, otherShard}
+	routed.mu.Unlock()
+
+	a, err := routed.AccountDetails(acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvailableBalance != currency.FromG(75) {
+		t.Fatalf("routed read = %v; want the frozen replica's 75 G$ (100 means the primary served it, i.e. no retry happened)", a.AvailableBalance)
+	}
+
+	// The refresh corrected the client's pool map.
+	routed.mu.Lock()
+	fixed := append([]int(nil), routed.repShard...)
+	routed.mu.Unlock()
+	if fixed[0] != otherShard || fixed[1] != acctShard {
+		t.Fatalf("shard map not refreshed: %v", fixed)
+	}
+
+	// Subsequent reads route straight to the right replica.
+	a, err = routed.AccountDetails(acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvailableBalance != currency.FromG(75) {
+		t.Fatalf("post-refresh routed read = %v, want 75 G$", a.AvailableBalance)
+	}
+}

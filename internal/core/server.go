@@ -48,6 +48,7 @@ type API interface {
 	AdminListAccounts(caller string) (*AdminAccountsResponse, error)
 
 	ReplicaStatus() (*ReplicaStatusResponse, error)
+	ShardMap() (*ShardMapResponse, error)
 }
 
 // Server exposes a bank API over mutually-authenticated TLS using the
@@ -354,6 +355,8 @@ func (s *Server) dispatch(subject string, req *wire.Request) *wire.Response {
 		body, err = s.bank.AdminListAccounts(subject)
 	case OpReplicaStatus:
 		body, err = s.bank.ReplicaStatus()
+	case OpShardMap:
+		body, err = s.bank.ShardMap()
 	default:
 		s.mu.Lock()
 		h, ok := s.handlers[req.Op]
@@ -391,6 +394,8 @@ func ErrorCode(err error) string {
 		return CodeReadOnly
 	case errors.Is(err, ErrReplicaNotReady):
 		return CodeUnavailable
+	case errors.Is(err, ErrWrongShard):
+		return CodeWrongShard
 	case errors.Is(err, ErrDenied), errors.Is(err, ErrUnknownSubject):
 		return CodeDenied
 	case errors.Is(err, accounts.ErrNotFound), errors.Is(err, ErrUnknownSerial),

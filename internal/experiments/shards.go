@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/currency"
+	"gridbank/internal/db"
+	"gridbank/internal/shard"
+)
+
+// The shards experiment measures the horizontally sharded ledger:
+// write throughput swept over shard count × cross-shard transfer
+// ratio. Same-shard transfers commit on one store; cross-shard
+// transfers pay the 2PC coordinator's multi-step protocol. Every cell
+// asserts conservation: account totals plus in-flight escrow equal the
+// deposits, and no 2PC residue survives the quiesce.
+
+// ShardsConfig parameterizes RunShards.
+type ShardsConfig struct {
+	// ShardCounts sweeps the number of shards (default 1, 2, 4).
+	ShardCounts []int
+	// CrossRatios sweeps the fraction of transfers that are forced
+	// cross-shard (default 0, 0.5, 1). Ratios > 0 are skipped for the
+	// 1-shard baseline, where every transfer is same-shard.
+	CrossRatios []float64
+	// Workers is the number of concurrent transfer loops (default 4).
+	Workers int
+	// OpsPerWorker is how many transfers each worker commits per cell
+	// (default 500).
+	OpsPerWorker int
+	// AccountsPerShard sizes the account population (default 8).
+	AccountsPerShard int
+}
+
+// ShardsPoint is one measured cell.
+type ShardsPoint struct {
+	Shards          int     `json:"shards"`
+	CrossRatio      float64 `json:"cross_ratio"`
+	Transfers       int     `json:"transfers"`
+	CrossTransfers  int     `json:"cross_transfers"`
+	TransfersPerSec float64 `json:"transfers_per_sec"`
+}
+
+// ShardsResult is the full sweep.
+type ShardsResult struct {
+	Points []ShardsPoint
+}
+
+// RunShards sweeps shard count × cross-shard ratio.
+func RunShards(cfg ShardsConfig) (*ShardsResult, error) {
+	if len(cfg.ShardCounts) == 0 {
+		cfg.ShardCounts = []int{1, 2, 4}
+	}
+	if len(cfg.CrossRatios) == 0 {
+		cfg.CrossRatios = []float64{0, 0.5, 1}
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.OpsPerWorker <= 0 {
+		cfg.OpsPerWorker = 500
+	}
+	if cfg.AccountsPerShard <= 0 {
+		cfg.AccountsPerShard = 8
+	}
+	res := &ShardsResult{}
+	for _, n := range cfg.ShardCounts {
+		for _, ratio := range cfg.CrossRatios {
+			if n == 1 && ratio > 0 {
+				continue
+			}
+			pt, err := runShardsCell(cfg, n, ratio)
+			if err != nil {
+				return nil, fmt.Errorf("shards %d ratio %.2f: %w", n, ratio, err)
+			}
+			res.Points = append(res.Points, *pt)
+		}
+	}
+	return res, nil
+}
+
+func runShardsCell(cfg ShardsConfig, nShards int, ratio float64) (*ShardsPoint, error) {
+	stores := make([]*db.Store, nShards)
+	for i := range stores {
+		stores[i] = db.MustOpenMemory()
+	}
+	led, err := shard.New(stores, shard.Config{})
+	if err != nil {
+		return nil, err
+	}
+
+	// Population: AccountsPerShard × nShards accounts, each funded,
+	// bucketed by owning shard so workers can pick same-shard or
+	// cross-shard pairs exactly.
+	perAcct := currency.FromG(1000)
+	var total currency.Amount
+	byShard := make([][]accounts.ID, nShards)
+	nAccts := cfg.AccountsPerShard * nShards
+	for i := 0; i < nAccts; i++ {
+		a, err := led.CreateAccount(fmt.Sprintf("CN=shardex-%d", i), "VO-X", "")
+		if err != nil {
+			return nil, err
+		}
+		if err := led.Deposit(a.AccountID, perAcct); err != nil {
+			return nil, err
+		}
+		total = total.MustAdd(perAcct)
+		s := led.ShardFor(a.AccountID)
+		byShard[s] = append(byShard[s], a.AccountID)
+	}
+	for s, ids := range byShard {
+		if nShards > 1 && len(ids) < 2 {
+			return nil, fmt.Errorf("shard %d got only %d accounts; raise AccountsPerShard", s, len(ids))
+		}
+	}
+
+	var transfers, cross atomic.Int64
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			amount := currency.FromMicro(10)
+			for op := 0; op < cfg.OpsPerWorker; op++ {
+				var from, to accounts.ID
+				if nShards > 1 && rng.Float64() < ratio {
+					// Cross-shard: drawer and recipient from different buckets.
+					si := rng.Intn(nShards)
+					sj := (si + 1 + rng.Intn(nShards-1)) % nShards
+					from = byShard[si][rng.Intn(len(byShard[si]))]
+					to = byShard[sj][rng.Intn(len(byShard[sj]))]
+					cross.Add(1)
+				} else {
+					si := rng.Intn(nShards)
+					bucket := byShard[si]
+					if len(bucket) < 2 {
+						continue
+					}
+					i := rng.Intn(len(bucket))
+					j := (i + 1 + rng.Intn(len(bucket)-1)) % len(bucket)
+					from, to = bucket[i], bucket[j]
+				}
+				if _, err := led.Transfer(from, to, amount, accounts.TransferOptions{}); err != nil {
+					errs[w] = fmt.Errorf("transfer %s -> %s: %w", from, to, err)
+					return
+				}
+				transfers.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Conservation: transfers move money, never mint it, and a
+	// quiesced ledger holds no escrow.
+	got, err := led.TotalBalance()
+	if err != nil {
+		return nil, err
+	}
+	if got != total {
+		return nil, fmt.Errorf("conservation violated: total %v, deposited %v", got, total)
+	}
+	esc, err := led.PendingEscrow()
+	if err != nil {
+		return nil, err
+	}
+	if !esc.IsZero() {
+		return nil, fmt.Errorf("quiesced ledger holds escrow %v", esc)
+	}
+
+	return &ShardsPoint{
+		Shards:          nShards,
+		CrossRatio:      ratio,
+		Transfers:       int(transfers.Load()),
+		CrossTransfers:  int(cross.Load()),
+		TransfersPerSec: float64(transfers.Load()) / elapsed.Seconds(),
+	}, nil
+}
+
+// WriteShards renders the sweep.
+func WriteShards(w io.Writer, r *ShardsResult) {
+	fmt.Fprintf(w, "Horizontally sharded ledger: transfers/sec vs shard count x cross-shard ratio\n")
+	fmt.Fprintf(w, "(cross-shard transfers run the 2PC coordinator; every cell asserts conservation)\n\n")
+	t := &Table{Header: []string{"shards", "cross ratio", "transfers", "cross", "transfers/sec"}}
+	for _, p := range r.Points {
+		t.Add(p.Shards, fmt.Sprintf("%.2f", p.CrossRatio), p.Transfers, p.CrossTransfers, fmt.Sprintf("%.0f", p.TransfersPerSec))
+	}
+	t.Write(w)
+}

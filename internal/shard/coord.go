@@ -1,0 +1,535 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/currency"
+	"gridbank/internal/db"
+)
+
+// Two-phase commit for cross-shard transfers.
+//
+// The coordinator keeps no state of its own: every protocol step is a
+// single db transaction on one shard's store, riding that shard's
+// existing write-ahead journal, so a crash at any point leaves a
+// durable, recoverable picture. The coordinator log is co-located with
+// the debit participant (the classic "transfer of commit point"
+// optimization): the prepare record and the decision record are both
+// rows on the debit shard, so the only remote participant is the
+// credit shard and the protocol needs exactly one durable write per
+// store per phase.
+//
+// Record format (documented alongside the journal format in README):
+//
+//	table "pc_transfers" (debit shard), key = GID:
+//	  {"gid":"00000000000000000042","txid":42,
+//	   "from":"01-0001-00000001","to":"01-0001-00000007",
+//	   "amount":1250000,"state":"prepared","date":"..."}
+//	  (from_locked, cancelled and rur are omitempty — present only
+//	  when true/non-empty)
+//	table "pc_applied" (credit shard), key = GID:
+//	  {"gid":"00000000000000000042","txid":42}
+//
+// Protocol, in durable steps (crash boundaries for the fault harness):
+//
+//	1. prepare   (debit):  escrow the funds out of the drawer's balance
+//	                       and insert the pc_transfers row, state
+//	                       "prepared", in one transaction. The escrowed
+//	                       amount now lives in the record itself.
+//	2. decide    (debit):  flip state to "committed" (or "aborted").
+//	                       This single-row update is the commit point.
+//	3. credit    (credit): add the amount to the recipient, write the
+//	                       recipient-side §5.1 TRANSACTION row and
+//	                       TRANSFER record, and insert the pc_applied
+//	                       marker — all one transaction, idempotent via
+//	                       the marker.
+//	4. finalize  (debit):  write the drawer-side TRANSACTION row and
+//	                       TRANSFER record and delete the pc_transfers
+//	                       row. Row deletion is the completion marker.
+//	5. cleanup   (credit): best-effort delete of the pc_applied marker
+//	                       (safe because the GID's transaction ID is
+//	                       never reused).
+//
+// Recovery (Ledger.Recover, run at startup) scans pc_transfers on
+// every shard: "prepared" rows are presumed-abort (decide abort, then
+// return the escrow); "committed" rows re-drive steps 3–5 (idempotent);
+// "aborted" rows re-drive the undo. Money is therefore never created
+// or destroyed across a crash: at every boundary the total of account
+// balances plus escrowed prepare records is constant.
+
+// Shard-local table names for 2PC bookkeeping.
+const (
+	tablePC        = "pc_transfers"
+	tablePCApplied = "pc_applied"
+)
+
+// pc record states.
+const (
+	pcPrepared  = "prepared"
+	pcCommitted = "committed"
+	pcAborted   = "aborted"
+)
+
+// Step identifies a durable 2PC step boundary, for fault injection.
+type Step int
+
+// The coordinator's durable steps, in protocol order. These are the
+// hookable crash boundaries of the live protocol; the abort-undo step
+// has no hook because a live abort only follows an already-injected
+// decision failure — its crash recovery is exercised instead by the
+// presumed-abort schedules (a prepared row left behind, resolved by
+// Recover, which the fault harness drives through double restarts).
+const (
+	StepPrepared Step = iota + 1
+	StepDecided
+	StepCreditApplied
+	StepFinalized
+)
+
+// String names a step for test output.
+func (s Step) String() string {
+	switch s {
+	case StepPrepared:
+		return "prepared"
+	case StepDecided:
+		return "decided"
+	case StepCreditApplied:
+		return "credit-applied"
+	case StepFinalized:
+		return "finalized"
+	default:
+		return fmt.Sprintf("step(%d)", int(s))
+	}
+}
+
+// ErrInDoubt marks a cross-shard transfer interrupted after its prepare
+// became durable: the outcome is decided by the durable records, and
+// Recover resolves it on the next startup. Callers must not retry
+// blindly — the funds are escrowed (or already moving) under the
+// original transaction ID.
+var ErrInDoubt = errors.New("shard: cross-shard transfer interrupted; recovery will resolve it")
+
+// pcRecord is the durable 2PC row. Amount is escrowed here between
+// prepare and finalize/abort: it has left the drawer's balance and not
+// yet reached the recipient's, and conservation counts it via
+// PendingEscrow.
+type pcRecord struct {
+	GID        string          `json:"gid"`
+	TxID       uint64          `json:"txid"`
+	From       accounts.ID     `json:"from"`
+	To         accounts.ID     `json:"to"`
+	Amount     currency.Amount `json:"amount"`
+	FromLocked bool            `json:"from_locked,omitempty"`
+	Cancelled  bool            `json:"cancelled,omitempty"` // reversal pair of a cancelled transfer
+	RUR        []byte          `json:"rur,omitempty"`
+	State      string          `json:"state"`
+	Date       time.Time       `json:"date"`
+}
+
+type pcAppliedMarker struct {
+	GID  string `json:"gid"`
+	TxID uint64 `json:"txid"`
+}
+
+func gidFor(txID uint64) string { return fmt.Sprintf("%020d", txID) }
+
+// hook invokes the fault-injection hook, if any.
+func (l *Ledger) hook(gid string, step Step) error {
+	if l.CrashHook == nil {
+		return nil
+	}
+	return l.CrashHook(gid, step)
+}
+
+// crossTransfer drives the full 2PC protocol for a transfer whose two
+// accounts live on different shards. cancelled marks the written §5.1
+// records as a cancellation reversal.
+func (l *Ledger) crossTransfer(from, to accounts.ID, amount currency.Amount, opts accounts.TransferOptions, cancelled bool) (*accounts.Transfer, error) {
+	return l.crossTransferWithID(0, from, to, amount, opts, cancelled)
+}
+
+// crossTransferWithID is crossTransfer with a caller-pinned transaction
+// ID (0 = allocate). Cancellation retries pin the ID so a reversal that
+// may already have run — fully or partially — is re-driven under the
+// same GID instead of duplicated.
+func (l *Ledger) crossTransferWithID(txID uint64, from, to accounts.ID, amount currency.Amount, opts accounts.TransferOptions, cancelled bool) (*accounts.Transfer, error) {
+	fs, ts := l.ring.ShardFor(string(from)), l.ring.ShardFor(string(to))
+
+	// Pre-validate the credit side outside the protocol: existence,
+	// open, currency. A recipient that closes between this check and
+	// the credit apply is still credited (money must not vanish once
+	// the commit point passes); the check just front-loads the common
+	// failures before any durable write.
+	toAcct, err := l.mgrs[ts].Details(to)
+	if err != nil {
+		return nil, err
+	}
+	if toAcct.Closed {
+		return nil, fmt.Errorf("%w: %s", accounts.ErrClosed, to)
+	}
+
+	if txID == 0 {
+		txID = l.txSeq.Add(1)
+	}
+	rec := &pcRecord{
+		TxID:       txID,
+		From:       from,
+		To:         to,
+		Amount:     amount,
+		FromLocked: opts.FromLocked,
+		Cancelled:  cancelled,
+		RUR:        opts.RUR,
+		State:      pcPrepared,
+		Date:       l.now(),
+	}
+	rec.GID = gidFor(rec.TxID)
+
+	// Step 1: prepare. A failure here is a clean business error —
+	// nothing durable happened.
+	if err := l.prepare(fs, rec, toAcct.Currency); err != nil {
+		return nil, err
+	}
+	if err := l.hook(rec.GID, StepPrepared); err != nil {
+		return nil, fmt.Errorf("%w (after prepare): %v", ErrInDoubt, err)
+	}
+
+	// Step 2: decide commit. If the decision cannot be made durable the
+	// transfer is presumed aborted; try to undo now, and recovery picks
+	// it up if even that fails.
+	if err := l.decide(fs, rec.GID, pcCommitted); err != nil {
+		l.tryAbort(fs, rec.GID)
+		return nil, fmt.Errorf("shard: commit decision failed, transfer aborted: %w", err)
+	}
+	if err := l.hook(rec.GID, StepDecided); err != nil {
+		return nil, fmt.Errorf("%w (after commit decision): %v", ErrInDoubt, err)
+	}
+
+	// Steps 3-5: the transfer is committed; completion is inevitable.
+	// Any failure past this point leaves durable state Recover finishes.
+	if err := l.applyCredit(ts, rec); err != nil {
+		return nil, fmt.Errorf("%w (credit pending): %v", ErrInDoubt, err)
+	}
+	if err := l.hook(rec.GID, StepCreditApplied); err != nil {
+		return nil, fmt.Errorf("%w (after credit): %v", ErrInDoubt, err)
+	}
+	if err := l.finalizeDebit(fs, rec); err != nil {
+		return nil, fmt.Errorf("%w (finalize pending): %v", ErrInDoubt, err)
+	}
+	if err := l.hook(rec.GID, StepFinalized); err != nil {
+		return nil, fmt.Errorf("%w (after finalize): %v", ErrInDoubt, err)
+	}
+	l.clearApplied(ts, rec.GID) // best effort; orphan markers are harmless
+
+	return &accounts.Transfer{
+		TransactionID:       rec.TxID,
+		Date:                rec.Date,
+		DrawerAccountID:     from,
+		Amount:              amount,
+		RecipientAccountID:  to,
+		ResourceUsageRecord: opts.RUR,
+		Cancelled:           cancelled,
+	}, nil
+}
+
+// prepare escrows the funds on the debit shard and inserts the pc row,
+// in one transaction. The drawer's balance drops here; the amount lives
+// in the record until finalize (committed) or undo (aborted).
+func (l *Ledger) prepare(shardIdx int, rec *pcRecord, toCurrency currency.Code) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return l.stores[shardIdx].Update(func(tx *db.Tx) error {
+		drawer, err := accounts.GetAccountTx(tx, rec.From)
+		if err != nil {
+			return err
+		}
+		if drawer.Closed {
+			return fmt.Errorf("%w: %s", accounts.ErrClosed, rec.From)
+		}
+		if drawer.Currency != toCurrency {
+			return fmt.Errorf("%w: %s is %s, %s is %s", accounts.ErrCurrencyMismatch,
+				rec.From, drawer.Currency, rec.To, toCurrency)
+		}
+		if rec.FromLocked {
+			if drawer.LockedBalance.Cmp(rec.Amount) < 0 {
+				return fmt.Errorf("%w: locked %s < %s", accounts.ErrInsufficientLock, drawer.LockedBalance, rec.Amount)
+			}
+			drawer.LockedBalance = drawer.LockedBalance.MustSub(rec.Amount)
+		} else {
+			if drawer.Spendable().Cmp(rec.Amount) < 0 {
+				return fmt.Errorf("%w: spendable %s < %s", accounts.ErrInsufficient, drawer.Spendable(), rec.Amount)
+			}
+			drawer.AvailableBalance = drawer.AvailableBalance.MustSub(rec.Amount)
+		}
+		if err := accounts.PutAccountTx(tx, drawer); err != nil {
+			return err
+		}
+		return tx.Insert(tablePC, rec.GID, raw)
+	})
+}
+
+// decide makes the commit/abort decision durable by flipping the pc
+// row's state — the 2PC commit point.
+func (l *Ledger) decide(shardIdx int, gid, state string) error {
+	return l.stores[shardIdx].Update(func(tx *db.Tx) error {
+		rec, err := getPC(tx, gid)
+		if err != nil {
+			return err
+		}
+		if rec.State == state {
+			return nil // idempotent (recovery re-drive)
+		}
+		if rec.State != pcPrepared {
+			return fmt.Errorf("shard: decision %s on %s transfer %s", state, rec.State, gid)
+		}
+		rec.State = state
+		raw, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		return tx.Put(tablePC, gid, raw)
+	})
+}
+
+// applyCredit lands the money on the credit shard: recipient balance,
+// recipient-side TRANSACTION row, the TRANSFER record's credit-shard
+// copy, and the idempotency marker — one transaction.
+func (l *Ledger) applyCredit(shardIdx int, rec *pcRecord) error {
+	mgr := l.mgrs[shardIdx]
+	return l.stores[shardIdx].Update(func(tx *db.Tx) error {
+		if ok, err := tx.Exists(tablePCApplied, rec.GID); err != nil {
+			return err
+		} else if ok {
+			return nil // already applied before a crash
+		}
+		recipient, err := accounts.GetAccountTx(tx, rec.To)
+		if err != nil {
+			return err
+		}
+		// A recipient closed after the commit point is still credited:
+		// the alternative destroys money. (Closure requires a zero
+		// balance, so the credit just reopens a sweep-out obligation.)
+		recipient.AvailableBalance = recipient.AvailableBalance.MustAdd(rec.Amount)
+		if err := accounts.PutAccountTx(tx, recipient); err != nil {
+			return err
+		}
+		if _, err := mgr.AppendTransactionTx(tx, &accounts.Transaction{
+			TransactionID: rec.TxID, AccountID: rec.To, Type: accounts.TxTransfer, Date: rec.Date, Amount: rec.Amount,
+		}); err != nil {
+			return err
+		}
+		if err := mgr.InsertTransferTx(tx, transferOf(rec)); err != nil {
+			return err
+		}
+		marker, err := json.Marshal(pcAppliedMarker{GID: rec.GID, TxID: rec.TxID})
+		if err != nil {
+			return err
+		}
+		return tx.Insert(tablePCApplied, rec.GID, marker)
+	})
+}
+
+// finalizeDebit writes the drawer-side §5.1 records and deletes the pc
+// row; the deletion is the durable completion marker.
+func (l *Ledger) finalizeDebit(shardIdx int, rec *pcRecord) error {
+	mgr := l.mgrs[shardIdx]
+	neg, err := rec.Amount.Neg()
+	if err != nil {
+		return err
+	}
+	return l.stores[shardIdx].Update(func(tx *db.Tx) error {
+		cur, err := getPC(tx, rec.GID)
+		if errors.Is(err, db.ErrNoRecord) {
+			return nil // already finalized before a crash
+		}
+		if err != nil {
+			return err
+		}
+		if cur.State != pcCommitted {
+			return fmt.Errorf("shard: finalize of %s transfer %s", cur.State, rec.GID)
+		}
+		if _, err := mgr.AppendTransactionTx(tx, &accounts.Transaction{
+			TransactionID: rec.TxID, AccountID: rec.From, Type: accounts.TxTransfer, Date: rec.Date, Amount: neg,
+		}); err != nil {
+			return err
+		}
+		if err := mgr.InsertTransferTx(tx, transferOf(rec)); err != nil {
+			return err
+		}
+		return tx.Delete(tablePC, rec.GID)
+	})
+}
+
+// abortUndo returns the escrowed funds to the drawer and deletes the pc
+// row.
+func (l *Ledger) abortUndo(shardIdx int, gid string) error {
+	return l.stores[shardIdx].Update(func(tx *db.Tx) error {
+		rec, err := getPC(tx, gid)
+		if errors.Is(err, db.ErrNoRecord) {
+			return nil // already undone
+		}
+		if err != nil {
+			return err
+		}
+		drawer, err := accounts.GetAccountTx(tx, rec.From)
+		if err != nil {
+			return err
+		}
+		if rec.FromLocked {
+			drawer.LockedBalance = drawer.LockedBalance.MustAdd(rec.Amount)
+		} else {
+			drawer.AvailableBalance = drawer.AvailableBalance.MustAdd(rec.Amount)
+		}
+		if err := accounts.PutAccountTx(tx, drawer); err != nil {
+			return err
+		}
+		return tx.Delete(tablePC, gid)
+	})
+}
+
+// tryAbort makes a best-effort durable abort (decision + undo); if any
+// part fails the prepared row stays for Recover to presume-abort.
+func (l *Ledger) tryAbort(shardIdx int, gid string) {
+	if err := l.decide(shardIdx, gid, pcAborted); err != nil {
+		return
+	}
+	_ = l.abortUndo(shardIdx, gid)
+}
+
+// clearApplied removes the credit-side idempotency marker after a
+// completed transfer. Best-effort: the marker only guards re-application
+// of a still-live pc row, and the GID is never reused.
+func (l *Ledger) clearApplied(shardIdx int, gid string) {
+	_ = l.stores[shardIdx].Update(func(tx *db.Tx) error {
+		if ok, err := tx.Exists(tablePCApplied, gid); err != nil || !ok {
+			return err
+		}
+		return tx.Delete(tablePCApplied, gid)
+	})
+}
+
+// transferOf builds the §5.1 TRANSFER record for a pc record. The same
+// content is written on both shards (debit copy at finalize, credit
+// copy at apply) so each side's statements see the movement.
+func transferOf(rec *pcRecord) *accounts.Transfer {
+	return &accounts.Transfer{
+		TransactionID:       rec.TxID,
+		Date:                rec.Date,
+		DrawerAccountID:     rec.From,
+		Amount:              rec.Amount,
+		RecipientAccountID:  rec.To,
+		ResourceUsageRecord: rec.RUR,
+		Cancelled:           rec.Cancelled,
+	}
+}
+
+func getPC(tx *db.Tx, gid string) (*pcRecord, error) {
+	raw, err := tx.Get(tablePC, gid)
+	if err != nil {
+		return nil, err
+	}
+	var rec pcRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, fmt.Errorf("shard: corrupt pc record %s: %w", gid, err)
+	}
+	return &rec, nil
+}
+
+// Recover resolves every in-doubt cross-shard transfer left by a crash:
+// prepared rows are presumed-abort, committed rows are re-driven to
+// completion, aborted rows are undone. It runs at Ledger construction
+// and is safe to call again at any quiescent point; all steps are
+// idempotent.
+func (l *Ledger) Recover() error {
+	if len(l.stores) == 1 {
+		return nil // cross-shard transfers cannot exist
+	}
+	for i := range l.stores {
+		var gids []string
+		err := l.stores[i].Scan(tablePC, func(key string, _ []byte) bool {
+			gids = append(gids, key)
+			return true
+		})
+		if err != nil {
+			if errors.Is(err, db.ErrNoTable) {
+				continue
+			}
+			return err
+		}
+		for _, gid := range gids {
+			if err := l.recoverOne(i, gid); err != nil {
+				return fmt.Errorf("shard: recovering transfer %s on shard %d: %w", gid, i, err)
+			}
+		}
+		// Orphaned credit markers: their pc row is gone (transfer fully
+		// finalized) so they will never be consulted again.
+		var orphans []string
+		err = l.stores[i].Scan(tablePCApplied, func(key string, _ []byte) bool {
+			orphans = append(orphans, key)
+			return true
+		})
+		if err != nil && !errors.Is(err, db.ErrNoTable) {
+			return err
+		}
+		for _, gid := range orphans {
+			if l.pcRowExists(gid) {
+				continue // still in flight; marker still guards idempotency
+			}
+			l.clearApplied(i, gid)
+		}
+	}
+	return nil
+}
+
+// pcRowExists reports whether any shard still holds a live pc row for
+// gid.
+func (l *Ledger) pcRowExists(gid string) bool {
+	for i := range l.stores {
+		if _, err := l.stores[i].Get(tablePC, gid); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// recoverOne resolves a single pc row found on debit shard i.
+func (l *Ledger) recoverOne(i int, gid string) error {
+	raw, err := l.stores[i].Get(tablePC, gid)
+	if errors.Is(err, db.ErrNoRecord) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var rec pcRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return fmt.Errorf("shard: corrupt pc record %s: %w", gid, err)
+	}
+	switch rec.State {
+	case pcPrepared:
+		// No durable commit decision: presume abort.
+		if err := l.decide(i, gid, pcAborted); err != nil {
+			return err
+		}
+		return l.abortUndo(i, gid)
+	case pcAborted:
+		return l.abortUndo(i, gid)
+	case pcCommitted:
+		ts := l.ring.ShardFor(string(rec.To))
+		if err := l.applyCredit(ts, &rec); err != nil {
+			return err
+		}
+		if err := l.finalizeDebit(i, &rec); err != nil {
+			return err
+		}
+		l.clearApplied(ts, gid)
+		return nil
+	default:
+		return fmt.Errorf("shard: pc record %s in unknown state %q", gid, rec.State)
+	}
+}

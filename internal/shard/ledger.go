@@ -1,0 +1,528 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/currency"
+	"gridbank/internal/db"
+)
+
+// Config configures a sharded Ledger.
+type Config struct {
+	// Bank and Branch number issued account IDs carry (defaults "01" /
+	// "0001", matching accounts.Config).
+	Bank   string
+	Branch string
+	// Now supplies timestamps; defaults to time.Now.
+	Now func() time.Time
+	// Vnodes is the virtual-node count per shard (0 = DefaultVnodes).
+	// Every party computing placement — ledger, replicas, routed
+	// clients — must agree on it.
+	Vnodes int
+}
+
+// Ledger is the sharded accounts layer: the same operation surface as
+// one accounts.Manager, spread over N independent stores. Each account
+// lives entirely on the shard its ID hashes to (account row,
+// transaction rows, its side of every transfer record), so single-
+// account operations and same-shard transfers are exactly as cheap as
+// on an unsharded ledger. Cross-shard transfers go through the 2PC
+// coordinator in coord.go.
+//
+// Shard 0 doubles as the metadata shard: Store() hands it to the bank
+// core for the instrument and administrator tables, which are bank-
+// global rather than account-partitioned.
+type Ledger struct {
+	ring   *Ring
+	stores []*db.Store
+	mgrs   []*accounts.Manager
+	now    func() time.Time
+
+	txSeq   atomic.Uint64 // deployment-wide TransactionID allocator
+	acctSeq atomic.Uint64 // deployment-wide account-number allocator
+
+	// createMu serializes account creation and certificate renames:
+	// the one-open-account-per-certificate-and-currency invariant spans
+	// shards, and checking it needs a stable cross-shard view.
+	createMu sync.Mutex
+
+	// cancelMu serializes cross-shard cancellations: a cancel spans
+	// several stores (pin reversal ID, run compensating 2PC, mark both
+	// copies), and two concurrent cancels of the same transfer racing
+	// through those steps could each run their own reversal.
+	cancelMu sync.Mutex
+
+	// CrashHook, when set, is called after every durable 2PC step with
+	// the transfer's GID; returning an error abandons the in-flight
+	// protocol at that boundary (simulating a coordinator crash). Test
+	// instrumentation only — set it before the ledger serves traffic.
+	CrashHook func(gid string, step Step) error
+}
+
+// New builds a sharded ledger over the given stores (one per shard, at
+// least one). Each store gets its own accounts.Manager sharing one
+// transaction-ID allocator; 2PC bookkeeping tables are created when
+// sharding is real (N > 1), and any in-doubt cross-shard transfers left
+// by a crash are resolved before New returns.
+//
+// The shard count is fixed by the stores slice and must match the data:
+// reopening existing shards under a different count would strand
+// accounts on shards their IDs no longer hash to (resharding requires a
+// migration, which this layer does not perform).
+func New(stores []*db.Store, cfg Config) (*Ledger, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("shard: ledger needs at least one store")
+	}
+	ring, err := NewRing(len(stores), cfg.Vnodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	l := &Ledger{ring: ring, stores: stores, now: cfg.Now}
+	alloc := func() uint64 { return l.txSeq.Add(1) }
+	for _, st := range stores {
+		mgr, err := accounts.NewManager(st, accounts.Config{
+			Bank: cfg.Bank, Branch: cfg.Branch, Now: cfg.Now, TxIDAlloc: alloc,
+		})
+		if err != nil {
+			return nil, err
+		}
+		l.mgrs = append(l.mgrs, mgr)
+	}
+	// Seed the deployment-wide counters above every shard's history.
+	var txMax, acctMax uint64
+	for _, mgr := range l.mgrs {
+		if n := mgr.LastTransactionID(); n > txMax {
+			txMax = n
+		}
+		if n := mgr.LastAccountNumber(); n > acctMax {
+			acctMax = n
+		}
+	}
+	if len(stores) > 1 {
+		for _, st := range stores {
+			if err := st.EnsureTable(tablePC); err != nil {
+				return nil, err
+			}
+			if err := st.EnsureTable(tablePCApplied); err != nil {
+				return nil, err
+			}
+		}
+		// In-doubt 2PC rows may carry transaction IDs newer than any
+		// §5.1 record (prepare is durable before the transaction rows
+		// are written); the allocator must clear them too, or a fresh
+		// transfer could collide with an in-doubt GID.
+		for _, st := range stores {
+			for _, table := range []string{tablePC, tablePCApplied} {
+				err := st.Scan(table, func(key string, _ []byte) bool {
+					if n, err := strconv.ParseUint(key, 10, 64); err == nil && n > txMax {
+						txMax = n
+					}
+					return true
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Likewise reversal IDs pinned by a cancellation that crashed
+		// before its compensating transfer wrote anything: the pin
+		// lives only inside the original transfer record's value.
+		for _, mgr := range l.mgrs {
+			n, err := mgr.MaxReversalID()
+			if err != nil {
+				return nil, err
+			}
+			if n > txMax {
+				txMax = n
+			}
+		}
+	}
+	l.txSeq.Store(txMax)
+	l.acctSeq.Store(acctMax)
+	if err := l.Recover(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Ring returns the ledger's placement ring.
+func (l *Ledger) Ring() *Ring { return l.ring }
+
+// Shards returns the shard count.
+func (l *Ledger) Shards() int { return len(l.stores) }
+
+// ShardFor returns the shard index owning an account ID.
+func (l *Ledger) ShardFor(id accounts.ID) int { return l.ring.ShardFor(string(id)) }
+
+// Stores returns the per-shard stores, in shard order.
+func (l *Ledger) Stores() []*db.Store { return l.stores }
+
+// Managers returns the per-shard account managers, in shard order.
+func (l *Ledger) Managers() []*accounts.Manager { return l.mgrs }
+
+// Store returns the metadata shard's store (shard 0), where the bank
+// core keeps its instrument and administrator tables.
+func (l *Ledger) Store() *db.Store { return l.stores[0] }
+
+// MetaManager returns the metadata shard's accounts manager.
+func (l *Ledger) MetaManager() *accounts.Manager { return l.mgrs[0] }
+
+// ShardTopology reports the placement parameters — shard count and
+// virtual nodes per shard — that let any party recompute account
+// placement locally.
+func (l *Ledger) ShardTopology() (shards, vnodes int) { return len(l.stores), l.ring.Vnodes() }
+
+// mgrFor routes an account ID to its owning manager.
+func (l *Ledger) mgrFor(id accounts.ID) *accounts.Manager {
+	return l.mgrs[l.ring.ShardFor(string(id))]
+}
+
+// CreateAccount allocates a deployment-wide account number, places the
+// ID on its ring shard, and creates the record there. The one-open-
+// account-per-certificate-and-currency invariant is enforced across all
+// shards under createMu.
+func (l *Ledger) CreateAccount(certName, orgName string, cur currency.Code) (*accounts.Account, error) {
+	if certName == "" {
+		return nil, errors.New("accounts: empty certificate name")
+	}
+	if cur == "" {
+		cur = currency.GridDollar
+	}
+	if !cur.Valid() {
+		return nil, fmt.Errorf("accounts: invalid currency %q", cur)
+	}
+	l.createMu.Lock()
+	defer l.createMu.Unlock()
+	for _, mgr := range l.mgrs {
+		_, err := mgr.FindByCertificate(certName, cur)
+		if err == nil {
+			return nil, fmt.Errorf("%w: %s (%s)", accounts.ErrDuplicateIdentity, certName, cur)
+		}
+		if !errors.Is(err, accounts.ErrNotFound) {
+			// A failing shard must not silently disable the uniqueness
+			// invariant — refuse the create rather than guess.
+			return nil, err
+		}
+	}
+	id := accounts.ID(fmt.Sprintf("%s-%s-%08d", l.mgrs[0].BankNumber(), l.mgrs[0].BranchNumber(), l.acctSeq.Add(1)))
+	return l.mgrFor(id).CreateAccountWithID(id, certName, orgName, cur)
+}
+
+// Details routes §5.2 Request Account Details to the owning shard.
+func (l *Ledger) Details(id accounts.ID) (*accounts.Account, error) {
+	return l.mgrFor(id).Details(id)
+}
+
+// FindByCertificate searches every shard, returning the open account
+// with the lowest ID (matching the unsharded ordering guarantee). A
+// shard that fails to answer surfaces its error — a store fault must
+// not masquerade as "no account".
+func (l *Ledger) FindByCertificate(certName string, cur currency.Code) (*accounts.Account, error) {
+	var best *accounts.Account
+	for _, mgr := range l.mgrs {
+		a, err := mgr.FindByCertificate(certName, cur)
+		if err != nil {
+			if errors.Is(err, accounts.ErrNotFound) {
+				continue
+			}
+			return nil, err
+		}
+		if best == nil || a.AccountID < best.AccountID {
+			best = a
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: certificate %s", accounts.ErrNotFound, certName)
+	}
+	return best, nil
+}
+
+// UpdateDetails routes to the owning shard, enforcing the certificate-
+// name uniqueness check across all shards first.
+func (l *Ledger) UpdateDetails(id accounts.ID, certName, orgName string) (*accounts.Account, error) {
+	if certName == "" {
+		return nil, errors.New("accounts: empty certificate name")
+	}
+	l.createMu.Lock()
+	defer l.createMu.Unlock()
+	owner := l.mgrFor(id)
+	cur, err := owner.Details(id)
+	if err != nil {
+		return nil, err
+	}
+	for _, mgr := range l.mgrs {
+		if mgr == owner {
+			continue // the owner's own check runs inside UpdateDetails
+		}
+		other, err := mgr.FindByCertificate(certName, cur.Currency)
+		if err != nil {
+			if errors.Is(err, accounts.ErrNotFound) {
+				continue
+			}
+			return nil, err
+		}
+		if other.AccountID != id {
+			return nil, fmt.Errorf("%w: %s", accounts.ErrDuplicateIdentity, certName)
+		}
+	}
+	return owner.UpdateDetails(id, certName, orgName)
+}
+
+// CheckFunds routes the §3.4 fund lock to the owning shard.
+func (l *Ledger) CheckFunds(id accounts.ID, amount currency.Amount) error {
+	return l.mgrFor(id).CheckFunds(id, amount)
+}
+
+// Unlock routes a lock release to the owning shard.
+func (l *Ledger) Unlock(id accounts.ID, amount currency.Amount) error {
+	return l.mgrFor(id).Unlock(id, amount)
+}
+
+// Transfer moves funds between any two accounts: a single-store ledger
+// transaction when both hash to the same shard, the 2PC protocol when
+// they do not.
+func (l *Ledger) Transfer(drawer, recipient accounts.ID, amount currency.Amount, opts accounts.TransferOptions) (*accounts.Transfer, error) {
+	if !amount.IsPositive() {
+		return nil, accounts.ErrBadAmount
+	}
+	if drawer == recipient {
+		return nil, errors.New("accounts: cannot transfer to self")
+	}
+	fs, ts := l.ring.ShardFor(string(drawer)), l.ring.ShardFor(string(recipient))
+	if fs == ts {
+		return l.mgrs[fs].Transfer(drawer, recipient, amount, opts)
+	}
+	return l.crossTransfer(drawer, recipient, amount, opts, false)
+}
+
+// Statement routes to the owning shard. Both sides of a cross-shard
+// transfer carry their own copy of the TRANSFER record, so each
+// account's statement is complete on its own shard.
+func (l *Ledger) Statement(id accounts.ID, start, end time.Time) (*accounts.Statement, error) {
+	return l.mgrFor(id).Statement(id, start, end)
+}
+
+// GetTransfer finds a transfer by transaction ID, searching shards in
+// order (a cross-shard transfer is recorded on both of its shards). A
+// shard that fails to answer surfaces its error rather than reading as
+// "no such transfer".
+func (l *Ledger) GetTransfer(txID uint64) (*accounts.Transfer, error) {
+	for _, mgr := range l.mgrs {
+		tr, err := mgr.GetTransfer(txID)
+		if err == nil {
+			return tr, nil
+		}
+		if !errors.Is(err, accounts.ErrNoSuchTransfer) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("%w: %d", accounts.ErrNoSuchTransfer, txID)
+}
+
+// TotalBalance sums every shard's account balances plus the funds
+// currently escrowed in in-flight cross-shard transfers — the
+// deployment-wide conservation quantity (only deposits and withdrawals
+// change it).
+func (l *Ledger) TotalBalance() (currency.Amount, error) {
+	var total currency.Amount
+	for _, mgr := range l.mgrs {
+		t, err := mgr.TotalBalance()
+		if err != nil {
+			return 0, err
+		}
+		total = total.MustAdd(t)
+	}
+	escrow, err := l.PendingEscrow()
+	if err != nil {
+		return 0, err
+	}
+	return total.MustAdd(escrow), nil
+}
+
+// PendingEscrow sums the amounts held in pc records whose credit has
+// not yet landed: money that has left a drawer and not yet reached a
+// recipient. Zero on a quiesced, recovered ledger.
+func (l *Ledger) PendingEscrow() (currency.Amount, error) {
+	var total currency.Amount
+	if len(l.stores) == 1 {
+		return 0, nil
+	}
+	for i := range l.stores {
+		var scanErr error
+		err := l.stores[i].Scan(tablePC, func(key string, value []byte) bool {
+			var rec pcRecord
+			if err := json.Unmarshal(value, &rec); err != nil {
+				scanErr = fmt.Errorf("shard: corrupt pc record %s: %w", key, err)
+				return false
+			}
+			ts := l.ring.ShardFor(string(rec.To))
+			if _, err := l.stores[ts].Get(tablePCApplied, rec.GID); err == nil {
+				return true // credit already applied; escrow has landed
+			}
+			total = total.MustAdd(rec.Amount)
+			return true
+		})
+		if err != nil && !errors.Is(err, db.ErrNoTable) {
+			return 0, err
+		}
+		if scanErr != nil {
+			return 0, scanErr
+		}
+	}
+	return total, nil
+}
+
+// Accounts lists every account across all shards, in ID order.
+func (l *Ledger) Accounts() ([]accounts.Account, error) {
+	var out []accounts.Account
+	for _, mgr := range l.mgrs {
+		as, err := mgr.Accounts()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, as...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AccountID < out[j].AccountID })
+	return out, nil
+}
+
+// Deposit credits an account on its shard (§5.2.1).
+func (l *Ledger) Deposit(id accounts.ID, amount currency.Amount) error {
+	return l.mgrFor(id).Admin().Deposit(id, amount)
+}
+
+// Withdraw debits an account on its shard (§5.2.1).
+func (l *Ledger) Withdraw(id accounts.ID, amount currency.Amount) error {
+	return l.mgrFor(id).Admin().Withdraw(id, amount)
+}
+
+// ChangeCreditLimit sets an account's credit limit on its shard.
+func (l *Ledger) ChangeCreditLimit(id accounts.ID, limit currency.Amount) error {
+	return l.mgrFor(id).Admin().ChangeCreditLimit(id, limit)
+}
+
+// CancelTransfer reverses a transfer (§5.2.1). Same-shard transfers
+// delegate to the shard's admin module. Cross-shard transfers run a
+// compensating 2PC transfer in the opposite direction under a
+// write-ahead reversal ID: the ID is durably pinned on the original
+// record's authoritative (drawer-shard) copy before any money moves,
+// so a cancel that crashes anywhere — even after the reversal fully
+// completed but before the cancelled marks landed — is re-driven
+// idempotently on retry instead of paying the drawer twice.
+func (l *Ledger) CancelTransfer(txID uint64) error {
+	tr, err := l.GetTransfer(txID)
+	if err != nil {
+		return err
+	}
+	fs, ts := l.ring.ShardFor(string(tr.DrawerAccountID)), l.ring.ShardFor(string(tr.RecipientAccountID))
+	if fs == ts {
+		return l.mgrs[fs].Admin().CancelTransfer(txID)
+	}
+	l.cancelMu.Lock()
+	defer l.cancelMu.Unlock()
+	// The drawer-shard copy is authoritative for the cancelled flag and
+	// the reversal ID.
+	auth, err := l.mgrs[fs].GetTransfer(txID)
+	if err != nil {
+		return err
+	}
+	if auth.Cancelled {
+		return fmt.Errorf("%w: %d", accounts.ErrAlreadyCancelled, txID)
+	}
+	reversalID := auth.ReversalID
+	if reversalID == 0 {
+		// Write-ahead: pin the reversal's transaction ID before running
+		// it, so any retry finds and re-drives this exact reversal. The
+		// closure re-checks and adopts a pin that landed since the read
+		// above — a pin, once written, is never replaced.
+		fresh := l.txSeq.Add(1)
+		err := l.stores[fs].Update(func(tx *db.Tx) error {
+			rec, err := l.mgrs[fs].GetTransferTx(tx, txID)
+			if err != nil {
+				return err
+			}
+			if rec.Cancelled {
+				return fmt.Errorf("%w: %d", accounts.ErrAlreadyCancelled, txID)
+			}
+			if rec.ReversalID != 0 {
+				reversalID = rec.ReversalID
+				return nil
+			}
+			reversalID = fresh
+			rec.ReversalID = fresh
+			return l.mgrs[fs].PutTransferTx(tx, rec)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// A previous attempt may have left the reversal in-doubt; resolve
+	// it exactly as startup recovery would (idempotent, no-op when
+	// there is nothing to resolve). The reversal's debit shard is ts
+	// (the recipient pays back).
+	if err := l.recoverOne(ts, gidFor(reversalID)); err != nil {
+		return err
+	}
+	// Completed reversals finalize on their debit shard last, so a
+	// transfer record for reversalID there means the money already
+	// moved back — skip straight to marking.
+	if _, err := l.mgrs[ts].GetTransfer(reversalID); err != nil {
+		if !errors.Is(err, accounts.ErrNoSuchTransfer) {
+			return err
+		}
+		if _, err := l.crossTransferWithID(reversalID, tr.RecipientAccountID, tr.DrawerAccountID, tr.Amount, accounts.TransferOptions{}, true); err != nil {
+			return err
+		}
+	}
+	// Mark both copies; the authoritative drawer copy last, so a crash
+	// mid-marking leaves a retry that re-enters above, finds the
+	// completed reversal, and only finishes the marks.
+	for _, idx := range []int{ts, fs} {
+		mgr := l.mgrs[idx]
+		err := l.stores[idx].Update(func(tx *db.Tx) error {
+			rec, err := mgr.GetTransferTx(tx, txID)
+			if err != nil {
+				return err
+			}
+			rec.Cancelled = true
+			return mgr.PutTransferTx(tx, rec)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CloseAccount closes an account (§5.2.1), sweeping any balance to
+// transferTo first — via 2PC when the sweep crosses shards.
+func (l *Ledger) CloseAccount(id, transferTo accounts.ID) error {
+	owner := l.mgrFor(id)
+	if transferTo == "" || l.ring.ShardFor(string(id)) == l.ring.ShardFor(string(transferTo)) {
+		return owner.Admin().CloseAccount(id, transferTo)
+	}
+	a, err := owner.Details(id)
+	if err != nil {
+		return err
+	}
+	if !a.LockedBalance.IsZero() {
+		return fmt.Errorf("%w: %s has %s locked", accounts.ErrNotEmpty, id, a.LockedBalance)
+	}
+	if a.AvailableBalance.IsPositive() {
+		if _, err := l.crossTransfer(id, transferTo, a.AvailableBalance, accounts.TransferOptions{}, false); err != nil {
+			return err
+		}
+	}
+	return owner.Admin().CloseAccount(id, "")
+}

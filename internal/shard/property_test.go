@@ -1,0 +1,148 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/currency"
+	"gridbank/internal/db"
+)
+
+// opcode drives the property machine, mirroring the ledger-invariant
+// machine in internal/accounts/property_test.go.
+type opcode struct {
+	Kind   uint8 // transfer / lock / unlock / lockedTransfer / deposit / withdraw
+	From   uint8
+	To     uint8
+	Amount uint16
+}
+
+// applyOp runs one op against a ledger; errors are outcomes, not
+// failures (an insufficient-funds transfer must simply fail the same
+// way on both ledgers).
+func applyOp(l *Ledger, ids []accounts.ID, op opcode) {
+	from := ids[int(op.From)%len(ids)]
+	to := ids[int(op.To)%len(ids)]
+	amt := currency.FromMicro(int64(op.Amount)*1000 + 1)
+	switch op.Kind % 6 {
+	case 0:
+		_, _ = l.Transfer(from, to, amt, accounts.TransferOptions{})
+	case 1:
+		_ = l.CheckFunds(from, amt)
+	case 2:
+		_ = l.Unlock(from, amt)
+	case 3:
+		_, _ = l.Transfer(from, to, amt, accounts.TransferOptions{FromLocked: true})
+	case 4:
+		_ = l.Deposit(from, amt)
+	case 5:
+		_ = l.Withdraw(from, amt)
+	}
+}
+
+// TestShardingIsBehaviorInvisible drives identical random workloads —
+// mixed same-shard and cross-shard transfers, locks, deposits,
+// withdrawals — against a 1-shard and an N-shard ledger created with
+// identical account sequences, and requires bit-identical final
+// balances on every account. Partitioning the ledger must never be
+// observable through the accounting API.
+func TestShardingIsBehaviorInvisible(t *testing.T) {
+	const nAcct = 6
+	epoch := time.Date(2026, 3, 4, 5, 6, 7, 0, time.UTC)
+	now := func() time.Time { return epoch }
+
+	build := func(shards int) (*Ledger, []accounts.ID, error) {
+		stores := make([]*db.Store, shards)
+		for i := range stores {
+			stores[i] = db.MustOpenMemory()
+		}
+		l, err := New(stores, Config{Now: now})
+		if err != nil {
+			return nil, nil, err
+		}
+		ids := make([]accounts.ID, nAcct)
+		for i := range ids {
+			a, err := l.CreateAccount(fmt.Sprintf("CN=prop-%d", i), "", "")
+			if err != nil {
+				return nil, nil, err
+			}
+			ids[i] = a.AccountID
+			if err := l.Deposit(ids[i], currency.FromG(50)); err != nil {
+				return nil, nil, err
+			}
+			if err := l.ChangeCreditLimit(ids[i], currency.FromG(10)); err != nil {
+				return nil, nil, err
+			}
+		}
+		return l, ids, nil
+	}
+
+	run := func(ops []opcode) bool {
+		single, sids, err := build(1)
+		if err != nil {
+			t.Logf("build single: %v", err)
+			return false
+		}
+		sharded, hids, err := build(4)
+		if err != nil {
+			t.Logf("build sharded: %v", err)
+			return false
+		}
+		// Identical ID sequences are what make the workloads identical.
+		for i := range sids {
+			if sids[i] != hids[i] {
+				t.Logf("account ID divergence: %s vs %s", sids[i], hids[i])
+				return false
+			}
+		}
+		crossSeen := false
+		for _, op := range ops {
+			if sharded.ShardFor(hids[int(op.From)%nAcct]) != sharded.ShardFor(hids[int(op.To)%nAcct]) {
+				crossSeen = true
+			}
+			applyOp(single, sids, op)
+			applyOp(sharded, hids, op)
+		}
+		_ = crossSeen // with 4 shards and 6 accounts nearly every workload crosses
+
+		for i := range sids {
+			a, err := single.Details(sids[i])
+			if err != nil {
+				return false
+			}
+			b, err := sharded.Details(hids[i])
+			if err != nil {
+				return false
+			}
+			if a.AvailableBalance != b.AvailableBalance || a.LockedBalance != b.LockedBalance {
+				t.Logf("account %s diverged: single %v/%v vs sharded %v/%v",
+					sids[i], a.AvailableBalance, a.LockedBalance, b.AvailableBalance, b.LockedBalance)
+				return false
+			}
+		}
+		st, err := single.TotalBalance()
+		if err != nil {
+			return false
+		}
+		ht, err := sharded.TotalBalance()
+		if err != nil {
+			return false
+		}
+		if st != ht {
+			t.Logf("totals diverged: %v vs %v", st, ht)
+			return false
+		}
+		esc, err := sharded.PendingEscrow()
+		if err != nil || !esc.IsZero() {
+			t.Logf("escrow after quiesced workload: %v, %v", esc, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package shard partitions the GridBank ledger horizontally: accounts
+// are spread across N independent db.Store shards by consistent hash of
+// the account ID, so write throughput scales with shard count instead
+// of being capped by one store's commit path. Same-shard operations
+// (balance, statement, single-account charge, transfers whose two
+// accounts hash to the same shard) route straight to the owning shard
+// and keep single-store latency; cross-shard transfers run a two-phase
+// commit driven by Coordinator, journaled in the shards' existing
+// write-ahead logs so recovery after a crash never creates or destroys
+// money (see coord.go for the protocol and record format).
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"gridbank/internal/strhash"
+)
+
+// DefaultVnodes is the virtual-node count per shard. Virtual nodes
+// smooth the key distribution and — because each shard owns many small
+// arcs of the ring instead of one big one — adding shard N+1 steals
+// roughly 1/(N+1) of the keys evenly from every existing shard rather
+// than splitting a single neighbor.
+const DefaultVnodes = 64
+
+// Ring is a consistent-hash ring mapping keys (account IDs) to shard
+// indexes. It is deterministic: any two Rings built with the same
+// (shards, vnodes) agree on every key, which is what lets clients
+// compute placement locally from just the two numbers.
+type Ring struct {
+	shards int
+	vnodes int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint32
+	shard int
+}
+
+// mix32 is a 32-bit avalanche finalizer (Mueller's lowbias32). FNV-1a
+// over short, low-entropy strings ("shard-0#12", sequential account
+// numbers) leaves its low bits correlated, which makes ring arcs lumpy
+// enough to skew shard 0 to 3× its fair share; one round of mixing
+// restores a near-uniform spread.
+func mix32(h uint32) uint32 {
+	h ^= h >> 16
+	h *= 0x7feb352d
+	h ^= h >> 15
+	h *= 0x846ca68b
+	h ^= h >> 16
+	return h
+}
+
+// ringHash positions a label or key on the ring.
+func ringHash(s string) uint32 { return mix32(strhash.FNV32a(s)) }
+
+// NewRing builds a ring over `shards` shards with `vnodes` virtual
+// nodes each (0 means DefaultVnodes).
+func NewRing(shards, vnodes int) (*Ring, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: ring needs at least 1 shard, got %d", shards)
+	}
+	if vnodes == 0 {
+		vnodes = DefaultVnodes
+	}
+	if vnodes < 1 {
+		return nil, fmt.Errorf("shard: ring needs at least 1 vnode per shard, got %d", vnodes)
+	}
+	r := &Ring{shards: shards, vnodes: vnodes, points: make([]ringPoint, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			h := ringHash(fmt.Sprintf("shard-%d#%d", s, v))
+			r.points = append(r.points, ringPoint{hash: h, shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties broken by shard index so the ring is total-ordered
+		// and deterministic regardless of construction order.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// MustNewRing builds a ring or panics (literal configs in tests).
+func MustNewRing(shards, vnodes int) *Ring {
+	r, err := NewRing(shards, vnodes)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ShardFor maps a key to its owning shard: the first virtual node at or
+// clockwise after the key's hash.
+func (r *Ring) ShardFor(key string) int {
+	if r.shards == 1 {
+		return 0
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap
+	}
+	return r.points[i].shard
+}
+
+// Shards returns the shard count.
+func (r *Ring) Shards() int { return r.shards }
+
+// Vnodes returns the virtual-node count per shard.
+func (r *Ring) Vnodes() int { return r.vnodes }

@@ -1,0 +1,337 @@
+package simtest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/currency"
+	"gridbank/internal/shard"
+)
+
+// TestEveryCrashPointConverges enumerates every 2PC step boundary ×
+// every victim, kills exactly there, reboots the deployment from its
+// journals, and asserts recovery converges: the transfer is atomically
+// applied or rolled back, no escrow survives, and total funds across
+// all shards equal the pre-crash total.
+func TestEveryCrashPointConverges(t *testing.T) {
+	steps := []shard.Step{shard.StepPrepared, shard.StepDecided, shard.StepCreditApplied, shard.StepFinalized}
+	victims := []Victim{KillCoordinator, KillDebitShard, KillCreditShard}
+	const fund = 100
+	amount := currency.FromG(30)
+
+	for _, step := range steps {
+		for _, victim := range victims {
+			t.Run(fmt.Sprintf("%s/%s", step, victim), func(t *testing.T) {
+				h, err := New(4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				from, to, err := h.CrossShardPair("crash", currency.FromG(fund))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				err = h.TransferWithCrash(from, to, amount, &Crash{Step: step, Victim: victim})
+
+				// A commit decision that never became durable must abort;
+				// everything after the decision must apply. The only
+				// pre-decision schedule that still commits is killing the
+				// credit shard, which cannot stop the debit-side decision.
+				wantApplied := !(step == shard.StepPrepared && victim != KillCreditShard)
+				if !wantApplied && err == nil {
+					t.Fatalf("transfer reported success on a schedule that must abort")
+				}
+
+				// Reboot everything from the journals; shard.New replays
+				// recovery. Twice, to prove recovery is idempotent.
+				for i := 0; i < 2; i++ {
+					if err := h.Restart(); err != nil {
+						t.Fatalf("restart %d: %v", i, err)
+					}
+				}
+				if err := h.AssertConverged(currency.FromG(fund)); err != nil {
+					t.Fatal(err)
+				}
+
+				fa, err := h.Ledger().Details(from)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ta, err := h.Ledger().Details(to)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wantApplied {
+					if fa.AvailableBalance != currency.FromG(fund-30) || ta.AvailableBalance != amount {
+						t.Fatalf("want applied; balances from=%v to=%v", fa.AvailableBalance, ta.AvailableBalance)
+					}
+					// Both sides hold their copy of the §5.1 record.
+					for _, id := range []accounts.ID{from, to} {
+						st, err := h.Ledger().Statement(id, h.now.Add(-1e9), h.now.Add(1e9))
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(st.Transfers) != 1 || st.Transfers[0].Amount != amount {
+							t.Fatalf("statement of %s after recovery: %+v", id, st.Transfers)
+						}
+					}
+				} else {
+					if fa.AvailableBalance != currency.FromG(fund) || !ta.AvailableBalance.IsZero() {
+						t.Fatalf("want aborted; balances from=%v to=%v", fa.AvailableBalance, ta.AvailableBalance)
+					}
+				}
+				if !fa.LockedBalance.IsZero() || !ta.LockedBalance.IsZero() {
+					t.Fatalf("locked residue after recovery: from=%v to=%v", fa.LockedBalance, ta.LockedBalance)
+				}
+			})
+		}
+	}
+}
+
+// TestCrashPointsFromLocked runs the cheque-redemption-shaped path
+// (transfer out of locked funds) through the abort and commit schedules
+// and checks the lock is restored or consumed, never leaked.
+func TestCrashPointsFromLocked(t *testing.T) {
+	for _, tc := range []struct {
+		step    shard.Step
+		victim  Victim
+		applied bool
+	}{
+		{shard.StepPrepared, KillCoordinator, false},
+		{shard.StepPrepared, KillDebitShard, false},
+		{shard.StepDecided, KillCreditShard, true},
+		{shard.StepCreditApplied, KillDebitShard, true},
+	} {
+		t.Run(fmt.Sprintf("%s/%s", tc.step, tc.victim), func(t *testing.T) {
+			h, err := New(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			from, to, err := h.CrossShardPair("locked", currency.FromG(50))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Ledger().CheckFunds(from, currency.FromG(20)); err != nil {
+				t.Fatal(err)
+			}
+
+			l := h.Ledger()
+			fs, ts := l.ShardFor(from), l.ShardFor(to)
+			l.CrashHook = func(gid string, step shard.Step) error {
+				if step != tc.step {
+					return nil
+				}
+				switch tc.victim {
+				case KillCoordinator:
+					return ErrCrash
+				case KillDebitShard:
+					h.journals[fs].Kill()
+				case KillCreditShard:
+					h.journals[ts].Kill()
+				}
+				return nil
+			}
+			_, _ = l.Transfer(from, to, currency.FromG(20), accounts.TransferOptions{FromLocked: true})
+			l.CrashHook = nil
+
+			if err := h.Restart(); err != nil {
+				t.Fatal(err)
+			}
+			if err := h.AssertConverged(currency.FromG(50)); err != nil {
+				t.Fatal(err)
+			}
+			fa, _ := h.Ledger().Details(from)
+			ta, _ := h.Ledger().Details(to)
+			if tc.applied {
+				if !fa.LockedBalance.IsZero() || ta.AvailableBalance != currency.FromG(20) {
+					t.Fatalf("want applied: from locked=%v, to=%v", fa.LockedBalance, ta.AvailableBalance)
+				}
+			} else {
+				if fa.LockedBalance != currency.FromG(20) || !ta.AvailableBalance.IsZero() {
+					t.Fatalf("want aborted with lock restored: from locked=%v, to=%v", fa.LockedBalance, ta.AvailableBalance)
+				}
+			}
+		})
+	}
+}
+
+// TestSeededCrashSchedule is the randomized soak: a fixed-seed PRNG
+// drives a mixed same-shard/cross-shard transfer workload and keeps
+// injecting random (step, victim) crashes, rebooting and recovering
+// after each. Conservation must hold at every recovery point and at the
+// end; the fixed seed makes any failure exactly reproducible.
+func TestSeededCrashSchedule(t *testing.T) {
+	const (
+		seed     = 0x9dB4_2026
+		nShards  = 3
+		nAccts   = 8
+		perAcct  = 100
+		rounds   = 40
+		maxWhole = 5
+	)
+	rng := rand.New(rand.NewSource(seed))
+	h, err := New(nShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]accounts.ID, nAccts)
+	for i := range ids {
+		id, err := h.CreateFunded(fmt.Sprintf("CN=soak-%d", i), currency.FromG(perAcct))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	want := currency.FromG(nAccts * perAcct)
+
+	steps := []shard.Step{shard.StepPrepared, shard.StepDecided, shard.StepCreditApplied, shard.StepFinalized}
+	victims := []Victim{KillCoordinator, KillDebitShard, KillCreditShard}
+	crashes := 0
+	for round := 0; round < rounds; round++ {
+		from := ids[rng.Intn(nAccts)]
+		to := ids[rng.Intn(nAccts)]
+		if from == to {
+			continue
+		}
+		amount := currency.FromG(int64(1 + rng.Intn(maxWhole)))
+		var crash *Crash
+		if rng.Intn(2) == 0 {
+			crash = &Crash{Step: steps[rng.Intn(len(steps))], Victim: victims[rng.Intn(len(victims))]}
+		}
+		_ = h.TransferWithCrash(from, to, amount, crash)
+		if crash != nil {
+			crashes++
+			if err := h.Restart(); err != nil {
+				t.Fatalf("round %d (%s/%s): restart: %v", round, crash.Step, crash.Victim, err)
+			}
+			if err := h.AssertConverged(want); err != nil {
+				t.Fatalf("round %d (%s/%s): %v", round, crash.Step, crash.Victim, err)
+			}
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("seed produced no crash schedules; raise rounds")
+	}
+	// Final sweep: recovery already ran after each crash; one more
+	// restart must be a no-op, balances non-negative, totals conserved.
+	if err := h.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AssertConverged(want); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		a, err := h.Ledger().Details(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.AvailableBalance.IsNegative() || a.LockedBalance.IsNegative() {
+			t.Fatalf("account %s negative after soak: %v/%v", id, a.AvailableBalance, a.LockedBalance)
+		}
+	}
+}
+
+// TestPinnedReversalIDSurvivesRestartSeeding covers the cancellation
+// write-ahead across reboots: a cancel that crashed right after its
+// reversal's prepare leaves the pinned ReversalID durable (eventually
+// only inside the original transfer record's JSON, once recovery
+// aborts the prepared row). The transaction-ID allocator must reseed
+// above that pin on every restart — a fresh transfer colliding with it
+// would make a retried cancel adopt the wrong transfer as "reversal
+// already done".
+func TestPinnedReversalIDSurvivesRestartSeeding(t *testing.T) {
+	h, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, to, err := h.CrossShardPair("pin", currency.FromG(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := h.Ledger().Transfer(from, to, currency.FromG(20), accounts.TransferOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel dies at the reversal's first durable step.
+	h.Ledger().CrashHook = func(string, shard.Step) error { return ErrCrash }
+	_ = h.Ledger().CancelTransfer(tr.TransactionID)
+	h.Ledger().CrashHook = nil
+
+	// Two reboots: the first aborts the prepared reversal row, the
+	// second sees the pin only inside the transfer record's value.
+	for i := 0; i < 2; i++ {
+		if err := h.Restart(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The pin lives on the drawer-shard (authoritative) copy.
+	drawerMgr := h.Ledger().Managers()[h.Ledger().ShardFor(from)]
+	pinned, err := drawerMgr.GetTransfer(tr.TransactionID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.ReversalID == 0 {
+		t.Fatal("reversal ID pin did not survive the crash")
+	}
+	// A fresh transfer must allocate past the pin.
+	from2, to2, err := h.CrossShardPair("pin2", currency.FromG(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := h.Ledger().Transfer(from2, to2, currency.FromG(1), accounts.TransferOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.TransactionID <= pinned.ReversalID {
+		t.Fatalf("fresh transfer got txid %d, colliding with pinned reversal %d", fresh.TransactionID, pinned.ReversalID)
+	}
+	// The retried cancel re-drives the pinned reversal exactly once.
+	if err := h.Ledger().CancelTransfer(tr.TransactionID); err != nil {
+		t.Fatal(err)
+	}
+	fa, _ := h.Ledger().Details(from)
+	ta, _ := h.Ledger().Details(to)
+	if fa.AvailableBalance != currency.FromG(50) || !ta.AvailableBalance.IsZero() {
+		t.Fatalf("after restart+retry cancel: from=%v to=%v", fa.AvailableBalance, ta.AvailableBalance)
+	}
+	if err := h.AssertConverged(currency.FromG(60)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryDoesNotDoubleCredit reboots mid-commit several times in a
+// row and checks the credit lands exactly once (the pc_applied marker's
+// whole job).
+func TestRecoveryDoesNotDoubleCredit(t *testing.T) {
+	h, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, to, err := h.CrossShardPair("double", currency.FromG(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Die right after the credit applied but before the debit finalized.
+	err = h.TransferWithCrash(from, to, currency.FromG(4), &Crash{Step: shard.StepCreditApplied, Victim: KillCoordinator})
+	if !errors.Is(err, shard.ErrInDoubt) {
+		t.Fatalf("coordinator error = %v, want ErrInDoubt", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := h.Restart(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ta, err := h.Ledger().Details(to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.AvailableBalance != currency.FromG(4) {
+		t.Fatalf("recipient = %v after repeated recovery, want exactly 4 G$", ta.AvailableBalance)
+	}
+	if err := h.AssertConverged(currency.FromG(10)); err != nil {
+		t.Fatal(err)
+	}
+}
