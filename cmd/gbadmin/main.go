@@ -12,6 +12,8 @@
 //	cancel <transaction-id>
 //	close <account-id> [transfer-to-account-id]
 //	accounts
+//	usage-status
+//	usage-drain [timeout-seconds]
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"gridbank/internal/accounts"
 	"gridbank/internal/core"
@@ -139,6 +142,34 @@ func run(server, caPath, certPath, keyPath string, args []string) error {
 			return err
 		}
 		fmt.Println(string(b))
+	case "usage-status":
+		st, err := client.UsageStatus()
+		if err != nil {
+			return err
+		}
+		b, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+	case "usage-drain":
+		timeout := 30 * time.Second
+		if len(rest) > 0 {
+			secs, err := strconv.Atoi(rest[0])
+			if err != nil {
+				return fmt.Errorf("bad timeout %q: %w", rest[0], err)
+			}
+			timeout = time.Duration(secs) * time.Second
+		}
+		st, err := client.UsageDrain(timeout)
+		if err != nil {
+			return err
+		}
+		b, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("drained\n%s\n", b)
 	default:
 		return fmt.Errorf("unknown operation %q", op)
 	}

@@ -12,6 +12,7 @@ import (
 	"gridbank/internal/currency"
 	"gridbank/internal/db"
 	"gridbank/internal/pki"
+	"gridbank/internal/usage"
 )
 
 func accountsID(s string) accounts.ID { return accounts.ID(s) }
@@ -121,5 +122,40 @@ func TestAdminCLIFlows(t *testing.T) {
 	}
 	if err := w.admin(t, "banker", "nonsense"); err == nil {
 		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestUsageCLIFlows(t *testing.T) {
+	w := newAdminWorld(t)
+	old := os.Stdout
+	null, _ := os.Open(os.DevNull)
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+
+	// Without a pipeline the server answers "unavailable".
+	if err := w.admin(t, "banker", "usage-status"); err == nil {
+		t.Fatal("usage-status succeeded without a pipeline")
+	}
+	pipe, err := usage.New(usage.Config{
+		Ledger: usage.WrapManager(w.bank.Manager()),
+		Spool:  db.MustOpenMemory(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Close()
+	w.bank.SetUsage(pipe)
+	if err := w.admin(t, "banker", "usage-status"); err != nil {
+		t.Fatalf("usage-status: %v", err)
+	}
+	if err := w.admin(t, "banker", "usage-drain", "5"); err != nil {
+		t.Fatalf("usage-drain: %v", err)
+	}
+	if err := w.admin(t, "banker", "usage-drain", "not-a-number"); err == nil {
+		t.Fatal("bad drain timeout accepted")
+	}
+	// Draining is an admin operation.
+	if err := w.admin(t, "alice", "usage-drain"); err == nil {
+		t.Fatal("non-admin drain succeeded")
 	}
 }

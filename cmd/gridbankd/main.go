@@ -38,6 +38,13 @@
 // The replica's data directory must be seeded with the VO's CA files
 // (ca.crt/ca.key from the primary's directory) so its identity chains
 // to the same trust root.
+//
+// Usage settlement: -usage enables the batched asynchronous pipeline
+// (Usage.Submit / Usage.Status / Usage.Drain), spooling intake to
+// <data>/usage.wal and settling in per-(shard, account) batches:
+//
+//	gridbankd -data /var/lib/gridbank -shards 4 -usage \
+//	    -usage-workers 4 -usage-batch 128
 package main
 
 import (
@@ -57,6 +64,7 @@ import (
 	"gridbank/internal/pki"
 	"gridbank/internal/replica"
 	"gridbank/internal/shard"
+	"gridbank/internal/usage"
 )
 
 func main() {
@@ -73,6 +81,10 @@ func main() {
 		replicaOf  = flag.String("replica-of", "", "run as a read replica of the publisher at this address")
 		shardIdx   = flag.Int("shard", 0, "with -replica-of on a sharded primary: the shard index this replica follows")
 		primary    = flag.String("primary", "", "primary API address advertised in replica redirects")
+		enableU    = flag.Bool("usage", false, "enable the batched usage-settlement pipeline (Usage.Submit/Status/Drain; spool in <data>/usage.wal)")
+		uWorkers   = flag.Int("usage-workers", 2, "usage pipeline settlement workers")
+		uBatch     = flag.Int("usage-batch", 64, "usage pipeline max charges per ledger transaction")
+		uQueue     = flag.Int("usage-queue", 4096, "usage pipeline pending-queue bound (backpressure threshold)")
 	)
 	flag.Parse()
 	if *replicaOf != "" {
@@ -81,12 +93,19 @@ func main() {
 		}
 		return
 	}
-	if err := run(*dataDir, *vo, *branch, *listen, *issue, *publish, *shards, *syncWAL, *checkpoint); err != nil {
+	ucfg := usageFlags{enabled: *enableU, workers: *uWorkers, batch: *uBatch, queue: *uQueue}
+	if err := run(*dataDir, *vo, *branch, *listen, *issue, *publish, *shards, *syncWAL, *checkpoint, ucfg); err != nil {
 		log.Fatalf("gridbankd: %v", err)
 	}
 }
 
-func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL, checkpoint bool) error {
+// usageFlags carries the -usage* flag values into run.
+type usageFlags struct {
+	enabled               bool
+	workers, batch, queue int
+}
+
+func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL, checkpoint bool, ucfg usageFlags) error {
 	if shards < 1 {
 		return fmt.Errorf("-shards %d: need at least 1", shards)
 	}
@@ -177,6 +196,49 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 	}
 	if shards > 1 {
 		log.Printf("gridbankd: ledger partitioned over %d shards (consistent hash, %d vnodes/shard)", shards, ledger.Ring().Vnodes())
+	}
+	if ucfg.enabled {
+		// The spool gets the same durability treatment as a shard:
+		// WAL-backed with a startup checkpoint, so crash recovery
+		// replays pending charges and the journal stays proportional to
+		// one run. Built before serving, so recovered transaction-ID
+		// pins reseed the allocator ahead of any traffic.
+		spoolWAL := filepath.Join(dataDir, "usage.wal")
+		spoolCkpt := filepath.Join(dataDir, "usage.ckpt")
+		journal, err := db.OpenFileJournal(spoolWAL, syncWAL)
+		if err != nil {
+			return err
+		}
+		spool, err := db.OpenWithCheckpoint(spoolCkpt, journal)
+		if err != nil {
+			return err
+		}
+		if checkpoint {
+			seq, err := spool.Checkpoint(spoolCkpt)
+			if err != nil {
+				return fmt.Errorf("checkpoint usage spool: %w", err)
+			}
+			if cj, ok := journal.(db.CompactableJournal); ok {
+				if err := cj.Compact(); err != nil {
+					return fmt.Errorf("compacting usage spool journal: %w", err)
+				}
+			}
+			log.Printf("gridbankd: checkpointed usage spool at seq %d (%s)", seq, spoolCkpt)
+		}
+		pipe, err := usage.New(usage.Config{
+			Ledger:     usage.WrapSharded(ledger),
+			Spool:      spool,
+			BatchSize:  ucfg.batch,
+			Workers:    ucfg.workers,
+			MaxPending: ucfg.queue,
+		})
+		if err != nil {
+			return err
+		}
+		defer pipe.Close()
+		bank.SetUsage(pipe)
+		log.Printf("gridbankd: usage settlement pipeline enabled (%d workers, batch %d, queue bound %d, %d pending recovered)",
+			ucfg.workers, ucfg.batch, ucfg.queue, pipe.Status().Pending)
 	}
 	srv, err := core.NewServer(bank, bankID)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"gridbank/internal/pki"
 	"gridbank/internal/replica"
 	"gridbank/internal/shard"
+	"gridbank/internal/usage"
 )
 
 // DeploymentConfig parameterizes NewDeployment.
@@ -58,6 +59,27 @@ type Deployment struct {
 
 	pubs     map[int]*shardPublisher // shard index -> commit-stream publisher
 	replicas []*ReadReplica
+
+	// usagePipe is the batched settlement pipeline when EnableUsage was
+	// called; nil otherwise.
+	usagePipe *usage.Pipeline
+}
+
+// UsageOptions tune EnableUsage (zero values take the pipeline's
+// defaults: 64-charge batches, 2 workers, 4096-deep queue).
+type UsageOptions struct {
+	// BatchSize caps how many charges coalesce into one ledger
+	// transaction.
+	BatchSize int
+	// Workers is the number of background settlement goroutines.
+	Workers int
+	// MaxPending bounds the intake queue (backpressure threshold).
+	MaxPending int
+	// SpoolJournal persists the intake spool; nil keeps it in memory —
+	// the in-process harness trades intake durability for convenience,
+	// exactly like EnableSharding's extra shards. Production wiring
+	// with a WAL-backed spool is gridbankd's job (see -usage).
+	SpoolJournal Journal
 }
 
 // shardPublisher is one shard's WAL-shipping publisher.
@@ -224,6 +246,11 @@ func (d *Deployment) EnableSharding(n int) error {
 	if len(d.pubs) > 0 || len(d.replicas) > 0 {
 		return errors.New("gridbank: enable sharding before replication")
 	}
+	if d.usagePipe != nil {
+		// EnableSharding rebuilds the bank over a new ledger; a pipeline
+		// bound to the old one would settle into the wrong stores.
+		return errors.New("gridbank: enable sharding before the usage pipeline")
+	}
 	meta := d.Bank.Ledger().Store()
 	if cnt, err := meta.Count("accounts"); err != nil {
 		return err
@@ -281,6 +308,46 @@ func branchOf(cfg DeploymentConfig) string {
 
 // Sharded returns the shard ledger, or nil on an unsharded deployment.
 func (d *Deployment) Sharded() *shard.Ledger { return d.sharded }
+
+// EnableUsage attaches the batched asynchronous usage-settlement
+// pipeline to the deployment's bank, opening the Usage.Submit /
+// Usage.Status / Usage.Drain operations to clients. Call it after
+// EnableSharding (the pipeline binds to the ledger's final shape) and
+// before handing out the address. Idempotent per deployment.
+func (d *Deployment) EnableUsage(opts UsageOptions) (*usage.Pipeline, error) {
+	if d.usagePipe != nil {
+		return d.usagePipe, nil
+	}
+	spool, err := db.Open(opts.SpoolJournal)
+	if err != nil {
+		return nil, err
+	}
+	var led usage.Ledger
+	if d.sharded != nil {
+		led = usage.WrapSharded(d.sharded)
+	} else {
+		led = usage.WrapManager(d.Bank.Manager())
+	}
+	pipe, err := usage.New(usage.Config{
+		Ledger:     led,
+		Spool:      spool,
+		BatchSize:  opts.BatchSize,
+		Workers:    opts.Workers,
+		MaxPending: opts.MaxPending,
+		Now:        d.cfg.Now,
+		Logf:       func(string, ...any) {}, // deployments are quiet
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.Bank.SetUsage(pipe)
+	d.usagePipe = pipe
+	return pipe, nil
+}
+
+// Usage returns the settlement pipeline, or nil when EnableUsage was
+// not called.
+func (d *Deployment) Usage() *usage.Pipeline { return d.usagePipe }
 
 // enablePublisher starts (or returns) the WAL-shipping publisher for
 // one shard's store.
@@ -440,6 +507,11 @@ func (d *Deployment) DialRouted(id *Identity, opts core.RouteOptions) (*core.Rou
 func (d *Deployment) Close() error {
 	d.closeOnce.Do(func() {
 		var firstErr error
+		if d.usagePipe != nil {
+			if err := d.usagePipe.Close(); firstErr == nil {
+				firstErr = err
+			}
+		}
 		for _, r := range d.replicas {
 			if err := r.Close(); firstErr == nil {
 				firstErr = err

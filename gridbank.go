@@ -47,6 +47,7 @@ import (
 	"gridbank/internal/rur"
 	"gridbank/internal/shard"
 	"gridbank/internal/trade"
+	"gridbank/internal/usage"
 )
 
 // --- Currency ---------------------------------------------------------------
@@ -191,6 +192,38 @@ const (
 	CodeConflict     = core.CodeConflict
 	CodeReadOnly     = core.CodeReadOnly
 	CodeUnavailable  = core.CodeUnavailable
+	CodeOverloaded   = core.CodeOverloaded
+)
+
+// --- Usage settlement pipeline ----------------------------------------------
+
+// UsagePipeline is the batched asynchronous usage-settlement engine:
+// durable intake spool, exactly-once settlement keyed by submission ID,
+// per-(shard, account) batching, backpressure.
+type UsagePipeline = usage.Pipeline
+
+// UsagePipelineConfig configures NewUsagePipeline.
+type UsagePipelineConfig = usage.Config
+
+// UsageSubmission is one priced usage record offered for settlement.
+type UsageSubmission = usage.Submission
+
+// UsageStats is the pipeline's observable state (Usage.Status).
+type UsageStats = usage.Stats
+
+// UsageSubmitResult summarizes one intake batch.
+type UsageSubmitResult = usage.SubmitResult
+
+// Usage pipeline constructors and errors.
+var (
+	// NewUsagePipeline builds a settlement pipeline (library wiring;
+	// deployments use Deployment.EnableUsage).
+	NewUsagePipeline = usage.New
+	// WrapShardedLedger / WrapAccountsManager adapt settlement targets.
+	WrapShardedLedger   = usage.WrapSharded
+	WrapAccountsManager = usage.WrapManager
+	// ErrUsageOverloaded is the typed backpressure refusal.
+	ErrUsageOverloaded = usage.ErrOverloaded
 )
 
 // --- Read replication --------------------------------------------------------
@@ -320,14 +353,33 @@ const (
 	ItemSoftware  = rur.ItemSoftware
 )
 
+// AllUsageItems lists every chargeable item in canonical order.
+var AllUsageItems = rur.AllItems
+
 // RateCard is a per-item price list from a Grid Trade Server.
 type RateCard = rur.RateCard
+
+// ZeroRate charges nothing regardless of usage.
+var ZeroRate = currency.ZeroRate
 
 // CostStatement is a priced usage calculation.
 type CostStatement = rur.CostStatement
 
 // PriceUsage computes usage × rates (the §2.1 charge formula).
 var PriceUsage = rur.Price
+
+// UsageRecord encodings (the meter translates between them).
+const (
+	UsageFormatJSON = rur.FormatJSON
+	UsageFormatXML  = rur.FormatXML
+)
+
+// EncodeUsageRecord / DecodeUsageRecord serialize records for wire
+// submission and storage.
+var (
+	EncodeUsageRecord = rur.Encode
+	DecodeUsageRecord = rur.Decode
+)
 
 // --- GSP side ---------------------------------------------------------------
 

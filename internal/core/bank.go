@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"gridbank/internal/accounts"
@@ -72,6 +73,11 @@ type Bank struct {
 	now func() time.Time
 
 	notify Notifier
+
+	// usage is the attached settlement pipeline (nil until SetUsage);
+	// usageMu guards the attach-vs-dispatch race during wiring.
+	usageMu sync.RWMutex
+	usage   UsageEngine
 
 	// instr serializes instrument check-then-act sequences (issue,
 	// redeem, release), keyed by instrument serial. Ledger atomicity

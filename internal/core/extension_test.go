@@ -175,6 +175,13 @@ func TestRegisterOpValidation(t *testing.T) {
 	if err := lw.server.RegisterOp(OpPing, func(string, []byte) (any, error) { return nil, nil }); err == nil {
 		t.Error("built-in override accepted")
 	}
+	// Every dispatched op must be refused — a registration that dispatch
+	// shadows would silently never run.
+	for _, op := range []string{OpShardMap, OpReplicaStatus, OpUsageSubmit, OpUsageStatus, OpUsageDrain} {
+		if err := lw.server.RegisterOp(op, func(string, []byte) (any, error) { return nil, nil }); err == nil {
+			t.Errorf("built-in override of %s accepted", op)
+		}
+	}
 	h := func(string, []byte) (any, error) { return "ok", nil }
 	if err := lw.server.RegisterOp("X.Op", h); err != nil {
 		t.Fatal(err)

@@ -13,6 +13,7 @@ import (
 	"gridbank/internal/accounts"
 	"gridbank/internal/payment"
 	"gridbank/internal/pki"
+	"gridbank/internal/usage"
 	"gridbank/internal/wire"
 )
 
@@ -46,6 +47,10 @@ type API interface {
 	AdminCancelTransfer(caller string, req *AdminCancelRequest) (*ConfirmationResponse, error)
 	AdminCloseAccount(caller string, req *AdminCloseRequest) (*ConfirmationResponse, error)
 	AdminListAccounts(caller string) (*AdminAccountsResponse, error)
+
+	UsageSubmit(caller string, req *UsageSubmitRequest) (*UsageSubmitResponse, error)
+	UsageStatus(caller string) (*UsageStatusResponse, error)
+	UsageDrain(caller string, req *UsageDrainRequest) (*UsageDrainResponse, error)
 
 	ReplicaStatus() (*ReplicaStatusResponse, error)
 	ShardMap() (*ShardMapResponse, error)
@@ -134,7 +139,8 @@ func isBuiltinOp(name string) bool {
 	case OpPing, OpCreateAccount, OpAccountDetails, OpUpdateAccount, OpAccountStatement,
 		OpCheckFunds, OpDirectTransfer, OpRequestCheque, OpRedeemCheque, OpRequestChain,
 		OpRedeemChain, OpReleaseCheque, OpReleaseChain, OpAdminDeposit, OpAdminWithdraw,
-		OpAdminCreditLimit, OpAdminCancel, OpAdminClose, OpAdminAccounts, OpReplicaStatus:
+		OpAdminCreditLimit, OpAdminCancel, OpAdminClose, OpAdminAccounts, OpReplicaStatus,
+		OpShardMap, OpUsageSubmit, OpUsageStatus, OpUsageDrain:
 		return true
 	}
 	return false
@@ -353,6 +359,18 @@ func (s *Server) dispatch(subject string, req *wire.Request) *wire.Response {
 		}
 	case OpAdminAccounts:
 		body, err = s.bank.AdminListAccounts(subject)
+	case OpUsageSubmit:
+		var r UsageSubmitRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.UsageSubmit(subject, &r)
+		}
+	case OpUsageStatus:
+		body, err = s.bank.UsageStatus(subject)
+	case OpUsageDrain:
+		var r UsageDrainRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.UsageDrain(subject, &r)
+		}
 	case OpReplicaStatus:
 		body, err = s.bank.ReplicaStatus()
 	case OpShardMap:
@@ -392,8 +410,10 @@ func ErrorCode(err error) string {
 		return CodeOK
 	case errors.Is(err, ErrReadOnly):
 		return CodeReadOnly
-	case errors.Is(err, ErrReplicaNotReady):
+	case errors.Is(err, ErrReplicaNotReady), errors.Is(err, ErrUsageDisabled):
 		return CodeUnavailable
+	case errors.Is(err, usage.ErrOverloaded):
+		return CodeOverloaded
 	case errors.Is(err, ErrWrongShard):
 		return CodeWrongShard
 	case errors.Is(err, ErrDenied), errors.Is(err, ErrUnknownSubject):

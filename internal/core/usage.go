@@ -1,0 +1,255 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/rur"
+	"gridbank/internal/usage"
+)
+
+// Usage-settlement operations: the wire surface of the batched
+// asynchronous pipeline (internal/usage). Usage.Submit is the paper's
+// metering front door at scale — a GSP streams priced RURs in batches
+// instead of redeeming one instrument per job — and Usage.Status /
+// Usage.Drain are the operational window.
+const (
+	OpUsageSubmit = "Usage.Submit" // batch intake of priced usage records
+	OpUsageStatus = "Usage.Status" // pipeline queue depth and outcome counters
+	OpUsageDrain  = "Usage.Drain"  // block until the queue settles (admin)
+)
+
+// CodeOverloaded marks an intake batch refused by backpressure: the
+// settlement pipeline lags and the client should back off and retry.
+const CodeOverloaded = "overloaded"
+
+// ErrUsageDisabled answers usage operations on a server whose pipeline
+// was not enabled.
+var ErrUsageDisabled = errors.New("core: usage settlement pipeline not enabled on this server")
+
+// UsageEngine is the pipeline surface the bank dispatches usage
+// operations to. *usage.Pipeline implements it.
+type UsageEngine interface {
+	Submit(batch []usage.Submission) (*usage.SubmitResult, error)
+	Status() *usage.Stats
+	Drain(timeout time.Duration) (*usage.Stats, error)
+}
+
+var _ UsageEngine = (*usage.Pipeline)(nil)
+
+// UsageSubmitRequest offers a batch of usage records for asynchronous
+// settlement. Unless the caller is an administrator, it must own every
+// recipient account named in the batch (the GSP submits usage it
+// metered itself), and each decodable RUR must name the charged
+// parties: consumer = the drawer account's certificate holder,
+// provider = the caller.
+type UsageSubmitRequest struct {
+	Charges []usage.Submission `json:"charges"`
+}
+
+// UsageSubmitResponse reports the intake outcome per batch.
+type UsageSubmitResponse struct {
+	Result usage.SubmitResult `json:"result"`
+}
+
+// UsageStatusResponse reports the pipeline's observable state.
+type UsageStatusResponse struct {
+	Stats usage.Stats `json:"stats"`
+}
+
+// UsageDrainRequest blocks until the pipeline settles everything
+// pending, or Timeout elapses (default 30s).
+type UsageDrainRequest struct {
+	Timeout time.Duration `json:"timeout,omitempty"`
+}
+
+// UsageDrainResponse carries the post-drain stats.
+type UsageDrainResponse struct {
+	Stats usage.Stats `json:"stats"`
+}
+
+// SetUsage attaches the settlement pipeline the bank dispatches usage
+// operations to. Call during wiring, before the server takes traffic.
+func (b *Bank) SetUsage(eng UsageEngine) {
+	b.usageMu.Lock()
+	b.usage = eng
+	b.usageMu.Unlock()
+}
+
+func (b *Bank) usageEngine() (UsageEngine, error) {
+	b.usageMu.RLock()
+	eng := b.usage
+	b.usageMu.RUnlock()
+	if eng == nil {
+		return nil, ErrUsageDisabled
+	}
+	return eng, nil
+}
+
+// UsageSubmit implements Usage.Submit: authorize, then hand the batch
+// to the pipeline. Authorization is per charge — a caller may only
+// submit charges crediting accounts it owns (§2.1: the GSP's charging
+// module presents its own metered usage), unless it is an
+// administrator, and the RUR evidence must name the parties it
+// charges: its consumer must be the drawer account's certificate
+// holder and its provider must be the caller. The drawer signs
+// nothing here — this is the paper's §3.1 pay-after-use trust model,
+// where the RUR stored in the TRANSFER record is the dispute evidence
+// and Admin.CancelTransfer is the remedy — so the binding check is
+// what keeps that evidence attributable: a provider cannot debit an
+// account with a record that never names its owner.
+func (b *Bank) UsageSubmit(caller string, req *UsageSubmitRequest) (*UsageSubmitResponse, error) {
+	eng, err := b.usageEngine()
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Charges) == 0 {
+		return &UsageSubmitResponse{}, nil
+	}
+	if !b.IsAdmin(caller) {
+		owned := make(map[accounts.ID]bool)
+		drawers := make(map[accounts.ID]string) // drawer account -> certificate name
+		for i := range req.Charges {
+			recip := req.Charges[i].Recipient
+			if !owned[recip] {
+				a, err := b.led.Details(recip)
+				if err != nil {
+					return nil, fmt.Errorf("core: usage recipient %s: %w", recip, err)
+				}
+				if a.CertificateName != caller {
+					return nil, fmt.Errorf("%w: %s does not own recipient account %s", ErrDenied, caller, recip)
+				}
+				owned[recip] = true
+			}
+			drawer := req.Charges[i].Drawer
+			cert, seen := drawers[drawer]
+			if !seen {
+				a, err := b.led.Details(drawer)
+				if err != nil {
+					return nil, fmt.Errorf("core: usage drawer %s: %w", drawer, err)
+				}
+				cert = a.CertificateName
+				drawers[drawer] = cert
+			}
+			// Undecodable records fall through: intake rejects them with
+			// a per-charge reason instead of failing the whole batch.
+			rec, err := rur.Decode(req.Charges[i].RUR)
+			if err != nil {
+				continue
+			}
+			req.Charges[i].Record = rec // decoded once; intake reuses it
+			if rec.User.CertificateName != cert {
+				return nil, fmt.Errorf("%w: RUR %q names consumer %q, but drawer %s belongs to %q",
+					ErrDenied, req.Charges[i].ID, rec.User.CertificateName, drawer, cert)
+			}
+			if rec.Resource.CertificateName != caller {
+				return nil, fmt.Errorf("%w: RUR %q names provider %q, not the submitting %q",
+					ErrDenied, req.Charges[i].ID, rec.Resource.CertificateName, caller)
+			}
+		}
+	}
+	res, err := eng.Submit(req.Charges)
+	if err != nil {
+		return nil, err
+	}
+	return &UsageSubmitResponse{Result: *res}, nil
+}
+
+// UsageStatus implements Usage.Status for any authenticated subject.
+func (b *Bank) UsageStatus(string) (*UsageStatusResponse, error) {
+	eng, err := b.usageEngine()
+	if err != nil {
+		return nil, err
+	}
+	return &UsageStatusResponse{Stats: *eng.Status()}, nil
+}
+
+// UsageDrain implements Usage.Drain (administrators only — it blocks a
+// server goroutine until the queue empties).
+func (b *Bank) UsageDrain(caller string, req *UsageDrainRequest) (*UsageDrainResponse, error) {
+	if err := b.requireAdmin(caller); err != nil {
+		return nil, err
+	}
+	eng, err := b.usageEngine()
+	if err != nil {
+		return nil, err
+	}
+	st, err := eng.Drain(req.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &UsageDrainResponse{Stats: *st}, nil
+}
+
+// --- Read-only replica: usage ops live on the primary -----------------------
+
+// UsageSubmit redirects to the primary (intake mutates the spool).
+func (b *ReadOnlyBank) UsageSubmit(string, *UsageSubmitRequest) (*UsageSubmitResponse, error) {
+	return nil, b.redirect(OpUsageSubmit)
+}
+
+// UsageStatus redirects to the primary: the pipeline (and its queue)
+// runs there, and spool tables are not part of the replicated ledger.
+func (b *ReadOnlyBank) UsageStatus(string) (*UsageStatusResponse, error) {
+	return nil, b.redirect(OpUsageStatus)
+}
+
+// UsageDrain redirects to the primary.
+func (b *ReadOnlyBank) UsageDrain(string, *UsageDrainRequest) (*UsageDrainResponse, error) {
+	return nil, b.redirect(OpUsageDrain)
+}
+
+// --- Client side -------------------------------------------------------------
+
+// UsageSubmit streams a batch of priced usage records into the bank's
+// asynchronous settlement pipeline. On CodeOverloaded the caller backs
+// off and resubmits — re-submission is idempotent per submission ID.
+func (c *Client) UsageSubmit(charges []usage.Submission) (*usage.SubmitResult, error) {
+	var out UsageSubmitResponse
+	if err := c.call(OpUsageSubmit, &UsageSubmitRequest{Charges: charges}, &out); err != nil {
+		return nil, err
+	}
+	return &out.Result, nil
+}
+
+// UsageStatus reports the settlement pipeline's state.
+func (c *Client) UsageStatus() (*usage.Stats, error) {
+	var out UsageStatusResponse
+	if err := c.call(OpUsageStatus, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out.Stats, nil
+}
+
+// UsageDrain blocks until the pipeline settles everything pending
+// (administrator caller).
+func (c *Client) UsageDrain(timeout time.Duration) (*usage.Stats, error) {
+	var out UsageDrainResponse
+	if err := c.call(OpUsageDrain, &UsageDrainRequest{Timeout: timeout}, &out); err != nil {
+		return nil, err
+	}
+	return &out.Stats, nil
+}
+
+// --- Routed client -----------------------------------------------------------
+
+// Usage operations always run on the primary: intake mutates the spool
+// and the pipeline state lives only there. The explicit overrides keep
+// that guarantee even if replica routing grows more aggressive.
+
+// UsageSubmit submits a usage batch to the primary.
+func (r *RoutedClient) UsageSubmit(charges []usage.Submission) (*usage.SubmitResult, error) {
+	return r.Client.UsageSubmit(charges)
+}
+
+// UsageStatus reads pipeline state from the primary.
+func (r *RoutedClient) UsageStatus() (*usage.Stats, error) {
+	return r.Client.UsageStatus()
+}
+
+// UsageDrain drains the primary's pipeline.
+func (r *RoutedClient) UsageDrain(timeout time.Duration) (*usage.Stats, error) {
+	return r.Client.UsageDrain(timeout)
+}

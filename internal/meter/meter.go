@@ -19,10 +19,16 @@ import (
 	"gridbank/internal/rur"
 )
 
-// Errors.
+// Errors. ErrMalformed is the terminal class: input that can never
+// become a valid record, no matter how often it is retried. Consumers
+// that queue records for asynchronous settlement (the usage pipeline)
+// branch on it — errors.Is(err, ErrMalformed) means reject the record
+// outright; anything else is potentially transient and safe to retry.
+// ErrNoResults and ErrMixedJobs are malformed-input cases and wrap it.
 var (
-	ErrNoResults = errors.New("meter: no job results to convert")
-	ErrMixedJobs = errors.New("meter: results belong to different jobs")
+	ErrMalformed = errors.New("meter: malformed usage input")
+	ErrNoResults = fmt.Errorf("%w: no job results to convert", ErrMalformed)
+	ErrMixedJobs = fmt.Errorf("%w: results belong to different jobs", ErrMalformed)
 )
 
 // Meter converts raw usage into RURs for one GSP.
@@ -52,7 +58,7 @@ func (m *Meter) Convert(res gridsim.JobResult) (*rur.Record, error) {
 	u := res.Usage
 	wall := u.WallClockSec
 	if wall < 0 {
-		return nil, fmt.Errorf("meter: negative wall clock %d", wall)
+		return nil, fmt.Errorf("%w: negative wall clock %d", ErrMalformed, wall)
 	}
 	rec := &rur.Record{
 		User: rur.UserDetails{
@@ -78,7 +84,7 @@ func (m *Meter) Convert(res gridsim.JobResult) (*rur.Record, error) {
 	rec.SetQuantity(rur.ItemNetwork, u.NetworkInMB+u.NetworkOutMB)
 	rec.SetQuantity(rur.ItemSoftware, u.SystemCPUSec)
 	if err := rec.Validate(); err != nil {
-		return nil, fmt.Errorf("meter: converted record invalid: %w", err)
+		return nil, fmt.Errorf("%w: converted record invalid: %w", ErrMalformed, err)
 	}
 	return rec, nil
 }
@@ -102,7 +108,9 @@ func (m *Meter) Aggregate(results []gridsim.JobResult) (*rur.Record, error) {
 			return nil, err
 		}
 		if err := base.Merge(next); err != nil {
-			return nil, err
+			// Merge refusals (mismatched consumer or job) are structural:
+			// retrying the same inputs can never succeed.
+			return nil, fmt.Errorf("%w: %w", ErrMalformed, err)
 		}
 	}
 	return base, nil
@@ -114,7 +122,12 @@ func (m *Meter) Aggregate(results []gridsim.JobResult) (*rur.Record, error) {
 func Translate(data []byte, to rur.Format) ([]byte, error) {
 	rec, err := rur.Decode(data)
 	if err != nil {
-		return nil, err
+		// Undecodable bytes are terminally malformed, not transient.
+		return nil, fmt.Errorf("%w: %w", ErrMalformed, err)
 	}
-	return rur.Encode(rec, to)
+	out, err := rur.Encode(rec, to)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrMalformed, err)
+	}
+	return out, nil
 }

@@ -162,6 +162,82 @@ func TestTranslate(t *testing.T) {
 	}
 }
 
+// TestTypedErrorClassification pins the reject-vs-retry contract the
+// usage settlement pipeline depends on: every malformed-input failure
+// from Convert, Aggregate and Translate must wrap ErrMalformed, so a
+// queue consumer can reject it instead of retrying forever.
+func TestTypedErrorClassification(t *testing.T) {
+	m, _ := New("CN=gsp1,O=VO", "")
+	negWall := sampleResult()
+	negWall.Usage.WallClockSec = -5
+	negCPU := sampleResult()
+	negCPU.Usage.UserCPUSec = -1 // survives Convert's wall check, fails Validate
+	otherJob := sampleResult()
+	otherJob.Job.ID = "job-2"
+	otherOwner := sampleResult()
+	otherOwner.Job.Owner = "CN=mallory,O=VO"
+
+	cases := []struct {
+		name string
+		run  func() error
+		is   []error // every sentinel the error must satisfy
+	}{
+		{"convert negative wall", func() error {
+			_, err := m.Convert(negWall)
+			return err
+		}, []error{ErrMalformed}},
+		{"convert invalid record", func() error {
+			_, err := m.Convert(negCPU)
+			return err
+		}, []error{ErrMalformed, rur.ErrNegativeUsage}},
+		{"aggregate empty", func() error {
+			_, err := m.Aggregate(nil)
+			return err
+		}, []error{ErrMalformed, ErrNoResults}},
+		{"aggregate mixed jobs", func() error {
+			_, err := m.Aggregate([]gridsim.JobResult{sampleResult(), otherJob})
+			return err
+		}, []error{ErrMalformed, ErrMixedJobs}},
+		{"aggregate mixed owners", func() error {
+			_, err := m.Aggregate([]gridsim.JobResult{sampleResult(), otherOwner})
+			return err
+		}, []error{ErrMalformed}},
+		{"translate garbage", func() error {
+			_, err := Translate([]byte("{not json"), rur.FormatXML)
+			return err
+		}, []error{ErrMalformed}},
+		{"translate unknown format", func() error {
+			rec, cerr := m.Convert(sampleResult())
+			if cerr != nil {
+				return cerr
+			}
+			b, cerr := rur.Encode(rec, rur.FormatJSON)
+			if cerr != nil {
+				return cerr
+			}
+			_, err := Translate(b, rur.Format("yaml"))
+			return err
+		}, []error{ErrMalformed}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			for _, sentinel := range tc.is {
+				if !errors.Is(err, sentinel) {
+					t.Errorf("error %v does not wrap %v", err, sentinel)
+				}
+			}
+		})
+	}
+	// The happy path must stay clean of the sentinel.
+	if _, err := m.Convert(sampleResult()); err != nil {
+		t.Fatalf("valid convert failed: %v", err)
+	}
+}
+
 // TestMeterPricingPipeline exercises the full Figure 2 flow: raw usage →
 // RUR → cost statement against a rate card.
 func TestMeterPricingPipeline(t *testing.T) {

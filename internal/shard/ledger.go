@@ -159,6 +159,64 @@ func New(stores []*db.Store, cfg Config) (*Ledger, error) {
 // Ring returns the ledger's placement ring.
 func (l *Ledger) Ring() *Ring { return l.ring }
 
+// AllocTxID allocates one deployment-wide transaction ID. Callers that
+// pin an ID before driving a transfer (write-ahead idempotency, like
+// the usage settlement pipeline) must also record the pin durably and
+// re-seed the allocator above it at startup via SeedTxIDsAbove —
+// otherwise a reboot could hand the same ID to an unrelated transfer.
+func (l *Ledger) AllocTxID() uint64 { return l.txSeq.Add(1) }
+
+// SeedTxIDsAbove raises the transaction-ID allocator to at least n.
+// Subsystems that pin allocated IDs in stores the ledger does not scan
+// at startup (e.g. the usage pipeline's intake spool) call this with
+// their highest pinned ID before the ledger serves traffic, so a fresh
+// transfer can never collide with a pinned-but-unfinished one.
+func (l *Ledger) SeedTxIDsAbove(n uint64) {
+	for {
+		cur := l.txSeq.Load()
+		if cur >= n || l.txSeq.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// TransferWithID runs a transfer under a caller-pinned transaction ID.
+// The pin makes retries idempotent at the caller's layer: a driver that
+// durably records the ID before calling can, after a crash, check
+// GetTransfer(txID) to learn whether the money already moved and
+// re-drive this exact transfer (same GID) if not. Same-shard pairs
+// cannot pin (the single-store path allocates inside the manager), so
+// they are refused — pinning callers route same-shard work through the
+// ordinary Transfer path, whose single atomic transaction needs no pin.
+func (l *Ledger) TransferWithID(txID uint64, drawer, recipient accounts.ID, amount currency.Amount, opts accounts.TransferOptions) (*accounts.Transfer, error) {
+	if txID == 0 {
+		return nil, errors.New("shard: TransferWithID requires a pinned transaction ID")
+	}
+	if !amount.IsPositive() {
+		return nil, accounts.ErrBadAmount
+	}
+	if drawer == recipient {
+		return nil, errors.New("accounts: cannot transfer to self")
+	}
+	fs, ts := l.ring.ShardFor(string(drawer)), l.ring.ShardFor(string(recipient))
+	if fs == ts {
+		return nil, errors.New("shard: TransferWithID is cross-shard only")
+	}
+	return l.crossTransferWithID(txID, drawer, recipient, amount, opts, false)
+}
+
+// ResolveInDoubt resolves the 2PC state of one pinned transfer exactly
+// as startup recovery would: a prepared row is presumed-abort, a
+// committed row is re-driven to completion, nothing is a no-op. Safe to
+// call when no pc row exists for the ID. debitShard is the shard the
+// transfer debits (where its coordinator log lives).
+func (l *Ledger) ResolveInDoubt(debitShard int, txID uint64) error {
+	if debitShard < 0 || debitShard >= len(l.stores) {
+		return fmt.Errorf("shard: debit shard %d out of range [0,%d)", debitShard, len(l.stores))
+	}
+	return l.recoverOne(debitShard, gidFor(txID))
+}
+
 // Shards returns the shard count.
 func (l *Ledger) Shards() int { return len(l.stores) }
 

@@ -1,0 +1,1043 @@
+package usage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/db"
+	"gridbank/internal/rur"
+	"gridbank/internal/shard"
+)
+
+// Spool-side and shard-side table names.
+const (
+	tableSpool   = "usage_spool"
+	tableSettled = "usage_settled"
+)
+
+// Config configures a Pipeline.
+type Config struct {
+	// Ledger is the settlement target. Required. Must implement
+	// CrossShardLedger when it spans more than one shard.
+	Ledger Ledger
+	// Spool is the intake store. Required. Give it a WAL-backed journal
+	// for durable intake; the pipeline recovers pending charges from it
+	// at construction.
+	Spool *db.Store
+	// BatchSize caps how many charges coalesce into one ledger
+	// transaction (default 64).
+	BatchSize int
+	// Workers is the number of background settlement goroutines
+	// (default 2). Workers < 0 starts none: settlement then runs only
+	// through SettleOnce/Drain — the deterministic mode crash tests use.
+	Workers int
+	// MaxPending bounds the intake queue: a Submit that would push the
+	// pending count past it fails with ErrOverloaded (default 4096).
+	MaxPending int
+	// RetryInterval is how often idle workers re-check for work missed
+	// by kicks, and the pace of transient-failure retries (default 25ms).
+	RetryInterval time.Duration
+	// Now supplies timestamps; defaults to time.Now.
+	Now func() time.Time
+	// Logf logs transient settlement faults; defaults to log.Printf.
+	// Configured here (not assigned after New) because recovery can
+	// hand workers settleable rows before New even returns.
+	Logf func(format string, args ...any)
+	// CrashHook installs fault injection before the workers start; see
+	// Pipeline.CrashHook.
+	CrashHook func(b Boundary, chargeID string) error
+}
+
+// groupKey buckets pending charges for batching: all charges drawn from
+// one account settle on one shard, so one ledger transaction can apply
+// many of them.
+type groupKey struct {
+	shard  int
+	drawer accounts.ID
+}
+
+// Pipeline is the batched asynchronous settlement engine. Construct
+// with New — which also runs crash recovery — and Close when done.
+// Constructing the pipeline must happen before the ledger serves
+// traffic, so recovered transaction-ID pins reseed the allocator ahead
+// of any fresh allocation.
+type Pipeline struct {
+	led   Ledger
+	cross CrossShardLedger // nil when the ledger cannot cross shards
+	spool *db.Store
+	cfg   Config
+	now   func() time.Time
+
+	// Logf logs transient settlement faults. Prefer Config.Logf: with
+	// background workers this field may only be reassigned while the
+	// pipeline is provably idle (e.g. Workers < 0), since workers read
+	// it when a settlement fails.
+	Logf func(format string, args ...any)
+	// CrashHook fires after every durable settlement step with the
+	// boundary and a representative charge ID; returning an error
+	// abandons processing at that point (simulated process death).
+	// Test instrumentation only. Prefer Config.CrashHook; direct
+	// reassignment is safe only in synchronous mode (Workers < 0).
+	CrashHook func(b Boundary, chargeID string) error
+
+	mu       sync.Mutex
+	queue    map[groupKey][]string
+	reserved int // Submit capacity holds not yet spooled/enqueued
+	inflight int
+	failed   int
+	lastErr  string
+	closed   bool
+
+	settled    atomic.Uint64
+	duplicates atomic.Uint64
+	rejected   atomic.Uint64
+	batches    atomic.Uint64
+	crossShard atomic.Uint64
+
+	kick chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a pipeline over the ledger and spool store, recovers any
+// charges a crash left pending (re-queueing them and reseeding the
+// ledger's transaction-ID allocator above every pinned ID), and starts
+// the settlement workers.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.Ledger == nil {
+		return nil, errors.New("usage: pipeline requires a ledger")
+	}
+	if cfg.Spool == nil {
+		return nil, errors.New("usage: pipeline requires a spool store")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Workers < 0 {
+		cfg.Workers = 0 // synchronous mode: SettleOnce/Drain only
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 4096
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 25 * time.Millisecond
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	cross, _ := cfg.Ledger.(CrossShardLedger)
+	if cfg.Ledger.Shards() > 1 && cross == nil {
+		return nil, errors.New("usage: a multi-shard ledger must implement CrossShardLedger")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	p := &Pipeline{
+		led:       cfg.Ledger,
+		cross:     cross,
+		spool:     cfg.Spool,
+		cfg:       cfg,
+		now:       cfg.Now,
+		Logf:      cfg.Logf,
+		CrashHook: cfg.CrashHook,
+		queue:     make(map[groupKey][]string),
+		kick:      make(chan struct{}, cfg.Workers+1),
+		stop:      make(chan struct{}),
+	}
+	if err := p.spool.EnsureTable(tableSpool); err != nil {
+		return nil, err
+	}
+	for i := 0; i < p.led.Shards(); i++ {
+		if err := p.led.ShardStore(i).EnsureTable(tableSettled); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.recover(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p, nil
+}
+
+// recover re-queues every pending spool row and reseeds the ledger's
+// transaction-ID allocator above the highest pinned ID, so a fresh
+// transfer can never collide with a pinned-but-unfinished settlement.
+func (p *Pipeline) recover() error {
+	var maxPin uint64
+	var scanErr error
+	err := p.spool.Scan(tableSpool, func(key string, value []byte) bool {
+		var row spoolRow
+		if err := json.Unmarshal(value, &row); err != nil {
+			scanErr = fmt.Errorf("usage: corrupt spool row %s: %w", key, err)
+			return false
+		}
+		if row.PinTxID > maxPin {
+			maxPin = row.PinTxID
+		}
+		switch row.State {
+		case statePending:
+			k := groupKey{shard: p.led.ShardFor(row.Drawer), drawer: row.Drawer}
+			p.queue[k] = append(p.queue[k], row.ID)
+		case stateFailed:
+			p.failed++
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if scanErr != nil {
+		return scanErr
+	}
+	if maxPin > 0 {
+		if p.cross == nil {
+			return fmt.Errorf("usage: spool holds pinned transaction IDs (max %d) but the ledger cannot cross shards", maxPin)
+		}
+		p.cross.SeedTxIDsAbove(maxPin)
+	}
+	return nil
+}
+
+// Close stops the workers. Pending charges stay durably spooled and
+// settle when a new pipeline is constructed over the same stores.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.stop)
+	p.wg.Wait()
+	return nil
+}
+
+// pendingLocked counts charges not yet fully settled. Caller holds mu.
+func (p *Pipeline) pendingLocked() int {
+	n := p.reserved + p.inflight
+	for _, ids := range p.queue {
+		n += len(ids)
+	}
+	return n
+}
+
+// Status reports the pipeline's observable state.
+func (p *Pipeline) Status() *Stats {
+	p.mu.Lock()
+	pending := p.pendingLocked()
+	failed := p.failed
+	lastErr := p.lastErr
+	p.mu.Unlock()
+	return &Stats{
+		Pending:    pending,
+		Failed:     failed,
+		Settled:    p.settled.Load(),
+		Duplicates: p.duplicates.Load(),
+		Rejected:   p.rejected.Load(),
+		Batches:    p.batches.Load(),
+		CrossShard: p.crossShard.Load(),
+		Workers:    p.cfg.Workers,
+		BatchSize:  p.cfg.BatchSize,
+		LastError:  lastErr,
+	}
+}
+
+// Submit prices and durably spools a batch of usage records for
+// asynchronous settlement. Malformed submissions come back in
+// SubmitResult.Rejected (terminal — resubmitting the same bytes cannot
+// succeed); duplicates of spooled or already-settled IDs are counted
+// and skipped; ErrOverloaded refuses the whole batch when settlement
+// lags intake past the configured bound. A nil error means every
+// non-rejected submission is journaled and will settle exactly once.
+func (p *Pipeline) Submit(batch []Submission) (*SubmitResult, error) {
+	res := &SubmitResult{}
+	if len(batch) == 0 {
+		return res, nil
+	}
+	rows := make([]spoolRow, 0, len(batch))
+	for _, sub := range batch {
+		row, reason := p.intakeRow(sub)
+		if reason != "" {
+			p.rejected.Add(1)
+			res.Rejected = append(res.Rejected, Rejection{ID: sub.ID, Reason: reason})
+			continue
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return res, nil
+	}
+
+	// Backpressure: reserve capacity before any durable write, so
+	// concurrent submitters cannot jointly overshoot the bound.
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if p.pendingLocked()+len(rows) > p.cfg.MaxPending {
+		pending := p.pendingLocked()
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d pending + %d offered exceeds bound %d",
+			ErrOverloaded, pending, len(rows), p.cfg.MaxPending)
+	}
+	p.reserved += len(rows)
+	p.mu.Unlock()
+	release := len(rows)
+	defer func() {
+		p.mu.Lock()
+		p.reserved -= release
+		p.mu.Unlock()
+	}()
+
+	// Durable intake: one spool transaction for the whole batch (one
+	// group-committed journal flush), deduplicating against rows already
+	// spooled and markers already settled. A row parked failed never
+	// settled (no marker), so a fresh submission of the same ID
+	// resurrects it for another attempt — the retry path after an
+	// operator fixes the underlying condition (e.g. funds the drawer).
+	var accepted []spoolRow
+	var dups, revived int
+	err := p.spool.Update(func(tx *db.Tx) error {
+		accepted, dups, revived = accepted[:0], 0, 0 // Update may retry fn
+		for i := range rows {
+			raw, err := tx.Get(tableSpool, rows[i].ID)
+			switch {
+			case err == nil:
+				var cur spoolRow
+				if err := json.Unmarshal(raw, &cur); err != nil {
+					return fmt.Errorf("usage: corrupt spool row %s: %w", rows[i].ID, err)
+				}
+				if cur.State != stateFailed {
+					dups++
+					continue
+				}
+				// Preserve an allocated pin: the failed attempt never
+				// moved money, and re-driving under the same ID keeps
+				// the exactly-once bookkeeping intact.
+				rows[i].PinTxID = cur.PinTxID
+				revived++
+			case !errors.Is(err, db.ErrNoRecord):
+				return err
+			}
+			if p.alreadySettled(&rows[i]) {
+				dups++
+				continue
+			}
+			out, err := json.Marshal(&rows[i])
+			if err != nil {
+				return err
+			}
+			if err := tx.Put(tableSpool, rows[i].ID, out); err != nil {
+				return err
+			}
+			accepted = append(accepted, rows[i])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("usage: spooling intake batch: %w", err)
+	}
+	if revived > 0 {
+		p.mu.Lock()
+		p.failed -= revived
+		p.mu.Unlock()
+	}
+	res.Accepted = len(accepted)
+	res.Duplicates = dups
+	p.duplicates.Add(uint64(dups))
+	if len(accepted) == 0 {
+		return res, nil
+	}
+	if err := p.hook(BoundarySpooled, accepted[0].ID); err != nil {
+		// Simulated death after the durable append: the rows are in the
+		// spool and recovery will settle them; nothing is enqueued here.
+		return res, err
+	}
+
+	p.mu.Lock()
+	for i := range accepted {
+		k := groupKey{shard: p.led.ShardFor(accepted[i].Drawer), drawer: accepted[i].Drawer}
+		p.queue[k] = append(p.queue[k], accepted[i].ID)
+	}
+	p.mu.Unlock()
+	p.kickWorkers()
+	return res, nil
+}
+
+// intakeRow prices and validates one submission. A non-empty reason
+// rejects it terminally.
+func (p *Pipeline) intakeRow(sub Submission) (spoolRow, string) {
+	switch {
+	case sub.ID == "":
+		return spoolRow{}, "empty submission ID"
+	case sub.Drawer == "":
+		return spoolRow{}, "missing drawer account"
+	case sub.Recipient == "":
+		return spoolRow{}, "missing recipient account"
+	case sub.Drawer == sub.Recipient:
+		return spoolRow{}, "drawer and recipient are the same account"
+	case sub.Rates == nil:
+		return spoolRow{}, "missing rate card"
+	}
+	rec := sub.Record
+	if rec == nil {
+		var err error
+		if rec, err = rur.Decode(sub.RUR); err != nil {
+			return spoolRow{}, fmt.Sprintf("malformed RUR: %v", err)
+		}
+	}
+	st, err := rur.Price(rec, sub.Rates)
+	if err != nil {
+		return spoolRow{}, fmt.Sprintf("pricing failed: %v", err)
+	}
+	return spoolRow{
+		ID:        sub.ID,
+		Drawer:    sub.Drawer,
+		Recipient: sub.Recipient,
+		Amount:    st.Total,
+		RUR:       sub.RUR,
+		State:     statePending,
+		Enqueued:  p.now(),
+	}, ""
+}
+
+// alreadySettled reports whether a settled marker exists for the row.
+func (p *Pipeline) alreadySettled(row *spoolRow) bool {
+	st := p.led.ShardStore(p.led.ShardFor(row.Drawer))
+	_, err := st.Get(tableSettled, row.ID)
+	return err == nil
+}
+
+// hook fires the crash hook, if any.
+func (p *Pipeline) hook(b Boundary, chargeID string) error {
+	if p.CrashHook == nil {
+		return nil
+	}
+	return p.CrashHook(b, chargeID)
+}
+
+func (p *Pipeline) kickWorkers() {
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (p *Pipeline) worker() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.cfg.RetryInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.kick:
+		case <-t.C:
+		}
+		if _, err := p.drainPass(); err != nil {
+			p.noteErr(err)
+		}
+	}
+}
+
+func (p *Pipeline) noteErr(err error) {
+	p.mu.Lock()
+	p.lastErr = err.Error()
+	p.mu.Unlock()
+	if p.Logf != nil {
+		p.Logf("usage: settlement: %v", err)
+	}
+}
+
+// SettleOnce runs one synchronous settlement pass over every group that
+// had pending work when the pass started, and reports how many charges
+// it settled (duplicates cleaned count as settled work for progress
+// accounting). Groups a transient fault leaves pending are retried on
+// the next pass, not within this one.
+func (p *Pipeline) SettleOnce() (int, error) {
+	return p.drainPass()
+}
+
+func (p *Pipeline) drainPass() (int, error) {
+	p.mu.Lock()
+	keys := make([]groupKey, 0, len(p.queue))
+	for k := range p.queue {
+		keys = append(keys, k)
+	}
+	p.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].shard != keys[j].shard {
+			return keys[i].shard < keys[j].shard
+		}
+		return keys[i].drawer < keys[j].drawer
+	})
+	var done int
+	var firstErr error
+	for _, k := range keys {
+		for {
+			ids := p.takeGroup(k)
+			if len(ids) == 0 {
+				break
+			}
+			n, err := p.settleGroup(k, ids)
+			done += n
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				break // leave this group for the next pass
+			}
+		}
+		if firstErr != nil && errors.Is(firstErr, errAbandoned) {
+			break // simulated death: stop the whole pass
+		}
+	}
+	return done, firstErr
+}
+
+// errAbandoned wraps a crash-hook abandon so drainPass stops cold.
+var errAbandoned = errors.New("usage: processing abandoned by crash hook")
+
+// takeGroup pops up to BatchSize charge IDs from one group, moving them
+// into the in-flight count.
+func (p *Pipeline) takeGroup(k groupKey) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := p.queue[k]
+	if len(ids) == 0 {
+		delete(p.queue, k)
+		return nil
+	}
+	n := len(ids)
+	if n > p.cfg.BatchSize {
+		n = p.cfg.BatchSize
+	}
+	taken := ids[:n:n]
+	rest := ids[n:]
+	if len(rest) == 0 {
+		delete(p.queue, k)
+	} else {
+		p.queue[k] = rest
+	}
+	p.inflight += n
+	return taken
+}
+
+// requeue returns unfinished charges to the queue (transient faults).
+func (p *Pipeline) requeue(k groupKey, ids []string) {
+	if len(ids) == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.queue[k] = append(p.queue[k], ids...)
+	p.mu.Unlock()
+}
+
+// settleGroup settles one batch of charges drawn from a single account.
+// It returns how many charges reached a terminal outcome (settled,
+// deduplicated or parked failed).
+func (p *Pipeline) settleGroup(k groupKey, ids []string) (int, error) {
+	defer func() {
+		p.mu.Lock()
+		p.inflight -= len(ids)
+		p.mu.Unlock()
+	}()
+
+	// Load the durable rows; IDs whose row vanished were finished by an
+	// earlier generation's cleanup.
+	rows := make([]spoolRow, 0, len(ids))
+	for _, id := range ids {
+		raw, err := p.spool.Get(tableSpool, id)
+		if errors.Is(err, db.ErrNoRecord) {
+			continue
+		}
+		if err != nil {
+			p.requeue(k, ids)
+			return 0, err
+		}
+		var row spoolRow
+		if err := json.Unmarshal(raw, &row); err != nil {
+			p.requeue(k, ids)
+			return 0, fmt.Errorf("usage: corrupt spool row %s: %w", id, err)
+		}
+		if row.State != statePending {
+			continue // parked failed by an earlier pass
+		}
+		rows = append(rows, row)
+	}
+	var same, cross []spoolRow
+	for _, row := range rows {
+		if p.led.ShardFor(row.Recipient) == k.shard {
+			same = append(same, row)
+		} else {
+			cross = append(cross, row)
+		}
+	}
+	// On a transient fault the failing path requeues its own rows; the
+	// untouched siblings must go back too, or they would sit pending in
+	// the spool but invisible to Status/Drain until a restart. A
+	// crash-hook abandon deliberately requeues nothing — simulated
+	// process death loses the in-memory queue by design, and recovery
+	// rebuilds it from the spool.
+	done, err := p.settleSameShard(k, same)
+	if err != nil {
+		if !errors.Is(err, errAbandoned) {
+			p.requeueRows(k, cross)
+		}
+		return done, err
+	}
+	for i := range cross {
+		n, err := p.settleCross(k, cross[i])
+		done += n
+		if err != nil {
+			if !errors.Is(err, errAbandoned) {
+				p.requeueRows(k, cross[i+1:])
+			}
+			return done, err
+		}
+	}
+	return done, nil
+}
+
+// failure is a charge parked by a terminal business outcome.
+type failure struct {
+	row    spoolRow
+	reason string
+}
+
+// terminalLedgerErr classifies settlement errors that retrying cannot
+// fix: the charge is parked failed rather than retried forever.
+func terminalLedgerErr(err error) bool {
+	return errors.Is(err, accounts.ErrNotFound) ||
+		errors.Is(err, accounts.ErrClosed) ||
+		errors.Is(err, accounts.ErrCurrencyMismatch) ||
+		errors.Is(err, accounts.ErrInsufficient) ||
+		errors.Is(err, accounts.ErrInsufficientLock) ||
+		errors.Is(err, accounts.ErrBadAmount)
+}
+
+// settleSameShard applies a batch of same-shard charges in ONE ledger
+// transaction: for every charge the drawer debit, recipient credit,
+// both §5.1 TRANSACTION rows, the TRANSFER record carrying the RUR, and
+// the exactly-once marker — all atomic, riding one group-committed
+// journal flush. This is where per-RUR fsyncs amortize away.
+func (p *Pipeline) settleSameShard(k groupKey, rows []spoolRow) (int, error) {
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	mgr := p.led.ShardManager(k.shard)
+	st := p.led.ShardStore(k.shard)
+	now := p.now()
+	var settledRows, dupRows []spoolRow
+	var failures []failure
+	err := st.Update(func(tx *db.Tx) error {
+		// The closure may rerun on conflict: reset per-attempt state.
+		settledRows, dupRows, failures = settledRows[:0], dupRows[:0], failures[:0]
+		var drawer *accounts.Account
+		var drawerErr string
+		recips := make(map[accounts.ID]*accounts.Account)
+		for i := range rows {
+			row := rows[i]
+			ok, err := tx.Exists(tableSettled, row.ID)
+			if err != nil {
+				return err
+			}
+			if ok {
+				dupRows = append(dupRows, row)
+				continue
+			}
+			if row.Amount.IsZero() {
+				// Nothing to move; the marker alone settles it.
+				if err := insertMarker(tx, row.ID, 0); err != nil {
+					return err
+				}
+				settledRows = append(settledRows, row)
+				continue
+			}
+			if drawer == nil && drawerErr == "" {
+				a, err := accounts.GetAccountTx(tx, k.drawer)
+				switch {
+				case errors.Is(err, db.ErrNoRecord):
+					drawerErr = fmt.Sprintf("drawer %s not found", k.drawer)
+				case err != nil:
+					return err
+				case a.Closed:
+					drawerErr = fmt.Sprintf("drawer %s is closed", k.drawer)
+				default:
+					drawer = a
+				}
+			}
+			if drawerErr != "" {
+				failures = append(failures, failure{row: row, reason: drawerErr})
+				continue
+			}
+			rec, seen := recips[row.Recipient]
+			if !seen {
+				a, err := accounts.GetAccountTx(tx, row.Recipient)
+				if errors.Is(err, db.ErrNoRecord) {
+					failures = append(failures, failure{row: row, reason: fmt.Sprintf("recipient %s not found", row.Recipient)})
+					continue
+				}
+				if err != nil {
+					return err
+				}
+				rec = a
+				recips[row.Recipient] = a
+			}
+			switch {
+			case rec.Closed:
+				failures = append(failures, failure{row: row, reason: fmt.Sprintf("recipient %s is closed", row.Recipient)})
+				continue
+			case rec.Currency != drawer.Currency:
+				failures = append(failures, failure{row: row, reason: fmt.Sprintf("currency mismatch: drawer %s, recipient %s", drawer.Currency, rec.Currency)})
+				continue
+			case drawer.Spendable().Cmp(row.Amount) < 0:
+				failures = append(failures, failure{row: row, reason: fmt.Sprintf("insufficient funds: spendable %s < %s", drawer.Spendable(), row.Amount)})
+				continue
+			}
+			drawer.AvailableBalance = drawer.AvailableBalance.MustSub(row.Amount)
+			rec.AvailableBalance = rec.AvailableBalance.MustAdd(row.Amount)
+			neg, err := row.Amount.Neg()
+			if err != nil {
+				return err
+			}
+			txID, err := mgr.AppendTransactionTx(tx, &accounts.Transaction{
+				AccountID: k.drawer, Type: accounts.TxTransfer, Date: now, Amount: neg,
+			})
+			if err != nil {
+				return err
+			}
+			if _, err := mgr.AppendTransactionTx(tx, &accounts.Transaction{
+				TransactionID: txID, AccountID: row.Recipient, Type: accounts.TxTransfer, Date: now, Amount: row.Amount,
+			}); err != nil {
+				return err
+			}
+			if err := mgr.InsertTransferTx(tx, &accounts.Transfer{
+				TransactionID:       txID,
+				Date:                now,
+				DrawerAccountID:     k.drawer,
+				Amount:              row.Amount,
+				RecipientAccountID:  row.Recipient,
+				ResourceUsageRecord: row.RUR,
+			}); err != nil {
+				return err
+			}
+			if err := insertMarker(tx, row.ID, txID); err != nil {
+				return err
+			}
+			settledRows = append(settledRows, row)
+		}
+		if drawer != nil {
+			if err := accounts.PutAccountTx(tx, drawer); err != nil {
+				return err
+			}
+		}
+		for _, rec := range recips {
+			if err := accounts.PutAccountTx(tx, rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		p.requeueRows(k, rows)
+		return 0, fmt.Errorf("usage: settling batch on shard %d: %w", k.shard, err)
+	}
+	moved := 0
+	for i := range settledRows {
+		if !settledRows[i].Amount.IsZero() {
+			moved++
+		}
+	}
+	if moved > 0 {
+		p.batches.Add(1)
+	}
+	p.settled.Add(uint64(len(settledRows)))
+	p.duplicates.Add(uint64(len(dupRows)))
+	if err := p.hook(BoundarySettled, rows[0].ID); err != nil {
+		return 0, fmt.Errorf("%w: %v", errAbandoned, err)
+	}
+	finished := make([]spoolRow, 0, len(settledRows)+len(dupRows))
+	finished = append(append(finished, settledRows...), dupRows...)
+	if err := p.cleanup(finished, failures); err != nil {
+		p.requeueRows(k, rows)
+		return 0, err
+	}
+	if err := p.hook(BoundaryCleaned, rows[0].ID); err != nil {
+		return len(settledRows) + len(dupRows) + len(failures), fmt.Errorf("%w: %v", errAbandoned, err)
+	}
+	return len(settledRows) + len(dupRows) + len(failures), nil
+}
+
+func insertMarker(tx *db.Tx, id string, txID uint64) error {
+	raw, err := json.Marshal(settledMarker{ID: id, TxID: txID})
+	if err != nil {
+		return err
+	}
+	return tx.Insert(tableSettled, id, raw)
+}
+
+// settleCross settles one cross-shard charge through the 2PC ledger
+// under a write-ahead pinned transaction ID. Marker and money movement
+// cannot share a transaction across stores, so exactly-once comes from
+// the pin: the ID is durable in the spool row before the transfer runs,
+// and a retry first resolves the pinned transfer's 2PC state and checks
+// whether it already landed before re-driving it.
+func (p *Pipeline) settleCross(k groupKey, row spoolRow) (int, error) {
+	// Already marked settled (crash between marker and cleanup)?
+	if p.alreadySettled(&row) {
+		p.duplicates.Add(1)
+		return 1, p.cleanup([]spoolRow{row}, nil)
+	}
+	if row.Amount.IsZero() {
+		// Marker only, one transaction on the drawer's shard. The charge
+		// counts as settled only when this attempt inserted the marker —
+		// a retry that finds it already present is a duplicate, so the
+		// counters stay exact across transient-failure retries.
+		inserted := false
+		err := p.led.ShardStore(k.shard).Update(func(tx *db.Tx) error {
+			inserted = false
+			if ok, err := tx.Exists(tableSettled, row.ID); err != nil || ok {
+				return err
+			}
+			if err := insertMarker(tx, row.ID, 0); err != nil {
+				return err
+			}
+			inserted = true
+			return nil
+		})
+		if err != nil {
+			p.requeueRows(k, []spoolRow{row})
+			return 0, err
+		}
+		if inserted {
+			p.settled.Add(1)
+		} else {
+			p.duplicates.Add(1)
+		}
+		if err := p.hook(BoundarySettled, row.ID); err != nil {
+			return 0, fmt.Errorf("%w: %v", errAbandoned, err)
+		}
+		return 1, p.cleanup([]spoolRow{row}, nil)
+	}
+
+	// Pin the transaction ID write-ahead (idempotent across retries:
+	// once pinned, the same ID is always reused).
+	if row.PinTxID == 0 {
+		pin := p.cross.AllocTxID()
+		err := p.spool.Update(func(tx *db.Tx) error {
+			raw, err := tx.Get(tableSpool, row.ID)
+			if err != nil {
+				return err
+			}
+			var cur spoolRow
+			if err := json.Unmarshal(raw, &cur); err != nil {
+				return err
+			}
+			if cur.PinTxID != 0 {
+				pin = cur.PinTxID // adopt an existing pin, never replace
+				return nil
+			}
+			cur.PinTxID = pin
+			out, err := json.Marshal(&cur)
+			if err != nil {
+				return err
+			}
+			return tx.Put(tableSpool, row.ID, out)
+		})
+		if err != nil {
+			p.requeueRows(k, []spoolRow{row})
+			return 0, fmt.Errorf("usage: pinning charge %s: %w", row.ID, err)
+		}
+		row.PinTxID = pin
+		if err := p.hook(BoundaryPinned, row.ID); err != nil {
+			return 0, fmt.Errorf("%w: %v", errAbandoned, err)
+		}
+	}
+
+	// Resolve any 2PC state a previous attempt left in doubt, then
+	// check whether the pinned transfer already completed.
+	if err := p.cross.ResolveInDoubt(k.shard, row.PinTxID); err != nil {
+		p.requeueRows(k, []spoolRow{row})
+		return 0, fmt.Errorf("usage: resolving pinned transfer %d: %w", row.PinTxID, err)
+	}
+	if _, err := p.cross.GetTransfer(row.PinTxID); err != nil {
+		if !errors.Is(err, accounts.ErrNoSuchTransfer) {
+			p.requeueRows(k, []spoolRow{row})
+			return 0, err
+		}
+		_, terr := p.cross.TransferWithID(row.PinTxID, row.Drawer, row.Recipient, row.Amount,
+			accounts.TransferOptions{RUR: row.RUR})
+		if terr != nil {
+			if errors.Is(terr, shard.ErrInDoubt) {
+				// Durable but unfinished: the next pass resolves it.
+				p.requeueRows(k, []spoolRow{row})
+				return 0, fmt.Errorf("usage: charge %s in doubt: %w", row.ID, terr)
+			}
+			if terminalLedgerErr(terr) {
+				return 1, p.cleanup(nil, []failure{{row: row, reason: terr.Error()}})
+			}
+			p.requeueRows(k, []spoolRow{row})
+			return 0, fmt.Errorf("usage: settling charge %s: %w", row.ID, terr)
+		}
+	}
+	if err := p.hook(BoundarySettled, row.ID); err != nil {
+		return 0, fmt.Errorf("%w: %v", errAbandoned, err)
+	}
+
+	// Marker on the drawer's shard, then cleanup. The counters move
+	// with the marker insert, not the transfer: a retry after a
+	// transient marker or cleanup failure must not count the same
+	// charge as a second settlement.
+	inserted := false
+	err := p.led.ShardStore(k.shard).Update(func(tx *db.Tx) error {
+		inserted = false
+		if ok, err := tx.Exists(tableSettled, row.ID); err != nil || ok {
+			return err
+		}
+		if err := insertMarker(tx, row.ID, row.PinTxID); err != nil {
+			return err
+		}
+		inserted = true
+		return nil
+	})
+	if err != nil {
+		p.requeueRows(k, []spoolRow{row})
+		return 0, fmt.Errorf("usage: marking charge %s: %w", row.ID, err)
+	}
+	if inserted {
+		p.settled.Add(1)
+		p.crossShard.Add(1)
+	} else {
+		p.duplicates.Add(1)
+	}
+	if err := p.hook(BoundaryMarked, row.ID); err != nil {
+		return 0, fmt.Errorf("%w: %v", errAbandoned, err)
+	}
+	if err := p.cleanup([]spoolRow{row}, nil); err != nil {
+		p.requeueRows(k, []spoolRow{row})
+		return 0, err
+	}
+	if err := p.hook(BoundaryCleaned, row.ID); err != nil {
+		return 1, fmt.Errorf("%w: %v", errAbandoned, err)
+	}
+	return 1, nil
+}
+
+// requeueRows puts rows back on the in-memory queue after a transient
+// fault (their spool rows are untouched).
+func (p *Pipeline) requeueRows(k groupKey, rows []spoolRow) {
+	ids := make([]string, len(rows))
+	for i := range rows {
+		ids[i] = rows[i].ID
+	}
+	p.requeue(k, ids)
+}
+
+// cleanup finishes charges durably: settled/duplicate rows leave the
+// spool; failed rows are parked with their reason for the operator.
+func (p *Pipeline) cleanup(finished []spoolRow, failures []failure) error {
+	if len(finished) == 0 && len(failures) == 0 {
+		return nil
+	}
+	err := p.spool.Update(func(tx *db.Tx) error {
+		for i := range finished {
+			ok, err := tx.Exists(tableSpool, finished[i].ID)
+			if err != nil {
+				return err
+			}
+			if ok {
+				if err := tx.Delete(tableSpool, finished[i].ID); err != nil {
+					return err
+				}
+			}
+		}
+		for i := range failures {
+			row := failures[i].row
+			row.State = stateFailed
+			row.Reason = failures[i].reason
+			raw, err := json.Marshal(&row)
+			if err != nil {
+				return err
+			}
+			if err := tx.Put(tableSpool, row.ID, raw); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("usage: spool cleanup: %w", err)
+	}
+	if len(failures) > 0 {
+		p.mu.Lock()
+		p.failed += len(failures)
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// Drain blocks until every pending charge reaches a terminal outcome,
+// or the timeout elapses. With background workers it kicks and waits;
+// in synchronous mode (Workers < 0) it runs settlement passes itself
+// and reports ErrDrainStalled if a full pass makes no progress.
+func (p *Pipeline) Drain(timeout time.Duration) (*Stats, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		p.mu.Lock()
+		pending := p.pendingLocked()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return p.Status(), ErrClosed
+		}
+		if pending == 0 {
+			return p.Status(), nil
+		}
+		if time.Now().After(deadline) {
+			return p.Status(), fmt.Errorf("%w: %d still pending", ErrDrainTimeout, pending)
+		}
+		if p.cfg.Workers == 0 {
+			n, err := p.drainPass()
+			if err != nil {
+				return p.Status(), err
+			}
+			if n == 0 {
+				// Only settleable work counts toward a stall verdict: a
+				// concurrent Submit's reservation is progress another
+				// goroutine is making, not work this loop failed on.
+				p.mu.Lock()
+				settleable := p.inflight
+				for _, ids := range p.queue {
+					settleable += len(ids)
+				}
+				p.mu.Unlock()
+				if settleable > 0 {
+					return p.Status(), fmt.Errorf("%w: %d pending", ErrDrainStalled, settleable)
+				}
+				time.Sleep(time.Millisecond) // reservations only: wait them out
+			}
+			continue
+		}
+		p.kickWorkers()
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,151 @@
+package gridbank_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gridbank"
+)
+
+// usageRUR builds a record worth cpuSec CPU-seconds.
+func usageRUR(t *testing.T, consumer, provider, jobID string, cpuSec int64) []byte {
+	t.Helper()
+	now := time.Now()
+	var rec gridbank.UsageRecord
+	rec.User.CertificateName = consumer
+	rec.Job.JobID = jobID
+	rec.Job.Application = "e2e"
+	rec.Job.Start = now.Add(-time.Hour)
+	rec.Job.End = now
+	rec.Resource.Host = "h"
+	rec.Resource.CertificateName = provider
+	rec.Resource.LocalJobID = "pid"
+	rec.SetQuantity(gridbank.ItemCPU, cpuSec)
+	raw, err := gridbank.EncodeUsageRecord(&rec, gridbank.UsageFormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func usageRates(provider string) *gridbank.RateCard {
+	rates := map[gridbank.UsageItem]gridbank.Rate{
+		gridbank.ItemCPU: gridbank.PerHour(1_000_000), // 1 G$/CPU-hour
+	}
+	for _, item := range gridbank.AllUsageItems {
+		if _, ok := rates[item]; !ok {
+			rates[item] = gridbank.ZeroRate
+		}
+	}
+	return &gridbank.RateCard{Provider: provider, Currency: gridbank.GridDollar, Rates: rates}
+}
+
+// TestUsagePipelineEndToEnd drives the full public-API path: a sharded
+// deployment with the usage pipeline enabled, a GSP streaming priced
+// RURs over TLS through a routed client, an admin draining the queue,
+// and conservation checked on the sharded ledger.
+func TestUsagePipelineEndToEnd(t *testing.T) {
+	dep, err := gridbank.NewDeployment(gridbank.DeploymentConfig{VO: "VO-Usage"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	if err := dep.EnableSharding(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.EnableUsage(gridbank.UsageOptions{Workers: 2, BatchSize: 32}); err != nil {
+		t.Fatal(err)
+	}
+
+	alice, err := dep.NewUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gsp, err := dep.NewUser("gsp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliceC, err := dep.Dial(alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aliceC.Close()
+	aliceAcct, err := aliceC.CreateAccount("VO-Usage", gridbank.GridDollar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The GSP submits through a routed client: usage ops must pin to
+	// the primary transparently.
+	gspC, err := dep.DialRouted(gsp, gridbank.RouteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gspC.Close()
+	gspAcct, err := gspC.CreateAccount("VO-Usage", gridbank.GridDollar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adminC, err := dep.Dial(dep.Banker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adminC.Close()
+	if err := adminC.AdminDeposit(aliceAcct.AccountID, gridbank.G(500)); err != nil {
+		t.Fatal(err)
+	}
+	before, err := dep.Sharded().TotalBalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const jobs = 50
+	subs := make([]gridbank.UsageSubmission, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		id := fmt.Sprintf("e2e-job-%03d", i)
+		subs = append(subs, gridbank.UsageSubmission{
+			ID:        id,
+			Drawer:    aliceAcct.AccountID,
+			Recipient: gspAcct.AccountID,
+			RUR:       usageRUR(t, alice.SubjectName(), gsp.SubjectName(), id, 3600),
+			Rates:     usageRates(gsp.SubjectName()),
+		})
+	}
+	res, err := gspC.UsageSubmit(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != jobs {
+		t.Fatalf("submit = %+v", res)
+	}
+	st, err := adminC.UsageDrain(20 * time.Second)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st.Settled != jobs || st.Pending != 0 || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	got, err := gspC.AccountDetails(gspAcct.AccountID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := gridbank.G(jobs); got.AvailableBalance != want {
+		t.Errorf("gsp balance = %s, want %s", got.AvailableBalance, want)
+	}
+	after, err := dep.Sharded().TotalBalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Errorf("conservation violated: %s -> %s", before, after)
+	}
+	// Replayed batch: settled markers dedupe every charge.
+	if res, err = gspC.UsageSubmit(subs); err != nil || res.Accepted != 0 || res.Duplicates != jobs {
+		t.Fatalf("replay = %+v, %v", res, err)
+	}
+	// Status over the wire reflects the drained pipeline.
+	if st, err = gspC.UsageStatus(); err != nil || st.Pending != 0 {
+		t.Fatalf("status = %+v, %v", st, err)
+	}
+}
