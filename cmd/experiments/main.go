@@ -154,6 +154,14 @@ func registry() []experiment {
 			experiments.WriteShards(out, r)
 			return nil
 		}},
+		{"wire", "multiplexed wire transport: callers x payload x durability on one connection", func() error {
+			r, err := experiments.RunWireExp(experiments.WireExpConfig{})
+			if err != nil {
+				return err
+			}
+			experiments.WriteWireExp(out, r)
+			return nil
+		}},
 		{"usage", "batched async usage settlement vs naive per-RUR SettleCheque", func() error {
 			r, err := experiments.RunUsage(experiments.UsageExpConfig{})
 			if err != nil {

@@ -85,18 +85,37 @@ func main() {
 		uWorkers   = flag.Int("usage-workers", 2, "usage pipeline settlement workers")
 		uBatch     = flag.Int("usage-batch", 64, "usage pipeline max charges per ledger transaction")
 		uQueue     = flag.Int("usage-queue", 4096, "usage pipeline pending-queue bound (backpressure threshold)")
+		maxConns   = flag.Int("max-conns", 0, "maximum concurrent client connections (0 = unlimited)")
+		idleConn   = flag.Duration("idle-timeout", core.DefaultIdleTimeout, "drop connections idle this long (<0 disables)")
+		inFlight   = flag.Int("max-in-flight", core.DefaultMaxInFlight, "per-connection concurrent request dispatch cap")
 	)
 	flag.Parse()
+	lcfg := limitFlags{maxConns: *maxConns, idleTimeout: *idleConn, maxInFlight: *inFlight}
 	if *replicaOf != "" {
-		if err := runReplica(*dataDir, *vo, *listen, *replicaOf, *primary, *shardIdx, *shards); err != nil {
+		if err := runReplica(*dataDir, *vo, *listen, *replicaOf, *primary, *shardIdx, *shards, lcfg); err != nil {
 			log.Fatalf("gridbankd: %v", err)
 		}
 		return
 	}
 	ucfg := usageFlags{enabled: *enableU, workers: *uWorkers, batch: *uBatch, queue: *uQueue}
-	if err := run(*dataDir, *vo, *branch, *listen, *issue, *publish, *shards, *syncWAL, *checkpoint, ucfg); err != nil {
+	if err := run(*dataDir, *vo, *branch, *listen, *issue, *publish, *shards, *syncWAL, *checkpoint, ucfg, lcfg); err != nil {
 		log.Fatalf("gridbankd: %v", err)
 	}
+}
+
+// limitFlags carries the connection-limit flag values into run and
+// runReplica.
+type limitFlags struct {
+	maxConns    int
+	idleTimeout time.Duration
+	maxInFlight int
+}
+
+// apply sets the limits on a server before it starts serving.
+func (l limitFlags) apply(srv *core.Server) {
+	srv.MaxConns = l.maxConns
+	srv.IdleTimeout = l.idleTimeout
+	srv.MaxInFlight = l.maxInFlight
 }
 
 // usageFlags carries the -usage* flag values into run.
@@ -105,7 +124,7 @@ type usageFlags struct {
 	workers, batch, queue int
 }
 
-func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL, checkpoint bool, ucfg usageFlags) error {
+func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL, checkpoint bool, ucfg usageFlags, lcfg limitFlags) error {
 	if shards < 1 {
 		return fmt.Errorf("-shards %d: need at least 1", shards)
 	}
@@ -244,6 +263,7 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 	if err != nil {
 		return err
 	}
+	lcfg.apply(srv)
 	if publish != "" {
 		// One commit stream per shard: shard 0 on the given address,
 		// shard i on port+i. Replicas subscribe per shard (a replica of
@@ -282,7 +302,7 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 
 // runReplica runs the -replica-of mode: follow the publisher's commit
 // stream and serve the query API read-only.
-func runReplica(dataDir, vo, listen, publisherAddr, primaryAddr string, shardIdx, shardCount int) error {
+func runReplica(dataDir, vo, listen, publisherAddr, primaryAddr string, shardIdx, shardCount int, lcfg limitFlags) error {
 	ca, err := loadOrCreateCA(dataDir, vo)
 	if err != nil {
 		return err
@@ -328,6 +348,7 @@ func runReplica(dataDir, vo, listen, publisherAddr, primaryAddr string, shardIdx
 	if err != nil {
 		return err
 	}
+	lcfg.apply(srv)
 	log.Printf("gridbankd: %s read replica of %s serving on %s (applied seq %d)",
 		id.SubjectName(), publisherAddr, listen, fol.AppliedSeq())
 	return srv.ListenAndServe(listen)

@@ -32,6 +32,24 @@ type DeploymentConfig struct {
 	ListenAddr string
 	// Now injects a clock (simulations); default time.Now.
 	Now func() time.Time
+	// MaxConns caps concurrent client connections on every server the
+	// deployment runs (primary and read replicas). 0 = unlimited.
+	MaxConns int
+	// IdleTimeout drops connections with no traffic and no in-flight
+	// requests. 0 = the server default (core.DefaultIdleTimeout);
+	// negative disables.
+	IdleTimeout time.Duration
+	// MaxInFlight caps concurrently dispatched requests per connection.
+	// 0 = the server default (core.DefaultMaxInFlight).
+	MaxInFlight int
+}
+
+// applyLimits pushes the deployment's connection limits onto a server
+// before it starts serving.
+func (cfg DeploymentConfig) applyLimits(srv *core.Server) {
+	srv.MaxConns = cfg.MaxConns
+	srv.IdleTimeout = cfg.IdleTimeout
+	srv.MaxInFlight = cfg.MaxInFlight
 }
 
 // Deployment is a complete single-VO GridBank: CA, trust store, bank,
@@ -162,6 +180,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		return nil, err
 	}
 	srv.Logf = func(string, ...any) {} // deployments are quiet; wire Logf explicitly if needed
+	cfg.applyLimits(srv)
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("gridbank: listen %s: %w", cfg.ListenAddr, err)
@@ -281,6 +300,7 @@ func (d *Deployment) EnableSharding(n int) error {
 		return err
 	}
 	srv.Logf = func(string, ...any) {}
+	d.cfg.applyLimits(srv)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -444,6 +464,7 @@ func (d *Deployment) AddShardReplica(name string, shardIdx int) (*ReadReplica, e
 		return nil, err
 	}
 	srv.Logf = func(string, ...any) {}
+	d.cfg.applyLimits(srv)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fol.Close()

@@ -161,14 +161,28 @@ type Bank = core.Bank
 // BankConfig configures NewBank.
 type BankConfig = core.BankConfig
 
-// Server exposes a Bank over mutually-authenticated TLS.
+// Server exposes a Bank over mutually-authenticated TLS. Connections
+// are multiplexed: requests on one connection dispatch concurrently
+// (bounded by Server.MaxInFlight) and responses return as they
+// complete, matched by ID; Server.MaxConns and Server.IdleTimeout gate
+// and reap connections.
 type Server = core.Server
+
+// Server transport limit defaults (override the Server fields, or set
+// DeploymentConfig.MaxConns / IdleTimeout / MaxInFlight).
+const (
+	DefaultMaxInFlight  = core.DefaultMaxInFlight
+	DefaultIdleTimeout  = core.DefaultIdleTimeout
+	DefaultWriteTimeout = core.DefaultWriteTimeout
+)
 
 // OpHandler serves a custom payment-scheme operation registered with
 // Server.RegisterOp (the §3.2 extension point).
 type OpHandler = core.OpHandler
 
-// Client is the GridBank Payment Module (GBPM) transport.
+// Client is the GridBank Payment Module (GBPM) transport: a pipelined
+// multiplexed connection — concurrent callers share it without
+// serializing their round trips.
 type Client = core.Client
 
 // Bank constructors.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"crypto/tls"
 	"errors"
@@ -36,19 +37,122 @@ func IsRemoteCode(err error, code string) bool {
 // Client is the GridBank client: the transport beneath both the GridBank
 // Payment Module (consumer side, §3.3/§5.3) and the GridBank Charging
 // Module's redemption calls (provider side). It authenticates with a
-// proxy or identity certificate and serializes requests over one TLS
+// proxy or identity certificate and pipelines requests over one TLS
 // connection, reconnecting on demand.
+//
+// The connection is multiplexed: each call registers an in-flight entry
+// keyed by its request ID, sends under a short write lock, and parks on
+// a per-call channel while a single reader goroutine demuxes responses
+// by ID — concurrent callers share the connection without serializing
+// their round trips. A transport error fails every in-flight call; the
+// next call redials.
 type Client struct {
 	addr string
 	cfg  *tls.Config
 
 	mu   sync.Mutex
-	conn *wire.Conn
-	raw  net.Conn
+	conn *clientConn
 	next uint64
 
 	// DialTimeout bounds connection establishment (default 10s).
 	DialTimeout time.Duration
+}
+
+// callResult is what the reader goroutine (or a connection failure)
+// delivers to a parked caller.
+type callResult struct {
+	resp *wire.Response
+	err  error
+}
+
+// clientConn is one live pipelined connection: the in-flight demux map
+// plus the coalescing write half. A Client replaces it wholesale on
+// redial so late responses from a dying connection can never reach a
+// new connection's callers.
+//
+// Writes use leader-based group flushing (the group-commit trick on the
+// send side): a caller appends its frame to the shared buffer and, if
+// no flush is running, becomes the flusher — writing every queued frame
+// in one syscall / TLS record; otherwise it parks until the flush
+// carrying its bytes completes. Under N concurrent callers this turns N
+// per-request writes into a few batched ones.
+type clientConn struct {
+	nc net.Conn
+	wc *wire.Conn
+
+	wmu   sync.Mutex
+	wcond *sync.Cond    // flush completion signal; guarded by wmu
+	wbuf  *bytes.Buffer // frames awaiting flush
+	wgen  uint64        // generation of wbuf
+	wdone uint64        // latest generation fully written
+	wbusy bool          // a flusher is running
+	spare *bytes.Buffer // the flusher's swap buffer
+	werr  error         // first write-path error
+
+	mu      sync.Mutex
+	pending map[uint64]chan callResult
+	err     error // first transport error; set before failing pending
+}
+
+// errNotSent marks a send failure that happened before any byte was
+// queued for the wire (e.g. a frame past MaxFrame): the connection is
+// intact and only the offending call should fail.
+type errNotSent struct{ err error }
+
+func (e *errNotSent) Error() string { return e.err.Error() }
+func (e *errNotSent) Unwrap() error { return e.err }
+
+// send queues one request frame and returns once it is on the wire
+// (possibly batched with other callers' frames).
+func (cc *clientConn) send(req *wire.Request) error {
+	cc.wmu.Lock()
+	if cc.werr != nil {
+		err := cc.werr
+		cc.wmu.Unlock()
+		return err
+	}
+	if err := wire.AppendMsg(cc.wbuf, req); err != nil {
+		// AppendMsg restored the buffer: nothing of this frame will
+		// ever reach the wire, so the connection (and every sibling
+		// in-flight call) is unaffected.
+		cc.wmu.Unlock()
+		return &errNotSent{err}
+	}
+	gen := cc.wgen
+	if cc.wbusy {
+		// A flusher is running; it will pick this frame up on its next
+		// sweep. Park until the sweep carrying generation gen lands.
+		for cc.werr == nil && cc.wdone < gen {
+			cc.wcond.Wait()
+		}
+		err := cc.werr
+		cc.wmu.Unlock()
+		return err
+	}
+	cc.wbusy = true
+	for cc.werr == nil && cc.wbuf.Len() > 0 {
+		stolen, stolenGen := cc.wbuf, cc.wgen
+		cc.wbuf = cc.spare
+		cc.spare = nil
+		cc.wgen++
+		cc.wmu.Unlock()
+		_, err := cc.nc.Write(stolen.Bytes())
+		stolen.Reset()
+		if stolen.Cap() > writerBufMax {
+			stolen = &bytes.Buffer{} // release a one-off giant batch
+		}
+		cc.wmu.Lock()
+		cc.spare = stolen
+		if err != nil {
+			cc.werr = err
+		}
+		cc.wdone = stolenGen
+		cc.wcond.Broadcast()
+	}
+	cc.wbusy = false
+	err := cc.werr
+	cc.wmu.Unlock()
+	return err
 }
 
 // Dial creates a client for the GridBank server at addr, authenticating
@@ -62,10 +166,15 @@ func Dial(addr string, id *pki.Identity, ts *pki.TrustStore) (*Client, error) {
 	return &Client{addr: addr, cfg: cfg, DialTimeout: 10 * time.Second}, nil
 }
 
-func (c *Client) ensureConn() error {
-	if c.conn != nil {
-		return nil
-	}
+// Clone returns an unconnected client for the same address, identity
+// and trust configuration — the building block for connection pools.
+func (c *Client) Clone() *Client {
+	return &Client{addr: c.addr, cfg: c.cfg, DialTimeout: c.DialTimeout}
+}
+
+// dialLocked establishes the connection and starts its reader. Called
+// with c.mu held.
+func (c *Client) dialLocked() error {
 	d := net.Dialer{Timeout: c.DialTimeout}
 	raw, err := d.Dial("tcp", c.addr)
 	if err != nil {
@@ -78,31 +187,109 @@ func (c *Client) ensureConn() error {
 		raw.Close()
 		return fmt.Errorf("core: tls handshake with %s: %w", c.addr, err)
 	}
-	c.raw = tconn
-	c.conn = wire.NewConn(tconn)
+	cc := &clientConn{
+		nc:      tconn,
+		wc:      wire.NewConn(tconn),
+		wbuf:    &bytes.Buffer{},
+		spare:   &bytes.Buffer{},
+		pending: make(map[uint64]chan callResult),
+	}
+	cc.wcond = sync.NewCond(&cc.wmu)
+	c.conn = cc
+	go c.readLoop(cc)
 	return nil
 }
 
-// Close tears down the connection.
+// readLoop demuxes responses to parked callers until the connection
+// fails. An unmatched response ID is a protocol violation and fails the
+// connection — the demux map must never be left guessing.
+func (c *Client) readLoop(cc *clientConn) {
+	for {
+		resp, err := cc.wc.ReadResponse()
+		if err != nil {
+			c.fail(cc, fmt.Errorf("core: receive: %w", err))
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.pending[resp.ID]
+		if ok {
+			delete(cc.pending, resp.ID)
+		}
+		cc.mu.Unlock()
+		if !ok {
+			c.fail(cc, fmt.Errorf("core: response for unknown request %d", resp.ID))
+			return
+		}
+		ch <- callResult{resp: resp}
+	}
+}
+
+// fail marks cc dead, fans the error out to every in-flight call and
+// detaches cc from the client so the next call redials. Idempotent:
+// only the first error wins, and entries registered after it are
+// refused at registration instead of stranded.
+func (c *Client) fail(cc *clientConn, err error) {
+	cc.mu.Lock()
+	if cc.err == nil {
+		cc.err = err
+	}
+	failed := cc.pending
+	cc.pending = make(map[uint64]chan callResult)
+	cc.mu.Unlock()
+	cc.nc.Close()
+	c.mu.Lock()
+	if c.conn == cc {
+		c.conn = nil
+	}
+	c.mu.Unlock()
+	for _, ch := range failed {
+		ch <- callResult{err: err}
+	}
+}
+
+// register ensures a live connection and claims an in-flight slot for a
+// fresh request ID.
+func (c *Client) register() (*clientConn, uint64, chan callResult, error) {
+	c.mu.Lock()
+	if c.conn == nil {
+		if err := c.dialLocked(); err != nil {
+			c.mu.Unlock()
+			return nil, 0, nil, err
+		}
+	}
+	cc := c.conn
+	c.next++
+	id := c.next
+	c.mu.Unlock()
+	ch := make(chan callResult, 1)
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
+		return nil, 0, nil, err
+	}
+	cc.pending[id] = ch
+	cc.mu.Unlock()
+	return cc, id, ch, nil
+}
+
+// Close tears down the connection, failing any in-flight calls.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.raw != nil {
-		err := c.raw.Close()
-		c.raw, c.conn = nil, nil
-		return err
+	cc := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if cc == nil {
+		return nil
 	}
+	c.fail(cc, errors.New("core: client closed"))
 	return nil
 }
 
-// call performs one request/response round trip. A transport error
-// invalidates the connection (next call redials).
+// call performs one pipelined request/response exchange. A transport
+// error fails every call in flight on the connection (next call
+// redials).
 func (c *Client) call(op string, in, out any) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.ensureConn(); err != nil {
-		return err
-	}
 	var body []byte
 	if in != nil {
 		raw, err := wire.Encode(in)
@@ -111,35 +298,37 @@ func (c *Client) call(op string, in, out any) error {
 		}
 		body = raw
 	}
-	c.next++
-	req := &wire.Request{ID: c.next, Op: op, Body: body}
-	if err := c.conn.WriteRequest(req); err != nil {
-		c.dropConnLocked()
+	cc, id, ch, err := c.register()
+	if err != nil {
+		return err
+	}
+	req := &wire.Request{ID: id, Op: op, Body: body}
+	if err := cc.send(req); err != nil {
+		var local *errNotSent
+		if errors.As(err, &local) {
+			// Never queued: withdraw this call's in-flight entry and
+			// leave the connection (and its sibling calls) alone.
+			cc.mu.Lock()
+			delete(cc.pending, id)
+			cc.mu.Unlock()
+			return fmt.Errorf("core: send %s: %w", op, local.err)
+		}
+		// A partial batch may be on the wire: the whole connection is
+		// compromised, not just this call.
+		c.fail(cc, fmt.Errorf("core: send %s: %w", op, err))
 		return fmt.Errorf("core: send %s: %w", op, err)
 	}
-	resp, err := c.conn.ReadResponse()
-	if err != nil {
-		c.dropConnLocked()
-		return fmt.Errorf("core: receive %s: %w", op, err)
+	res := <-ch
+	if res.err != nil {
+		return fmt.Errorf("core: %s: %w", op, res.err)
 	}
-	if resp.ID != req.ID {
-		c.dropConnLocked()
-		return fmt.Errorf("core: response ID %d for request %d", resp.ID, req.ID)
-	}
-	if !resp.OK {
-		return &RemoteError{Code: resp.Code, Message: resp.Error}
+	if !res.resp.OK {
+		return &RemoteError{Code: res.resp.Code, Message: res.resp.Error}
 	}
 	if out != nil {
-		return wire.Decode(resp.Body, out)
+		return wire.Decode(res.resp.Body, out)
 	}
 	return nil
-}
-
-func (c *Client) dropConnLocked() {
-	if c.raw != nil {
-		c.raw.Close()
-	}
-	c.raw, c.conn = nil, nil
 }
 
 // Call invokes an arbitrary (e.g. custom-registered) operation: the

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridbank/internal/accounts"
@@ -18,6 +19,49 @@ type RouteOptions struct {
 	// StatusInterval is how long a replica's staleness probe is cached
 	// before re-checking. Default 250ms.
 	StatusInterval time.Duration
+	// Conns is the per-endpoint connection pool size for routed reads.
+	// Each client is already pipelined (concurrent calls multiplex over
+	// one connection), so 1 suffices for correctness; a small pool adds
+	// parallel TLS records and read loops under heavy fan-in. Extra
+	// connections are dialed lazily on first use. Default 1.
+	Conns int
+}
+
+// endpoint is one server address's connection pool: the caller-provided
+// client plus Conns-1 lazily-dialed clones, picked round-robin.
+type endpoint struct {
+	cs   []*Client
+	next atomic.Uint32
+}
+
+func newEndpoint(c *Client, conns int) *endpoint {
+	cs := []*Client{c}
+	for len(cs) < conns {
+		cs = append(cs, c.Clone())
+	}
+	return &endpoint{cs: cs}
+}
+
+// pick returns the endpoint's next pooled client.
+func (e *endpoint) pick() *Client {
+	if len(e.cs) == 1 {
+		return e.cs[0]
+	}
+	return e.cs[int(e.next.Add(1))%len(e.cs)]
+}
+
+// base returns the caller-provided client (used for probes, so cached
+// staleness state reflects one stable connection).
+func (e *endpoint) base() *Client { return e.cs[0] }
+
+func (e *endpoint) close() error {
+	var err error
+	for _, c := range e.cs {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // routeState caches one replica's last staleness probe.
@@ -45,7 +89,8 @@ type routeState struct {
 type RoutedClient struct {
 	*Client // the primary: mutations and read fallback
 
-	replicas []*Client
+	primary  *endpoint
+	replicas []*endpoint
 	opts     RouteOptions
 
 	mu       sync.Mutex
@@ -58,7 +103,9 @@ type RoutedClient struct {
 
 // NewRoutedClient builds a routing client over a primary connection and
 // any number of replica connections. With no replicas it degrades to
-// the plain primary client.
+// the plain primary client. Each endpoint becomes a pool of
+// opts.Conns pipelined connections (the provided client plus lazily
+// dialed clones).
 func NewRoutedClient(primary *Client, replicas []*Client, opts RouteOptions) (*RoutedClient, error) {
 	if primary == nil {
 		return nil, errors.New("core: routed client requires a primary client")
@@ -69,12 +116,18 @@ func NewRoutedClient(primary *Client, replicas []*Client, opts RouteOptions) (*R
 	if opts.StatusInterval <= 0 {
 		opts.StatusInterval = 250 * time.Millisecond
 	}
+	if opts.Conns <= 0 {
+		opts.Conns = 1
+	}
 	rc := &RoutedClient{
 		Client:   primary,
-		replicas: replicas,
+		primary:  newEndpoint(primary, opts.Conns),
 		opts:     opts,
 		states:   make([]routeState, len(replicas)),
 		repShard: make([]int, len(replicas)),
+	}
+	for _, c := range replicas {
+		rc.replicas = append(rc.replicas, newEndpoint(c, opts.Conns))
 	}
 	for i := range rc.repShard {
 		rc.repShard[i] = -1
@@ -85,11 +138,12 @@ func NewRoutedClient(primary *Client, replicas []*Client, opts RouteOptions) (*R
 // Primary returns the underlying primary client.
 func (r *RoutedClient) Primary() *Client { return r.Client }
 
-// Close tears down the primary and every replica connection.
+// Close tears down the primary and every replica connection, pooled
+// clones included.
 func (r *RoutedClient) Close() error {
-	err := r.Client.Close()
-	for _, c := range r.replicas {
-		if cerr := c.Close(); err == nil {
+	err := r.primary.close()
+	for _, e := range r.replicas {
+		if cerr := e.close(); err == nil {
 			err = cerr
 		}
 	}
@@ -113,12 +167,12 @@ func (r *RoutedClient) loadMap(force bool) {
 		}
 	}
 	idx := make([]int, len(r.replicas))
-	for i, c := range r.replicas {
+	for i, e := range r.replicas {
 		idx[i] = -1
 		if ring == nil {
 			continue // unsharded: every replica serves every account
 		}
-		if m, err := c.ShardMap(); err == nil {
+		if m, err := e.base().ShardMap(); err == nil {
 			idx[i] = m.ShardIndex
 		}
 	}
@@ -146,7 +200,7 @@ func (r *RoutedClient) usable(idx int) bool {
 	r.mu.Unlock()
 	ok := st.usable
 	if time.Since(st.lastCheck) > r.opts.StatusInterval {
-		ok = r.probe(r.replicas[idx])
+		ok = r.probe(r.replicas[idx].base())
 		r.mu.Lock()
 		r.states[idx] = routeState{lastCheck: time.Now(), usable: ok}
 		r.mu.Unlock()
@@ -154,13 +208,14 @@ func (r *RoutedClient) usable(idx int) bool {
 	return ok
 }
 
-// readTargetFor picks the next usable replica for an account-scoped
-// read (round-robin within the account's shard pool when sharded);
-// with none usable it returns the primary.
-func (r *RoutedClient) readTargetFor(id accounts.ID) *Client {
+// readTargetFor picks the next usable replica endpoint for an
+// account-scoped read (round-robin within the account's shard pool
+// when sharded); with none usable it reports primary=true with the
+// primary endpoint.
+func (r *RoutedClient) readTargetFor(id accounts.ID) (ep *endpoint, primary bool) {
 	n := len(r.replicas)
 	if n == 0 {
-		return r.Client
+		return r.primary, true
 	}
 	r.loadMap(false)
 	r.mu.Lock()
@@ -180,26 +235,26 @@ func (r *RoutedClient) readTargetFor(id accounts.ID) *Client {
 			continue
 		}
 		if r.usable(idx) {
-			return r.replicas[idx]
+			return r.replicas[idx], false
 		}
 	}
-	return r.Client
+	return r.primary, true
 }
 
-// readTargetAny picks any usable replica — for reads that are not
-// account-scoped. On a sharded deployment every replica holds a partial
-// view, so such reads go straight to the primary.
-func (r *RoutedClient) readTargetAny() *Client {
+// readTargetAny picks any usable replica endpoint — for reads that are
+// not account-scoped. On a sharded deployment every replica holds a
+// partial view, so such reads go straight to the primary.
+func (r *RoutedClient) readTargetAny() (ep *endpoint, primary bool) {
 	n := len(r.replicas)
 	if n == 0 {
-		return r.Client
+		return r.primary, true
 	}
 	r.loadMap(false)
 	r.mu.Lock()
 	sharded := r.ring != nil
 	r.mu.Unlock()
 	if sharded {
-		return r.Client
+		return r.primary, true
 	}
 	for i := 0; i < n; i++ {
 		r.mu.Lock()
@@ -207,10 +262,10 @@ func (r *RoutedClient) readTargetAny() *Client {
 		r.next++
 		r.mu.Unlock()
 		if r.usable(idx) {
-			return r.replicas[idx]
+			return r.replicas[idx], false
 		}
 	}
-	return r.Client
+	return r.primary, true
 }
 
 // fallbackWorthy classifies replica-read failures that the primary can
@@ -238,26 +293,28 @@ func isWrongShard(err error) bool {
 // retry the re-computed target once; on any fallback-worthy failure
 // finish on the primary.
 func routedRead[T any](r *RoutedClient, id accounts.ID, op func(c *Client) (T, error)) (T, error) {
-	c := r.readTargetFor(id)
-	if c == r.Client {
-		return op(r.Client)
+	ep, primary := r.readTargetFor(id)
+	if primary {
+		return op(ep.pick())
 	}
-	v, err := op(c)
+	v, err := op(ep.pick())
 	if err == nil || !fallbackWorthy(err) {
 		return v, err
 	}
 	if isWrongShard(err) {
 		// The map moved under us (or this replica changed shards):
 		// refresh and retry the freshly computed owner before giving up
-		// and paying the primary round trip.
+		// and paying the primary round trip. Endpoints are compared —
+		// not pooled connections — so the retry never re-asks the same
+		// stale replica over a different connection.
 		r.loadMap(true)
-		if c2 := r.readTargetFor(id); c2 != c && c2 != r.Client {
-			if v2, err2 := op(c2); err2 == nil || !fallbackWorthy(err2) {
+		if ep2, p2 := r.readTargetFor(id); !p2 && ep2 != ep {
+			if v2, err2 := op(ep2.pick()); err2 == nil || !fallbackWorthy(err2) {
 				return v2, err2
 			}
 		}
 	}
-	return op(r.Client)
+	return op(r.primary.pick())
 }
 
 // AccountDetails routes §5.2 Check Balance through a replica of the
@@ -282,13 +339,13 @@ func (r *RoutedClient) AccountStatement(id accounts.ID, start, end time.Time) (*
 // the staleness bound (primary-only on sharded deployments, where no
 // single replica holds the whole bank), falling back to the primary.
 func (r *RoutedClient) AdminListAccounts() ([]accounts.Account, error) {
-	c := r.readTargetAny()
-	if c == r.Client {
-		return r.Client.AdminListAccounts()
+	ep, primary := r.readTargetAny()
+	if primary {
+		return ep.pick().AdminListAccounts()
 	}
-	as, err := c.AdminListAccounts()
+	as, err := ep.pick().AdminListAccounts()
 	if err != nil && fallbackWorthy(err) {
-		return r.Client.AdminListAccounts()
+		return r.primary.pick().AdminListAccounts()
 	}
 	return as, err
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"crypto/tls"
 	"errors"
@@ -9,6 +10,8 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"gridbank/internal/accounts"
 	"gridbank/internal/payment"
@@ -56,12 +59,40 @@ type API interface {
 	ShardMap() (*ShardMapResponse, error)
 }
 
+// Server limit defaults; override the exported fields before Serve.
+const (
+	// DefaultMaxInFlight is the per-connection concurrent-dispatch cap.
+	DefaultMaxInFlight = 32
+	// DefaultIdleTimeout is how long a connection may sit with no
+	// inbound traffic and no executing requests before the server drops
+	// it.
+	DefaultIdleTimeout = 5 * time.Minute
+	// DefaultWriteTimeout bounds each coalesced response flush.
+	DefaultWriteTimeout = time.Minute
+
+	// coalesceBytes caps how much queued response data one flush
+	// gathers into a single write (syscall/TLS-record amortization).
+	coalesceBytes = 64 << 10
+	// writerBufMax is the writer's scratch-buffer retention cap: a
+	// single giant response should not pin its allocation for the
+	// connection's lifetime.
+	writerBufMax = 256 << 10
+)
+
 // Server exposes a bank API over mutually-authenticated TLS using the
 // wire protocol. Per §3.2, a connection is only retained if the
 // authenticated subject has an account or administrator privilege;
 // unknown subjects may execute exactly one operation — CreateAccount —
 // and anything else closes the connection ("clients simply cannot send
 // any requests before a connection is established").
+//
+// Connections are multiplexed: each request dispatches on its own
+// goroutine (bounded by MaxInFlight) and responses return as they
+// complete, matched to requests by ID — a slow durable op does not
+// head-of-line-block a cheap read behind it, and concurrent requests on
+// one connection reach the group-commit WAL together. Responses for
+// different IDs may therefore arrive in any order; each ID gets exactly
+// one response.
 type Server struct {
 	bank API
 	cfg  *tls.Config
@@ -76,6 +107,24 @@ type Server struct {
 	// Logf logs connection-level events; defaults to log.Printf. Tests
 	// silence it.
 	Logf func(format string, args ...any)
+
+	// MaxInFlight caps concurrently executing requests per connection;
+	// further reads wait until a slot frees (backpressure, not an
+	// error). 0 means DefaultMaxInFlight. Set before Serve.
+	MaxInFlight int
+	// MaxConns caps concurrent connections: the accept gate closes
+	// excess connections immediately (DoS hygiene, §3.2). 0 means
+	// unlimited. Set before Serve.
+	MaxConns int
+	// IdleTimeout drops a connection with no inbound traffic and no
+	// in-flight requests — the main server no longer blocks forever on
+	// dead peers. 0 means DefaultIdleTimeout; negative disables. Set
+	// before Serve.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response flush; a wedged peer errors the
+	// connection out instead of pinning its writer. 0 means
+	// DefaultWriteTimeout; negative disables. Set before Serve.
+	WriteTimeout time.Duration
 }
 
 // OpHandler serves one custom operation: the §3.2 extension point
@@ -175,6 +224,12 @@ func (s *Server) Serve(ln net.Listener) error {
 			conn.Close()
 			return nil
 		}
+		if s.MaxConns > 0 && len(s.conns) >= s.MaxConns {
+			s.mu.Unlock()
+			conn.Close()
+			s.Logf("gridbank: connection from %s refused: at max-connections cap %d", conn.RemoteAddr(), s.MaxConns)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
@@ -224,12 +279,56 @@ func (s *Server) Close() error {
 	return err
 }
 
+// maxInFlightCap resolves the per-connection dispatch cap.
+func (s *Server) maxInFlightCap() int {
+	if s.MaxInFlight > 0 {
+		return s.MaxInFlight
+	}
+	return DefaultMaxInFlight
+}
+
+// idleTimeoutCap resolves the idle-connection timeout (0 = disabled).
+func (s *Server) idleTimeoutCap() time.Duration {
+	switch {
+	case s.IdleTimeout < 0:
+		return 0
+	case s.IdleTimeout == 0:
+		return DefaultIdleTimeout
+	default:
+		return s.IdleTimeout
+	}
+}
+
+// writeTimeoutCap resolves the per-flush write deadline (0 = disabled).
+func (s *Server) writeTimeoutCap() time.Duration {
+	switch {
+	case s.WriteTimeout < 0:
+		return 0
+	case s.WriteTimeout == 0:
+		return DefaultWriteTimeout
+	default:
+		return s.WriteTimeout
+	}
+}
+
+// handleConn serves one multiplexed connection: a read loop dispatching
+// each request on a bounded worker pool, a single writer goroutine
+// coalescing queued responses into batched frame writes, and an idle
+// watchdog that drops dead peers.
 func (s *Server) handleConn(raw net.Conn) {
 	defer raw.Close()
+	idle := s.idleTimeoutCap()
 	tconn := tls.Server(raw, s.cfg)
+	if idle > 0 {
+		// A dead peer must not pin the handshake forever either.
+		_ = raw.SetDeadline(time.Now().Add(idle))
+	}
 	if err := tconn.HandshakeContext(context.Background()); err != nil {
 		s.Logf("gridbank: handshake from %s failed: %v", raw.RemoteAddr(), err)
 		return
+	}
+	if idle > 0 {
+		_ = raw.SetDeadline(time.Time{})
 	}
 	subject, err := pki.PeerSubject(s.bank.Trust(), tconn.ConnectionState())
 	if err != nil {
@@ -238,27 +337,161 @@ func (s *Server) handleConn(raw net.Conn) {
 	}
 	known := s.bank.Authorize(subject) == nil
 	conn := wire.NewConn(tconn)
+
+	maxInFlight := s.maxInFlightCap()
+	// Capacity covers every dispatcher plus the read loop's own gate
+	// responses, so queuing a response never blocks while the writer is
+	// mid-flush.
+	writeCh := make(chan *wire.Response, maxInFlight+1)
+	sem := make(chan struct{}, maxInFlight)
+	var inflight atomic.Int64
+	var lastActive atomic.Int64
+	lastActive.Store(time.Now().UnixNano())
+
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		s.writeLoop(tconn, writeCh, &lastActive)
+	}()
+	if idle > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := idle / 4
+			if tick < time.Millisecond {
+				tick = time.Millisecond
+			}
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					// Idle means no inbound traffic, nothing executing
+					// and nothing recently flushed — a parked-but-live
+					// client mid-request is never idle.
+					if inflight.Load() == 0 &&
+						time.Since(time.Unix(0, lastActive.Load())) > idle {
+						tconn.Close() // unblocks the read loop with ErrClosed
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var dispatches sync.WaitGroup
 	for {
 		req, err := conn.ReadRequest()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.Logf("gridbank: read from %s (%s): %v", raw.RemoteAddr(), subject, err)
 			}
-			return
+			break
 		}
-		// §3.2 gate: unknown subjects may only open an account.
-		if !known && req.Op != OpCreateAccount && req.Op != OpPing {
-			_ = conn.WriteResponse(&wire.Response{
-				ID: req.ID, OK: false, Code: CodeDenied,
-				Error: fmt.Sprintf("subject %s has no account; connection refused", subject),
-			})
-			return // drop the connection, as the paper prescribes
+		lastActive.Store(time.Now().UnixNano())
+		// §3.2 gate: unknown subjects may only open an account, and get
+		// the seed's strictly serial semantics — nothing read after a
+		// deny is ever dispatched, and a CreateAccount completes before
+		// the next request is even read.
+		if !known {
+			if req.Op != OpCreateAccount && req.Op != OpPing {
+				writeCh <- &wire.Response{
+					ID: req.ID, OK: false, Code: CodeDenied,
+					Error: fmt.Sprintf("subject %s has no account; connection refused", subject),
+				}
+				break // drop the connection, as the paper prescribes
+			}
+			resp := s.dispatch(subject, req)
+			if req.Op == OpCreateAccount && resp.OK {
+				known = true
+			}
+			writeCh <- resp
+			continue
 		}
-		resp := s.dispatch(subject, req)
-		if req.Op == OpCreateAccount && resp.OK {
-			known = true
+		sem <- struct{}{} // backpressure: cap in-flight work per connection
+		inflight.Add(1)
+		dispatches.Add(1)
+		go func(req *wire.Request) {
+			defer dispatches.Done()
+			resp := s.dispatch(subject, req)
+			inflight.Add(-1)
+			lastActive.Store(time.Now().UnixNano())
+			// Queue before releasing the slot: a peer that sends but
+			// stops reading stalls the writer, and the semaphore must
+			// then stop the read loop from admitting more work — the
+			// connection's memory stays bounded by MaxInFlight.
+			writeCh <- resp
+			<-sem
+		}(req)
+	}
+	// Drain: let in-flight requests finish and their responses flush
+	// (the client may have half-closed after pipelining), then release
+	// the writer.
+	dispatches.Wait()
+	close(writeCh)
+	<-writerDone
+}
+
+// writeLoop is the connection's single writer: it drains queued
+// responses, coalescing bursts into one buffered write — one syscall
+// and one TLS record carrying many frames, the group-commit trick at
+// the network layer. After a write failure it keeps draining so
+// dispatchers never block on a dead connection.
+func (s *Server) writeLoop(nc net.Conn, ch <-chan *wire.Response, lastActive *atomic.Int64) {
+	dw := &wire.DeadlineWriter{Conn: nc, Timeout: s.writeTimeoutCap()}
+	var buf bytes.Buffer
+	var failed, closed bool
+	// frame appends a response; one that cannot be framed (in practice:
+	// a body past MaxFrame) is replaced by a small typed error so the
+	// caller parked on that ID hears back instead of waiting forever.
+	frame := func(resp *wire.Response) {
+		if err := wire.AppendMsg(&buf, resp); err != nil {
+			s.Logf("gridbank: response %d unsendable: %v", resp.ID, err)
+			fallback := &wire.Response{
+				ID: resp.ID, OK: false, Code: CodeInternal,
+				Error: fmt.Sprintf("response unsendable: %v", err),
+			}
+			if err := wire.AppendMsg(&buf, fallback); err != nil {
+				// Even the error frame failed — the connection's stream
+				// state is unknowable; drop it.
+				failed = true
+				nc.Close()
+			}
 		}
-		if err := conn.WriteResponse(resp); err != nil {
+	}
+	for resp := range ch {
+		if failed {
+			continue
+		}
+		buf.Reset()
+		frame(resp)
+	coalesce:
+		for !failed && buf.Len() > 0 && buf.Len() < coalesceBytes {
+			select {
+			case more, ok := <-ch:
+				if !ok {
+					closed = true
+					break coalesce
+				}
+				frame(more)
+			default:
+				break coalesce
+			}
+		}
+		if !failed && buf.Len() > 0 {
+			if _, err := dw.Write(buf.Bytes()); err != nil {
+				failed = true
+				nc.Close() // the connection is dead; unblock the read loop
+			} else {
+				lastActive.Store(time.Now().UnixNano())
+			}
+		}
+		if buf.Cap() > writerBufMax {
+			buf = bytes.Buffer{} // release a one-off giant flush
+		}
+		if closed {
 			return
 		}
 	}

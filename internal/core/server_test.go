@@ -20,7 +20,13 @@ type liveWorld struct {
 
 func newLiveWorld(t *testing.T) *liveWorld {
 	t.Helper()
-	w := newTestWorld(t)
+	return newLiveWorldWith(t, newTestWorld(t), nil)
+}
+
+// newLiveWorldWith starts a live server over w, letting the test tune
+// limits (MaxInFlight, MaxConns, IdleTimeout, …) before serving.
+func newLiveWorldWith(t *testing.T, w *testWorld, configure func(*Server)) *liveWorld {
+	t.Helper()
 	serverID, err := w.ca.Issue(pki.IssueOptions{CommonName: "gridbank-server", Organization: "VO-A", IsServer: true})
 	if err != nil {
 		t.Fatal(err)
@@ -30,6 +36,9 @@ func newLiveWorld(t *testing.T) *liveWorld {
 		t.Fatal(err)
 	}
 	srv.Logf = func(string, ...any) {}
+	if configure != nil {
+		configure(srv)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -429,3 +429,32 @@ func TestReplicasSweep(t *testing.T) {
 		t.Error("report rendering broken")
 	}
 }
+
+func TestWireExpSweep(t *testing.T) {
+	// Tiny sweep: the full matrix (durable + volatile + echo, both
+	// modes) with conservation asserts, sized for CI.
+	r, err := RunWireExp(WireExpConfig{
+		Concurrency:  []int{1, 4},
+		Payloads:     []int{64},
+		OpsPerCaller: 10,
+		Rounds:       1,
+		Dir:          t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 workloads x 2 concurrency levels.
+	if len(r.Points) != 8 {
+		t.Fatalf("got %d points, want 8", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.SerializedOps <= 0 || p.PipelinedOps <= 0 {
+			t.Fatalf("%s/%d: nonpositive throughput %+v", p.Workload, p.Concurrency, p)
+		}
+	}
+	var buf bytes.Buffer
+	WriteWireExp(&buf, r)
+	if !strings.Contains(buf.String(), "checkfunds/file-sync") {
+		t.Error("report rendering broken")
+	}
+}

@@ -265,6 +265,9 @@ func (p *Publisher) stream(raw net.Conn, conn *wire.Conn, sub *db.CommitSub) {
 	if writeTimeout < 5*time.Second {
 		writeTimeout = 5 * time.Second
 	}
+	// Frames go out through the shared deadline-armed single-write path:
+	// header+body in one TLS record, wedged followers error out.
+	dw := &wire.DeadlineWriter{Conn: raw, Timeout: writeTimeout}
 	var id uint64
 	send := func(entries []db.Entry) error {
 		id++
@@ -272,8 +275,7 @@ func (p *Publisher) stream(raw net.Conn, conn *wire.Conn, sub *db.CommitSub) {
 		if err != nil {
 			return err
 		}
-		_ = raw.SetWriteDeadline(time.Now().Add(writeTimeout))
-		return conn.WriteResponse(&wire.Response{ID: id, OK: true, Body: body})
+		return wire.WriteMsg(dw, &wire.Response{ID: id, OK: true, Body: body})
 	}
 	for {
 		select {

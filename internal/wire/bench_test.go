@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// benchRequest is a representative frame: a cheque-redemption-sized
+// body (~1 KiB), the common case on the provider hot path.
+func benchRequest() *Request {
+	body := bytes.Repeat([]byte("x"), 1000)
+	return &Request{ID: 42, Op: "RedeemCheque", Body: []byte(`{"pad":"` + string(body) + `"}`)}
+}
+
+func BenchmarkWriteMsg(b *testing.B) {
+	req := benchRequest()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := WriteMsg(io.Discard, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelWriteMsg(b *testing.B) {
+	req := benchRequest()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := WriteMsg(io.Discard, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkReadMsg(b *testing.B) {
+	var frame bytes.Buffer
+	if err := WriteMsg(&frame, benchRequest()); err != nil {
+		b.Fatal(err)
+	}
+	raw := frame.Bytes()
+	r := bytes.NewReader(raw)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(raw)
+		var req Request
+		if err := ReadMsg(r, &req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelReadMsg(b *testing.B) {
+	var frame bytes.Buffer
+	if err := WriteMsg(&frame, benchRequest()); err != nil {
+		b.Fatal(err)
+	}
+	raw := frame.Bytes()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		r := bytes.NewReader(raw)
+		for pb.Next() {
+			r.Reset(raw)
+			var req Request
+			if err := ReadMsg(r, &req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAppendMsgBatch measures the coalesced write path: 16 frames
+// into one buffer, one (discarded) flush.
+func BenchmarkAppendMsgBatch(b *testing.B) {
+	resp := &Response{ID: 7, OK: true, Body: []byte(`{"balance":"123.45"}`)}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		for j := 0; j < 16; j++ {
+			if err := AppendMsg(&buf, resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := io.Discard.Write(buf.Bytes()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,11 +11,15 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"sync"
+	"time"
 )
 
 // MaxFrame bounds a single message. RURs are small; 4 MiB leaves room
@@ -53,25 +57,63 @@ type Response struct {
 	Body json.RawMessage `json:"body,omitempty"`
 }
 
-// WriteMsg frames and writes one message (any JSON-encodable value).
-func WriteMsg(w io.Writer, msg any) error {
-	b, err := json.Marshal(msg)
-	if err != nil {
+// pooledMax caps the capacity of buffers retained by the frame pools:
+// the occasional multi-megabyte frame should not pin its allocation
+// for the lifetime of the process.
+const pooledMax = 64 << 10
+
+// encPool holds scratch buffers for frame encoding.
+var encPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// readPool holds scratch buffers for frame bodies.
+var readPool = sync.Pool{New: func() any { b := make([]byte, 4096); return &b }}
+
+// AppendMsg appends one framed message to buf: the 4-byte length header
+// followed by the JSON body, produced in place so a batch of frames can
+// be flushed with a single Write (one syscall, one TLS record). On
+// error buf is restored to its prior length.
+func AppendMsg(buf *bytes.Buffer, msg any) error {
+	start := buf.Len()
+	buf.Write([]byte{0, 0, 0, 0}) // header placeholder, patched below
+	enc := json.NewEncoder(buf)
+	if err := enc.Encode(msg); err != nil {
+		buf.Truncate(start)
 		return fmt.Errorf("wire: encode: %w", err)
 	}
-	if len(b) > MaxFrame {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(b))
+	// Encoder appends a newline Marshal would not; strip it to keep the
+	// frame bytes identical to the seed protocol's.
+	if b := buf.Bytes(); len(b) > start+4 && b[len(b)-1] == '\n' {
+		buf.Truncate(len(b) - 1)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	n := buf.Len() - start - 4
+	if n > MaxFrame {
+		buf.Truncate(start)
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
-	_, err = w.Write(b)
+	binary.BigEndian.PutUint32(buf.Bytes()[start:start+4], uint32(n))
+	return nil
+}
+
+// WriteMsg frames and writes one message (any JSON-encodable value).
+// Header and body go out in a single Write from a pooled buffer: one
+// syscall and one TLS record per message instead of two.
+func WriteMsg(w io.Writer, msg any) error {
+	buf := encPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	err := AppendMsg(buf, msg)
+	if err == nil {
+		_, err = w.Write(buf.Bytes())
+	}
+	if buf.Cap() <= pooledMax {
+		encPool.Put(buf)
+	}
 	return err
 }
 
-// ReadMsg reads one framed message into out.
+// ReadMsg reads one framed message into out. The body is staged in a
+// pooled buffer: json.Unmarshal copies everything it keeps (including
+// RawMessage fields), so the scratch space is reusable the moment it
+// returns.
 func ReadMsg(r io.Reader, out any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -84,7 +126,16 @@ func ReadMsg(r io.Reader, out any) error {
 	if n == 0 {
 		return fmt.Errorf("%w: zero-length frame", ErrBadFrame)
 	}
-	buf := make([]byte, n)
+	bp := readPool.Get().(*[]byte)
+	if uint32(cap(*bp)) < n {
+		*bp = make([]byte, n)
+	}
+	buf := (*bp)[:n]
+	defer func() {
+		if cap(*bp) <= pooledMax {
+			readPool.Put(bp)
+		}
+	}()
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return fmt.Errorf("%w: truncated body: %v", ErrBadFrame, err)
 	}
@@ -94,6 +145,24 @@ func ReadMsg(r io.Reader, out any) error {
 	return nil
 }
 
+// DeadlineWriter arms a write deadline on Conn before every Write: a
+// wedged peer (open socket, zero window) errors the write out instead
+// of pinning its goroutine and buffers forever. A zero Timeout writes
+// without deadlines. Shared by the server's response writer and the
+// replica publisher's stream path.
+type DeadlineWriter struct {
+	Conn    net.Conn
+	Timeout time.Duration
+}
+
+// Write implements io.Writer.
+func (d *DeadlineWriter) Write(p []byte) (int, error) {
+	if d.Timeout > 0 {
+		_ = d.Conn.SetWriteDeadline(time.Now().Add(d.Timeout))
+	}
+	return d.Conn.Write(p)
+}
+
 // Conn is a convenience wrapper pairing buffered reads with direct
 // writes over a net.Conn-ish stream.
 type Conn struct {
@@ -101,8 +170,10 @@ type Conn struct {
 	w io.Writer
 }
 
-// NewConn wraps a stream. The returned Conn is not safe for concurrent
-// use by multiple goroutines on the same side (callers serialize).
+// NewConn wraps a stream. The read and write halves are independent —
+// one goroutine may read while another writes (how the pipelined client
+// and the multiplexed server use it) — but each half admits only one
+// goroutine at a time (callers serialize within a direction).
 func NewConn(rw io.ReadWriter) *Conn {
 	return &Conn{r: bufio.NewReaderSize(rw, 32<<10), w: rw}
 }

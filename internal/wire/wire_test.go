@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/base64"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"io"
 	"net"
@@ -190,6 +191,111 @@ func TestReadMsgGarbageRobustness(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// countingWriter records each Write call's size.
+type countingWriter struct {
+	writes int
+	bytes  int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.writes++
+	c.bytes += len(p)
+	return len(p), nil
+}
+
+// TestWriteMsgSingleWrite: header and body leave in ONE Write call —
+// one syscall / one TLS record per message, and the precondition for
+// the server's frame coalescing.
+func TestWriteMsgSingleWrite(t *testing.T) {
+	var cw countingWriter
+	if err := WriteMsg(&cw, &Request{ID: 9, Op: "Ping", Body: []byte(`{"a":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if cw.writes != 1 {
+		t.Fatalf("WriteMsg used %d Write calls, want 1", cw.writes)
+	}
+	if cw.bytes < 5 {
+		t.Fatalf("WriteMsg wrote %d bytes", cw.bytes)
+	}
+}
+
+// TestWriteMsgMatchesSeedFraming: the pooled encoder produces exactly
+// the seed protocol's bytes — 4-byte big-endian length + json.Marshal
+// output, no trailing newline.
+func TestWriteMsgMatchesSeedFraming(t *testing.T) {
+	msg := &Response{ID: 3, OK: true, Body: []byte(`{"x":"<&>"}`)}
+	var got bytes.Buffer
+	if err := WriteMsg(&got, msg); err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(want)))
+	if !bytes.Equal(got.Bytes(), append(hdr[:], want...)) {
+		t.Fatalf("framing drifted from seed:\n got %q\nwant %q", got.Bytes(), append(hdr[:], want...))
+	}
+}
+
+// TestAppendMsgBatch: multiple frames appended to one buffer decode
+// back in order, and an oversized frame leaves the buffer untouched.
+func TestAppendMsgBatch(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := AppendMsg(&buf, &Response{ID: uint64(i), OK: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := buf.Len()
+	big := Response{ID: 99, Body: []byte(`"` + strings.Repeat("a", MaxFrame) + `"`)}
+	if err := AppendMsg(&buf, &big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized append err = %v", err)
+	}
+	if buf.Len() != before {
+		t.Fatalf("failed append left %d residue bytes", buf.Len()-before)
+	}
+	if err := AppendMsg(&buf, make(chan int)); err == nil {
+		t.Fatal("unencodable append accepted")
+	}
+	if buf.Len() != before {
+		t.Fatalf("failed append left %d residue bytes", buf.Len()-before)
+	}
+	for i := 0; i < 5; i++ {
+		var resp Response
+		if err := ReadMsg(&buf, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.ID != uint64(i) || !resp.OK {
+			t.Fatalf("frame %d decoded as %+v", i, resp)
+		}
+	}
+}
+
+// TestReadMsgBodyDoesNotAliasPool: RawMessage fields survive the pooled
+// read buffer being reused by a later frame.
+func TestReadMsgBodyDoesNotAliasPool(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMsg(&buf, &Request{ID: 1, Op: "a", Body: []byte(`{"keep":"me"}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMsg(&buf, &Request{ID: 2, Op: "b", Body: []byte(`{"clobber":"xxxxxxxxxxxx"}`)}); err != nil {
+		t.Fatal(err)
+	}
+	var first Request
+	if err := ReadMsg(&buf, &first); err != nil {
+		t.Fatal(err)
+	}
+	var second Request
+	if err := ReadMsg(&buf, &second); err != nil {
+		t.Fatal(err)
+	}
+	if string(first.Body) != `{"keep":"me"}` {
+		t.Fatalf("first body clobbered by pooled buffer reuse: %q", first.Body)
 	}
 }
 
