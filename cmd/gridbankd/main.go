@@ -88,6 +88,7 @@ func main() {
 		maxConns   = flag.Int("max-conns", 0, "maximum concurrent client connections (0 = unlimited)")
 		idleConn   = flag.Duration("idle-timeout", core.DefaultIdleTimeout, "drop connections idle this long (<0 disables)")
 		inFlight   = flag.Int("max-in-flight", core.DefaultMaxInFlight, "per-connection concurrent request dispatch cap")
+		dedupTTL   = flag.Duration("dedup-ttl", core.DefaultDedupTTL, "retention of idempotency-key dedup markers (<0 disables the sweep)")
 	)
 	flag.Parse()
 	lcfg := limitFlags{maxConns: *maxConns, idleTimeout: *idleConn, maxInFlight: *inFlight}
@@ -98,7 +99,7 @@ func main() {
 		return
 	}
 	ucfg := usageFlags{enabled: *enableU, workers: *uWorkers, batch: *uBatch, queue: *uQueue}
-	if err := run(*dataDir, *vo, *branch, *listen, *issue, *publish, *shards, *syncWAL, *checkpoint, ucfg, lcfg); err != nil {
+	if err := run(*dataDir, *vo, *branch, *listen, *issue, *publish, *shards, *syncWAL, *checkpoint, *dedupTTL, ucfg, lcfg); err != nil {
 		log.Fatalf("gridbankd: %v", err)
 	}
 }
@@ -124,7 +125,7 @@ type usageFlags struct {
 	workers, batch, queue int
 }
 
-func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL, checkpoint bool, ucfg usageFlags, lcfg limitFlags) error {
+func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL, checkpoint bool, dedupTTL time.Duration, ucfg usageFlags, lcfg limitFlags) error {
 	if shards < 1 {
 		return fmt.Errorf("-shards %d: need at least 1", shards)
 	}
@@ -209,6 +210,7 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 		Trust:    trust,
 		Admins:   []string{banker.SubjectName()},
 		Branch:   branch,
+		DedupTTL: dedupTTL,
 	})
 	if err != nil {
 		return err

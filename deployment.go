@@ -42,6 +42,10 @@ type DeploymentConfig struct {
 	// MaxInFlight caps concurrently dispatched requests per connection.
 	// 0 = the server default (core.DefaultMaxInFlight).
 	MaxInFlight int
+	// DedupTTL bounds how long idempotency-key dedup markers protect a
+	// replayed mutation. 0 = the bank default (core.DefaultDedupTTL);
+	// negative disables the sweep.
+	DedupTTL time.Duration
 }
 
 // applyLimits pushes the deployment's connection limits onto a server
@@ -171,6 +175,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Admins:   append([]string{banker.SubjectName()}, cfg.Admins...),
 		Branch:   cfg.Branch,
 		Now:      cfg.Now,
+		DedupTTL: cfg.DedupTTL,
 	})
 	if err != nil {
 		return nil, err
@@ -291,6 +296,7 @@ func (d *Deployment) EnableSharding(n int) error {
 		Admins:   append([]string{d.Banker.SubjectName()}, d.cfg.Admins...),
 		Branch:   branchOf(d.cfg),
 		Now:      d.cfg.Now,
+		DedupTTL: d.cfg.DedupTTL,
 	})
 	if err != nil {
 		return err
@@ -404,7 +410,15 @@ func (d *Deployment) enablePublisher(shardIdx int) (*shardPublisher, error) {
 // shard 0 (the whole ledger when unsharded) on an ephemeral loopback
 // port and returns its address. Idempotent.
 func (d *Deployment) EnableReplication() (string, error) {
-	sp, err := d.enablePublisher(0)
+	return d.PublisherAddr(0)
+}
+
+// PublisherAddr starts (if needed) and returns the commit-stream
+// publisher address for shard shardIdx. Harnesses that interpose a
+// fault proxy on the replication link dial this address through the
+// proxy and hand the proxy's address to AddShardReplicaAt.
+func (d *Deployment) PublisherAddr(shardIdx int) (string, error) {
+	sp, err := d.enablePublisher(shardIdx)
 	if err != nil {
 		return "", err
 	}
@@ -428,12 +442,21 @@ func (d *Deployment) AddShardReplica(name string, shardIdx int) (*ReadReplica, e
 	if err != nil {
 		return nil, err
 	}
+	return d.AddShardReplicaAt(name, shardIdx, sp.addr)
+}
+
+// AddShardReplicaAt is AddShardReplica with an explicit publisher
+// address: the follower subscribes to publisherAddr instead of the
+// shard's publisher directly, so a test can route the replication
+// stream through a netsim proxy (the shard's real publisher must
+// already be running — see PublisherAddr).
+func (d *Deployment) AddShardReplicaAt(name string, shardIdx int, publisherAddr string) (*ReadReplica, error) {
 	id, err := d.CA.Issue(pki.IssueOptions{CommonName: name, Organization: voOf(d), IsServer: true})
 	if err != nil {
 		return nil, err
 	}
 	fol, err := replica.StartFollower(replica.FollowerConfig{
-		PublisherAddr: sp.addr,
+		PublisherAddr: publisherAddr,
 		Identity:      id,
 		Trust:         d.Trust,
 		RetryInterval: 100 * time.Millisecond,

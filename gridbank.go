@@ -193,6 +193,9 @@ var (
 	Dial = core.Dial
 	// IsRemoteCode tests a client error for a stable server error code.
 	IsRemoteCode = core.IsRemoteCode
+	// NewIdempotencyKey mints a fresh token for Client.DirectTransferKeyed:
+	// retrying an ambiguous failure under the same key is safe.
+	NewIdempotencyKey = core.NewIdempotencyKey
 )
 
 // Stable server error codes.
@@ -207,6 +210,17 @@ const (
 	CodeReadOnly     = core.CodeReadOnly
 	CodeUnavailable  = core.CodeUnavailable
 	CodeOverloaded   = core.CodeOverloaded
+	// CodeDeadlineExceeded marks a request the server shed because the
+	// caller's deadline_ms budget elapsed before dispatch (nothing
+	// executed; safe to retry).
+	CodeDeadlineExceeded = core.CodeDeadlineExceeded
+)
+
+// Per-call deadline and resilience defaults (see Client.CallTimeout,
+// BankConfig.DedupTTL).
+const (
+	DefaultCallTimeout = core.DefaultCallTimeout
+	DefaultDedupTTL    = core.DefaultDedupTTL
 )
 
 // --- Usage settlement pipeline ----------------------------------------------
@@ -269,8 +283,13 @@ type ReadOnlyBankConfig = core.ReadOnlyBankConfig
 // primary.
 type RoutedClient = core.RoutedClient
 
-// RouteOptions tune a RoutedClient (staleness bound, probe interval).
+// RouteOptions tune a RoutedClient (staleness bound, probe interval,
+// retry policy, circuit breaker).
 type RouteOptions = core.RouteOptions
+
+// RetryPolicy governs a RoutedClient's automatic retries of retry-safe
+// calls (idempotent reads and idempotency-keyed mutations).
+type RetryPolicy = core.RetryPolicy
 
 // ReplicaStatus is a server's replication role, position and staleness.
 type ReplicaStatus = core.ReplicaStatusResponse

@@ -1,0 +1,142 @@
+package accounts
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"gridbank/internal/currency"
+)
+
+// TestTransferDedupKeyReplay pins the single-store idempotency
+// contract: a replayed key returns the recorded transfer and moves no
+// further money; a fresh key executes a fresh transfer.
+func TestTransferDedupKeyReplay(t *testing.T) {
+	m := newTestManager(t)
+	alice := mustCreate(t, m, "CN=alice")
+	bob := mustCreate(t, m, "CN=bob")
+	mustDeposit(t, m, alice.AccountID, 100)
+
+	tr1, err := m.Transfer(alice.AccountID, bob.AccountID, currency.FromG(10),
+		TransferOptions{DedupKey: "pay-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := m.Transfer(alice.AccountID, bob.AccountID, currency.FromG(10),
+		TransferOptions{DedupKey: "pay-1"})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if tr2.TransactionID != tr1.TransactionID {
+		t.Fatalf("replay minted transaction %d, want recorded %d", tr2.TransactionID, tr1.TransactionID)
+	}
+	a, err := m.Details(alice.AccountID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvailableBalance != currency.FromG(90) {
+		t.Fatalf("drawer balance %v after replay, want a single 10 G$ debit", a.AvailableBalance)
+	}
+
+	tr3, err := m.Transfer(alice.AccountID, bob.AccountID, currency.FromG(10),
+		TransferOptions{DedupKey: "pay-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr3.TransactionID == tr1.TransactionID {
+		t.Fatal("fresh key replayed the old transaction")
+	}
+}
+
+// TestTransferDedupKeyRace drives the same key from many goroutines at
+// once: the Insert collision inside the money-moving transaction must
+// let exactly one execution commit, with every caller observing the
+// same recorded transaction.
+func TestTransferDedupKeyRace(t *testing.T) {
+	m := newTestManager(t)
+	alice := mustCreate(t, m, "CN=alice")
+	bob := mustCreate(t, m, "CN=bob")
+	mustDeposit(t, m, alice.AccountID, 100)
+
+	const racers = 8
+	ids := make([]uint64, racers)
+	errs := make([]error, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := m.Transfer(alice.AccountID, bob.AccountID, currency.FromG(7),
+				TransferOptions{DedupKey: "race-1"})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ids[i] = tr.TransactionID
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < racers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("racer %d: %v", i, errs[i])
+		}
+		if ids[i] != ids[0] {
+			t.Fatalf("racer %d saw transaction %d, racer 0 saw %d", i, ids[i], ids[0])
+		}
+	}
+	a, err := m.Details(alice.AccountID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvailableBalance != currency.FromG(93) {
+		t.Fatalf("drawer balance %v after %d racers, want a single 7 G$ debit", a.AvailableBalance, racers)
+	}
+}
+
+// TestSweepDedup pins the TTL contract: sweeping removes markers dated
+// before the cutoff and nothing newer, and a swept key replays as a
+// fresh mutation — the TTL is the whole replay-protection window.
+func TestSweepDedup(t *testing.T) {
+	m := newTestManager(t)
+	alice := mustCreate(t, m, "CN=alice")
+	bob := mustCreate(t, m, "CN=bob")
+	mustDeposit(t, m, alice.AccountID, 100)
+
+	tr1, err := m.Transfer(alice.AccountID, bob.AccountID, currency.FromG(5),
+		TransferOptions{DedupKey: "old"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk, err := m.GetDedup("old")
+	if err != nil || mk == nil || mk.TxID != tr1.TransactionID {
+		t.Fatalf("marker after transfer: %+v, %v", mk, err)
+	}
+
+	// A cutoff before the marker's date removes nothing.
+	if n, err := m.SweepDedup(testEpoch); err != nil || n != 0 {
+		t.Fatalf("early sweep removed %d (%v), want 0", n, err)
+	}
+	// A cutoff after it removes the marker...
+	if n, err := m.SweepDedup(testEpoch.Add(time.Hour)); err != nil || n != 1 {
+		t.Fatalf("sweep removed %d (%v), want 1", n, err)
+	}
+	if mk, err := m.GetDedup("old"); err != nil || mk != nil {
+		t.Fatalf("marker survived sweep: %+v, %v", mk, err)
+	}
+	// ...and the key replays as a fresh transfer.
+	tr2, err := m.Transfer(alice.AccountID, bob.AccountID, currency.FromG(5),
+		TransferOptions{DedupKey: "old"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.TransactionID == tr1.TransactionID {
+		t.Fatal("swept key still replayed the old transaction")
+	}
+	a, err := m.Details(alice.AccountID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvailableBalance != currency.FromG(90) {
+		t.Fatalf("drawer balance %v, want two 5 G$ debits after the sweep", a.AvailableBalance)
+	}
+}

@@ -83,7 +83,7 @@ func NewManager(store *db.Store, cfg Config) (*Manager, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	for _, t := range []string{tableAccounts, tableTransactions, tableTransfers, tableMeta} {
+	for _, t := range []string{tableAccounts, tableTransactions, tableTransfers, tableMeta, TableDedup} {
 		if err := store.EnsureTable(t); err != nil {
 			return nil, err
 		}
@@ -447,6 +447,11 @@ type TransferOptions struct {
 	// RUR is the Resource Usage Record evidence blob stored with the
 	// TRANSFER record (§5.1).
 	RUR []byte
+	// DedupKey, when set, makes the transfer idempotent: an op_dedup
+	// marker is written in the same db transaction as the transfer, and
+	// a repeat call with the same key returns the recorded transfer
+	// instead of moving money again.
+	DedupKey string
 }
 
 // Transfer atomically moves amount from drawer to recipient, writing the
@@ -463,6 +468,24 @@ func (m *Manager) Transfer(drawer, recipient ID, amount currency.Amount, opts Tr
 	}
 	var rec *Transfer
 	err := m.store.Update(func(tx *db.Tx) error {
+		rec = nil
+		if opts.DedupKey != "" {
+			// Retry of a completed transfer: replay the recorded
+			// outcome. Checked inside the transaction, so a concurrent
+			// first execution either commits before this read (replay)
+			// or collides on the marker insert (OCC retry, then replay).
+			prior, err := m.GetDedupTx(tx, opts.DedupKey)
+			if err != nil {
+				return err
+			}
+			if prior != nil {
+				rec, err = m.GetTransferTx(tx, prior.TxID)
+				if err != nil {
+					return fmt.Errorf("accounts: dedup marker %q names missing transfer %d: %w", opts.DedupKey, prior.TxID, err)
+				}
+				return nil
+			}
+		}
 		from, err := getAccount(tx, drawer)
 		if err != nil {
 			return err
@@ -517,6 +540,13 @@ func (m *Manager) Transfer(drawer, recipient ID, amount currency.Amount, opts Tr
 			Amount:              amount,
 			RecipientAccountID:  recipient,
 			ResourceUsageRecord: opts.RUR,
+		}
+		if opts.DedupKey != "" {
+			// Same transaction as the transfer rows: the key is spent
+			// exactly when the money moves, never before or after.
+			if err := m.PutDedupTx(tx, &DedupMarker{Key: opts.DedupKey, TxID: txID, Date: now}); err != nil {
+				return err
+			}
 		}
 		return tx.Insert(tableTransfers, transferKey(txID), encodeTransfer(rec))
 	})

@@ -69,6 +69,11 @@ const (
 	// the account's shard — the client's shard map is stale (or it
 	// picked the wrong pool member); refresh via Shard.Map and retry.
 	CodeWrongShard = "wrong_shard"
+	// CodeDeadlineExceeded marks a request shed by the server because
+	// the caller's deadline_ms budget had already elapsed when a
+	// dispatch slot came free — the caller is gone, so the work is not
+	// done. Safe to retry (nothing executed).
+	CodeDeadlineExceeded = "deadline_exceeded"
 )
 
 // CreateAccountRequest opens an account for the authenticated caller. The
@@ -139,6 +144,14 @@ type DirectTransferRequest struct {
 	// RecipientAddress, when set, asks the bank to push the signed
 	// confirmation to the GSP's address over another secure channel.
 	RecipientAddress string `json:"recipient_address,omitempty"`
+	// IdempotencyKey, when set, makes the transfer idempotent: the bank
+	// records the key in an op_dedup marker inside the same ledger
+	// transaction as the transfer, and a repeat request with the same
+	// key replays the recorded outcome instead of moving money twice.
+	// Clients retrying after an ambiguous failure (timeout, dropped
+	// connection) MUST reuse the original key. Replay protection lasts
+	// for the bank's dedup TTL.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // TransferReceipt is the payload of the signed confirmation.

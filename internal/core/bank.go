@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridbank/internal/accounts"
@@ -87,6 +88,12 @@ type Bank struct {
 	// different instruments (hence different drawer accounts) proceed
 	// in parallel instead of queueing bank-wide.
 	instr stripedLock
+
+	// dedupTTL bounds op_dedup idempotency-marker retention; lastSweep
+	// (unix nanos) CAS-claims the periodic sweep so exactly one keyed
+	// mutation per interval pays the scan.
+	dedupTTL  time.Duration
+	lastSweep atomic.Int64
 }
 
 // BankConfig configures a Bank.
@@ -106,7 +113,17 @@ type BankConfig struct {
 	// Bank and Branch numbers for issued account IDs.
 	Bank   string
 	Branch string
+	// DedupTTL bounds how long op_dedup idempotency markers are kept
+	// (the replay-protection window for keyed mutations). Zero selects
+	// DefaultDedupTTL; negative disables the sweep (markers kept
+	// forever).
+	DedupTTL time.Duration
 }
+
+// DefaultDedupTTL is the idempotency-marker retention when
+// BankConfig.DedupTTL is zero: far longer than any sane retry horizon,
+// short enough to bound the op_dedup table.
+const DefaultDedupTTL = 24 * time.Hour
 
 // NewBank assembles a bank over a single store.
 func NewBank(store *db.Store, cfg BankConfig) (*Bank, error) {
@@ -135,7 +152,11 @@ func NewBankWithLedger(led Ledger, cfg BankConfig) (*Bank, error) {
 			return nil, err
 		}
 	}
-	b := &Bank{led: led, id: cfg.Identity, ts: cfg.Trust, now: cfg.Now, notify: cfg.Notifier}
+	if cfg.DedupTTL == 0 {
+		cfg.DedupTTL = DefaultDedupTTL
+	}
+	b := &Bank{led: led, id: cfg.Identity, ts: cfg.Trust, now: cfg.Now, notify: cfg.Notifier, dedupTTL: cfg.DedupTTL}
+	b.lastSweep.Store(cfg.Now().UnixNano())
 	if mm, ok := led.(interface{ MetaManager() *accounts.Manager }); ok {
 		b.mgr = mm.MetaManager()
 	} else if ml, ok := led.(managerLedger); ok {
@@ -285,7 +306,10 @@ func (b *Bank) DirectTransfer(caller string, req *DirectTransferRequest) (*Direc
 	if err != nil {
 		return nil, err
 	}
-	tr, err := b.led.Transfer(req.FromAccountID, req.ToAccountID, req.Amount, accounts.TransferOptions{})
+	if req.IdempotencyKey != "" {
+		b.maybeSweepDedup()
+	}
+	tr, err := b.led.Transfer(req.FromAccountID, req.ToAccountID, req.Amount, accounts.TransferOptions{DedupKey: req.IdempotencyKey})
 	if err != nil {
 		return nil, err
 	}
@@ -304,6 +328,28 @@ func (b *Bank) DirectTransfer(caller string, req *DirectTransferRequest) (*Direc
 		b.notify(req.RecipientAddress, receipt)
 	}
 	return &DirectTransferResponse{TransactionID: tr.TransactionID, Receipt: receipt}, nil
+}
+
+// maybeSweepDedup lazily garbage-collects expired idempotency markers:
+// every dedupTTL/4, the first keyed mutation to notice CAS-claims the
+// interval and runs the sweep on its own goroutine's time. Losing the
+// CAS means another caller is sweeping; sweep errors are dropped (the
+// next interval retries, and an unswept marker is only storage, never
+// incorrectness).
+func (b *Bank) maybeSweepDedup() {
+	ttl := b.dedupTTL
+	if ttl <= 0 {
+		return
+	}
+	now := b.now()
+	last := b.lastSweep.Load()
+	if now.Sub(time.Unix(0, last)) < ttl/4 {
+		return
+	}
+	if !b.lastSweep.CompareAndSwap(last, now.UnixNano()) {
+		return
+	}
+	_, _ = b.led.SweepDedup(now.Add(-ttl))
 }
 
 // RequestCheque implements §5.2 Request GridCheque: lock the amount

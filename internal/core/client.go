@@ -3,7 +3,9 @@ package core
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
 	"crypto/tls"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"net"
@@ -56,7 +58,32 @@ type Client struct {
 
 	// DialTimeout bounds connection establishment (default 10s).
 	DialTimeout time.Duration
+
+	// CallTimeout bounds each request/response exchange. Zero selects
+	// DefaultCallTimeout; negative disables the deadline (a caller that
+	// truly wants to park forever must say so). The budget rides the
+	// request header as deadline_ms so the server can shed work whose
+	// caller has already given up. A timed-out call fails alone — the
+	// connection and its sibling in-flight calls stay healthy, and a
+	// late response is discarded instead of treated as a protocol
+	// violation.
+	CallTimeout time.Duration
 }
+
+// DefaultCallTimeout is the per-call deadline when Client.CallTimeout
+// is zero. Generous: it exists to unstick callers whose response was
+// lost, not to police slow operations.
+const DefaultCallTimeout = 2 * time.Minute
+
+// ErrCallTimeout marks a call abandoned at its deadline with the
+// outcome unknown: the request may or may not have executed. Retry is
+// safe only for idempotent or idempotency-keyed operations.
+var ErrCallTimeout = errors.New("core: call deadline exceeded awaiting response")
+
+// forgottenMax caps abandoned-call tombstones per connection. A peer
+// that never answers would otherwise grow the set without bound; past
+// the cap the connection is declared dead and redialed.
+const forgottenMax = 1024
 
 // callResult is what the reader goroutine (or a connection failure)
 // delivers to a parked caller.
@@ -91,7 +118,8 @@ type clientConn struct {
 
 	mu      sync.Mutex
 	pending map[uint64]chan callResult
-	err     error // first transport error; set before failing pending
+	forgot  map[uint64]struct{} // IDs abandoned at their deadline; late responses are dropped
+	err     error               // first transport error; set before failing pending
 }
 
 // errNotSent marks a send failure that happened before any byte was
@@ -169,7 +197,7 @@ func Dial(addr string, id *pki.Identity, ts *pki.TrustStore) (*Client, error) {
 // Clone returns an unconnected client for the same address, identity
 // and trust configuration — the building block for connection pools.
 func (c *Client) Clone() *Client {
-	return &Client{addr: c.addr, cfg: c.cfg, DialTimeout: c.DialTimeout}
+	return &Client{addr: c.addr, cfg: c.cfg, DialTimeout: c.DialTimeout, CallTimeout: c.CallTimeout}
 }
 
 // dialLocked establishes the connection and starts its reader. Called
@@ -202,7 +230,9 @@ func (c *Client) dialLocked() error {
 
 // readLoop demuxes responses to parked callers until the connection
 // fails. An unmatched response ID is a protocol violation and fails the
-// connection — the demux map must never be left guessing.
+// connection — the demux map must never be left guessing — unless the
+// ID belongs to a call abandoned at its deadline, whose late response
+// is expected and silently dropped.
 func (c *Client) readLoop(cc *clientConn) {
 	for {
 		resp, err := cc.wc.ReadResponse()
@@ -214,6 +244,10 @@ func (c *Client) readLoop(cc *clientConn) {
 		ch, ok := cc.pending[resp.ID]
 		if ok {
 			delete(cc.pending, resp.ID)
+		} else if _, late := cc.forgot[resp.ID]; late {
+			delete(cc.forgot, resp.ID)
+			cc.mu.Unlock()
+			continue
 		}
 		cc.mu.Unlock()
 		if !ok {
@@ -286,10 +320,35 @@ func (c *Client) Close() error {
 	return nil
 }
 
+// callDeadline resolves the effective per-call budget: an explicit
+// override wins, else the client default, else DefaultCallTimeout.
+// Negative anywhere means "no deadline".
+func (c *Client) callDeadline(override time.Duration) time.Duration {
+	d := override
+	if d == 0 {
+		d = c.CallTimeout
+	}
+	if d == 0 {
+		d = DefaultCallTimeout
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
 // call performs one pipelined request/response exchange. A transport
 // error fails every call in flight on the connection (next call
 // redials).
 func (c *Client) call(op string, in, out any) error {
+	return c.callWithTimeout(op, in, out, 0)
+}
+
+// callWithTimeout is call with an explicit deadline override (zero:
+// client default; negative: none). On timeout the call fails alone
+// with ErrCallTimeout: its demux entry becomes a tombstone so the late
+// response is dropped rather than wedging or killing the connection.
+func (c *Client) callWithTimeout(op string, in, out any, timeout time.Duration) error {
 	var body []byte
 	if in != nil {
 		raw, err := wire.Encode(in)
@@ -298,11 +357,19 @@ func (c *Client) call(op string, in, out any) error {
 		}
 		body = raw
 	}
+	d := c.callDeadline(timeout)
 	cc, id, ch, err := c.register()
 	if err != nil {
 		return err
 	}
 	req := &wire.Request{ID: id, Op: op, Body: body}
+	if d > 0 {
+		if ms := int64(d / time.Millisecond); ms > 0 {
+			req.DeadlineMS = ms
+		} else {
+			req.DeadlineMS = 1
+		}
+	}
 	if err := cc.send(req); err != nil {
 		var local *errNotSent
 		if errors.As(err, &local) {
@@ -318,22 +385,59 @@ func (c *Client) call(op string, in, out any) error {
 		c.fail(cc, fmt.Errorf("core: send %s: %w", op, err))
 		return fmt.Errorf("core: send %s: %w", op, err)
 	}
-	res := <-ch
-	if res.err != nil {
-		return fmt.Errorf("core: %s: %w", op, res.err)
+	finish := func(res callResult) error {
+		if res.err != nil {
+			return fmt.Errorf("core: %s: %w", op, res.err)
+		}
+		if !res.resp.OK {
+			return &RemoteError{Code: res.resp.Code, Message: res.resp.Error}
+		}
+		if out != nil {
+			return wire.Decode(res.resp.Body, out)
+		}
+		return nil
 	}
-	if !res.resp.OK {
-		return &RemoteError{Code: res.resp.Code, Message: res.resp.Error}
+	if d <= 0 {
+		return finish(<-ch)
 	}
-	if out != nil {
-		return wire.Decode(res.resp.Body, out)
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return finish(res)
+	case <-timer.C:
 	}
-	return nil
+	// Deadline hit. If the demux entry is still ours, abandon the call:
+	// leave a tombstone so the reader drops the response if it ever
+	// arrives. If it is gone, the response (or a connection failure)
+	// won the race and is already in the channel.
+	cc.mu.Lock()
+	if _, inFlight := cc.pending[id]; !inFlight {
+		cc.mu.Unlock()
+		return finish(<-ch)
+	}
+	delete(cc.pending, id)
+	if cc.forgot == nil {
+		cc.forgot = make(map[uint64]struct{})
+	}
+	cc.forgot[id] = struct{}{}
+	overflow := len(cc.forgot) > forgottenMax
+	cc.mu.Unlock()
+	if overflow {
+		c.fail(cc, fmt.Errorf("core: %d abandoned calls unanswered; connection presumed dead", forgottenMax))
+	}
+	return fmt.Errorf("core: %s: %w (after %v)", op, ErrCallTimeout, d)
 }
 
 // Call invokes an arbitrary (e.g. custom-registered) operation: the
 // client side of the §3.2 payment-scheme extension point.
 func (c *Client) Call(op string, in, out any) error { return c.call(op, in, out) }
+
+// CallWithTimeout is Call with an explicit deadline override for this
+// one exchange (zero: client default; negative: no deadline).
+func (c *Client) CallWithTimeout(op string, in, out any, timeout time.Duration) error {
+	return c.callWithTimeout(op, in, out, timeout)
+}
 
 // ReplicaStatus reports the server's replication role, position and
 // staleness (zero staleness on a primary).
@@ -407,11 +511,35 @@ func (c *Client) CheckFunds(id accounts.ID, amount currency.Amount) error {
 	return c.call(OpCheckFunds, &CheckFundsRequest{AccountID: id, Amount: amount}, &out)
 }
 
-// DirectTransfer performs a pay-before-use transfer, returning the signed
-// receipt.
+// NewIdempotencyKey generates a fresh random idempotency token for a
+// keyed mutation. One key identifies one intended mutation: reuse the
+// same key across retries of the same transfer, never across distinct
+// transfers.
+func NewIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; an unkeyed request
+		// (no dedup, seed behavior) beats a panic in a payment path.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// DirectTransfer performs a pay-before-use transfer, returning the
+// signed receipt. A fresh idempotency key is attached so the server
+// records the mutation in op_dedup; callers that may retry after an
+// ambiguous failure should use DirectTransferKeyed to control the key.
 func (c *Client) DirectTransfer(from, to accounts.ID, amount currency.Amount, recipientAddr string) (*DirectTransferResponse, error) {
+	return c.DirectTransferKeyed(NewIdempotencyKey(), from, to, amount, recipientAddr)
+}
+
+// DirectTransferKeyed is DirectTransfer with a caller-supplied
+// idempotency key: repeating the call with the same key replays the
+// recorded outcome instead of moving money twice, which is what makes
+// retry-after-ambiguous-failure safe.
+func (c *Client) DirectTransferKeyed(key string, from, to accounts.ID, amount currency.Amount, recipientAddr string) (*DirectTransferResponse, error) {
 	var out DirectTransferResponse
-	req := &DirectTransferRequest{FromAccountID: from, ToAccountID: to, Amount: amount, RecipientAddress: recipientAddr}
+	req := &DirectTransferRequest{FromAccountID: from, ToAccountID: to, Amount: amount, RecipientAddress: recipientAddr, IdempotencyKey: key}
 	if err := c.call(OpDirectTransfer, req, &out); err != nil {
 		return nil, err
 	}

@@ -28,6 +28,10 @@ type Ledger interface {
 	TotalBalance() (currency.Amount, error)
 	Accounts() ([]accounts.Account, error)
 
+	// SweepDedup garbage-collects op_dedup idempotency markers older
+	// than cutoff, returning how many were removed.
+	SweepDedup(cutoff time.Time) (int, error)
+
 	// §5.2.1 admin operations.
 	Deposit(id accounts.ID, amount currency.Amount) error
 	Withdraw(id accounts.ID, amount currency.Amount) error

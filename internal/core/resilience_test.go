@@ -1,0 +1,415 @@
+package core
+
+import (
+	"crypto/tls"
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/db"
+	"gridbank/internal/netsim"
+	"gridbank/internal/pki"
+	"gridbank/internal/usage"
+)
+
+// slowUsage is a UsageEngine stub whose Submit blocks for delay before
+// accepting — it makes the server answer *late*, after the caller has
+// already abandoned the call.
+type slowUsage struct{ delay time.Duration }
+
+func (s *slowUsage) Submit(batch []usage.Submission) (*usage.SubmitResult, error) {
+	time.Sleep(s.delay)
+	return &usage.SubmitResult{Accepted: len(batch)}, nil
+}
+func (s *slowUsage) Status() *usage.Stats { return &usage.Stats{} }
+func (s *slowUsage) Drain(time.Duration) (*usage.Stats, error) {
+	return &usage.Stats{}, nil
+}
+
+// TestCallTimeoutUnsticksLostResponse is the regression test for the
+// lost-response hang: a reply that doesn't arrive in time must fail
+// the parked call with ErrCallTimeout instead of blocking forever, and
+// the connection must keep working — including when the late response
+// eventually lands on it (the forgotten-ID tombstone swallows it).
+func TestCallTimeoutUnsticksLostResponse(t *testing.T) {
+	lw := newLiveWorld(t)
+	lw.bank.SetUsage(&slowUsage{delay: 500 * time.Millisecond})
+
+	c, err := Dial(lw.addr, lw.admin, lw.ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.CallTimeout = 150 * time.Millisecond
+
+	start := time.Now()
+	_, err = c.UsageSubmit([]usage.Submission{{
+		ID: "slow-1", Drawer: lw.aliceAcct.AccountID, Recipient: lw.gspAcct.AccountID,
+	}})
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("stalled call: got %v, want ErrCallTimeout", err)
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("call blocked %v before timing out", waited)
+	}
+
+	// The same connection serves the next call immediately — the read
+	// loop is not stuck behind the abandoned call.
+	if _, err := c.Ping(); err != nil {
+		t.Fatalf("ping while stale response still pending: %v", err)
+	}
+
+	// Let the late response land on the connection; the tombstone must
+	// swallow it without disturbing later calls.
+	time.Sleep(500 * time.Millisecond)
+	if _, err := c.Ping(); err != nil {
+		t.Fatalf("ping after late response arrived: %v", err)
+	}
+}
+
+// TestClientRedialsAfterConnectionCut proves a hard connection loss
+// (every live connection severed mid-stream) heals through the
+// client's transparent redial rather than poisoning the client.
+func TestClientRedialsAfterConnectionCut(t *testing.T) {
+	lw := newLiveWorld(t)
+	p, err := netsim.NewProxy(lw.addr, netsim.Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := Dial(p.Addr(), lw.alice, lw.ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.CallTimeout = 300 * time.Millisecond
+
+	if _, err := c.Ping(); err != nil {
+		t.Fatalf("healthy ping: %v", err)
+	}
+	p.CutAll()
+	recovered := false
+	for i := 0; i < 40 && !recovered; i++ {
+		if _, err := c.Ping(); err == nil {
+			recovered = true
+		} else {
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	if !recovered {
+		t.Fatal("client never recovered after connection cut")
+	}
+}
+
+// TestTornFramesDoNotWedgeServer feeds the server's read loop torn
+// input — a partial frame header, a frame that dies mid-body, and a
+// netsim torn-write connection killed mid-frame without close_notify —
+// and proves the server neither wedges nor leaks an in-flight slot:
+// with MaxInFlight lowered to 2, a healthy client must still complete
+// more concurrent calls than the leaked slots would allow.
+func TestTornFramesDoNotWedgeServer(t *testing.T) {
+	w := newTestWorld(t)
+	lw := newLiveWorldWith(t, w, func(srv *Server) {
+		srv.MaxInFlight = 2
+	})
+
+	// Half a length header, then an orderly close.
+	conn := rawTLSConn(t, lw, lw.alice)
+	if _, err := conn.Write([]byte{0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// A full header promising 64 bytes, only 16 delivered.
+	conn2 := rawTLSConn(t, lw, lw.alice)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 64)
+	if _, err := conn2.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn2.Write(make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	conn2.Close()
+
+	// The netsim variant: TLS over a torn-write wrapper, then the raw
+	// socket dies mid-frame with no close_notify — the server sees a
+	// truncated TLS record stream.
+	cfg, err := pki.ClientTLSConfig(lw.alice, lw.ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := net.DialTimeout("tcp", lw.addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := tls.Client(netsim.WrapConn(raw, netsim.ConnConfig{Seed: 5, Tear: true}), cfg)
+	if err := tc.Handshake(); err != nil {
+		t.Fatal(err)
+	}
+	binary.BigEndian.PutUint32(hdr[:], 200)
+	if _, err := tc.Write(append(hdr[:], make([]byte, 80)...)); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+
+	// If any of the three leaked an in-flight slot, at most one of
+	// these concurrent calls could proceed at a time; a wedged read
+	// loop would hang them outright.
+	c := lw.client(t, lw.alice)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.AccountDetails(lw.aliceAcct.AccountID); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("healthy call failed after torn input: %v", err)
+	}
+}
+
+// flakyUsage is a UsageEngine stub whose Submit refuses the first
+// `fails` calls with ErrOverloaded, then accepts.
+type flakyUsage struct {
+	mu    sync.Mutex
+	fails int
+	calls int
+}
+
+func (f *flakyUsage) Submit(batch []usage.Submission) (*usage.SubmitResult, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.fails > 0 {
+		f.fails--
+		return nil, usage.ErrOverloaded
+	}
+	return &usage.SubmitResult{Accepted: len(batch)}, nil
+}
+func (f *flakyUsage) Status() *usage.Stats { return &usage.Stats{} }
+func (f *flakyUsage) Drain(time.Duration) (*usage.Stats, error) {
+	return &usage.Stats{}, nil
+}
+
+func (f *flakyUsage) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// TestRoutedClientAbsorbsUsageBackpressure pins satellite behavior: an
+// overloaded usage queue is backpressure, not a hard failure. The
+// routed client retries within its budget and succeeds; with retries
+// disabled the same condition surfaces as CodeOverloaded.
+func TestRoutedClientAbsorbsUsageBackpressure(t *testing.T) {
+	lw := newLiveWorld(t)
+	stub := &flakyUsage{fails: 2}
+	lw.bank.SetUsage(stub)
+
+	charges := []usage.Submission{{
+		ID:        "backpressure-1",
+		Drawer:    lw.aliceAcct.AccountID,
+		Recipient: lw.gspAcct.AccountID,
+	}}
+
+	rc, err := NewRoutedClient(lw.client(t, lw.admin), nil, RouteOptions{
+		Retry: RetryPolicy{BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rc.UsageSubmit(charges)
+	if err != nil {
+		t.Fatalf("overloaded queue should be retried, got: %v", err)
+	}
+	if res.Accepted != 1 {
+		t.Fatalf("accepted = %d, want 1", res.Accepted)
+	}
+	if got := stub.callCount(); got != 3 {
+		t.Fatalf("engine saw %d submits, want 3 (2 refusals + 1 success)", got)
+	}
+	if got := rc.RetryCount(); got != 2 {
+		t.Fatalf("RetryCount() = %d, want 2", got)
+	}
+
+	// Same condition with retries off must surface the overload.
+	stub2 := &flakyUsage{fails: 100}
+	lw.bank.SetUsage(stub2)
+	rc2, err := NewRoutedClient(lw.client(t, lw.admin), nil, RouteOptions{
+		Retry: RetryPolicy{Disabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rc2.UsageSubmit(charges)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeOverloaded {
+		t.Fatalf("retries disabled: got %v, want overloaded", err)
+	}
+	if got := stub2.callCount(); got != 1 {
+		t.Fatalf("engine saw %d submits with retries disabled, want 1", got)
+	}
+}
+
+// TestOpenPrimaryCircuitDegradesReadsToReplica drives the graceful
+// degradation path end to end: a replica too stale to pass the
+// staleness bound is skipped while the primary is healthy, but once
+// consecutive timeouts open the primary's circuit, reads fall back to
+// that stale replica — its frozen balance is the proof of who answered.
+func TestOpenPrimaryCircuitDegradesReadsToReplica(t *testing.T) {
+	lw := newLiveWorld(t)
+	acct := lw.aliceAcct.AccountID
+
+	// Freeze the replica at the current balance...
+	sn, err := lw.bank.Ledger().Store().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen, err := db.OpenFromSnapshot(sn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozenDetails, err := lw.bank.Ledger().Details(acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozenBal := frozenDetails.AvailableBalance
+
+	// ...then move the primary past it.
+	if _, err := lw.bank.AdminDeposit(lw.admin.SubjectName(), &AdminAmountRequest{
+		AccountID: acct, Amount: currency.FromG(25),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	repID, err := lw.ca.Issue(pki.IssueOptions{CommonName: "rep", Organization: "VO-A", IsServer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &staticSource{store: frozen, seq: frozen.CurrentSeq(), stale: time.Hour, addr: lw.addr}
+	ro, err := NewReadOnlyBank(src, ReadOnlyBankConfig{Identity: repID, Trust: lw.ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsrv, err := NewReadOnlyServer(ro, repID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsrv.Logf = func(string, ...any) {}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rsrv.Serve(rln)
+	t.Cleanup(func() { rsrv.Close() })
+
+	p, err := netsim.NewProxy(lw.addr, netsim.Config{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	primary, err := Dial(p.Addr(), lw.alice, lw.ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	primary.CallTimeout = 150 * time.Millisecond
+	primary.DialTimeout = time.Second
+	replica, err := Dial(rln.Addr().String(), lw.alice, lw.ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+
+	rc, err := NewRoutedClient(primary, []*Client{replica}, RouteOptions{
+		MaxStaleness:     time.Millisecond, // replica (1h stale) is over the bound
+		StatusInterval:   time.Hour,        // probe once, cache the verdict
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+		Retry:            RetryPolicy{Disabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy: the stale replica is skipped, the primary answers with
+	// the live balance.
+	a, err := rc.AccountDetails(acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvailableBalance != frozenBal+currency.FromG(25) {
+		t.Fatalf("healthy read = %v, want live balance %v", a.AvailableBalance, frozenBal+currency.FromG(25))
+	}
+
+	// Partition the primary: two timeouts open its circuit.
+	p.Partition(true, true)
+	for i := 0; i < 2; i++ {
+		if _, err := rc.AccountDetails(acct); err == nil {
+			t.Fatal("read through a full partition unexpectedly succeeded")
+		}
+	}
+
+	// Circuit open: the read degrades to the stale replica instead of
+	// erroring — the frozen balance proves the replica served it.
+	a, err = rc.AccountDetails(acct)
+	if err != nil {
+		t.Fatalf("degraded read: %v", err)
+	}
+	if a.AvailableBalance != frozenBal {
+		t.Fatalf("degraded read = %v, want frozen replica balance %v", a.AvailableBalance, frozenBal)
+	}
+}
+
+// TestDirectTransferKeyedReplay pins client-visible idempotency: the
+// same key replays the recorded outcome (same transaction, no second
+// debit); a fresh key moves money again.
+func TestDirectTransferKeyedReplay(t *testing.T) {
+	lw := newLiveWorld(t)
+	c := lw.client(t, lw.alice)
+	from, to := lw.aliceAcct.AccountID, lw.gspAcct.AccountID
+
+	avail0, _ := lw.balance(t, from)
+
+	key := NewIdempotencyKey()
+	if key == "" {
+		t.Fatal("NewIdempotencyKey returned empty key")
+	}
+	r1, err := c.DirectTransferKeyed(key, from, to, currency.FromG(5), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.DirectTransferKeyed(key, from, to, currency.FromG(5), "")
+	if err != nil {
+		t.Fatalf("keyed replay: %v", err)
+	}
+	if r2.TransactionID != r1.TransactionID {
+		t.Fatalf("replay minted a new transaction: %d vs %d", r2.TransactionID, r1.TransactionID)
+	}
+	if avail, _ := lw.balance(t, from); avail != avail0-currency.FromG(5) {
+		t.Fatalf("after replay balance = %v, want a single %v debit from %v", avail, currency.FromG(5), avail0)
+	}
+
+	r3, err := c.DirectTransferKeyed(NewIdempotencyKey(), from, to, currency.FromG(5), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.TransactionID == r1.TransactionID {
+		t.Fatal("fresh key replayed the old transaction")
+	}
+	if avail, _ := lw.balance(t, from); avail != avail0-currency.FromG(10) {
+		t.Fatalf("after second transfer balance = %v, want two debits", avail)
+	}
+}

@@ -2,13 +2,65 @@ package core
 
 import (
 	"errors"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gridbank/internal/accounts"
+	"gridbank/internal/currency"
 	"gridbank/internal/shard"
 )
+
+// RetryPolicy governs RoutedClient's automatic retries. Only safe
+// calls are retried: idempotent reads and mutations carrying an
+// idempotency key (DirectTransferKeyed and friends) — a retried keyed
+// mutation replays server-side instead of executing twice. Retryable
+// failures are transport errors (connection lost, call deadline — the
+// op may or may not have run, which is exactly what the key makes
+// safe) and the explicitly-transient codes overloaded, unavailable and
+// deadline_exceeded. Business errors never retry.
+//
+// The token-bucket budget bounds retry amplification under a real
+// outage: every retry spends one token, every success earns
+// BudgetRatio, so sustained failure degrades to roughly BudgetRatio
+// extra load instead of multiplying the storm by MaxAttempts.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempts including the first. Default 4.
+	MaxAttempts int
+	// BaseBackoff is the first retry's delay; each subsequent retry
+	// doubles it (full jitter in [d/2, d]). Default 25ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Default 1s.
+	MaxBackoff time.Duration
+	// BudgetRatio is the retry tokens earned per successful call.
+	// Default 0.1 (≤10% retry amplification under sustained failure).
+	BudgetRatio float64
+	// BudgetBurst caps banked tokens (and is the initial balance).
+	// Default 10.
+	BudgetBurst float64
+	// Disabled switches retries off entirely (single attempt).
+	Disabled bool
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 25 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+	if p.BudgetRatio <= 0 {
+		p.BudgetRatio = 0.1
+	}
+	if p.BudgetBurst <= 0 {
+		p.BudgetBurst = 10
+	}
+	return p
+}
 
 // RouteOptions tune a RoutedClient's read policy.
 type RouteOptions struct {
@@ -25,21 +77,67 @@ type RouteOptions struct {
 	// parallel TLS records and read loops under heavy fan-in. Extra
 	// connections are dialed lazily on first use. Default 1.
 	Conns int
+	// Retry is the retry policy for retry-safe calls (zero value:
+	// defaults; set Retry.Disabled for single attempts).
+	Retry RetryPolicy
+	// BreakerThreshold is the consecutive endpoint-fault count that
+	// opens an endpoint's circuit. Default 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects calls before
+	// admitting probes again. Default 1s.
+	BreakerCooldown time.Duration
+}
+
+// breaker is a per-endpoint circuit breaker. Consecutive endpoint
+// faults (transport failures, unavailable) past the threshold open the
+// circuit: calls are refused locally for the cooldown, shielding a
+// struggling endpoint from pile-on and giving callers an instant
+// answer instead of N timeouts. After the cooldown, calls are admitted
+// again; the first recorded outcome either closes the circuit or
+// re-arms the cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+}
+
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails < b.threshold || !time.Now().Before(b.openUntil)
+}
+
+func (b *breaker) record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil || !endpointFault(err) {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.openUntil = time.Now().Add(b.cooldown)
+	}
 }
 
 // endpoint is one server address's connection pool: the caller-provided
-// client plus Conns-1 lazily-dialed clones, picked round-robin.
+// client plus Conns-1 lazily-dialed clones, picked round-robin, with a
+// circuit breaker tracking the address's health.
 type endpoint struct {
 	cs   []*Client
 	next atomic.Uint32
+	br   *breaker
 }
 
-func newEndpoint(c *Client, conns int) *endpoint {
+func newEndpoint(c *Client, conns int, br *breaker) *endpoint {
 	cs := []*Client{c}
 	for len(cs) < conns {
 		cs = append(cs, c.Clone())
 	}
-	return &endpoint{cs: cs}
+	return &endpoint{cs: cs, br: br}
 }
 
 // pick returns the endpoint's next pooled client.
@@ -99,7 +197,20 @@ type RoutedClient struct {
 	ring     *shard.Ring // nil until the map is loaded, and for 1-shard maps
 	repShard []int       // per-replica shard index; -1 = not yet probed
 	mapOnce  bool        // first map load done
+
+	// Retry budget (token bucket; see RetryPolicy).
+	rmu     sync.Mutex
+	rtokens float64
+
+	// retries counts committed retries — attempts beyond each call's
+	// first. Harnesses divide it by successful calls to measure retry
+	// amplification.
+	retries atomic.Int64
 }
+
+// RetryCount reports how many retries this client has committed so far
+// (attempts beyond each call's first).
+func (r *RoutedClient) RetryCount() int64 { return r.retries.Load() }
 
 // NewRoutedClient builds a routing client over a primary connection and
 // any number of replica connections. With no replicas it degrades to
@@ -119,15 +230,26 @@ func NewRoutedClient(primary *Client, replicas []*Client, opts RouteOptions) (*R
 	if opts.Conns <= 0 {
 		opts.Conns = 1
 	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = 5
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = time.Second
+	}
+	opts.Retry = opts.Retry.withDefaults()
+	newBreaker := func() *breaker {
+		return &breaker{threshold: opts.BreakerThreshold, cooldown: opts.BreakerCooldown}
+	}
 	rc := &RoutedClient{
 		Client:   primary,
-		primary:  newEndpoint(primary, opts.Conns),
+		primary:  newEndpoint(primary, opts.Conns, newBreaker()),
 		opts:     opts,
 		states:   make([]routeState, len(replicas)),
 		repShard: make([]int, len(replicas)),
+		rtokens:  opts.Retry.BudgetBurst,
 	}
 	for _, c := range replicas {
-		rc.replicas = append(rc.replicas, newEndpoint(c, opts.Conns))
+		rc.replicas = append(rc.replicas, newEndpoint(c, opts.Conns, newBreaker()))
 	}
 	for i := range rc.repShard {
 		rc.repShard[i] = -1
@@ -268,6 +390,10 @@ func (r *RoutedClient) readTargetAny() (ep *endpoint, primary bool) {
 	return r.primary, true
 }
 
+// ErrCircuitOpen is returned when an endpoint's circuit breaker is
+// rejecting calls and no alternative endpoint can serve the request.
+var ErrCircuitOpen = errors.New("core: circuit open: endpoint recently failing, call refused locally")
+
 // fallbackWorthy classifies replica-read failures that the primary can
 // absorb: transport errors, a replica mid-bootstrap, a redirect, or a
 // shard miss. Business errors (denied, not found) propagate — they
@@ -282,22 +408,172 @@ func fallbackWorthy(err error) bool {
 	return true // transport-level failure
 }
 
+// retryableErr classifies failures worth retrying: transient server
+// states (overloaded, unavailable, shed-at-deadline — the server did
+// not execute) plus transport-level failures, where the outcome is
+// unknown and only an idempotency key makes the retry safe — which is
+// why retryMutate is reserved for keyed mutations. Business errors
+// (denied, insufficient funds, …) are deterministic and never retried.
+func retryableErr(err error) bool {
+	if errors.Is(err, ErrCircuitOpen) {
+		return true // backing off may outlive the cooldown
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		switch re.Code {
+		case CodeOverloaded, CodeUnavailable, CodeDeadlineExceeded:
+			return true
+		}
+		return false
+	}
+	return true // transport failure or call timeout
+}
+
+// endpointFault classifies failures that indict the endpoint itself
+// for circuit-breaking purposes: transport errors (dial, handshake,
+// receive, call timeout) and a server that says it cannot serve
+// (unavailable). An overloaded usage queue or a business error is a
+// healthy endpoint answering, and a locally-refused call proves
+// nothing new.
+func endpointFault(err error) bool {
+	if errors.Is(err, ErrCircuitOpen) {
+		return false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Code == CodeUnavailable
+	}
+	return true
+}
+
+// earnRetryToken credits the retry budget after a success.
+func (r *RoutedClient) earnRetryToken() {
+	r.rmu.Lock()
+	r.rtokens += r.opts.Retry.BudgetRatio
+	if r.rtokens > r.opts.Retry.BudgetBurst {
+		r.rtokens = r.opts.Retry.BudgetBurst
+	}
+	r.rmu.Unlock()
+}
+
+// takeRetryToken spends one token; false means the budget is exhausted
+// and the retry must not happen (amplification guard).
+func (r *RoutedClient) takeRetryToken() bool {
+	r.rmu.Lock()
+	defer r.rmu.Unlock()
+	if r.rtokens < 1 {
+		return false
+	}
+	r.rtokens--
+	return true
+}
+
+// jitteredBackoff picks uniformly from [d/2, d]: full-jitter decorrelates
+// retry waves from many clients hitting the same fault.
+func jitteredBackoff(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// retryMutate runs one retry-safe primary call under the retry policy:
+// exponential backoff with full jitter, budget-bounded, circuit-broken.
+// Callers guarantee the op is idempotent or carries an idempotency key.
+func (r *RoutedClient) retryMutate(op string, in, out any) error {
+	pol := r.opts.Retry
+	backoff := pol.BaseBackoff
+	var err error
+	for attempt := 1; ; attempt++ {
+		if r.primary.br.allow() {
+			err = r.primary.pick().Call(op, in, out)
+			r.primary.br.record(err)
+			if err == nil {
+				r.earnRetryToken()
+				return nil
+			}
+			if !retryableErr(err) {
+				return err
+			}
+		} else {
+			err = ErrCircuitOpen
+		}
+		if pol.Disabled || attempt >= pol.MaxAttempts || !r.takeRetryToken() {
+			return err
+		}
+		r.retries.Add(1)
+		time.Sleep(jitteredBackoff(backoff))
+		backoff *= 2
+		if backoff > pol.MaxBackoff {
+			backoff = pol.MaxBackoff
+		}
+	}
+}
+
+// breakerCall runs op against ep's pool, feeding the outcome to the
+// endpoint's breaker.
+func breakerCall[T any](ep *endpoint, op func(c *Client) (T, error)) (T, error) {
+	v, err := op(ep.pick())
+	ep.br.record(err)
+	return v, err
+}
+
 // isWrongShard reports a stale-shard-map signal.
 func isWrongShard(err error) bool {
 	var re *RemoteError
 	return errors.As(err, &re) && re.Code == CodeWrongShard
 }
 
+// degradedReplica picks a reachable (breaker-allowed) replica for id,
+// ignoring the staleness bound. Used only when the primary's circuit is
+// open: a bounded-stale read is unobtainable then, and a stale replica
+// answer beats no answer. Shard placement is still honored — a
+// wrong-shard replica cannot serve the account at any staleness.
+func (r *RoutedClient) degradedReplica(id accounts.ID) *endpoint {
+	n := len(r.replicas)
+	if n == 0 {
+		return nil
+	}
+	r.loadMap(false)
+	r.mu.Lock()
+	owner := -1
+	if r.ring != nil {
+		owner = r.ring.ShardFor(string(id))
+	}
+	r.mu.Unlock()
+	for i := 0; i < n; i++ {
+		r.mu.Lock()
+		idx := r.next % n
+		r.next++
+		repShard := r.repShard[idx]
+		r.mu.Unlock()
+		if owner >= 0 && repShard != owner {
+			continue
+		}
+		if r.replicas[idx].br.allow() {
+			return r.replicas[idx]
+		}
+	}
+	return nil
+}
+
 // routedRead runs an account-scoped read with the full routing policy:
 // shard-pool replica first; on a wrong_shard answer refresh the map and
 // retry the re-computed target once; on any fallback-worthy failure
-// finish on the primary.
+// finish on the primary. When the primary's circuit is open, reads
+// degrade to the replica pool (graceful degradation) instead of
+// erroring against an endpoint known to be failing.
 func routedRead[T any](r *RoutedClient, id accounts.ID, op func(c *Client) (T, error)) (T, error) {
 	ep, primary := r.readTargetFor(id)
-	if primary {
-		return op(ep.pick())
+	if primary && !r.primary.br.allow() {
+		if alt := r.degradedReplica(id); alt != nil {
+			ep, primary = alt, false
+		}
 	}
-	v, err := op(ep.pick())
+	if primary {
+		return breakerCall(r.primary, op)
+	}
+	v, err := breakerCall(ep, op)
 	if err == nil || !fallbackWorthy(err) {
 		return v, err
 	}
@@ -309,12 +585,17 @@ func routedRead[T any](r *RoutedClient, id accounts.ID, op func(c *Client) (T, e
 		// stale replica over a different connection.
 		r.loadMap(true)
 		if ep2, p2 := r.readTargetFor(id); !p2 && ep2 != ep {
-			if v2, err2 := op(ep2.pick()); err2 == nil || !fallbackWorthy(err2) {
+			if v2, err2 := breakerCall(ep2, op); err2 == nil || !fallbackWorthy(err2) {
 				return v2, err2
 			}
 		}
 	}
-	return op(r.primary.pick())
+	if !r.primary.br.allow() {
+		// Circuit open and every replica avenue exhausted: surface the
+		// replica's failure rather than piling onto the primary.
+		return v, err
+	}
+	return breakerCall(r.primary, op)
 }
 
 // AccountDetails routes §5.2 Check Balance through a replica of the
@@ -339,13 +620,34 @@ func (r *RoutedClient) AccountStatement(id accounts.ID, start, end time.Time) (*
 // the staleness bound (primary-only on sharded deployments, where no
 // single replica holds the whole bank), falling back to the primary.
 func (r *RoutedClient) AdminListAccounts() ([]accounts.Account, error) {
+	list := func(c *Client) ([]accounts.Account, error) { return c.AdminListAccounts() }
 	ep, primary := r.readTargetAny()
 	if primary {
-		return ep.pick().AdminListAccounts()
+		return breakerCall(r.primary, list)
 	}
-	as, err := ep.pick().AdminListAccounts()
+	as, err := breakerCall(ep, list)
 	if err != nil && fallbackWorthy(err) {
-		return r.primary.pick().AdminListAccounts()
+		return breakerCall(r.primary, list)
 	}
 	return as, err
+}
+
+// DirectTransfer is the retrying, idempotent routed mutation: a fresh
+// idempotency key is pinned once, then the identical request is retried
+// under the retry policy — an ambiguous failure (timeout, dropped
+// connection) replays server-side instead of double-spending.
+func (r *RoutedClient) DirectTransfer(from, to accounts.ID, amount currency.Amount, recipientAddr string) (*DirectTransferResponse, error) {
+	return r.DirectTransferKeyed(NewIdempotencyKey(), from, to, amount, recipientAddr)
+}
+
+// DirectTransferKeyed is DirectTransfer under a caller-chosen
+// idempotency key (reuse the key to make your own retries safe across
+// RoutedClient lifetimes).
+func (r *RoutedClient) DirectTransferKeyed(key string, from, to accounts.ID, amount currency.Amount, recipientAddr string) (*DirectTransferResponse, error) {
+	var out DirectTransferResponse
+	req := &DirectTransferRequest{FromAccountID: from, ToAccountID: to, Amount: amount, RecipientAddress: recipientAddr, IdempotencyKey: key}
+	if err := r.retryMutate(OpDirectTransfer, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }

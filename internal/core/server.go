@@ -410,12 +410,26 @@ func (s *Server) handleConn(raw net.Conn) {
 			writeCh <- resp
 			continue
 		}
+		arrived := time.Now()
 		sem <- struct{}{} // backpressure: cap in-flight work per connection
 		inflight.Add(1)
 		dispatches.Add(1)
 		go func(req *wire.Request) {
 			defer dispatches.Done()
-			resp := s.dispatch(subject, req)
+			// Shed work whose caller has already given up: deadline_ms is
+			// the caller's remaining budget at send time, so if more than
+			// that elapsed while the request sat behind the semaphore and
+			// scheduler, executing it burns ledger work and a MaxInFlight
+			// slot on an answer nobody is waiting for.
+			var resp *wire.Response
+			if req.DeadlineMS > 0 && time.Since(arrived) > time.Duration(req.DeadlineMS)*time.Millisecond {
+				resp = &wire.Response{
+					ID: req.ID, OK: false, Code: CodeDeadlineExceeded,
+					Error: fmt.Sprintf("request shed: caller deadline of %dms elapsed before dispatch", req.DeadlineMS),
+				}
+			} else {
+				resp = s.dispatch(subject, req)
+			}
 			inflight.Add(-1)
 			lastActive.Store(time.Now().UnixNano())
 			// Queue before releasing the slot: a peer that sends but

@@ -224,10 +224,16 @@ func (c *Client) UsageStatus() (*usage.Stats, error) {
 }
 
 // UsageDrain blocks until the pipeline settles everything pending
-// (administrator caller).
+// (administrator caller). The call's own deadline is stretched past the
+// server-side drain window so a long legitimate drain is not cut off by
+// the default CallTimeout.
 func (c *Client) UsageDrain(timeout time.Duration) (*usage.Stats, error) {
+	serverSide := timeout
+	if serverSide <= 0 {
+		serverSide = 30 * time.Second // the server's own default drain window
+	}
 	var out UsageDrainResponse
-	if err := c.call(OpUsageDrain, &UsageDrainRequest{Timeout: timeout}, &out); err != nil {
+	if err := c.callWithTimeout(OpUsageDrain, &UsageDrainRequest{Timeout: timeout}, &out, serverSide+30*time.Second); err != nil {
 		return nil, err
 	}
 	return &out.Stats, nil
@@ -239,9 +245,17 @@ func (c *Client) UsageDrain(timeout time.Duration) (*usage.Stats, error) {
 // and the pipeline state lives only there. The explicit overrides keep
 // that guarantee even if replica routing grows more aggressive.
 
-// UsageSubmit submits a usage batch to the primary.
+// UsageSubmit submits a usage batch to the primary under the retry
+// policy: overloaded backpressure is absorbed with backoff within the
+// retry budget instead of surfacing as a hard error (re-submission is
+// idempotent per submission ID, so transport-ambiguous failures retry
+// safely too).
 func (r *RoutedClient) UsageSubmit(charges []usage.Submission) (*usage.SubmitResult, error) {
-	return r.Client.UsageSubmit(charges)
+	var out UsageSubmitResponse
+	if err := r.retryMutate(OpUsageSubmit, &UsageSubmitRequest{Charges: charges}, &out); err != nil {
+		return nil, err
+	}
+	return &out.Result, nil
 }
 
 // UsageStatus reads pipeline state from the primary.

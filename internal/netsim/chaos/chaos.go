@@ -1,0 +1,623 @@
+// Package chaos is the end-to-end resilience harness: it stands up a
+// sharded, replicated, usage-enabled GridBank deployment, interposes
+// netsim fault proxies on the client and replication links, runs a
+// randomized keyed-transfer + usage workload while partitions, cuts,
+// torn frames and duplicated bytes fire, then heals the network,
+// re-drives every ambiguous operation under its original idempotency
+// key, and asserts the invariants that must hold under any fault
+// interleaving:
+//
+//   - exact conservation: the sharded ledger's total balance equals the
+//     sum of deposits, to the micro-credit;
+//   - exactly-once application: every operation the harness issued was
+//     applied exactly once — a retried keyed DirectTransfer never
+//     double-spends, a resubmitted usage batch never double-settles —
+//     checked by replaying the harness's own account model against the
+//     ledger;
+//   - zero escrow leakage: no 2PC cross-shard escrow survives the run;
+//   - convergence: replicas reach the primary's sequence after the
+//     partitions heal and agree with it on account state.
+//
+// Run is exported (not test-only) so cmd/experiments can sweep fault
+// rate × retry policy over the same harness the tests pin.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"gridbank"
+	"gridbank/internal/netsim"
+)
+
+// Config parameterizes one chaos run. The zero value of every field
+// takes a default; Seed 0 is a valid (and deterministic) seed.
+type Config struct {
+	// Seed drives the workload, the fault driver and every proxy's
+	// fault schedule. Failure reports include it.
+	Seed int64
+	// Duration is the chaos window the workload runs for. Default 2s.
+	Duration time.Duration
+	// Workers is the number of concurrent transfer clients, each with
+	// its own funded account. Default 4.
+	Workers int
+	// Shards is the shard count. Default 3.
+	Shards int
+	// Replicas is the read-replica count, assigned round-robin over the
+	// shards, each following its shard through a fault proxy. Default 3.
+	Replicas int
+	// UsageJobs is how many usage charges are submitted during the
+	// chaos window (and resubmitted wholesale afterwards — intake dedup
+	// by submission ID makes the blanket resubmit safe). Default 16.
+	UsageJobs int
+	// Faults is the byte-level fault profile of the client link (its
+	// Seed field is overridden with a value derived from Seed). The
+	// replication links get transparent proxies — their faulting is the
+	// driver's partition windows — so post-heal convergence failures
+	// indict the ledger, not a still-faulty pipe.
+	Faults netsim.Config
+	// PartitionEvery is the mean gap between fault-driver events
+	// (partition windows of 100–300ms on a random link, occasionally a
+	// CutAll on the client link). Default 250ms; negative disables the
+	// driver.
+	PartitionEvery time.Duration
+	// RetryDisabled turns off the routed client's retry policy — the
+	// baseline arm of the retry sweep.
+	RetryDisabled bool
+	// CallTimeout is the per-call deadline of the chaos clients.
+	// Default 800ms.
+	CallTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Shards <= 0 {
+		c.Shards = 3
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.UsageJobs <= 0 {
+		c.UsageJobs = 16
+	}
+	if c.PartitionEvery == 0 {
+		c.PartitionEvery = 250 * time.Millisecond
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 800 * time.Millisecond
+	}
+	return c
+}
+
+// Result carries a run's metrics. Invariant violations are returned as
+// errors from Run, not encoded here.
+type Result struct {
+	Seed         int64
+	AckedOps     int           // transfers acknowledged inside the chaos window
+	AmbiguousOps int           // transfers whose outcome was unknown at the deadline
+	Redriven     int           // ambiguous transfers re-driven post-heal (all of them)
+	Retries      int64         // committed client-side retries (amplification numerator)
+	Duration     time.Duration // chaos window actually run
+	GoodputOps   float64       // acked transfers per second during chaos
+	P50, P99     time.Duration // latency of acked transfers
+}
+
+// op is one intended transfer: the idempotency key pins it, so issuing
+// it again after an ambiguous failure cannot apply it twice.
+type op struct {
+	key    string
+	from   gridbank.AccountID
+	to     gridbank.AccountID
+	amount gridbank.Amount
+	acked  bool
+}
+
+// Run executes one seeded chaos run and checks every invariant,
+// returning metrics on success and a seed-stamped error on the first
+// violation.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	fail := func(format string, a ...any) error {
+		return fmt.Errorf("chaos seed %d: %s", cfg.Seed, fmt.Sprintf(format, a...))
+	}
+
+	dep, err := gridbank.NewDeployment(gridbank.DeploymentConfig{VO: "VO-Chaos"})
+	if err != nil {
+		return nil, fail("deployment: %v", err)
+	}
+	defer dep.Close()
+	if err := dep.EnableSharding(cfg.Shards); err != nil {
+		return nil, fail("sharding: %v", err)
+	}
+	if _, err := dep.EnableUsage(gridbank.UsageOptions{Workers: 2, BatchSize: 16}); err != nil {
+		return nil, fail("usage: %v", err)
+	}
+
+	// Replication links ride transparent proxies the driver partitions.
+	var proxies []*netsim.Proxy
+	defer func() {
+		for _, p := range proxies {
+			p.Close()
+		}
+	}()
+	var repProxies []*netsim.Proxy
+	for i := 0; i < cfg.Replicas; i++ {
+		shardIdx := i % cfg.Shards
+		pub, err := dep.PublisherAddr(shardIdx)
+		if err != nil {
+			return nil, fail("publisher shard %d: %v", shardIdx, err)
+		}
+		rp, err := netsim.NewProxy(pub, netsim.Config{Seed: cfg.Seed + 1000 + int64(i)})
+		if err != nil {
+			return nil, fail("replica proxy: %v", err)
+		}
+		proxies = append(proxies, rp)
+		repProxies = append(repProxies, rp)
+		if _, err := dep.AddShardReplicaAt(fmt.Sprintf("chaos-rep-%d", i), shardIdx, rp.Addr()); err != nil {
+			return nil, fail("replica %d: %v", i, err)
+		}
+	}
+
+	// The client link carries the full byte-fault profile.
+	fcfg := cfg.Faults
+	fcfg.Seed = cfg.Seed
+	cliProxy, err := netsim.NewProxy(dep.Addr(), fcfg)
+	if err != nil {
+		return nil, fail("client proxy: %v", err)
+	}
+	proxies = append(proxies, cliProxy)
+
+	// Identities, accounts, funding — over the direct (healthy) link.
+	admin, err := dep.Dial(dep.Banker)
+	if err != nil {
+		return nil, fail("admin dial: %v", err)
+	}
+	defer admin.Close()
+	users := make([]*gridbank.Identity, cfg.Workers)
+	accts := make([]gridbank.AccountID, cfg.Workers)
+	const fund = 1_000_000 // G$ per funded account; large enough that insufficient_funds cannot occur
+	for i := range users {
+		u, err := dep.NewUser(fmt.Sprintf("chaos-w%d", i))
+		if err != nil {
+			return nil, fail("user %d: %v", i, err)
+		}
+		users[i] = u
+		c, err := dep.Dial(u)
+		if err != nil {
+			return nil, fail("dial %d: %v", i, err)
+		}
+		a, err := c.CreateAccount("VO-Chaos", gridbank.GridDollar)
+		c.Close()
+		if err != nil {
+			return nil, fail("account %d: %v", i, err)
+		}
+		accts[i] = a.AccountID
+		if err := admin.AdminDeposit(a.AccountID, gridbank.G(fund)); err != nil {
+			return nil, fail("fund %d: %v", i, err)
+		}
+	}
+	consumer, consumerID, gspAcct, gspID, err := usageAccounts(dep, admin, gridbank.G(fund))
+	if err != nil {
+		return nil, fail("%v", err)
+	}
+	owners := make(map[gridbank.AccountID]*gridbank.Identity, cfg.Workers+2)
+	for i, a := range accts {
+		owners[a] = users[i]
+	}
+	owners[consumer] = consumerID
+	owners[gspAcct] = gspID
+
+	led := dep.Sharded()
+	// Consistent hashing may leave a shard with none of the accounts
+	// above; give every shard at least one account so the convergence
+	// check can read each replica meaningfully.
+	covered := make(map[int]bool)
+	for a := range owners {
+		covered[led.ShardFor(a)] = true
+	}
+	for i := 0; len(covered) < cfg.Shards && i < 64; i++ {
+		u, err := dep.NewUser(fmt.Sprintf("chaos-probe-%d", i))
+		if err != nil {
+			return nil, fail("probe user: %v", err)
+		}
+		c, err := dep.Dial(u)
+		if err != nil {
+			return nil, fail("probe dial: %v", err)
+		}
+		a, err := c.CreateAccount("VO-Chaos", gridbank.GridDollar)
+		c.Close()
+		if err != nil {
+			return nil, fail("probe account: %v", err)
+		}
+		owners[a.AccountID] = u
+		covered[led.ShardFor(a.AccountID)] = true
+	}
+	if len(covered) < cfg.Shards {
+		return nil, fail("could not place an account on every shard")
+	}
+
+	total0, err := led.TotalBalance()
+	if err != nil {
+		return nil, fail("total balance: %v", err)
+	}
+
+	// Routed chaos clients: primary through the fault proxy, replicas
+	// direct (reads cannot violate money invariants; the replication
+	// stream itself is already faulted).
+	ropts := gridbank.RouteOptions{
+		MaxStaleness:    2 * time.Second,
+		BreakerCooldown: 250 * time.Millisecond,
+		Retry:           gridbank.RetryPolicy{Disabled: cfg.RetryDisabled},
+	}
+	dialRouted := func(id *gridbank.Identity) (*gridbank.RoutedClient, error) {
+		primary, err := gridbank.Dial(cliProxy.Addr(), id, dep.Trust)
+		if err != nil {
+			return nil, err
+		}
+		primary.DialTimeout = 2 * time.Second
+		primary.CallTimeout = cfg.CallTimeout
+		var reps []*gridbank.Client
+		for _, r := range dep.Replicas() {
+			c, err := gridbank.Dial(r.Addr(), id, dep.Trust)
+			if err != nil {
+				primary.Close()
+				return nil, err
+			}
+			reps = append(reps, c)
+		}
+		return gridbank.NewRoutedClient(primary, reps, ropts)
+	}
+
+	// The fault driver: partition windows on random links, occasional
+	// hard connection cuts on the client link.
+	driverStop := make(chan struct{})
+	var driverWG sync.WaitGroup
+	if cfg.PartitionEvery > 0 {
+		driverWG.Add(1)
+		go func() {
+			defer driverWG.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+			links := append(append([]*netsim.Proxy(nil), repProxies...), cliProxy)
+			for {
+				gap := cfg.PartitionEvery/2 + time.Duration(rng.Int63n(int64(cfg.PartitionEvery)))
+				select {
+				case <-driverStop:
+					return
+				case <-time.After(gap):
+				}
+				if rng.Float64() < 0.1 {
+					cliProxy.CutAll()
+					continue
+				}
+				p := links[rng.Intn(len(links))]
+				dir := rng.Intn(3)
+				p.Partition(dir != 1, dir != 0) // c2s, s2c or both
+				window := 100*time.Millisecond + time.Duration(rng.Int63n(int64(200*time.Millisecond)))
+				select {
+				case <-driverStop:
+					p.Heal()
+					return
+				case <-time.After(window):
+				}
+				p.Heal()
+			}
+		}()
+	}
+
+	// Chaos window: workers fire keyed transfers from their own account
+	// to random others; the usage submitter streams charge batches.
+	var (
+		wg            sync.WaitGroup
+		workerOps     = make([][]op, cfg.Workers)
+		workerErr     = make([]error, cfg.Workers)
+		workerRetries = make([]int64, cfg.Workers)
+		latMu         sync.Mutex
+		lats          []time.Duration
+	)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rc, err := dialRouted(users[w])
+			if err != nil {
+				workerErr[w] = err
+				return
+			}
+			defer rc.Close()
+			defer func() { workerRetries[w] = rc.RetryCount() }()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			for i := 0; time.Now().Before(deadline); i++ {
+				to := accts[rng.Intn(len(accts))]
+				if to == accts[w] {
+					to = consumer
+				}
+				o := op{
+					key:    fmt.Sprintf("chaos-%d-w%d-%d", cfg.Seed, w, i),
+					from:   accts[w],
+					to:     to,
+					amount: gridbank.Micro(1 + rng.Int63n(1_000_000)),
+				}
+				t0 := time.Now()
+				_, err := rc.DirectTransferKeyed(o.key, o.from, o.to, o.amount, "")
+				if err == nil {
+					o.acked = true
+					latMu.Lock()
+					lats = append(lats, time.Since(t0))
+					latMu.Unlock()
+				}
+				workerOps[w] = append(workerOps[w], o)
+				// Occasionally read through the routed path so the
+				// breaker/degraded-read machinery sees traffic too.
+				if i%16 == 15 {
+					rc.AccountDetails(accts[w]) //nolint:errcheck — reads can't break invariants
+				}
+				time.Sleep(time.Duration(rng.Intn(2_000_000))) // 0–2ms pacing
+			}
+		}(w)
+	}
+	subs := usageBatch(cfg, consumer, gspAcct)
+	var retries int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rc, err := dialRouted(dep.Banker)
+		if err != nil {
+			return // the post-heal blanket resubmit covers everything
+		}
+		defer rc.Close()
+		defer func() { retries = rc.RetryCount() }()
+		for i := 0; i < len(subs) && time.Now().Before(deadline); i += 4 {
+			end := i + 4
+			if end > len(subs) {
+				end = len(subs)
+			}
+			rc.UsageSubmit(subs[i:end]) //nolint:errcheck — intake dedup makes the resubmit safe
+		}
+	}()
+	wg.Wait()
+	chaosDur := time.Since(start)
+	close(driverStop)
+	driverWG.Wait()
+	for _, p := range proxies {
+		p.Heal()
+	}
+	for w, err := range workerErr {
+		if err != nil {
+			return nil, fail("worker %d never started: %v", w, err)
+		}
+	}
+
+	// Reconcile over the healthy link: re-drive every ambiguous
+	// transfer under its original key (replays server-side if the
+	// original executed), resubmit the whole usage batch, drain.
+	for _, n := range workerRetries {
+		retries += n
+	}
+	res := &Result{Seed: cfg.Seed, Duration: chaosDur, Retries: retries}
+	for w := range workerOps {
+		direct, err := dep.Dial(users[w])
+		if err != nil {
+			return nil, fail("reconcile dial %d: %v", w, err)
+		}
+		for i := range workerOps[w] {
+			o := &workerOps[w][i]
+			if o.acked {
+				res.AckedOps++
+				continue
+			}
+			res.AmbiguousOps++
+			if _, err := rc2Transfer(direct, o); err != nil {
+				direct.Close()
+				return nil, fail("re-drive %s: %v", o.key, err)
+			}
+			res.Redriven++
+		}
+		direct.Close()
+	}
+	if _, err := admin.UsageSubmit(subs); err != nil {
+		return nil, fail("usage resubmit: %v", err)
+	}
+	st, err := admin.UsageDrain(30 * time.Second)
+	if err != nil {
+		return nil, fail("usage drain: %v", err)
+	}
+	if st.Pending != 0 {
+		return nil, fail("usage pipeline not drained: %+v", st)
+	}
+	if st.Settled != uint64(len(subs)) {
+		return nil, fail("usage settled %d times, want exactly %d (duplicate settlement?)", st.Settled, len(subs))
+	}
+
+	// Invariants.
+	if err := checkMoney(cfg, dep, admin, total0, workerOps, accts, consumer, gspAcct, len(subs), fund); err != nil {
+		return nil, err
+	}
+	if err := checkReplicas(cfg, dep, owners); err != nil {
+		return nil, err
+	}
+
+	res.GoodputOps = float64(res.AckedOps) / chaosDur.Seconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if n := len(lats); n > 0 {
+		res.P50 = lats[n/2]
+		res.P99 = lats[n*99/100]
+	}
+	return res, nil
+}
+
+// rc2Transfer re-drives one op over a direct client.
+func rc2Transfer(c *gridbank.Client, o *op) (any, error) {
+	return c.DirectTransferKeyed(o.key, o.from, o.to, o.amount, "")
+}
+
+// checkMoney asserts conservation, exactly-once application and zero
+// escrow leakage by replaying the harness's op log into a local model
+// and comparing every account.
+func checkMoney(cfg Config, dep *gridbank.Deployment, admin *gridbank.Client, total0 gridbank.Amount,
+	workerOps [][]op, accts []gridbank.AccountID, consumer, gspAcct gridbank.AccountID, usageJobs, fund int) error {
+	fail := func(format string, a ...any) error {
+		return fmt.Errorf("chaos seed %d: %s", cfg.Seed, fmt.Sprintf(format, a...))
+	}
+	led := dep.Sharded()
+	total1, err := led.TotalBalance()
+	if err != nil {
+		return fail("total balance: %v", err)
+	}
+	if total0 != total1 {
+		return fail("conservation violated: total %s -> %s", total0, total1)
+	}
+	esc, err := led.PendingEscrow()
+	if err != nil {
+		return fail("pending escrow: %v", err)
+	}
+	if esc != 0 {
+		return fail("2PC escrow leaked: %s still pending after heal", esc)
+	}
+	model := make(map[gridbank.AccountID]gridbank.Amount)
+	for _, a := range accts {
+		model[a] = gridbank.G(int64(fund))
+	}
+	model[consumer] = gridbank.G(int64(fund))
+	model[gspAcct] = 0
+	for _, ops := range workerOps {
+		for _, o := range ops {
+			model[o.from] -= o.amount
+			model[o.to] += o.amount
+		}
+	}
+	model[consumer] -= gridbank.G(int64(usageJobs)) // 1 G$ per settled job
+	model[gspAcct] += gridbank.G(int64(usageJobs))
+	for id, want := range model {
+		a, err := admin.AccountDetails(id)
+		if err != nil {
+			return fail("details %s: %v", id, err)
+		}
+		if a.AvailableBalance != want {
+			return fail("account %s: balance %s, model says %s (an op applied zero or two times)",
+				id, a.AvailableBalance, want)
+		}
+	}
+	return nil
+}
+
+// checkReplicas asserts every replica converges to its shard's current
+// sequence and agrees with the model-verified primary on the accounts
+// of its shard. Replica reads authenticate as each account's owner —
+// the replica enforces the same ownership rule as the primary, and its
+// read-only bank carries no admin list.
+func checkReplicas(cfg Config, dep *gridbank.Deployment, owners map[gridbank.AccountID]*gridbank.Identity) error {
+	fail := func(format string, a ...any) error {
+		return fmt.Errorf("chaos seed %d: %s", cfg.Seed, fmt.Sprintf(format, a...))
+	}
+	if err := dep.SyncReplicas(15 * time.Second); err != nil {
+		return fail("replicas failed to converge after heal: %v", err)
+	}
+	led := dep.Sharded()
+	for i, r := range dep.Replicas() {
+		checked := false
+		for acct, owner := range owners {
+			if led.ShardFor(acct) != r.Shard {
+				continue
+			}
+			c, err := gridbank.Dial(r.Addr(), owner, dep.Trust)
+			if err != nil {
+				return fail("dial replica %d: %v", i, err)
+			}
+			got, err := c.AccountDetails(acct)
+			c.Close()
+			if err != nil {
+				return fail("replica %d read %s: %v", i, acct, err)
+			}
+			want, err := led.Details(acct)
+			if err != nil {
+				return fail("primary read %s: %v", acct, err)
+			}
+			if got.AvailableBalance != want.AvailableBalance {
+				return fail("replica %d diverged on %s: %s, primary %s",
+					i, acct, got.AvailableBalance, want.AvailableBalance)
+			}
+			checked = true
+		}
+		if !checked {
+			return fail("replica %d: no harness account landed on shard %d to verify", i, r.Shard)
+		}
+	}
+	return nil
+}
+
+// usageAccounts creates the usage consumer (funded drawer) and GSP
+// (recipient) accounts, returning their identities for replica-side
+// owner-authenticated reads.
+func usageAccounts(dep *gridbank.Deployment, admin *gridbank.Client, fund gridbank.Amount) (consumer gridbank.AccountID, consumerID *gridbank.Identity, gsp gridbank.AccountID, gspID *gridbank.Identity, err error) {
+	mk := func(name string) (gridbank.AccountID, *gridbank.Identity, error) {
+		u, err := dep.NewUser(name)
+		if err != nil {
+			return "", nil, err
+		}
+		c, err := dep.Dial(u)
+		if err != nil {
+			return "", nil, err
+		}
+		defer c.Close()
+		a, err := c.CreateAccount("VO-Chaos", gridbank.GridDollar)
+		if err != nil {
+			return "", nil, err
+		}
+		return a.AccountID, u, nil
+	}
+	if consumer, consumerID, err = mk("chaos-consumer"); err != nil {
+		return "", nil, "", nil, fmt.Errorf("consumer account: %w", err)
+	}
+	if err = admin.AdminDeposit(consumer, fund); err != nil {
+		return "", nil, "", nil, fmt.Errorf("fund consumer: %w", err)
+	}
+	if gsp, gspID, err = mk("chaos-gsp"); err != nil {
+		return "", nil, "", nil, fmt.Errorf("gsp account: %w", err)
+	}
+	return consumer, consumerID, gsp, gspID, nil
+}
+
+// usageBatch builds cfg.UsageJobs priced one-CPU-hour charges (1 G$
+// each at the flat rate card) from consumer to gspAcct.
+func usageBatch(cfg Config, consumer, gspAcct gridbank.AccountID) []gridbank.UsageSubmission {
+	rates := map[gridbank.UsageItem]gridbank.Rate{gridbank.ItemCPU: gridbank.PerHour(1_000_000)}
+	for _, item := range gridbank.AllUsageItems {
+		if _, ok := rates[item]; !ok {
+			rates[item] = gridbank.ZeroRate
+		}
+	}
+	card := &gridbank.RateCard{Provider: "chaos-gsp", Currency: gridbank.GridDollar, Rates: rates}
+	now := time.Now()
+	subs := make([]gridbank.UsageSubmission, 0, cfg.UsageJobs)
+	for i := 0; i < cfg.UsageJobs; i++ {
+		id := fmt.Sprintf("uchaos-%d-%d", cfg.Seed, i)
+		var rec gridbank.UsageRecord
+		rec.User.CertificateName = "chaos-consumer"
+		rec.Job.JobID = id
+		rec.Job.Application = "chaos"
+		rec.Job.Start = now.Add(-time.Hour)
+		rec.Job.End = now
+		rec.Resource.Host = "h"
+		rec.Resource.CertificateName = "chaos-gsp"
+		rec.Resource.LocalJobID = "pid"
+		rec.SetQuantity(gridbank.ItemCPU, 3600)
+		raw, err := gridbank.EncodeUsageRecord(&rec, gridbank.UsageFormatJSON)
+		if err != nil {
+			panic(err) // static record shape; cannot fail
+		}
+		subs = append(subs, gridbank.UsageSubmission{
+			ID: id, Drawer: consumer, Recipient: gspAcct, RUR: raw, Rates: card,
+		})
+	}
+	return subs
+}

@@ -1,0 +1,76 @@
+package netsim
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+)
+
+// ConnConfig sets a wrapped connection's write-side faults.
+type ConnConfig struct {
+	// Seed drives the fragmentation schedule.
+	Seed int64
+	// Tear fragments every Write into 1–8 byte pieces: the peer's
+	// reader observes partial frames mid-read.
+	Tear bool
+	// CutAfter, when positive, closes the underlying connection after
+	// that many bytes have been written — the byte-budget version of a
+	// client dying mid-frame.
+	CutAfter int
+}
+
+// Conn wraps a net.Conn with torn/cut writes. Unlike Proxy it sits
+// inside the process, so a test can place it beneath a TLS client and
+// tear the record stream itself.
+type Conn struct {
+	net.Conn
+	cfg ConnConfig
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	written int
+	cut     bool
+}
+
+// WrapConn wraps c.
+func WrapConn(c net.Conn, cfg ConnConfig) *Conn {
+	return &Conn{Conn: c, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Write implements net.Conn, applying the fault schedule.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cut {
+		return 0, io.ErrClosedPipe
+	}
+	total := 0
+	for len(p) > 0 {
+		n := len(p)
+		if c.cfg.Tear {
+			n = 1 + c.rng.Intn(8)
+			if n > len(p) {
+				n = len(p)
+			}
+		}
+		if c.cfg.CutAfter > 0 && c.written+n > c.cfg.CutAfter {
+			n = c.cfg.CutAfter - c.written
+		}
+		if n > 0 {
+			w, err := c.Conn.Write(p[:n])
+			total += w
+			c.written += w
+			if err != nil {
+				return total, err
+			}
+			p = p[n:]
+		}
+		if c.cfg.CutAfter > 0 && c.written >= c.cfg.CutAfter {
+			c.cut = true
+			c.Conn.Close()
+			return total, io.ErrClosedPipe
+		}
+	}
+	return total, nil
+}

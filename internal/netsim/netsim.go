@@ -1,0 +1,262 @@
+// Package netsim is the network-fault sibling of shard/simtest: where
+// simtest kills processes at durable boundaries, netsim misbehaves the
+// wire between them. It provides a TCP proxy and a net.Conn wrapper
+// that inject seeded latency, mid-frame cuts, torn (fragmented) writes,
+// duplicate delivery and directional partitions, so the resilience
+// stack (deadlines, idempotent retry, circuit breaking) can be driven
+// through the failures a wide-area grid actually produces.
+//
+// Determinism: every (connection, direction) pair derives its own
+// rand.Rand from Config.Seed, so its fault schedule is a pure function
+// of (seed, connection index, direction, chunk sequence). Wall-clock
+// interleaving across connections still varies run to run — the
+// invariants the chaos harness asserts are exactly the ones that must
+// hold under any interleaving.
+//
+// The proxy forwards raw bytes, which on a TLS stream means faults act
+// below the record layer: cuts and tears surface as torn TLS records
+// and dead connections, while duplicated bytes break the record MAC
+// sequence and degrade to a cut. Byte-level duplicate delivery is
+// therefore only observable on plaintext streams; duplicate *request*
+// delivery on TLS deployments is exercised one layer up, by client
+// retries replaying idempotency-keyed requests.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets a Proxy's fault profile. The zero value forwards
+// faithfully (a transparent proxy that can still Partition/CutAll).
+type Config struct {
+	// Seed anchors every derived fault schedule.
+	Seed int64
+	// Latency is a fixed extra one-way delay per forwarded chunk.
+	Latency time.Duration
+	// Jitter adds a uniform [0, Jitter) delay on top of Latency.
+	Jitter time.Duration
+	// CutProb is the per-chunk probability the connection is cut midway
+	// through the chunk: the peer sees a torn prefix, then EOF.
+	CutProb float64
+	// TearProb is the per-chunk probability of torn delivery: the chunk
+	// arrives complete but as many tiny writes, so readers observe
+	// partial frames mid-read.
+	TearProb float64
+	// DupProb is the per-chunk probability the chunk's bytes are
+	// delivered twice (plaintext streams; on TLS this degrades to a
+	// cut, see the package comment).
+	DupProb float64
+}
+
+// Proxy is a faulty TCP relay in front of one target address.
+type Proxy struct {
+	target string
+	cfg    Config
+	ln     net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	nconn  int64
+	closed bool
+
+	dropAB atomic.Bool // drop client→server bytes (blackhole, conn stays up)
+	dropBA atomic.Bool // drop server→client bytes
+
+	wg sync.WaitGroup
+}
+
+// NewProxy starts a proxy listening on a fresh loopback port, relaying
+// every accepted connection to target under cfg's fault profile.
+func NewProxy(target string, cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netsim: listen: %w", err)
+	}
+	p := &Proxy{target: target, cfg: cfg, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients dial instead of the target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Partition blackholes the given directions: bytes are read and
+// discarded, so both endpoints keep a live socket that silently loses
+// traffic — the failure mode deadlines exist for. Delivery resumes on
+// Heal (bytes dropped meanwhile are gone forever, as on a real
+// partition).
+func (p *Proxy) Partition(clientToServer, serverToClient bool) {
+	p.dropAB.Store(clientToServer)
+	p.dropBA.Store(serverToClient)
+}
+
+// Heal ends a Partition.
+func (p *Proxy) Heal() { p.Partition(false, false) }
+
+// CutAll hard-closes every live relayed connection (both sides), while
+// the proxy keeps accepting new ones — a transient total connection
+// loss that clients must redial through.
+func (p *Proxy) CutAll() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Close stops the proxy and severs every relayed connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.CutAll()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		server, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			client.Close()
+			server.Close()
+			return
+		}
+		idx := p.nconn
+		p.nconn++
+		p.conns[client] = struct{}{}
+		p.conns[server] = struct{}{}
+		p.wg.Add(2)
+		p.mu.Unlock()
+		go p.pump(server, client, &p.dropAB, dirRNG(p.cfg.Seed, idx, 0))
+		go p.pump(client, server, &p.dropBA, dirRNG(p.cfg.Seed, idx, 1))
+	}
+}
+
+// dirRNG derives the (connection, direction) fault-schedule generator
+// from the base seed via a splitmix64 round, so neighbouring indices do
+// not produce correlated streams.
+func dirRNG(seed, conn int64, dir int64) *rand.Rand {
+	z := uint64(seed) + uint64(conn)*0x9e3779b97f4a7c15 + uint64(dir)*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return rand.New(rand.NewSource(int64(z ^ (z >> 31))))
+}
+
+// faultPlan is one chunk's fate, drawn up front so the schedule depends
+// only on the rng stream and chunk size.
+type faultPlan struct {
+	delay time.Duration
+	cut   bool
+	cutAt int
+	tear  bool
+	dup   bool
+}
+
+func (p *Proxy) plan(rng *rand.Rand, n int) faultPlan {
+	var fp faultPlan
+	fp.delay = p.cfg.Latency
+	if p.cfg.Jitter > 0 {
+		fp.delay += time.Duration(rng.Int63n(int64(p.cfg.Jitter)))
+	}
+	if p.cfg.CutProb > 0 && rng.Float64() < p.cfg.CutProb {
+		fp.cut = true
+		fp.cutAt = rng.Intn(n + 1)
+	}
+	if p.cfg.TearProb > 0 && rng.Float64() < p.cfg.TearProb {
+		fp.tear = true
+	}
+	if p.cfg.DupProb > 0 && rng.Float64() < p.cfg.DupProb {
+		fp.dup = true
+	}
+	return fp
+}
+
+// pump relays src→dst, applying the fault schedule chunk by chunk.
+// Either side dying (or a scheduled cut) tears down both.
+func (p *Proxy) pump(dst, src net.Conn, drop *atomic.Bool, rng *rand.Rand) {
+	defer p.wg.Done()
+	defer func() {
+		src.Close()
+		dst.Close()
+		p.mu.Lock()
+		delete(p.conns, src)
+		delete(p.conns, dst)
+		p.mu.Unlock()
+	}()
+	buf := make([]byte, 16<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if drop.Load() {
+				// Partitioned: the bytes vanish, the socket lives.
+			} else if !p.deliver(dst, buf[:n], rng) {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// deliver forwards one chunk under its fault plan; false cuts the
+// connection.
+func (p *Proxy) deliver(dst net.Conn, b []byte, rng *rand.Rand) bool {
+	fp := p.plan(rng, len(b))
+	if fp.delay > 0 {
+		time.Sleep(fp.delay)
+	}
+	if fp.cut {
+		if fp.cutAt > 0 {
+			dst.Write(b[:fp.cutAt]) // the peer sees a torn prefix, then EOF
+		}
+		return false
+	}
+	write := func(c []byte) bool {
+		if !fp.tear {
+			_, err := dst.Write(c)
+			return err == nil
+		}
+		for len(c) > 0 {
+			frag := 1 + rng.Intn(8)
+			if frag > len(c) {
+				frag = len(c)
+			}
+			if _, err := dst.Write(c[:frag]); err != nil {
+				return false
+			}
+			c = c[frag:]
+		}
+		return true
+	}
+	if !write(b) {
+		return false
+	}
+	if fp.dup {
+		return write(b)
+	}
+	return true
+}

@@ -1,0 +1,307 @@
+package netsim
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until EOF.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// sinkServer accepts connections and appends everything received to a
+// shared buffer.
+func sinkServer(t *testing.T) (addr string, received func() []byte) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				tmp := make([]byte, 4096)
+				for {
+					n, err := c.Read(tmp)
+					if n > 0 {
+						mu.Lock()
+						buf.Write(tmp[:n])
+						mu.Unlock()
+					}
+					if err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() []byte {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]byte(nil), buf.Bytes()...)
+	}
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestProxyTransparent(t *testing.T) {
+	p, err := NewProxy(echoServer(t), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	msg := []byte("hello through the proxy")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q, want %q", got, msg)
+	}
+}
+
+// TestProxyTearPreservesStream: torn delivery fragments writes but
+// never loses or reorders a byte.
+func TestProxyTearPreservesStream(t *testing.T) {
+	p, err := NewProxy(echoServer(t), Config{Seed: 2, TearProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	payload := make([]byte, 8192)
+	if _, err := rand.Read(payload); err != nil {
+		t.Fatal(err)
+	}
+	go c.Write(payload)
+	got := make([]byte, len(payload))
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("torn stream corrupted the payload")
+	}
+}
+
+// TestProxyDuplicateDelivery: a duplicated chunk arrives twice on a
+// plaintext stream.
+func TestProxyDuplicateDelivery(t *testing.T) {
+	addr, received := sinkServer(t)
+	p, err := NewProxy(addr, Config{Seed: 3, DupProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if _, err := c.Write([]byte("once")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if got := received(); len(got) >= 8 {
+			if string(got) != "onceonce" {
+				t.Fatalf("received %q, want %q", got, "onceonce")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("duplicate never arrived; got %q", received())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestProxyCut: a scheduled cut tears the connection down; the client
+// observes EOF (possibly after a torn prefix).
+func TestProxyCut(t *testing.T) {
+	p, err := NewProxy(echoServer(t), Config{Seed: 4, CutProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	c.Write([]byte("doomed"))
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 64)
+	for {
+		_, err := c.Read(buf)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				t.Fatal("connection survived a certain cut")
+			}
+			return // RST is fine too
+		}
+	}
+}
+
+// TestProxyPartitionAndHeal: a blackholed direction silently discards
+// bytes while the socket stays up; healing restores delivery of
+// subsequent traffic only.
+func TestProxyPartitionAndHeal(t *testing.T) {
+	addr, received := sinkServer(t)
+	p, err := NewProxy(addr, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+
+	// Establish the relay before partitioning (the write below must
+	// traverse the pump, not sit in a dial race).
+	if _, err := c.Write([]byte("pre.")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor := func(want string) {
+		deadline := time.Now().Add(2 * time.Second)
+		for string(received()) != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("received %q, want %q", received(), want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitFor("pre.")
+
+	p.Partition(true, false)
+	if _, err := c.Write([]byte("lost.")); err != nil {
+		t.Fatal(err) // write succeeds: the partition eats it silently
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := string(received()); got != "pre." {
+		t.Fatalf("partitioned bytes leaked through: %q", got)
+	}
+
+	p.Heal()
+	if _, err := c.Write([]byte("seen.")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("pre.seen.")
+}
+
+// TestPlanDeterminism: the fault schedule is a pure function of (seed,
+// connection, direction, chunk sequence).
+func TestPlanDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, Jitter: time.Millisecond, CutProb: 0.3, TearProb: 0.3, DupProb: 0.3}
+	p := &Proxy{cfg: cfg}
+	sizes := []int{1, 7, 100, 4096, 17, 1000}
+	a, b := dirRNG(42, 3, 0), dirRNG(42, 3, 0)
+	for i, n := range sizes {
+		pa, pb := p.plan(a, n), p.plan(b, n)
+		if pa != pb {
+			t.Fatalf("chunk %d: same seed diverged: %+v vs %+v", i, pa, pb)
+		}
+	}
+	// A different connection index draws a different schedule.
+	c := dirRNG(42, 4, 0)
+	same := true
+	for _, n := range sizes {
+		if p.plan(dirRNG(42, 3, 0), n) != p.plan(c, n) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct connections share a fault schedule")
+	}
+}
+
+// TestWrapConnTearAndCut: the in-process wrapper fragments writes and
+// dies exactly at its byte budget — the peer sees the torn prefix, then
+// EOF.
+func TestWrapConnTearAndCut(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type result struct {
+		n   int
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- result{0, err}
+			return
+		}
+		defer c.Close()
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		b, err := io.ReadAll(c)
+		if errors.Is(err, io.EOF) {
+			err = nil
+		}
+		done <- result{len(b), err}
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := WrapConn(raw, ConnConfig{Seed: 7, Tear: true, CutAfter: 10})
+	n, werr := wc.Write(make([]byte, 32))
+	if werr == nil {
+		t.Fatal("write past the cut budget succeeded")
+	}
+	if n != 10 {
+		t.Fatalf("wrote %d bytes before the cut, want 10", n)
+	}
+	res := <-done
+	if res.err != nil && !errors.Is(res.err, net.ErrClosed) {
+		// A RST instead of FIN is acceptable: the peer died mid-frame.
+		t.Logf("reader ended with %v", res.err)
+	}
+	if res.n > 10 {
+		t.Fatalf("peer received %d bytes, budget was 10", res.n)
+	}
+}

@@ -60,6 +60,13 @@ type Ledger struct {
 	// through those steps could each run their own reversal.
 	cancelMu sync.Mutex
 
+	// dedupMu serializes keyed cross-shard transfers. A keyed transfer
+	// pins its transaction ID in an op_dedup marker before driving 2PC,
+	// and a retry of the same key resolves the pinned GID's in-doubt
+	// state; without the mutex a retry racing the original could
+	// presume-abort a prepare the original is still driving.
+	dedupMu sync.Mutex
+
 	// CrashHook, when set, is called after every durable 2PC step with
 	// the transfer's GID; returning an error abandons the in-flight
 	// protocol at that boundary (simulating a coordinator crash). Test
@@ -140,6 +147,18 @@ func New(stores []*db.Store, cfg Config) (*Ledger, error) {
 		// lives only inside the original transfer record's value.
 		for _, mgr := range l.mgrs {
 			n, err := mgr.MaxReversalID()
+			if err != nil {
+				return nil, err
+			}
+			if n > txMax {
+				txMax = n
+			}
+		}
+		// And transaction IDs pinned in op_dedup markers: a keyed
+		// cross-shard transfer pins its ID before driving 2PC, so a
+		// crash in between leaves the ID recorded only in the marker.
+		for _, mgr := range l.mgrs {
+			n, err := mgr.MaxDedupTxID()
 			if err != nil {
 				return nil, err
 			}
@@ -359,7 +378,12 @@ func (l *Ledger) Transfer(drawer, recipient accounts.ID, amount currency.Amount,
 	}
 	fs, ts := l.ring.ShardFor(string(drawer)), l.ring.ShardFor(string(recipient))
 	if fs == ts {
+		// Single-store path: the manager handles DedupKey inside its
+		// one atomic transaction.
 		return l.mgrs[fs].Transfer(drawer, recipient, amount, opts)
+	}
+	if opts.DedupKey != "" {
+		return l.keyedCrossTransfer(fs, drawer, recipient, amount, opts)
 	}
 	return l.crossTransfer(drawer, recipient, amount, opts, false)
 }

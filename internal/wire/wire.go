@@ -39,6 +39,13 @@ type Request struct {
 	ID uint64 `json:"id"`
 	// Op names the GridBank API operation (§5.2), e.g. "RequestCheque".
 	Op string `json:"op"`
+	// DeadlineMS is the caller's remaining patience in milliseconds at
+	// the moment the request was sent (a relative budget, deliberately
+	// not an absolute timestamp: client and server clocks are not
+	// assumed synchronized across a grid). Zero means no deadline, and
+	// omitempty keeps deadline-free frames byte-identical to the seed
+	// protocol's.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 	// Body is the operation-specific payload.
 	Body json.RawMessage `json:"body,omitempty"`
 }

@@ -242,6 +242,65 @@ func TestWriteMsgMatchesSeedFraming(t *testing.T) {
 	}
 }
 
+// TestRequestFramingSeedCompatBothDirections: adding the optional
+// deadline_ms header field must not move a single byte for
+// deadline-free traffic. Outbound: a request without a deadline
+// marshals to exactly the seed frame (hardcoded bytes, not derived
+// from the current struct, so drift cannot hide). Inbound: a seed
+// frame decodes with a zero deadline, and a frame carrying deadline_ms
+// decodes on both new and seed-shaped readers (unknown JSON fields are
+// ignored, which is what makes the extension compatible).
+func TestRequestFramingSeedCompatBothDirections(t *testing.T) {
+	// Outbound: no deadline → seed bytes.
+	seedJSON := `{"id":7,"op":"Ping","body":{"x":1}}`
+	var got bytes.Buffer
+	if err := WriteMsg(&got, &Request{ID: 7, Op: "Ping", Body: []byte(`{"x":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(seedJSON)))
+	want := append(hdr[:], seedJSON...)
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("deadline-free request drifted from seed framing:\n got %q\nwant %q", got.Bytes(), want)
+	}
+
+	// Inbound: seed frame → zero deadline.
+	var req Request
+	if err := ReadMsg(bytes.NewReader(want), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.ID != 7 || req.Op != "Ping" || req.DeadlineMS != 0 {
+		t.Fatalf("seed frame decoded as %+v", req)
+	}
+
+	// Inbound: deadline-carrying frame → seed-shaped reader (a struct
+	// without the field, standing in for a seed binary) still decodes.
+	var withDL bytes.Buffer
+	if err := WriteMsg(&withDL, &Request{ID: 8, Op: "Ping", DeadlineMS: 1500}); err != nil {
+		t.Fatal(err)
+	}
+	var seedShaped struct {
+		ID   uint64          `json:"id"`
+		Op   string          `json:"op"`
+		Body json.RawMessage `json:"body,omitempty"`
+	}
+	frame := withDL.Bytes()
+	if err := json.Unmarshal(frame[4:], &seedShaped); err != nil {
+		t.Fatalf("seed-shaped reader rejected deadline frame: %v", err)
+	}
+	if seedShaped.ID != 8 || seedShaped.Op != "Ping" {
+		t.Fatalf("seed-shaped reader decoded %+v", seedShaped)
+	}
+	// And the new reader round-trips the deadline.
+	var back Request
+	if err := ReadMsg(bytes.NewReader(frame), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.DeadlineMS != 1500 {
+		t.Fatalf("deadline round trip = %d, want 1500", back.DeadlineMS)
+	}
+}
+
 // TestAppendMsgBatch: multiple frames appended to one buffer decode
 // back in order, and an oversized frame leaves the buffer untouched.
 func TestAppendMsgBatch(t *testing.T) {
