@@ -170,6 +170,14 @@ func registry() []experiment {
 			experiments.WriteUsage(out, r)
 			return nil
 		}},
+		{"obs", "telemetry overhead: identical worlds A/B, full instrumentation on vs off", func() error {
+			r, err := experiments.RunObsExp(experiments.ObsExpConfig{})
+			if err != nil {
+				return err
+			}
+			experiments.WriteObsExp(out, r)
+			return nil
+		}},
 		{"chaos", "network chaos sweep: fault profile x retry policy, invariants asserted per cell", func() error {
 			r, err := experiments.RunChaosExp(experiments.ChaosExpConfig{})
 			if err != nil {

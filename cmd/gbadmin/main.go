@@ -14,6 +14,7 @@
 //	accounts
 //	usage-status
 //	usage-drain [timeout-seconds]
+//	metrics
 package main
 
 import (
@@ -148,6 +149,21 @@ func run(server, caPath, certPath, keyPath string, args []string) error {
 			return err
 		}
 		b, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("queue_depth=%d in_flight=%d parked=%d pending=%d\n%s\n",
+			st.QueueDepth, st.InFlight, st.Failed, st.Pending, b)
+	case "metrics":
+		snap, err := client.MetricsSnapshot()
+		if err != nil {
+			return err
+		}
+		if !snap.Enabled {
+			fmt.Println("telemetry disabled: the server has no metrics registry")
+			return nil
+		}
+		b, err := json.MarshalIndent(snap.Snapshot, "", "  ")
 		if err != nil {
 			return err
 		}

@@ -11,6 +11,7 @@ import (
 	"gridbank/internal/core"
 	"gridbank/internal/currency"
 	"gridbank/internal/db"
+	"gridbank/internal/obs"
 	"gridbank/internal/pki"
 	"gridbank/internal/usage"
 )
@@ -21,6 +22,7 @@ type adminWorld struct {
 	dir  string
 	addr string
 	bank *core.Bank
+	srv  *core.Server
 	acct string
 }
 
@@ -74,7 +76,7 @@ func newAdminWorld(t *testing.T) *adminWorld {
 	}
 	go srv.Serve(ln)
 	t.Cleanup(func() { srv.Close() })
-	return &adminWorld{dir: dir, addr: ln.Addr().String(), bank: bank, acct: string(resp.Account.AccountID)}
+	return &adminWorld{dir: dir, addr: ln.Addr().String(), bank: bank, srv: srv, acct: string(resp.Account.AccountID)}
 }
 
 func (w *adminWorld) admin(t *testing.T, who string, args ...string) error {
@@ -122,6 +124,29 @@ func TestAdminCLIFlows(t *testing.T) {
 	}
 	if err := w.admin(t, "banker", "nonsense"); err == nil {
 		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestMetricsCLIFlow(t *testing.T) {
+	w := newAdminWorld(t)
+	old := os.Stdout
+	null, _ := os.Open(os.DevNull)
+	os.Stdout = null
+	defer func() { os.Stdout = old; null.Close() }()
+
+	// A registry-less server answers with Enabled=false, not an error.
+	if err := w.admin(t, "banker", "metrics"); err != nil {
+		t.Fatalf("metrics without registry: %v", err)
+	}
+	reg := obs.NewRegistry()
+	w.bank.SetObs(reg)
+	w.srv.Obs = reg
+	if err := w.admin(t, "banker", "metrics"); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	// Metrics.Snapshot is an admin operation.
+	if err := w.admin(t, "alice", "metrics"); err == nil {
+		t.Fatal("non-admin metrics succeeded")
 	}
 }
 

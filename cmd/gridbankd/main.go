@@ -53,6 +53,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -61,6 +63,7 @@ import (
 
 	"gridbank/internal/core"
 	"gridbank/internal/db"
+	"gridbank/internal/obs"
 	"gridbank/internal/pki"
 	"gridbank/internal/replica"
 	"gridbank/internal/shard"
@@ -89,17 +92,20 @@ func main() {
 		idleConn   = flag.Duration("idle-timeout", core.DefaultIdleTimeout, "drop connections idle this long (<0 disables)")
 		inFlight   = flag.Int("max-in-flight", core.DefaultMaxInFlight, "per-connection concurrent request dispatch cap")
 		dedupTTL   = flag.Duration("dedup-ttl", core.DefaultDedupTTL, "retention of idempotency-key dedup markers (<0 disables the sweep)")
+		obsAddr    = flag.String("obs-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address (keep it loopback, e.g. 127.0.0.1:7790; empty disables)")
+		slowOp     = flag.Duration("slow-op", 0, "log a structured line for every request whose queue wait + handler latency reaches this (0 disables)")
 	)
 	flag.Parse()
 	lcfg := limitFlags{maxConns: *maxConns, idleTimeout: *idleConn, maxInFlight: *inFlight}
+	ocfg := obsFlags{addr: *obsAddr, slowOp: *slowOp}
 	if *replicaOf != "" {
-		if err := runReplica(*dataDir, *vo, *listen, *replicaOf, *primary, *shardIdx, *shards, lcfg); err != nil {
+		if err := runReplica(*dataDir, *vo, *listen, *replicaOf, *primary, *shardIdx, *shards, lcfg, ocfg); err != nil {
 			log.Fatalf("gridbankd: %v", err)
 		}
 		return
 	}
 	ucfg := usageFlags{enabled: *enableU, workers: *uWorkers, batch: *uBatch, queue: *uQueue}
-	if err := run(*dataDir, *vo, *branch, *listen, *issue, *publish, *shards, *syncWAL, *checkpoint, *dedupTTL, ucfg, lcfg); err != nil {
+	if err := run(*dataDir, *vo, *branch, *listen, *issue, *publish, *shards, *syncWAL, *checkpoint, *dedupTTL, ucfg, lcfg, ocfg); err != nil {
 		log.Fatalf("gridbankd: %v", err)
 	}
 }
@@ -125,7 +131,56 @@ type usageFlags struct {
 	workers, batch, queue int
 }
 
-func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL, checkpoint bool, dedupTTL time.Duration, ucfg usageFlags, lcfg limitFlags) error {
+// obsFlags carries the telemetry flag values into run and runReplica.
+type obsFlags struct {
+	addr   string
+	slowOp time.Duration
+}
+
+// apply wires the process registry and slow-op log into a server and
+// starts the ops endpoint, returning the bound obs address ("" when
+// disabled).
+func (o obsFlags) apply(srv *core.Server, reg *obs.Registry) (string, error) {
+	srv.Obs = reg
+	if o.slowOp > 0 {
+		srv.SlowOpLog = obs.NewLogger(os.Stderr, obs.LevelInfo)
+		srv.SlowOpThreshold = o.slowOp
+	}
+	if o.addr == "" {
+		return "", nil
+	}
+	return startObsServer(o.addr, reg)
+}
+
+// startObsServer serves /metrics and /debug/pprof on addr in the
+// background. The listener binds before returning, so a bad address
+// fails startup instead of logging asynchronously.
+func startObsServer(addr string, reg *obs.Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("-obs-addr %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := obs.WritePrometheus(w, reg.Snapshot()); err != nil {
+			log.Printf("gridbankd: obs: rendering /metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			log.Printf("gridbankd: obs endpoint: %v", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL, checkpoint bool, dedupTTL time.Duration, ucfg usageFlags, lcfg limitFlags, ocfg obsFlags) error {
 	if shards < 1 {
 		return fmt.Errorf("-shards %d: need at least 1", shards)
 	}
@@ -205,12 +260,18 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 	if err != nil {
 		return err
 	}
+	// One process-wide registry: the ledger forwards it to every shard
+	// store, the bank serves it over Metrics.Snapshot, the server and
+	// usage pipeline record into it, and -obs-addr scrapes it.
+	reg := obs.NewRegistry()
+	ledger.SetObs(reg)
 	bank, err := core.NewBankWithLedger(ledger, core.BankConfig{
 		Identity: bankID,
 		Trust:    trust,
 		Admins:   []string{banker.SubjectName()},
 		Branch:   branch,
 		DedupTTL: dedupTTL,
+		Obs:      reg,
 	})
 	if err != nil {
 		return err
@@ -246,12 +307,15 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 			}
 			log.Printf("gridbankd: checkpointed usage spool at seq %d (%s)", seq, spoolCkpt)
 		}
+		spool.SetObs(reg)
 		pipe, err := usage.New(usage.Config{
 			Ledger:     usage.WrapSharded(ledger),
 			Spool:      spool,
 			BatchSize:  ucfg.batch,
 			Workers:    ucfg.workers,
 			MaxPending: ucfg.queue,
+			Log:        obs.NewLogger(os.Stderr, obs.LevelWarn),
+			Obs:        reg,
 		})
 		if err != nil {
 			return err
@@ -266,6 +330,11 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 		return err
 	}
 	lcfg.apply(srv)
+	obsBound, err := ocfg.apply(srv, reg)
+	if err != nil {
+		return err
+	}
+	publishers := 0
 	if publish != "" {
 		// One commit stream per shard: shard 0 on the given address,
 		// shard i on port+i. Replicas subscribe per shard (a replica of
@@ -288,6 +357,8 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 			if err != nil {
 				return err
 			}
+			pub.Log = obs.NewLogger(os.Stderr, obs.LevelInfo)
+			publishers++
 			addr := net.JoinHostPort(host, strconv.Itoa(basePort+i))
 			go func(i int) {
 				if err := pub.ListenAndServe(addr); err != nil {
@@ -299,12 +370,31 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 	}
 	log.Printf("gridbankd: %s branch %s serving on %s (CA %s)",
 		bankID.SubjectName(), branch, listen, pki.SubjectNameOf(ca.Certificate()))
+	log.Printf("gridbankd: topology: shards=%d publishers=%d usage_workers=%d obs=%s dedup_ttl=%v",
+		shards, publishers, topologyUsageWorkers(ucfg), topologyObs(obsBound), dedupTTL)
 	return srv.ListenAndServe(listen)
+}
+
+// topologyUsageWorkers renders the usage-worker count for the topology
+// summary (0 when the pipeline is disabled).
+func topologyUsageWorkers(ucfg usageFlags) int {
+	if !ucfg.enabled {
+		return 0
+	}
+	return ucfg.workers
+}
+
+// topologyObs renders the obs address for the topology summary.
+func topologyObs(bound string) string {
+	if bound == "" {
+		return "off"
+	}
+	return bound
 }
 
 // runReplica runs the -replica-of mode: follow the publisher's commit
 // stream and serve the query API read-only.
-func runReplica(dataDir, vo, listen, publisherAddr, primaryAddr string, shardIdx, shardCount int, lcfg limitFlags) error {
+func runReplica(dataDir, vo, listen, publisherAddr, primaryAddr string, shardIdx, shardCount int, lcfg limitFlags, ocfg obsFlags) error {
 	ca, err := loadOrCreateCA(dataDir, vo)
 	if err != nil {
 		return err
@@ -314,10 +404,13 @@ func runReplica(dataDir, vo, listen, publisherAddr, primaryAddr string, shardIdx
 		return err
 	}
 	trust := pki.NewTrustStore(ca.Certificate())
+	reg := obs.NewRegistry()
 	fol, err := replica.StartFollower(replica.FollowerConfig{
 		PublisherAddr: publisherAddr,
 		Identity:      id,
 		Trust:         trust,
+		Log:           obs.NewLogger(os.Stderr, obs.LevelInfo),
+		Obs:           reg,
 	})
 	if err != nil {
 		return err
@@ -330,6 +423,7 @@ func runReplica(dataDir, vo, listen, publisherAddr, primaryAddr string, shardIdx
 		Identity:    id,
 		Trust:       trust,
 		PrimaryAddr: primaryAddr,
+		Obs:         reg,
 	}
 	if shardCount > 1 {
 		roCfg.Shard = &core.ShardInfo{Index: shardIdx, Count: shardCount}
@@ -351,8 +445,12 @@ func runReplica(dataDir, vo, listen, publisherAddr, primaryAddr string, shardIdx
 		return err
 	}
 	lcfg.apply(srv)
-	log.Printf("gridbankd: %s read replica of %s serving on %s (applied seq %d)",
-		id.SubjectName(), publisherAddr, listen, fol.AppliedSeq())
+	obsBound, err := ocfg.apply(srv, reg)
+	if err != nil {
+		return err
+	}
+	log.Printf("gridbankd: %s read replica of %s serving on %s (applied seq %d, obs %s)",
+		id.SubjectName(), publisherAddr, listen, fol.AppliedSeq(), topologyObs(obsBound))
 	return srv.ListenAndServe(listen)
 }
 

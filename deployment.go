@@ -361,7 +361,6 @@ func (d *Deployment) EnableUsage(opts UsageOptions) (*usage.Pipeline, error) {
 		Workers:    opts.Workers,
 		MaxPending: opts.MaxPending,
 		Now:        d.cfg.Now,
-		Logf:       func(string, ...any) {}, // deployments are quiet
 	})
 	if err != nil {
 		return nil, err
@@ -395,7 +394,6 @@ func (d *Deployment) enablePublisher(shardIdx int) (*shardPublisher, error) {
 	if err != nil {
 		return nil, err
 	}
-	pub.Logf = func(string, ...any) {}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -460,7 +458,6 @@ func (d *Deployment) AddShardReplicaAt(name string, shardIdx int, publisherAddr 
 		Identity:      id,
 		Trust:         d.Trust,
 		RetryInterval: 100 * time.Millisecond,
-		Logf:          func(string, ...any) {},
 	})
 	if err != nil {
 		return nil, err

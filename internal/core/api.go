@@ -16,6 +16,7 @@ import (
 
 	"gridbank/internal/accounts"
 	"gridbank/internal/currency"
+	"gridbank/internal/obs"
 	"gridbank/internal/payment"
 	"gridbank/internal/pki"
 )
@@ -44,8 +45,9 @@ const (
 	OpAdminClose       = "Admin.CloseAccount"      // §5.2.1 Close account
 	OpAdminAccounts    = "Admin.ListAccounts"      // operational visibility
 
-	OpReplicaStatus = "Replica.Status" // replication role, position and staleness
-	OpShardMap      = "Shard.Map"      // shard count + vnodes for client-side placement
+	OpReplicaStatus = "Replica.Status"   // replication role, position and staleness
+	OpShardMap      = "Shard.Map"        // shard count + vnodes for client-side placement
+	OpMetrics       = "Metrics.Snapshot" // admin-only telemetry snapshot (primaries and replicas)
 )
 
 // Stable error codes returned in wire.Response.Code.
@@ -303,4 +305,14 @@ type ShardMapResponse struct {
 	// PrimaryAddr is where mutations and unroutable reads go (replicas
 	// only).
 	PrimaryAddr string `json:"primary_addr,omitempty"`
+}
+
+// MetricsSnapshotResponse is the Metrics.Snapshot answer: the server's
+// telemetry registry at the moment of the call (admin-only; served by
+// primaries and read-only replicas alike). Enabled is false when the
+// process runs without a registry — the snapshot is then empty rather
+// than an error, so fleet-wide scrapes degrade gracefully.
+type MetricsSnapshotResponse struct {
+	Enabled  bool         `json:"enabled"`
+	Snapshot obs.Snapshot `json:"snapshot"`
 }

@@ -11,6 +11,7 @@ import (
 	"gridbank/internal/accounts"
 	"gridbank/internal/currency"
 	"gridbank/internal/db"
+	"gridbank/internal/obs"
 	"gridbank/internal/payment"
 	"gridbank/internal/pki"
 )
@@ -94,6 +95,10 @@ type Bank struct {
 	// mutation per interval pays the scan.
 	dedupTTL  time.Duration
 	lastSweep atomic.Int64
+
+	// obsReg is the process telemetry registry Metrics.Snapshot serves
+	// (nil = observability disabled; the op answers Enabled=false).
+	obsReg *obs.Registry
 }
 
 // BankConfig configures a Bank.
@@ -118,6 +123,10 @@ type BankConfig struct {
 	// DefaultDedupTTL; negative disables the sweep (markers kept
 	// forever).
 	DedupTTL time.Duration
+	// Obs is the process telemetry registry the Metrics.Snapshot op
+	// serves. Optional; nil answers Enabled=false with an empty
+	// snapshot.
+	Obs *obs.Registry
 }
 
 // DefaultDedupTTL is the idempotency-marker retention when
@@ -155,7 +164,7 @@ func NewBankWithLedger(led Ledger, cfg BankConfig) (*Bank, error) {
 	if cfg.DedupTTL == 0 {
 		cfg.DedupTTL = DefaultDedupTTL
 	}
-	b := &Bank{led: led, id: cfg.Identity, ts: cfg.Trust, now: cfg.Now, notify: cfg.Notifier, dedupTTL: cfg.DedupTTL}
+	b := &Bank{led: led, id: cfg.Identity, ts: cfg.Trust, now: cfg.Now, notify: cfg.Notifier, dedupTTL: cfg.DedupTTL, obsReg: cfg.Obs}
 	b.lastSweep.Store(cfg.Now().UnixNano())
 	if mm, ok := led.(interface{ MetaManager() *accounts.Manager }); ok {
 		b.mgr = mm.MetaManager()
@@ -194,6 +203,26 @@ func (b *Bank) Trust() *pki.TrustStore { return b.ts }
 // Now returns the bank's current time (the injected clock in
 // simulations, wall clock otherwise).
 func (b *Bank) Now() time.Time { return b.now() }
+
+// MetricsSnapshot answers the Metrics.Snapshot op: the process
+// telemetry registry at this instant, admin-only (telemetry names
+// subjects and ops — operational data, not for arbitrary account
+// holders). With no registry attached it reports Enabled=false rather
+// than erroring, so a fleet scrape tolerates mixed configurations.
+func (b *Bank) MetricsSnapshot(caller string) (*MetricsSnapshotResponse, error) {
+	if err := b.requireAdmin(caller); err != nil {
+		return nil, err
+	}
+	return &MetricsSnapshotResponse{
+		Enabled:  b.obsReg != nil,
+		Snapshot: b.obsReg.SnapshotAt(b.now()),
+	}, nil
+}
+
+// SetObs attaches (or replaces) the telemetry registry served by
+// Metrics.Snapshot. Wiring-time only, not concurrency-safe with
+// serving.
+func (b *Bank) SetObs(reg *obs.Registry) { b.obsReg = reg }
 
 // ReplicaStatus reports this server's replication role: a primary is
 // its own head, with zero staleness. Answering the same op as replicas

@@ -14,6 +14,7 @@ import (
 
 	"gridbank/internal/accounts"
 	"gridbank/internal/currency"
+	"gridbank/internal/obs"
 	"gridbank/internal/payment"
 	"gridbank/internal/pki"
 	"gridbank/internal/wire"
@@ -68,6 +69,62 @@ type Client struct {
 	// late response is discarded instead of treated as a protocol
 	// violation.
 	CallTimeout time.Duration
+
+	// Obs instruments the client (per-op call latency, in-flight calls,
+	// send-batch sizes, call timeouts). Nil disables. Set before the
+	// first call.
+	Obs *obs.Registry
+	// TraceCalls stamps every outgoing request with a fresh trace ID in
+	// the optional wire trace header (untraced requests stay
+	// byte-identical to seed framing). Calls carrying an explicit trace
+	// — RoutedClient pins one ID per logical operation — keep theirs.
+	// Set before the first call.
+	TraceCalls bool
+
+	metOnce sync.Once
+	met     *clientMetrics
+}
+
+// clientMetrics mirrors serverMetrics on the calling side: handles
+// resolved once, nil no-ops when Obs is unset.
+type clientMetrics struct {
+	inflight  *obs.Gauge
+	timeouts  *obs.Counter
+	sendBatch *obs.Histogram
+	opLatency map[string]*obs.Histogram
+
+	reg *obs.Registry
+	mu  sync.RWMutex
+}
+
+func (m *clientMetrics) latencyFor(op string) *obs.Histogram {
+	if m.reg == nil {
+		return nil
+	}
+	m.mu.RLock()
+	h := m.opLatency[op]
+	m.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	h = m.reg.Histogram("client.call." + op + ".latency")
+	m.mu.Lock()
+	m.opLatency[op] = h
+	m.mu.Unlock()
+	return h
+}
+
+func (c *Client) metrics() *clientMetrics {
+	c.metOnce.Do(func() {
+		m := &clientMetrics{opLatency: make(map[string]*obs.Histogram), reg: c.Obs}
+		if c.Obs != nil {
+			m.inflight = c.Obs.Gauge("client.inflight")
+			m.timeouts = c.Obs.Counter("client.timeouts")
+			m.sendBatch = c.Obs.Histogram("client.send_batch")
+		}
+		c.met = m
+	})
+	return c.met
 }
 
 // DefaultCallTimeout is the per-call deadline when Client.CallTimeout
@@ -104,17 +161,19 @@ type callResult struct {
 // carrying its bytes completes. Under N concurrent callers this turns N
 // per-request writes into a few batched ones.
 type clientConn struct {
-	nc net.Conn
-	wc *wire.Conn
+	nc  net.Conn
+	wc  *wire.Conn
+	met *clientMetrics
 
-	wmu   sync.Mutex
-	wcond *sync.Cond    // flush completion signal; guarded by wmu
-	wbuf  *bytes.Buffer // frames awaiting flush
-	wgen  uint64        // generation of wbuf
-	wdone uint64        // latest generation fully written
-	wbusy bool          // a flusher is running
-	spare *bytes.Buffer // the flusher's swap buffer
-	werr  error         // first write-path error
+	wmu     sync.Mutex
+	wcond   *sync.Cond    // flush completion signal; guarded by wmu
+	wbuf    *bytes.Buffer // frames awaiting flush
+	wframes int64         // frames queued in wbuf (send-batch metric)
+	wgen    uint64        // generation of wbuf
+	wdone   uint64        // latest generation fully written
+	wbusy   bool          // a flusher is running
+	spare   *bytes.Buffer // the flusher's swap buffer
+	werr    error         // first write-path error
 
 	mu      sync.Mutex
 	pending map[uint64]chan callResult
@@ -146,6 +205,7 @@ func (cc *clientConn) send(req *wire.Request) error {
 		cc.wmu.Unlock()
 		return &errNotSent{err}
 	}
+	cc.wframes++
 	gen := cc.wgen
 	if cc.wbusy {
 		// A flusher is running; it will pick this frame up on its next
@@ -160,6 +220,8 @@ func (cc *clientConn) send(req *wire.Request) error {
 	cc.wbusy = true
 	for cc.werr == nil && cc.wbuf.Len() > 0 {
 		stolen, stolenGen := cc.wbuf, cc.wgen
+		cc.met.sendBatch.Observe(cc.wframes)
+		cc.wframes = 0
 		cc.wbuf = cc.spare
 		cc.spare = nil
 		cc.wgen++
@@ -196,8 +258,14 @@ func Dial(addr string, id *pki.Identity, ts *pki.TrustStore) (*Client, error) {
 
 // Clone returns an unconnected client for the same address, identity
 // and trust configuration — the building block for connection pools.
+// Telemetry configuration (Obs, TraceCalls) carries over so pooled
+// clones report into the same registry.
 func (c *Client) Clone() *Client {
-	return &Client{addr: c.addr, cfg: c.cfg, DialTimeout: c.DialTimeout, CallTimeout: c.CallTimeout}
+	return &Client{
+		addr: c.addr, cfg: c.cfg,
+		DialTimeout: c.DialTimeout, CallTimeout: c.CallTimeout,
+		Obs: c.Obs, TraceCalls: c.TraceCalls,
+	}
 }
 
 // dialLocked establishes the connection and starts its reader. Called
@@ -218,6 +286,7 @@ func (c *Client) dialLocked() error {
 	cc := &clientConn{
 		nc:      tconn,
 		wc:      wire.NewConn(tconn),
+		met:     c.metrics(),
 		wbuf:    &bytes.Buffer{},
 		spare:   &bytes.Buffer{},
 		pending: make(map[uint64]chan callResult),
@@ -349,6 +418,21 @@ func (c *Client) call(op string, in, out any) error {
 // with ErrCallTimeout: its demux entry becomes a tombstone so the late
 // response is dropped rather than wedging or killing the connection.
 func (c *Client) callWithTimeout(op string, in, out any, timeout time.Duration) error {
+	return c.callTraced(op, in, out, timeout, "")
+}
+
+// callTraced is callWithTimeout with an explicit trace ID. Empty trace
+// with TraceCalls set stamps a fresh ID; a non-empty trace — how
+// RoutedClient pins one ID per logical operation across retries and
+// shard redirects — is carried verbatim.
+func (c *Client) callTraced(op string, in, out any, timeout time.Duration, trace string) error {
+	met := c.metrics()
+	met.inflight.Inc()
+	start := time.Now()
+	defer func() {
+		met.inflight.Dec()
+		met.latencyFor(op).ObserveDuration(time.Since(start))
+	}()
 	var body []byte
 	if in != nil {
 		raw, err := wire.Encode(in)
@@ -362,7 +446,10 @@ func (c *Client) callWithTimeout(op string, in, out any, timeout time.Duration) 
 	if err != nil {
 		return err
 	}
-	req := &wire.Request{ID: id, Op: op, Body: body}
+	if trace == "" && c.TraceCalls {
+		trace = obs.NewTraceID()
+	}
+	req := &wire.Request{ID: id, Op: op, Trace: trace, Body: body}
 	if d > 0 {
 		if ms := int64(d / time.Millisecond); ms > 0 {
 			req.DeadlineMS = ms
@@ -426,6 +513,7 @@ func (c *Client) callWithTimeout(op string, in, out any, timeout time.Duration) 
 	if overflow {
 		c.fail(cc, fmt.Errorf("core: %d abandoned calls unanswered; connection presumed dead", forgottenMax))
 	}
+	met.timeouts.Inc()
 	return fmt.Errorf("core: %s: %w (after %v)", op, ErrCallTimeout, d)
 }
 
@@ -437,6 +525,17 @@ func (c *Client) Call(op string, in, out any) error { return c.call(op, in, out)
 // one exchange (zero: client default; negative: no deadline).
 func (c *Client) CallWithTimeout(op string, in, out any, timeout time.Duration) error {
 	return c.callWithTimeout(op, in, out, timeout)
+}
+
+// MetricsSnapshot fetches the server's telemetry snapshot
+// (administrator caller; primaries and read-only replicas answer
+// alike).
+func (c *Client) MetricsSnapshot() (*MetricsSnapshotResponse, error) {
+	var out MetricsSnapshotResponse
+	if err := c.call(OpMetrics, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // ReplicaStatus reports the server's replication role, position and
@@ -503,6 +602,34 @@ func (c *Client) AccountStatement(id accounts.ID, start, end time.Time) (*accoun
 		return nil, err
 	}
 	return &out.Statement, nil
+}
+
+// Traced read variants: identical to their namesakes but carrying an
+// explicit trace ID, so RoutedClient can pin one logical trace across
+// replica attempts, wrong_shard redirects and the primary fallback.
+
+func (c *Client) accountDetailsTraced(id accounts.ID, trace string) (*accounts.Account, error) {
+	var out AccountDetailsResponse
+	if err := c.callTraced(OpAccountDetails, &AccountDetailsRequest{AccountID: id}, &out, 0, trace); err != nil {
+		return nil, err
+	}
+	return &out.Account, nil
+}
+
+func (c *Client) accountStatementTraced(id accounts.ID, start, end time.Time, trace string) (*accounts.Statement, error) {
+	var out AccountStatementResponse
+	if err := c.callTraced(OpAccountStatement, &AccountStatementRequest{AccountID: id, Start: start, End: end}, &out, 0, trace); err != nil {
+		return nil, err
+	}
+	return &out.Statement, nil
+}
+
+func (c *Client) adminListAccountsTraced(trace string) ([]accounts.Account, error) {
+	var out AdminAccountsResponse
+	if err := c.callTraced(OpAdminAccounts, nil, &out, 0, trace); err != nil {
+		return nil, err
+	}
+	return out.Accounts, nil
 }
 
 // CheckFunds locks amount as a payment guarantee.

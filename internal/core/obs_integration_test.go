@@ -1,0 +1,389 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/db"
+	"gridbank/internal/obs"
+	"gridbank/internal/pki"
+	"gridbank/internal/shard"
+	"gridbank/internal/usage"
+)
+
+// spanCollector gathers server spans across dispatch goroutines (and,
+// in the sharded test, across several servers feeding one collector).
+type spanCollector struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+func (sc *spanCollector) add(s Span) {
+	sc.mu.Lock()
+	sc.spans = append(sc.spans, s)
+	sc.mu.Unlock()
+}
+
+func (sc *spanCollector) byOp(op string) []Span {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	var out []Span
+	for _, s := range sc.spans {
+		if s.Op == op {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestTraceCarriedAcrossRetries pins the one-trace-per-logical-op
+// guarantee: a routed UsageSubmit that is refused twice with
+// overloaded and then accepted must show up server-side as three spans
+// sharing a single trace ID — the retries are attempts of one
+// operation, not three unrelated calls.
+func TestTraceCarriedAcrossRetries(t *testing.T) {
+	sc := &spanCollector{}
+	lw := newLiveWorldWith(t, newTestWorld(t), func(srv *Server) {
+		srv.OnSpan = sc.add
+	})
+	lw.bank.SetUsage(&flakyUsage{fails: 2})
+
+	reg := obs.NewRegistry()
+	rc, err := NewRoutedClient(lw.client(t, lw.admin), nil, RouteOptions{
+		Retry:      RetryPolicy{BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond},
+		Obs:        reg,
+		TraceCalls: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.UsageSubmit([]usage.Submission{{
+		ID: "traced-1", Drawer: lw.aliceAcct.AccountID, Recipient: lw.gspAcct.AccountID,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := sc.byOp(OpUsageSubmit)
+	if len(spans) != 3 {
+		t.Fatalf("got %d Usage.Submit spans, want 3 (2 refusals + 1 success)", len(spans))
+	}
+	trace := spans[0].Trace
+	if len(trace) != 24 {
+		t.Fatalf("trace ID %q: want 24 hex chars", trace)
+	}
+	for i, s := range spans {
+		if s.Trace != trace {
+			t.Fatalf("span %d trace = %q, want %q (one ID across all retries)", i, s.Trace, trace)
+		}
+	}
+	if spans[0].Code != CodeOverloaded || spans[1].Code != CodeOverloaded {
+		t.Fatalf("refusal spans carry codes %q/%q, want %q", spans[0].Code, spans[1].Code, CodeOverloaded)
+	}
+	if !spans[2].OK || spans[2].Code != "ok" {
+		t.Fatalf("final span = %+v, want ok", spans[2])
+	}
+	if got := reg.Counter("routed.retries").Value(); got != 2 {
+		t.Fatalf("routed.retries = %d, want 2", got)
+	}
+}
+
+// TestTraceCarriedAcrossWrongShardRedirect drives the stale-shard-map
+// redirect with tracing on: the wrong replica's wrong_shard span and
+// the right replica's serving span must carry the same trace ID, and
+// the routed client's wrong_shard_refresh counter must record the
+// map refresh.
+func TestTraceCarriedAcrossWrongShardRedirect(t *testing.T) {
+	ca, err := pki.NewCA("Obs Shard CA", "VO-OS", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := pki.NewTrustStore(ca.Certificate())
+	bankID, err := ca.Issue(pki.IssueOptions{CommonName: "gridbank", Organization: "VO-OS", IsServer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nShards = 3
+	stores := make([]*db.Store, nShards)
+	for i := range stores {
+		stores[i] = db.MustOpenMemory()
+	}
+	led, err := shard.New(stores, shard.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const admin = "CN=obs-shard-admin"
+	bank, err := NewBankWithLedger(led, BankConfig{Identity: bankID, Trust: trust, Admins: []string{admin}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := ca.Issue(pki.IssueOptions{CommonName: "alice", Organization: "VO-OS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := bank.CreateAccount(alice.SubjectName(), &CreateAccountRequest{OrganizationName: "VO-OS"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct := resp.Account.AccountID
+	if _, err := bank.AdminDeposit(admin, &AdminAmountRequest{AccountID: acct, Amount: currency.FromG(75)}); err != nil {
+		t.Fatal(err)
+	}
+	acctShard := led.ShardFor(acct)
+	otherShard := (acctShard + 1) % nShards
+	_, vnodes := led.ShardTopology()
+
+	// One collector across the primary and both replicas: the trace ID
+	// is exactly what lets spans from different processes correlate.
+	sc := &spanCollector{}
+
+	srv, err := NewServer(bank, bankID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Logf = func(string, ...any) {}
+	srv.OnSpan = sc.add
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	primaryAddr := ln.Addr().String()
+
+	startReplica := func(shardIdx int) string {
+		t.Helper()
+		sn, err := stores[shardIdx].Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frozen, err := db.OpenFromSnapshot(sn, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := &staticSource{store: frozen, seq: frozen.CurrentSeq(), addr: primaryAddr}
+		repID, err := ca.Issue(pki.IssueOptions{CommonName: "rep", Organization: "VO-OS", IsServer: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ro, err := NewReadOnlyBank(src, ReadOnlyBankConfig{
+			Identity: repID, Trust: trust,
+			Shard: &ShardInfo{Index: shardIdx, Count: nShards, Vnodes: vnodes},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsrv, err := NewReadOnlyServer(ro, repID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsrv.Logf = func(string, ...any) {}
+		rsrv.OnSpan = sc.add
+		rln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go rsrv.Serve(rln)
+		t.Cleanup(func() { rsrv.Close() })
+		return rln.Addr().String()
+	}
+	wrongAddr := startReplica(otherShard)
+	rightAddr := startReplica(acctShard)
+
+	dial := func(addr string) *Client {
+		t.Helper()
+		c, err := Dial(addr, alice, trust)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+
+	reg := obs.NewRegistry()
+	routed, err := NewRoutedClient(dial(primaryAddr), []*Client{dial(wrongAddr), dial(rightAddr)}, RouteOptions{
+		MaxStaleness:   time.Hour,
+		StatusInterval: time.Hour,
+		Obs:            reg,
+		TraceCalls:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison the map as after an unnoticed reshard: the wrong replica is
+	// claimed to hold alice's shard.
+	staleRing, err := shard.NewRing(nShards, vnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed.mu.Lock()
+	routed.mapOnce = true
+	routed.ring = staleRing
+	routed.repShard = []int{acctShard, otherShard}
+	routed.mu.Unlock()
+
+	a, err := routed.AccountDetails(acct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvailableBalance != currency.FromG(75) {
+		t.Fatalf("routed read = %v, want the replica's 75 G$", a.AvailableBalance)
+	}
+
+	spans := sc.byOp(OpAccountDetails)
+	if len(spans) < 2 {
+		t.Fatalf("got %d Account.Details spans, want at least 2 (redirect + retry)", len(spans))
+	}
+	var redirected, served bool
+	trace := spans[0].Trace
+	if len(trace) != 24 {
+		t.Fatalf("trace ID %q: want 24 hex chars", trace)
+	}
+	for i, s := range spans {
+		if s.Trace != trace {
+			t.Fatalf("span %d trace = %q, want %q (one ID across the redirect)", i, s.Trace, trace)
+		}
+		switch s.Code {
+		case CodeWrongShard:
+			redirected = true
+		case "ok":
+			served = true
+		}
+	}
+	if !redirected || !served {
+		t.Fatalf("spans %+v: want both a wrong_shard redirect and a served read", spans)
+	}
+	if got := reg.Counter("routed.wrong_shard_refresh").Value(); got != 1 {
+		t.Fatalf("routed.wrong_shard_refresh = %d, want 1", got)
+	}
+}
+
+// TestMetricsSnapshotOpAdminOnly exercises the Metrics.Snapshot wire
+// op end to end: an administrator reads the live registry, a plain
+// account holder is denied, and a bank without a registry answers
+// Enabled=false instead of erroring (mixed-fleet scrapes degrade
+// gracefully).
+func TestMetricsSnapshotOpAdminOnly(t *testing.T) {
+	reg := obs.NewRegistry()
+	lw := newLiveWorldWith(t, newTestWorld(t), func(srv *Server) {
+		srv.Obs = reg
+	})
+	lw.bank.SetObs(reg)
+
+	admin := lw.client(t, lw.admin)
+	if _, err := admin.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := admin.MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Enabled {
+		t.Fatal("Enabled = false with a live registry")
+	}
+	var requests int64 = -1
+	for _, c := range snap.Snapshot.Counters {
+		if c.Name == "server.requests" {
+			requests = c.Value
+		}
+	}
+	if requests < 1 {
+		t.Fatalf("server.requests = %d in snapshot, want >= 1 (the Ping)", requests)
+	}
+	var pingLatency bool
+	for _, h := range snap.Snapshot.Hists {
+		if h.Name == "server.op."+OpPing+".latency" && h.Count >= 1 {
+			pingLatency = true
+		}
+	}
+	if !pingLatency {
+		t.Fatal("snapshot lacks a populated server.op.Ping.latency histogram")
+	}
+
+	alice := lw.client(t, lw.alice)
+	if _, err := alice.MetricsSnapshot(); !IsRemoteCode(err, CodeDenied) {
+		t.Fatalf("non-admin snapshot = %v, want code %q", err, CodeDenied)
+	}
+
+	// A bank with no registry attached still answers, flagged disabled.
+	bare := newLiveWorld(t)
+	snap, err = bare.client(t, bare.admin).MetricsSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Enabled || len(snap.Snapshot.Counters) != 0 {
+		t.Fatalf("bare snapshot = %+v, want Enabled=false and empty", snap)
+	}
+}
+
+// TestReplicaMetricsSnapshotAdminGate proves replicas answer
+// Metrics.Snapshot exactly like primaries — behind the replicated
+// admin table — so one admin scrape covers the whole fleet.
+func TestReplicaMetricsSnapshotAdminGate(t *testing.T) {
+	f := newROFixture(t)
+
+	snap, err := f.ro.MetricsSnapshot(f.admin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Enabled {
+		t.Fatal("Enabled = true with no registry attached")
+	}
+	if _, err := f.ro.MetricsSnapshot(f.owner.SubjectName()); !errors.Is(err, ErrDenied) {
+		t.Fatalf("owner snapshot = %v, want ErrDenied", err)
+	}
+
+	// Attach a registry: the replica's own process metrics surface.
+	reg := obs.NewRegistry()
+	reg.Counter("replica.bootstraps").Inc()
+	f.ro.cfg.Obs = reg
+	snap, err = f.ro.MetricsSnapshot(f.admin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Enabled || len(snap.Snapshot.Counters) != 1 || snap.Snapshot.Counters[0].Name != "replica.bootstraps" {
+		t.Fatalf("replica snapshot = %+v, want the attached registry's counter", snap)
+	}
+}
+
+// TestSlowOpLogThresholdZero is the ISSUE acceptance check: with the
+// threshold at zero every span is "slow", so a single traced call must
+// surface its queue wait, handler latency and outcome — stamped with
+// the caller's trace ID — in one structured log line.
+func TestSlowOpLogThresholdZero(t *testing.T) {
+	var buf bytes.Buffer
+	reg := obs.NewRegistry()
+	lw := newLiveWorldWith(t, newTestWorld(t), func(srv *Server) {
+		srv.Obs = reg
+		srv.SlowOpLog = obs.NewLogger(&buf, obs.LevelInfo)
+		srv.SlowOpThreshold = 0
+	})
+
+	c := lw.client(t, lw.alice)
+	c.TraceCalls = true
+	if _, err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	line := buf.String()
+	if line == "" {
+		t.Fatal("slow-op log empty after a traced call at threshold 0")
+	}
+	for _, want := range []string{"slow op", "op=" + OpPing, "queue_wait_us=", "handler_us=", "ok=true", "code=ok"} {
+		if !bytes.Contains([]byte(line), []byte(want)) {
+			t.Fatalf("slow-op line %q lacks %q", line, want)
+		}
+	}
+	m := regexp.MustCompile(`trace=([0-9a-f]{24})`).FindStringSubmatch(line)
+	if m == nil {
+		t.Fatalf("slow-op line %q lacks a 24-hex-char trace ID", line)
+	}
+	if got := reg.Counter("server.slow_ops").Value(); got < 1 {
+		t.Fatalf("server.slow_ops = %d, want >= 1", got)
+	}
+}

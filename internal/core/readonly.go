@@ -9,6 +9,7 @@ import (
 
 	"gridbank/internal/accounts"
 	"gridbank/internal/db"
+	"gridbank/internal/obs"
 	"gridbank/internal/pki"
 	"gridbank/internal/shard"
 )
@@ -71,6 +72,10 @@ type ReadOnlyBankConfig struct {
 	// accounts may live on other shards; per-operation ownership checks
 	// still apply).
 	Shard *ShardInfo
+	// Obs is the replica process's telemetry registry served by
+	// Metrics.Snapshot (replicas answer it exactly like primaries, so
+	// one admin scrape covers the whole fleet). Optional.
+	Obs *obs.Registry
 }
 
 // roState pairs a replicated store with the accounts manager built over
@@ -186,6 +191,20 @@ func (b *ReadOnlyBank) IsAdmin(subject string) bool {
 	}
 	_, err := st.Get(tableAdmins, subject)
 	return err == nil
+}
+
+// MetricsSnapshot answers Metrics.Snapshot on a replica: this
+// process's own telemetry (follower staleness, local server load), not
+// the primary's — the admin check runs against the replicated admin
+// table, so the same credential works fleet-wide.
+func (b *ReadOnlyBank) MetricsSnapshot(caller string) (*MetricsSnapshotResponse, error) {
+	if !b.IsAdmin(caller) {
+		return nil, fmt.Errorf("%w: %s is not an administrator", ErrDenied, caller)
+	}
+	return &MetricsSnapshotResponse{
+		Enabled:  b.cfg.Obs != nil,
+		Snapshot: b.cfg.Obs.Snapshot(),
+	}, nil
 }
 
 // Authorize implements the §3.2 connection gate against replicated

@@ -299,7 +299,6 @@ func newReplicatedWorld(t *testing.T) *replicatedWorld {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pub.Logf = func(string, ...any) {}
 	pln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -312,7 +311,6 @@ func newReplicatedWorld(t *testing.T) *replicatedWorld {
 		Identity:      repID,
 		Trust:         trust,
 		RetryInterval: 20 * time.Millisecond,
-		Logf:          func(string, ...any) {},
 	})
 	if err != nil {
 		t.Fatal(err)

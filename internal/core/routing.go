@@ -9,6 +9,7 @@ import (
 
 	"gridbank/internal/accounts"
 	"gridbank/internal/currency"
+	"gridbank/internal/obs"
 	"gridbank/internal/shard"
 )
 
@@ -86,6 +87,16 @@ type RouteOptions struct {
 	// BreakerCooldown is how long an open circuit rejects calls before
 	// admitting probes again. Default 1s.
 	BreakerCooldown time.Duration
+	// Obs instruments the routed client (committed retries, breaker
+	// state transitions, degraded reads, shard-map refreshes). Nil
+	// disables.
+	Obs *obs.Registry
+	// TraceCalls stamps each logical routed operation with one fresh
+	// trace ID, carried across every retry, replica attempt and
+	// wrong_shard redirect that operation makes — so server-side spans
+	// from all attempts correlate. Also implied by the primary client's
+	// own TraceCalls.
+	TraceCalls bool
 }
 
 // breaker is a per-endpoint circuit breaker. Consecutive endpoint
@@ -98,6 +109,11 @@ type RouteOptions struct {
 type breaker struct {
 	threshold int
 	cooldown  time.Duration
+
+	// opened/closed count state transitions across all endpoints
+	// sharing the registry (nil = uninstrumented).
+	opened *obs.Counter
+	closed *obs.Counter
 
 	mu        sync.Mutex
 	fails     int
@@ -113,13 +129,20 @@ func (b *breaker) allow() bool {
 func (b *breaker) record(err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	wasOpen := b.fails >= b.threshold
 	if err == nil || !endpointFault(err) {
 		b.fails = 0
+		if wasOpen {
+			b.closed.Inc()
+		}
 		return
 	}
 	b.fails++
 	if b.fails >= b.threshold {
 		b.openUntil = time.Now().Add(b.cooldown)
+		if !wasOpen {
+			b.opened.Inc()
+		}
 	}
 }
 
@@ -206,6 +229,20 @@ type RoutedClient struct {
 	// first. Harnesses divide it by successful calls to measure retry
 	// amplification.
 	retries atomic.Int64
+
+	// Telemetry handles (nil no-ops when opts.Obs is unset).
+	mRetries    *obs.Counter
+	mDegraded   *obs.Counter
+	mWrongShard *obs.Counter
+}
+
+// newTrace mints the one trace ID a logical routed operation carries
+// through every attempt it makes ("" = tracing off).
+func (r *RoutedClient) newTrace() string {
+	if r.opts.TraceCalls || r.Client.TraceCalls {
+		return obs.NewTraceID()
+	}
+	return ""
 }
 
 // RetryCount reports how many retries this client has committed so far
@@ -238,15 +275,22 @@ func NewRoutedClient(primary *Client, replicas []*Client, opts RouteOptions) (*R
 	}
 	opts.Retry = opts.Retry.withDefaults()
 	newBreaker := func() *breaker {
-		return &breaker{threshold: opts.BreakerThreshold, cooldown: opts.BreakerCooldown}
+		return &breaker{
+			threshold: opts.BreakerThreshold, cooldown: opts.BreakerCooldown,
+			opened: opts.Obs.Counter("routed.breaker.opened"),
+			closed: opts.Obs.Counter("routed.breaker.closed"),
+		}
 	}
 	rc := &RoutedClient{
-		Client:   primary,
-		primary:  newEndpoint(primary, opts.Conns, newBreaker()),
-		opts:     opts,
-		states:   make([]routeState, len(replicas)),
-		repShard: make([]int, len(replicas)),
-		rtokens:  opts.Retry.BudgetBurst,
+		Client:      primary,
+		primary:     newEndpoint(primary, opts.Conns, newBreaker()),
+		opts:        opts,
+		states:      make([]routeState, len(replicas)),
+		repShard:    make([]int, len(replicas)),
+		rtokens:     opts.Retry.BudgetBurst,
+		mRetries:    opts.Obs.Counter("routed.retries"),
+		mDegraded:   opts.Obs.Counter("routed.degraded_reads"),
+		mWrongShard: opts.Obs.Counter("routed.wrong_shard_refresh"),
 	}
 	for _, c := range replicas {
 		rc.replicas = append(rc.replicas, newEndpoint(c, opts.Conns, newBreaker()))
@@ -483,10 +527,13 @@ func jitteredBackoff(d time.Duration) time.Duration {
 func (r *RoutedClient) retryMutate(op string, in, out any) error {
 	pol := r.opts.Retry
 	backoff := pol.BaseBackoff
+	// One trace ID covers the whole logical mutation: every retry's
+	// server-side span carries the same ID as the first attempt's.
+	trace := r.newTrace()
 	var err error
 	for attempt := 1; ; attempt++ {
 		if r.primary.br.allow() {
-			err = r.primary.pick().Call(op, in, out)
+			err = r.primary.pick().callTraced(op, in, out, 0, trace)
 			r.primary.br.record(err)
 			if err == nil {
 				r.earnRetryToken()
@@ -502,6 +549,7 @@ func (r *RoutedClient) retryMutate(op string, in, out any) error {
 			return err
 		}
 		r.retries.Add(1)
+		r.mRetries.Inc()
 		time.Sleep(jitteredBackoff(backoff))
 		backoff *= 2
 		if backoff > pol.MaxBackoff {
@@ -568,6 +616,7 @@ func routedRead[T any](r *RoutedClient, id accounts.ID, op func(c *Client) (T, e
 	if primary && !r.primary.br.allow() {
 		if alt := r.degradedReplica(id); alt != nil {
 			ep, primary = alt, false
+			r.mDegraded.Inc()
 		}
 	}
 	if primary {
@@ -583,6 +632,7 @@ func routedRead[T any](r *RoutedClient, id accounts.ID, op func(c *Client) (T, e
 		// and paying the primary round trip. Endpoints are compared —
 		// not pooled connections — so the retry never re-asks the same
 		// stale replica over a different connection.
+		r.mWrongShard.Inc()
 		r.loadMap(true)
 		if ep2, p2 := r.readTargetFor(id); !p2 && ep2 != ep {
 			if v2, err2 := breakerCall(ep2, op); err2 == nil || !fallbackWorthy(err2) {
@@ -602,8 +652,9 @@ func routedRead[T any](r *RoutedClient, id accounts.ID, op func(c *Client) (T, e
 // account's shard within the staleness bound, falling back to the
 // primary.
 func (r *RoutedClient) AccountDetails(id accounts.ID) (*accounts.Account, error) {
+	trace := r.newTrace()
 	return routedRead(r, id, func(c *Client) (*accounts.Account, error) {
-		return c.AccountDetails(id)
+		return c.accountDetailsTraced(id, trace)
 	})
 }
 
@@ -611,8 +662,9 @@ func (r *RoutedClient) AccountDetails(id accounts.ID) (*accounts.Account, error)
 // replica of the account's shard within the staleness bound, falling
 // back to the primary.
 func (r *RoutedClient) AccountStatement(id accounts.ID, start, end time.Time) (*accounts.Statement, error) {
+	trace := r.newTrace()
 	return routedRead(r, id, func(c *Client) (*accounts.Statement, error) {
-		return c.AccountStatement(id, start, end)
+		return c.accountStatementTraced(id, start, end, trace)
 	})
 }
 
@@ -620,7 +672,8 @@ func (r *RoutedClient) AccountStatement(id accounts.ID, start, end time.Time) (*
 // the staleness bound (primary-only on sharded deployments, where no
 // single replica holds the whole bank), falling back to the primary.
 func (r *RoutedClient) AdminListAccounts() ([]accounts.Account, error) {
-	list := func(c *Client) ([]accounts.Account, error) { return c.AdminListAccounts() }
+	trace := r.newTrace()
+	list := func(c *Client) ([]accounts.Account, error) { return c.adminListAccountsTraced(trace) }
 	ep, primary := r.readTargetAny()
 	if primary {
 		return breakerCall(r.primary, list)

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"gridbank/internal/accounts"
+	"gridbank/internal/obs"
 	"gridbank/internal/payment"
 	"gridbank/internal/pki"
 	"gridbank/internal/usage"
@@ -54,6 +55,8 @@ type API interface {
 	UsageSubmit(caller string, req *UsageSubmitRequest) (*UsageSubmitResponse, error)
 	UsageStatus(caller string) (*UsageStatusResponse, error)
 	UsageDrain(caller string, req *UsageDrainRequest) (*UsageDrainResponse, error)
+
+	MetricsSnapshot(caller string) (*MetricsSnapshotResponse, error)
 
 	ReplicaStatus() (*ReplicaStatusResponse, error)
 	ShardMap() (*ShardMapResponse, error)
@@ -125,6 +128,151 @@ type Server struct {
 	// connection out instead of pinning its writer. 0 means
 	// DefaultWriteTimeout; negative disables. Set before Serve.
 	WriteTimeout time.Duration
+
+	// Obs instruments the server (per-op latency, queue wait, in-flight,
+	// write-batch sizes, deadline sheds — see README "Observability" for
+	// the metric names). Nil disables instrumentation entirely; the hot
+	// path then touches only nil no-op handles. Set before Serve.
+	Obs *obs.Registry
+	// SlowOpLog, when set, receives one structured line per request span
+	// whose queue wait + handler latency reaches SlowOpThreshold,
+	// carrying the full timing breakdown and the caller's trace ID. Nil
+	// disables. Set before Serve.
+	SlowOpLog *obs.Logger
+	// SlowOpThreshold is the slow-op bar; 0 with SlowOpLog set logs
+	// every span. Set before Serve.
+	SlowOpThreshold time.Duration
+	// OnSpan, when set, observes every completed request span after
+	// dispatch (test hooks, custom sinks). It runs on the dispatch
+	// goroutine — keep it cheap. Set before Serve.
+	OnSpan func(Span)
+
+	metOnce sync.Once
+	met     *serverMetrics
+}
+
+// Span is the per-request timing record the server threads through
+// dispatch: how long the request waited behind MaxInFlight, how long
+// the handler ran, and how it ended. Trace is the client-stamped wire
+// trace ID (empty for untraced callers).
+type Span struct {
+	Trace     string
+	Op        string
+	Subject   string
+	QueueWait time.Duration
+	Handler   time.Duration
+	OK        bool
+	Code      string
+}
+
+// serverMetrics holds pre-resolved instrument handles so the dispatch
+// hot path never takes the registry lock for built-in ops. Nil (obs
+// disabled) short-circuits every method via nil-safe handles.
+type serverMetrics struct {
+	requests     *obs.Counter
+	errors       *obs.Counter
+	inflight     *obs.Gauge
+	queueWait    *obs.Histogram
+	deadlineShed *obs.Counter
+	writeBatch   *obs.Histogram
+	slowOps      *obs.Counter
+	opLatency    map[string]*obs.Histogram
+
+	reg *obs.Registry // fallback for custom-registered ops
+	mu  sync.RWMutex
+}
+
+func (m *serverMetrics) latencyFor(op string) *obs.Histogram {
+	if m.reg == nil {
+		return nil
+	}
+	m.mu.RLock()
+	h := m.opLatency[op]
+	m.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	h = m.reg.Histogram("server.op." + op + ".latency")
+	m.mu.Lock()
+	m.opLatency[op] = h
+	m.mu.Unlock()
+	return h
+}
+
+// metrics lazily resolves the server's instrument handles. Always
+// non-nil; with Obs unset every handle inside is a nil no-op, so
+// instrumented paths never branch on "observability off".
+func (s *Server) metrics() *serverMetrics {
+	s.metOnce.Do(func() {
+		m := &serverMetrics{opLatency: make(map[string]*obs.Histogram), reg: s.Obs}
+		if s.Obs != nil {
+			m.requests = s.Obs.Counter("server.requests")
+			m.errors = s.Obs.Counter("server.errors")
+			m.inflight = s.Obs.Gauge("server.inflight")
+			m.queueWait = s.Obs.Histogram("server.queue_wait")
+			m.deadlineShed = s.Obs.Counter("server.deadline_shed")
+			m.writeBatch = s.Obs.Histogram("server.write_batch")
+			m.slowOps = s.Obs.Counter("server.slow_ops")
+			for _, op := range builtinOps {
+				m.opLatency[op] = s.Obs.Histogram("server.op." + op + ".latency")
+			}
+		}
+		s.met = m
+	})
+	return s.met
+}
+
+// observedDispatch wraps dispatch in a request span: queue wait is the
+// time since the frame was read (semaphore wait plus scheduling),
+// handler latency is the dispatch itself, and the outcome code is the
+// response's. The span feeds the per-op metrics, OnSpan, and — past
+// SlowOpThreshold — the slow-op log.
+func (s *Server) observedDispatch(subject string, req *wire.Request, arrived time.Time) *wire.Response {
+	met := s.metrics()
+	queueWait := time.Since(arrived)
+	start := arrived.Add(queueWait)
+	resp := s.dispatch(subject, req)
+	handler := time.Since(start)
+	met.requests.Inc()
+	met.queueWait.ObserveDuration(queueWait)
+	met.latencyFor(req.Op).ObserveDuration(handler)
+	code := resp.Code
+	if resp.OK && code == "" {
+		code = "ok" // CodeOK is the empty string; spans want a greppable token
+	}
+	if !resp.OK {
+		met.errors.Inc()
+	}
+	s.finishSpan(Span{
+		Trace:     req.Trace,
+		Op:        req.Op,
+		Subject:   subject,
+		QueueWait: queueWait,
+		Handler:   handler,
+		OK:        resp.OK,
+		Code:      code,
+	})
+	return resp
+}
+
+// finishSpan fans a completed span out to OnSpan and the slow-op log.
+func (s *Server) finishSpan(span Span) {
+	if s.OnSpan != nil {
+		s.OnSpan(span)
+	}
+	if s.SlowOpLog == nil || span.QueueWait+span.Handler < s.SlowOpThreshold {
+		return
+	}
+	s.metrics().slowOps.Inc()
+	s.SlowOpLog.Warn("slow op",
+		"trace", span.Trace,
+		"op", span.Op,
+		"subject", span.Subject,
+		"queue_wait_us", span.QueueWait.Microseconds(),
+		"handler_us", span.Handler.Microseconds(),
+		"ok", span.OK,
+		"code", span.Code,
+	)
 }
 
 // OpHandler serves one custom operation: the §3.2 extension point
@@ -183,14 +331,22 @@ func (s *Server) RegisterOp(name string, h OpHandler) error {
 	return nil
 }
 
+// builtinOps lists every built-in operation name — the RegisterOp
+// collision check and the pre-resolved per-op latency histograms both
+// derive from it.
+var builtinOps = []string{
+	OpPing, OpCreateAccount, OpAccountDetails, OpUpdateAccount, OpAccountStatement,
+	OpCheckFunds, OpDirectTransfer, OpRequestCheque, OpRedeemCheque, OpRequestChain,
+	OpRedeemChain, OpReleaseCheque, OpReleaseChain, OpAdminDeposit, OpAdminWithdraw,
+	OpAdminCreditLimit, OpAdminCancel, OpAdminClose, OpAdminAccounts, OpReplicaStatus,
+	OpShardMap, OpUsageSubmit, OpUsageStatus, OpUsageDrain, OpMetrics,
+}
+
 func isBuiltinOp(name string) bool {
-	switch name {
-	case OpPing, OpCreateAccount, OpAccountDetails, OpUpdateAccount, OpAccountStatement,
-		OpCheckFunds, OpDirectTransfer, OpRequestCheque, OpRedeemCheque, OpRequestChain,
-		OpRedeemChain, OpReleaseCheque, OpReleaseChain, OpAdminDeposit, OpAdminWithdraw,
-		OpAdminCreditLimit, OpAdminCancel, OpAdminClose, OpAdminAccounts, OpReplicaStatus,
-		OpShardMap, OpUsageSubmit, OpUsageStatus, OpUsageDrain:
-		return true
+	for _, op := range builtinOps {
+		if op == name {
+			return true
+		}
 	}
 	return false
 }
@@ -337,6 +493,7 @@ func (s *Server) handleConn(raw net.Conn) {
 	}
 	known := s.bank.Authorize(subject) == nil
 	conn := wire.NewConn(tconn)
+	met := s.metrics()
 
 	maxInFlight := s.maxInFlightCap()
 	// Capacity covers every dispatcher plus the read loop's own gate
@@ -403,7 +560,7 @@ func (s *Server) handleConn(raw net.Conn) {
 				}
 				break // drop the connection, as the paper prescribes
 			}
-			resp := s.dispatch(subject, req)
+			resp := s.observedDispatch(subject, req, time.Now())
 			if req.Op == OpCreateAccount && resp.OK {
 				known = true
 			}
@@ -413,6 +570,7 @@ func (s *Server) handleConn(raw net.Conn) {
 		arrived := time.Now()
 		sem <- struct{}{} // backpressure: cap in-flight work per connection
 		inflight.Add(1)
+		met.inflight.Inc()
 		dispatches.Add(1)
 		go func(req *wire.Request) {
 			defer dispatches.Done()
@@ -427,10 +585,16 @@ func (s *Server) handleConn(raw net.Conn) {
 					ID: req.ID, OK: false, Code: CodeDeadlineExceeded,
 					Error: fmt.Sprintf("request shed: caller deadline of %dms elapsed before dispatch", req.DeadlineMS),
 				}
+				met.deadlineShed.Inc()
+				s.finishSpan(Span{
+					Trace: req.Trace, Op: req.Op, Subject: subject,
+					QueueWait: time.Since(arrived), OK: false, Code: CodeDeadlineExceeded,
+				})
 			} else {
-				resp = s.dispatch(subject, req)
+				resp = s.observedDispatch(subject, req, arrived)
 			}
 			inflight.Add(-1)
+			met.inflight.Dec()
 			lastActive.Store(time.Now().UnixNano())
 			// Queue before releasing the slot: a peer that sends but
 			// stops reading stalls the writer, and the semaphore must
@@ -475,12 +639,14 @@ func (s *Server) writeLoop(nc net.Conn, ch <-chan *wire.Response, lastActive *at
 			}
 		}
 	}
+	met := s.metrics()
 	for resp := range ch {
 		if failed {
 			continue
 		}
 		buf.Reset()
 		frame(resp)
+		batch := int64(1)
 	coalesce:
 		for !failed && buf.Len() > 0 && buf.Len() < coalesceBytes {
 			select {
@@ -490,11 +656,13 @@ func (s *Server) writeLoop(nc net.Conn, ch <-chan *wire.Response, lastActive *at
 					break coalesce
 				}
 				frame(more)
+				batch++
 			default:
 				break coalesce
 			}
 		}
 		if !failed && buf.Len() > 0 {
+			met.writeBatch.Observe(batch)
 			if _, err := dw.Write(buf.Bytes()); err != nil {
 				failed = true
 				nc.Close() // the connection is dead; unblock the read loop
@@ -618,6 +786,8 @@ func (s *Server) dispatch(subject string, req *wire.Request) *wire.Response {
 		if err = wire.Decode(req.Body, &r); err == nil {
 			body, err = s.bank.UsageDrain(subject, &r)
 		}
+	case OpMetrics:
+		body, err = s.bank.MetricsSnapshot(subject)
 	case OpReplicaStatus:
 		body, err = s.bank.ReplicaStatus()
 	case OpShardMap:

@@ -18,7 +18,6 @@ func attachPipeline(t *testing.T, w *testWorld, cfg usage.Config) *usage.Pipelin
 	cfg.Ledger = usage.WrapManager(w.bank.Manager())
 	cfg.Spool = db.MustOpenMemory()
 	cfg.Now = w.clock.Now
-	cfg.Logf = t.Logf
 	p, err := usage.New(cfg)
 	if err != nil {
 		t.Fatal(err)

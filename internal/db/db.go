@@ -29,6 +29,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gridbank/internal/obs"
 	"gridbank/internal/strhash"
 )
 
@@ -297,6 +298,28 @@ type Store struct {
 	// original journal error rather than serving (or snapshotting)
 	// state that would vanish on restart.
 	failed atomic.Pointer[error]
+
+	// OCC telemetry (nil no-ops until SetObs; see internal/obs).
+	mConflicts *obs.Counter
+	mRetries   *obs.Counter
+}
+
+// obsJournal is the optional journal extension SetObs forwards to, so
+// journal-level instruments (fsync latency, group size, bytes written)
+// land in the same registry as the store's OCC counters.
+type obsJournal interface {
+	setObs(reg *obs.Registry)
+}
+
+// SetObs attaches a telemetry registry: OCC conflict/retry counters on
+// the store, fsync/group-commit instruments on the journal. Wiring-time
+// only — call before the store sees concurrent traffic.
+func (s *Store) SetObs(reg *obs.Registry) {
+	s.mConflicts = reg.Counter("db.occ_conflicts")
+	s.mRetries = reg.Counter("db.occ_retries")
+	if oj, ok := s.journal.(obsJournal); ok {
+		oj.setObs(reg)
+	}
 }
 
 // fail poisons the store after a divergence-inducing journal error.

@@ -9,6 +9,9 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
+
+	"gridbank/internal/obs"
 )
 
 // Op is a journal operation kind.
@@ -105,6 +108,19 @@ type fileJournal struct {
 	staged  []*ticket
 	leading bool  // a leader is currently writing outside mu
 	err     error // sticky flush failure: once durability order is broken, fail stop
+
+	// Group-commit telemetry (nil no-ops until setObs).
+	mFsync *obs.Histogram // fsync latency per group flush
+	mBatch *obs.Histogram // staged batches coalesced per flush
+	mBytes *obs.Counter   // journal bytes written
+}
+
+// setObs resolves the journal's instruments. Wiring-time only, via
+// Store.SetObs.
+func (j *fileJournal) setObs(reg *obs.Registry) {
+	j.mFsync = reg.Histogram("db.fsync")
+	j.mBatch = reg.Histogram("db.commit_batch")
+	j.mBytes = reg.Counter("db.journal_bytes")
 }
 
 // OpenFileJournal opens (creating if needed) a journal file. If syncEach
@@ -187,16 +203,24 @@ func (j *fileJournal) flushGroupLocked() {
 	if f == nil {
 		err = ErrClosed
 	}
+	var bytesOut int64
 	for _, t := range group {
 		if err == nil {
 			_, err = w.Write(t.e.buf.Bytes())
+			bytesOut += int64(t.e.buf.Len())
 		}
 	}
 	if err == nil {
 		err = w.Flush()
 	}
 	if err == nil && syncEach {
+		syncStart := time.Now()
 		err = f.Sync()
+		j.mFsync.ObserveDuration(time.Since(syncStart))
+	}
+	j.mBatch.Observe(int64(len(group)))
+	if err == nil {
+		j.mBytes.Add(bytesOut)
 	}
 
 	j.mu.Lock()

@@ -86,6 +86,7 @@ func (s *Store) Update(fn func(tx *Tx) error) error {
 		if !errors.Is(err, ErrConflict) {
 			return err
 		}
+		s.mRetries.Inc()
 		// Contended: yield so the winning committer finishes, with a
 		// touch of backoff once the key is clearly hot.
 		if attempt < 8 {
@@ -376,6 +377,7 @@ func (tx *Tx) Commit() error {
 
 	if !tx.validateLocked(foot) {
 		unlock()
+		s.mConflicts.Inc()
 		return ErrConflict
 	}
 

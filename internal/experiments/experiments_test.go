@@ -458,3 +458,34 @@ func TestWireExpSweep(t *testing.T) {
 		t.Error("report rendering broken")
 	}
 }
+
+func TestObsExpSweep(t *testing.T) {
+	// Tiny sweep: fresh-pair ABBA rounds with conservation asserts and
+	// the telemetry-was-live check, sized for CI; the overhead numbers
+	// themselves are meaningless at this scale and not asserted.
+	r, err := RunObsExp(ObsExpConfig{
+		Concurrency:  []int{1, 4},
+		OpsPerCaller: 10,
+		Rounds:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 workloads x 2 concurrency levels.
+	if len(r.Points) != 4 {
+		t.Fatalf("got %d points, want 4", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.OffOps <= 0 || p.OnOps <= 0 {
+			t.Fatalf("%s/%d: nonpositive throughput %+v", p.Workload, p.Concurrency, p)
+		}
+	}
+	if r.Series == 0 || r.ServerRequests == 0 {
+		t.Fatalf("instrumented side not live: %d series, %d requests", r.Series, r.ServerRequests)
+	}
+	var buf bytes.Buffer
+	WriteObsExp(&buf, r)
+	if !strings.Contains(buf.String(), "aggregate overhead") {
+		t.Error("report rendering broken")
+	}
+}

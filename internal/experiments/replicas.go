@@ -162,7 +162,6 @@ func newReplicaWorld(nReplicas int) (*replicaWorld, error) {
 	if err != nil {
 		return nil, err
 	}
-	pub.Logf = func(string, ...any) {}
 	pln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -181,7 +180,6 @@ func newReplicaWorld(nReplicas int) (*replicaWorld, error) {
 			Identity:      repID,
 			Trust:         w.trust,
 			RetryInterval: 50 * time.Millisecond,
-			Logf:          func(string, ...any) {},
 		})
 		if err != nil {
 			return nil, err

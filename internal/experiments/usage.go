@@ -287,7 +287,6 @@ func (w *usageCellWorld) open(cfg UsageExpConfig, workers, batch int) error {
 		// measures batching, not backpressure.
 		MaxPending:    cfg.Jobs + cfg.CrashJobs + 1,
 		RetryInterval: time.Millisecond,
-		Logf:          func(string, ...any) {},
 		CrashHook: func(b usage.Boundary, _ string) error {
 			if !w.armed.Load() {
 				return nil

@@ -31,6 +31,7 @@ import (
 
 	"gridbank"
 	"gridbank/internal/netsim"
+	"gridbank/internal/obs"
 )
 
 // Config parameterizes one chaos run. The zero value of every field
@@ -70,6 +71,11 @@ type Config struct {
 	// CallTimeout is the per-call deadline of the chaos clients.
 	// Default 800ms.
 	CallTimeout time.Duration
+	// Log records fault-driver events (debug) and invariant failures
+	// (error) in the shared obs log format; every line names the seed,
+	// and chaos client calls are traced so server-side slow-op lines
+	// correlate by trace ID. Nil discards.
+	Log *obs.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -125,7 +131,9 @@ type op struct {
 // violation.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	clog := cfg.Log.With("seed", cfg.Seed)
 	fail := func(format string, a ...any) error {
+		clog.Error("chaos run failed", "err", fmt.Sprintf(format, a...))
 		return fmt.Errorf("chaos seed %d: %s", cfg.Seed, fmt.Sprintf(format, a...))
 	}
 
@@ -264,6 +272,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		primary.DialTimeout = 2 * time.Second
 		primary.CallTimeout = cfg.CallTimeout
+		primary.TraceCalls = true
 		var reps []*gridbank.Client
 		for _, r := range dep.Replicas() {
 			c, err := gridbank.Dial(r.Addr(), id, dep.Trust)
@@ -294,13 +303,16 @@ func Run(cfg Config) (*Result, error) {
 				case <-time.After(gap):
 				}
 				if rng.Float64() < 0.1 {
+					clog.Debug("chaos driver: cut all client connections")
 					cliProxy.CutAll()
 					continue
 				}
-				p := links[rng.Intn(len(links))]
+				li := rng.Intn(len(links))
+				p := links[li]
 				dir := rng.Intn(3)
 				p.Partition(dir != 1, dir != 0) // c2s, s2c or both
 				window := 100*time.Millisecond + time.Duration(rng.Int63n(int64(200*time.Millisecond)))
+				clog.Debug("chaos driver: partition", "link", li, "dir", dir, "window", window)
 				select {
 				case <-driverStop:
 					p.Heal()
@@ -440,9 +452,11 @@ func Run(cfg Config) (*Result, error) {
 
 	// Invariants.
 	if err := checkMoney(cfg, dep, admin, total0, workerOps, accts, consumer, gspAcct, len(subs), fund); err != nil {
+		clog.Error("chaos invariant failed", "err", err)
 		return nil, err
 	}
 	if err := checkReplicas(cfg, dep, owners); err != nil {
+		clog.Error("chaos invariant failed", "err", err)
 		return nil, err
 	}
 
@@ -452,6 +466,9 @@ func Run(cfg Config) (*Result, error) {
 		res.P50 = lats[n/2]
 		res.P99 = lats[n*99/100]
 	}
+	clog.Info("chaos run passed",
+		"acked", res.AckedOps, "ambiguous", res.AmbiguousOps, "redriven", res.Redriven,
+		"retries", res.Retries, "goodput_ops", int64(res.GoodputOps))
 	return res, nil
 }
 

@@ -1,11 +1,25 @@
 package chaos
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	"gridbank/internal/netsim"
+	"gridbank/internal/obs"
 )
+
+// tlogWriter routes the harness's structured log into test output.
+type tlogWriter struct{ t *testing.T }
+
+func (w tlogWriter) Write(p []byte) (int, error) {
+	w.t.Log(strings.TrimSuffix(string(p), "\n"))
+	return len(p), nil
+}
+
+func testLog(t *testing.T) *obs.Logger {
+	return obs.NewLogger(tlogWriter{t}, obs.LevelInfo)
+}
 
 // moderate is the fault profile the fast test and the soak share as a
 // baseline: a lossy, jittery, frame-tearing WAN.
@@ -26,6 +40,7 @@ func TestChaosEndToEnd(t *testing.T) {
 		Seed:     1,
 		Duration: 1500 * time.Millisecond,
 		Faults:   moderate,
+		Log:      testLog(t),
 	})
 	if err != nil {
 		t.Fatal(err) // the error carries the seed
@@ -78,6 +93,7 @@ func TestChaosSoak(t *testing.T) {
 			UsageJobs:      32,
 			Faults:         heavy,
 			PartitionEvery: 150 * time.Millisecond,
+			Log:            testLog(t),
 		})
 		if err != nil {
 			t.Fatalf("soak failed (replay with this seed): %v", err)

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram buckets are fixed powers of two: bucket i counts
+// observations whose bit length is i, i.e. values in [2^(i-1), 2^i).
+// Bucketing is therefore a single bits.Len64 — no search, no bounds
+// slice — and observations of latencies recorded in microseconds span
+// 1µs..2^39µs (~6 days) before clamping into the overflow bucket.
+const histBuckets = 40
+
+// histShards spreads hot-path recording over independent cache lines;
+// snapshots sum across shards. Shard choice hashes the observed value,
+// so concurrent recorders of differing latencies land on different
+// lines without any shared cursor.
+const histShards = 4
+
+type histShard struct {
+	count  atomic.Int64
+	sum    atomic.Int64
+	counts [histBuckets]atomic.Int64
+	_      [64]byte // pad shards onto separate cache lines
+}
+
+// Histogram is a sharded fixed-bucket histogram of int64 observations
+// (GridBank records latencies in microseconds). Recording is
+// allocation-free: one bits.Len64, three atomic adds, and at most one
+// CAS loop for the running max.
+type Histogram struct {
+	shards [histShards]histShard
+	max    atomic.Int64
+}
+
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	s := &h.shards[(uint64(v)*0x9E3779B97F4A7C15)>>62%histShards]
+	s.count.Add(1)
+	s.sum.Add(v)
+	s.counts[bucketIndex(v)].Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in microseconds (sub-microsecond
+// observations land in the lowest bucket). No-op on a nil receiver.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(int64(d / time.Microsecond))
+}
+
+// ObserveSince records the elapsed time since start, in microseconds —
+// `defer h.ObserveSince(time.Now())` times a whole function. No-op on
+// a nil receiver.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.ObserveDuration(time.Since(start))
+}
+
+// HistogramStat is one histogram in a Snapshot: totals, the running
+// max, estimated quantiles, and the non-empty buckets (cumulative, for
+// Prometheus rendering).
+type HistogramStat struct {
+	Name    string            `json:"name"`
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Max     int64             `json:"max"`
+	P50     int64             `json:"p50"`
+	P90     int64             `json:"p90"`
+	P99     int64             `json:"p99"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// HistogramBucket is a cumulative bucket: Count observations were ≤ Le.
+type HistogramBucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// bucketUpper is the inclusive upper bound of bucket i.
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+func (h *Histogram) stat(name string) HistogramStat {
+	st := HistogramStat{Name: name}
+	if h == nil {
+		return st
+	}
+	var counts [histBuckets]int64
+	for i := range h.shards {
+		s := &h.shards[i]
+		st.Count += s.count.Load()
+		st.Sum += s.sum.Load()
+		for b := range s.counts {
+			counts[b] += s.counts[b].Load()
+		}
+	}
+	st.Max = h.max.Load()
+	if st.Count == 0 {
+		return st
+	}
+	st.P50 = quantile(&counts, st.Count, 0.50)
+	st.P90 = quantile(&counts, st.Count, 0.90)
+	st.P99 = quantile(&counts, st.Count, 0.99)
+	cum := int64(0)
+	for i, c := range counts {
+		if c == 0 {
+			continue // empty buckets contribute nothing cumulative either
+		}
+		cum += c
+		st.Buckets = append(st.Buckets, HistogramBucket{Le: bucketUpper(i), Count: cum})
+	}
+	return st
+}
+
+// quantile estimates the q-quantile by linear interpolation inside the
+// bucket where the cumulative count crosses q*total.
+func quantile(counts *[histBuckets]int64, total int64, q float64) int64 {
+	target := int64(q*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	cum := int64(0)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= target {
+			lo := int64(0)
+			if i > 0 {
+				lo = int64(1) << uint(i-1)
+			}
+			hi := bucketUpper(i)
+			frac := float64(target-cum) / float64(c)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return bucketUpper(histBuckets - 1)
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+// Log levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("LEVEL(%d)", int(l))
+	}
+}
+
+// Logger is a leveled key=value logger. One logger replaces the ad-hoc
+// Logf hooks that used to be scattered across the usage pipeline, the
+// chaos harness, and the experiments — so a chaos-soak failure and a
+// slow-op trace render in the same greppable format (seed=… trace=…).
+//
+// With derives child loggers that stamp fixed context pairs on every
+// line. A nil *Logger discards everything, so components hold a plain
+// field and "quiet" is the zero value.
+type Logger struct {
+	mu  *sync.Mutex
+	out io.Writer
+	min Level
+	ctx string // pre-rendered " key=value" suffix from With
+	now func() time.Time
+}
+
+// NewLogger writes lines at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, out: w, min: min, now: time.Now}
+}
+
+// WithClock returns a copy using now for timestamps (simulations,
+// deterministic tests). Nil-safe.
+func (l *Logger) WithClock(now func() time.Time) *Logger {
+	if l == nil {
+		return nil
+	}
+	cp := *l
+	cp.now = now
+	return &cp
+}
+
+// With returns a child logger that appends the given key/value pairs
+// to every line it emits. Pairs render once, here, not per line.
+// Nil-safe: With on a nil logger stays nil.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil || len(kv) == 0 {
+		return l
+	}
+	cp := *l
+	var b strings.Builder
+	b.WriteString(l.ctx)
+	appendPairs(&b, kv)
+	cp.ctx = b.String()
+	return &cp
+}
+
+// Enabled reports whether lines at lv would be written.
+func (l *Logger) Enabled(lv Level) bool { return l != nil && lv >= l.min }
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(l.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteByte(' ')
+	b.WriteString(lv.String())
+	b.WriteByte(' ')
+	b.WriteString(msg)
+	b.WriteString(l.ctx)
+	appendPairs(&b, kv)
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	io.WriteString(l.out, b.String())
+}
+
+// appendPairs renders kv as " key=value" pairs. A trailing odd value
+// renders under the key "arg" rather than being dropped.
+func appendPairs(b *strings.Builder, kv []any) {
+	for i := 0; i < len(kv); i += 2 {
+		b.WriteByte(' ')
+		if i+1 >= len(kv) {
+			b.WriteString("arg=")
+			b.WriteString(formatValue(kv[i]))
+			return
+		}
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(formatValue(kv[i+1]))
+	}
+}
+
+func formatValue(v any) string {
+	s := fmt.Sprint(v)
+	if strings.ContainsAny(s, " \t\n\"=") || s == "" {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

@@ -1,0 +1,208 @@
+// Package obs is GridBank's zero-dependency telemetry layer: atomic
+// counters, gauges, and sharded fixed-bucket latency histograms behind
+// a named Registry with a deterministic Snapshot, plus trace-ID
+// generation for wire-propagated request tracing and a leveled
+// structured logger shared by the slow-op log and the chaos harness.
+//
+// Every instrument is nil-safe: methods on a nil *Counter, *Gauge,
+// *Histogram, *Registry or *Logger are no-ops, so instrumented code
+// holds plain handles and "observability off" is just a nil registry —
+// no branches, no interface indirection on the hot path.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value (queue depth, in-flight
+// requests, applied sequence).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n. No-op on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the gauge by delta. No-op on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Inc adds one. No-op on a nil receiver.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one. No-op on a nil receiver.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value reads the gauge (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry names and owns a process's instruments. Get-or-create
+// lookups take an RWMutex read lock only; instrumented code resolves
+// handles once at construction and the hot path never touches the
+// registry again.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+// Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil
+// (a no-op handle) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every instrument, with
+// deterministic ordering: instruments sort by name within their kind.
+type Snapshot struct {
+	TakenAt  time.Time       `json:"taken_at"`
+	Counters []CounterStat   `json:"counters,omitempty"`
+	Gauges   []GaugeStat     `json:"gauges,omitempty"`
+	Hists    []HistogramStat `json:"histograms,omitempty"`
+}
+
+// CounterStat is one counter in a Snapshot.
+type CounterStat struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeStat is one gauge in a Snapshot.
+type GaugeStat struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Snapshot copies every instrument. The result is deterministic for a
+// quiescent registry: same instruments, same order, same values. A nil
+// registry snapshots empty. now stamps TakenAt; pass the zero value to
+// use time.Now.
+func (r *Registry) Snapshot() Snapshot { return r.SnapshotAt(time.Now()) }
+
+// SnapshotAt is Snapshot with an injected timestamp (simulated clocks,
+// deterministic tests).
+func (r *Registry) SnapshotAt(now time.Time) Snapshot {
+	s := Snapshot{TakenAt: now}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s.Counters = make([]CounterStat, 0, len(r.counters))
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterStat{Name: name, Value: c.Value()})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	s.Gauges = make([]GaugeStat, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeStat{Name: name, Value: g.Value()})
+	}
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	s.Hists = make([]HistogramStat, 0, len(r.hists))
+	for name, h := range r.hists {
+		s.Hists = append(s.Hists, h.stat(name))
+	}
+	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
+	return s
+}

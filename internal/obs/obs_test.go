@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("counter handle not stable across lookups")
+	}
+	g := r.Gauge("a.gauge")
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	var l *Logger
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(2)
+	h.Observe(10)
+	h.ObserveDuration(time.Millisecond)
+	l.Info("dropped")
+	l.With("k", "v").Error("dropped")
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Hists) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// 1000 observations spread 1..1000: p50 ≈ 500, p99 ≈ 990, max = 1000.
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	st := h.stat("lat")
+	if st.Count != 1000 || st.Sum != 1000*1001/2 || st.Max != 1000 {
+		t.Fatalf("count/sum/max = %d/%d/%d", st.Count, st.Sum, st.Max)
+	}
+	// Power-of-two buckets bound the estimate to within its bucket:
+	// p50's true value 500 lives in [256,511], p99's 990 in [512,1023].
+	if st.P50 < 256 || st.P50 > 511 {
+		t.Fatalf("p50 = %d, want within [256,511]", st.P50)
+	}
+	if st.P90 < 512 || st.P90 > 1023 {
+		t.Fatalf("p90 = %d, want within [512,1023]", st.P90)
+	}
+	if st.P99 < 512 || st.P99 > 1023 {
+		t.Fatalf("p99 = %d, want within [512,1023]", st.P99)
+	}
+	if len(st.Buckets) == 0 || st.Buckets[len(st.Buckets)-1].Count != 1000 {
+		t.Fatalf("cumulative buckets broken: %+v", st.Buckets)
+	}
+}
+
+// TestHistogramRaceRecordVsSnapshot hammers a histogram from many
+// goroutines while snapshotting concurrently; run under -race this is
+// the tentpole's "recording vs snapshot" concurrency proof.
+func TestHistogramRaceRecordVsSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	c := r.Counter("n")
+	const writers, perWriter = 8, 2000
+	stop := make(chan struct{})
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Snapshot()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := int64(0); i < perWriter; i++ {
+				h.Observe(seed*31 + i%977)
+				c.Inc()
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(stop)
+	<-snapDone
+	st := h.stat("lat")
+	if st.Count != writers*perWriter {
+		t.Fatalf("count = %d, want %d", st.Count, writers*perWriter)
+	}
+}
+
+func TestSnapshotDeterminism(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"z.last", "a.first", "m.mid"} {
+		r.Counter("c." + n).Add(3)
+		r.Gauge("g." + n).Set(9)
+		r.Histogram("h." + n).Observe(42)
+	}
+	at := time.Unix(1700000000, 0)
+	s1, s2 := r.SnapshotAt(at), r.SnapshotAt(at)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("quiescent snapshots differ:\n%+v\n%+v", s1, s2)
+	}
+	for i := 1; i < len(s1.Counters); i++ {
+		if s1.Counters[i-1].Name >= s1.Counters[i].Name {
+			t.Fatalf("counters not sorted: %+v", s1.Counters)
+		}
+	}
+	for i := 1; i < len(s1.Hists); i++ {
+		if s1.Hists[i-1].Name >= s1.Hists[i].Name {
+			t.Fatalf("histograms not sorted: %+v", s1.Hists)
+		}
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if len(id) != 24 {
+			t.Fatalf("trace id %q: want 24 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestLoggerFormatAndLevels(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(&buf, LevelInfo).WithClock(func() time.Time { return time.Unix(1700000000, 0) })
+	l.Debug("hidden")
+	child := l.With("seed", int64(123), "trace", "abc")
+	child.Warn("slow op", "queue_wait_us", 15, "msg", "two words")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("debug line leaked below min level: %q", out)
+	}
+	for _, want := range []string{"WARN slow op", "seed=123", "trace=abc", "queue_wait_us=15", `msg="two words"`, "2023-11-14T22:13:20.000Z"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log line %q missing %q", out, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server.requests").Add(12)
+	r.Gauge("usage.queue_depth").Set(3)
+	r.Histogram("db.fsync").Observe(1000)
+	var buf strings.Builder
+	if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE gridbank_server_requests_total counter",
+		"gridbank_server_requests_total 12",
+		"# TYPE gridbank_usage_queue_depth gauge",
+		"gridbank_usage_queue_depth 3",
+		"# TYPE gridbank_db_fsync_seconds histogram",
+		`gridbank_db_fsync_seconds_bucket{le="+Inf"} 1`,
+		"gridbank_db_fsync_seconds_sum 0.001",
+		"gridbank_db_fsync_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// promName maps a registry name ("server.op.Transfer.latency") onto a
+// legal Prometheus metric name ("gridbank_server_op_Transfer_latency").
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("gridbank_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format. Histogram buckets and sums convert from the registry's
+// microseconds to Prometheus's conventional seconds.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	for _, c := range s.Counters {
+		n := promName(c.Name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Hists {
+		n := promName(h.Name) + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", n, float64(b.Le)/1e6, b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+			n, h.Count, n, float64(h.Sum)/1e6, n, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

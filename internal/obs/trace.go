@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// tracePrefix is a per-process random prefix so trace IDs from
+// different processes (client fleets, gridbankd instances) never
+// collide; the per-trace cost is then a single atomic increment
+// instead of a crypto/rand read.
+var tracePrefix = func() [8]byte {
+	var p [8]byte
+	if _, err := rand.Read(p[:]); err != nil {
+		// crypto/rand failing is a broken platform; trace IDs are
+		// diagnostics, not security, so fall back to a fixed prefix.
+		copy(p[:], "gbtrace!")
+	}
+	return p
+}()
+
+var traceCounter atomic.Uint64
+
+// NewTraceID returns a 24-hex-char process-unique trace ID: an
+// 8-byte random per-process prefix followed by a 4-byte sequence.
+// Cheap enough to stamp on every wire call.
+func NewTraceID() string {
+	var b [12]byte
+	copy(b[:8], tracePrefix[:])
+	binary.BigEndian.PutUint32(b[8:], uint32(traceCounter.Add(1)))
+	return hex.EncodeToString(b[:])
+}

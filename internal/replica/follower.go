@@ -5,13 +5,13 @@ import (
 	"crypto/tls"
 	"errors"
 	"fmt"
-	"log"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gridbank/internal/db"
+	"gridbank/internal/obs"
 	"gridbank/internal/pki"
 	"gridbank/internal/wire"
 )
@@ -39,9 +39,12 @@ type FollowerConfig struct {
 	// RetryInterval is the pause between reconnect attempts (default
 	// 500ms).
 	RetryInterval time.Duration
-	// Logf logs session-level events; defaults to log.Printf. Set it to
-	// a no-op to silence the follower.
-	Logf func(format string, args ...any)
+	// Log records session-level events; nil discards them.
+	Log *obs.Logger
+	// Obs names the follower's instruments (replica.applied_seq,
+	// replica.head_seq, replica.staleness_ms, replica.bootstraps). Nil
+	// leaves telemetry off.
+	Obs *obs.Registry
 }
 
 // Follower maintains a read-only mirror of the primary's store: it
@@ -58,6 +61,12 @@ type Follower struct {
 	applied    atomic.Uint64
 	head       atomic.Uint64
 	bootstraps atomic.Uint64
+
+	// Telemetry handles (nil no-ops when FollowerConfig.Obs is nil).
+	mApplied    *obs.Gauge
+	mHead       *obs.Gauge
+	mStaleness  *obs.Gauge
+	mBootstraps *obs.Counter
 
 	mu          sync.Mutex
 	syncedAt    time.Time // last instant applied == head was observed
@@ -88,9 +97,6 @@ func StartFollower(cfg FollowerConfig) (*Follower, error) {
 	if cfg.RetryInterval <= 0 {
 		cfg.RetryInterval = 500 * time.Millisecond
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
-	}
 	tcfg, err := pki.ClientTLSConfig(cfg.Identity, cfg.Trust)
 	if err != nil {
 		return nil, err
@@ -100,6 +106,11 @@ func StartFollower(cfg FollowerConfig) (*Follower, error) {
 		tls:   tcfg,
 		ready: make(chan struct{}),
 		done:  make(chan struct{}),
+
+		mApplied:    cfg.Obs.Gauge("replica.applied_seq"),
+		mHead:       cfg.Obs.Gauge("replica.head_seq"),
+		mStaleness:  cfg.Obs.Gauge("replica.staleness_ms"),
+		mBootstraps: cfg.Obs.Counter("replica.bootstraps"),
 	}
 	f.wg.Add(1)
 	go f.run()
@@ -116,7 +127,8 @@ func (f *Follower) run() {
 		if closed {
 			return
 		}
-		f.cfg.Logf("replica: session with %s ended: %v (retrying in %v)", f.cfg.PublisherAddr, err, f.cfg.RetryInterval)
+		f.cfg.Log.Warn("replica session ended",
+			"publisher", f.cfg.PublisherAddr, "err", err, "retry_in", f.cfg.RetryInterval)
 		select {
 		case <-f.done:
 			return
@@ -196,11 +208,14 @@ func (f *Follower) session() error {
 		}
 		f.store.Store(store)
 		f.applied.Store(hello.Snapshot.Seq)
+		f.mApplied.Set(int64(hello.Snapshot.Seq))
 		f.bootstraps.Add(1)
+		f.mBootstraps.Inc()
 	} else if f.store.Load() == nil {
 		return errors.New("replica: publisher sent no snapshot to a cold follower")
 	}
 	f.head.Store(hello.HeadSeq)
+	f.mHead.Set(int64(hello.HeadSeq))
 	f.mu.Lock()
 	f.primaryAddr = hello.PrimaryAddr
 	f.epoch = hello.Epoch
@@ -228,6 +243,7 @@ func (f *Follower) session() error {
 		}
 		if sf.HeadSeq > f.head.Load() {
 			f.head.Store(sf.HeadSeq)
+			f.mHead.Set(int64(sf.HeadSeq))
 		}
 		if len(sf.Entries) > 0 {
 			if err := f.apply(sf.Entries); err != nil {
@@ -261,18 +277,24 @@ func (f *Follower) apply(entries []db.Entry) error {
 		return err
 	}
 	f.applied.Store(applied)
+	f.mApplied.Set(int64(applied))
 	return nil
 }
 
 // noteSynced records the instant the follower was last observed caught
-// up with the publisher's head.
+// up with the publisher's head, and refreshes the staleness gauge.
 func (f *Follower) noteSynced() {
 	if f.applied.Load() < f.head.Load() {
+		f.mu.Lock()
+		since := time.Since(f.syncedAt)
+		f.mu.Unlock()
+		f.mStaleness.Set(since.Milliseconds())
 		return
 	}
 	f.mu.Lock()
 	f.syncedAt = time.Now()
 	f.mu.Unlock()
+	f.mStaleness.Set(0)
 }
 
 // Store returns the current read-only mirror, or nil before the first

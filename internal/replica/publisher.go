@@ -6,12 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"sync"
 	"time"
 
 	"gridbank/internal/db"
+	"gridbank/internal/obs"
 	"gridbank/internal/pki"
 	"gridbank/internal/wire"
 )
@@ -54,9 +54,9 @@ type Publisher struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	// Logf logs session-level events; defaults to log.Printf. Tests and
-	// deployments silence or redirect it.
-	Logf func(format string, args ...any)
+	// Log records session-level events; nil discards them. Reassign
+	// only before Serve.
+	Log *obs.Logger
 }
 
 // NewPublisher builds a replication publisher over the store.
@@ -81,7 +81,6 @@ func NewPublisher(cfg PublisherConfig) (*Publisher, error) {
 		cfg:   cfg,
 		tls:   tcfg,
 		conns: make(map[net.Conn]struct{}),
-		Logf:  log.Printf,
 	}, nil
 }
 
@@ -180,12 +179,12 @@ func (p *Publisher) handleConn(raw net.Conn) {
 	defer raw.Close()
 	tconn := tls.Server(raw, p.tls)
 	if err := tconn.HandshakeContext(context.Background()); err != nil {
-		p.Logf("replica: handshake from %s failed: %v", raw.RemoteAddr(), err)
+		p.Log.Warn("replica handshake failed", "remote", raw.RemoteAddr(), "err", err)
 		return
 	}
 	subject, err := pki.PeerSubject(p.cfg.Trust, tconn.ConnectionState())
 	if err != nil {
-		p.Logf("replica: peer verification from %s failed: %v", raw.RemoteAddr(), err)
+		p.Log.Warn("replica peer verification failed", "remote", raw.RemoteAddr(), "err", err)
 		return
 	}
 	conn := wire.NewConn(tconn)
@@ -197,7 +196,7 @@ func (p *Publisher) handleConn(raw net.Conn) {
 		_ = conn.WriteResponse(&wire.Response{ID: req.ID, OK: false, Code: code, Error: msg})
 	}
 	if !p.allowed(subject) {
-		p.Logf("replica: subject %s not in replication allow list", subject)
+		p.Log.Warn("replica subject not in allow list", "subject", subject)
 		fail("denied", fmt.Sprintf("subject %s may not replicate", subject))
 		return
 	}
@@ -248,9 +247,9 @@ func (p *Publisher) handleConn(raw net.Conn) {
 	if snap != nil {
 		from = snap.Seq
 	}
-	p.Logf("replica: %s streaming from seq %d (snapshot %v)", subject, from, snap != nil)
+	p.Log.Info("replica streaming", "subject", subject, "from_seq", from, "snapshot", snap != nil)
 	p.stream(tconn, conn, sub)
-	p.Logf("replica: session with %s ended: %v", subject, sub.Err())
+	p.Log.Info("replica session ended", "subject", subject, "err", sub.Err())
 }
 
 // stream pumps the subscription (plus heartbeats) to the follower until

@@ -53,7 +53,6 @@ func startPublisher(t *testing.T, kp *testPKI, store *db.Store, mut func(*Publis
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.Logf = func(string, ...any) {}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -70,7 +69,6 @@ func startFollower(t *testing.T, kp *testPKI, addr string) *Follower {
 		Identity:      kp.fol,
 		Trust:         kp.trust,
 		RetryInterval: 20 * time.Millisecond,
-		Logf:          func(string, ...any) {},
 	})
 	if err != nil {
 		t.Fatal(err)

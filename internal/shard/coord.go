@@ -145,6 +145,13 @@ func (l *Ledger) hook(gid string, step Step) error {
 	return l.CrashHook(gid, step)
 }
 
+// inDoubtf raises the in-doubt gauge and builds the error that reports
+// an abandoned mid-protocol transfer.
+func (l *Ledger) inDoubtf(format string, args ...any) error {
+	l.markInDoubt()
+	return fmt.Errorf(format, args...)
+}
+
 // crossTransfer drives the full 2PC protocol for a transfer whose two
 // accounts live on different shards. cancelled marks the written §5.1
 // records as a cancellation reversal.
@@ -194,7 +201,7 @@ func (l *Ledger) crossTransferWithID(txID uint64, from, to accounts.ID, amount c
 		return nil, err
 	}
 	if err := l.hook(rec.GID, StepPrepared); err != nil {
-		return nil, fmt.Errorf("%w (after prepare): %v", ErrInDoubt, err)
+		return nil, l.inDoubtf("%w (after prepare): %v", ErrInDoubt, err)
 	}
 
 	// Step 2: decide commit. If the decision cannot be made durable the
@@ -205,22 +212,22 @@ func (l *Ledger) crossTransferWithID(txID uint64, from, to accounts.ID, amount c
 		return nil, fmt.Errorf("shard: commit decision failed, transfer aborted: %w", err)
 	}
 	if err := l.hook(rec.GID, StepDecided); err != nil {
-		return nil, fmt.Errorf("%w (after commit decision): %v", ErrInDoubt, err)
+		return nil, l.inDoubtf("%w (after commit decision): %v", ErrInDoubt, err)
 	}
 
 	// Steps 3-5: the transfer is committed; completion is inevitable.
 	// Any failure past this point leaves durable state Recover finishes.
 	if err := l.applyCredit(ts, rec); err != nil {
-		return nil, fmt.Errorf("%w (credit pending): %v", ErrInDoubt, err)
+		return nil, l.inDoubtf("%w (credit pending): %v", ErrInDoubt, err)
 	}
 	if err := l.hook(rec.GID, StepCreditApplied); err != nil {
-		return nil, fmt.Errorf("%w (after credit): %v", ErrInDoubt, err)
+		return nil, l.inDoubtf("%w (after credit): %v", ErrInDoubt, err)
 	}
 	if err := l.finalizeDebit(fs, rec); err != nil {
-		return nil, fmt.Errorf("%w (finalize pending): %v", ErrInDoubt, err)
+		return nil, l.inDoubtf("%w (finalize pending): %v", ErrInDoubt, err)
 	}
 	if err := l.hook(rec.GID, StepFinalized); err != nil {
-		return nil, fmt.Errorf("%w (after finalize): %v", ErrInDoubt, err)
+		return nil, l.inDoubtf("%w (after finalize): %v", ErrInDoubt, err)
 	}
 	l.clearApplied(ts, rec.GID) // best effort; orphan markers are harmless
 
@@ -239,6 +246,7 @@ func (l *Ledger) crossTransferWithID(txID uint64, from, to accounts.ID, amount c
 // in one transaction. The drawer's balance drops here; the amount lives
 // in the record until finalize (committed) or undo (aborted).
 func (l *Ledger) prepare(shardIdx int, rec *pcRecord, toCurrency currency.Code) error {
+	defer l.m2pcPrepare.ObserveSince(time.Now())
 	raw, err := json.Marshal(rec)
 	if err != nil {
 		return err
@@ -276,6 +284,7 @@ func (l *Ledger) prepare(shardIdx int, rec *pcRecord, toCurrency currency.Code) 
 // decide makes the commit/abort decision durable by flipping the pc
 // row's state — the 2PC commit point.
 func (l *Ledger) decide(shardIdx int, gid, state string) error {
+	defer l.m2pcDecide.ObserveSince(time.Now())
 	return l.stores[shardIdx].Update(func(tx *db.Tx) error {
 		rec, err := getPC(tx, gid)
 		if err != nil {
@@ -300,6 +309,7 @@ func (l *Ledger) decide(shardIdx int, gid, state string) error {
 // recipient-side TRANSACTION row, the TRANSFER record's credit-shard
 // copy, and the idempotency marker — one transaction.
 func (l *Ledger) applyCredit(shardIdx int, rec *pcRecord) error {
+	defer l.m2pcCredit.ObserveSince(time.Now())
 	mgr := l.mgrs[shardIdx]
 	return l.stores[shardIdx].Update(func(tx *db.Tx) error {
 		if ok, err := tx.Exists(tablePCApplied, rec.GID); err != nil {
@@ -337,6 +347,7 @@ func (l *Ledger) applyCredit(shardIdx int, rec *pcRecord) error {
 // finalizeDebit writes the drawer-side §5.1 records and deletes the pc
 // row; the deletion is the durable completion marker.
 func (l *Ledger) finalizeDebit(shardIdx int, rec *pcRecord) error {
+	defer l.m2pcFinal.ObserveSince(time.Now())
 	mgr := l.mgrs[shardIdx]
 	neg, err := rec.Amount.Neg()
 	if err != nil {
@@ -516,9 +527,17 @@ func (l *Ledger) recoverOne(i int, gid string) error {
 		if err := l.decide(i, gid, pcAborted); err != nil {
 			return err
 		}
-		return l.abortUndo(i, gid)
+		if err := l.abortUndo(i, gid); err != nil {
+			return err
+		}
+		l.resolveInDoubtMark()
+		return nil
 	case pcAborted:
-		return l.abortUndo(i, gid)
+		if err := l.abortUndo(i, gid); err != nil {
+			return err
+		}
+		l.resolveInDoubtMark()
+		return nil
 	case pcCommitted:
 		ts := l.ring.ShardFor(string(rec.To))
 		if err := l.applyCredit(ts, &rec); err != nil {
@@ -528,6 +547,7 @@ func (l *Ledger) recoverOne(i int, gid string) error {
 			return err
 		}
 		l.clearApplied(ts, gid)
+		l.resolveInDoubtMark()
 		return nil
 	default:
 		return fmt.Errorf("shard: pc record %s in unknown state %q", gid, rec.State)

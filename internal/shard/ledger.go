@@ -13,6 +13,7 @@ import (
 	"gridbank/internal/accounts"
 	"gridbank/internal/currency"
 	"gridbank/internal/db"
+	"gridbank/internal/obs"
 )
 
 // Config configures a sharded Ledger.
@@ -72,6 +73,60 @@ type Ledger struct {
 	// protocol at that boundary (simulating a coordinator crash). Test
 	// instrumentation only — set it before the ledger serves traffic.
 	CrashHook func(gid string, step Step) error
+
+	// Telemetry handles (nil no-ops until SetObs; see internal/obs).
+	mLocal      *obs.Counter   // same-shard transfers
+	mCross      *obs.Counter   // cross-shard (2PC) transfers
+	mInDoubt    *obs.Gauge     // transfers this process abandoned in-doubt
+	m2pcPrepare *obs.Histogram // 2PC phase latencies
+	m2pcDecide  *obs.Histogram
+	m2pcCredit  *obs.Histogram
+	m2pcFinal   *obs.Histogram
+
+	// inDoubtLocal shadows mInDoubt so recovery never drives the gauge
+	// negative: a fresh process's recoveries resolve in-doubt rows a
+	// previous process left, which this gauge never counted.
+	inDoubtLocal atomic.Int64
+}
+
+// SetObs attaches a telemetry registry: same/cross-shard transfer
+// counters, per-phase 2PC latency histograms, and the in-doubt gauge.
+// It also forwards to every shard store (OCC and journal instruments
+// share the registry). Wiring-time only — call before the ledger
+// serves traffic.
+func (l *Ledger) SetObs(reg *obs.Registry) {
+	l.mLocal = reg.Counter("shard.transfers.local")
+	l.mCross = reg.Counter("shard.transfers.cross")
+	l.mInDoubt = reg.Gauge("shard.2pc.in_doubt")
+	l.m2pcPrepare = reg.Histogram("shard.2pc.prepare")
+	l.m2pcDecide = reg.Histogram("shard.2pc.decide")
+	l.m2pcCredit = reg.Histogram("shard.2pc.credit")
+	l.m2pcFinal = reg.Histogram("shard.2pc.finalize")
+	for _, st := range l.stores {
+		st.SetObs(reg)
+	}
+}
+
+// markInDoubt records a transfer this process abandoned mid-protocol.
+func (l *Ledger) markInDoubt() {
+	l.inDoubtLocal.Add(1)
+	l.mInDoubt.Inc()
+}
+
+// resolveInDoubtMark drops the in-doubt gauge for a resolved transfer,
+// but only down to what this process itself marked — startup recovery
+// resolves rows a previous process left, which were never counted here.
+func (l *Ledger) resolveInDoubtMark() {
+	for {
+		n := l.inDoubtLocal.Load()
+		if n <= 0 {
+			return
+		}
+		if l.inDoubtLocal.CompareAndSwap(n, n-1) {
+			l.mInDoubt.Dec()
+			return
+		}
+	}
 }
 
 // New builds a sharded ledger over the given stores (one per shard, at
@@ -380,8 +435,10 @@ func (l *Ledger) Transfer(drawer, recipient accounts.ID, amount currency.Amount,
 	if fs == ts {
 		// Single-store path: the manager handles DedupKey inside its
 		// one atomic transaction.
+		l.mLocal.Inc()
 		return l.mgrs[fs].Transfer(drawer, recipient, amount, opts)
 	}
+	l.mCross.Inc()
 	if opts.DedupKey != "" {
 		return l.keyedCrossTransfer(fs, drawer, recipient, amount, opts)
 	}

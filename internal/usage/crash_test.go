@@ -106,7 +106,7 @@ func (w *crashWorld) boot() {
 		Spool:   spool,
 		Workers: -1, // deterministic: settlement only via SettleOnce/Drain
 		Now:     func() time.Time { return testEpoch },
-		Logf:    w.t.Logf,
+		Log:     testLogger(w.t),
 	})
 	if err != nil {
 		w.t.Fatal(err)

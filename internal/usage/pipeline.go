@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -12,6 +11,7 @@ import (
 
 	"gridbank/internal/accounts"
 	"gridbank/internal/db"
+	"gridbank/internal/obs"
 	"gridbank/internal/rur"
 	"gridbank/internal/shard"
 )
@@ -46,10 +46,16 @@ type Config struct {
 	RetryInterval time.Duration
 	// Now supplies timestamps; defaults to time.Now.
 	Now func() time.Time
-	// Logf logs transient settlement faults; defaults to log.Printf.
+	// Log records transient settlement faults; nil discards them.
 	// Configured here (not assigned after New) because recovery can
 	// hand workers settleable rows before New even returns.
-	Logf func(format string, args ...any)
+	Log *obs.Logger
+	// Obs names the pipeline's instruments (usage.queue_depth,
+	// usage.inflight, usage.batch_size, usage.settled, usage.parked,
+	// usage.overloaded). Nil leaves telemetry off. Configured here, not
+	// after New, for the same reason as Log: workers may be settling
+	// before New returns.
+	Obs *obs.Registry
 	// CrashHook installs fault injection before the workers start; see
 	// Pipeline.CrashHook.
 	CrashHook func(b Boundary, chargeID string) error
@@ -75,11 +81,11 @@ type Pipeline struct {
 	cfg   Config
 	now   func() time.Time
 
-	// Logf logs transient settlement faults. Prefer Config.Logf: with
+	// Log records transient settlement faults. Prefer Config.Log: with
 	// background workers this field may only be reassigned while the
 	// pipeline is provably idle (e.g. Workers < 0), since workers read
 	// it when a settlement fails.
-	Logf func(format string, args ...any)
+	Log *obs.Logger
 	// CrashHook fires after every durable settlement step with the
 	// boundary and a representative charge ID; returning an error
 	// abandons processing at that point (simulated process death).
@@ -100,6 +106,16 @@ type Pipeline struct {
 	rejected   atomic.Uint64
 	batches    atomic.Uint64
 	crossShard atomic.Uint64
+
+	// Telemetry handles (nil no-ops when Config.Obs is nil). The queue
+	// and inflight gauges mirror the mu-guarded state incrementally so
+	// scrapes never take the pipeline lock.
+	mQueue      *obs.Gauge
+	mInflight   *obs.Gauge
+	mBatchSize  *obs.Histogram
+	mSettled    *obs.Counter
+	mParked     *obs.Counter
+	mOverloaded *obs.Counter
 
 	kick chan struct{}
 	stop chan struct{}
@@ -139,20 +155,24 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.Ledger.Shards() > 1 && cross == nil {
 		return nil, errors.New("usage: a multi-shard ledger must implement CrossShardLedger")
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
-	}
 	p := &Pipeline{
 		led:       cfg.Ledger,
 		cross:     cross,
 		spool:     cfg.Spool,
 		cfg:       cfg,
 		now:       cfg.Now,
-		Logf:      cfg.Logf,
+		Log:       cfg.Log,
 		CrashHook: cfg.CrashHook,
 		queue:     make(map[groupKey][]string),
 		kick:      make(chan struct{}, cfg.Workers+1),
 		stop:      make(chan struct{}),
+
+		mQueue:      cfg.Obs.Gauge("usage.queue_depth"),
+		mInflight:   cfg.Obs.Gauge("usage.inflight"),
+		mBatchSize:  cfg.Obs.Histogram("usage.batch_size"),
+		mSettled:    cfg.Obs.Counter("usage.settled"),
+		mParked:     cfg.Obs.Counter("usage.parked"),
+		mOverloaded: cfg.Obs.Counter("usage.overloaded"),
 	}
 	if err := p.spool.EnsureTable(tableSpool); err != nil {
 		return nil, err
@@ -191,6 +211,7 @@ func (p *Pipeline) recover() error {
 		case statePending:
 			k := groupKey{shard: p.led.ShardFor(row.Drawer), drawer: row.Drawer}
 			p.queue[k] = append(p.queue[k], row.ID)
+			p.mQueue.Inc()
 		case stateFailed:
 			p.failed++
 		}
@@ -239,11 +260,18 @@ func (p *Pipeline) pendingLocked() int {
 func (p *Pipeline) Status() *Stats {
 	p.mu.Lock()
 	pending := p.pendingLocked()
+	queued := 0
+	for _, ids := range p.queue {
+		queued += len(ids)
+	}
+	inflight := p.inflight
 	failed := p.failed
 	lastErr := p.lastErr
 	p.mu.Unlock()
 	return &Stats{
 		Pending:    pending,
+		QueueDepth: queued,
+		InFlight:   inflight,
 		Failed:     failed,
 		Settled:    p.settled.Load(),
 		Duplicates: p.duplicates.Load(),
@@ -292,6 +320,7 @@ func (p *Pipeline) Submit(batch []Submission) (*SubmitResult, error) {
 	if p.pendingLocked()+len(rows) > p.cfg.MaxPending {
 		pending := p.pendingLocked()
 		p.mu.Unlock()
+		p.mOverloaded.Inc()
 		return nil, fmt.Errorf("%w: %d pending + %d offered exceeds bound %d",
 			ErrOverloaded, pending, len(rows), p.cfg.MaxPending)
 	}
@@ -375,6 +404,7 @@ func (p *Pipeline) Submit(batch []Submission) (*SubmitResult, error) {
 		p.queue[k] = append(p.queue[k], accepted[i].ID)
 	}
 	p.mu.Unlock()
+	p.mQueue.Add(int64(len(accepted)))
 	p.kickWorkers()
 	return res, nil
 }
@@ -459,9 +489,7 @@ func (p *Pipeline) noteErr(err error) {
 	p.mu.Lock()
 	p.lastErr = err.Error()
 	p.mu.Unlock()
-	if p.Logf != nil {
-		p.Logf("usage: settlement: %v", err)
-	}
+	p.Log.Warn("usage settlement fault", "err", err)
 }
 
 // SettleOnce runs one synchronous settlement pass over every group that
@@ -535,6 +563,9 @@ func (p *Pipeline) takeGroup(k groupKey) []string {
 		p.queue[k] = rest
 	}
 	p.inflight += n
+	p.mQueue.Add(int64(-n))
+	p.mInflight.Add(int64(n))
+	p.mBatchSize.Observe(int64(n))
 	return taken
 }
 
@@ -546,6 +577,7 @@ func (p *Pipeline) requeue(k groupKey, ids []string) {
 	p.mu.Lock()
 	p.queue[k] = append(p.queue[k], ids...)
 	p.mu.Unlock()
+	p.mQueue.Add(int64(len(ids)))
 }
 
 // settleGroup settles one batch of charges drawn from a single account.
@@ -556,6 +588,7 @@ func (p *Pipeline) settleGroup(k groupKey, ids []string) (int, error) {
 		p.mu.Lock()
 		p.inflight -= len(ids)
 		p.mu.Unlock()
+		p.mInflight.Add(int64(-len(ids)))
 	}()
 
 	// Load the durable rows; IDs whose row vanished were finished by an
@@ -768,6 +801,7 @@ func (p *Pipeline) settleSameShard(k groupKey, rows []spoolRow) (int, error) {
 		p.batches.Add(1)
 	}
 	p.settled.Add(uint64(len(settledRows)))
+	p.mSettled.Add(int64(len(settledRows)))
 	p.duplicates.Add(uint64(len(dupRows)))
 	if err := p.hook(BoundarySettled, rows[0].ID); err != nil {
 		return 0, fmt.Errorf("%w: %v", errAbandoned, err)
@@ -827,6 +861,7 @@ func (p *Pipeline) settleCross(k groupKey, row spoolRow) (int, error) {
 		}
 		if inserted {
 			p.settled.Add(1)
+			p.mSettled.Inc()
 		} else {
 			p.duplicates.Add(1)
 		}
@@ -923,6 +958,7 @@ func (p *Pipeline) settleCross(k groupKey, row spoolRow) (int, error) {
 	if inserted {
 		p.settled.Add(1)
 		p.crossShard.Add(1)
+		p.mSettled.Inc()
 	} else {
 		p.duplicates.Add(1)
 	}
@@ -988,6 +1024,7 @@ func (p *Pipeline) cleanup(finished []spoolRow, failures []failure) error {
 		p.mu.Lock()
 		p.failed += len(failures)
 		p.mu.Unlock()
+		p.mParked.Add(int64(len(failures)))
 	}
 	return nil
 }

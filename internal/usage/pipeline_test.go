@@ -10,12 +10,26 @@ import (
 	"gridbank/internal/accounts"
 	"gridbank/internal/currency"
 	"gridbank/internal/db"
+	"gridbank/internal/obs"
 	"gridbank/internal/rur"
 	"gridbank/internal/shard"
 	"gridbank/internal/usage"
 )
 
 var testEpoch = time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+
+// tlogWriter adapts testing.T to io.Writer so pipeline fault logs land
+// in test output.
+type tlogWriter struct{ t *testing.T }
+
+func (w tlogWriter) Write(p []byte) (int, error) {
+	w.t.Log(strings.TrimSuffix(string(p), "\n"))
+	return len(p), nil
+}
+
+func testLogger(t *testing.T) *obs.Logger {
+	return obs.NewLogger(tlogWriter{t}, obs.LevelDebug)
+}
 
 // flatRates prices every chargeable item at zero except CPU, at
 // 1 G$/3600 s — so a record with N CPU-seconds costs N/3600 G$.
@@ -84,7 +98,7 @@ func (w *singleWorld) pipeline(t *testing.T, cfg usage.Config) *usage.Pipeline {
 	cfg.Ledger = usage.WrapManager(w.mgr)
 	cfg.Spool = w.spool
 	cfg.Now = func() time.Time { return testEpoch }
-	cfg.Logf = t.Logf
+	cfg.Log = testLogger(t)
 	p, err := usage.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -386,7 +400,7 @@ func (w *shardedWorld) pipeline(t *testing.T, cfg usage.Config) *usage.Pipeline 
 	cfg.Ledger = usage.WrapSharded(w.led)
 	cfg.Spool = w.spool
 	cfg.Now = func() time.Time { return testEpoch }
-	cfg.Logf = t.Logf
+	cfg.Log = testLogger(t)
 	p, err := usage.New(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -125,6 +125,12 @@ type Stats struct {
 	// Pending counts charges spooled but not yet settled (including
 	// in-flight batches).
 	Pending int `json:"pending"`
+	// QueueDepth counts charges sitting in the batcher's in-memory
+	// queue, waiting for a worker (a subset of Pending).
+	QueueDepth int `json:"queue_depth"`
+	// InFlight counts charges currently inside a settlement batch
+	// (taken off the queue, not yet terminal).
+	InFlight int `json:"in_flight"`
 	// Failed counts charges parked by business failures (insufficient
 	// funds, closed account); they stay in the spool with their reason,
 	// and re-submitting the same ID retries them (they never settled,

@@ -46,6 +46,13 @@ type Request struct {
 	// omitempty keeps deadline-free frames byte-identical to the seed
 	// protocol's.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Trace is the caller's request-trace ID, threaded through dispatch
+	// into per-request spans and the slow-op log so one slow call can be
+	// followed across client retries, shard redirects, and servers.
+	// Empty means untraced, and omitempty keeps trace-free frames
+	// byte-identical to the seed protocol's (same discipline as
+	// DeadlineMS).
+	Trace string `json:"trace,omitempty"`
 	// Body is the operation-specific payload.
 	Body json.RawMessage `json:"body,omitempty"`
 }

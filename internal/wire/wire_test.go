@@ -301,6 +301,62 @@ func TestRequestFramingSeedCompatBothDirections(t *testing.T) {
 	}
 }
 
+// TestTraceFramingSeedCompatBothDirections: the optional trace header
+// gets the same byte-compat discipline as deadline_ms. Outbound: an
+// untraced request marshals to exactly the seed frame (hardcoded
+// bytes). Inbound: a seed frame decodes with an empty trace; a
+// trace-carrying frame decodes on a seed-shaped reader (unknown JSON
+// fields are ignored) and round-trips on the new one.
+func TestTraceFramingSeedCompatBothDirections(t *testing.T) {
+	// Outbound: no trace → seed bytes.
+	seedJSON := `{"id":7,"op":"Ping","body":{"x":1}}`
+	var got bytes.Buffer
+	if err := WriteMsg(&got, &Request{ID: 7, Op: "Ping", Body: []byte(`{"x":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(seedJSON)))
+	want := append(hdr[:], seedJSON...)
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("untraced request drifted from seed framing:\n got %q\nwant %q", got.Bytes(), want)
+	}
+
+	// Inbound: seed frame → empty trace.
+	var req Request
+	if err := ReadMsg(bytes.NewReader(want), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.ID != 7 || req.Op != "Ping" || req.Trace != "" {
+		t.Fatalf("seed frame decoded as %+v", req)
+	}
+
+	// Inbound: trace-carrying frame → seed-shaped reader still decodes.
+	var withTrace bytes.Buffer
+	if err := WriteMsg(&withTrace, &Request{ID: 8, Op: "Ping", Trace: "00ff00ff00ff00ff00ff00ff"}); err != nil {
+		t.Fatal(err)
+	}
+	var seedShaped struct {
+		ID   uint64          `json:"id"`
+		Op   string          `json:"op"`
+		Body json.RawMessage `json:"body,omitempty"`
+	}
+	frame := withTrace.Bytes()
+	if err := json.Unmarshal(frame[4:], &seedShaped); err != nil {
+		t.Fatalf("seed-shaped reader rejected trace frame: %v", err)
+	}
+	if seedShaped.ID != 8 || seedShaped.Op != "Ping" {
+		t.Fatalf("seed-shaped reader decoded %+v", seedShaped)
+	}
+	// And the new reader round-trips the trace.
+	var back Request
+	if err := ReadMsg(bytes.NewReader(frame), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Trace != "00ff00ff00ff00ff00ff00ff" {
+		t.Fatalf("trace round trip = %q", back.Trace)
+	}
+}
+
 // TestAppendMsgBatch: multiple frames appended to one buffer decode
 // back in order, and an oversized frame leaves the buffer untouched.
 func TestAppendMsgBatch(t *testing.T) {
