@@ -170,6 +170,14 @@ func registry() []experiment {
 			experiments.WriteUsage(out, r)
 			return nil
 		}},
+		{"micropay", "streaming GridHash micropayments vs naive per-tick RedeemChain", func() error {
+			r, err := experiments.RunMicropay(experiments.MicropayExpConfig{})
+			if err != nil {
+				return err
+			}
+			experiments.WriteMicropay(out, r)
+			return nil
+		}},
 		{"obs", "telemetry overhead: identical worlds A/B, full instrumentation on vs off", func() error {
 			r, err := experiments.RunObsExp(experiments.ObsExpConfig{})
 			if err != nil {

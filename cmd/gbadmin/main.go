@@ -14,6 +14,8 @@
 //	accounts
 //	usage-status
 //	usage-drain [timeout-seconds]
+//	micropay-status
+//	micropay-drain [timeout-seconds]
 //	metrics
 package main
 
@@ -154,6 +156,35 @@ func run(server, caPath, certPath, keyPath string, args []string) error {
 		}
 		fmt.Printf("queue_depth=%d in_flight=%d parked=%d pending=%d\n%s\n",
 			st.QueueDepth, st.InFlight, st.Failed, st.Pending, b)
+	case "micropay-status":
+		st, err := client.MicropayStatus()
+		if err != nil {
+			return err
+		}
+		b, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("queue_depth=%d in_flight=%d parked=%d pending=%d settled_ticks=%d\n%s\n",
+			st.QueueDepth, st.InFlight, st.Failed, st.Pending, st.SettledTicks, b)
+	case "micropay-drain":
+		timeout := 30 * time.Second
+		if len(rest) > 0 {
+			secs, err := strconv.Atoi(rest[0])
+			if err != nil {
+				return fmt.Errorf("bad timeout %q: %w", rest[0], err)
+			}
+			timeout = time.Duration(secs) * time.Second
+		}
+		st, err := client.MicropayDrain(timeout)
+		if err != nil {
+			return err
+		}
+		b, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("drained\n%s\n", b)
 	case "metrics":
 		snap, err := client.MetricsSnapshot()
 		if err != nil {

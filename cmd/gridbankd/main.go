@@ -45,6 +45,15 @@
 //
 //	gridbankd -data /var/lib/gridbank -shards 4 -usage \
 //	    -usage-workers 4 -usage-batch 128
+//
+// Streaming micropayments: -micropay enables the GridHash streaming
+// redemption pipeline (Micropay.Submit / Micropay.Status /
+// Micropay.Drain), spooling claim intake to <data>/micropay.wal and
+// settling chains in per-(shard, drawer) batches — one ledger
+// transaction per chain per batch:
+//
+//	gridbankd -data /var/lib/gridbank -shards 4 -micropay \
+//	    -micropay-workers 4 -micropay-batch 256
 package main
 
 import (
@@ -63,6 +72,7 @@ import (
 
 	"gridbank/internal/core"
 	"gridbank/internal/db"
+	"gridbank/internal/micropay"
 	"gridbank/internal/obs"
 	"gridbank/internal/pki"
 	"gridbank/internal/replica"
@@ -88,6 +98,10 @@ func main() {
 		uWorkers   = flag.Int("usage-workers", 2, "usage pipeline settlement workers")
 		uBatch     = flag.Int("usage-batch", 64, "usage pipeline max charges per ledger transaction")
 		uQueue     = flag.Int("usage-queue", 4096, "usage pipeline pending-queue bound (backpressure threshold)")
+		enableM    = flag.Bool("micropay", false, "enable the streaming GridHash redemption pipeline (Micropay.Submit/Status/Drain; spool in <data>/micropay.wal)")
+		mWorkers   = flag.Int("micropay-workers", 2, "micropay pipeline settlement workers")
+		mBatch     = flag.Int("micropay-batch", 64, "micropay pipeline max claims per settlement pass")
+		mQueue     = flag.Int("micropay-queue", 4096, "micropay pipeline pending-queue bound (backpressure threshold)")
 		maxConns   = flag.Int("max-conns", 0, "maximum concurrent client connections (0 = unlimited)")
 		idleConn   = flag.Duration("idle-timeout", core.DefaultIdleTimeout, "drop connections idle this long (<0 disables)")
 		inFlight   = flag.Int("max-in-flight", core.DefaultMaxInFlight, "per-connection concurrent request dispatch cap")
@@ -105,7 +119,8 @@ func main() {
 		return
 	}
 	ucfg := usageFlags{enabled: *enableU, workers: *uWorkers, batch: *uBatch, queue: *uQueue}
-	if err := run(*dataDir, *vo, *branch, *listen, *issue, *publish, *shards, *syncWAL, *checkpoint, *dedupTTL, ucfg, lcfg, ocfg); err != nil {
+	mcfg := micropayFlags{enabled: *enableM, workers: *mWorkers, batch: *mBatch, queue: *mQueue}
+	if err := run(*dataDir, *vo, *branch, *listen, *issue, *publish, *shards, *syncWAL, *checkpoint, *dedupTTL, ucfg, mcfg, lcfg, ocfg); err != nil {
 		log.Fatalf("gridbankd: %v", err)
 	}
 }
@@ -127,6 +142,12 @@ func (l limitFlags) apply(srv *core.Server) {
 
 // usageFlags carries the -usage* flag values into run.
 type usageFlags struct {
+	enabled               bool
+	workers, batch, queue int
+}
+
+// micropayFlags carries the -micropay* flag values into run.
+type micropayFlags struct {
 	enabled               bool
 	workers, batch, queue int
 }
@@ -180,7 +201,7 @@ func startObsServer(addr string, reg *obs.Registry) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL, checkpoint bool, dedupTTL time.Duration, ucfg usageFlags, lcfg limitFlags, ocfg obsFlags) error {
+func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL, checkpoint bool, dedupTTL time.Duration, ucfg usageFlags, mcfg micropayFlags, lcfg limitFlags, ocfg obsFlags) error {
 	if shards < 1 {
 		return fmt.Errorf("-shards %d: need at least 1", shards)
 	}
@@ -285,27 +306,9 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 		// replays pending charges and the journal stays proportional to
 		// one run. Built before serving, so recovered transaction-ID
 		// pins reseed the allocator ahead of any traffic.
-		spoolWAL := filepath.Join(dataDir, "usage.wal")
-		spoolCkpt := filepath.Join(dataDir, "usage.ckpt")
-		journal, err := db.OpenFileJournal(spoolWAL, syncWAL)
+		spool, err := openSpool(dataDir, "usage", syncWAL, checkpoint)
 		if err != nil {
 			return err
-		}
-		spool, err := db.OpenWithCheckpoint(spoolCkpt, journal)
-		if err != nil {
-			return err
-		}
-		if checkpoint {
-			seq, err := spool.Checkpoint(spoolCkpt)
-			if err != nil {
-				return fmt.Errorf("checkpoint usage spool: %w", err)
-			}
-			if cj, ok := journal.(db.CompactableJournal); ok {
-				if err := cj.Compact(); err != nil {
-					return fmt.Errorf("compacting usage spool journal: %w", err)
-				}
-			}
-			log.Printf("gridbankd: checkpointed usage spool at seq %d (%s)", seq, spoolCkpt)
 		}
 		spool.SetObs(reg)
 		pipe, err := usage.New(usage.Config{
@@ -324,6 +327,33 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 		bank.SetUsage(pipe)
 		log.Printf("gridbankd: usage settlement pipeline enabled (%d workers, batch %d, queue bound %d, %d pending recovered)",
 			ucfg.workers, ucfg.batch, ucfg.queue, pipe.Status().Pending)
+	}
+	if mcfg.enabled {
+		// Same durability treatment as the usage spool: WAL-backed
+		// claim intake with a startup checkpoint, so a crash replays
+		// accepted-but-unsettled ticks instead of dropping them.
+		spool, err := openSpool(dataDir, "micropay", syncWAL, checkpoint)
+		if err != nil {
+			return err
+		}
+		spool.SetObs(reg)
+		pipe, err := micropay.New(micropay.Config{
+			Redeemer:    bank.ChainRedeemer(),
+			FindAccount: bank.Ledger().FindByCertificate,
+			Spool:       spool,
+			BatchSize:   mcfg.batch,
+			Workers:     mcfg.workers,
+			MaxPending:  mcfg.queue,
+			Log:         obs.NewLogger(os.Stderr, obs.LevelWarn),
+			Obs:         reg,
+		})
+		if err != nil {
+			return err
+		}
+		defer pipe.Close()
+		bank.SetMicropay(pipe)
+		log.Printf("gridbankd: micropay streaming pipeline enabled (%d workers, batch %d, queue bound %d, %d pending recovered)",
+			mcfg.workers, mcfg.batch, mcfg.queue, pipe.Status().Pending)
 	}
 	srv, err := core.NewServer(bank, bankID)
 	if err != nil {
@@ -373,6 +403,36 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 	log.Printf("gridbankd: topology: shards=%d publishers=%d usage_workers=%d obs=%s dedup_ttl=%v",
 		shards, publishers, topologyUsageWorkers(ucfg), topologyObs(obsBound), dedupTTL)
 	return srv.ListenAndServe(listen)
+}
+
+// openSpool opens a durable pipeline intake spool (<data>/<name>.wal
+// with a <data>/<name>.ckpt startup checkpoint) — the same treatment a
+// ledger shard gets, so crash recovery replays pending entries and the
+// journal stays proportional to one run's writes.
+func openSpool(dataDir, name string, syncWAL, checkpoint bool) (*db.Store, error) {
+	spoolWAL := filepath.Join(dataDir, name+".wal")
+	spoolCkpt := filepath.Join(dataDir, name+".ckpt")
+	journal, err := db.OpenFileJournal(spoolWAL, syncWAL)
+	if err != nil {
+		return nil, err
+	}
+	spool, err := db.OpenWithCheckpoint(spoolCkpt, journal)
+	if err != nil {
+		return nil, err
+	}
+	if checkpoint {
+		seq, err := spool.Checkpoint(spoolCkpt)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint %s spool: %w", name, err)
+		}
+		if cj, ok := journal.(db.CompactableJournal); ok {
+			if err := cj.Compact(); err != nil {
+				return nil, fmt.Errorf("compacting %s spool journal: %w", name, err)
+			}
+		}
+		log.Printf("gridbankd: checkpointed %s spool at seq %d (%s)", name, seq, spoolCkpt)
+	}
+	return spool, nil
 }
 
 // topologyUsageWorkers renders the usage-worker count for the topology

@@ -71,7 +71,7 @@ func TestLoadOrIssueIdempotent(t *testing.T) {
 
 func TestIssueFlagWritesIdentity(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, "VO-T", "0001", "", "alice", "", 1, false, false, core.DefaultDedupTTL, usageFlags{}, limitFlags{}, obsFlags{}); err != nil {
+	if err := run(dir, "VO-T", "0001", "", "alice", "", 1, false, false, core.DefaultDedupTTL, usageFlags{}, micropayFlags{}, limitFlags{}, obsFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	id, err := pki.LoadIdentity(dir, "alice")

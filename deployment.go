@@ -9,6 +9,7 @@ import (
 
 	"gridbank/internal/core"
 	"gridbank/internal/db"
+	"gridbank/internal/micropay"
 	"gridbank/internal/pki"
 	"gridbank/internal/replica"
 	"gridbank/internal/shard"
@@ -85,6 +86,10 @@ type Deployment struct {
 	// usagePipe is the batched settlement pipeline when EnableUsage was
 	// called; nil otherwise.
 	usagePipe *usage.Pipeline
+
+	// micropayPipe is the streaming chain-redemption pipeline when
+	// EnableMicropay was called; nil otherwise.
+	micropayPipe *micropay.Pipeline
 }
 
 // UsageOptions tune EnableUsage (zero values take the pipeline's
@@ -275,6 +280,9 @@ func (d *Deployment) EnableSharding(n int) error {
 		// bound to the old one would settle into the wrong stores.
 		return errors.New("gridbank: enable sharding before the usage pipeline")
 	}
+	if d.micropayPipe != nil {
+		return errors.New("gridbank: enable sharding before the micropay pipeline")
+	}
 	meta := d.Bank.Ledger().Store()
 	if cnt, err := meta.Count("accounts"); err != nil {
 		return err
@@ -373,6 +381,60 @@ func (d *Deployment) EnableUsage(opts UsageOptions) (*usage.Pipeline, error) {
 // Usage returns the settlement pipeline, or nil when EnableUsage was
 // not called.
 func (d *Deployment) Usage() *usage.Pipeline { return d.usagePipe }
+
+// MicropayOptions tune EnableMicropay (zero values take the pipeline's
+// defaults: 64-claim batches, 2 workers, 4096-deep queue).
+type MicropayOptions struct {
+	// BatchSize caps how many spooled claims one settlement pass takes
+	// off the queue; all claims for one chain inside a batch settle as
+	// one redemption transaction.
+	BatchSize int
+	// Workers is the number of background settlement goroutines.
+	// Negative runs none (settlement through Drain/SettleOnce only).
+	Workers int
+	// MaxPending bounds the intake queue (backpressure threshold).
+	MaxPending int
+	// SpoolJournal persists the claim spool; nil keeps it in memory.
+	// Production wiring with a WAL-backed spool is gridbankd's job
+	// (see -micropay).
+	SpoolJournal Journal
+}
+
+// EnableMicropay attaches the streaming GridHash redemption pipeline to
+// the deployment's bank, opening the Micropay.Submit / Micropay.Status
+// / Micropay.Drain operations to clients. The pipeline shares the
+// bank's chain redeemer, so streamed claims and synchronous RedeemChain
+// calls serialize per serial. Call it after EnableSharding and before
+// handing out the address. Idempotent per deployment.
+func (d *Deployment) EnableMicropay(opts MicropayOptions) (*micropay.Pipeline, error) {
+	if d.micropayPipe != nil {
+		return d.micropayPipe, nil
+	}
+	spool, err := db.Open(opts.SpoolJournal)
+	if err != nil {
+		return nil, err
+	}
+	led := d.Bank.Ledger()
+	pipe, err := micropay.New(micropay.Config{
+		Redeemer:    d.Bank.ChainRedeemer(),
+		FindAccount: led.FindByCertificate,
+		Spool:       spool,
+		BatchSize:   opts.BatchSize,
+		Workers:     opts.Workers,
+		MaxPending:  opts.MaxPending,
+		Now:         d.cfg.Now,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.Bank.SetMicropay(pipe)
+	d.micropayPipe = pipe
+	return pipe, nil
+}
+
+// Micropay returns the streaming redemption pipeline, or nil when
+// EnableMicropay was not called.
+func (d *Deployment) Micropay() *micropay.Pipeline { return d.micropayPipe }
 
 // enablePublisher starts (or returns) the WAL-shipping publisher for
 // one shard's store.
@@ -550,6 +612,11 @@ func (d *Deployment) Close() error {
 		var firstErr error
 		if d.usagePipe != nil {
 			if err := d.usagePipe.Close(); firstErr == nil {
+				firstErr = err
+			}
+		}
+		if d.micropayPipe != nil {
+			if err := d.micropayPipe.Close(); firstErr == nil {
 				firstErr = err
 			}
 		}

@@ -73,7 +73,7 @@ func run() error {
 	fmt.Printf("chain %s…: 200 frames × %s G$ locked\n", chain.Commitment.Serial[:8], perFrame)
 
 	// The provider verifies the bank's commitment signature once.
-	if _, err := gridbank.VerifyChain(signedChain, dep.Trust, gsp.SubjectName(), time.Now()); err != nil {
+	if _, _, err := gridbank.VerifyChain(signedChain, dep.Trust, gsp.SubjectName(), time.Now()); err != nil {
 		return fmt.Errorf("chain rejected: %w", err)
 	}
 

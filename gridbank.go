@@ -41,6 +41,7 @@ import (
 	"gridbank/internal/gmd"
 	"gridbank/internal/gridsim"
 	"gridbank/internal/meter"
+	"gridbank/internal/micropay"
 	"gridbank/internal/payment"
 	"gridbank/internal/pki"
 	"gridbank/internal/replica"
@@ -361,11 +362,49 @@ type SignedChain = payment.SignedChain
 // ChainClaim is a chain redemption request.
 type ChainClaim = payment.ChainClaim
 
-// Instrument verification helpers (GSP-side checks).
+// Instrument verification helpers (GSP-side checks). VerifyChain
+// returns the signature-verified payload commitment — use it (never the
+// unverified wrapper copy) for everything downstream. VerifyWordAfter
+// verifies a streamed word incrementally against the last accepted one
+// in O(delta) hashes; ChainReceiver packages that bookkeeping.
 var (
-	VerifyCheque = payment.VerifyCheque
-	VerifyChain  = payment.VerifyChain
-	VerifyWord   = payment.VerifyWord
+	VerifyCheque     = payment.VerifyCheque
+	VerifyChain      = payment.VerifyChain
+	VerifyWord       = payment.VerifyWord
+	VerifyWordAfter  = payment.VerifyWordAfter
+	NewChainReceiver = payment.NewReceiver
+)
+
+// ChainReceiver tracks the payee side of one streaming chain: highest
+// accepted word and the incremental-verification anchor.
+type ChainReceiver = payment.Receiver
+
+// --- Streaming micropayments (GridHash fast path) ---------------------------
+
+// MicropayPipeline is the streaming chain-redemption pipeline: durable
+// claim intake, per-(shard, drawer) batching, one redemption
+// transaction per chain per batch.
+type MicropayPipeline = micropay.Pipeline
+
+// MicropayPipelineConfig configures NewMicropayPipeline.
+type MicropayPipelineConfig = micropay.Config
+
+// MicropayClaim is one chain tick offered for asynchronous redemption.
+type MicropayClaim = micropay.Claim
+
+// MicropayStats is the pipeline's observable state (Micropay.Status).
+type MicropayStats = micropay.Stats
+
+// MicropaySubmitResult summarizes one intake batch.
+type MicropaySubmitResult = micropay.SubmitResult
+
+// Micropay pipeline constructor and errors.
+var (
+	// NewMicropayPipeline builds a streaming redemption pipeline
+	// (library wiring; deployments use Deployment.EnableMicropay).
+	NewMicropayPipeline = micropay.New
+	// ErrMicropayOverloaded is the typed backpressure refusal.
+	ErrMicropayOverloaded = micropay.ErrOverloaded
 )
 
 // --- Usage records ---------------------------------------------------------

@@ -40,6 +40,10 @@ type Admission struct {
 	LocalAccount string
 	Cheque       *payment.SignedCheque // exactly one of Cheque/Chain is set
 	Chain        *payment.SignedChain
+	// chainCommitment is the signature-verified payload commitment from
+	// admission — word verification and redemption read it, never the
+	// unverified wrapper copy.
+	chainCommitment *payment.ChainCommitment
 	// chain streaming state: highest verified word
 	wordIndex int
 	word      []byte
@@ -124,10 +128,13 @@ func (m *Module) AdmitCheque(jobID string, cheque *payment.SignedCheque) (*Admis
 // AdmitChain validates a hash-chain-backed job request and assigns a
 // template account.
 func (m *Module) AdmitChain(jobID string, chain *payment.SignedChain) (*Admission, error) {
-	if _, err := payment.VerifyChain(chain, m.trust, m.identity.SubjectName(), m.now()); err != nil {
+	_, cc, err := payment.VerifyChain(chain, m.trust, m.identity.SubjectName(), m.now())
+	if err != nil {
 		return nil, fmt.Errorf("charging: chain rejected: %w", err)
 	}
-	return m.admit(jobID, chain.Commitment.DrawerCert, &Admission{Chain: chain})
+	// Trust only the signature-verified payload commitment from here on —
+	// the wrapper copy is attacker-writable.
+	return m.admit(jobID, cc.DrawerCert, &Admission{Chain: chain, chainCommitment: cc})
 }
 
 func (m *Module) admit(jobID, consumer string, adm *Admission) (*Admission, error) {
@@ -174,7 +181,10 @@ func (m *Module) AcceptWord(jobID string, index int, word []byte) error {
 	if index <= adm.wordIndex {
 		return fmt.Errorf("charging: word index %d not beyond %d", index, adm.wordIndex)
 	}
-	if err := payment.VerifyWord(&adm.Chain.Commitment, index, word); err != nil {
+	// Incremental verification: hash forward from the last accepted word
+	// (or the root when none yet) — O(index - wordIndex) instead of
+	// re-deriving the whole prefix from the root every tick.
+	if err := payment.VerifyWordAfter(adm.chainCommitment, adm.wordIndex, adm.word, index, word); err != nil {
 		return err
 	}
 	adm.wordIndex = index
@@ -263,7 +273,7 @@ func (m *Module) SettleChain(jobID string, record *rur.Record, rates *rur.RateCa
 		return &ChargeResult{JobID: jobID, Statement: statement, SignedStatement: signedStmt, Paid: "0"}, nil
 	}
 	resp, err := m.redeemer.RedeemChain(adm.Chain, &payment.ChainClaim{
-		Serial: adm.Chain.Commitment.Serial,
+		Serial: adm.chainCommitment.Serial,
 		Index:  adm.wordIndex,
 		Word:   adm.word,
 		RUR:    rurBytes,

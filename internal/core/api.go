@@ -154,6 +154,11 @@ type DirectTransferRequest struct {
 	// connection) MUST reuse the original key. Replay protection lasts
 	// for the bank's dedup TTL.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// BatchReceipt opts into amortized receipt signing: the response
+	// carries a BatchProof (one bank signature shared by every transfer
+	// in the batch window) instead of an individual Receipt. Verify with
+	// VerifyBatchReceipt.
+	BatchReceipt bool `json:"batch_receipt,omitempty"`
 }
 
 // TransferReceipt is the payload of the signed confirmation.
@@ -170,9 +175,12 @@ type TransferReceipt struct {
 const ReceiptContext = "gridbank/receipt/v1"
 
 // DirectTransferResponse returns the transfer record and signed receipt.
+// Exactly one of Receipt and BatchProof is set: BatchProof answers
+// requests that opted into batched receipt signing.
 type DirectTransferResponse struct {
-	TransactionID uint64      `json:"transaction_id"`
-	Receipt       *pki.Signed `json:"receipt"`
+	TransactionID uint64             `json:"transaction_id"`
+	Receipt       *pki.Signed        `json:"receipt,omitempty"`
+	BatchProof    *BatchReceiptProof `json:"batch_proof,omitempty"`
 }
 
 // RequestChequeRequest asks the bank for a GridCheque made out to

@@ -11,15 +11,16 @@ import (
 	"gridbank/internal/accounts"
 	"gridbank/internal/currency"
 	"gridbank/internal/db"
+	"gridbank/internal/micropay"
 	"gridbank/internal/obs"
 	"gridbank/internal/payment"
 	"gridbank/internal/pki"
 )
 
-// Instrument state tables.
+// Instrument state tables. (Chain rows live in micropay.TableChains on
+// the drawer's shard store, owned by the chain redeemer.)
 const (
 	tableCheques = "cheques"
-	tableChains  = "chains"
 	tableAdmins  = "admins"
 )
 
@@ -44,12 +45,6 @@ type chequeRow struct {
 	Cheque   payment.Cheque  `json:"cheque"`
 	State    string          `json:"state"`
 	Redeemed currency.Amount `json:"redeemed"`
-}
-
-type chainRow struct {
-	Commitment    payment.ChainCommitment `json:"commitment"`
-	State         string                  `json:"state"`
-	RedeemedIndex int                     `json:"redeemed_index"`
 }
 
 // Notifier delivers a signed transfer confirmation to a GSP address, for
@@ -80,6 +75,21 @@ type Bank struct {
 	// usageMu guards the attach-vs-dispatch race during wiring.
 	usageMu sync.RWMutex
 	usage   UsageEngine
+
+	// micropay is the attached streaming chain-redemption pipeline (nil
+	// until SetMicropay); micropayMu mirrors usageMu.
+	micropayMu sync.RWMutex
+	micropay   MicropayEngine
+
+	// chains owns every GridHash chain state transition: the chain row
+	// advance and the money movement commit in one store transaction on
+	// the drawer's shard (see micropay.Redeemer). Shared with the
+	// streaming pipeline so both paths serialize per serial.
+	chains *micropay.Redeemer
+
+	// receipts amortizes ECDSA receipt signing for DirectTransfer
+	// callers that opt into batched receipts.
+	receipts *receiptBatcher
 
 	// instr serializes instrument check-then-act sequences (issue,
 	// redeem, release), keyed by instrument serial. Ledger atomicity
@@ -156,7 +166,7 @@ func NewBankWithLedger(led Ledger, cfg BankConfig) (*Bank, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	for _, t := range []string{tableCheques, tableChains, tableAdmins} {
+	for _, t := range []string{tableCheques, tableAdmins} {
 		if err := led.Store().EnsureTable(t); err != nil {
 			return nil, err
 		}
@@ -166,6 +176,12 @@ func NewBankWithLedger(led Ledger, cfg BankConfig) (*Bank, error) {
 	}
 	b := &Bank{led: led, id: cfg.Identity, ts: cfg.Trust, now: cfg.Now, notify: cfg.Notifier, dedupTTL: cfg.DedupTTL, obsReg: cfg.Obs}
 	b.lastSweep.Store(cfg.Now().UnixNano())
+	red, err := micropay.NewRedeemer(led, cfg.Now)
+	if err != nil {
+		return nil, err
+	}
+	b.chains = red
+	b.receipts = newReceiptBatcher(cfg.Identity, cfg.Now)
 	if mm, ok := led.(interface{ MetaManager() *accounts.Manager }); ok {
 		b.mgr = mm.MetaManager()
 	} else if ml, ok := led.(managerLedger); ok {
@@ -185,6 +201,10 @@ func (b *Bank) Manager() *accounts.Manager { return b.mgr }
 // Ledger exposes the dispatch surface the bank routes through (the
 // sharded ledger in a sharded deployment).
 func (b *Bank) Ledger() Ledger { return b.led }
+
+// ChainRedeemer exposes the bank's chain redemption engine, for wiring
+// the streaming micropay pipeline over the same per-serial locks.
+func (b *Bank) ChainRedeemer() *micropay.Redeemer { return b.chains }
 
 // ShardMap reports the deployment's placement parameters. The primary
 // serves every shard itself (ShardIndex −1): clients use the map to
@@ -342,14 +362,27 @@ func (b *Bank) DirectTransfer(caller string, req *DirectTransferRequest) (*Direc
 	if err != nil {
 		return nil, err
 	}
-	receipt, err := pki.Sign(b.id, ReceiptContext, TransferReceipt{
+	rcpt := TransferReceipt{
 		TransactionID: tr.TransactionID,
 		Drawer:        tr.DrawerAccountID,
 		Recipient:     tr.RecipientAccountID,
 		Amount:        tr.Amount,
 		Currency:      from.Currency,
 		Date:          tr.Date,
-	})
+	}
+	if req.BatchReceipt {
+		// Amortized signing: one bank signature covers every concurrent
+		// opt-in transfer inside the batch window.
+		proof, err := b.receipts.sign(rcpt)
+		if err != nil {
+			return nil, err
+		}
+		if req.RecipientAddress != "" && b.notify != nil {
+			b.notify(req.RecipientAddress, proof.Envelope)
+		}
+		return &DirectTransferResponse{TransactionID: tr.TransactionID, BatchProof: proof}, nil
+	}
+	receipt, err := pki.Sign(b.id, ReceiptContext, rcpt)
 	if err != nil {
 		return nil, err
 	}
@@ -630,122 +663,91 @@ func (b *Bank) RequestChain(caller string, req *RequestChainRequest) (*RequestCh
 		b.rollbackLock(req.AccountID, total)
 		return nil, err
 	}
-	if err := b.putChainRow(&chainRow{Commitment: chain.Commitment, State: stateOutstanding}); err != nil {
+	if err := b.chains.Put(&micropay.ChainRow{Commitment: chain.Commitment, State: micropay.StateOutstanding}); err != nil {
 		b.rollbackLock(req.AccountID, total)
 		return nil, err
 	}
 	return &RequestChainResponse{Chain: *signed, Seed: chain.Seed}, nil
 }
 
-func (b *Bank) putChainRow(row *chainRow) error {
-	raw, err := json.Marshal(row)
-	if err != nil {
-		return err
+// chainErr translates redemption-layer chain errors to the bank's wire
+// errors.
+func chainErr(serial string, err error) error {
+	switch {
+	case errors.Is(err, micropay.ErrUnknownChain):
+		return fmt.Errorf("%w: chain %s", ErrUnknownSerial, serial)
+	case errors.Is(err, micropay.ErrStaleIndex):
+		return fmt.Errorf("%w: %v", ErrStaleIndex, err)
+	case errors.Is(err, micropay.ErrChainState):
+		return fmt.Errorf("%w: %v", ErrAlreadyRedeemed, err)
 	}
-	return b.led.Store().Update(func(tx *db.Tx) error {
-		return tx.Put(tableChains, row.Commitment.Serial, raw)
-	})
-}
-
-func (b *Bank) getChainRow(serial string) (*chainRow, error) {
-	raw, err := b.led.Store().Get(tableChains, serial)
-	if errors.Is(err, db.ErrNoRecord) {
-		return nil, fmt.Errorf("%w: chain %s", ErrUnknownSerial, serial)
-	}
-	if err != nil {
-		return nil, err
-	}
-	var row chainRow
-	if err := json.Unmarshal(raw, &row); err != nil {
-		return nil, fmt.Errorf("core: corrupt chain row: %w", err)
-	}
-	return &row, nil
+	return err
 }
 
 // RedeemChain implements §5.2 Redeem GridHash chain, incrementally: a
 // claim at index i pays (i − redeemedSoFar) × PerWord from the drawer's
 // locked funds. GSPs may batch (redeem every N words) or redeem once at
-// the end; both fall out of the same delta rule.
+// the end; both fall out of the same delta rule. The payout and the
+// chain row advance commit in one ledger transaction (cross-shard: under
+// a write-ahead pinned transaction ID), so a crash can never replay a
+// paid delta.
+//
+// Every authorization field — drawer account, currency, expiry — is
+// taken from the signature-verified payload VerifyChain returns, never
+// from the request's unverified wrapper. The claim's preimage is checked
+// incrementally against the last redeemed word, O(delta) hashes.
 func (b *Bank) RedeemChain(caller string, req *RedeemChainRequest) (*RedeemChainResponse, error) {
-	sc := req.Chain
-	if _, err := payment.VerifyChain(&sc, b.ts, caller, b.now()); err != nil {
+	cc, err := b.verifiedChain(&req.Chain, caller)
+	if err != nil {
 		return nil, err
 	}
-	cc := sc.Commitment
-	if err := cc.ValidateClaim(&req.Claim); err != nil {
-		return nil, err
+	if req.Claim.Serial != cc.Serial {
+		return nil, fmt.Errorf("payment: claim serial %q does not match chain %q", req.Claim.Serial, cc.Serial)
 	}
 	payeeAcct, err := b.led.FindByCertificate(caller, cc.Currency)
 	if err != nil {
 		return nil, fmt.Errorf("core: payee has no %s account: %w", cc.Currency, err)
 	}
-	mu := b.instr.of(cc.Serial)
-	mu.Lock()
-	defer mu.Unlock()
-	row, err := b.getChainRow(cc.Serial)
+	out, err := b.chains.Redeem(cc.Serial, payeeAcct.AccountID, req.Claim.Index, req.Claim.Word, req.Claim.RUR)
+	if err != nil {
+		return nil, chainErr(cc.Serial, err)
+	}
+	return &RedeemChainResponse{TransactionID: out.TxID, Paid: out.Paid, IndexNow: out.Index}, nil
+}
+
+// verifiedChain verifies a presented chain and returns the
+// signature-verified commitment payload.
+func (b *Bank) verifiedChain(sc *payment.SignedChain, payeeCert string) (*payment.ChainCommitment, error) {
+	_, cc, err := payment.VerifyChain(sc, b.ts, payeeCert, b.now())
 	if err != nil {
 		return nil, err
 	}
-	if row.State != stateOutstanding {
-		return nil, fmt.Errorf("%w: chain %s is %s", ErrAlreadyRedeemed, cc.Serial, row.State)
-	}
-	if req.Claim.Index <= row.RedeemedIndex {
-		return nil, fmt.Errorf("%w: claim %d, already redeemed to %d", ErrStaleIndex, req.Claim.Index, row.RedeemedIndex)
-	}
-	deltaWords := int64(req.Claim.Index - row.RedeemedIndex)
-	delta, err := cc.PerWord.MulInt(deltaWords)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := b.led.Transfer(cc.DrawerAccountID, payeeAcct.AccountID, delta,
-		accounts.TransferOptions{FromLocked: true, RUR: req.Claim.RUR})
-	if err != nil {
-		return nil, err
-	}
-	row.RedeemedIndex = req.Claim.Index
-	if row.RedeemedIndex == cc.Length {
-		row.State = stateRedeemed
-	}
-	if err := b.putChainRow(row); err != nil {
-		return nil, err
-	}
-	return &RedeemChainResponse{TransactionID: tr.TransactionID, Paid: delta, IndexNow: row.RedeemedIndex}, nil
+	return cc, nil
 }
 
 // ReleaseChain returns the unredeemed remainder of an expired chain's
-// lock to the drawer.
+// lock to the drawer. The caller/state/expiry gate runs under the same
+// per-serial lock as redemption, and the unlock commits atomically with
+// the row's flip to released — a concurrently in-flight redemption
+// either lands entirely before the release (and shrinks the remainder)
+// or is refused entirely after it.
 func (b *Bank) ReleaseChain(caller string, req *ReleaseRequest) (*ReleaseResponse, error) {
-	mu := b.instr.of(req.Serial)
-	mu.Lock()
-	defer mu.Unlock()
-	row, err := b.getChainRow(req.Serial)
-	if err != nil {
-		return nil, err
-	}
-	if row.Commitment.DrawerCert != caller && !b.IsAdmin(caller) {
-		return nil, fmt.Errorf("%w: %s is not the drawer", ErrDenied, caller)
-	}
-	if row.State != stateOutstanding {
-		return nil, fmt.Errorf("%w: chain %s is %s", ErrAlreadyRedeemed, req.Serial, row.State)
-	}
-	if b.now().Before(row.Commitment.Expires) {
-		return nil, fmt.Errorf("%w: expires %v", ErrNotExpired, row.Commitment.Expires)
-	}
-	remWords := int64(row.Commitment.Length - row.RedeemedIndex)
-	remainder, err := row.Commitment.PerWord.MulInt(remWords)
-	if err != nil {
-		return nil, err
-	}
-	if remainder.IsPositive() {
-		if err := b.led.Unlock(row.Commitment.DrawerAccountID, remainder); err != nil {
-			return nil, err
+	out, err := b.chains.Release(req.Serial, func(row *micropay.ChainRow) error {
+		if row.Commitment.DrawerCert != caller && !b.IsAdmin(caller) {
+			return fmt.Errorf("%w: %s is not the drawer", ErrDenied, caller)
 		}
+		if row.State != micropay.StateOutstanding {
+			return fmt.Errorf("%w: chain %s is %s", ErrAlreadyRedeemed, req.Serial, row.State)
+		}
+		if b.now().Before(row.Commitment.Expires) {
+			return fmt.Errorf("%w: expires %v", ErrNotExpired, row.Commitment.Expires)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, chainErr(req.Serial, err)
 	}
-	row.State = stateReleased
-	if err := b.putChainRow(row); err != nil {
-		return nil, err
-	}
-	return &ReleaseResponse{Released: remainder}, nil
+	return &ReleaseResponse{Released: out.Paid}, nil
 }
 
 // --- Admin API (§5.2.1) ----------------------------------------------------

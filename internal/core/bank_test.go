@@ -333,7 +333,7 @@ func TestChainLifecyclePayAsYouGo(t *testing.T) {
 	}
 	chain := &payment.Chain{Commitment: resp.Chain.Commitment, Seed: resp.Seed}
 	// GSP verifies the commitment once...
-	if _, err := payment.VerifyChain(&resp.Chain, w.ts, w.gsp.SubjectName(), time.Now()); err != nil {
+	if _, _, err := payment.VerifyChain(&resp.Chain, w.ts, w.gsp.SubjectName(), time.Now()); err != nil {
 		t.Fatal(err)
 	}
 	// ...then accepts words 1..40 as service streams (simulated), and

@@ -44,6 +44,17 @@ type Ledger interface {
 	// single-store bank, shard 0 for a sharded one).
 	Store() *db.Store
 
+	// Shards / ShardFor / ShardManager / ShardStore expose account
+	// placement and per-shard transactional access — the same shape the
+	// usage and micropay settlement pipelines consume — so the bank can
+	// compose instrument-state changes and money movement into one
+	// store transaction on the owning shard (chain redemption must be
+	// atomic with the chain row advance).
+	Shards() int
+	ShardFor(id accounts.ID) int
+	ShardManager(i int) *accounts.Manager
+	ShardStore(i int) *db.Store
+
 	// ShardTopology reports the placement parameters clients need to
 	// compute account→shard mapping locally: shard count and virtual
 	// nodes per shard. (1, vnodes) means unsharded.
@@ -77,6 +88,11 @@ func (m managerLedger) CloseAccount(id, transferTo accounts.ID) error {
 }
 
 func (m managerLedger) ShardTopology() (int, int) { return 1, shard.DefaultVnodes }
+
+func (m managerLedger) Shards() int                        { return 1 }
+func (m managerLedger) ShardFor(accounts.ID) int           { return 0 }
+func (m managerLedger) ShardManager(int) *accounts.Manager { return m.Manager }
+func (m managerLedger) ShardStore(int) *db.Store           { return m.Manager.Store() }
 
 var _ Ledger = managerLedger{}
 var _ Ledger = (*shard.Ledger)(nil)

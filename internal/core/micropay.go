@@ -1,0 +1,217 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"gridbank/internal/micropay"
+)
+
+// Micropayment operations: the wire surface of the streaming GridHash
+// fast path (internal/micropay). Micropay.Submit is the pay-as-you-go
+// front door at scale — a GSP streams chain-word claims in batches
+// instead of presenting one RedeemChain call per tick — and
+// Micropay.Status / Micropay.Drain are the operational window.
+const (
+	OpMicropaySubmit = "Micropay.Submit" // batch intake of chain claims
+	OpMicropayStatus = "Micropay.Status" // pipeline queue depth and outcome counters
+	OpMicropayDrain  = "Micropay.Drain"  // block until the queue settles (admin)
+)
+
+// ErrMicropayDisabled answers micropay operations on a server whose
+// pipeline was not enabled.
+var ErrMicropayDisabled = errors.New("core: micropay pipeline not enabled on this server")
+
+// MicropayEngine is the pipeline surface the bank dispatches micropay
+// operations to. *micropay.Pipeline implements it.
+type MicropayEngine interface {
+	Submit(payeeCert string, batch []micropay.Claim) (*micropay.SubmitResult, error)
+	Status() *micropay.Stats
+	Drain(timeout time.Duration) (*micropay.Stats, error)
+}
+
+var _ MicropayEngine = (*micropay.Pipeline)(nil)
+
+// MicropaySubmitRequest offers a batch of chain claims for asynchronous
+// redemption. The pipeline binds every claim to its chain's signed
+// commitment: the caller must be the chain's payee (administrators may
+// relay on anyone's behalf), the preimage must extend the accepted
+// chain head, and the chain must be outstanding and unexpired.
+type MicropaySubmitRequest struct {
+	Claims []micropay.Claim `json:"claims"`
+}
+
+// MicropaySubmitResponse reports the intake outcome per batch.
+type MicropaySubmitResponse struct {
+	Result micropay.SubmitResult `json:"result"`
+}
+
+// MicropayStatusResponse reports the pipeline's observable state.
+type MicropayStatusResponse struct {
+	Stats micropay.Stats `json:"stats"`
+}
+
+// MicropayDrainRequest blocks until the pipeline settles everything
+// pending, or Timeout elapses (default 30s).
+type MicropayDrainRequest struct {
+	Timeout time.Duration `json:"timeout,omitempty"`
+}
+
+// MicropayDrainResponse carries the post-drain stats.
+type MicropayDrainResponse struct {
+	Stats micropay.Stats `json:"stats"`
+}
+
+// SetMicropay attaches the streaming redemption pipeline the bank
+// dispatches micropay operations to. Call during wiring, before the
+// server takes traffic.
+func (b *Bank) SetMicropay(eng MicropayEngine) {
+	b.micropayMu.Lock()
+	b.micropay = eng
+	b.micropayMu.Unlock()
+}
+
+func (b *Bank) micropayEngine() (MicropayEngine, error) {
+	b.micropayMu.RLock()
+	eng := b.micropay
+	b.micropayMu.RUnlock()
+	if eng == nil {
+		return nil, ErrMicropayDisabled
+	}
+	return eng, nil
+}
+
+// MicropaySubmit implements Micropay.Submit. Per-claim authorization
+// lives in the pipeline, which compares the caller against each chain's
+// signature-verified PayeeCert — the caller never presents the chain
+// wrapper here, so there is nothing unverified to trust. Administrators
+// bypass the payee binding (relay submission).
+func (b *Bank) MicropaySubmit(caller string, req *MicropaySubmitRequest) (*MicropaySubmitResponse, error) {
+	eng, err := b.micropayEngine()
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Claims) == 0 {
+		return &MicropaySubmitResponse{}, nil
+	}
+	payee := caller
+	if b.IsAdmin(caller) {
+		payee = "" // relay: the chain's own payee binding still routes the money
+	}
+	res, err := eng.Submit(payee, req.Claims)
+	if err != nil {
+		return nil, err
+	}
+	return &MicropaySubmitResponse{Result: *res}, nil
+}
+
+// MicropayStatus implements Micropay.Status for any authenticated
+// subject.
+func (b *Bank) MicropayStatus(string) (*MicropayStatusResponse, error) {
+	eng, err := b.micropayEngine()
+	if err != nil {
+		return nil, err
+	}
+	return &MicropayStatusResponse{Stats: *eng.Status()}, nil
+}
+
+// MicropayDrain implements Micropay.Drain (administrators only — it
+// blocks a server goroutine until the queue empties).
+func (b *Bank) MicropayDrain(caller string, req *MicropayDrainRequest) (*MicropayDrainResponse, error) {
+	if err := b.requireAdmin(caller); err != nil {
+		return nil, err
+	}
+	eng, err := b.micropayEngine()
+	if err != nil {
+		return nil, err
+	}
+	st, err := eng.Drain(req.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &MicropayDrainResponse{Stats: *st}, nil
+}
+
+// --- Read-only replica: micropay ops live on the primary ---------------------
+
+// MicropaySubmit redirects to the primary (intake mutates the spool).
+func (b *ReadOnlyBank) MicropaySubmit(string, *MicropaySubmitRequest) (*MicropaySubmitResponse, error) {
+	return nil, b.redirect(OpMicropaySubmit)
+}
+
+// MicropayStatus redirects to the primary: the pipeline (and its queue)
+// runs there, and spool tables are not part of the replicated ledger.
+func (b *ReadOnlyBank) MicropayStatus(string) (*MicropayStatusResponse, error) {
+	return nil, b.redirect(OpMicropayStatus)
+}
+
+// MicropayDrain redirects to the primary.
+func (b *ReadOnlyBank) MicropayDrain(string, *MicropayDrainRequest) (*MicropayDrainResponse, error) {
+	return nil, b.redirect(OpMicropayDrain)
+}
+
+// --- Client side -------------------------------------------------------------
+
+// MicropaySubmit streams a batch of chain claims into the bank's
+// redemption pipeline. On CodeOverloaded the caller backs off and
+// resubmits — re-submission is idempotent per (serial, index).
+func (c *Client) MicropaySubmit(claims []micropay.Claim) (*micropay.SubmitResult, error) {
+	var out MicropaySubmitResponse
+	if err := c.call(OpMicropaySubmit, &MicropaySubmitRequest{Claims: claims}, &out); err != nil {
+		return nil, err
+	}
+	return &out.Result, nil
+}
+
+// MicropayStatus reports the redemption pipeline's state.
+func (c *Client) MicropayStatus() (*micropay.Stats, error) {
+	var out MicropayStatusResponse
+	if err := c.call(OpMicropayStatus, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out.Stats, nil
+}
+
+// MicropayDrain blocks until the pipeline settles everything pending
+// (administrator caller). The call's own deadline is stretched past the
+// server-side drain window so a long legitimate drain is not cut off by
+// the default CallTimeout.
+func (c *Client) MicropayDrain(timeout time.Duration) (*micropay.Stats, error) {
+	serverSide := timeout
+	if serverSide <= 0 {
+		serverSide = 30 * time.Second // the server's own default drain window
+	}
+	var out MicropayDrainResponse
+	if err := c.callWithTimeout(OpMicropayDrain, &MicropayDrainRequest{Timeout: timeout}, &out, serverSide+30*time.Second); err != nil {
+		return nil, err
+	}
+	return &out.Stats, nil
+}
+
+// --- Routed client -----------------------------------------------------------
+
+// Micropay operations always run on the primary: intake mutates the
+// spool and the pipeline state lives only there.
+
+// MicropaySubmit submits a claim batch to the primary under the retry
+// policy: overloaded backpressure is absorbed with backoff within the
+// retry budget instead of surfacing as a hard error (re-submission is
+// idempotent per (serial, index), so transport-ambiguous failures retry
+// safely too).
+func (r *RoutedClient) MicropaySubmit(claims []micropay.Claim) (*micropay.SubmitResult, error) {
+	var out MicropaySubmitResponse
+	if err := r.retryMutate(OpMicropaySubmit, &MicropaySubmitRequest{Claims: claims}, &out); err != nil {
+		return nil, err
+	}
+	return &out.Result, nil
+}
+
+// MicropayStatus reads pipeline state from the primary.
+func (r *RoutedClient) MicropayStatus() (*micropay.Stats, error) {
+	return r.Client.MicropayStatus()
+}
+
+// MicropayDrain drains the primary's pipeline.
+func (r *RoutedClient) MicropayDrain(timeout time.Duration) (*micropay.Stats, error) {
+	return r.Client.MicropayDrain(timeout)
+}

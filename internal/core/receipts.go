@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gridbank/internal/pki"
+)
+
+// ReceiptBatchContext domain-separates batched transfer receipts.
+const ReceiptBatchContext = "gridbank/receipt-batch/v1"
+
+// ReceiptBatch is the payload of one batched receipt signature: many
+// transfer receipts under a single bank signature. A transfer's proof is
+// the envelope plus its index into Receipts.
+type ReceiptBatch struct {
+	Receipts []TransferReceipt `json:"receipts"`
+}
+
+// BatchReceiptProof proves one transfer out of a signed batch.
+type BatchReceiptProof struct {
+	Envelope *pki.Signed `json:"envelope"`
+	Index    int         `json:"index"`
+}
+
+// VerifyBatchReceipt verifies the batch envelope against the trust store
+// and returns the receipt at the proof's index plus the signer subject.
+func VerifyBatchReceipt(proof *BatchReceiptProof, ts *pki.TrustStore, now time.Time) (*TransferReceipt, string, error) {
+	if proof == nil || proof.Envelope == nil {
+		return nil, "", fmt.Errorf("core: empty batch receipt proof")
+	}
+	var batch ReceiptBatch
+	signer, err := proof.Envelope.Verify(ts, ReceiptBatchContext, now, &batch)
+	if err != nil {
+		return nil, "", err
+	}
+	if proof.Index < 0 || proof.Index >= len(batch.Receipts) {
+		return nil, "", fmt.Errorf("core: batch receipt index %d out of range (%d receipts)", proof.Index, len(batch.Receipts))
+	}
+	return &batch.Receipts[proof.Index], signer, nil
+}
+
+// Receipt batcher tuning: how long the leader waits for followers to
+// pile on, and how many receipts one signature may cover.
+const (
+	receiptBatchWindow = time.Millisecond
+	receiptBatchMax    = 256
+)
+
+// receiptGroup is one in-flight signing batch. The first caller to open
+// a group is its leader: it waits the batch window, seals the group,
+// signs once, and wakes the followers.
+type receiptGroup struct {
+	receipts []TransferReceipt
+	done     chan struct{}
+	env      *pki.Signed
+	err      error
+}
+
+// receiptBatcher amortizes ECDSA receipt signing across concurrent
+// DirectTransfer calls: instead of one signature per transfer, callers
+// that opt in share a group-commit leader that signs one ReceiptBatch
+// covering everyone who arrived inside the window. The same pattern the
+// db journal uses for fsyncs, applied to signatures.
+type receiptBatcher struct {
+	id  *pki.Identity
+	now func() time.Time
+
+	mu  sync.Mutex
+	cur *receiptGroup
+}
+
+func newReceiptBatcher(id *pki.Identity, now func() time.Time) *receiptBatcher {
+	return &receiptBatcher{id: id, now: now}
+}
+
+// sign enrolls the receipt in the current batch and blocks until the
+// batch signature exists, returning the proof for this receipt.
+func (rb *receiptBatcher) sign(r TransferReceipt) (*BatchReceiptProof, error) {
+	rb.mu.Lock()
+	g := rb.cur
+	leader := false
+	if g == nil {
+		g = &receiptGroup{done: make(chan struct{})}
+		rb.cur = g
+		leader = true
+	}
+	idx := len(g.receipts)
+	g.receipts = append(g.receipts, r)
+	if !leader && len(g.receipts) >= receiptBatchMax {
+		// Full: detach so the next caller opens a fresh group. The
+		// leader still signs this one after its window.
+		rb.cur = nil
+	}
+	rb.mu.Unlock()
+
+	if leader {
+		time.Sleep(receiptBatchWindow)
+		rb.mu.Lock()
+		if rb.cur == g {
+			rb.cur = nil // seal: no further appends possible
+		}
+		rb.mu.Unlock()
+		g.env, g.err = pki.Sign(rb.id, ReceiptBatchContext, ReceiptBatch{Receipts: g.receipts})
+		close(g.done)
+	} else {
+		<-g.done
+	}
+	if g.err != nil {
+		return nil, g.err
+	}
+	return &BatchReceiptProof{Envelope: g.env, Index: idx}, nil
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gridbank/internal/currency"
+)
+
+// TestBatchReceiptRoundTrip drives the opt-in batched path through the
+// public API: a DirectTransfer with BatchReceipt set returns a
+// BatchReceiptProof instead of a per-transfer signature, and the proof
+// verifies against the trust store back to the exact receipt.
+func TestBatchReceiptRoundTrip(t *testing.T) {
+	w := newTestWorld(t)
+	resp, err := w.bank.DirectTransfer(w.alice.SubjectName(), &DirectTransferRequest{
+		FromAccountID: w.aliceAcct.AccountID,
+		ToAccountID:   w.gspAcct.AccountID,
+		Amount:        currency.FromG(3),
+		BatchReceipt:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Receipt != nil {
+		t.Fatal("batched transfer also carried a per-transfer signature")
+	}
+	if resp.BatchProof == nil {
+		t.Fatal("batched transfer returned no proof")
+	}
+	rcpt, signer, err := VerifyBatchReceipt(resp.BatchProof, w.ts, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if signer != w.bankID.SubjectName() {
+		t.Errorf("signer = %s", signer)
+	}
+	if rcpt.TransactionID != resp.TransactionID || rcpt.Amount != currency.FromG(3) ||
+		rcpt.Drawer != w.aliceAcct.AccountID || rcpt.Recipient != w.gspAcct.AccountID {
+		t.Errorf("receipt = %+v", rcpt)
+	}
+}
+
+// TestBatchReceiptAmortizesSignatures is the point of the batcher:
+// concurrent opt-in transfers that land inside one batch window share a
+// single signed envelope — one ECDSA signature for the lot — while each
+// caller still gets a proof of its own receipt.
+func TestBatchReceiptAmortizesSignatures(t *testing.T) {
+	w := newTestWorld(t)
+	const n = 16
+	proofs := make([]*BatchReceiptProof, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			resp, err := w.bank.DirectTransfer(w.alice.SubjectName(), &DirectTransferRequest{
+				FromAccountID: w.aliceAcct.AccountID,
+				ToAccountID:   w.gspAcct.AccountID,
+				Amount:        currency.FromG(1),
+				BatchReceipt:  true,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			proofs[i] = resp.BatchProof
+		}(i)
+	}
+	wg.Wait()
+
+	envelopes := map[string]int{}
+	indices := map[string]map[int]bool{}
+	for _, p := range proofs {
+		if p == nil {
+			t.Fatal("missing proof")
+		}
+		rcpt, _, err := VerifyBatchReceipt(p, w.ts, time.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rcpt.Amount != currency.FromG(1) {
+			t.Fatalf("receipt = %+v", rcpt)
+		}
+		key := string(p.Envelope.Signature)
+		envelopes[key]++
+		if indices[key] == nil {
+			indices[key] = map[int]bool{}
+		}
+		if indices[key][p.Index] {
+			t.Fatalf("two transfers share envelope index %d", p.Index)
+		}
+		indices[key][p.Index] = true
+	}
+	if len(envelopes) >= n {
+		t.Errorf("no amortization: %d transfers produced %d signatures", n, len(envelopes))
+	}
+	t.Logf("%d transfers across %d signatures", n, len(envelopes))
+}
+
+// TestBatchReceiptProofTamperRefused: a proof whose index points at a
+// different receipt in the batch, an index out of range, and a tampered
+// envelope must all fail verification.
+func TestBatchReceiptProofTamperRefused(t *testing.T) {
+	w := newTestWorld(t)
+	resp, err := w.bank.DirectTransfer(w.alice.SubjectName(), &DirectTransferRequest{
+		FromAccountID: w.aliceAcct.AccountID,
+		ToAccountID:   w.gspAcct.AccountID,
+		Amount:        currency.FromG(2),
+		BatchReceipt:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof := resp.BatchProof
+
+	oob := *proof
+	oob.Index = 99
+	if _, _, err := VerifyBatchReceipt(&oob, w.ts, time.Now()); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("out-of-range index err = %v", err)
+	}
+	neg := *proof
+	neg.Index = -1
+	if _, _, err := VerifyBatchReceipt(&neg, w.ts, time.Now()); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, _, err := VerifyBatchReceipt(nil, w.ts, time.Now()); err == nil {
+		t.Error("nil proof accepted")
+	}
+	forged := *proof
+	env := *proof.Envelope
+	env.Payload = append([]byte(nil), env.Payload...)
+	if len(env.Payload) > 0 {
+		env.Payload[0] ^= 1
+	}
+	forged.Envelope = &env
+	if _, _, err := VerifyBatchReceipt(&forged, w.ts, time.Now()); err == nil {
+		t.Error("tampered envelope accepted")
+	}
+}
+
+// TestReceiptBatcherSequentialGroups: after one group seals, the next
+// transfer opens a fresh group rather than reusing the sealed one.
+func TestReceiptBatcherSequentialGroups(t *testing.T) {
+	w := newTestWorld(t)
+	send := func() *BatchReceiptProof {
+		resp, err := w.bank.DirectTransfer(w.alice.SubjectName(), &DirectTransferRequest{
+			FromAccountID: w.aliceAcct.AccountID,
+			ToAccountID:   w.gspAcct.AccountID,
+			Amount:        currency.FromG(1),
+			BatchReceipt:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.BatchProof
+	}
+	p1 := send()
+	p2 := send()
+	if p1.Index != 0 || p2.Index != 0 {
+		t.Errorf("sequential singleton batches: indices %d, %d", p1.Index, p2.Index)
+	}
+	if string(p1.Envelope.Signature) == string(p2.Envelope.Signature) {
+		t.Error("sealed envelope was reused for a later transfer")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"gridbank/internal/accounts"
+	"gridbank/internal/micropay"
 	"gridbank/internal/obs"
 	"gridbank/internal/payment"
 	"gridbank/internal/pki"
@@ -55,6 +56,10 @@ type API interface {
 	UsageSubmit(caller string, req *UsageSubmitRequest) (*UsageSubmitResponse, error)
 	UsageStatus(caller string) (*UsageStatusResponse, error)
 	UsageDrain(caller string, req *UsageDrainRequest) (*UsageDrainResponse, error)
+
+	MicropaySubmit(caller string, req *MicropaySubmitRequest) (*MicropaySubmitResponse, error)
+	MicropayStatus(caller string) (*MicropayStatusResponse, error)
+	MicropayDrain(caller string, req *MicropayDrainRequest) (*MicropayDrainResponse, error)
 
 	MetricsSnapshot(caller string) (*MetricsSnapshotResponse, error)
 
@@ -340,6 +345,7 @@ var builtinOps = []string{
 	OpRedeemChain, OpReleaseCheque, OpReleaseChain, OpAdminDeposit, OpAdminWithdraw,
 	OpAdminCreditLimit, OpAdminCancel, OpAdminClose, OpAdminAccounts, OpReplicaStatus,
 	OpShardMap, OpUsageSubmit, OpUsageStatus, OpUsageDrain, OpMetrics,
+	OpMicropaySubmit, OpMicropayStatus, OpMicropayDrain,
 }
 
 func isBuiltinOp(name string) bool {
@@ -786,6 +792,18 @@ func (s *Server) dispatch(subject string, req *wire.Request) *wire.Response {
 		if err = wire.Decode(req.Body, &r); err == nil {
 			body, err = s.bank.UsageDrain(subject, &r)
 		}
+	case OpMicropaySubmit:
+		var r MicropaySubmitRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.MicropaySubmit(subject, &r)
+		}
+	case OpMicropayStatus:
+		body, err = s.bank.MicropayStatus(subject)
+	case OpMicropayDrain:
+		var r MicropayDrainRequest
+		if err = wire.Decode(req.Body, &r); err == nil {
+			body, err = s.bank.MicropayDrain(subject, &r)
+		}
 	case OpMetrics:
 		body, err = s.bank.MetricsSnapshot(subject)
 	case OpReplicaStatus:
@@ -827,9 +845,10 @@ func ErrorCode(err error) string {
 		return CodeOK
 	case errors.Is(err, ErrReadOnly):
 		return CodeReadOnly
-	case errors.Is(err, ErrReplicaNotReady), errors.Is(err, ErrUsageDisabled):
+	case errors.Is(err, ErrReplicaNotReady), errors.Is(err, ErrUsageDisabled),
+		errors.Is(err, ErrMicropayDisabled):
 		return CodeUnavailable
-	case errors.Is(err, usage.ErrOverloaded):
+	case errors.Is(err, usage.ErrOverloaded), errors.Is(err, micropay.ErrOverloaded):
 		return CodeOverloaded
 	case errors.Is(err, ErrWrongShard):
 		return CodeWrongShard

@@ -489,3 +489,40 @@ func TestObsExpSweep(t *testing.T) {
 		t.Error("report rendering broken")
 	}
 }
+
+func TestMicropayExpSweep(t *testing.T) {
+	// Tiny sweep sized for CI: the exactly-once, conservation and
+	// crash-recovery asserts inside every cell are the point; the
+	// throughput numbers are meaningless at this scale.
+	r, err := RunMicropay(MicropayExpConfig{
+		Chains:         2,
+		TicksPerChain:  64,
+		ClaimIntervals: []int{16},
+		BatchSizes:     []int{8},
+		ShardCounts:    []int{1, 2},
+		BaselineTicks:  8,
+		CrashTicks:     16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(r.Points))
+	}
+	if r.BaselinePerSec <= 0 {
+		t.Fatalf("baseline = %f", r.BaselinePerSec)
+	}
+	for _, p := range r.Points {
+		if p.TicksPerSec <= 0 || p.Ticks != 2*64 {
+			t.Fatalf("cell %+v", p)
+		}
+		if p.Shards == 1 && p.CrossShard != 0 {
+			t.Fatalf("cross-shard traffic on a 1-shard cell: %+v", p)
+		}
+	}
+	var buf bytes.Buffer
+	WriteMicropay(&buf, r)
+	if !strings.Contains(buf.String(), "ticks/sec") {
+		t.Error("report rendering broken")
+	}
+}

@@ -128,8 +128,10 @@ func RunFig3(cfg Fig3Config) (*Fig3Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fig3 chain issue: %w", err)
 	}
-	// GSP verifies the commitment once, then each streamed word locally.
-	if _, err := payment.VerifyChain(signed, w.Trust, gspID.SubjectName(), time.Now()); err != nil {
+	// GSP verifies the commitment once, then each streamed word locally
+	// in O(1) against the previous word (incremental verification).
+	_, cc, err := payment.VerifyChain(signed, w.Trust, gspID.SubjectName(), time.Now())
+	if err != nil {
 		return nil, err
 	}
 	var lastWord []byte
@@ -138,7 +140,7 @@ func RunFig3(cfg Fig3Config) (*Fig3Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := payment.VerifyWord(&chain.Commitment, i, word); err != nil {
+		if err := payment.VerifyWordAfter(cc, i-1, lastWord, i, word); err != nil {
 			return nil, err
 		}
 		lastWord = word

@@ -1,0 +1,212 @@
+// Package micropay is the GridHash pay-as-you-go fast path: the
+// paper's §3.3 hash-chain micro-payment instrument carried at wire
+// speed. One ECDSA signature (the chain commitment, §5.2 Request
+// GridHash chain) authorizes up to 2^20 payments; every subsequent
+// payment is one SHA-256 preimage, verified incrementally in O(delta)
+// hashes. This package holds the two halves the seed repo was missing:
+//
+//   - Redeemer: chain redemption done right. The chain row advance and
+//     the money movement commit in ONE store transaction on the
+//     drawer's shard (accounts tx API, like the usage pipeline's
+//     settled markers), so a crash can never replay a paid delta. When
+//     the payee lives on another shard the redemption pins its
+//     transaction ID write-ahead in the chain row and drives the 2PC
+//     transfer under it, exactly like the usage pipeline's cross-shard
+//     path.
+//   - Pipeline: streaming claim intake and batched redemption. GSPs
+//     submit chain claims in batches (Micropay.Submit); intake verifies
+//     each preimage against the highest word already accepted —
+//     O(delta) hashes — spools it durably, and acknowledges. Workers
+//     batch spooled claims per (shard, drawer), keep only the highest
+//     index per serial (the delta rule makes lower claims redundant),
+//     and settle each chain with one redemption transaction. Thousands
+//     of micro-payments amortize into a few signatures' worth of work
+//     and a handful of group-committed ledger transactions.
+//
+// Contract (mirroring internal/usage):
+//
+//   - Durable intake: an acknowledged claim is journaled to the spool
+//     and survives a crash.
+//   - Exactly-once settlement: the chain row's RedeemedIndex advances
+//     monotonically in the same transaction that moves the money, so a
+//     replayed or crash-recovered claim is recognized as stale and
+//     pays nothing. No separate marker table is needed — the row IS
+//     the marker.
+//   - Backpressure: Submit refuses batches with ErrOverloaded once
+//     settlement lags past the configured bound.
+//   - Malformed-vs-transient: a claim that can never settle (unknown
+//     serial, bad preimage, expired chain, wrong payee) is rejected at
+//     intake with a per-claim reason; transient faults surface as
+//     Submit errors the caller retries.
+//
+// Spool format (table "micropay_spool", key = "<serial>/<index>"):
+//
+//	{"key":"S/000000000042","serial":"S","index":42,"word":"...",
+//	 "drawer":"01-0001-00000003","payee":"01-0001-00000007",
+//	 "state":"pending","enqueued":"..."}
+package micropay
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gridbank/internal/accounts"
+)
+
+// Pipeline errors.
+var (
+	// ErrOverloaded refuses an intake batch because settlement lags;
+	// callers back off and retry. The wire layer maps it to the stable
+	// "overloaded" code.
+	ErrOverloaded = errors.New("micropay: settlement pipeline overloaded, retry later")
+	// ErrClosed rejects operations on a closed pipeline.
+	ErrClosed = errors.New("micropay: pipeline closed")
+	// ErrDrainStalled reports a Drain that stopped making progress.
+	ErrDrainStalled = errors.New("micropay: drain stalled, pending claims not settling")
+	// ErrDrainTimeout reports a Drain that ran out of time.
+	ErrDrainTimeout = errors.New("micropay: drain timed out")
+)
+
+// Redemption errors.
+var (
+	// ErrUnknownChain reports a serial with no chain row anywhere on
+	// the ledger.
+	ErrUnknownChain = errors.New("micropay: unknown chain serial")
+	// ErrStaleIndex reports a claim at or below the redeemed position:
+	// a replay or an out-of-date claim. Paying it would double-pay, so
+	// it settles as a duplicate (zero value moved).
+	ErrStaleIndex = errors.New("micropay: claim index not beyond redeemed position")
+	// ErrChainState reports an operation against a chain that is no
+	// longer outstanding (already fully redeemed or released).
+	ErrChainState = errors.New("micropay: chain is not outstanding")
+)
+
+// Claim is one streamed redemption claim: the highest word the payee
+// holds for a chain, plus optional usage evidence. Cumulative value is
+// Index × PerWord; the bank pays the delta above the redeemed position.
+type Claim struct {
+	Serial string `json:"serial"`
+	Index  int    `json:"index"`
+	Word   []byte `json:"word"`
+	RUR    []byte `json:"rur,omitempty"`
+}
+
+// Rejection reports one claim refused at intake, with the reason.
+// Rejections are terminal: the same claim will be rejected again.
+type Rejection struct {
+	Serial string `json:"serial"`
+	Index  int    `json:"index"`
+	Reason string `json:"reason"`
+}
+
+// SubmitResult summarizes one intake batch. AcceptedTicks counts the
+// chain words newly covered by accepted claims — the number of
+// micro-payments this batch advanced the stream by.
+type SubmitResult struct {
+	Accepted      int         `json:"accepted"`
+	AcceptedTicks int         `json:"accepted_ticks"`
+	Duplicates    int         `json:"duplicates"`
+	Rejected      []Rejection `json:"rejected,omitempty"`
+}
+
+// Stats is the pipeline's observable state (Micropay.Status).
+type Stats struct {
+	// Pending counts claims spooled but not yet settled.
+	Pending int `json:"pending"`
+	// QueueDepth counts claims waiting for a worker.
+	QueueDepth int `json:"queue_depth"`
+	// InFlight counts claims inside a settlement batch.
+	InFlight int `json:"in_flight"`
+	// Failed counts claims parked by terminal settlement outcomes.
+	Failed int `json:"failed"`
+	// SettledTicks counts chain words paid out — individual
+	// micro-payments — since this pipeline instance started.
+	SettledTicks uint64 `json:"settled_ticks"`
+	// SettledClaims counts spooled claims that reached settlement.
+	SettledClaims uint64 `json:"settled_claims"`
+	// Duplicates counts stale/replayed claims recognized and skipped.
+	Duplicates uint64 `json:"duplicates"`
+	// Rejected counts claims refused at intake.
+	Rejected uint64 `json:"rejected"`
+	// Batches counts redemption transactions; SettledTicks/Batches is
+	// the amortization factor.
+	Batches uint64 `json:"batches"`
+	// CrossShard counts redemptions driven through the pinned 2PC path.
+	CrossShard uint64 `json:"cross_shard"`
+	// Workers and BatchSize echo the pipeline's configuration.
+	Workers   int `json:"workers"`
+	BatchSize int `json:"batch_size"`
+	// LastError is the most recent transient settlement error.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Boundary identifies a durable step of the redemption protocol, for
+// fault injection: a crash hook fires immediately after the named step
+// became durable.
+type Boundary int
+
+// The redemption protocol's durable step boundaries, in order.
+const (
+	// BoundarySpooled: intake claims journaled, settlement not started.
+	BoundarySpooled Boundary = iota + 1
+	// BoundaryPinned: a cross-shard redemption's transaction ID pinned
+	// in the chain row, transfer not yet driven.
+	BoundaryPinned
+	// BoundarySettled: the money movement is durable — for same-shard
+	// redemptions this includes the row advance (one atomic
+	// transaction); for cross-shard the 2PC transfer completed, row not
+	// yet advanced.
+	BoundarySettled
+	// BoundaryAdvanced: a cross-shard redemption's chain row advanced
+	// and unpinned.
+	BoundaryAdvanced
+	// BoundaryCleaned: spool rows deleted/parked; the claims are fully
+	// finished.
+	BoundaryCleaned
+)
+
+// String names a boundary for test output.
+func (b Boundary) String() string {
+	switch b {
+	case BoundarySpooled:
+		return "spooled"
+	case BoundaryPinned:
+		return "pinned"
+	case BoundarySettled:
+		return "settled"
+	case BoundaryAdvanced:
+		return "advanced"
+	case BoundaryCleaned:
+		return "cleaned"
+	default:
+		return fmt.Sprintf("boundary(%d)", int(b))
+	}
+}
+
+// spool row states.
+const (
+	statePending = "pending"
+	stateFailed  = "failed"
+)
+
+// spoolRow is one durable intake claim, with the parties resolved at
+// intake so recovery never needs a directory lookup.
+type spoolRow struct {
+	Key      string      `json:"key"`
+	Serial   string      `json:"serial"`
+	Index    int         `json:"index"`
+	Word     []byte      `json:"word"`
+	RUR      []byte      `json:"rur,omitempty"`
+	Drawer   accounts.ID `json:"drawer"`
+	Payee    accounts.ID `json:"payee"`
+	State    string      `json:"state"`
+	Reason   string      `json:"reason,omitempty"`
+	Enqueued time.Time   `json:"enqueued"`
+}
+
+// spoolKey is the idempotency key of one claim: a serial can be claimed
+// at each index at most once.
+func spoolKey(serial string, index int) string {
+	return fmt.Sprintf("%s/%012d", serial, index)
+}

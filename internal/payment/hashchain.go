@@ -169,23 +169,92 @@ func (ch *Chain) Word(i int) ([]byte, error) {
 }
 
 // VerifyWord checks that word is the i-th preimage of the commitment
-// root: H^i(word) == root. This is what the GSP does on every received
-// micro-payment, and what the bank does at redemption.
+// root: H^i(word) == root. This is the from-scratch check — i hashes,
+// up to MaxChainLength of them. Verifiers that have already accepted an
+// earlier word should use VerifyWordAfter instead, which costs only the
+// delta.
 func VerifyWord(cc *ChainCommitment, i int, word []byte) error {
-	if i < 1 || i > cc.Length {
-		return fmt.Errorf("%w: %d of %d", ErrBadIndex, i, cc.Length)
+	return VerifyWordAfter(cc, 0, nil, i, word)
+}
+
+// VerifyWordAfter checks that word is the i-th chain word given an
+// already-verified anchor at index from: H^(i-from)(word) == anchor.
+// from = 0 (anchor nil) anchors at the commitment root. This is the
+// incremental verification both the GSP's receiver and the bank's
+// redemption use: each new word costs hashes proportional to how far it
+// advances, O(delta), not O(i) back to the root — so an adversary
+// cannot make the verifier burn ~2^20 hashes per claim by probing the
+// tail of a long chain.
+func VerifyWordAfter(cc *ChainCommitment, from int, anchor []byte, i int, word []byte) error {
+	if from < 0 || i <= from || i > cc.Length {
+		return fmt.Errorf("%w: %d after %d of %d", ErrBadIndex, i, from, cc.Length)
 	}
 	if len(word) != sha256.Size {
 		return ErrBadWord
 	}
+	target := cc.Root
+	if from > 0 {
+		if len(anchor) != sha256.Size {
+			return fmt.Errorf("%w: anchor at %d is not a SHA-256 digest", ErrBadWord, from)
+		}
+		target = anchor
+	}
 	h := word
-	for k := 0; k < i; k++ {
+	for k := 0; k < i-from; k++ {
 		h = hashOnce(h)
 	}
-	if !bytes.Equal(h, cc.Root) {
+	if !bytes.Equal(h, target) {
 		return ErrBadWord
 	}
 	return nil
+}
+
+// Receiver is the GSP-side accumulator for a stream of chain words: it
+// verifies each incoming word incrementally against the last accepted
+// one (O(delta) hashes) and remembers the highest, which is all the GSP
+// needs to claim the cumulative value at the bank. The zero anchor is
+// the commitment root, so a fresh Receiver accepts word 1 upward.
+// Receiver is not safe for concurrent use.
+type Receiver struct {
+	cc    ChainCommitment
+	index int
+	word  []byte
+}
+
+// NewReceiver builds a receiver over a verified commitment. The caller
+// is responsible for having checked the bank signature (VerifyChain)
+// first — the receiver only does chain-word math.
+func NewReceiver(cc ChainCommitment) *Receiver {
+	return &Receiver{cc: cc}
+}
+
+// Accept verifies and records one received word. Words must arrive with
+// strictly increasing indices; gaps are fine (the hash walk covers
+// them).
+func (r *Receiver) Accept(i int, word []byte) error {
+	if err := VerifyWordAfter(&r.cc, r.index, r.word, i, word); err != nil {
+		return err
+	}
+	r.index = i
+	r.word = append(r.word[:0], word...)
+	return nil
+}
+
+// Index reports the highest accepted word index (0 before any).
+func (r *Receiver) Index() int { return r.index }
+
+// Claim packages the highest accepted word as a redemption claim with
+// the given usage evidence, or nil if nothing was accepted yet.
+func (r *Receiver) Claim(rur []byte) *ChainClaim {
+	if r.index == 0 {
+		return nil
+	}
+	return &ChainClaim{
+		Serial: r.cc.Serial,
+		Index:  r.index,
+		Word:   append([]byte(nil), r.word...),
+		RUR:    rur,
+	}
 }
 
 // IssueChain signs a chain commitment with the bank identity. The bank
@@ -202,30 +271,51 @@ func IssueChain(bank *pki.Identity, cc ChainCommitment) (*SignedChain, error) {
 }
 
 // VerifyChain checks the bank signature on a commitment, expiry, and
-// payee binding, returning the bank subject name.
-func VerifyChain(sc *SignedChain, ts *pki.TrustStore, payeeCert string, now time.Time) (string, error) {
+// payee binding, returning the bank subject name and the commitment the
+// bank actually signed. Callers must act on the returned commitment
+// only — the wrapper copy in SignedChain is unauthenticated attacker
+// input, and trusting any field of it (drawer account, currency,
+// expiry) would let a holder of one validly signed chain rebind it. As
+// defence in depth the wrapper is also required to match the payload
+// field-for-field, so a mismatched chain is rejected loudly instead of
+// silently reinterpreted.
+//
+// Expiry is strict: a chain is redeemable only strictly before Expires.
+// At the expiry instant redemption fails and release (which requires
+// !now.Before(Expires)) succeeds, so the two paths can never both
+// accept the same moment.
+func VerifyChain(sc *SignedChain, ts *pki.TrustStore, payeeCert string, now time.Time) (string, *ChainCommitment, error) {
 	if sc == nil || sc.Envelope == nil {
-		return "", errors.New("payment: missing chain envelope")
+		return "", nil, errors.New("payment: missing chain envelope")
 	}
 	var cc ChainCommitment
 	signer, err := sc.Envelope.Verify(ts, ContextHashChain, now, &cc)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	if err := cc.Validate(); err != nil {
-		return "", err
+		return "", nil, err
 	}
-	if cc.Serial != sc.Commitment.Serial || !bytes.Equal(cc.Root, sc.Commitment.Root) ||
-		cc.Length != sc.Commitment.Length || cc.PerWord != sc.Commitment.PerWord {
-		return "", errors.New("payment: chain wrapper does not match signed payload")
+	w := &sc.Commitment
+	if w.Serial != cc.Serial ||
+		w.DrawerAccountID != cc.DrawerAccountID ||
+		w.DrawerCert != cc.DrawerCert ||
+		w.PayeeCert != cc.PayeeCert ||
+		!bytes.Equal(w.Root, cc.Root) ||
+		w.Length != cc.Length ||
+		w.PerWord != cc.PerWord ||
+		w.Currency != cc.Currency ||
+		!w.IssuedAt.Equal(cc.IssuedAt) ||
+		!w.Expires.Equal(cc.Expires) {
+		return "", nil, errors.New("payment: chain wrapper does not match signed payload")
 	}
-	if now.After(cc.Expires) {
-		return "", fmt.Errorf("%w: at %v", ErrExpired, cc.Expires)
+	if !now.Before(cc.Expires) {
+		return "", nil, fmt.Errorf("%w: at %v", ErrExpired, cc.Expires)
 	}
 	if payeeCert != "" && cc.PayeeCert != payeeCert {
-		return "", fmt.Errorf("%w: chain for %q presented by %q", ErrWrongPayee, cc.PayeeCert, payeeCert)
+		return "", nil, fmt.Errorf("%w: chain for %q presented by %q", ErrWrongPayee, cc.PayeeCert, payeeCert)
 	}
-	return signer, nil
+	return signer, &cc, nil
 }
 
 // ChainClaim is the GSP's redemption request: the highest word received

@@ -254,26 +254,29 @@ func TestIssueVerifyChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	signer, err := VerifyChain(sc, f.ts, "CN=gsp1,O=VO", payEpoch.Add(time.Minute))
+	signer, cc, err := VerifyChain(sc, f.ts, "CN=gsp1,O=VO", payEpoch.Add(time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if signer != "CN=gridbank,O=VO" {
 		t.Errorf("signer = %q", signer)
 	}
+	if cc == nil || cc.Serial != ch.Commitment.Serial || cc.Length != ch.Commitment.Length {
+		t.Fatalf("verified commitment = %+v", cc)
+	}
 	// Wrong payee, expiry, wrapper tamper.
-	if _, err := VerifyChain(sc, f.ts, "CN=other,O=VO", payEpoch); !errors.Is(err, ErrWrongPayee) {
+	if _, _, err := VerifyChain(sc, f.ts, "CN=other,O=VO", payEpoch); !errors.Is(err, ErrWrongPayee) {
 		t.Errorf("wrong payee err = %v", err)
 	}
-	if _, err := VerifyChain(sc, f.ts, "", payEpoch.Add(2*time.Hour)); !errors.Is(err, ErrExpired) {
+	if _, _, err := VerifyChain(sc, f.ts, "", payEpoch.Add(2*time.Hour)); !errors.Is(err, ErrExpired) {
 		t.Errorf("expired err = %v", err)
 	}
 	tampered := *sc
 	tampered.Commitment.PerWord = currency.FromG(99)
-	if _, err := VerifyChain(&tampered, f.ts, "", payEpoch); err == nil {
+	if _, _, err := VerifyChain(&tampered, f.ts, "", payEpoch); err == nil {
 		t.Error("tampered wrapper accepted")
 	}
-	if _, err := VerifyChain(&SignedChain{}, f.ts, "", payEpoch); err == nil {
+	if _, _, err := VerifyChain(&SignedChain{}, f.ts, "", payEpoch); err == nil {
 		t.Error("nil envelope accepted")
 	}
 	bad := ch.Commitment

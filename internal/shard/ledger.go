@@ -303,6 +303,13 @@ func (l *Ledger) Stores() []*db.Store { return l.stores }
 // Managers returns the per-shard account managers, in shard order.
 func (l *Ledger) Managers() []*accounts.Manager { return l.mgrs }
 
+// ShardStore returns shard i's store (the usage/micropay settlement
+// interface shape; equivalent to Stores()[i]).
+func (l *Ledger) ShardStore(i int) *db.Store { return l.stores[i] }
+
+// ShardManager returns shard i's accounts manager.
+func (l *Ledger) ShardManager(i int) *accounts.Manager { return l.mgrs[i] }
+
 // Store returns the metadata shard's store (shard 0), where the bank
 // core keeps its instrument and administrator tables.
 func (l *Ledger) Store() *db.Store { return l.stores[0] }
