@@ -178,6 +178,14 @@ func registry() []experiment {
 			experiments.WriteMicropay(out, r)
 			return nil
 		}},
+		{"codec", "negotiated bin1 wire/WAL codec vs seed JSON: frames, replay, replica catch-up", func() error {
+			r, err := experiments.RunCodecExp(experiments.CodecExpConfig{})
+			if err != nil {
+				return err
+			}
+			experiments.WriteCodecExp(out, r)
+			return nil
+		}},
 		{"obs", "telemetry overhead: identical worlds A/B, full instrumentation on vs off", func() error {
 			r, err := experiments.RunObsExp(experiments.ObsExpConfig{})
 			if err != nil {

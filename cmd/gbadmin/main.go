@@ -34,6 +34,7 @@ import (
 	"gridbank/internal/core"
 	"gridbank/internal/currency"
 	"gridbank/internal/pki"
+	"gridbank/internal/wire"
 )
 
 func main() {
@@ -70,6 +71,9 @@ func run(server, caPath, certPath, keyPath string, args []string) error {
 	if err != nil {
 		return err
 	}
+	// Offer the binary codec; a seed-era server ignores the unknown
+	// field and the session stays on JSON.
+	client.OfferCodecs = []string{wire.CodecBin1, wire.CodecJSON}
 	defer client.Close()
 
 	op, rest := args[0], args[1:]

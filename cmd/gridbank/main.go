@@ -36,6 +36,7 @@ import (
 	"gridbank/internal/currency"
 	"gridbank/internal/payment"
 	"gridbank/internal/pki"
+	"gridbank/internal/wire"
 )
 
 func main() {
@@ -106,6 +107,9 @@ func run(server, caPath, certPath, keyPath string, args []string) error {
 	if err != nil {
 		return err
 	}
+	// Offer the binary codec; a seed-era server ignores the unknown
+	// field and the session stays on JSON.
+	client.OfferCodecs = []string{wire.CodecBin1, wire.CodecJSON}
 	defer client.Close()
 
 	out := func(v any) error {

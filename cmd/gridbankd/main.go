@@ -78,6 +78,7 @@ import (
 	"gridbank/internal/replica"
 	"gridbank/internal/shard"
 	"gridbank/internal/usage"
+	"gridbank/internal/wire"
 )
 
 func main() {
@@ -108,9 +109,18 @@ func main() {
 		dedupTTL   = flag.Duration("dedup-ttl", core.DefaultDedupTTL, "retention of idempotency-key dedup markers (<0 disables the sweep)")
 		obsAddr    = flag.String("obs-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address (keep it loopback, e.g. 127.0.0.1:7790; empty disables)")
 		slowOp     = flag.Duration("slow-op", 0, "log a structured line for every request whose queue wait + handler latency reaches this (0 disables)")
+		wireCodec  = flag.String("wire-codec", wire.CodecBin1, "wire codec policy: bin1 negotiates binary frames per connection (seed peers that never offer stay JSON), json pins the seed format and refuses binary offers")
+		walCodec   = flag.String("wal-codec", wire.CodecBin1, "journal codec for new ledger/spool WAL generations: bin1 (length-prefixed binary records) or json; existing files keep their recorded format either way")
 	)
 	flag.Parse()
-	lcfg := limitFlags{maxConns: *maxConns, idleTimeout: *idleConn, maxInFlight: *inFlight}
+	codecs, err := wireCodecList(*wireCodec)
+	if err != nil {
+		log.Fatalf("gridbankd: %v", err)
+	}
+	if _, ok := wire.CodecByName(*walCodec); !ok {
+		log.Fatalf("gridbankd: -wal-codec %q: unknown codec", *walCodec)
+	}
+	lcfg := limitFlags{maxConns: *maxConns, idleTimeout: *idleConn, maxInFlight: *inFlight, wireCodecs: codecs}
 	ocfg := obsFlags{addr: *obsAddr, slowOp: *slowOp}
 	if *replicaOf != "" {
 		if err := runReplica(*dataDir, *vo, *listen, *replicaOf, *primary, *shardIdx, *shards, lcfg, ocfg); err != nil {
@@ -120,37 +130,57 @@ func main() {
 	}
 	ucfg := usageFlags{enabled: *enableU, workers: *uWorkers, batch: *uBatch, queue: *uQueue}
 	mcfg := micropayFlags{enabled: *enableM, workers: *mWorkers, batch: *mBatch, queue: *mQueue}
-	if err := run(*dataDir, *vo, *branch, *listen, *issue, *publish, *shards, *syncWAL, *checkpoint, *dedupTTL, ucfg, mcfg, lcfg, ocfg); err != nil {
+	if err := run(*dataDir, *vo, *branch, *listen, *issue, *publish, *shards, *syncWAL, *checkpoint, *walCodec, *dedupTTL, ucfg, mcfg, lcfg, ocfg); err != nil {
 		log.Fatalf("gridbankd: %v", err)
 	}
 }
 
-// limitFlags carries the connection-limit flag values into run and
-// runReplica.
+// wireCodecList maps the -wire-codec policy to the accept/offer list
+// every server and follower in this process uses.
+func wireCodecList(v string) ([]string, error) {
+	switch v {
+	case wire.CodecBin1:
+		return []string{wire.CodecBin1, wire.CodecJSON}, nil
+	case wire.CodecJSON:
+		return []string{wire.CodecJSON}, nil
+	default:
+		return nil, fmt.Errorf("-wire-codec %q: unknown codec (want %s or %s)", v, wire.CodecBin1, wire.CodecJSON)
+	}
+}
+
+// limitFlags carries the connection-limit and wire-codec flag values
+// into run and runReplica.
 type limitFlags struct {
 	maxConns    int
 	idleTimeout time.Duration
 	maxInFlight int
+	wireCodecs  []string
 }
 
-// apply sets the limits on a server before it starts serving.
+// apply sets the limits and codec policy on a server before it starts
+// serving.
 func (l limitFlags) apply(srv *core.Server) {
 	srv.MaxConns = l.maxConns
 	srv.IdleTimeout = l.idleTimeout
 	srv.MaxInFlight = l.maxInFlight
+	srv.WireCodecs = l.wireCodecs
 }
 
-// usageFlags carries the -usage* flag values into run.
-type usageFlags struct {
+// pipelineFlags carries one settlement pipeline's flag group into run —
+// the -usage* and -micropay* surfaces are the same knobs over the same
+// intake shape, so they share one struct (mirroring
+// gridbank.PipelineOptions).
+type pipelineFlags struct {
 	enabled               bool
 	workers, batch, queue int
 }
 
-// micropayFlags carries the -micropay* flag values into run.
-type micropayFlags struct {
-	enabled               bool
-	workers, batch, queue int
-}
+// usageFlags and micropayFlags name the two instances of the shared
+// pipeline flag group.
+type (
+	usageFlags    = pipelineFlags
+	micropayFlags = pipelineFlags
+)
 
 // obsFlags carries the telemetry flag values into run and runReplica.
 type obsFlags struct {
@@ -201,7 +231,7 @@ func startObsServer(addr string, reg *obs.Registry) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL, checkpoint bool, dedupTTL time.Duration, ucfg usageFlags, mcfg micropayFlags, lcfg limitFlags, ocfg obsFlags) error {
+func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL, checkpoint bool, walCodec string, dedupTTL time.Duration, ucfg usageFlags, mcfg micropayFlags, lcfg limitFlags, ocfg obsFlags) error {
 	if shards < 1 {
 		return fmt.Errorf("-shards %d: need at least 1", shards)
 	}
@@ -250,7 +280,7 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 	stores := make([]*db.Store, shards)
 	for i := range stores {
 		walPath, ckptPath := shardFiles(i)
-		journal, err := db.OpenFileJournal(walPath, syncWAL)
+		journal, err := db.OpenFileJournalCodec(walPath, syncWAL, walCodec)
 		if err != nil {
 			return err
 		}
@@ -306,7 +336,7 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 		// replays pending charges and the journal stays proportional to
 		// one run. Built before serving, so recovered transaction-ID
 		// pins reseed the allocator ahead of any traffic.
-		spool, err := openSpool(dataDir, "usage", syncWAL, checkpoint)
+		spool, err := openSpool(dataDir, "usage", syncWAL, checkpoint, walCodec)
 		if err != nil {
 			return err
 		}
@@ -332,7 +362,7 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 		// Same durability treatment as the usage spool: WAL-backed
 		// claim intake with a startup checkpoint, so a crash replays
 		// accepted-but-unsettled ticks instead of dropping them.
-		spool, err := openSpool(dataDir, "micropay", syncWAL, checkpoint)
+		spool, err := openSpool(dataDir, "micropay", syncWAL, checkpoint, walCodec)
 		if err != nil {
 			return err
 		}
@@ -383,6 +413,7 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 				Identity:    bankID,
 				Trust:       trust,
 				PrimaryAddr: listen,
+				WireCodecs:  lcfg.wireCodecs,
 			})
 			if err != nil {
 				return err
@@ -409,10 +440,10 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 // with a <data>/<name>.ckpt startup checkpoint) — the same treatment a
 // ledger shard gets, so crash recovery replays pending entries and the
 // journal stays proportional to one run's writes.
-func openSpool(dataDir, name string, syncWAL, checkpoint bool) (*db.Store, error) {
+func openSpool(dataDir, name string, syncWAL, checkpoint bool, walCodec string) (*db.Store, error) {
 	spoolWAL := filepath.Join(dataDir, name+".wal")
 	spoolCkpt := filepath.Join(dataDir, name+".ckpt")
-	journal, err := db.OpenFileJournal(spoolWAL, syncWAL)
+	journal, err := db.OpenFileJournalCodec(spoolWAL, syncWAL, walCodec)
 	if err != nil {
 		return nil, err
 	}
@@ -444,6 +475,16 @@ func topologyUsageWorkers(ucfg usageFlags) int {
 	return ucfg.workers
 }
 
+// followerOffers maps the process codec policy to the follower's hello
+// offer: pinned-to-JSON sends no offer at all, keeping the hello
+// byte-identical to the seed protocol.
+func followerOffers(codecs []string) []string {
+	if len(codecs) == 1 && codecs[0] == wire.CodecJSON {
+		return nil
+	}
+	return codecs
+}
+
 // topologyObs renders the obs address for the topology summary.
 func topologyObs(bound string) string {
 	if bound == "" {
@@ -469,6 +510,7 @@ func runReplica(dataDir, vo, listen, publisherAddr, primaryAddr string, shardIdx
 		PublisherAddr: publisherAddr,
 		Identity:      id,
 		Trust:         trust,
+		OfferCodecs:   followerOffers(lcfg.wireCodecs),
 		Log:           obs.NewLogger(os.Stderr, obs.LevelInfo),
 		Obs:           reg,
 	})

@@ -12,6 +12,7 @@ import (
 	"gridbank/internal/db"
 	"gridbank/internal/pki"
 	"gridbank/internal/shard"
+	"gridbank/internal/wire"
 )
 
 func TestBootstrapAndResumeCA(t *testing.T) {
@@ -71,7 +72,7 @@ func TestLoadOrIssueIdempotent(t *testing.T) {
 
 func TestIssueFlagWritesIdentity(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, "VO-T", "0001", "", "alice", "", 1, false, false, core.DefaultDedupTTL, usageFlags{}, micropayFlags{}, limitFlags{}, obsFlags{}); err != nil {
+	if err := run(dir, "VO-T", "0001", "", "alice", "", 1, false, false, wire.CodecJSON, core.DefaultDedupTTL, usageFlags{}, micropayFlags{}, limitFlags{}, obsFlags{}); err != nil {
 		t.Fatal(err)
 	}
 	id, err := pki.LoadIdentity(dir, "alice")

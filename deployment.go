@@ -47,6 +47,14 @@ type DeploymentConfig struct {
 	// replayed mutation. 0 = the bank default (core.DefaultDedupTTL);
 	// negative disables the sweep.
 	DedupTTL time.Duration
+	// WireCodecs selects the wire codec policy for everything the
+	// deployment stands up, in preference order (wire.CodecBin1,
+	// wire.CodecJSON). Servers (primary and replicas) accept these in
+	// negotiation; clients dialed through the deployment and the
+	// replication followers offer them. Nil is the seed behavior:
+	// servers accept any supported codec but nothing offers, so every
+	// frame stays JSON.
+	WireCodecs []string
 }
 
 // applyLimits pushes the deployment's connection limits onto a server
@@ -55,6 +63,7 @@ func (cfg DeploymentConfig) applyLimits(srv *core.Server) {
 	srv.MaxConns = cfg.MaxConns
 	srv.IdleTimeout = cfg.IdleTimeout
 	srv.MaxInFlight = cfg.MaxInFlight
+	srv.WireCodecs = cfg.WireCodecs
 }
 
 // Deployment is a complete single-VO GridBank: CA, trust store, bank,
@@ -92,22 +101,35 @@ type Deployment struct {
 	micropayPipe *micropay.Pipeline
 }
 
-// UsageOptions tune EnableUsage (zero values take the pipeline's
-// defaults: 64-charge batches, 2 workers, 4096-deep queue).
-type UsageOptions struct {
-	// BatchSize caps how many charges coalesce into one ledger
-	// transaction.
+// PipelineOptions is the shared tuning surface of the deployment's two
+// spooled settlement pipelines — batched usage (EnableUsage) and
+// streaming micropayment redemption (EnableMicropay). Both pipelines
+// have the same intake shape (spool, batch, workers, backpressure), so
+// they share one option struct; zero values take the pipeline defaults:
+// 64-item batches, 2 workers, 4096-deep queue.
+type PipelineOptions struct {
+	// BatchSize caps how many spooled items one settlement pass takes
+	// off the queue and coalesces into one ledger transaction (for
+	// micropay, all claims for one chain inside a batch settle as one
+	// redemption).
 	BatchSize int
 	// Workers is the number of background settlement goroutines.
+	// Negative runs none (settlement through Drain/SettleOnce only).
 	Workers int
 	// MaxPending bounds the intake queue (backpressure threshold).
 	MaxPending int
 	// SpoolJournal persists the intake spool; nil keeps it in memory —
 	// the in-process harness trades intake durability for convenience,
 	// exactly like EnableSharding's extra shards. Production wiring
-	// with a WAL-backed spool is gridbankd's job (see -usage).
+	// with a WAL-backed spool is gridbankd's job (see -usage and
+	// -micropay).
 	SpoolJournal Journal
 }
+
+// UsageOptions tune EnableUsage. Alias of PipelineOptions: existing
+// composite literals keep compiling, and harness code can build one
+// option set and pass it to both pipelines.
+type UsageOptions = PipelineOptions
 
 // shardPublisher is one shard's WAL-shipping publisher.
 type shardPublisher struct {
@@ -229,7 +251,12 @@ func voOf(d *Deployment) string {
 
 // Dial connects a client authenticated as id.
 func (d *Deployment) Dial(id *Identity) (*Client, error) {
-	return core.Dial(d.addr, id, d.Trust)
+	c, err := core.Dial(d.addr, id, d.Trust)
+	if err != nil {
+		return nil, err
+	}
+	c.OfferCodecs = d.cfg.WireCodecs
+	return c, nil
 }
 
 // DialProxy creates a short-lived proxy for id and connects with it —
@@ -239,7 +266,12 @@ func (d *Deployment) DialProxy(id *Identity, ttl time.Duration) (*Client, error)
 	if err != nil {
 		return nil, err
 	}
-	return core.Dial(d.addr, proxy, d.Trust)
+	c, err := core.Dial(d.addr, proxy, d.Trust)
+	if err != nil {
+		return nil, err
+	}
+	c.OfferCodecs = d.cfg.WireCodecs
+	return c, nil
 }
 
 // shardStores returns the per-shard stores (a single-element slice on
@@ -382,23 +414,9 @@ func (d *Deployment) EnableUsage(opts UsageOptions) (*usage.Pipeline, error) {
 // not called.
 func (d *Deployment) Usage() *usage.Pipeline { return d.usagePipe }
 
-// MicropayOptions tune EnableMicropay (zero values take the pipeline's
-// defaults: 64-claim batches, 2 workers, 4096-deep queue).
-type MicropayOptions struct {
-	// BatchSize caps how many spooled claims one settlement pass takes
-	// off the queue; all claims for one chain inside a batch settle as
-	// one redemption transaction.
-	BatchSize int
-	// Workers is the number of background settlement goroutines.
-	// Negative runs none (settlement through Drain/SettleOnce only).
-	Workers int
-	// MaxPending bounds the intake queue (backpressure threshold).
-	MaxPending int
-	// SpoolJournal persists the claim spool; nil keeps it in memory.
-	// Production wiring with a WAL-backed spool is gridbankd's job
-	// (see -micropay).
-	SpoolJournal Journal
-}
+// MicropayOptions tune EnableMicropay. Alias of PipelineOptions (see
+// UsageOptions).
+type MicropayOptions = PipelineOptions
 
 // EnableMicropay attaches the streaming GridHash redemption pipeline to
 // the deployment's bank, opening the Micropay.Submit / Micropay.Status
@@ -452,6 +470,7 @@ func (d *Deployment) enablePublisher(shardIdx int) (*shardPublisher, error) {
 		Trust:       d.Trust,
 		PrimaryAddr: d.addr,
 		Heartbeat:   100 * time.Millisecond,
+		WireCodecs:  d.cfg.WireCodecs,
 	})
 	if err != nil {
 		return nil, err
@@ -520,6 +539,7 @@ func (d *Deployment) AddShardReplicaAt(name string, shardIdx int, publisherAddr 
 		Identity:      id,
 		Trust:         d.Trust,
 		RetryInterval: 100 * time.Millisecond,
+		OfferCodecs:   d.cfg.WireCodecs,
 	})
 	if err != nil {
 		return nil, err
@@ -590,6 +610,7 @@ func (d *Deployment) DialRouted(id *Identity, opts core.RouteOptions) (*core.Rou
 	if err != nil {
 		return nil, err
 	}
+	primary.OfferCodecs = d.cfg.WireCodecs
 	var reps []*Client
 	for _, r := range d.replicas {
 		c, err := core.Dial(r.Addr(), id, d.Trust)
@@ -600,6 +621,7 @@ func (d *Deployment) DialRouted(id *Identity, opts core.RouteOptions) (*core.Rou
 			}
 			return nil, err
 		}
+		c.OfferCodecs = d.cfg.WireCodecs
 		reps = append(reps, c)
 	}
 	return core.NewRoutedClient(primary, reps, opts)

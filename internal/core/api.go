@@ -19,6 +19,7 @@ import (
 	"gridbank/internal/obs"
 	"gridbank/internal/payment"
 	"gridbank/internal/pki"
+	"gridbank/internal/wire"
 )
 
 // Operation names carried in wire.Request.Op. They map one-to-one onto
@@ -50,32 +51,35 @@ const (
 	OpMetrics       = "Metrics.Snapshot" // admin-only telemetry snapshot (primaries and replicas)
 )
 
-// Stable error codes returned in wire.Response.Code.
+// Stable error codes returned in wire.Response.Code. The canonical
+// definitions (values and semantics) live in the wire package — the
+// single home of the wire error vocabulary — and are re-exported here
+// so existing core-based call sites compile unchanged.
 const (
-	CodeOK           = ""
-	CodeDenied       = "denied"
-	CodeNotFound     = "not_found"
-	CodeInsufficient = "insufficient_funds"
-	CodeInvalid      = "invalid_request"
-	CodeDuplicate    = "duplicate"
-	CodeExpired      = "expired"
-	CodeConflict     = "conflict"
-	CodeInternal     = "internal"
+	CodeOK           = wire.CodeOK
+	CodeDenied       = wire.CodeDenied
+	CodeNotFound     = wire.CodeNotFound
+	CodeInsufficient = wire.CodeInsufficient
+	CodeInvalid      = wire.CodeInvalid
+	CodeDuplicate    = wire.CodeDuplicate
+	CodeExpired      = wire.CodeExpired
+	CodeConflict     = wire.CodeConflict
+	CodeInternal     = wire.CodeInternal
 	// CodeReadOnly marks a mutation sent to a read replica; the error
 	// message names the primary's address to retry against.
-	CodeReadOnly = "read_only"
+	CodeReadOnly = wire.CodeReadOnly
 	// CodeUnavailable marks a replica that cannot serve yet (still
 	// bootstrapping from the primary).
-	CodeUnavailable = "unavailable"
+	CodeUnavailable = wire.CodeUnavailable
 	// CodeWrongShard marks a read sent to a replica that does not hold
 	// the account's shard — the client's shard map is stale (or it
 	// picked the wrong pool member); refresh via Shard.Map and retry.
-	CodeWrongShard = "wrong_shard"
+	CodeWrongShard = wire.CodeWrongShard
 	// CodeDeadlineExceeded marks a request shed by the server because
 	// the caller's deadline_ms budget had already elapsed when a
 	// dispatch slot came free — the caller is gone, so the work is not
 	// done. Safe to retry (nothing executed).
-	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeDeadlineExceeded = wire.CodeDeadlineExceeded
 )
 
 // CreateAccountRequest opens an account for the authenticated caller. The

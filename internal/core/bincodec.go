@@ -1,0 +1,233 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"gridbank/internal/accounts"
+	"gridbank/internal/currency"
+	"gridbank/internal/micropay"
+	"gridbank/internal/usage"
+	"gridbank/internal/wire"
+)
+
+// Binary body forms for the hot-path request payloads. On a connection
+// that negotiated the bin1 codec these replace the per-call JSON
+// marshal of the four highest-volume ops (DirectTransfer, CheckFunds,
+// Usage.Submit, Micropay.Submit); everything else rides the JSON
+// fallback unchanged. Each type implements wire.BinaryBody; the tag
+// byte namespaces the payload so a body routed to the wrong op fails
+// typed. Tags are frozen — new bodies append, never renumber.
+const (
+	binTagDirectTransfer = 0x01
+	binTagCheckFunds     = 0x02
+	binTagUsageSubmit    = 0x03
+	binTagMicropaySubmit = 0x04
+	// 0x05 is the replica stream frame (internal/replica).
+)
+
+// Optional-field flags of the DirectTransferRequest binary form.
+const (
+	dtFlagRecipientAddr = 1 << 0
+	dtFlagIdemKey       = 1 << 1
+	dtFlagBatchReceipt  = 1 << 2
+)
+
+// BinaryBodyTag implements wire.BinaryBody.
+func (r *DirectTransferRequest) BinaryBodyTag() byte { return binTagDirectTransfer }
+
+// AppendBinaryBody implements wire.BinaryBody:
+// flags:u8 from:str16 to:str16 amount:u64 [recipient:str16] [idem:str16].
+func (r *DirectTransferRequest) AppendBinaryBody(buf *bytes.Buffer) error {
+	var flags byte
+	if r.RecipientAddress != "" {
+		flags |= dtFlagRecipientAddr
+	}
+	if r.IdempotencyKey != "" {
+		flags |= dtFlagIdemKey
+	}
+	if r.BatchReceipt {
+		flags |= dtFlagBatchReceipt
+	}
+	buf.WriteByte(flags)
+	if err := wire.AppendStr16(buf, string(r.FromAccountID)); err != nil {
+		return err
+	}
+	if err := wire.AppendStr16(buf, string(r.ToAccountID)); err != nil {
+		return err
+	}
+	wire.AppendU64(buf, uint64(r.Amount))
+	if flags&dtFlagRecipientAddr != 0 {
+		if err := wire.AppendStr16(buf, r.RecipientAddress); err != nil {
+			return err
+		}
+	}
+	if flags&dtFlagIdemKey != 0 {
+		if err := wire.AppendStr16(buf, r.IdempotencyKey); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeBinaryBody implements wire.BinaryBody.
+func (r *DirectTransferRequest) DecodeBinaryBody(payload []byte) error {
+	br := wire.NewBinReader(payload)
+	flags := br.U8()
+	*r = DirectTransferRequest{
+		FromAccountID: accounts.ID(br.Str16()),
+		ToAccountID:   accounts.ID(br.Str16()),
+		Amount:        currency.Amount(br.U64()),
+		BatchReceipt:  flags&dtFlagBatchReceipt != 0,
+	}
+	if flags&dtFlagRecipientAddr != 0 {
+		r.RecipientAddress = br.Str16()
+	}
+	if flags&dtFlagIdemKey != 0 {
+		r.IdempotencyKey = br.Str16()
+	}
+	return br.Close()
+}
+
+// BinaryBodyTag implements wire.BinaryBody.
+func (r *CheckFundsRequest) BinaryBodyTag() byte { return binTagCheckFunds }
+
+// AppendBinaryBody implements wire.BinaryBody: account:str16 amount:u64.
+func (r *CheckFundsRequest) AppendBinaryBody(buf *bytes.Buffer) error {
+	if err := wire.AppendStr16(buf, string(r.AccountID)); err != nil {
+		return err
+	}
+	wire.AppendU64(buf, uint64(r.Amount))
+	return nil
+}
+
+// DecodeBinaryBody implements wire.BinaryBody.
+func (r *CheckFundsRequest) DecodeBinaryBody(payload []byte) error {
+	br := wire.NewBinReader(payload)
+	*r = CheckFundsRequest{
+		AccountID: accounts.ID(br.Str16()),
+		Amount:    currency.Amount(br.U64()),
+	}
+	return br.Close()
+}
+
+// BinaryBodyTag implements wire.BinaryBody.
+func (r *UsageSubmitRequest) BinaryBodyTag() byte { return binTagUsageSubmit }
+
+// AppendBinaryBody implements wire.BinaryBody:
+// count:u32 × (id:str16 drawer:str16 recipient:str16 rur:blob32
+// rates:blob32). The rate card travels as a nested JSON sub-blob: it
+// is small, cold relative to the RUR bytes, and full of maps whose
+// hand-rolled layout would buy nothing. A zero-length rates blob
+// means a nil card (matching JSON null).
+func (r *UsageSubmitRequest) AppendBinaryBody(buf *bytes.Buffer) error {
+	wire.AppendU32(buf, uint32(len(r.Charges)))
+	for i := range r.Charges {
+		s := &r.Charges[i]
+		if err := wire.AppendStr16(buf, s.ID); err != nil {
+			return err
+		}
+		if err := wire.AppendStr16(buf, string(s.Drawer)); err != nil {
+			return err
+		}
+		if err := wire.AppendStr16(buf, string(s.Recipient)); err != nil {
+			return err
+		}
+		if err := wire.AppendBlob32(buf, s.RUR); err != nil {
+			return err
+		}
+		var rates []byte
+		if s.Rates != nil {
+			b, err := json.Marshal(s.Rates)
+			if err != nil {
+				return fmt.Errorf("core: encode rate card: %w", err)
+			}
+			rates = b
+		}
+		if err := wire.AppendBlob32(buf, rates); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeBinaryBody implements wire.BinaryBody.
+func (r *UsageSubmitRequest) DecodeBinaryBody(payload []byte) error {
+	br := wire.NewBinReader(payload)
+	n := br.U32()
+	*r = UsageSubmitRequest{}
+	if err := br.Err(); err != nil {
+		return err
+	}
+	if n > 0 {
+		r.Charges = make([]usage.Submission, 0, min(int(n), 4096))
+	}
+	for i := uint32(0); i < n; i++ {
+		s := usage.Submission{
+			ID:        br.Str16(),
+			Drawer:    accounts.ID(br.Str16()),
+			Recipient: accounts.ID(br.Str16()),
+			RUR:       br.Blob32(),
+		}
+		if rates := br.Blob32(); len(rates) != 0 {
+			if err := json.Unmarshal(rates, &s.Rates); err != nil {
+				return fmt.Errorf("core: decode rate card: %w", err)
+			}
+		}
+		if err := br.Err(); err != nil {
+			return err
+		}
+		r.Charges = append(r.Charges, s)
+	}
+	return br.Close()
+}
+
+// BinaryBodyTag implements wire.BinaryBody.
+func (r *MicropaySubmitRequest) BinaryBodyTag() byte { return binTagMicropaySubmit }
+
+// AppendBinaryBody implements wire.BinaryBody:
+// count:u32 × (serial:str16 index:u64 word:blob32 rur:blob32).
+func (r *MicropaySubmitRequest) AppendBinaryBody(buf *bytes.Buffer) error {
+	wire.AppendU32(buf, uint32(len(r.Claims)))
+	for i := range r.Claims {
+		c := &r.Claims[i]
+		if err := wire.AppendStr16(buf, c.Serial); err != nil {
+			return err
+		}
+		wire.AppendU64(buf, uint64(int64(c.Index)))
+		if err := wire.AppendBlob32(buf, c.Word); err != nil {
+			return err
+		}
+		if err := wire.AppendBlob32(buf, c.RUR); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeBinaryBody implements wire.BinaryBody.
+func (r *MicropaySubmitRequest) DecodeBinaryBody(payload []byte) error {
+	br := wire.NewBinReader(payload)
+	n := br.U32()
+	*r = MicropaySubmitRequest{}
+	if err := br.Err(); err != nil {
+		return err
+	}
+	if n > 0 {
+		r.Claims = make([]micropay.Claim, 0, min(int(n), 4096))
+	}
+	for i := uint32(0); i < n; i++ {
+		c := micropay.Claim{
+			Serial: br.Str16(),
+			Index:  int(int64(br.U64())),
+			Word:   br.Blob32(),
+			RUR:    br.Blob32(),
+		}
+		if err := br.Err(); err != nil {
+			return err
+		}
+		r.Claims = append(r.Claims, c)
+	}
+	return br.Close()
+}

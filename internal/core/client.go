@@ -70,6 +70,17 @@ type Client struct {
 	// violation.
 	CallTimeout time.Duration
 
+	// OfferCodecs lists wire codecs to offer the server at dial time, in
+	// preference order (e.g. [wire.CodecBin1, wire.CodecJSON]). When it
+	// names anything beyond the seed JSON codec, each fresh connection
+	// starts with a blocking Ping that carries the offer; if the server
+	// confirms a codec, both directions switch to it before any other
+	// traffic. Empty (the default) skips the handshake entirely — every
+	// frame stays byte-identical to the seed protocol, and seed servers
+	// interoperate unmodified (they ignore the unknown offer field and
+	// the connection stays JSON). Set before the first call.
+	OfferCodecs []string
+
 	// Obs instruments the client (per-op call latency, in-flight calls,
 	// send-batch sizes, call timeouts). Nil disables. Set before the
 	// first call.
@@ -164,6 +175,10 @@ type clientConn struct {
 	nc  net.Conn
 	wc  *wire.Conn
 	met *clientMetrics
+	// codec is the negotiated wire codec (wire.JSON when no negotiation
+	// happened). Fixed before the connection is handed to callers, so
+	// send and body encoding read it without synchronization.
+	codec wire.Codec
 
 	wmu     sync.Mutex
 	wcond   *sync.Cond    // flush completion signal; guarded by wmu
@@ -198,8 +213,8 @@ func (cc *clientConn) send(req *wire.Request) error {
 		cc.wmu.Unlock()
 		return err
 	}
-	if err := wire.AppendMsg(cc.wbuf, req); err != nil {
-		// AppendMsg restored the buffer: nothing of this frame will
+	if err := cc.codec.AppendFrame(cc.wbuf, req); err != nil {
+		// AppendFrame restored the buffer: nothing of this frame will
 		// ever reach the wire, so the connection (and every sibling
 		// in-flight call) is unaffected.
 		cc.wmu.Unlock()
@@ -265,6 +280,7 @@ func (c *Client) Clone() *Client {
 		addr: c.addr, cfg: c.cfg,
 		DialTimeout: c.DialTimeout, CallTimeout: c.CallTimeout,
 		Obs: c.Obs, TraceCalls: c.TraceCalls,
+		OfferCodecs: c.OfferCodecs,
 	}
 }
 
@@ -287,14 +303,73 @@ func (c *Client) dialLocked() error {
 		nc:      tconn,
 		wc:      wire.NewConn(tconn),
 		met:     c.metrics(),
+		codec:   wire.JSON,
 		wbuf:    &bytes.Buffer{},
 		spare:   &bytes.Buffer{},
 		pending: make(map[uint64]chan callResult),
 	}
 	cc.wcond = sync.NewCond(&cc.wmu)
+	if err := c.negotiateLocked(cc); err != nil {
+		tconn.Close()
+		return err
+	}
 	c.conn = cc
 	go c.readLoop(cc)
 	return nil
+}
+
+// negotiateLocked runs the first-frame codec handshake on a fresh
+// connection, before the reader starts and before any caller can see
+// it — which is what makes the codec switch race-free: no other frame
+// is in flight in either direction. The offer rides a Ping (allowed
+// through the server's §3.2 gate pre-authorization); a seed server
+// ignores the unknown field and answers a plain Ping, leaving the
+// connection on the seed JSON codec. Called with c.mu held.
+func (c *Client) negotiateLocked(cc *clientConn) error {
+	if !offersNonJSON(c.OfferCodecs) {
+		return nil
+	}
+	if c.DialTimeout > 0 {
+		_ = cc.nc.SetDeadline(time.Now().Add(c.DialTimeout))
+		defer func() { _ = cc.nc.SetDeadline(time.Time{}) }()
+	}
+	c.next++
+	req := &wire.Request{ID: c.next, Op: OpPing, Codecs: c.OfferCodecs}
+	if err := cc.wc.WriteRequest(req); err != nil {
+		return fmt.Errorf("core: codec offer to %s: %w", c.addr, err)
+	}
+	resp, err := cc.wc.ReadResponse()
+	if err != nil {
+		return fmt.Errorf("core: codec offer to %s: %w", c.addr, err)
+	}
+	if resp.ID != req.ID {
+		return fmt.Errorf("core: codec offer to %s: response for unknown request %d", c.addr, resp.ID)
+	}
+	if resp.Codec == "" {
+		return nil // no agreement (seed server, or codec disabled): stay JSON
+	}
+	codec, ok := wire.CodecByName(resp.Codec)
+	if !ok {
+		return fmt.Errorf("core: server %s confirmed unknown codec %q", c.addr, resp.Codec)
+	}
+	// The server switched its read half right after our offer and its
+	// write half right after this confirmation, so from the next frame
+	// on both directions speak the negotiated codec.
+	cc.wc.SetReadCodec(codec)
+	cc.wc.SetWriteCodec(codec)
+	cc.codec = codec
+	return nil
+}
+
+// offersNonJSON reports whether a codec offer could change anything —
+// i.e. names a codec other than the seed JSON one.
+func offersNonJSON(offers []string) bool {
+	for _, name := range offers {
+		if name != wire.CodecJSON {
+			return true
+		}
+	}
+	return false
 }
 
 // readLoop demuxes responses to parked callers until the connection
@@ -433,18 +508,26 @@ func (c *Client) callTraced(op string, in, out any, timeout time.Duration, trace
 		met.inflight.Dec()
 		met.latencyFor(op).ObserveDuration(time.Since(start))
 	}()
-	var body []byte
-	if in != nil {
-		raw, err := wire.Encode(in)
-		if err != nil {
-			return err
-		}
-		body = raw
-	}
 	d := c.callDeadline(timeout)
 	cc, id, ch, err := c.register()
 	if err != nil {
 		return err
+	}
+	// Encode the body after the connection is known: a negotiated
+	// connection uses the binary form for hot-op payloads, a seed
+	// connection the JSON form, byte-identical to before.
+	var body []byte
+	if in != nil {
+		raw, err := wire.EncodeWith(cc.codec, in)
+		if err != nil {
+			// Nothing was queued: withdraw this call's in-flight entry
+			// and leave the connection alone.
+			cc.mu.Lock()
+			delete(cc.pending, id)
+			cc.mu.Unlock()
+			return err
+		}
+		body = raw
 	}
 	if trace == "" && c.TraceCalls {
 		trace = obs.NewTraceID()

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"gridbank/internal/currency"
+	"gridbank/internal/micropay"
+	"gridbank/internal/payment"
+	"gridbank/internal/pki"
+	"gridbank/internal/rur"
+	"gridbank/internal/usage"
+	"gridbank/internal/wire"
+)
+
+// negotiatedClient dials lw as id with a codec offer, so the dial-time
+// handshake runs before the first call.
+func negotiatedClient(t *testing.T, lw *liveWorld, id *pki.Identity, offers []string) *Client {
+	t.Helper()
+	c, err := Dial(lw.addr, id, lw.ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.OfferCodecs = offers
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// connCodecName reports the codec the client's live connection settled
+// on (in-package test hook).
+func connCodecName(t *testing.T, c *Client) string {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		t.Fatal("client has no live connection")
+	}
+	return c.conn.codec.Name()
+}
+
+// TestNegotiatedBinarySessionEndToEnd runs real operations — including
+// the binary-body hot paths and the JSON-fallback long tail — over a
+// negotiated bin1 connection.
+func TestNegotiatedBinarySessionEndToEnd(t *testing.T) {
+	lw := newLiveWorld(t)
+	alice := negotiatedClient(t, lw, lw.alice, []string{wire.CodecBin1, wire.CodecJSON})
+	gsp := negotiatedClient(t, lw, lw.gsp, []string{wire.CodecBin1, wire.CodecJSON})
+
+	if name, err := alice.Ping(); err != nil || name != lw.bankID.SubjectName() {
+		t.Fatalf("Ping = %q, %v", name, err)
+	}
+	if got := connCodecName(t, alice); got != wire.CodecBin1 {
+		t.Fatalf("negotiated codec = %q, want bin1", got)
+	}
+
+	// Binary-body hot paths: CheckFunds and DirectTransfer.
+	if err := alice.CheckFunds(lw.aliceAcct.AccountID, currency.FromG(1)); err != nil {
+		t.Fatalf("CheckFunds over bin1: %v", err)
+	}
+	rcpt, err := alice.DirectTransfer(lw.aliceAcct.AccountID, lw.gspAcct.AccountID, currency.FromG(10), "")
+	if err != nil {
+		t.Fatalf("DirectTransfer over bin1: %v", err)
+	}
+	if rcpt.TransactionID == 0 {
+		t.Fatalf("transfer response = %+v", rcpt)
+	}
+
+	// JSON-fallback long tail under binary frames: full cheque flow.
+	cheque, err := alice.RequestCheque(lw.aliceAcct.AccountID, currency.FromG(200), lw.gsp.SubjectName(), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := gsp.RedeemCheque(cheque, &payment.ChequeClaim{
+		Serial: cheque.Cheque.Serial, Amount: currency.FromG(150), RUR: []byte(`{"job":"bin1"}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Paid != currency.FromG(150) {
+		t.Fatalf("redeem over bin1 = %+v", red)
+	}
+
+	// A fresh seed-style (offerless) client stays on JSON and sees the
+	// exact same state the bin1 session sees — conservation across
+	// codecs, not just within one.
+	seed := lw.client(t, lw.alice)
+	viaSeed, err := seed.AccountDetails(lw.aliceAcct.AccountID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := connCodecName(t, seed); got != wire.CodecJSON {
+		t.Fatalf("offerless client codec = %q, want json", got)
+	}
+	viaBin, err := alice.AccountDetails(lw.aliceAcct.AccountID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaSeed, viaBin) {
+		t.Fatalf("codec views diverge:\nseed: %+v\n bin: %+v", viaSeed, viaBin)
+	}
+	if viaSeed.AvailableBalance >= currency.FromG(1000) {
+		t.Fatalf("spending not reflected: %s", viaSeed.AvailableBalance)
+	}
+}
+
+// TestJSONPinnedServerKeepsOfferingClientsOnJSON: a server pinned to
+// the seed codec answers offers by confirming json (or ignoring an
+// offer with no overlap), and everything still works.
+func TestJSONPinnedServerKeepsOfferingClientsOnJSON(t *testing.T) {
+	lw := newLiveWorldWith(t, newTestWorld(t), func(s *Server) {
+		s.WireCodecs = []string{wire.CodecJSON}
+	})
+	both := negotiatedClient(t, lw, lw.alice, []string{wire.CodecBin1, wire.CodecJSON})
+	if _, err := both.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if got := connCodecName(t, both); got != wire.CodecJSON {
+		t.Fatalf("codec against pinned server = %q, want json", got)
+	}
+	if _, err := both.AccountDetails(lw.aliceAcct.AccountID); err != nil {
+		t.Fatal(err)
+	}
+
+	// An offer with no overlap at all is simply ignored.
+	binOnly := negotiatedClient(t, lw, lw.gsp, []string{wire.CodecBin1})
+	if _, err := binOnly.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if got := connCodecName(t, binOnly); got != wire.CodecJSON {
+		t.Fatalf("codec after refused offer = %q, want json", got)
+	}
+}
+
+// TestBinaryBodyRoundTrips pins every hot-path BinaryBody implementation
+// to its JSON twin: encoding with the bin1 codec and decoding must yield
+// exactly what a JSON round trip yields.
+func TestBinaryBodyRoundTrips(t *testing.T) {
+	cases := []wire.BinaryBody{
+		&DirectTransferRequest{
+			FromAccountID: "01-0001-00000001", ToAccountID: "01-0001-00000002",
+			Amount: currency.FromG(42),
+		},
+		&DirectTransferRequest{
+			FromAccountID: "01-0001-00000001", ToAccountID: "01-0001-00000002",
+			Amount: 1, RecipientAddress: "gsp.example:7776", IdempotencyKey: "idem-1", BatchReceipt: true,
+		},
+		&CheckFundsRequest{AccountID: "01-0001-00000009", Amount: currency.FromG(7)},
+		&UsageSubmitRequest{},
+		&UsageSubmitRequest{Charges: []usage.Submission{
+			{ID: "c1", Drawer: "01-0001-00000001", Recipient: "01-0001-00000002", RUR: []byte(`{"r":1}`)},
+			{ID: "c2", Drawer: "01-0001-00000001", Recipient: "01-0001-00000002", Rates: &rur.RateCard{}},
+		}},
+		&MicropaySubmitRequest{Claims: []micropay.Claim{
+			{Serial: "chain-1", Index: 3, Word: []byte{1, 2, 3}},
+			{Serial: "chain-1", Index: 4, Word: []byte{4, 5, 6}, RUR: []byte(`{"tick":4}`)},
+		}},
+	}
+	for _, in := range cases {
+		// Binary round trip.
+		raw, err := wire.EncodeBinaryBody(in)
+		if err != nil {
+			t.Fatalf("%T: encode binary: %v", in, err)
+		}
+		if raw[0] != wire.BinBodyMagic {
+			t.Fatalf("%T: binary body missing magic", in)
+		}
+		viaBin := reflect.New(reflect.TypeOf(in).Elem()).Interface()
+		if err := wire.Decode(raw, viaBin); err != nil {
+			t.Fatalf("%T: decode binary: %v", in, err)
+		}
+
+		// JSON round trip of the same value.
+		jraw, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaJSON := reflect.New(reflect.TypeOf(in).Elem()).Interface()
+		if err := wire.Decode(jraw, viaJSON); err != nil {
+			t.Fatalf("%T: decode json: %v", in, err)
+		}
+
+		if !reflect.DeepEqual(viaBin, viaJSON) {
+			t.Fatalf("%T codec divergence:\n bin: %+v\njson: %+v", in, viaBin, viaJSON)
+		}
+	}
+}
+
+// TestEncodeWithFallsBackToJSON: non-BinaryBody payloads encode as JSON
+// even on a bin1 connection, and a JSON codec never emits binary.
+func TestEncodeWithFallsBackToJSON(t *testing.T) {
+	raw, err := wire.EncodeWith(wire.Bin1, &AccountDetailsRequest{AccountID: "01-0001-00000001"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] != '{' {
+		t.Fatalf("long-tail body under bin1 not JSON: % x", raw[:4])
+	}
+	raw, err = wire.EncodeWith(wire.JSON, &CheckFundsRequest{AccountID: "a", Amount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[0] != '{' {
+		t.Fatalf("BinaryBody under json codec not JSON: % x", raw[:4])
+	}
+}

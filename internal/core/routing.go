@@ -11,6 +11,7 @@ import (
 	"gridbank/internal/currency"
 	"gridbank/internal/obs"
 	"gridbank/internal/shard"
+	"gridbank/internal/wire"
 )
 
 // RetryPolicy governs RoutedClient's automatic retries. Only safe
@@ -446,8 +447,8 @@ var ErrCircuitOpen = errors.New("core: circuit open: endpoint recently failing, 
 func fallbackWorthy(err error) bool {
 	var re *RemoteError
 	if errors.As(err, &re) {
-		return re.Code == CodeReadOnly || re.Code == CodeUnavailable || re.Code == CodeInternal ||
-			re.Code == CodeWrongShard
+		return re.Code == wire.CodeReadOnly || re.Code == wire.CodeUnavailable || re.Code == wire.CodeInternal ||
+			re.Code == wire.CodeWrongShard
 	}
 	return true // transport-level failure
 }
@@ -465,7 +466,7 @@ func retryableErr(err error) bool {
 	var re *RemoteError
 	if errors.As(err, &re) {
 		switch re.Code {
-		case CodeOverloaded, CodeUnavailable, CodeDeadlineExceeded:
+		case wire.CodeOverloaded, wire.CodeUnavailable, wire.CodeDeadlineExceeded:
 			return true
 		}
 		return false
@@ -485,7 +486,7 @@ func endpointFault(err error) bool {
 	}
 	var re *RemoteError
 	if errors.As(err, &re) {
-		return re.Code == CodeUnavailable
+		return re.Code == wire.CodeUnavailable
 	}
 	return true
 }
@@ -569,7 +570,7 @@ func breakerCall[T any](ep *endpoint, op func(c *Client) (T, error)) (T, error) 
 // isWrongShard reports a stale-shard-map signal.
 func isWrongShard(err error) bool {
 	var re *RemoteError
-	return errors.As(err, &re) && re.Code == CodeWrongShard
+	return errors.As(err, &re) && re.Code == wire.CodeWrongShard
 }
 
 // degradedReplica picks a reachable (breaker-allowed) replica for id,

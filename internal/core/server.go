@@ -133,6 +133,13 @@ type Server struct {
 	// connection out instead of pinning its writer. 0 means
 	// DefaultWriteTimeout; negative disables. Set before Serve.
 	WriteTimeout time.Duration
+	// WireCodecs lists the codec names the server accepts in the
+	// first-frame negotiation (see wire.Codec). Nil accepts every
+	// supported codec (bin1 and json); [wire.CodecJSON] pins the server
+	// to the seed format, refusing binary offers — clients then stay on
+	// JSON, exactly as if they had never offered. Connections that never
+	// offer are untouched either way. Set before Serve.
+	WireCodecs []string
 
 	// Obs instruments the server (per-op latency, queue wait, in-flight,
 	// write-batch sizes, deadline sheds — see README "Observability" for
@@ -449,6 +456,14 @@ func (s *Server) maxInFlightCap() int {
 	return DefaultMaxInFlight
 }
 
+// acceptCodecs resolves the codec accept-list for negotiation.
+func (s *Server) acceptCodecs() []string {
+	if s.WireCodecs != nil {
+		return s.WireCodecs
+	}
+	return []string{wire.CodecBin1, wire.CodecJSON}
+}
+
 // idleTimeoutCap resolves the idle-connection timeout (0 = disabled).
 func (s *Server) idleTimeoutCap() time.Duration {
 	switch {
@@ -545,6 +560,7 @@ func (s *Server) handleConn(raw net.Conn) {
 	}
 
 	var dispatches sync.WaitGroup
+	negotiated := false
 	for {
 		req, err := conn.ReadRequest()
 		if err != nil {
@@ -554,6 +570,21 @@ func (s *Server) handleConn(raw net.Conn) {
 			break
 		}
 		lastActive.Store(time.Now().UnixNano())
+		// First-frame codec negotiation: a request carrying an offer (in
+		// practice the client's dial-time Ping) gets the server's pick
+		// stamped into its response, and the read side switches right
+		// here — the client sends nothing further until it has seen the
+		// confirmation, so the next frame is already in the agreed
+		// codec. One shot per connection; no agreement means the offer
+		// field is simply ignored and the connection stays on JSON.
+		var confirm string
+		if !negotiated && len(req.Codecs) > 0 {
+			negotiated = true
+			if c, ok := wire.NegotiateCodec(req.Codecs, s.acceptCodecs()); ok {
+				confirm = c.Name()
+				conn.SetReadCodec(c)
+			}
+		}
 		// §3.2 gate: unknown subjects may only open an account, and get
 		// the seed's strictly serial semantics — nothing read after a
 		// deny is ever dispatched, and a CreateAccount completes before
@@ -570,6 +601,7 @@ func (s *Server) handleConn(raw net.Conn) {
 			if req.Op == OpCreateAccount && resp.OK {
 				known = true
 			}
+			resp.Codec = confirm
 			writeCh <- resp
 			continue
 		}
@@ -578,7 +610,7 @@ func (s *Server) handleConn(raw net.Conn) {
 		inflight.Add(1)
 		met.inflight.Inc()
 		dispatches.Add(1)
-		go func(req *wire.Request) {
+		go func(req *wire.Request, confirm string) {
 			defer dispatches.Done()
 			// Shed work whose caller has already given up: deadline_ms is
 			// the caller's remaining budget at send time, so if more than
@@ -599,6 +631,7 @@ func (s *Server) handleConn(raw net.Conn) {
 			} else {
 				resp = s.observedDispatch(subject, req, arrived)
 			}
+			resp.Codec = confirm
 			inflight.Add(-1)
 			met.inflight.Dec()
 			lastActive.Store(time.Now().UnixNano())
@@ -608,7 +641,7 @@ func (s *Server) handleConn(raw net.Conn) {
 			// connection's memory stays bounded by MaxInFlight.
 			writeCh <- resp
 			<-sem
-		}(req)
+		}(req, confirm)
 	}
 	// Drain: let in-flight requests finish and their responses flush
 	// (the client may have half-closed after pipelining), then release
@@ -627,21 +660,30 @@ func (s *Server) writeLoop(nc net.Conn, ch <-chan *wire.Response, lastActive *at
 	dw := &wire.DeadlineWriter{Conn: nc, Timeout: s.writeTimeoutCap()}
 	var buf bytes.Buffer
 	var failed, closed bool
+	codec := wire.Codec(wire.JSON)
 	// frame appends a response; one that cannot be framed (in practice:
 	// a body past MaxFrame) is replaced by a small typed error so the
-	// caller parked on that ID hears back instead of waiting forever.
+	// caller parked on that ID hears back instead of waiting forever. A
+	// response confirming a codec negotiation switches the writer for
+	// every frame after it — mid-batch is fine, frames are delimited.
 	frame := func(resp *wire.Response) {
-		if err := wire.AppendMsg(&buf, resp); err != nil {
+		if err := codec.AppendFrame(&buf, resp); err != nil {
 			s.Logf("gridbank: response %d unsendable: %v", resp.ID, err)
 			fallback := &wire.Response{
 				ID: resp.ID, OK: false, Code: CodeInternal,
 				Error: fmt.Sprintf("response unsendable: %v", err),
 			}
-			if err := wire.AppendMsg(&buf, fallback); err != nil {
+			if err := codec.AppendFrame(&buf, fallback); err != nil {
 				// Even the error frame failed — the connection's stream
 				// state is unknowable; drop it.
 				failed = true
 				nc.Close()
+			}
+			return
+		}
+		if resp.Codec != "" {
+			if c, ok := wire.CodecByName(resp.Codec); ok {
+				codec = c
 			}
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"gridbank/internal/accounts"
 	"gridbank/internal/rur"
 	"gridbank/internal/usage"
+	"gridbank/internal/wire"
 )
 
 // Usage-settlement operations: the wire surface of the batched
@@ -23,7 +24,7 @@ const (
 
 // CodeOverloaded marks an intake batch refused by backpressure: the
 // settlement pipeline lags and the client should back off and retry.
-const CodeOverloaded = "overloaded"
+const CodeOverloaded = wire.CodeOverloaded
 
 // ErrUsageDisabled answers usage operations on a server whose pipeline
 // was not enabled.

@@ -3,15 +3,19 @@ package db
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridbank/internal/obs"
+	"gridbank/internal/wire"
 )
 
 // Op is a journal operation kind.
@@ -87,9 +91,33 @@ type ticket struct {
 	err  error
 }
 
-// fileJournal is a newline-delimited JSON journal. Each line is a batch:
-// a JSON array of entries. A batch line that fails to parse (torn write
-// at crash) terminates replay cleanly.
+// Binary journal generation format. A journal file's codec is fixed
+// per generation and announced by a marker at the start of the file:
+// files opening with binJournalMagic are bin1 generations, anything
+// else (including the seed's marker-less files) is JSON. The marker's
+// first byte is non-ASCII and can never open a JSON array, so Replay
+// auto-detects the generation and an existing file's format always
+// wins over the codec the journal was opened with.
+//
+// A bin1 generation is the 8-byte marker followed by records:
+//
+//	0xBE len:u32 crc:u32 payload
+//
+// where payload is the shared binary entry-batch encoding (see
+// bincodec.go) and crc is CRC-32 (IEEE) of the payload. The CRC gives
+// the binary generation the same tear-vs-corruption discrimination
+// newlines give the JSON one.
+const (
+	binJournalMagic  = "\xb3GBWAL1\n"
+	binRecordMagic   = 0xBE
+	binRecordHdrLen  = 9        // magic u8 + len u32 + crc u32
+	maxJournalRecord = 64 << 20 // matches the JSON scanner's max line
+)
+
+// fileJournal is a write-ahead journal file in one of two generations:
+// newline-delimited JSON (the seed format — each line a batch: a JSON
+// array of entries) or the bin1 record format above. In both, a batch
+// that fails to parse (torn write at crash) terminates replay cleanly.
 //
 // Concurrent appends group-commit: each committer encodes its batch
 // outside the lock and stages it; the first waiter becomes the leader
@@ -106,8 +134,10 @@ type fileJournal struct {
 	w       *bufio.Writer
 	sync    bool
 	staged  []*ticket
-	leading bool  // a leader is currently writing outside mu
-	err     error // sticky flush failure: once durability order is broken, fail stop
+	leading bool        // a leader is currently writing outside mu
+	err     error       // sticky flush failure: once durability order is broken, fail stop
+	bin     atomic.Bool // current generation is bin1 (atomic: Stage encodes outside mu)
+	binNext bool        // codec requested at open; adopted when a fresh generation starts (Compact)
 
 	// Group-commit telemetry (nil no-ops until setObs).
 	mFsync *obs.Histogram // fsync latency per group flush
@@ -123,17 +153,72 @@ func (j *fileJournal) setObs(reg *obs.Registry) {
 	j.mBytes = reg.Counter("db.journal_bytes")
 }
 
-// OpenFileJournal opens (creating if needed) a journal file. If syncEach
-// is true every flush is fsynced — durable against power loss, slower;
-// GridBank servers want true, simulations want false.
+// OpenFileJournal opens (creating if needed) a journal file in the
+// seed JSON codec. If syncEach is true every flush is fsynced — durable
+// against power loss, slower; GridBank servers want true, simulations
+// want false.
 func OpenFileJournal(path string, syncEach bool) (Journal, error) {
+	return OpenFileJournalCodec(path, syncEach, wire.CodecJSON)
+}
+
+// OpenFileJournalCodec opens (creating if needed) a journal file,
+// starting new generations in the given codec ("json" or "bin1"). An
+// existing non-empty file keeps its own generation's codec regardless
+// of the request — a JSON data dir opens unchanged under a
+// binary-default build, and vice versa. The codec takes effect for a
+// file only when it is empty: at creation, or after Compact.
+func OpenFileJournalCodec(path string, syncEach bool, codec string) (Journal, error) {
+	var wantBin bool
+	switch codec {
+	case wire.CodecJSON:
+	case wire.CodecBin1:
+		wantBin = true
+	default:
+		return nil, fmt.Errorf("db: unknown journal codec %q", codec)
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("db: open journal: %w", err)
 	}
 	j := &fileJournal{path: path, f: f, w: bufio.NewWriter(f), sync: syncEach}
 	j.flushed.L = &j.mu
+	j.binNext = wantBin
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("db: stat journal: %w", err)
+	}
+	if st.Size() > 0 {
+		// Existing generation wins: sniff the marker's first byte.
+		// Replay validates the full marker (and repairs a torn one).
+		var first [1]byte
+		if _, err := f.ReadAt(first[:], 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("db: sniff journal codec: %w", err)
+		}
+		j.bin.Store(first[0] == binJournalMagic[0])
+	} else if wantBin {
+		if err := j.writeGenerationMarker(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
 	return j, nil
+}
+
+// writeGenerationMarker starts a bin1 generation on an (empty) file.
+// The file is O_APPEND, so a plain Write lands at the new end.
+func (j *fileJournal) writeGenerationMarker() error {
+	if _, err := j.f.WriteString(binJournalMagic); err != nil {
+		return fmt.Errorf("db: write journal codec marker: %w", err)
+	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("db: sync journal codec marker: %w", err)
+		}
+	}
+	j.bin.Store(true)
+	return nil
 }
 
 func (j *fileJournal) Append(e Entry) error { return j.AppendBatch([]Entry{e}) }
@@ -156,9 +241,15 @@ func (j *fileJournal) Stage(entries []Entry) (func() error, error) {
 	}
 	e := encBufPool.Get().(*encBuf)
 	e.buf.Reset()
-	if err := e.enc.Encode(entries); err != nil {
+	var encErr error
+	if j.bin.Load() {
+		encErr = appendBinRecord(&e.buf, entries)
+	} else {
+		encErr = e.enc.Encode(entries)
+	}
+	if encErr != nil {
 		encBufPool.Put(e)
-		return nil, err
+		return nil, encErr
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -237,6 +328,26 @@ func (j *fileJournal) flushGroupLocked() {
 	j.flushed.Broadcast()
 }
 
+// appendBinRecord encodes one staged batch as a bin1 journal record
+// into buf (which Stage has Reset, so the record starts at offset 0):
+// header placeholder first, payload appended in place, then the length
+// and CRC patched in.
+func appendBinRecord(buf *bytes.Buffer, entries []Entry) error {
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0}) // binRecordHdrLen placeholder
+	if err := AppendEntriesBinary(buf, entries); err != nil {
+		return err
+	}
+	b := buf.Bytes()
+	payload := b[binRecordHdrLen:]
+	if len(payload) > maxJournalRecord {
+		return fmt.Errorf("db: %d-byte journal record exceeds maximum", len(payload))
+	}
+	b[0] = binRecordMagic
+	binary.BigEndian.PutUint32(b[1:5], uint32(len(payload)))
+	binary.BigEndian.PutUint32(b[5:9], crc32.ChecksumIEEE(payload))
+	return nil
+}
+
 func (j *fileJournal) Replay(apply func(Entry) error) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -248,6 +359,18 @@ func (j *fileJournal) Replay(apply func(Entry) error) error {
 	}
 	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
 		return err
+	}
+	// Sniff the generation marker: the file's format wins over the
+	// codec the journal was opened with, so mixed data dirs replay
+	// correctly under any build default.
+	var first [1]byte
+	if n, err := j.f.ReadAt(first[:], 0); err != nil && err != io.EOF {
+		return err
+	} else if n == 1 {
+		j.bin.Store(first[0] == binJournalMagic[0])
+	}
+	if j.bin.Load() {
+		return j.replayBinary(apply)
 	}
 	sc := bufio.NewScanner(j.f)
 	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
@@ -301,7 +424,116 @@ func (j *fileJournal) Replay(apply func(Entry) error) error {
 	return nil
 }
 
-// Compact implements CompactableJournal by truncating the file.
+// replayBinary replays a bin1 generation. Tear-vs-corruption semantics
+// mirror the JSON path: a record the crash tore off the tail (short
+// header, short payload, implausible length) is truncated away, while a
+// CRC or decode failure on a fully-present record is only a tear if
+// nothing valid follows — when it is followed by an intact record the
+// file is corrupted mid-stream and replay refuses, exactly like a bad
+// JSON line with good lines after it. (A mangled record header makes
+// the following length untrustworthy, so look-ahead is only possible
+// when the bad record's own length was readable.)
+func (j *fileJournal) replayBinary(apply func(Entry) error) error {
+	br := bufio.NewReaderSize(j.f, 1<<20)
+	marker := make([]byte, len(binJournalMagic))
+	if _, err := io.ReadFull(br, marker); err != nil || string(marker) != binJournalMagic {
+		// Torn generation marker: the file died at creation, before any
+		// record could have been acked. Restart the generation.
+		return j.resetBinaryGeneration()
+	}
+	good := int64(len(binJournalMagic)) // bytes consumed through the last intact record
+	var payload []byte
+	for {
+		var hdr [binRecordHdrLen]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				break // clean end of journal
+			}
+			return j.truncateTornTail(good) // header torn mid-write
+		}
+		n := binary.BigEndian.Uint32(hdr[1:5])
+		if hdr[0] != binRecordMagic || n == 0 || n > maxJournalRecord {
+			return j.truncateTornTail(good)
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return j.truncateTornTail(good) // payload torn mid-write
+		}
+		var entries []Entry
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(hdr[5:9]) {
+			entries = nil
+		} else if dec, err := DecodeEntriesBinary(payload); err == nil {
+			entries = dec
+		}
+		if entries == nil {
+			if nextBinRecordIntact(br) {
+				return fmt.Errorf("db: journal corrupted mid-file at byte %d (intact data follows); manual repair required", good)
+			}
+			return j.truncateTornTail(good)
+		}
+		for _, e := range entries {
+			if err := apply(e); err != nil {
+				return err
+			}
+		}
+		good += binRecordHdrLen + int64(n)
+	}
+	_, err := j.f.Seek(0, io.SeekEnd)
+	return err
+}
+
+// nextBinRecordIntact reports whether one complete, CRC-clean record
+// can be read next — the binary generation's "intact data follows"
+// probe. It may consume from br freely: both outcomes abort the replay
+// scan.
+func nextBinRecordIntact(br *bufio.Reader) bool {
+	var hdr [binRecordHdrLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return false
+	}
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	if hdr[0] != binRecordMagic || n == 0 || n > maxJournalRecord {
+		return false
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return false
+	}
+	return crc32.ChecksumIEEE(payload) == binary.BigEndian.Uint32(hdr[5:9])
+}
+
+// truncateTornTail discards a torn journal tail: appends land after
+// whatever the file ends in, so leaving the junk in place would bury
+// every future (fsynced, acked) batch behind it — the next replay
+// would stop at the tear and silently drop them.
+func (j *fileJournal) truncateTornTail(good int64) error {
+	if err := j.f.Truncate(good); err != nil {
+		return fmt.Errorf("db: truncating torn journal tail: %w", err)
+	}
+	_, err := j.f.Seek(0, io.SeekEnd)
+	return err
+}
+
+// resetBinaryGeneration rewrites a bin1 file whose generation marker
+// itself was torn (a crash inside OpenFileJournalCodec's first write).
+func (j *fileJournal) resetBinaryGeneration() error {
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("db: resetting torn journal marker: %w", err)
+	}
+	if err := j.writeGenerationMarker(); err != nil {
+		return err
+	}
+	_, err := j.f.Seek(0, io.SeekEnd)
+	return err
+}
+
+// Compact implements CompactableJournal by truncating the file. The
+// fresh generation adopts the codec the journal was opened with
+// (writing its marker if bin1) — this is how a data dir migrates
+// between codecs: checkpoint, then compact under the new default.
 func (j *fileJournal) Compact() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -320,8 +552,16 @@ func (j *fileJournal) Compact() error {
 	if err := j.f.Truncate(0); err != nil {
 		return err
 	}
-	_, err := j.f.Seek(0, io.SeekStart)
-	return err
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	j.bin.Store(false)
+	if j.binNext {
+		if err := j.writeGenerationMarker(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (j *fileJournal) Close() error {

@@ -1,0 +1,295 @@
+package db
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gridbank/internal/wire"
+)
+
+// TestBinaryJournalDurability is TestFileJournalDurability under the
+// bin1 generation, plus the auto-detect contract: the reopen requests
+// the JSON codec and must still replay the binary file.
+func TestBinaryJournalDurability(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.bin")
+	j, err := OpenFileJournalCodec(path, false, wire.CodecBin1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, s.CreateTable("acct"))
+	must(t, s.Update(func(tx *Tx) error { return tx.Insert("acct", "a1", []byte("balance=10")) }))
+	must(t, s.Close())
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, []byte(binJournalMagic)) {
+		t.Fatalf("binary journal missing generation marker: % x", raw[:16])
+	}
+
+	j2, err := OpenFileJournal(path, false) // JSON requested; file's generation wins
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v, err := s2.Get("acct", "a1")
+	if err != nil || string(v) != "balance=10" {
+		t.Fatalf("recovered = %q, %v", v, err)
+	}
+	must(t, s2.Update(func(tx *Tx) error { return tx.Put("acct", "a1", []byte("balance=20")) }))
+}
+
+// TestJSONGenerationSurvivesBinaryDefault is the satellite cross-compat
+// cell: a seed JSON data dir opened under a binary-default build keeps
+// appending seed-identical JSON lines — the existing bytes are
+// untouched and the new ones are plain JSON, until a Compact starts a
+// fresh generation.
+func TestJSONGenerationSurvivesBinaryDefault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.ndjson")
+	j, err := OpenFileJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, j.Append(Entry{Seq: 1, Op: OpCreateTable, Table: "t"}))
+	must(t, j.Close())
+	seedBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenFileJournalCodec(path, false, wire.CodecBin1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, j2.Append(Entry{Seq: 2, Op: OpPut, Table: "t", Key: "k", Value: []byte("v")}))
+	must(t, j2.Close())
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(after, seedBytes) {
+		t.Fatal("binary-default reopen rewrote the existing JSON generation")
+	}
+	tail := after[len(seedBytes):]
+	if len(tail) == 0 || tail[0] != '[' {
+		t.Fatalf("append to a JSON generation was not JSON: % x", tail[:min(len(tail), 8)])
+	}
+
+	// And the mixed file replays completely under either requested codec.
+	for _, codec := range []string{wire.CodecJSON, wire.CodecBin1} {
+		j3, err := OpenFileJournalCodec(path, false, codec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seqs []uint64
+		must(t, j3.Replay(func(e Entry) error { seqs = append(seqs, e.Seq); return nil }))
+		must(t, j3.Close())
+		if !reflect.DeepEqual(seqs, []uint64{1, 2}) {
+			t.Fatalf("replay under %s = %v", codec, seqs)
+		}
+	}
+}
+
+// TestCompactAdoptsRequestedCodec checks the migration path: a JSON
+// data dir opened under bin1 switches generations at Compact
+// (checkpoint-then-compact is how gridbankd migrates a WAL).
+func TestCompactAdoptsRequestedCodec(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	j, err := OpenFileJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, j.Append(Entry{Seq: 1, Op: OpCreateTable, Table: "t"}))
+	must(t, j.Close())
+
+	j2, err := OpenFileJournalCodec(path, false, wire.CodecBin1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, j2.Replay(func(Entry) error { return nil }))
+	must(t, j2.(CompactableJournal).Compact())
+	must(t, j2.Append(Entry{Seq: 2, Op: OpCreateTable, Table: "u"}))
+	must(t, j2.Close())
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, []byte(binJournalMagic)) {
+		t.Fatalf("post-compact generation not binary: % x", raw[:min(len(raw), 16)])
+	}
+
+	j3, err := OpenFileJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	var seqs []uint64
+	must(t, j3.Replay(func(e Entry) error { seqs = append(seqs, e.Seq); return nil }))
+	if !reflect.DeepEqual(seqs, []uint64{2}) {
+		t.Fatalf("post-compact replay = %v", seqs)
+	}
+}
+
+// TestBinaryJournalTornTailTruncated mirrors the JSON torn-tail test: a
+// partial record at the tail (crash mid-append) is truncated away, the
+// intact prefix replays, and later appends survive the next replay.
+func TestBinaryJournalTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.bin")
+	j, err := OpenFileJournalCodec(path, false, wire.CodecBin1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, j.Append(Entry{Seq: 1, Op: OpCreateTable, Table: "t"}))
+	must(t, j.Append(Entry{Seq: 2, Op: OpPut, Table: "t", Key: "good", Value: []byte("1")}))
+	must(t, j.Close())
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A record header promising more payload than the file holds.
+	if _, err := f.Write([]byte{binRecordMagic, 0, 0, 1, 0, 0xde, 0xad, 0xbe, 0xef, 'x', 'y'}); err != nil {
+		t.Fatal(err)
+	}
+	must(t, f.Close())
+
+	j2, err := OpenFileJournalCodec(path, false, wire.CodecBin1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	if err := j2.Replay(func(e Entry) error { seqs = append(seqs, e.Seq); return nil }); err != nil {
+		t.Fatalf("replay with torn tail failed: %v", err)
+	}
+	if !reflect.DeepEqual(seqs, []uint64{1, 2}) {
+		t.Fatalf("replay = %v", seqs)
+	}
+	must(t, j2.Append(Entry{Seq: 3, Op: OpPut, Table: "t", Key: "after", Value: []byte("2")}))
+	must(t, j2.Close())
+
+	j3, err := OpenFileJournalCodec(path, false, wire.CodecBin1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	seqs = nil
+	must(t, j3.Replay(func(e Entry) error { seqs = append(seqs, e.Seq); return nil }))
+	if !reflect.DeepEqual(seqs, []uint64{1, 2, 3}) {
+		t.Fatalf("replay after healing = %v", seqs)
+	}
+}
+
+// TestBinaryJournalRefusesMidFileCorruption: a CRC-bad record with an
+// intact record after it is corruption, not a tear — replay must refuse
+// rather than silently truncate acked history.
+func TestBinaryJournalRefusesMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.bin")
+	j, err := OpenFileJournalCodec(path, false, wire.CodecBin1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, j.Append(Entry{Seq: 1, Op: OpCreateTable, Table: "table-one"}))
+	must(t, j.Append(Entry{Seq: 2, Op: OpCreateTable, Table: "table-two"}))
+	must(t, j.Close())
+
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the first record's payload (after the 8-byte
+	// marker and 9-byte record header) — CRC now fails while the second
+	// record stays intact.
+	if _, err := f.WriteAt([]byte{0xFF}, int64(len(binJournalMagic))+binRecordHdrLen+6); err != nil {
+		t.Fatal(err)
+	}
+	must(t, f.Close())
+
+	j2, err := OpenFileJournalCodec(path, false, wire.CodecBin1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	err = j2.Replay(func(Entry) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "corrupted mid-file") {
+		t.Fatalf("mid-file corruption replayed: %v", err)
+	}
+}
+
+// TestBinaryJournalTornMarkerResets: a crash during generation-marker
+// creation leaves a partial marker; no record can have been acked, so
+// replay restarts the generation instead of failing forever.
+func TestBinaryJournalTornMarkerResets(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.bin")
+	if err := os.WriteFile(path, []byte(binJournalMagic[:4]), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenFileJournalCodec(path, false, wire.CodecBin1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Replay(func(e Entry) error { t.Fatalf("entry %d from a torn marker", e.Seq); return nil }); err != nil {
+		t.Fatalf("torn-marker replay failed: %v", err)
+	}
+	must(t, j.Append(Entry{Seq: 1, Op: OpCreateTable, Table: "t"}))
+	must(t, j.Close())
+
+	j2, err := OpenFileJournalCodec(path, false, wire.CodecBin1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	var seqs []uint64
+	must(t, j2.Replay(func(e Entry) error { seqs = append(seqs, e.Seq); return nil }))
+	if !reflect.DeepEqual(seqs, []uint64{1}) {
+		t.Fatalf("replay after marker reset = %v", seqs)
+	}
+}
+
+// FuzzEntriesBinaryRoundTrip checks the shared entry-batch encoding
+// (journal records and replica stream frames) against arbitrary field
+// values, normalizing the one deliberate asymmetry: a zero-length value
+// decodes as nil (matching JSON omitempty semantics).
+func FuzzEntriesBinaryRoundTrip(f *testing.F) {
+	f.Add(uint64(1), "put", "accounts", "01-0001-00000001", []byte(`{"balance":10}`))
+	f.Add(uint64(2), "mktable", "t", "", []byte(nil))
+	f.Add(uint64(3), "del", "t", "k", []byte(nil))
+	f.Add(uint64(4), "exotic-op", "t", "k", []byte{0, 1, 2})
+	f.Fuzz(func(t *testing.T, seq uint64, op, table, key string, value []byte) {
+		in := []Entry{{Seq: seq, Op: Op(op), Table: table, Key: key, Value: value}}
+		var buf bytes.Buffer
+		if err := AppendEntriesBinary(&buf, in); err != nil {
+			return // oversized strings are legitimately unencodable
+		}
+		out, err := DecodeEntriesBinary(buf.Bytes())
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		if len(in[0].Value) == 0 {
+			in[0].Value = nil
+		}
+		if !reflect.DeepEqual(out, in) {
+			t.Fatalf("round trip:\n got %+v\nwant %+v", out, in)
+		}
+	})
+}

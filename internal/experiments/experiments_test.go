@@ -526,3 +526,40 @@ func TestMicropayExpSweep(t *testing.T) {
 		t.Error("report rendering broken")
 	}
 }
+
+func TestCodecExpSweep(t *testing.T) {
+	// Tiny sweep sized for CI: the per-cell conservation asserts (run
+	// through the codec under test) are the point; throughput numbers
+	// are meaningless at this scale.
+	r, err := RunCodecExp(CodecExpConfig{
+		Concurrency:      []int{1, 2},
+		OpsPerCaller:     10,
+		Rounds:           1,
+		JournalTransfers: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Frames) != 6 { // 3 workloads x 2 concurrency levels
+		t.Fatalf("got %d frame points, want 6", len(r.Frames))
+	}
+	for _, p := range r.Frames {
+		if p.JSONOps <= 0 || p.BinOps <= 0 {
+			t.Fatalf("cell %+v", p)
+		}
+	}
+	if len(r.Journal) != 1 || r.Journal[0].Entries == 0 {
+		t.Fatalf("journal cells %+v", r.Journal)
+	}
+	if r.Journal[0].BinBytes >= r.Journal[0].JSONBytes {
+		t.Fatalf("binary WAL not smaller: %+v", r.Journal[0])
+	}
+	if len(r.Catchup) != 1 || r.Catchup[0].Entries == 0 {
+		t.Fatalf("catch-up cells %+v", r.Catchup)
+	}
+	var buf bytes.Buffer
+	WriteCodecExp(&buf, r)
+	if !strings.Contains(buf.String(), "bin1 ops/s") {
+		t.Error("report rendering broken")
+	}
+}

@@ -69,12 +69,15 @@ type WireResult struct {
 // wireWorld is a live TLS bank with a funded disjoint account
 // population and one shared admin client.
 type wireWorld struct {
-	srv    *core.Server
-	client *core.Client
-	bank   *core.Bank
-	payers []accounts.ID
-	payees []accounts.ID
-	funded currency.Amount
+	srv     *core.Server
+	client  *core.Client
+	bank    *core.Bank
+	addr    string
+	trust   *pki.TrustStore
+	adminID *pki.Identity
+	payers  []accounts.ID
+	payees  []accounts.ID
+	funded  currency.Amount
 }
 
 func newWireWorld(journal db.Journal, pairs int) (*wireWorld, error) {
@@ -119,7 +122,7 @@ func newWireWorld(journal db.Journal, pairs int) (*wireWorld, error) {
 	}
 	go srv.Serve(ln)
 
-	w := &wireWorld{srv: srv, bank: bank}
+	w := &wireWorld{srv: srv, bank: bank, addr: ln.Addr().String(), trust: trust, adminID: adminID}
 	mgr := bank.Manager()
 	perAcct := currency.FromG(1_000_000)
 	for i := 0; i < pairs; i++ {

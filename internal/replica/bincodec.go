@@ -1,0 +1,43 @@
+package replica
+
+import (
+	"bytes"
+
+	"gridbank/internal/db"
+	"gridbank/internal/wire"
+)
+
+// streamFrame is the replication hot path — under bin1 each frame body
+// is the shared db entry-batch encoding behind the head sequence,
+// skipping JSON entirely for bulk catch-up. The hello exchange stays
+// JSON (it happens once, before the codec switch).
+//
+// Layout: head_seq:u64 entries (db.AppendEntriesBinary).
+
+const binTagStreamFrame = 0x05
+
+// BinaryBodyTag identifies streamFrame bodies on the wire.
+func (s *streamFrame) BinaryBodyTag() byte { return binTagStreamFrame }
+
+// AppendBinaryBody encodes the frame for a bin1-negotiated session.
+func (s *streamFrame) AppendBinaryBody(buf *bytes.Buffer) error {
+	wire.AppendU64(buf, s.HeadSeq)
+	return db.AppendEntriesBinary(buf, s.Entries)
+}
+
+// DecodeBinaryBody decodes what AppendBinaryBody wrote.
+func (s *streamFrame) DecodeBinaryBody(payload []byte) error {
+	br := wire.NewBinReader(payload)
+	head := br.U64()
+	if err := br.Err(); err != nil {
+		return err
+	}
+	entries, err := db.DecodeEntriesBinary(br.Rest())
+	if err != nil {
+		return err
+	}
+	*s = streamFrame{Entries: entries, HeadSeq: head}
+	return nil
+}
+
+var _ wire.BinaryBody = (*streamFrame)(nil)

@@ -39,6 +39,11 @@ type FollowerConfig struct {
 	// RetryInterval is the pause between reconnect attempts (default
 	// 500ms).
 	RetryInterval time.Duration
+	// OfferCodecs lists wire codec names offered on the hello, in
+	// preference order (e.g. [wire.CodecBin1, wire.CodecJSON]). Empty
+	// keeps the session byte-identical to the seed protocol; publishers
+	// predating negotiation ignore the offer and stream JSON.
+	OfferCodecs []string
 	// Log records session-level events; nil discards them.
 	Log *obs.Logger
 	// Obs names the follower's instruments (replica.applied_seq,
@@ -187,7 +192,7 @@ func (f *Follower) session() error {
 	if err != nil {
 		return err
 	}
-	if err := conn.WriteRequest(&wire.Request{ID: 1, Op: opHello, Body: body}); err != nil {
+	if err := conn.WriteRequest(&wire.Request{ID: 1, Op: opHello, Codecs: f.cfg.OfferCodecs, Body: body}); err != nil {
 		return err
 	}
 	resp, err := conn.ReadResponse()
@@ -196,6 +201,16 @@ func (f *Follower) session() error {
 	}
 	if !resp.OK {
 		return fmt.Errorf("publisher refused: %s (%s)", resp.Error, resp.Code)
+	}
+	// The hello response arrives in JSON; a confirmation in it switches
+	// every stream frame after it to the agreed codec.
+	if resp.Codec != "" {
+		c, ok := wire.CodecByName(resp.Codec)
+		if !ok {
+			return fmt.Errorf("replica: publisher confirmed unknown codec %q", resp.Codec)
+		}
+		conn.SetReadCodec(c)
+		conn.SetWriteCodec(c)
 	}
 	var hello helloResponse
 	if err := wire.Decode(resp.Body, &hello); err != nil {

@@ -40,6 +40,11 @@ type PublisherConfig struct {
 	SubscriberBuffer int
 	// Heartbeat is the idle frame interval. Default 500ms.
 	Heartbeat time.Duration
+	// WireCodecs lists the codec names accepted when a follower offers
+	// alternatives on its hello (see wire.Codec). Nil accepts every
+	// supported codec; [wire.CodecJSON] pins sessions to the seed
+	// format. Followers that never offer always stream JSON.
+	WireCodecs []string
 }
 
 // Publisher serves the primary side of WAL shipping: each follower
@@ -197,17 +202,33 @@ func (p *Publisher) handleConn(raw net.Conn) {
 	}
 	if !p.allowed(subject) {
 		p.Log.Warn("replica subject not in allow list", "subject", subject)
-		fail("denied", fmt.Sprintf("subject %s may not replicate", subject))
+		fail(wire.CodeDenied, fmt.Sprintf("subject %s may not replicate", subject))
 		return
 	}
 	if req.Op != opHello {
-		fail("invalid_request", fmt.Sprintf("replication expects %s, got %q", opHello, req.Op))
+		fail(wire.CodeInvalid, fmt.Sprintf("replication expects %s, got %q", opHello, req.Op))
 		return
 	}
 	var hello helloRequest
 	if err := wire.Decode(req.Body, &hello); err != nil {
-		fail("invalid_request", err.Error())
+		fail(wire.CodeInvalid, err.Error())
 		return
+	}
+	// Codec negotiation piggybacks on the hello: the confirmation rides
+	// the (JSON) hello response, and every stream frame after it uses
+	// the agreed codec. The follower reads nothing between sending the
+	// hello and seeing the confirmation, so the switch is unambiguous.
+	codec := wire.Codec(wire.JSON)
+	var confirm string
+	if len(req.Codecs) > 0 {
+		accept := p.cfg.WireCodecs
+		if accept == nil {
+			accept = []string{wire.CodecBin1, wire.CodecJSON}
+		}
+		if c, ok := wire.NegotiateCodec(req.Codecs, accept); ok {
+			codec = c
+			confirm = c.Name()
+		}
 	}
 
 	// Subscribe BEFORE snapshotting: entries sequenced after the cut are
@@ -215,7 +236,7 @@ func (p *Publisher) handleConn(raw net.Conn) {
 	// gapless history.
 	sub, err := p.cfg.Store.SubscribeCommits(p.cfg.SubscriberBuffer)
 	if err != nil {
-		fail("internal", err.Error())
+		fail(wire.CodeInternal, err.Error())
 		return
 	}
 	defer sub.Close()
@@ -227,7 +248,7 @@ func (p *Publisher) handleConn(raw net.Conn) {
 	}
 	snap, err := p.cfg.Store.SnapshotSince(after)
 	if err != nil {
-		fail("internal", err.Error())
+		fail(wire.CodeInternal, err.Error())
 		return
 	}
 	body, err := wire.Encode(&helloResponse{
@@ -237,18 +258,22 @@ func (p *Publisher) handleConn(raw net.Conn) {
 		PrimaryAddr: p.cfg.PrimaryAddr,
 	})
 	if err != nil {
-		fail("internal", err.Error())
+		fail(wire.CodeInternal, err.Error())
 		return
 	}
-	if err := conn.WriteResponse(&wire.Response{ID: req.ID, OK: true, Body: body}); err != nil {
+	if err := conn.WriteResponse(&wire.Response{ID: req.ID, OK: true, Codec: confirm, Body: body}); err != nil {
 		return
 	}
+	// The hello response (carrying the confirmation) went out in JSON;
+	// everything after it — stream frames and the stream-lost notice —
+	// uses the agreed codec.
+	conn.SetWriteCodec(codec)
 	from := after
 	if snap != nil {
 		from = snap.Seq
 	}
-	p.Log.Info("replica streaming", "subject", subject, "from_seq", from, "snapshot", snap != nil)
-	p.stream(tconn, conn, sub)
+	p.Log.Info("replica streaming", "subject", subject, "from_seq", from, "snapshot", snap != nil, "codec", codec.Name())
+	p.stream(tconn, conn, sub, codec)
 	p.Log.Info("replica session ended", "subject", subject, "err", sub.Err())
 }
 
@@ -257,7 +282,7 @@ func (p *Publisher) handleConn(raw net.Conn) {
 // batches coalesced into fewer, larger frames. Every frame write
 // carries a deadline: a wedged follower (open socket, zero window) must
 // error the session out, not pin its goroutine and buffers forever.
-func (p *Publisher) stream(raw net.Conn, conn *wire.Conn, sub *db.CommitSub) {
+func (p *Publisher) stream(raw net.Conn, conn *wire.Conn, sub *db.CommitSub, codec wire.Codec) {
 	hb := time.NewTicker(p.cfg.Heartbeat)
 	defer hb.Stop()
 	writeTimeout := 10 * p.cfg.Heartbeat
@@ -270,11 +295,11 @@ func (p *Publisher) stream(raw net.Conn, conn *wire.Conn, sub *db.CommitSub) {
 	var id uint64
 	send := func(entries []db.Entry) error {
 		id++
-		body, err := wire.Encode(&streamFrame{Entries: entries, HeadSeq: p.cfg.Store.CurrentSeq()})
+		body, err := wire.EncodeWith(codec, &streamFrame{Entries: entries, HeadSeq: p.cfg.Store.CurrentSeq()})
 		if err != nil {
 			return err
 		}
-		return wire.WriteMsg(dw, &wire.Response{ID: id, OK: true, Body: body})
+		return codec.Encode(dw, &wire.Response{ID: id, OK: true, Body: body})
 	}
 	for {
 		select {
@@ -288,7 +313,7 @@ func (p *Publisher) stream(raw net.Conn, conn *wire.Conn, sub *db.CommitSub) {
 					err = io.EOF
 				}
 				id++
-				_ = conn.WriteResponse(&wire.Response{ID: id, OK: false, Code: "stream_lost", Error: err.Error()})
+				_ = conn.WriteResponse(&wire.Response{ID: id, OK: false, Code: wire.CodeStreamLost, Error: err.Error()})
 				return
 			}
 			entries := batch

@@ -1,0 +1,243 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+	"unicode/utf8"
+)
+
+// reqCases spans the binary request layout: table ops and op-string
+// ops, every optional field present and absent, nil and non-nil bodies.
+func reqCases() []*Request {
+	return []*Request{
+		{ID: 1, Op: "Ping"},
+		{ID: 2, Op: "DirectTransfer", Body: json.RawMessage(`{"amount":5}`)},
+		{ID: 3, Op: "Custom.NotInTable", Body: json.RawMessage(`"x"`)},
+		{ID: 4, Op: "CheckFunds", DeadlineMS: 1500},
+		{ID: 5, Op: "Ping", Trace: "trace-abc123"},
+		{ID: 6, Op: "Ping", Codecs: []string{CodecBin1, CodecJSON}},
+		{ID: 7, Op: "Usage.Submit", DeadlineMS: 250, Trace: "t", Codecs: []string{CodecBin1}, Body: json.RawMessage(`{"charges":[]}`)},
+		{ID: 1<<64 - 1, Op: "Micropay.Submit", Body: json.RawMessage(`{}`)},
+	}
+}
+
+func respCases() []*Response {
+	return []*Response{
+		{ID: 1, OK: true},
+		{ID: 2, OK: true, Body: json.RawMessage(`{"bank":"CN=b"}`)},
+		{ID: 3, OK: false, Error: "no such account", Code: "not_found"},
+		{ID: 4, OK: true, Codec: CodecBin1},
+		{ID: 5, OK: false, Error: "boom", Code: "internal", Body: json.RawMessage(`null`)},
+	}
+}
+
+// TestBinCodecRequestRoundTrip checks that every request shape survives
+// a bin1 encode/decode unchanged, and decodes to exactly what the JSON
+// codec decodes — the two codecs are interchangeable representations.
+func TestBinCodecRequestRoundTrip(t *testing.T) {
+	for _, in := range reqCases() {
+		for _, c := range []Codec{Bin1, JSON} {
+			var buf bytes.Buffer
+			if err := c.Encode(&buf, in); err != nil {
+				t.Fatalf("%s encode %+v: %v", c.Name(), in, err)
+			}
+			var out Request
+			if err := c.Decode(&buf, &out); err != nil {
+				t.Fatalf("%s decode %+v: %v", c.Name(), in, err)
+			}
+			if !reflect.DeepEqual(&out, in) {
+				t.Fatalf("%s round-trip: got %+v, want %+v", c.Name(), &out, in)
+			}
+		}
+	}
+}
+
+func TestBinCodecResponseRoundTrip(t *testing.T) {
+	for _, in := range respCases() {
+		for _, c := range []Codec{Bin1, JSON} {
+			var buf bytes.Buffer
+			if err := c.Encode(&buf, in); err != nil {
+				t.Fatalf("%s encode %+v: %v", c.Name(), in, err)
+			}
+			var out Response
+			if err := c.Decode(&buf, &out); err != nil {
+				t.Fatalf("%s decode %+v: %v", c.Name(), in, err)
+			}
+			if !reflect.DeepEqual(&out, in) {
+				t.Fatalf("%s round-trip: got %+v, want %+v", c.Name(), &out, in)
+			}
+		}
+	}
+}
+
+// TestBinCodecAppendFrameMatchesEncode pins AppendFrame and Encode to
+// the same bytes, since the client batches with one and the negotiation
+// path writes with the other.
+func TestBinCodecAppendFrameMatchesEncode(t *testing.T) {
+	for _, in := range reqCases() {
+		var appended bytes.Buffer
+		if err := Bin1.AppendFrame(&appended, in); err != nil {
+			t.Fatal(err)
+		}
+		var encoded bytes.Buffer
+		if err := Bin1.Encode(&encoded, in); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(appended.Bytes(), encoded.Bytes()) {
+			t.Fatalf("AppendFrame and Encode disagree for %+v", in)
+		}
+	}
+}
+
+// TestCrossCodecMismatchIsTyped is the satellite-5 matrix invariant: a
+// reader on the wrong codec refuses with ErrCodecMismatch instead of a
+// parse error, so operators can tell skew from corruption.
+func TestCrossCodecMismatchIsTyped(t *testing.T) {
+	var binFrame bytes.Buffer
+	if err := Bin1.Encode(&binFrame, &Request{ID: 1, Op: "Ping"}); err != nil {
+		t.Fatal(err)
+	}
+	var out Request
+	if err := JSON.Decode(&binFrame, &out); !errors.Is(err, ErrCodecMismatch) {
+		t.Fatalf("json codec reading bin1 frame = %v, want ErrCodecMismatch", err)
+	}
+
+	var jsonFrame bytes.Buffer
+	if err := JSON.Encode(&jsonFrame, &Request{ID: 1, Op: "Ping"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Bin1.Decode(&jsonFrame, &out); !errors.Is(err, ErrCodecMismatch) {
+		t.Fatalf("bin1 codec reading json frame = %v, want ErrCodecMismatch", err)
+	}
+}
+
+func TestNegotiateCodec(t *testing.T) {
+	all := []string{CodecBin1, CodecJSON}
+	if c, ok := NegotiateCodec([]string{CodecBin1, CodecJSON}, all); !ok || c.Name() != CodecBin1 {
+		t.Fatalf("preference order not honored: %v %v", c, ok)
+	}
+	if c, ok := NegotiateCodec([]string{"zstd9", CodecJSON}, all); !ok || c.Name() != CodecJSON {
+		t.Fatalf("unknown offers should be skipped: %v %v", c, ok)
+	}
+	if c, ok := NegotiateCodec([]string{CodecBin1}, []string{CodecJSON}); ok {
+		t.Fatalf("refused offer negotiated anyway: %v", c)
+	}
+	if _, ok := NegotiateCodec(nil, all); ok {
+		t.Fatal("empty offer negotiated")
+	}
+}
+
+// TestOfferlessFramesStaySeedIdentical pins the gate: a request without
+// an offer and a response without a confirmation must encode to exactly
+// the seed JSON bytes — negotiation is invisible until used. (The
+// hardcoded-frame tests in wire_test.go pin the format itself; this
+// pins the new fields' omitempty behavior.)
+func TestOfferlessFramesStaySeedIdentical(t *testing.T) {
+	var frame bytes.Buffer
+	if err := JSON.Encode(&frame, &Request{ID: 7, Op: "Ping"}); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"id":7,"op":"Ping"}`
+	if got := string(frame.Bytes()[4:]); got != want {
+		t.Fatalf("offerless request payload = %s, want %s", got, want)
+	}
+	frame.Reset()
+	if err := JSON.Encode(&frame, &Response{ID: 7, OK: true}); err != nil {
+		t.Fatal(err)
+	}
+	want = `{"id":7,"ok":true}`
+	if got := string(frame.Bytes()[4:]); got != want {
+		t.Fatalf("confirmationless response payload = %s, want %s", got, want)
+	}
+}
+
+// FuzzBinCodecRequest cross-checks the two codecs on arbitrary field
+// values: whatever bin1 round-trips must equal what json round-trips.
+func FuzzBinCodecRequest(f *testing.F) {
+	f.Add(uint64(1), "Ping", int64(0), "", []byte(nil), false)
+	f.Add(uint64(9), "DirectTransfer", int64(2500), "trace-1", []byte(`{"a":1}`), true)
+	f.Add(uint64(0), "Weird.Op", int64(-3), "t", []byte(`"s"`), false)
+	f.Fuzz(func(t *testing.T, id uint64, op string, deadline int64, trace string, body []byte, offer bool) {
+		if !utf8.ValidString(op) || !utf8.ValidString(trace) {
+			// JSON replaces invalid UTF-8 with U+FFFD while bin1 carries
+			// raw bytes; equivalence is only claimed for valid strings.
+			t.Skip()
+		}
+		in := &Request{ID: id, Op: op, DeadlineMS: deadline, Trace: trace}
+		if offer {
+			in.Codecs = []string{CodecBin1, CodecJSON}
+		}
+		if len(body) > 0 {
+			// Bodies must be valid JSON for the json codec; wrap the
+			// fuzzed bytes as a JSON string so both codecs accept them.
+			quoted, err := json.Marshal(string(body))
+			if err != nil {
+				t.Skip()
+			}
+			in.Body = quoted
+		}
+		roundTrip := func(c Codec) (*Request, error) {
+			var buf bytes.Buffer
+			if err := c.Encode(&buf, in); err != nil {
+				return nil, err
+			}
+			var out Request
+			if err := c.Decode(&buf, &out); err != nil {
+				t.Fatalf("%s decode of own encoding: %v", c.Name(), err)
+			}
+			return &out, nil
+		}
+		viaBin, binErr := roundTrip(Bin1)
+		viaJSON, jsonErr := roundTrip(JSON)
+		if binErr != nil || jsonErr != nil {
+			// Oversized strings or invalid UTF-8 may be encodable by one
+			// codec and not the other; equivalence only holds when both
+			// accept the message.
+			return
+		}
+		if !reflect.DeepEqual(viaBin, viaJSON) {
+			t.Fatalf("codec divergence:\n bin1: %+v\n json: %+v", viaBin, viaJSON)
+		}
+	})
+}
+
+func FuzzBinCodecResponse(f *testing.F) {
+	f.Add(uint64(1), true, "", "", "", []byte(nil))
+	f.Add(uint64(3), false, "denied", "denied", "", []byte(nil))
+	f.Add(uint64(4), true, "", "", "bin1", []byte(`{"ok":1}`))
+	f.Fuzz(func(t *testing.T, id uint64, ok bool, errMsg, code, codec string, body []byte) {
+		if !utf8.ValidString(errMsg) || !utf8.ValidString(code) || !utf8.ValidString(codec) {
+			t.Skip()
+		}
+		in := &Response{ID: id, OK: ok, Error: errMsg, Code: code, Codec: codec}
+		if len(body) > 0 {
+			quoted, err := json.Marshal(string(body))
+			if err != nil {
+				t.Skip()
+			}
+			in.Body = quoted
+		}
+		roundTrip := func(c Codec) (*Response, error) {
+			var buf bytes.Buffer
+			if err := c.Encode(&buf, in); err != nil {
+				return nil, err
+			}
+			var out Response
+			if err := c.Decode(&buf, &out); err != nil {
+				t.Fatalf("%s decode of own encoding: %v", c.Name(), err)
+			}
+			return &out, nil
+		}
+		viaBin, binErr := roundTrip(Bin1)
+		viaJSON, jsonErr := roundTrip(JSON)
+		if binErr != nil || jsonErr != nil {
+			return
+		}
+		if !reflect.DeepEqual(viaBin, viaJSON) {
+			t.Fatalf("codec divergence:\n bin1: %+v\n json: %+v", viaBin, viaJSON)
+		}
+	})
+}

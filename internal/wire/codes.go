@@ -1,0 +1,54 @@
+package wire
+
+// Code is a stable machine-readable error class carried in
+// Response.Code. It is a type alias (not a defined type) so the
+// constants assign freely anywhere a plain string is expected — the
+// Response struct, switch arms, log fields — while still giving every
+// scattered call-site literal one named home.
+//
+// The constants below are the single source of truth for the wire
+// error vocabulary. The core package re-exports them (CodeDenied =
+// wire.CodeDenied, …) so existing imports compile unchanged; new code
+// and the RoutedClient retry/degrade policy should reference these
+// directly.
+type Code = string
+
+// Wire error codes. The string values are frozen: they are part of the
+// on-the-wire protocol and of operator-facing logs, and the seed
+// protocol emitted exactly these bytes.
+const (
+	// CodeOK is the zero value: no error (omitted on the wire).
+	CodeOK Code = ""
+	// CodeDenied: authenticated identity lacks permission for the op.
+	CodeDenied Code = "denied"
+	// CodeNotFound: the referenced account/cheque/chain does not exist.
+	CodeNotFound Code = "not_found"
+	// CodeInsufficient: funds availability check failed.
+	CodeInsufficient Code = "insufficient_funds"
+	// CodeInvalid: the request was malformed or violates an invariant.
+	CodeInvalid Code = "invalid_request"
+	// CodeDuplicate: idempotency key or serial was already consumed.
+	CodeDuplicate Code = "duplicate"
+	// CodeExpired: the instrument's validity window has passed.
+	CodeExpired Code = "expired"
+	// CodeConflict: concurrent-modification conflict; safe to retry.
+	CodeConflict Code = "conflict"
+	// CodeInternal: unclassified server-side failure.
+	CodeInternal Code = "internal"
+	// CodeReadOnly: the endpoint is a read replica and the op mutates.
+	CodeReadOnly Code = "read_only"
+	// CodeUnavailable: the endpoint cannot serve the op right now
+	// (draining, replica not caught up, …); try elsewhere.
+	CodeUnavailable Code = "unavailable"
+	// CodeWrongShard: the key routes to a different shard; refresh the
+	// shard map and retry there.
+	CodeWrongShard Code = "wrong_shard"
+	// CodeDeadlineExceeded: the caller's deadline budget ran out before
+	// the server started (or finished) the op.
+	CodeDeadlineExceeded Code = "deadline_exceeded"
+	// CodeOverloaded: a bounded intake queue is full; back off and retry.
+	CodeOverloaded Code = "overloaded"
+	// CodeStreamLost: a replication stream ended because the publisher's
+	// subscription buffer overflowed; the follower must re-handshake.
+	CodeStreamLost Code = "stream_lost"
+)

@@ -3,16 +3,19 @@
 // Protocol Layer (§3.2), carried over the Security Layer's
 // mutually-authenticated TLS channels.
 //
-// Framing is 4-byte big-endian length + JSON body. Requests carry an
-// operation name and opaque body; responses echo the request ID. The
-// format is deliberately boring: auditability of an accounting protocol
-// beats cleverness.
+// Framing is 4-byte big-endian length + a codec-determined payload.
+// The seed codec is JSON — deliberately boring: auditability of an
+// accounting protocol beats cleverness. Connections that negotiate the
+// "bin1" codec (first-frame `codecs` offer, see Codec) switch to a
+// fixed-layout binary payload for the hot path; un-negotiated
+// connections remain byte-identical to the seed protocol. Requests
+// carry an operation name and opaque body; responses echo the request
+// ID.
 package wire
 
 import (
 	"bufio"
 	"bytes"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -53,6 +56,14 @@ type Request struct {
 	// byte-identical to the seed protocol's (same discipline as
 	// DeadlineMS).
 	Trace string `json:"trace,omitempty"`
+	// Codecs offers a codec negotiation: the client's supported wire
+	// codecs in preference order (e.g. ["bin1","json"]), sent on the
+	// first request of a connection. A server that recognizes one
+	// confirms it in Response.Codec and both sides switch after that
+	// exchange. Empty means no negotiation, and omitempty keeps
+	// negotiation-free frames byte-identical to the seed protocol's —
+	// seed peers ignore the field and the connection stays JSON.
+	Codecs []string `json:"codecs,omitempty"`
 	// Body is the operation-specific payload.
 	Body json.RawMessage `json:"body,omitempty"`
 }
@@ -65,8 +76,13 @@ type Response struct {
 	// design: the wire boundary is a trust boundary, and clients must
 	// not build control flow on server internals beyond the Code.
 	Error string `json:"error,omitempty"`
-	// Code is a stable machine-readable error class (see core package).
+	// Code is a stable machine-readable error class (see codes.go).
 	Code string `json:"code,omitempty"`
+	// Codec confirms a codec negotiation: the name the server picked
+	// from the request's Codecs offer. Frames after this response use
+	// the confirmed codec in both directions. Empty (the usual case)
+	// keeps the frame byte-identical to the seed protocol's.
+	Codec string `json:"codec,omitempty"`
 	// Body is the operation-specific result.
 	Body json.RawMessage `json:"body,omitempty"`
 }
@@ -82,82 +98,25 @@ var encPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // readPool holds scratch buffers for frame bodies.
 var readPool = sync.Pool{New: func() any { b := make([]byte, 4096); return &b }}
 
-// AppendMsg appends one framed message to buf: the 4-byte length header
-// followed by the JSON body, produced in place so a batch of frames can
-// be flushed with a single Write (one syscall, one TLS record). On
-// error buf is restored to its prior length.
-func AppendMsg(buf *bytes.Buffer, msg any) error {
-	start := buf.Len()
-	buf.Write([]byte{0, 0, 0, 0}) // header placeholder, patched below
-	enc := json.NewEncoder(buf)
-	if err := enc.Encode(msg); err != nil {
-		buf.Truncate(start)
-		return fmt.Errorf("wire: encode: %w", err)
-	}
-	// Encoder appends a newline Marshal would not; strip it to keep the
-	// frame bytes identical to the seed protocol's.
-	if b := buf.Bytes(); len(b) > start+4 && b[len(b)-1] == '\n' {
-		buf.Truncate(len(b) - 1)
-	}
-	n := buf.Len() - start - 4
-	if n > MaxFrame {
-		buf.Truncate(start)
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
-	}
-	binary.BigEndian.PutUint32(buf.Bytes()[start:start+4], uint32(n))
-	return nil
-}
+// AppendMsg appends one framed message to buf in the seed JSON codec:
+// the 4-byte length header followed by the JSON body, produced in place
+// so a batch of frames can be flushed with a single Write (one syscall,
+// one TLS record). On error buf is restored to its prior length.
+// Codec-aware paths call codec.AppendFrame instead.
+func AppendMsg(buf *bytes.Buffer, msg any) error { return JSON.AppendFrame(buf, msg) }
 
-// WriteMsg frames and writes one message (any JSON-encodable value).
+// WriteMsg frames and writes one message in the seed JSON codec.
 // Header and body go out in a single Write from a pooled buffer: one
-// syscall and one TLS record per message instead of two.
-func WriteMsg(w io.Writer, msg any) error {
-	buf := encPool.Get().(*bytes.Buffer)
-	buf.Reset()
-	err := AppendMsg(buf, msg)
-	if err == nil {
-		_, err = w.Write(buf.Bytes())
-	}
-	if buf.Cap() <= pooledMax {
-		encPool.Put(buf)
-	}
-	return err
-}
+// syscall and one TLS record per message instead of two. Codec-aware
+// paths call codec.Encode instead.
+func WriteMsg(w io.Writer, msg any) error { return JSON.Encode(w, msg) }
 
-// ReadMsg reads one framed message into out. The body is staged in a
-// pooled buffer: json.Unmarshal copies everything it keeps (including
-// RawMessage fields), so the scratch space is reusable the moment it
-// returns.
-func ReadMsg(r io.Reader, out any) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err // io.EOF passes through for clean shutdown detection
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
-	}
-	if n == 0 {
-		return fmt.Errorf("%w: zero-length frame", ErrBadFrame)
-	}
-	bp := readPool.Get().(*[]byte)
-	if uint32(cap(*bp)) < n {
-		*bp = make([]byte, n)
-	}
-	buf := (*bp)[:n]
-	defer func() {
-		if cap(*bp) <= pooledMax {
-			readPool.Put(bp)
-		}
-	}()
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return fmt.Errorf("%w: truncated body: %v", ErrBadFrame, err)
-	}
-	if err := json.Unmarshal(buf, out); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadFrame, err)
-	}
-	return nil
-}
+// ReadMsg reads one framed message into out using the seed JSON codec.
+// The body is staged in a pooled buffer: json.Unmarshal copies
+// everything it keeps (including RawMessage fields), so the scratch
+// space is reusable the moment it returns. Codec-aware paths call
+// codec.Decode instead.
+func ReadMsg(r io.Reader, out any) error { return JSON.Decode(r, out) }
 
 // DeadlineWriter arms a write deadline on Conn before every Write: a
 // wedged peer (open socket, zero window) errors the write out instead
@@ -178,39 +137,61 @@ func (d *DeadlineWriter) Write(p []byte) (int, error) {
 }
 
 // Conn is a convenience wrapper pairing buffered reads with direct
-// writes over a net.Conn-ish stream.
+// writes over a net.Conn-ish stream. Each half carries its own codec
+// (both start as the seed JSON codec) so a negotiated switch can take
+// effect per direction at the exact frame boundary the handshake
+// defines.
 type Conn struct {
-	r io.Reader
-	w io.Writer
+	r  io.Reader
+	w  io.Writer
+	rc Codec // read-half codec
+	wc Codec // write-half codec
 }
 
 // NewConn wraps a stream. The read and write halves are independent —
 // one goroutine may read while another writes (how the pipelined client
 // and the multiplexed server use it) — but each half admits only one
-// goroutine at a time (callers serialize within a direction).
+// goroutine at a time (callers serialize within a direction). Codec
+// switches likewise belong to the goroutine owning that half: the
+// negotiation protocol guarantees no frames are in flight in the old
+// codec when SetReadCodec/SetWriteCodec is called.
 func NewConn(rw io.ReadWriter) *Conn {
-	return &Conn{r: bufio.NewReaderSize(rw, 32<<10), w: rw}
+	return &Conn{r: bufio.NewReaderSize(rw, 32<<10), w: rw, rc: JSON, wc: JSON}
 }
 
+// SetReadCodec switches the codec for subsequent reads. Call only from
+// the goroutine that reads this Conn.
+func (c *Conn) SetReadCodec(codec Codec) { c.rc = codec }
+
+// SetWriteCodec switches the codec for subsequent writes. Call only
+// from the goroutine that writes this Conn.
+func (c *Conn) SetWriteCodec(codec Codec) { c.wc = codec }
+
+// ReadCodec returns the current read-half codec.
+func (c *Conn) ReadCodec() Codec { return c.rc }
+
+// WriteCodec returns the current write-half codec.
+func (c *Conn) WriteCodec() Codec { return c.wc }
+
 // WriteRequest sends a request.
-func (c *Conn) WriteRequest(req *Request) error { return WriteMsg(c.w, req) }
+func (c *Conn) WriteRequest(req *Request) error { return c.wc.Encode(c.w, req) }
 
 // ReadRequest receives a request.
 func (c *Conn) ReadRequest() (*Request, error) {
 	var req Request
-	if err := ReadMsg(c.r, &req); err != nil {
+	if err := c.rc.Decode(c.r, &req); err != nil {
 		return nil, err
 	}
 	return &req, nil
 }
 
 // WriteResponse sends a response.
-func (c *Conn) WriteResponse(resp *Response) error { return WriteMsg(c.w, resp) }
+func (c *Conn) WriteResponse(resp *Response) error { return c.wc.Encode(c.w, resp) }
 
 // ReadResponse receives a response.
 func (c *Conn) ReadResponse() (*Response, error) {
 	var resp Response
-	if err := ReadMsg(c.r, &resp); err != nil {
+	if err := c.rc.Decode(c.r, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -225,10 +206,27 @@ func Encode(v any) (json.RawMessage, error) {
 	return b, nil
 }
 
-// Decode unmarshals a body payload.
+// Decode unmarshals a body payload. The body's encoding is sniffed
+// from its first byte: BinBodyMagic selects the binary body codec
+// (out must implement BinaryBody with a matching tag), anything else
+// is JSON. Sniffing keeps dispatch call sites codec-agnostic — the
+// same Decode serves seed and negotiated connections.
 func Decode(raw json.RawMessage, out any) error {
 	if len(raw) == 0 {
 		return errors.New("wire: empty body")
+	}
+	if raw[0] == BinBodyMagic {
+		bb, ok := out.(BinaryBody)
+		if !ok {
+			return fmt.Errorf("%w: binary body for %T, which has no binary form", ErrCodecMismatch, out)
+		}
+		if len(raw) < 2 || raw[1] != bb.BinaryBodyTag() {
+			return fmt.Errorf("wire: decode body: binary tag mismatch for %T", out)
+		}
+		if err := bb.DecodeBinaryBody(raw[2:]); err != nil {
+			return fmt.Errorf("wire: decode binary body: %w", err)
+		}
+		return nil
 	}
 	if err := json.Unmarshal(raw, out); err != nil {
 		return fmt.Errorf("wire: decode body: %w", err)
