@@ -202,6 +202,14 @@ func registry() []experiment {
 			experiments.WriteChaosExp(out, r)
 			return nil
 		}},
+		{"diskfault", "storage fault sweep: crash/recovery scenarios x fsync fail-stop, durability diffed per cell", func() error {
+			r, err := experiments.RunDiskfaultExp(experiments.DiskfaultExpConfig{})
+			if err != nil {
+				return err
+			}
+			experiments.WriteDiskfaultExp(out, r)
+			return nil
+		}},
 	}
 }
 

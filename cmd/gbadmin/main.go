@@ -17,6 +17,10 @@
 //	micropay-status
 //	micropay-drain [timeout-seconds]
 //	metrics
+//
+// One operation is offline and needs no server or identity:
+//
+//	fsck <data-dir>     verify journals + checkpoint generations on disk
 package main
 
 import (
@@ -48,6 +52,20 @@ func main() {
 	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if flag.Arg(0) == "fsck" {
+		// Offline: verifies the data directory directly, no server dial.
+		if flag.NArg() < 2 {
+			log.Fatal("gbadmin: fsck needs a data directory argument")
+		}
+		healthy, err := runFsck(os.Stdout, flag.Arg(1))
+		if err != nil {
+			log.Fatalf("gbadmin: %v", err)
+		}
+		if !healthy {
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(*server, *caPath, *cert, *key, flag.Args()); err != nil {
 		log.Fatalf("gbadmin: %v", err)

@@ -278,16 +278,19 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 			filepath.Join(dataDir, fmt.Sprintf("ledger-%d.ckpt", i))
 	}
 	stores := make([]*db.Store, shards)
+	tele := &ckptTelemetry{}
 	for i := range stores {
 		walPath, ckptPath := shardFiles(i)
 		journal, err := db.OpenFileJournalCodec(walPath, syncWAL, walCodec)
 		if err != nil {
 			return err
 		}
-		store, err := db.OpenWithCheckpoint(ckptPath, journal)
+		store, info, err := db.OpenWithCheckpointFS(db.OSFS(), ckptPath, journal)
 		if err != nil {
 			return err
 		}
+		logBoot(fmt.Sprintf("shard %d", i), info)
+		var fresh time.Time
 		if checkpoint {
 			// Quiescent window before serving: snapshot the whole state,
 			// then drop the journal it covers — startup cost and disk
@@ -302,8 +305,10 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 					return fmt.Errorf("compacting shard %d journal after checkpoint: %w", i, err)
 				}
 			}
+			fresh = time.Now()
 			log.Printf("gridbankd: checkpointed shard %d at seq %d (%s), journal compacted", i, seq, ckptPath)
 		}
+		tele.note(info, fresh)
 		stores[i] = store
 	}
 	trust := pki.NewTrustStore(ca.Certificate())
@@ -336,7 +341,7 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 		// replays pending charges and the journal stays proportional to
 		// one run. Built before serving, so recovered transaction-ID
 		// pins reseed the allocator ahead of any traffic.
-		spool, err := openSpool(dataDir, "usage", syncWAL, checkpoint, walCodec)
+		spool, err := openSpool(dataDir, "usage", syncWAL, checkpoint, walCodec, tele)
 		if err != nil {
 			return err
 		}
@@ -362,7 +367,7 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 		// Same durability treatment as the usage spool: WAL-backed
 		// claim intake with a startup checkpoint, so a crash replays
 		// accepted-but-unsettled ticks instead of dropping them.
-		spool, err := openSpool(dataDir, "micropay", syncWAL, checkpoint, walCodec)
+		spool, err := openSpool(dataDir, "micropay", syncWAL, checkpoint, walCodec, tele)
 		if err != nil {
 			return err
 		}
@@ -385,6 +390,11 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 		log.Printf("gridbankd: micropay streaming pipeline enabled (%d workers, batch %d, queue bound %d, %d pending recovered)",
 			mcfg.workers, mcfg.batch, mcfg.queue, pipe.Status().Pending)
 	}
+	// Checkpoint provenance gauges: generation is fixed at boot (every
+	// store is open by now); age is a callback so it stays live between
+	// scrapes without a background updater.
+	reg.Gauge("db.checkpoint_generation").Set(tele.generation())
+	reg.GaugeFunc("db.checkpoint_age_seconds", tele.age)
 	srv, err := core.NewServer(bank, bankID)
 	if err != nil {
 		return err
@@ -436,21 +446,94 @@ func run(dataDir, vo, branch, listen, issue, publish string, shards int, syncWAL
 	return srv.ListenAndServe(listen)
 }
 
+// ckptTelemetry aggregates checkpoint provenance across every store
+// the process opens (ledger shards + pipeline spools), feeding the
+// db.checkpoint_generation / db.checkpoint_age_seconds gauges. All
+// notes happen during single-threaded startup, before the registry is
+// scraped, so no locking is needed.
+type ckptTelemetry struct {
+	worstGen   int64 // highest generation any store booted from
+	oldestUnix int64 // unix time of the oldest checkpoint in use (0 = none)
+	have       bool  // at least one store restored from a checkpoint
+}
+
+// note records one store's boot provenance; fresh is the time of a
+// startup checkpoint taken right after the restore (zero when the
+// -checkpoint pass is disabled).
+func (c *ckptTelemetry) note(info *db.BootInfo, fresh time.Time) {
+	gen, ts := int64(info.Generation), info.ModTime
+	if !fresh.IsZero() {
+		// The startup checkpoint just rewrote generation 0.
+		gen, ts = 0, fresh
+	}
+	if gen < 0 {
+		return // plain journal replay: no checkpoint to age
+	}
+	c.have = true
+	if gen > c.worstGen {
+		c.worstGen = gen
+	}
+	if u := ts.Unix(); !ts.IsZero() && (c.oldestUnix == 0 || u < c.oldestUnix) {
+		c.oldestUnix = u
+	}
+}
+
+// generation is the gauge value: worst generation in use, -1 when no
+// store restored from a checkpoint.
+func (c *ckptTelemetry) generation() int64 {
+	if !c.have {
+		return -1
+	}
+	return c.worstGen
+}
+
+// age is the db.checkpoint_age_seconds callback: seconds since the
+// oldest checkpoint in use, -1 when no store has one.
+func (c *ckptTelemetry) age(now time.Time) int64 {
+	if c.oldestUnix == 0 {
+		return -1
+	}
+	if age := now.Unix() - c.oldestUnix; age > 0 {
+		return age
+	}
+	return 0
+}
+
+// logBoot prints the startup restore line for one store, including the
+// checkpoint generation used and any generations skipped on the way.
+func logBoot(name string, info *db.BootInfo) {
+	for _, fb := range info.Fallbacks {
+		log.Printf("gridbankd: WARNING %s checkpoint fallback: %s", name, fb)
+	}
+	switch {
+	case info.Generation < 0:
+		log.Printf("gridbankd: %s restored by journal replay (no checkpoint)", name)
+	case info.Legacy:
+		log.Printf("gridbankd: %s restored from checkpoint generation %d (legacy format, seq %d, %s)",
+			name, info.Generation, info.Seq, info.Path)
+	default:
+		log.Printf("gridbankd: %s restored from checkpoint generation %d (seq %d, %s)",
+			name, info.Generation, info.Seq, info.Path)
+	}
+}
+
 // openSpool opens a durable pipeline intake spool (<data>/<name>.wal
 // with a <data>/<name>.ckpt startup checkpoint) — the same treatment a
 // ledger shard gets, so crash recovery replays pending entries and the
 // journal stays proportional to one run's writes.
-func openSpool(dataDir, name string, syncWAL, checkpoint bool, walCodec string) (*db.Store, error) {
+func openSpool(dataDir, name string, syncWAL, checkpoint bool, walCodec string, tele *ckptTelemetry) (*db.Store, error) {
 	spoolWAL := filepath.Join(dataDir, name+".wal")
 	spoolCkpt := filepath.Join(dataDir, name+".ckpt")
 	journal, err := db.OpenFileJournalCodec(spoolWAL, syncWAL, walCodec)
 	if err != nil {
 		return nil, err
 	}
-	spool, err := db.OpenWithCheckpoint(spoolCkpt, journal)
+	spool, info, err := db.OpenWithCheckpointFS(db.OSFS(), spoolCkpt, journal)
 	if err != nil {
 		return nil, err
 	}
+	logBoot(name+" spool", info)
+	var fresh time.Time
 	if checkpoint {
 		seq, err := spool.Checkpoint(spoolCkpt)
 		if err != nil {
@@ -461,8 +544,10 @@ func openSpool(dataDir, name string, syncWAL, checkpoint bool, walCodec string) 
 				return nil, fmt.Errorf("compacting %s spool journal: %w", name, err)
 			}
 		}
+		fresh = time.Now()
 		log.Printf("gridbankd: checkpointed %s spool at seq %d (%s)", name, seq, spoolCkpt)
 	}
+	tele.note(info, fresh)
 	return spool, nil
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -499,6 +500,8 @@ func TestErrorCodeMapping(t *testing.T) {
 		{payment.ErrWrongPayee, CodeInvalid},
 		{payment.ErrBadWord, CodeInvalid},
 		{pki.ErrBadSignature, CodeInvalid},
+		{db.ErrStorageFailed, CodeUnavailable},
+		{fmt.Errorf("journal flush failed: %w: %w", db.ErrStorageFailed, errors.New("fsync: EIO")), CodeUnavailable},
 		{errors.New("anything else"), CodeInternal},
 	}
 	for _, c := range cases {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"gridbank/internal/accounts"
+	"gridbank/internal/db"
 	"gridbank/internal/micropay"
 	"gridbank/internal/obs"
 	"gridbank/internal/payment"
@@ -888,7 +889,10 @@ func ErrorCode(err error) string {
 	case errors.Is(err, ErrReadOnly):
 		return CodeReadOnly
 	case errors.Is(err, ErrReplicaNotReady), errors.Is(err, ErrUsageDisabled),
-		errors.Is(err, ErrMicropayDisabled):
+		errors.Is(err, ErrMicropayDisabled), errors.Is(err, db.ErrStorageFailed):
+		// A storage-failed store is fail-stopped: the write was refused
+		// before any ack, so the caller may safely retry against a
+		// restarted (journal-recovered) instance.
 		return CodeUnavailable
 	case errors.Is(err, usage.ErrOverloaded), errors.Is(err, micropay.ErrOverloaded):
 		return CodeOverloaded

@@ -302,6 +302,7 @@ type Store struct {
 	// OCC telemetry (nil no-ops until SetObs; see internal/obs).
 	mConflicts *obs.Counter
 	mRetries   *obs.Counter
+	mFailed    *obs.Counter // db.storage_failed: fail-stop poisonings
 }
 
 // obsJournal is the optional journal extension SetObs forwards to, so
@@ -317,6 +318,7 @@ type obsJournal interface {
 func (s *Store) SetObs(reg *obs.Registry) {
 	s.mConflicts = reg.Counter("db.occ_conflicts")
 	s.mRetries = reg.Counter("db.occ_retries")
+	s.mFailed = reg.Counter("db.storage_failed")
 	if oj, ok := s.journal.(obsJournal); ok {
 		oj.setObs(reg)
 	}
@@ -325,10 +327,19 @@ func (s *Store) SetObs(reg *obs.Registry) {
 // fail poisons the store after a divergence-inducing journal error.
 // Subscribers are cut off with the same error: the stream may have
 // shipped batches that were never made durable, so followers must
-// re-bootstrap from whatever the primary recovers to.
+// re-bootstrap from whatever the primary recovers to. The poisoning
+// error always matches ErrStorageFailed, so every later refusal is
+// typed — callers see "unavailable", never silent data loss.
 func (s *Store) fail(err error) {
-	wrapped := fmt.Errorf("db: store failed, in-memory state not durable: %w", err)
-	s.failed.CompareAndSwap(nil, &wrapped)
+	var wrapped error
+	if errors.Is(err, ErrStorageFailed) {
+		wrapped = fmt.Errorf("db: store failed, in-memory state not durable: %w", err)
+	} else {
+		wrapped = fmt.Errorf("db: store failed, in-memory state not durable: %w: %w", ErrStorageFailed, err)
+	}
+	if s.failed.CompareAndSwap(nil, &wrapped) {
+		s.mFailed.Inc()
+	}
 	s.closeSubs(*s.failed.Load())
 }
 

@@ -37,6 +37,17 @@ type Entry struct {
 	Value []byte `json:"value,omitempty"`
 }
 
+// ErrStorageFailed is the typed fail-stop error: a journal flush or
+// fsync failed, so the durable medium can no longer be trusted to hold
+// what the store acked (the kernel may already have dropped the dirty
+// pages — retrying the fsync can falsely succeed, the classic
+// fsyncgate failure). Every error produced by a poisoned journal or
+// store matches errors.Is(err, ErrStorageFailed); core maps it to the
+// wire code "unavailable" so callers see refusal, not silent loss. The
+// only recovery is a process restart that replays the journal — the
+// acked prefix — from disk.
+var ErrStorageFailed = errors.New("db: storage failed")
+
 // Journal is the durability interface of the store. AppendBatch must be
 // atomic: on replay either every entry of the batch is seen or none
 // (torn batches at the journal tail are discarded, matching the
@@ -129,8 +140,9 @@ const (
 type fileJournal struct {
 	mu      sync.Mutex
 	flushed sync.Cond // signaled after each flush completes and on close
+	fsys    FS
 	path    string
-	f       *os.File
+	f       File
 	w       *bufio.Writer
 	sync    bool
 	staged  []*ticket
@@ -140,9 +152,10 @@ type fileJournal struct {
 	binNext bool        // codec requested at open; adopted when a fresh generation starts (Compact)
 
 	// Group-commit telemetry (nil no-ops until setObs).
-	mFsync *obs.Histogram // fsync latency per group flush
-	mBatch *obs.Histogram // staged batches coalesced per flush
-	mBytes *obs.Counter   // journal bytes written
+	mFsync    *obs.Histogram // fsync latency per group flush
+	mBatch    *obs.Histogram // staged batches coalesced per flush
+	mBytes    *obs.Counter   // journal bytes written
+	mFsyncErr *obs.Counter   // flush/fsync failures (each one poisons the journal)
 }
 
 // setObs resolves the journal's instruments. Wiring-time only, via
@@ -151,6 +164,7 @@ func (j *fileJournal) setObs(reg *obs.Registry) {
 	j.mFsync = reg.Histogram("db.fsync")
 	j.mBatch = reg.Histogram("db.commit_batch")
 	j.mBytes = reg.Counter("db.journal_bytes")
+	j.mFsyncErr = reg.Counter("db.fsync_errors")
 }
 
 // OpenFileJournal opens (creating if needed) a journal file in the
@@ -168,6 +182,12 @@ func OpenFileJournal(path string, syncEach bool) (Journal, error) {
 // binary-default build, and vice versa. The codec takes effect for a
 // file only when it is empty: at creation, or after Compact.
 func OpenFileJournalCodec(path string, syncEach bool, codec string) (Journal, error) {
+	return OpenFileJournalCodecFS(OSFS(), path, syncEach, codec)
+}
+
+// OpenFileJournalCodecFS is OpenFileJournalCodec over an explicit
+// filesystem — the seam the diskfault package injects faults through.
+func OpenFileJournalCodecFS(fsys FS, path string, syncEach bool, codec string) (Journal, error) {
 	var wantBin bool
 	switch codec {
 	case wire.CodecJSON:
@@ -176,11 +196,11 @@ func OpenFileJournalCodec(path string, syncEach bool, codec string) (Journal, er
 	default:
 		return nil, fmt.Errorf("db: unknown journal codec %q", codec)
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o600)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("db: open journal: %w", err)
 	}
-	j := &fileJournal{path: path, f: f, w: bufio.NewWriter(f), sync: syncEach}
+	j := &fileJournal{fsys: fsys, path: path, f: f, w: bufio.NewWriter(f), sync: syncEach}
 	j.flushed.L = &j.mu
 	j.binNext = wantBin
 	st, err := f.Stat()
@@ -209,7 +229,7 @@ func OpenFileJournalCodec(path string, syncEach bool, codec string) (Journal, er
 // writeGenerationMarker starts a bin1 generation on an (empty) file.
 // The file is O_APPEND, so a plain Write lands at the new end.
 func (j *fileJournal) writeGenerationMarker() error {
-	if _, err := j.f.WriteString(binJournalMagic); err != nil {
+	if _, err := j.f.Write([]byte(binJournalMagic)); err != nil {
 		return fmt.Errorf("db: write journal codec marker: %w", err)
 	}
 	if j.sync {
@@ -312,6 +332,15 @@ func (j *fileJournal) flushGroupLocked() {
 	j.mBatch.Observe(int64(len(group)))
 	if err == nil {
 		j.mBytes.Add(bytesOut)
+	} else if err != ErrClosed {
+		// Fail-stop: a failed write/flush/fsync means the kernel may
+		// already have dropped the batch's dirty pages, so a retried
+		// Sync could report success for data that never reached disk
+		// (fsyncgate). Every ticket in the group — and every later
+		// caller, via the sticky error — gets the typed refusal; the fd
+		// is never re-Synced to "recover".
+		j.mFsyncErr.Inc()
+		err = fmt.Errorf("db: journal flush failed: %w: %w", ErrStorageFailed, err)
 	}
 
 	j.mu.Lock()
@@ -356,6 +385,11 @@ func (j *fileJournal) Replay(apply func(Entry) error) error {
 	}
 	if j.f == nil {
 		return ErrClosed
+	}
+	if j.err != nil {
+		// A poisoned journal's file position and contents are unknown
+		// territory; only a fresh open (new process) may replay it.
+		return j.err
 	}
 	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
 		return err
@@ -534,6 +568,13 @@ func (j *fileJournal) resetBinaryGeneration() error {
 // fresh generation adopts the codec the journal was opened with
 // (writing its marker if bin1) — this is how a data dir migrates
 // between codecs: checkpoint, then compact under the new default.
+//
+// Durability: in sync mode the truncation (and the fresh generation
+// marker) is fsynced before Compact returns. The truncate is inode
+// metadata — without the fsync a power loss immediately after could
+// resurrect pre-checkpoint journal content at the old length, and a
+// resurrected partial tail behind a fresh generation marker would read
+// as mid-file corruption on the next boot.
 func (j *fileJournal) Compact() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -542,6 +583,11 @@ func (j *fileJournal) Compact() error {
 	}
 	if j.f == nil {
 		return ErrClosed
+	}
+	if j.err != nil {
+		// Never truncate through a poisoned journal: the file is the
+		// only surviving copy of the acked prefix.
+		return j.err
 	}
 	if len(j.staged) > 0 {
 		return errors.New("db: compact with staged batches pending")
@@ -557,8 +603,12 @@ func (j *fileJournal) Compact() error {
 	}
 	j.bin.Store(false)
 	if j.binNext {
-		if err := j.writeGenerationMarker(); err != nil {
-			return err
+		// writeGenerationMarker syncs the marker itself in sync mode.
+		return j.writeGenerationMarker()
+	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("db: sync compacted journal: %w", err)
 		}
 	}
 	return nil
@@ -572,6 +622,24 @@ func (j *fileJournal) Close() error {
 	}
 	if j.f == nil {
 		return nil
+	}
+	if j.err != nil {
+		// Poisoned: do NOT flush buffered bytes on the way out. The
+		// batches behind them were never acked, and pushing them at the
+		// file now could make a later replay see writes the store
+		// reported failed. Staged-but-unflushed tickets fail with the
+		// sticky error so their waiters unblock.
+		for _, t := range j.staged {
+			t.done = true
+			t.err = j.err
+			encBufPool.Put(t.e)
+			t.e = nil
+		}
+		j.staged = nil
+		err := j.f.Close()
+		j.f = nil
+		j.flushed.Broadcast()
+		return err
 	}
 	// Flush anything staged but not yet waited on.
 	for len(j.staged) > 0 {

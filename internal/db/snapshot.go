@@ -1,12 +1,16 @@
 package db
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
-	"path/filepath"
 	"sort"
+	"strings"
+	"time"
 )
 
 // Snapshot is a point-in-time copy of the whole store, suitable for
@@ -63,17 +67,16 @@ func (sn *Snapshot) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), err
 }
 
-// ReadSnapshot parses a snapshot previously produced by WriteTo.
+// ReadSnapshot parses a snapshot previously produced by WriteTo (plain
+// JSON) or a checksummed checkpoint file image (see the format notes at
+// ckptMagic).
 func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	b, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	var sn Snapshot
-	if err := json.Unmarshal(b, &sn); err != nil {
-		return nil, fmt.Errorf("db: snapshot decode: %w", err)
-	}
-	return &sn, nil
+	sn, _, err := decodeCheckpoint(b)
+	return sn, err
 }
 
 // SnapshotSince returns the bootstrap artifact for a replica whose
@@ -102,13 +105,15 @@ func (s *Store) SnapshotSince(fromSeq uint64) (*Snapshot, error) {
 }
 
 // SaveSnapshotFile writes the store's snapshot to path atomically
-// (write-temp-then-rename).
+// (write-temp-then-rename), in the checksummed checkpoint format.
+// Unlike Checkpoint it does not rotate generations: a backup target is
+// overwritten in place.
 func (s *Store) SaveSnapshotFile(path string) error {
 	sn, err := s.Snapshot()
 	if err != nil {
 		return err
 	}
-	return writeSnapshotFile(sn, path)
+	return writeSnapshotFile(OSFS(), sn, path, false)
 }
 
 // Checkpoint writes a point-in-time snapshot to path and returns its
@@ -116,73 +121,366 @@ func (s *Store) SaveSnapshotFile(path string) error {
 // journal) restores from the checkpoint and applies only the journal
 // entries sequenced after it — a restart (or a replica bootstrap from
 // the same file) no longer replays the full history.
+//
+// Generations: an existing intact checkpoint at path is rotated to
+// path+".1" first (one previous generation is kept), so a checkpoint
+// that rots on disk after the journal is compacted never strands the
+// deployment without any bootable history. An existing checkpoint that
+// fails verification is moved aside to path+".corrupt" instead — it
+// must not clobber a possibly-good previous generation.
 func (s *Store) Checkpoint(path string) (uint64, error) {
+	return s.CheckpointFS(OSFS(), path)
+}
+
+// CheckpointFS is Checkpoint over an explicit filesystem — the seam the
+// diskfault package injects faults through.
+func (s *Store) CheckpointFS(fsys FS, path string) (uint64, error) {
 	sn, err := s.Snapshot()
 	if err != nil {
 		return 0, err
 	}
-	if err := writeSnapshotFile(sn, path); err != nil {
+	if err := writeSnapshotFile(fsys, sn, path, true); err != nil {
 		return 0, err
 	}
 	return sn.Seq, nil
+}
+
+// Checkpoint file format ("gen1"):
+//
+//	#GBCKPT1 len=<body bytes> crc=<crc32-ieee hex>\n
+//	<body: the JSON snapshot>
+//	\n#GBCKPTE seq=<seq>\n
+//
+// The header's CRC covers exactly the body, so at-rest bit rot anywhere
+// in the state is detected at boot; the trailer is written last, so a
+// torn write (crash mid-checkpoint, before the atomic rename this file
+// normally hides behind) is detected even when the tear falls on a
+// block boundary the CRC read would miss. The trailer repeats the
+// snapshot sequence as a cross-check against header/body confusion.
+//
+// The magic's first byte '#' can never open a JSON value, so legacy
+// headerless checkpoints (raw JSON, written before this format) remain
+// distinguishable and loadable — pinned by regression tests.
+const (
+	ckptMagic        = "#GBCKPT1 "
+	ckptTrailerMagic = "#GBCKPTE "
+)
+
+// ErrCheckpointCorrupt tags a checkpoint file that failed verification:
+// bad CRC, torn trailer, malformed header, or undecodable body.
+var ErrCheckpointCorrupt = errors.New("db: checkpoint corrupt")
+
+// ErrNoIntactHistory is the typed boot refusal: no checkpoint
+// generation survives verification AND the journal does not cover the
+// missing span, so any state the store could produce would silently
+// roll back acked history. Operators diagnose with `gbadmin fsck`.
+var ErrNoIntactHistory = errors.New("db: no intact source of history")
+
+// encodeCheckpoint renders a snapshot in the checkpoint file format.
+func encodeCheckpoint(sn *Snapshot) ([]byte, error) {
+	body, err := json.Marshal(sn)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(body) + 64)
+	fmt.Fprintf(&buf, "%slen=%d crc=%08x\n", ckptMagic, len(body), crc32.ChecksumIEEE(body))
+	buf.Write(body)
+	fmt.Fprintf(&buf, "\n%sseq=%d\n", ckptTrailerMagic, sn.Seq)
+	return buf.Bytes(), nil
+}
+
+// decodeCheckpoint parses and verifies a checkpoint image. legacy
+// reports that the image predates the checksummed format (raw JSON —
+// nothing to verify beyond parsing). Verification failures wrap
+// ErrCheckpointCorrupt.
+func decodeCheckpoint(b []byte) (sn *Snapshot, legacy bool, err error) {
+	if !bytes.HasPrefix(b, []byte(ckptMagic)) {
+		// Legacy headerless checkpoint: the whole file is the JSON body.
+		var s Snapshot
+		if err := json.Unmarshal(b, &s); err != nil {
+			return nil, true, fmt.Errorf("%w: legacy body: %v", ErrCheckpointCorrupt, err)
+		}
+		return &s, true, nil
+	}
+	nl := bytes.IndexByte(b, '\n')
+	if nl < 0 {
+		return nil, false, fmt.Errorf("%w: torn header", ErrCheckpointCorrupt)
+	}
+	var bodyLen int
+	var crc uint32
+	if _, err := fmt.Sscanf(string(b[len(ckptMagic):nl]), "len=%d crc=%08x", &bodyLen, &crc); err != nil {
+		return nil, false, fmt.Errorf("%w: malformed header: %v", ErrCheckpointCorrupt, err)
+	}
+	rest := b[nl+1:]
+	if bodyLen < 0 || len(rest) < bodyLen {
+		return nil, false, fmt.Errorf("%w: truncated body (%d of %d bytes)", ErrCheckpointCorrupt, len(rest), bodyLen)
+	}
+	body, tail := rest[:bodyLen], rest[bodyLen:]
+	var trailerSeq uint64
+	if _, err := fmt.Sscanf(string(tail), "\n"+ckptTrailerMagic+"seq=%d\n", &trailerSeq); err != nil {
+		return nil, false, fmt.Errorf("%w: missing or torn trailer", ErrCheckpointCorrupt)
+	}
+	if got := crc32.ChecksumIEEE(body); got != crc {
+		return nil, false, fmt.Errorf("%w: body crc %08x, header says %08x", ErrCheckpointCorrupt, got, crc)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		return nil, false, fmt.Errorf("%w: body decode: %v", ErrCheckpointCorrupt, err)
+	}
+	if s.Seq != trailerSeq {
+		return nil, false, fmt.Errorf("%w: body seq %d, trailer says %d", ErrCheckpointCorrupt, s.Seq, trailerSeq)
+	}
+	return &s, false, nil
+}
+
+// readCheckpointFile loads and verifies one checkpoint generation.
+// Missing files return os.ErrNotExist; verification failures wrap
+// ErrCheckpointCorrupt.
+func readCheckpointFile(fsys FS, path string) (*Snapshot, bool, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	b, err := io.ReadAll(f)
+	if err != nil {
+		return nil, false, err
+	}
+	return decodeCheckpoint(b)
+}
+
+// writeSnapshotFile writes sn to path atomically: encode to path+".tmp",
+// fsync, rename into place, fsync the directory (the rename is
+// directory metadata — without the dir fsync it may not survive power
+// loss, and callers compact the journal right after a checkpoint, so a
+// vanished rename plus a truncated journal would lose the whole
+// ledger). The temp file is removed on every failure path, and with
+// rotate an intact existing checkpoint is preserved as path+".1".
+func writeSnapshotFile(fsys FS, sn *Snapshot, path string, rotate bool) error {
+	img, err := encodeCheckpoint(sn)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		fsys.Remove(tmp) // best effort: never leave a stale .tmp behind
+		return err
+	}
+	if _, err := f.Write(img); err != nil {
+		f.Close()
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		return cleanup(err)
+	}
+	if rotate {
+		if err := rotateCheckpoint(fsys, path); err != nil {
+			return cleanup(err)
+		}
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return cleanup(err)
+	}
+	if err := syncParentDir(fsys, path); err != nil {
+		return cleanup(err)
+	}
+	return nil
+}
+
+// rotateCheckpoint moves an existing checkpoint at path out of the way
+// before a new one is renamed in: an intact (or legacy) generation
+// becomes path+".1" — the fallback OpenWithCheckpoint boots from if the
+// new file later rots — while a corrupt one is moved aside to
+// path+".corrupt" so it can never clobber a possibly-good previous
+// generation (rotating garbage over the only intact fallback would turn
+// a recoverable fault into data loss).
+func rotateCheckpoint(fsys FS, path string) error {
+	if _, err := fsys.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			return nil // first checkpoint ever: nothing to rotate
+		}
+		return err
+	}
+	dest := path + ".1"
+	if _, _, err := readCheckpointFile(fsys, path); err != nil {
+		dest = path + ".corrupt"
+	}
+	return fsys.Rename(path, dest)
+}
+
+// BootInfo reports how OpenWithCheckpointFS recovered the store: which
+// checkpoint generation (if any) it restored from, and any fallbacks it
+// took on the way. Generation 0 is <path>, generation 1 is <path>.1,
+// and -1 means no checkpoint was used (full journal replay).
+type BootInfo struct {
+	// Generation actually restored from (-1: plain journal replay).
+	Generation int
+	// Path of the restored checkpoint ("" when Generation is -1).
+	Path string
+	// Seq of the restored checkpoint (0 when Generation is -1).
+	Seq uint64
+	// Legacy reports a headerless pre-checksum checkpoint.
+	Legacy bool
+	// ModTime of the restored checkpoint file (zero when none) — feeds
+	// the db.checkpoint_age_seconds gauge.
+	ModTime time.Time
+	// Fallbacks lists what was skipped and why, in the order tried
+	// (e.g. "ledger.ckpt: db: checkpoint corrupt: body crc ...").
+	Fallbacks []string
 }
 
 // OpenWithCheckpoint opens a store from a checkpoint file plus the
 // journal holding writes made after the checkpoint was taken. A missing
 // checkpoint file degrades to a plain Open (full journal replay), so
 // first boots and checkpoint-less deployments need no special casing.
+//
+// Fault tolerance — the fallback chain, each step verified before use:
+//
+//  1. <path> intact (CRC + trailer, or legacy headerless) and the
+//     journal reaches back to it → restore + tail replay.
+//  2. <path> corrupt or missing → <path>.1 (the previous generation),
+//     if the journal still covers the span since it (the pre-Compact
+//     crash window leaves exactly this shape) → restore + longer
+//     journal replay.
+//  3. Every generation corrupt but the journal intact from sequence 1 →
+//     plain Open (full history replay).
+//  4. Otherwise the boot refuses with ErrNoIntactHistory: any state it
+//     could produce would silently roll back acked writes.
+//
+// Stale <path>.tmp files (a crash between checkpoint write and rename)
+// are swept on open.
 func OpenWithCheckpoint(checkpointPath string, journal Journal) (*Store, error) {
-	f, err := os.Open(checkpointPath)
-	if os.IsNotExist(err) {
-		return Open(journal)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("db: open checkpoint: %w", err)
-	}
-	defer f.Close()
-	sn, err := ReadSnapshot(f)
-	if err != nil {
-		return nil, fmt.Errorf("db: checkpoint %s: %w", checkpointPath, err)
-	}
-	return OpenFromSnapshot(sn, journal)
+	s, _, err := OpenWithCheckpointFS(OSFS(), checkpointPath, journal)
+	return s, err
 }
 
-func writeSnapshotFile(sn *Snapshot, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+// OpenWithCheckpointFS is OpenWithCheckpoint over an explicit
+// filesystem, reporting how recovery went.
+func OpenWithCheckpointFS(fsys FS, checkpointPath string, journal Journal) (*Store, *BootInfo, error) {
+	info := &BootInfo{Generation: -1}
+	// Sweep the stale temp file a crash between write and rename leaves
+	// behind; it was never published, so it holds nothing durable.
+	if _, err := fsys.Stat(checkpointPath + ".tmp"); err == nil {
+		fsys.Remove(checkpointPath + ".tmp")
+	}
+
+	// One journal pre-pass: the first sequence number bounds how far
+	// back the journal reaches, which decides whether a fallback
+	// generation (or a full replay) can bridge to the present without a
+	// gap. The pass also settles torn tails up front, exactly as the
+	// final replay would.
+	firstSeq, haveEntries, err := journalFirstSeq(journal)
 	if err != nil {
-		return err
+		return nil, nil, fmt.Errorf("db: journal pre-scan: %w", err)
 	}
-	if _, err := sn.WriteTo(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+
+	type gen struct {
+		idx  int
+		path string
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+	gens := []gen{{0, checkpointPath}, {1, checkpointPath + ".1"}}
+	newestExists := false
+	for _, g := range gens {
+		sn, legacy, err := readCheckpointFile(fsys, g.path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				if g.idx == 0 {
+					continue // missing newest: rotation crash window, try .1
+				}
+				break // no older generation either
+			}
+			info.Fallbacks = append(info.Fallbacks, fmt.Sprintf("%s: %v", g.path, err))
+			if g.idx == 0 {
+				newestExists = true
+			}
+			continue
+		}
+		// Continuity: restoring from a generation at seq S needs journal
+		// coverage from S+1 on. An empty journal proves continuity only
+		// when nothing could have been compacted past this generation —
+		// i.e. for the newest file, or for .1 when the newest was never
+		// published (crash between the rotation renames). When the
+		// newest file EXISTS but is corrupt, writes since this older
+		// generation may already have been compacted away, so an empty
+		// journal proves nothing and the gap must be assumed.
+		if haveEntries && firstSeq > sn.Seq+1 {
+			info.Fallbacks = append(info.Fallbacks,
+				fmt.Sprintf("%s: journal starts at seq %d, past checkpoint seq %d+1 (span compacted away)", g.path, firstSeq, sn.Seq))
+			continue
+		}
+		if !haveEntries && g.idx > 0 && newestExists {
+			info.Fallbacks = append(info.Fallbacks,
+				fmt.Sprintf("%s: journal empty and a newer (corrupt) generation exists — span since seq %d unprovable", g.path, sn.Seq))
+			continue
+		}
+		st, err := OpenFromSnapshot(sn, journal)
+		if err != nil {
+			return nil, nil, fmt.Errorf("db: checkpoint %s: %w", g.path, err)
+		}
+		info.Generation = g.idx
+		info.Path = g.path
+		info.Seq = sn.Seq
+		info.Legacy = legacy
+		if fi, err := fsys.Stat(g.path); err == nil {
+			info.ModTime = fi.ModTime()
+		}
+		return st, info, nil
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
+
+	// No usable generation. A journal covering full history (from seq 1)
+	// still boots the true state; so does a completely fresh directory.
+	if !haveEntries || firstSeq <= 1 {
+		if len(info.Fallbacks) > 0 && haveEntries {
+			// Corrupt checkpoints present, but the journal alone is the
+			// whole history: plain open is exact.
+		} else if len(info.Fallbacks) > 0 && !haveEntries {
+			// Corrupt checkpoint(s) and an empty journal: whatever the
+			// checkpoints held is gone. Refuse.
+			return nil, nil, fmt.Errorf("%w: %s unreadable (%s) and journal empty; run `gbadmin fsck` on the data directory",
+				ErrNoIntactHistory, checkpointPath, strings.Join(info.Fallbacks, "; "))
+		}
+		st, err := Open(journal)
+		if err != nil {
+			return nil, nil, err
+		}
+		return st, info, nil
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		return err
+	return nil, nil, fmt.Errorf("%w: every checkpoint generation of %s failed verification (%s) and the journal only reaches back to seq %d; run `gbadmin fsck` on the data directory",
+		ErrNoIntactHistory, checkpointPath, strings.Join(info.Fallbacks, "; "), firstSeq)
+}
+
+// journalFirstSeq scans the journal for its first (non-zero) sequence
+// number. haveEntries is false for a nil or empty journal. The scan
+// settles torn tails exactly as the boot replay that follows would.
+func journalFirstSeq(journal Journal) (firstSeq uint64, haveEntries bool, err error) {
+	if journal == nil {
+		return 0, false, nil
 	}
-	// The rename is directory metadata: without fsyncing the directory
-	// it may not survive power loss. Callers (gridbankd) compact the
-	// journal right after a checkpoint, so a vanished rename plus a
-	// truncated journal would lose the whole ledger.
-	dir, err := os.Open(filepath.Dir(path))
+	err = journal.Replay(func(e Entry) error {
+		haveEntries = true
+		if firstSeq == 0 {
+			firstSeq = e.Seq
+		}
+		return nil
+	})
 	if err != nil {
-		return err
+		return 0, false, err
 	}
-	if err := dir.Sync(); err != nil {
-		dir.Close()
-		return err
+	if haveEntries && firstSeq == 0 {
+		// Sequence-less entries predate the replication clock; they can
+		// only be a whole-history journal.
+		firstSeq = 1
 	}
-	return dir.Close()
+	return firstSeq, haveEntries, nil
 }
 
 // OpenFromSnapshot builds a store from a snapshot plus an optional journal

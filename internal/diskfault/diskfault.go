@@ -1,0 +1,666 @@
+// Package diskfault is a deterministic fault-injecting filesystem — the
+// disk-side twin of internal/netsim. It implements db.FS over an
+// in-memory disk with an explicit durability model, so every durability
+// seam in the storage layer (group-commit flush, checkpoint write, the
+// publishing rename, dir-fsync, Compact, spool WALs) can be killed and
+// corrupted reproducibly from a seed.
+//
+// # Durability model
+//
+// Every file carries two byte images: the visible content (what reads
+// return — the page cache) and the durable content (what survives
+// Crash). Write extends only the visible image; Sync promotes visible
+// to durable. Crash reverts every file to its durable image, optionally
+// retaining a seeded-random prefix of the unsynced suffix (a torn
+// write).
+//
+// A failed Sync models the fsyncgate kernel behaviour: the dirty pages
+// are dropped but marked clean, so the unsynced bytes stay visible —
+// reads still return them, and a retried Sync "succeeds" — yet they
+// can never become durable. Once a file's sync has failed, nothing
+// written to it is ever promoted again; only fail-stop callers survive
+// this, which is exactly the discipline the db layer must prove.
+//
+// Directory metadata follows the same rules: Rename and Remove are
+// visible immediately but stay volatile until SyncDir on the parent
+// directory; a Crash before the dir-sync undoes them. File creation is
+// durable immediately (a simplification — the files the db layer
+// creates are either swept or rewritten at boot, so staged creation
+// would add model complexity without adding coverage).
+//
+// # Fault injection
+//
+// Faults fire from scripted Rules (match a path suffix + operation,
+// trigger on the Nth call, optionally sticky) or probabilistically from
+// seeded per-(path,op,call#) coin flips, netsim-style — the same seed
+// always yields the same fault schedule. Post-crash bit-rot is applied
+// explicitly with Corrupt.
+package diskfault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"gridbank/internal/db"
+)
+
+// Op classifies the filesystem operation a Rule matches.
+type Op string
+
+const (
+	OpOpen     Op = "open"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpTruncate Op = "truncate"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpSyncDir  Op = "syncdir"
+)
+
+// ErrInjected tags every error the disk injects, so tests can tell an
+// injected fault from a genuine model error (e.g. open after crash).
+var ErrInjected = errors.New("diskfault: injected")
+
+// ErrNoSpace is the injected disk-full error; errors.Is matches
+// syscall.ENOSPC, like a real short write on a full volume.
+var ErrNoSpace = fmt.Errorf("%w: %w", ErrInjected, syscall.ENOSPC)
+
+// ErrIO is the injected generic I/O error.
+var ErrIO = fmt.Errorf("%w: %w", ErrInjected, syscall.EIO)
+
+// Rule is a scripted fault: on the Nth matching call (1-based; 0 means
+// every call), the operation fails with Err. ShortBytes>0 on a write
+// rule makes the write land that many bytes before failing (a short
+// write — the visible image keeps the prefix). Sticky rules keep firing
+// on every later matching call once triggered.
+type Rule struct {
+	// PathSuffix matches operations whose cleaned path ends with it
+	// (empty matches every path). For OpRename it matches the old path.
+	PathSuffix string
+	// Op is the operation class to fail.
+	Op Op
+	// Nth is the 1-based matching call to fail (0 = every call).
+	Nth int
+	// Err is returned to the caller. Required.
+	Err error
+	// ShortBytes, for OpWrite: bytes written before the error.
+	ShortBytes int
+	// Sticky keeps the rule firing on every matching call after Nth.
+	Sticky bool
+
+	seen  int
+	fired bool
+}
+
+// Config seeds the probabilistic fault mode. All probabilities are per
+// matching call, in [0,1]; zero disables that class. Scripted rules fire
+// independently of Config.
+type Config struct {
+	// Seed drives every probabilistic decision and torn-write length.
+	Seed uint64
+	// PWriteErr is the chance a Write fails with ErrNoSpace (short
+	// writes included: a seeded fraction of the buffer lands first).
+	PWriteErr float64
+	// PSyncErr is the chance a Sync fails with ErrIO.
+	PSyncErr float64
+	// PSyncDirErr is the chance a SyncDir fails with ErrIO.
+	PSyncDirErr float64
+	// TornCrash, when true, makes Crash retain a seeded-random prefix
+	// of each file's unsynced suffix instead of dropping it whole.
+	TornCrash bool
+}
+
+// Disk is the in-memory fault-injecting filesystem. It implements
+// db.FS. All methods are safe for concurrent use.
+type Disk struct {
+	cfg Config
+
+	mu      sync.Mutex
+	files   map[string]*fileState
+	pending []pendingOp // volatile metadata ops, oldest first
+	rules   []*Rule
+	calls   map[string]uint64 // per-(path,op) call counter for seeding
+	crashes int
+	clock   int64 // logical mod-time, bumped per mutation
+
+	// Stats, for harness assertions and BENCH output.
+	InjectedWriteErrs   int
+	InjectedSyncErrs    int
+	InjectedSyncDirErrs int
+}
+
+type fileState struct {
+	visible  []byte
+	durable  []byte
+	syncDead bool // a Sync failed: nothing promotes ever again
+	modTime  int64
+	epoch    int // bumped on Crash; stale handles error out
+}
+
+// pendingOp records a not-yet-dir-synced rename or remove so Crash can
+// undo it.
+type pendingOp struct {
+	dir string
+	// rename: oldpath+newpath set, clobbered is newpath's prior state
+	// (nil if none). remove: oldpath set, clobbered is the removed file.
+	op        Op
+	oldpath   string
+	newpath   string
+	moved     *fileState
+	clobbered *fileState
+}
+
+// New returns an empty disk with the given config.
+func New(cfg Config) *Disk {
+	return &Disk{
+		cfg:   cfg,
+		files: make(map[string]*fileState),
+		calls: make(map[string]uint64),
+	}
+}
+
+// AddRule registers a scripted fault. Returns the disk for chaining.
+func (d *Disk) AddRule(r Rule) *Disk {
+	if r.Err == nil {
+		panic("diskfault: Rule.Err is required")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rules = append(d.rules, &r)
+	return d
+}
+
+// ClearRules drops all scripted rules (fired or not).
+func (d *Disk) ClearRules() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rules = nil
+}
+
+// fault consults scripted rules then the seeded probabilistic mode.
+// Caller holds d.mu. Returns the injected error (nil = no fault) and,
+// for writes, how many bytes should land first.
+func (d *Disk) fault(path string, op Op, p float64, perr error) (error, int) {
+	for _, r := range d.rules {
+		if r.Op != op {
+			continue
+		}
+		if r.PathSuffix != "" && !strings.HasSuffix(path, r.PathSuffix) {
+			continue
+		}
+		r.seen++
+		if r.fired && r.Sticky {
+			return r.Err, r.ShortBytes
+		}
+		if r.Nth == 0 || r.seen == r.Nth {
+			r.fired = true
+			return r.Err, r.ShortBytes
+		}
+	}
+	if p > 0 {
+		key := path + "|" + string(op)
+		d.calls[key]++
+		u := splitmix64(d.cfg.Seed ^ hash64(key) ^ d.calls[key]*0x9e3779b97f4a7c15)
+		if float64(u>>11)/(1<<53) < p {
+			short := 0
+			if op == OpWrite {
+				short = int(splitmix64(u) % 64)
+			}
+			return perr, short
+		}
+	}
+	return nil, 0
+}
+
+// OpenFile implements db.FS.
+func (d *Disk) OpenFile(name string, flag int, perm os.FileMode) (db.File, error) {
+	name = filepath.Clean(name)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err, _ := d.fault(name, OpOpen, 0, nil); err != nil {
+		return nil, &os.PathError{Op: "open", Path: name, Err: err}
+	}
+	f := d.files[name]
+	if f == nil {
+		if flag&os.O_CREATE == 0 {
+			return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+		}
+		f = &fileState{modTime: d.tick()}
+		// Creation is durable immediately (see package doc).
+		d.files[name] = f
+	} else if flag&os.O_TRUNC != 0 {
+		f.visible = nil
+		f.modTime = d.tick()
+	}
+	return &handle{d: d, f: f, name: name, epoch: f.epoch, append_: flag&os.O_APPEND != 0}, nil
+}
+
+// Rename implements db.FS: visible immediately, volatile until SyncDir.
+func (d *Disk) Rename(oldpath, newpath string) error {
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err, _ := d.fault(oldpath, OpRename, 0, nil); err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	f := d.files[oldpath]
+	if f == nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: os.ErrNotExist}
+	}
+	d.pending = append(d.pending, pendingOp{
+		dir: filepath.Dir(newpath), op: OpRename,
+		oldpath: oldpath, newpath: newpath,
+		moved: f, clobbered: d.files[newpath],
+	})
+	delete(d.files, oldpath)
+	d.files[newpath] = f
+	f.modTime = d.tick()
+	return nil
+}
+
+// Remove implements db.FS: visible immediately, volatile until SyncDir.
+func (d *Disk) Remove(name string) error {
+	name = filepath.Clean(name)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err, _ := d.fault(name, OpRemove, 0, nil); err != nil {
+		return &os.PathError{Op: "remove", Path: name, Err: err}
+	}
+	f := d.files[name]
+	if f == nil {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	d.pending = append(d.pending, pendingOp{
+		dir: filepath.Dir(name), op: OpRemove, oldpath: name, clobbered: f,
+	})
+	delete(d.files, name)
+	return nil
+}
+
+// Stat implements db.FS.
+func (d *Disk) Stat(name string) (os.FileInfo, error) {
+	name = filepath.Clean(name)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.files[name]
+	if f == nil {
+		return nil, &os.PathError{Op: "stat", Path: name, Err: os.ErrNotExist}
+	}
+	return fileInfo{name: filepath.Base(name), size: int64(len(f.visible)), mod: f.modTime}, nil
+}
+
+// ReadDir implements db.FS.
+func (d *Disk) ReadDir(name string) ([]os.DirEntry, error) {
+	name = filepath.Clean(name)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []os.DirEntry
+	for p, f := range d.files {
+		if filepath.Dir(p) == name {
+			out = append(out, dirEntry{fileInfo{name: filepath.Base(p), size: int64(len(f.visible)), mod: f.modTime}})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out, nil
+}
+
+// SyncDir implements db.FS: makes pending renames/removes in dir
+// durable. On injected failure the ops stay volatile — a Crash still
+// undoes them, exactly like a real dir-fsync failure.
+func (d *Disk) SyncDir(dir string) error {
+	dir = filepath.Clean(dir)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err, _ := d.fault(dir, OpSyncDir, d.cfg.PSyncDirErr, ErrIO); err != nil {
+		d.InjectedSyncDirErrs++
+		return &os.PathError{Op: "syncdir", Path: dir, Err: err}
+	}
+	kept := d.pending[:0]
+	for _, op := range d.pending {
+		if op.dir != dir {
+			kept = append(kept, op)
+		}
+	}
+	d.pending = kept
+	return nil
+}
+
+// Crash simulates power loss: every file reverts to its durable image
+// (with TornCrash, plus a seeded-random prefix of the unsynced suffix),
+// volatile metadata ops are undone newest-first, and every open handle
+// goes stale. The disk itself stays usable — reopen files to "reboot".
+func (d *Disk) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.crashes++
+	for i := len(d.pending) - 1; i >= 0; i-- {
+		op := d.pending[i]
+		switch op.op {
+		case OpRename:
+			if d.files[op.newpath] == op.moved {
+				delete(d.files, op.newpath)
+			}
+			if op.clobbered != nil {
+				d.files[op.newpath] = op.clobbered
+			}
+			d.files[op.oldpath] = op.moved
+		case OpRemove:
+			d.files[op.oldpath] = op.clobbered
+		}
+	}
+	d.pending = nil
+	for path, f := range d.files {
+		// Base state is the durable image (this also undoes an unsynced
+		// truncate). With TornCrash, a seeded-random prefix of the
+		// unsynced appended suffix survives — a torn write.
+		vis := append([]byte(nil), f.durable...)
+		if d.cfg.TornCrash && len(f.visible) > len(f.durable) {
+			u := splitmix64(d.cfg.Seed ^ hash64(path) ^ uint64(d.crashes)*0x2545f4914f6cdd1d)
+			extra := int(u % uint64(len(f.visible)-len(f.durable)+1))
+			vis = append(vis, f.visible[len(f.durable):len(f.durable)+extra]...)
+		}
+		f.visible = vis
+		f.syncDead = false
+		f.epoch++
+	}
+}
+
+// Corrupt XORs the byte at offset in path's images (visible and
+// durable) with xor — at-rest bit rot. It reports whether the offset
+// existed in the durable image.
+func (d *Disk) Corrupt(path string, offset int64, xor byte) bool {
+	path = filepath.Clean(path)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.files[path]
+	if f == nil {
+		return false
+	}
+	if offset >= 0 && offset < int64(len(f.visible)) {
+		f.visible[offset] ^= xor
+	}
+	if offset < 0 || offset >= int64(len(f.durable)) {
+		return false
+	}
+	f.durable[offset] ^= xor
+	return true
+}
+
+// Bytes returns a copy of path's visible content (nil if absent).
+func (d *Disk) Bytes(path string) []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.files[filepath.Clean(path)]
+	if f == nil {
+		return nil
+	}
+	return append([]byte(nil), f.visible...)
+}
+
+// Durable returns a copy of path's durable content (nil if absent).
+func (d *Disk) Durable(path string) []byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := d.files[filepath.Clean(path)]
+	if f == nil {
+		return nil
+	}
+	return append([]byte(nil), f.durable...)
+}
+
+// SetBytes installs content for path, visible and durable — for
+// seeding fixtures (e.g. a legacy checkpoint image) without going
+// through the write path.
+func (d *Disk) SetBytes(path string, b []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.files[filepath.Clean(path)] = &fileState{
+		visible: append([]byte(nil), b...),
+		durable: append([]byte(nil), b...),
+		modTime: d.tick(),
+	}
+}
+
+// Paths lists every existing file path, sorted.
+func (d *Disk) Paths() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.files))
+	for p := range d.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Crashes reports how many times Crash has been called.
+func (d *Disk) Crashes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashes
+}
+
+func (d *Disk) tick() int64 {
+	d.clock++
+	return d.clock
+}
+
+// handle is an open-file view. It goes stale when the disk crashes.
+type handle struct {
+	d       *Disk
+	f       *fileState
+	name    string
+	epoch   int
+	append_ bool
+	pos     int64
+	closed  bool
+}
+
+var errStaleHandle = errors.New("diskfault: file handle lost in crash")
+
+// check validates the handle under d.mu.
+func (h *handle) check() error {
+	if h.closed {
+		return os.ErrClosed
+	}
+	if h.epoch != h.f.epoch {
+		return errStaleHandle
+	}
+	return nil
+}
+
+func (h *handle) Write(p []byte) (int, error) {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	if err := h.check(); err != nil {
+		return 0, err
+	}
+	injected, short := h.d.fault(h.name, OpWrite, h.d.cfg.PWriteErr, ErrNoSpace)
+	n := len(p)
+	if injected != nil {
+		h.d.InjectedWriteErrs++
+		n = short
+		if n > len(p) {
+			n = len(p)
+		}
+	}
+	if h.append_ {
+		h.pos = int64(len(h.f.visible))
+	}
+	end := h.pos + int64(n)
+	for int64(len(h.f.visible)) < end {
+		h.f.visible = append(h.f.visible, 0)
+	}
+	copy(h.f.visible[h.pos:end], p[:n])
+	h.pos = end
+	h.f.modTime = h.d.tick()
+	if injected != nil {
+		return n, injected
+	}
+	return n, nil
+}
+
+func (h *handle) Read(p []byte) (int, error) {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	if err := h.check(); err != nil {
+		return 0, err
+	}
+	if h.pos >= int64(len(h.f.visible)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.visible[h.pos:])
+	h.pos += int64(n)
+	return n, nil
+}
+
+func (h *handle) ReadAt(p []byte, off int64) (int, error) {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	if err := h.check(); err != nil {
+		return 0, err
+	}
+	if off >= int64(len(h.f.visible)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.visible[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *handle) Seek(offset int64, whence int) (int64, error) {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	if err := h.check(); err != nil {
+		return 0, err
+	}
+	switch whence {
+	case io.SeekStart:
+		h.pos = offset
+	case io.SeekCurrent:
+		h.pos += offset
+	case io.SeekEnd:
+		h.pos = int64(len(h.f.visible)) + offset
+	}
+	if h.pos < 0 {
+		return 0, errors.New("diskfault: negative seek")
+	}
+	return h.pos, nil
+}
+
+// Sync promotes the visible image to durable — unless a previous Sync
+// on this file failed, in which case it "succeeds" without promoting
+// anything (the fsyncgate trap: the pages were dropped and marked
+// clean, so a retried fsync has nothing to write).
+func (h *handle) Sync() error {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	if err := h.check(); err != nil {
+		return err
+	}
+	if err, _ := h.d.fault(h.name, OpSync, h.d.cfg.PSyncErr, ErrIO); err != nil {
+		h.d.InjectedSyncErrs++
+		h.f.syncDead = true
+		return &os.PathError{Op: "sync", Path: h.name, Err: err}
+	}
+	if h.f.syncDead {
+		return nil // falsely clean: nothing promotes
+	}
+	h.f.durable = append(h.f.durable[:0], h.f.visible...)
+	return nil
+}
+
+func (h *handle) Truncate(size int64) error {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	if err := h.check(); err != nil {
+		return err
+	}
+	if err, _ := h.d.fault(h.name, OpTruncate, 0, nil); err != nil {
+		return &os.PathError{Op: "truncate", Path: h.name, Err: err}
+	}
+	if size < 0 {
+		return errors.New("diskfault: negative truncate")
+	}
+	for int64(len(h.f.visible)) < size {
+		h.f.visible = append(h.f.visible, 0)
+	}
+	h.f.visible = h.f.visible[:size]
+	// Truncation is inode metadata: like writes it becomes durable at
+	// the next successful Sync, not before.
+	h.f.modTime = h.d.tick()
+	return nil
+}
+
+func (h *handle) Stat() (os.FileInfo, error) {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	if err := h.check(); err != nil {
+		return nil, err
+	}
+	return fileInfo{name: filepath.Base(h.name), size: int64(len(h.f.visible)), mod: h.f.modTime}, nil
+}
+
+func (h *handle) Close() error {
+	h.d.mu.Lock()
+	defer h.d.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	h.closed = true
+	return nil
+}
+
+// fileInfo is the os.FileInfo for in-memory files. Mod times are a
+// logical clock anchored at a fixed epoch, keeping runs deterministic.
+type fileInfo struct {
+	name string
+	size int64
+	mod  int64
+}
+
+func (fi fileInfo) Name() string      { return fi.name }
+func (fi fileInfo) Size() int64       { return fi.size }
+func (fi fileInfo) Mode() fs.FileMode { return 0o600 }
+func (fi fileInfo) ModTime() time.Time {
+	return time.Unix(1700000000, 0).Add(time.Duration(fi.mod) * time.Millisecond)
+}
+func (fi fileInfo) IsDir() bool      { return false }
+func (fi fileInfo) Sys() interface{} { return nil }
+
+type dirEntry struct{ fi fileInfo }
+
+func (e dirEntry) Name() string               { return e.fi.name }
+func (e dirEntry) IsDir() bool                { return false }
+func (e dirEntry) Type() fs.FileMode          { return 0 }
+func (e dirEntry) Info() (fs.FileInfo, error) { return e.fi, nil }
+
+// splitmix64 is the same mixing function netsim uses for deterministic
+// per-stream randomness.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash64 is FNV-1a, for folding paths into the seed stream.
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

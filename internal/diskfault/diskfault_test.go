@@ -1,0 +1,187 @@
+package diskfault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"syscall"
+	"testing"
+)
+
+func TestWriteSyncCrashDurability(t *testing.T) {
+	d := New(Config{Seed: 1})
+	f, err := d.OpenFile("/data/ledger.wal", os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("synced;"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("unsynced;"))
+	d.Crash()
+	if got := string(d.Bytes("/data/ledger.wal")); got != "synced;" {
+		t.Fatalf("after crash: %q, want only the synced prefix", got)
+	}
+	// The old handle is stale; a reopened one reads the survivor.
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("stale handle should fail after crash")
+	}
+	g, err := d.OpenFile("/data/ledger.wal", os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(g)
+	if string(b) != "synced;" {
+		t.Fatalf("reopened read: %q", b)
+	}
+}
+
+func TestFsyncgateLostPages(t *testing.T) {
+	d := New(Config{Seed: 1})
+	d.AddRule(Rule{PathSuffix: ".wal", Op: OpSync, Nth: 2, Err: ErrIO})
+	f, _ := d.OpenFile("/d/a.wal", os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o600)
+	f.Write([]byte("first;"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("doomed;"))
+	if err := f.Sync(); err == nil {
+		t.Fatal("second sync should fail")
+	}
+	// The fsyncgate trap: pages dropped but marked clean — the retry
+	// "succeeds", reads still see the bytes...
+	if err := f.Sync(); err != nil {
+		t.Fatalf("retried sync should falsely succeed: %v", err)
+	}
+	if got := string(d.Bytes("/d/a.wal")); got != "first;doomed;" {
+		t.Fatalf("visible: %q", got)
+	}
+	// ...but they were never durable.
+	d.Crash()
+	if got := string(d.Bytes("/d/a.wal")); got != "first;" {
+		t.Fatalf("after crash: %q, want lost pages gone", got)
+	}
+}
+
+func TestRenameVolatileUntilSyncDir(t *testing.T) {
+	d := New(Config{Seed: 1})
+	d.SetBytes("/d/old.ckpt", []byte("previous"))
+	f, _ := d.OpenFile("/d/new.tmp", os.O_CREATE|os.O_WRONLY, 0o600)
+	f.Write([]byte("fresh"))
+	f.Sync()
+	f.Close()
+	if err := d.Rename("/d/new.tmp", "/d/old.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(d.Bytes("/d/old.ckpt")); got != "fresh" {
+		t.Fatalf("rename not visible: %q", got)
+	}
+	// Crash before SyncDir: the rename is undone.
+	d.Crash()
+	if got := string(d.Bytes("/d/old.ckpt")); got != "previous" {
+		t.Fatalf("rename survived crash without dir sync: %q", got)
+	}
+	if got := string(d.Bytes("/d/new.tmp")); got != "fresh" {
+		t.Fatalf("tmp should be back: %q", got)
+	}
+	// Redo with the dir-fsync: now it sticks.
+	if err := d.Rename("/d/new.tmp", "/d/old.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	if got := string(d.Bytes("/d/old.ckpt")); got != "fresh" {
+		t.Fatalf("dir-synced rename lost in crash: %q", got)
+	}
+	if d.Bytes("/d/new.tmp") != nil {
+		t.Fatal("tmp should be gone after durable rename")
+	}
+}
+
+func TestUnsyncedTruncateRevertsOnCrash(t *testing.T) {
+	d := New(Config{Seed: 1})
+	f, _ := d.OpenFile("/d/j.wal", os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o600)
+	f.Write([]byte("history"))
+	f.Sync()
+	if err := f.Truncate(0); err != nil {
+		t.Fatal(err)
+	}
+	d.Crash()
+	if got := string(d.Bytes("/d/j.wal")); got != "history" {
+		t.Fatalf("unsynced truncate should revert: %q", got)
+	}
+}
+
+func TestShortWriteAndENOSPC(t *testing.T) {
+	d := New(Config{Seed: 1})
+	d.AddRule(Rule{Op: OpWrite, Nth: 2, Err: ErrNoSpace, ShortBytes: 3})
+	f, _ := d.OpenFile("/d/j.wal", os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o600)
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("bbbb"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("short write landed %d bytes, want 3", n)
+	}
+	if got := string(d.Bytes("/d/j.wal")); got != "aaaabbb" {
+		t.Fatalf("visible after short write: %q", got)
+	}
+}
+
+func TestStickyRule(t *testing.T) {
+	d := New(Config{Seed: 1})
+	d.AddRule(Rule{Op: OpSync, Nth: 1, Err: ErrIO, Sticky: true})
+	f, _ := d.OpenFile("/d/j.wal", os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o600)
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); err == nil {
+			t.Fatalf("sync %d: sticky rule should keep firing", i)
+		}
+	}
+}
+
+func TestCorruptFlipsDurableByte(t *testing.T) {
+	d := New(Config{Seed: 1})
+	d.SetBytes("/d/x.ckpt", []byte("abc"))
+	if !d.Corrupt("/d/x.ckpt", 1, 0xFF) {
+		t.Fatal("offset should exist")
+	}
+	if got := d.Bytes("/d/x.ckpt"); got[1] == 'b' {
+		t.Fatal("visible byte not flipped")
+	}
+	d.Crash()
+	if got := d.Bytes("/d/x.ckpt"); got[1] == 'b' {
+		t.Fatal("durable byte not flipped")
+	}
+	if d.Corrupt("/d/x.ckpt", 99, 0xFF) {
+		t.Fatal("out-of-range offset should report false")
+	}
+}
+
+func TestSeededModeIsDeterministic(t *testing.T) {
+	run := func(seed uint64) (string, int) {
+		d := New(Config{Seed: seed, PWriteErr: 0.3, TornCrash: true})
+		f, _ := d.OpenFile("/d/j.wal", os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o600)
+		for i := 0; i < 20; i++ {
+			f.Write([]byte("entry-payload;"))
+			f.Sync()
+		}
+		f.Write([]byte("tail-never-synced"))
+		d.Crash()
+		return string(d.Bytes("/d/j.wal")), d.InjectedWriteErrs
+	}
+	a1, e1 := run(7)
+	a2, e2 := run(7)
+	if a1 != a2 || e1 != e2 {
+		t.Fatalf("same seed diverged: %d/%d errs", e1, e2)
+	}
+	b1, f1 := run(8)
+	if a1 == b1 && e1 == f1 {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+}

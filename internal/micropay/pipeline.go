@@ -647,6 +647,12 @@ type failure struct {
 
 // terminalRedeemErr classifies redemption errors retrying cannot fix.
 func terminalRedeemErr(err error) bool {
+	if errors.Is(err, db.ErrStorageFailed) {
+		// Fail-stopped storage is an instance outage, not a verdict on
+		// the claim: it must stay queued and redeem after restart, even
+		// if the failure surfaced wrapped in a business error.
+		return false
+	}
 	return errors.Is(err, ErrUnknownChain) ||
 		errors.Is(err, ErrChainState) ||
 		errors.Is(err, payment.ErrBadWord) ||

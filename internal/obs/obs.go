@@ -78,6 +78,7 @@ type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	gfuncs   map[string]func(now time.Time) int64
 	hists    map[string]*Histogram
 }
 
@@ -86,6 +87,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		gfuncs:   make(map[string]func(now time.Time) int64),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -130,6 +132,21 @@ func (r *Registry) Gauge(name string) *Gauge {
 		r.gauges[name] = g
 	}
 	return g
+}
+
+// GaugeFunc registers a callback gauge: fn is sampled at snapshot time
+// with the snapshot's timestamp, so derived values (ages, lags) stay
+// live without a background updater and stay deterministic under an
+// injected clock. Re-registering a name replaces the callback. Names
+// share the gauge namespace and must not collide with Gauge names.
+// No-op on a nil registry.
+func (r *Registry) GaugeFunc(name string, fn func(now time.Time) int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gfuncs[name] = fn
 }
 
 // Histogram returns the named histogram, creating it on first use.
@@ -194,9 +211,12 @@ func (r *Registry) SnapshotAt(now time.Time) Snapshot {
 		s.Counters = append(s.Counters, CounterStat{Name: name, Value: c.Value()})
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
-	s.Gauges = make([]GaugeStat, 0, len(r.gauges))
+	s.Gauges = make([]GaugeStat, 0, len(r.gauges)+len(r.gfuncs))
 	for name, g := range r.gauges {
 		s.Gauges = append(s.Gauges, GaugeStat{Name: name, Value: g.Value()})
+	}
+	for name, fn := range r.gfuncs {
+		s.Gauges = append(s.Gauges, GaugeStat{Name: name, Value: fn(now)})
 	}
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
 	s.Hists = make([]HistogramStat, 0, len(r.hists))

@@ -200,3 +200,22 @@ func TestWritePrometheus(t *testing.T) {
 		}
 	}
 }
+
+func TestGaugeFuncSampledAtSnapshotTime(t *testing.T) {
+	r := NewRegistry()
+	base := time.Unix(1700000000, 0)
+	r.GaugeFunc("db.checkpoint_age_seconds", func(now time.Time) int64 {
+		return now.Unix() - base.Unix()
+	})
+	s := r.SnapshotAt(base.Add(42 * time.Second))
+	if len(s.Gauges) != 1 || s.Gauges[0].Name != "db.checkpoint_age_seconds" || s.Gauges[0].Value != 42 {
+		t.Fatalf("gauge func snapshot = %+v; want one gauge at 42", s.Gauges)
+	}
+	// Same snapshot time, same value: deterministic under injected clocks.
+	if again := r.SnapshotAt(base.Add(42 * time.Second)); again.Gauges[0].Value != 42 {
+		t.Fatalf("resample = %d; want 42", again.Gauges[0].Value)
+	}
+	// A nil registry no-ops.
+	var nilReg *Registry
+	nilReg.GaugeFunc("x", func(time.Time) int64 { return 1 })
+}

@@ -201,7 +201,7 @@ func (l *Ledger) crossTransferWithID(txID uint64, from, to accounts.ID, amount c
 		return nil, err
 	}
 	if err := l.hook(rec.GID, StepPrepared); err != nil {
-		return nil, l.inDoubtf("%w (after prepare): %v", ErrInDoubt, err)
+		return nil, l.inDoubtf("%w (after prepare): %w", ErrInDoubt, err)
 	}
 
 	// Step 2: decide commit. If the decision cannot be made durable the
@@ -212,22 +212,22 @@ func (l *Ledger) crossTransferWithID(txID uint64, from, to accounts.ID, amount c
 		return nil, fmt.Errorf("shard: commit decision failed, transfer aborted: %w", err)
 	}
 	if err := l.hook(rec.GID, StepDecided); err != nil {
-		return nil, l.inDoubtf("%w (after commit decision): %v", ErrInDoubt, err)
+		return nil, l.inDoubtf("%w (after commit decision): %w", ErrInDoubt, err)
 	}
 
 	// Steps 3-5: the transfer is committed; completion is inevitable.
 	// Any failure past this point leaves durable state Recover finishes.
 	if err := l.applyCredit(ts, rec); err != nil {
-		return nil, l.inDoubtf("%w (credit pending): %v", ErrInDoubt, err)
+		return nil, l.inDoubtf("%w (credit pending): %w", ErrInDoubt, err)
 	}
 	if err := l.hook(rec.GID, StepCreditApplied); err != nil {
-		return nil, l.inDoubtf("%w (after credit): %v", ErrInDoubt, err)
+		return nil, l.inDoubtf("%w (after credit): %w", ErrInDoubt, err)
 	}
 	if err := l.finalizeDebit(fs, rec); err != nil {
-		return nil, l.inDoubtf("%w (finalize pending): %v", ErrInDoubt, err)
+		return nil, l.inDoubtf("%w (finalize pending): %w", ErrInDoubt, err)
 	}
 	if err := l.hook(rec.GID, StepFinalized); err != nil {
-		return nil, l.inDoubtf("%w (after finalize): %v", ErrInDoubt, err)
+		return nil, l.inDoubtf("%w (after finalize): %w", ErrInDoubt, err)
 	}
 	l.clearApplied(ts, rec.GID) // best effort; orphan markers are harmless
 

@@ -656,6 +656,12 @@ type failure struct {
 // terminalLedgerErr classifies settlement errors that retrying cannot
 // fix: the charge is parked failed rather than retried forever.
 func terminalLedgerErr(err error) bool {
+	if errors.Is(err, db.ErrStorageFailed) {
+		// Fail-stopped storage is an instance outage, not a verdict on
+		// the charge: the row must stay queued and settle after restart,
+		// even if the failure surfaced wrapped in a business error.
+		return false
+	}
 	return errors.Is(err, accounts.ErrNotFound) ||
 		errors.Is(err, accounts.ErrClosed) ||
 		errors.Is(err, accounts.ErrCurrencyMismatch) ||
